@@ -1,0 +1,101 @@
+// E1 — Figure 1 (architecture): per-module cost breakdown of query
+// processing. Measures each stage of the Figure-1 pipeline in isolation —
+// Parser, Binder (qualification/binding), Optimizer (strategy
+// enumeration), and the full Query Driver execution — for three
+// representative DML queries.
+
+#include <benchmark/benchmark.h>
+
+#include "parser/dml_parser.h"
+#include "semantics/binder.h"
+#include "workload.h"
+
+namespace {
+
+using sim::bench::BuildUniversity;
+using sim::bench::WorkloadParams;
+
+const char* kQueries[] = {
+    // Q0: simple perspective scan with selection.
+    "From Student Retrieve Name Where student-nbr > 2000",
+    // Q1: extended attributes + outer join.
+    "From Student Retrieve Name, Name of Advisor, "
+    "Name of assigned-department of Advisor",
+    // Q2: aggregate + quantifier.
+    "From Instructor Retrieve Name, count(advisees) of Instructor "
+    "Where salary > 40000",
+};
+
+std::unique_ptr<sim::Database>& Db() {
+  static std::unique_ptr<sim::Database> db = [] {
+    WorkloadParams params;
+    params.students = 500;
+    return BuildUniversity(params);
+  }();
+  return db;
+}
+
+void BM_Parse(benchmark::State& state) {
+  const char* query = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto stmt = sim::DmlParser::ParseStatement(query);
+    if (!stmt.ok()) state.SkipWithError(stmt.status().ToString().c_str());
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ParseBind(benchmark::State& state) {
+  const char* query = kQueries[state.range(0)];
+  auto& db = Db();
+  for (auto _ : state) {
+    auto stmt = sim::DmlParser::ParseStatement(query);
+    if (!stmt.ok()) state.SkipWithError(stmt.status().ToString().c_str());
+    sim::Binder binder(&db->catalog());
+    auto qt = binder.BindRetrieve(
+        static_cast<const sim::RetrieveStmt&>(**stmt));
+    if (!qt.ok()) state.SkipWithError(qt.status().ToString().c_str());
+    benchmark::DoNotOptimize(qt);
+  }
+}
+BENCHMARK(BM_ParseBind)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ParseBindOptimize(benchmark::State& state) {
+  const char* query = kQueries[state.range(0)];
+  auto& db = Db();
+  auto mapper = db->mapper();
+  if (!mapper.ok()) {
+    state.SkipWithError("no mapper");
+    return;
+  }
+  for (auto _ : state) {
+    auto stmt = sim::DmlParser::ParseStatement(query);
+    sim::Binder binder(&db->catalog());
+    auto qt = binder.BindRetrieve(
+        static_cast<const sim::RetrieveStmt&>(**stmt));
+    sim::Optimizer optimizer(*mapper);
+    auto plan = optimizer.Optimize(*qt);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParseBindOptimize)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullQuery(benchmark::State& state) {
+  const char* query = kQueries[state.range(0)];
+  auto& db = Db();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(query);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows += rs->rows.size();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["rows_per_iter"] = static_cast<double>(
+      rows / std::max<uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_FullQuery)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

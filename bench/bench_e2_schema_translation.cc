@@ -1,0 +1,60 @@
+// E2 — Figure 2 / §7 (UNIVERSITY schema): DDL compilation cost and the
+// standard SIM -> LUC translation inventory. Reports, as counters, the
+// number of storage units, relationship structures, MV-DVA units and
+// secondary indexes the translation produces — the "LUC for every class,
+// subclass and multi-valued DVA" rule of §5.1.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/luc_translation.h"
+#include "university_fixture.h"
+
+namespace {
+
+void BM_CompileUniversityDdl(benchmark::State& state) {
+  for (auto _ : state) {
+    auto db = sim::Database::Open();
+    if (!db.ok()) state.SkipWithError("open failed");
+    sim::Status s = (*db)->ExecuteDdl(sim::testing::kUniversityDdl);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_CompileUniversityDdl);
+
+void BM_LucTranslation(benchmark::State& state) {
+  auto db = sim::testing::OpenUniversity(sim::DatabaseOptions(), false);
+  if (!db.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  sim::MappingPolicy policy;
+  policy.colocate_tree_hierarchies = state.range(0) != 0;
+  size_t units = 0, evas = 0, mvdvas = 0, indexes = 0, formats = 0;
+  for (auto _ : state) {
+    auto phys = sim::PhysicalSchema::Build((*db)->catalog(), policy);
+    if (!phys.ok()) state.SkipWithError(phys.status().ToString().c_str());
+    units = phys->units().size();
+    evas = phys->evas().size();
+    mvdvas = phys->mvdvas().size();
+    indexes = phys->indexes().size();
+    formats = 0;
+    for (size_t u = 0; u < units; ++u) {
+      formats += static_cast<size_t>(phys->RecordFormats(static_cast<int>(u)));
+    }
+    benchmark::DoNotOptimize(phys);
+  }
+  state.counters["storage_units"] = static_cast<double>(units);
+  state.counters["eva_pairs"] = static_cast<double>(evas);
+  state.counters["mvdva_units"] = static_cast<double>(mvdvas);
+  state.counters["sec_indexes"] = static_cast<double>(indexes);
+  state.counters["record_formats"] = static_cast<double>(formats);
+}
+BENCHMARK(BM_LucTranslation)
+    ->Arg(1)  // colocated (paper default)
+    ->Arg(0)  // one LUC per class
+    ->ArgName("colocated");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E6 — §4.7 transitive closure. Sweeps prerequisite-chain depth and
+// fan-out and measures TRANSITIVE(...) evaluation, including the paper's
+// example-5 aggregation (count distinct over the closure).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "api/database.h"
+
+namespace {
+
+// Builds `chains` prerequisite chains of length `depth`, or a tree with
+// the given fan-out when fanout > 1.
+std::unique_ptr<sim::Database> BuildCourses(int depth, int fanout) {
+  auto db_result = sim::Database::Open();
+  if (!db_result.ok()) abort();
+  auto db = std::move(*db_result);
+  sim::Status s = db->ExecuteDdl(R"(
+    Class Course (
+      course-no: integer unique required;
+      title: string[30];
+      prerequisites: course inverse is prerequisite-of mv );
+  )");
+  if (!s.ok()) abort();
+  auto mapper = db->mapper();
+  if (!mapper.ok()) abort();
+  // Node 0 is the root (the course we query). Its prerequisite DAG is a
+  // complete `fanout`-ary tree of the given depth.
+  std::vector<sim::SurrogateId> current;
+  int next_no = 0;
+  auto make_course = [&]() {
+    auto c = (*mapper)->CreateEntity("course", nullptr);
+    if (!c.ok()) abort();
+    (void)(*mapper)->SetField(*c, "course", "course-no",
+                              sim::Value::Int(next_no), nullptr);
+    (void)(*mapper)->SetField(
+        *c, "course", "title", sim::Value::Str("C" + std::to_string(next_no)),
+        nullptr);
+    ++next_no;
+    return *c;
+  };
+  sim::SurrogateId root = make_course();
+  current.push_back(root);
+  for (int level = 1; level <= depth; ++level) {
+    std::vector<sim::SurrogateId> next;
+    for (sim::SurrogateId parent : current) {
+      for (int f = 0; f < fanout; ++f) {
+        sim::SurrogateId child = make_course();
+        (void)(*mapper)->AddEvaPair("course", "prerequisites", parent, child,
+                                    nullptr);
+        next.push_back(child);
+      }
+    }
+    current = std::move(next);
+    if (current.size() > 4096) break;  // bound tree growth
+  }
+  return db;
+}
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  int fanout = static_cast<int>(state.range(1));
+  auto db = BuildCourses(depth, fanout);
+  uint64_t reached = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(
+        "From Course Retrieve Title of Transitive(prerequisites) "
+        "Where course-no = 0");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    reached = rs->rows.size();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["closure_size"] = static_cast<double>(reached);
+}
+BENCHMARK(BM_TransitiveClosure)
+    ->ArgsProduct({{2, 4, 8, 16, 32}, {1}})
+    ->ArgsProduct({{2, 4, 6}, {2}})
+    ->ArgsProduct({{2, 3, 4}, {3}})
+    ->ArgNames({"depth", "fanout"});
+
+void BM_CountDistinctClosure(benchmark::State& state) {
+  // Paper example 5 at scale.
+  int depth = static_cast<int>(state.range(0));
+  auto db = BuildCourses(depth, 2);
+  int64_t count = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(
+        "From Course Retrieve count distinct (transitive(prerequisites)) "
+        "Where course-no = 0");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    count = rs->rows[0].values[0].int_value();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["prerequisites"] = static_cast<double>(count);
+}
+BENCHMARK(BM_CountDistinctClosure)->Arg(2)->Arg(4)->Arg(6)->ArgName("depth");
+
+}  // namespace
+
+BENCHMARK_MAIN();

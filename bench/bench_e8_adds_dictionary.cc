@@ -1,0 +1,149 @@
+// E8 — §6 ADDS dictionary scale. The paper's only quantitative datapoint:
+// the ADDS data dictionary is itself a SIM database with 13 base classes,
+// 209 subclasses, 39 EVA-inverse pairs, 530 DVAs and one 5-level-deep
+// hierarchy. This bench generates a schema with exactly that shape,
+// compiles it through the full DDL pipeline (parse -> catalog -> finalize
+// -> LUC translation), and runs catalog-resolution and query workloads
+// over it. Counters echo the §6 statistics for EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace {
+
+constexpr int kBases = 13;
+constexpr int kSubs = 209;
+constexpr int kDvas = 530;
+constexpr int kEvaPairs = 39;
+
+std::string GenerateAddsSchema() {
+  std::string ddl;
+  int total_classes = kBases + kSubs;
+  int dva_count = 0;
+  auto emit_dvas = [&](std::string* body, int owner_index) {
+    int want = (owner_index * kDvas) / total_classes;
+    int n = want + 3 > dva_count ? (want + 3 - dva_count) : 0;
+    for (int i = 0; i < n && dva_count < kDvas; ++i, ++dva_count) {
+      *body += "  dva-" + std::to_string(dva_count) + ": string[20];\n";
+    }
+  };
+  std::vector<std::string> eva_decls(kBases);
+  for (int e = 0; e < kEvaPairs; ++e) {
+    int from = e % kBases;
+    int to = (e + 1) % kBases;
+    eva_decls[from] += "  to-" + std::to_string(e) + ": base-" +
+                       std::to_string(to) + " inverse is from-" +
+                       std::to_string(e) + " mv;\n";
+  }
+  int class_index = 0;
+  int subs_made = 0;
+  for (int b = 0; b < kBases; ++b) {
+    std::string body = eva_decls[b];
+    emit_dvas(&body, class_index++);
+    if (!body.empty()) body.pop_back();
+    ddl += "Class base-" + std::to_string(b) + " (\n" + body + ");\n";
+    int subs_here = (b == kBases - 1) ? (kSubs - subs_made)
+                                      : (kSubs / kBases);
+    std::string parent = "base-" + std::to_string(b);
+    for (int s = 0; s < subs_here; ++s, ++subs_made) {
+      std::string name = "sub-" + std::to_string(b) + "-" + std::to_string(s);
+      std::string super = parent;
+      if (b == 0 && s > 0 && s < 4) super = "sub-0-" + std::to_string(s - 1);
+      std::string sbody;
+      emit_dvas(&sbody, class_index++);
+      if (!sbody.empty()) sbody.pop_back();
+      ddl += "Subclass " + name + " of " + super + " (\n" + sbody + ");\n";
+    }
+  }
+  return ddl;
+}
+
+const std::string& Schema() {
+  static const std::string ddl = GenerateAddsSchema();
+  return ddl;
+}
+
+void BM_CompileAddsSchema(benchmark::State& state) {
+  sim::DirectoryManager::SchemaStats stats;
+  for (auto _ : state) {
+    auto db = sim::Database::Open();
+    if (!db.ok()) state.SkipWithError("open failed");
+    sim::Status s = (*db)->ExecuteDdl(Schema());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    stats = (*db)->catalog().ComputeStats();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["base_classes"] = stats.base_classes;
+  state.counters["subclasses"] = stats.subclasses;
+  state.counters["eva_pairs"] = stats.eva_inverse_pairs;
+  state.counters["dvas"] = stats.dvas;
+  state.counters["max_depth"] = stats.max_depth;
+}
+BENCHMARK(BM_CompileAddsSchema);
+
+void BM_AttributeResolutionAtDepth5(benchmark::State& state) {
+  auto db = sim::Database::Open();
+  if (!db.ok() || !(*db)->ExecuteDdl(Schema()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  // sub-0-3 sits at depth 5; resolve an attribute inherited from base-0.
+  const sim::DirectoryManager& dir = (*db)->catalog();
+  auto base_attrs = dir.FindClass("base-0");
+  if (!base_attrs.ok() || (*base_attrs)->attributes.empty()) {
+    state.SkipWithError("no attribute to resolve");
+    return;
+  }
+  std::string attr;
+  for (const auto& a : (*base_attrs)->attributes) {
+    if (a.is_dva()) {
+      attr = a.name;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    auto ra = dir.ResolveAttribute("sub-0-3", attr);
+    if (!ra.ok()) state.SkipWithError(ra.status().ToString().c_str());
+    benchmark::DoNotOptimize(ra);
+  }
+}
+BENCHMARK(BM_AttributeResolutionAtDepth5);
+
+void BM_QueryDictionaryData(benchmark::State& state) {
+  auto db = sim::Database::Open();
+  if (!db.ok() || !(*db)->ExecuteDdl(Schema()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  // Populate the depth-5 family and query through 5 inheritance levels.
+  auto mapper = (*db)->mapper();
+  if (!mapper.ok()) {
+    state.SkipWithError("no mapper");
+    return;
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto s = (*mapper)->CreateEntity("sub-0-3", nullptr);
+    if (!s.ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    (void)(*mapper)->SetField(*s, "base-0", "dva-0",
+                              sim::Value::Str("v" + std::to_string(i)),
+                              nullptr);
+  }
+  for (auto _ : state) {
+    auto rs = (*db)->ExecuteQuery(
+        "From sub-0-3 Retrieve dva-0 Where dva-0 like \"v1%\"");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_QueryDictionaryData);
+
+}  // namespace
+
+BENCHMARK_MAIN();

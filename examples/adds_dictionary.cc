@@ -1,0 +1,174 @@
+// ADDS-scale data dictionary (paper §6). The paper reports that the ADDS
+// dictionary — itself a SIM database — comprised 13 base classes, 209
+// subclasses, 39 EVA-inverse pairs, 530 DVAs and a hierarchy 5 levels
+// deep. This example:
+//
+//  1. generates a synthetic dictionary schema with exactly those §6
+//     statistics and compiles it through the DDL pipeline;
+//  2. builds a small *self-describing* dictionary — meta-classes
+//     describing classes and attributes — loads the generated schema's own
+//     catalog into it, and queries it with SIM DML.
+//
+//   ./example_adds_dictionary
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace {
+
+// Deterministically generates a schema with the §6 shape. Base class i
+// gets a chain/bushy mix of subclasses; DVAs are spread evenly; 39 EVA
+// pairs connect classes.
+std::string GenerateAddsSchema() {
+  std::string ddl;
+  const int kBases = 13;
+  const int kSubs = 209;
+  const int kDvas = 530;
+  const int kEvaPairs = 39;
+
+  int total_classes = kBases + kSubs;
+  int dva_count = 0;
+  auto emit_dvas = [&](std::string* body, int owner_index) {
+    // Spread 530 DVAs over 222 classes: 2-3 per class.
+    int want = (owner_index * kDvas) / total_classes;
+    int have = dva_count;
+    int n = want + 3 > have ? (want + 3 - have) : 0;
+    for (int i = 0; i < n && dva_count < kDvas; ++i, ++dva_count) {
+      *body += "  dva-" + std::to_string(dva_count) + ": string[20];\n";
+    }
+  };
+
+  // 39 EVA/inverse pairs between base classes (round-robin), declared as
+  // attributes of their owning base class.
+  std::vector<std::string> eva_decls(kBases);
+  for (int e = 0; e < kEvaPairs; ++e) {
+    int from = e % kBases;
+    int to = (e + 1) % kBases;
+    eva_decls[from] += "  to-" + std::to_string(e) + ": base-" +
+                       std::to_string(to) + " inverse is from-" +
+                       std::to_string(e) + " mv;\n";
+  }
+
+  int class_index = 0;
+  int subs_made = 0;
+  for (int b = 0; b < kBases; ++b) {
+    std::string body = eva_decls[b];
+    emit_dvas(&body, class_index++);
+    if (!body.empty()) body.pop_back();
+    ddl += "Class base-" + std::to_string(b) + " (\n" + body + ");\n";
+    // Subclasses: one family (base-0) gets a 5-level chain; the rest are
+    // shallow bushes, totalling 209.
+    int subs_here = (b == kBases - 1) ? (kSubs - subs_made)
+                                      : (kSubs / kBases);
+    std::string parent = "base-" + std::to_string(b);
+    for (int s = 0; s < subs_here; ++s, ++subs_made) {
+      std::string name =
+          "sub-" + std::to_string(b) + "-" + std::to_string(s);
+      std::string super = parent;
+      if (b == 0 && s > 0 && s < 4) {
+        // Chain: depth 5 = base -> sub0 -> sub1 -> sub2 -> sub3.
+        super = "sub-0-" + std::to_string(s - 1);
+      }
+      std::string sbody;
+      emit_dvas(&sbody, class_index++);
+      if (!sbody.empty()) sbody.pop_back();
+      ddl += "Subclass " + name + " of " + super + " (\n" + sbody + ");\n";
+    }
+  }
+  return ddl;
+}
+
+}  // namespace
+
+int main() {
+  // --- Part 1: compile the ADDS-scale schema and report §6 statistics.
+  auto big = sim::Database::Open();
+  if (!big.ok()) return 1;
+  std::string ddl = GenerateAddsSchema();
+  sim::Status s = (*big)->ExecuteDdl(ddl);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ADDS schema: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  sim::DirectoryManager::SchemaStats stats = (*big)->catalog().ComputeStats();
+  std::printf("ADDS-scale dictionary schema (paper section 6 shape):\n");
+  std::printf("  base classes:      %d   (paper: 13)\n", stats.base_classes);
+  std::printf("  subclasses:        %d  (paper: 209)\n", stats.subclasses);
+  std::printf("  EVA-inverse pairs: %d   (paper: 39)\n",
+              stats.eva_inverse_pairs);
+  std::printf("  DVAs:              %d  (paper: 530)\n", stats.dvas);
+  std::printf("  deepest hierarchy: %d levels (paper: 5)\n\n",
+              stats.max_depth);
+
+  // --- Part 2: a self-describing dictionary as a SIM database.
+  auto dict = sim::Database::Open();
+  if (!dict.ok()) return 1;
+  s = (*dict)->ExecuteDdl(R"(
+    Class Meta-Class (
+      class-name: string[40] unique required;
+      is-base: boolean;
+      attribute-count: integer );
+    Class Meta-Attribute (
+      attr-name: string[40] required;
+      kind: symbolic (dva, eva);
+      of-class: meta-class inverse is attributes );
+  )");
+  if (!s.ok()) {
+    std::fprintf(stderr, "meta schema: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Load the *university-style* part of the big catalog (first 20 classes)
+  // into the dictionary as data.
+  int loaded = 0;
+  for (const std::string& name : (*big)->catalog().class_names()) {
+    if (loaded >= 20) break;
+    auto cls = (*big)->catalog().FindClass(name);
+    if (!cls.ok()) continue;
+    auto n = (*dict)->ExecuteUpdate(
+        "Insert meta-class (class-name := \"" + name + "\", is-base := " +
+        ((*cls)->is_base() ? "true" : "false") + ", attribute-count := " +
+        std::to_string((*cls)->attributes.size()) + ")");
+    if (!n.ok()) {
+      std::fprintf(stderr, "load: %s\n", n.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& attr : (*cls)->attributes) {
+      auto a = (*dict)->ExecuteUpdate(
+          "Insert meta-attribute (attr-name := \"" + attr.name +
+          "\", kind := \"" + (attr.is_eva() ? "eva" : "dva") +
+          "\", of-class := meta-class with (class-name = \"" + name +
+          "\"))");
+      if (!a.ok()) {
+        std::fprintf(stderr, "load attr: %s\n",
+                     a.status().ToString().c_str());
+        return 1;
+      }
+    }
+    ++loaded;
+  }
+
+  std::printf("Self-describing dictionary (first %d classes as data):\n",
+              loaded);
+  auto rs = (*dict)->ExecuteQuery(
+      "From Meta-Class Retrieve class-name, attribute-count, "
+      "count(attributes) of Meta-Class Where is-base = true");
+  if (!rs.ok()) {
+    std::fprintf(stderr, "query: %s\n", rs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", rs->ToString().c_str());
+
+  rs = (*dict)->ExecuteQuery(
+      "From Meta-Attribute Retrieve attr-name, class-name of of-class "
+      "Where kind = \"eva\"");
+  if (!rs.ok()) {
+    std::fprintf(stderr, "query: %s\n", rs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("EVAs recorded in the dictionary:\n%s",
+              rs->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: define a small semantic schema, load entities, and query it
+// with SIM DML — the ~30-line tour of the public API.
+//
+//   ./example_quickstart
+
+#include <cstdio>
+
+#include "api/database.h"
+
+int main() {
+  auto db_result = sim::Database::Open();
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "open: %s\n", db_result.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(*db_result);
+
+  // 1. Schema: a base class, a subclass, and an EVA with a named inverse.
+  sim::Status s = db->ExecuteDdl(R"(
+    Class Person (
+      name: string[30] required;
+      email: string[60] unique );
+    Subclass Employee of Person (
+      salary: number[9,2];
+      manager: employee inverse is reports );
+  )");
+  if (!s.ok()) {
+    std::fprintf(stderr, "ddl: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Data: inserts with assignments and EVA selectors.
+  s = db->ExecuteScript(R"(
+    Insert employee (name := "Grace Hopper", email := "grace@navy.mil",
+                     salary := 95000).
+    Insert employee (name := "Jean Bartik",  email := "jean@eniac.org",
+                     salary := 72000,
+                     manager := employee with (name = "Grace Hopper")).
+    Insert employee (name := "Kay McNulty",  email := "kay@eniac.org",
+                     salary := 71000,
+                     manager := employee with (name = "Grace Hopper")).
+  )");
+  if (!s.ok()) {
+    std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Query: qualification walks the MANAGER relationship; the inverse
+  // REPORTS was maintained automatically.
+  auto rs = db->ExecuteQuery(
+      "From Employee Retrieve name, salary, name of manager "
+      "Order By salary Desc");
+  if (!rs.ok()) {
+    std::fprintf(stderr, "query: %s\n", rs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", rs->ToString().c_str());
+
+  auto reports = db->ExecuteQuery(
+      "From Employee Retrieve name of reports "
+      "Where name = \"Grace Hopper\"");
+  if (!reports.ok()) {
+    std::fprintf(stderr, "query: %s\n", reports.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Grace Hopper's reports:\n%s", reports->ToString().c_str());
+  return 0;
+}

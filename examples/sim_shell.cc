@@ -1,0 +1,137 @@
+// Interactive SIM shell: type DDL and DML statements terminated by '.' or
+// ';', plus dot-commands. Works interactively or with piped scripts:
+//
+//   ./example_sim_shell
+//   ./example_sim_shell < script.sim
+//
+// Commands:
+//   .help                this text
+//   .schema              render the current schema as DDL
+//   .explain <query>     show the query tree and chosen access plan
+//   .stats               buffer-pool and schema statistics
+//   .dump                print a logical dump of the database
+//   .quit                exit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/database.h"
+#include "api/dump.h"
+#include "catalog/ddl_render.h"
+#include "common/strings.h"
+
+namespace {
+
+bool LooksLikeDdl(const std::string& text) {
+  size_t i = text.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return false;
+  size_t j = text.find_first_of(" \t\r\n(", i);
+  std::string word = text.substr(i, j == std::string::npos ? j : j - i);
+  return sim::NameEq(word, "class") || sim::NameEq(word, "subclass") ||
+         sim::NameEq(word, "type") || sim::NameEq(word, "verify");
+}
+
+void RunStatement(sim::Database* db, const std::string& text) {
+  if (LooksLikeDdl(text)) {
+    sim::Status s = db->ExecuteDdl(text);
+    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+    return;
+  }
+  size_t i = text.find_first_not_of(" \t\r\n");
+  size_t j = text.find_first_of(" \t\r\n", i);
+  std::string word =
+      text.substr(i, j == std::string::npos ? std::string::npos : j - i);
+  if (sim::NameEq(word, "from") || sim::NameEq(word, "retrieve")) {
+    auto rs = db->ExecuteQuery(text);
+    if (!rs.ok()) {
+      std::printf("%s\n", rs.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s(%zu row%s)\n", rs->ToString().c_str(), rs->rows.size(),
+                rs->rows.size() == 1 ? "" : "s");
+    return;
+  }
+  auto n = db->ExecuteUpdate(text);
+  if (!n.ok()) {
+    std::printf("%s\n", n.status().ToString().c_str());
+    return;
+  }
+  std::printf("%d entit%s affected\n", *n, *n == 1 ? "y" : "ies");
+}
+
+void RunCommand(sim::Database* db, const std::string& line) {
+  if (line == ".help") {
+    std::printf(
+        ".schema | .explain <query> | .stats | .dump | .quit\n"
+        "Anything else is a SIM statement terminated by '.' or ';'.\n");
+  } else if (line == ".schema") {
+    std::printf("%s", sim::RenderSchemaDdl(db->catalog()).c_str());
+  } else if (line.rfind(".explain ", 0) == 0) {
+    auto text = db->Explain(line.substr(9));
+    std::printf("%s\n", text.ok() ? text->c_str()
+                                  : text.status().ToString().c_str());
+  } else if (line == ".stats") {
+    const auto& bp = db->buffer_pool().stats();
+    auto stats = db->catalog().ComputeStats();
+    std::printf(
+        "classes: %d base + %d sub; eva pairs: %d; dvas: %d; depth: %d\n"
+        "buffer pool: %llu fetches, %llu misses, %llu evictions\n",
+        stats.base_classes, stats.subclasses, stats.eva_inverse_pairs,
+        stats.dvas, stats.max_depth,
+        static_cast<unsigned long long>(bp.logical_fetches),
+        static_cast<unsigned long long>(bp.misses),
+        static_cast<unsigned long long>(bp.evictions));
+  } else if (line == ".dump") {
+    auto dump = sim::DumpDatabase(db);
+    std::printf("%s", dump.ok() ? dump->c_str()
+                                : (dump.status().ToString() + "\n").c_str());
+  } else {
+    std::printf("unknown command %s (try .help)\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto db_result = sim::Database::Open();
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "%s\n", db_result.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(*db_result);
+  bool tty = isatty(0);
+  if (tty) {
+    std::printf("simdb shell — SIM (SIGMOD '88) reproduction. .help for help.\n");
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (tty) std::printf(buffer.empty() ? "sim> " : "...> ");
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed = line;
+    size_t b = trimmed.find_first_not_of(" \t\r");
+    trimmed = b == std::string::npos ? "" : trimmed.substr(b);
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.') {
+      size_t e = trimmed.find_last_not_of(" \t\r");
+      trimmed = trimmed.substr(0, e + 1);
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      RunCommand(db.get(), trimmed);
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Statement complete when it ends with '.' or ';' outside a string.
+    bool in_string = false;
+    char last_sig = 0;
+    for (char c : buffer) {
+      if (c == '"') in_string = !in_string;
+      if (!in_string && !isspace(static_cast<unsigned char>(c))) last_sig = c;
+    }
+    if (!in_string && (last_sig == '.' || last_sig == ';')) {
+      RunStatement(db.get(), buffer);
+      buffer.clear();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "api/database.h"
+
+#include "parser/ddl_parser.h"
+#include "parser/dml_parser.h"
+
+namespace sim {
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  auto db = std::unique_ptr<Database>(new Database(options));
+  if (options.file_path.empty()) {
+    db->pager_ = std::make_unique<MemPager>();
+  } else {
+    SIM_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
+                         FilePager::Open(options.file_path));
+    db->pager_ = std::move(pager);
+  }
+  db->pool_ = std::make_unique<BufferPool>(db->pager_.get(),
+                                           options.buffer_pool_frames);
+  return db;
+}
+
+Status Database::ExecuteDdl(std::string_view ddl_text) {
+  if (mapper_ != nullptr) {
+    return Status::NotSupported(
+        "schema changes after data operations are not supported; define the "
+        "full schema first");
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<DdlStatement> statements,
+                       DdlParser::Parse(ddl_text, &dir_));
+  for (DdlStatement& s : statements) {
+    if (s.type_decl != nullptr) {
+      SIM_RETURN_IF_ERROR(
+          dir_.DefineType(s.type_decl->name, std::move(s.type_decl->type)));
+    } else if (s.class_decl != nullptr) {
+      SIM_RETURN_IF_ERROR(dir_.AddClass(std::move(*s.class_decl)));
+    } else if (s.verify_decl != nullptr) {
+      SIM_RETURN_IF_ERROR(dir_.AddVerify(std::move(*s.verify_decl)));
+    } else if (s.view_decl != nullptr) {
+      SIM_RETURN_IF_ERROR(dir_.AddView(std::move(*s.view_decl)));
+    }
+  }
+  return dir_.Finalize();
+}
+
+Status Database::EnsureMapper() {
+  if (mapper_ != nullptr) return Status::Ok();
+  if (!dir_.finalized()) {
+    SIM_RETURN_IF_ERROR(dir_.Finalize());
+  }
+  SIM_ASSIGN_OR_RETURN(PhysicalSchema phys,
+                       PhysicalSchema::Build(dir_, options_.mapping));
+  phys_ = std::make_unique<PhysicalSchema>(std::move(phys));
+  SIM_ASSIGN_OR_RETURN(mapper_,
+                       LucMapper::Create(&dir_, phys_.get(), pool_.get()));
+  integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
+  SIM_RETURN_IF_ERROR(integrity_->Prepare());
+  return Status::Ok();
+}
+
+Result<LucMapper*> Database::mapper() {
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  return mapper_.get();
+}
+
+Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  if (stmt->kind != StmtKind::kRetrieve) {
+    return Status::InvalidArgument(
+        "ExecuteQuery expects a Retrieve statement; use ExecuteUpdate");
+  }
+  const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
+  Binder binder(&dir_);
+  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
+  Executor exec(mapper_.get());
+  Result<ResultSet> rs = Status::Internal("query not dispatched");
+  if (options_.use_optimizer) {
+    Optimizer optimizer(mapper_.get());
+    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer.Optimize(qt));
+    rs = exec.Run(qt, &last_plan_);
+  } else {
+    last_plan_ = AccessPlan();
+    rs = exec.Run(qt, nullptr);
+  }
+  last_exec_stats_ = exec.last_stats();
+  return rs;
+}
+
+Result<std::string> Database::Explain(std::string_view dml) {
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  if (stmt->kind != StmtKind::kRetrieve) {
+    return Status::InvalidArgument("Explain expects a Retrieve statement");
+  }
+  const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
+  Binder binder(&dir_);
+  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
+  Optimizer optimizer(mapper_.get());
+  SIM_ASSIGN_OR_RETURN(AccessPlan plan, optimizer.Optimize(qt));
+  return qt.DebugString() + plan.Describe();
+}
+
+Result<int> Database::ExecuteUpdate(std::string_view dml) {
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+
+  bool implicit_txn = current_txn_ == nullptr;
+  Transaction* txn =
+      implicit_txn ? txn_manager_.Begin() : current_txn_;
+  size_t savepoint = txn->undo_depth();
+
+  UpdateExecutor update(mapper_.get(), integrity_.get());
+  Result<UpdateExecutor::UpdateResult> result = Status::Internal("statement not dispatched");
+  switch (stmt->kind) {
+    case StmtKind::kInsert:
+      result = update.ExecuteInsert(static_cast<const InsertStmt&>(*stmt),
+                                    txn);
+      break;
+    case StmtKind::kModify:
+      result = update.ExecuteModify(static_cast<const ModifyStmt&>(*stmt),
+                                    txn);
+      break;
+    case StmtKind::kDelete:
+      result = update.ExecuteDelete(static_cast<const DeleteStmt&>(*stmt),
+                                    txn);
+      break;
+    case StmtKind::kRetrieve:
+      if (implicit_txn) SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
+      return Status::InvalidArgument(
+          "ExecuteUpdate expects Insert/Modify/Delete; use ExecuteQuery");
+  }
+  if (!result.ok()) {
+    // Statement-level rollback; the enclosing user transaction survives.
+    if (implicit_txn) {
+      SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
+    } else {
+      SIM_RETURN_IF_ERROR(txn->RollbackTo(savepoint));
+    }
+    return result.status();
+  }
+  if (implicit_txn) {
+    SIM_RETURN_IF_ERROR(txn_manager_.Commit(txn));
+  }
+  return result->entities_affected;
+}
+
+Status Database::ExecuteScript(std::string_view dml_script) {
+  SIM_ASSIGN_OR_RETURN(std::vector<StmtPtr> statements,
+                       DmlParser::ParseScript(dml_script));
+  for (const StmtPtr& stmt : statements) {
+    if (stmt->kind == StmtKind::kRetrieve) {
+      return Status::InvalidArgument(
+          "ExecuteScript accepts update statements only");
+    }
+  }
+  // Re-execute through the single-statement path to get per-statement
+  // atomicity; statements were already validated to parse.
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  for (const StmtPtr& stmt : statements) {
+    bool implicit_txn = current_txn_ == nullptr;
+    Transaction* txn = implicit_txn ? txn_manager_.Begin() : current_txn_;
+    size_t savepoint = txn->undo_depth();
+    UpdateExecutor update(mapper_.get(), integrity_.get());
+    Result<UpdateExecutor::UpdateResult> result = Status::Internal("statement not dispatched");
+    switch (stmt->kind) {
+      case StmtKind::kInsert:
+        result = update.ExecuteInsert(static_cast<const InsertStmt&>(*stmt),
+                                      txn);
+        break;
+      case StmtKind::kModify:
+        result = update.ExecuteModify(static_cast<const ModifyStmt&>(*stmt),
+                                      txn);
+        break;
+      case StmtKind::kDelete:
+        result = update.ExecuteDelete(static_cast<const DeleteStmt&>(*stmt),
+                                      txn);
+        break;
+      default:
+        break;
+    }
+    if (!result.ok()) {
+      if (implicit_txn) {
+        SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
+      } else {
+        SIM_RETURN_IF_ERROR(txn->RollbackTo(savepoint));
+      }
+      return result.status();
+    }
+    if (implicit_txn) SIM_RETURN_IF_ERROR(txn_manager_.Commit(txn));
+  }
+  return Status::Ok();
+}
+
+Status Database::Begin() {
+  if (current_txn_ != nullptr) {
+    return Status::InvalidArgument("a transaction is already active");
+  }
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  current_txn_ = txn_manager_.Begin();
+  return Status::Ok();
+}
+
+Status Database::Commit() {
+  if (current_txn_ == nullptr) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  Status s = txn_manager_.Commit(current_txn_);
+  current_txn_ = nullptr;
+  return s;
+}
+
+Status Database::Rollback() {
+  if (current_txn_ == nullptr) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  Status s = txn_manager_.Abort(current_txn_);
+  current_txn_ = nullptr;
+  return s;
+}
+
+}  // namespace sim

@@ -1,0 +1,123 @@
+#ifndef SIMDB_API_DATABASE_H_
+#define SIMDB_API_DATABASE_H_
+
+// Public entry point of simdb — a reproduction of SIM, the Semantic
+// Information Manager (SIGMOD 1988). A Database owns the whole Figure-1
+// stack: Directory Manager (catalog), Parser, Binder, Optimizer, Query
+// Driver (executor) and the LUC Mapper over the storage engine.
+//
+// Typical use:
+//
+//   sim::DatabaseOptions options;
+//   SIM_ASSIGN_OR_RETURN(auto db, sim::Database::Open(options));
+//   SIM_RETURN_IF_ERROR(db->ExecuteDdl("Class Person (name: string[30]);"));
+//   SIM_RETURN_IF_ERROR(db->ExecuteUpdate(
+//       "Insert Person (name := \"Ada\")").status());
+//   SIM_ASSIGN_OR_RETURN(auto rs,
+//       db->ExecuteQuery("From Person Retrieve name"));
+//
+// DDL must be complete before the first data operation (the physical
+// mapping is frozen when the mapper is built); schema evolution requires a
+// new database.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "catalog/directory.h"
+#include "catalog/luc_translation.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "exec/integrity.h"
+#include "exec/output.h"
+#include "exec/update_exec.h"
+#include "luc/mapper.h"
+#include "optimizer/optimizer.h"
+#include "semantics/binder.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/txn.h"
+
+namespace sim {
+
+struct DatabaseOptions {
+  // Physical mapping rules (§5.2); defaults follow the paper.
+  MappingPolicy mapping;
+  // Buffer pool size in 4 KiB frames.
+  size_t buffer_pool_frames = 512;
+  // Cost-based optimization of Retrieve queries; when false, queries run
+  // with extent scans in perspective order.
+  bool use_optimizer = true;
+  // Path of a backing database file; empty runs fully in memory.
+  std::string file_path;
+};
+
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options = DatabaseOptions());
+
+  // --- schema definition ---
+
+  // Parses and installs a batch of DDL (types, classes, verifies), then
+  // finalizes the catalog. Must precede the first data operation.
+  Status ExecuteDdl(std::string_view ddl_text);
+
+  // --- data manipulation ---
+
+  // Runs one Retrieve statement.
+  Result<ResultSet> ExecuteQuery(std::string_view dml);
+
+  // Runs one Insert / Modify / Delete; returns the number of entities
+  // affected. Statement-atomic: any constraint or VERIFY violation rolls
+  // the statement back.
+  Result<int> ExecuteUpdate(std::string_view dml);
+
+  // Runs a sequence of update statements, each statement-atomic.
+  Status ExecuteScript(std::string_view dml_script);
+
+  // The chosen access plan for a Retrieve, as text.
+  Result<std::string> Explain(std::string_view dml);
+
+  // --- explicit transactions ---
+
+  // Groups several statements into one atomic unit. Without an explicit
+  // transaction each update statement is its own transaction.
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return current_txn_ != nullptr; }
+
+  // --- component access (examples, tests, benches) ---
+
+  DirectoryManager& catalog() { return dir_; }
+  const DirectoryManager& catalog() const { return dir_; }
+  Result<LucMapper*> mapper();  // builds the physical layer on first use
+  BufferPool& buffer_pool() { return *pool_; }
+  Pager& pager() { return *pager_; }
+  const DatabaseOptions& options() const { return options_; }
+  Executor::ExecStats last_exec_stats() const { return last_exec_stats_; }
+  const AccessPlan& last_plan() const { return last_plan_; }
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  // Builds physical schema + mapper + integrity checker if not yet built.
+  Status EnsureMapper();
+
+  DatabaseOptions options_;
+  DirectoryManager dir_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<PhysicalSchema> phys_;
+  std::unique_ptr<LucMapper> mapper_;
+  std::unique_ptr<IntegrityChecker> integrity_;
+  TransactionManager txn_manager_;
+  Transaction* current_txn_ = nullptr;
+  Executor::ExecStats last_exec_stats_;
+  AccessPlan last_plan_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_API_DATABASE_H_

@@ -1,0 +1,243 @@
+#include "api/dump.h"
+
+#include <map>
+#include <sstream>
+
+#include "catalog/ddl_render.h"
+#include "common/strings.h"
+#include "parser/dml_parser.h"
+#include "parser/lexer.h"
+
+namespace sim {
+
+namespace {
+
+constexpr const char* kHeader = "SIMDB LOGICAL DUMP v1";
+
+// Parses a rendered literal back into a Value (type coercion against the
+// attribute happens in the mapper).
+Result<Value> ParseLiteral(const std::string& text) {
+  SIM_ASSIGN_OR_RETURN(ExprPtr expr, DmlParser::ParseExpressionText(text));
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(*expr).value;
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(*expr);
+      if (un.op == UnaryOp::kNeg &&
+          un.operand->kind == ExprKind::kLiteral) {
+        const Value& v = static_cast<const LiteralExpr&>(*un.operand).value;
+        if (v.type() == ValueType::kInt) return Value::Int(-v.int_value());
+        if (v.type() == ValueType::kReal) return Value::Real(-v.real_value());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::InvalidArgument("not a literal: " + text);
+}
+
+}  // namespace
+
+Result<std::string> DumpDatabase(Database* db) {
+  SIM_ASSIGN_OR_RETURN(LucMapper * mapper, db->mapper());
+  const DirectoryManager& dir = db->catalog();
+  const PhysicalSchema& phys = mapper->phys();
+
+  std::string out = kHeader;
+  out += "\n--- SCHEMA\n";
+  out += RenderSchemaDdl(dir);
+  out += "--- DATA\n";
+
+  for (const std::string& base : dir.class_names()) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* base_cls, dir.FindClass(base));
+    if (!base_cls->is_base()) continue;
+    SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> extent,
+                         mapper->ExtentOf(base));
+    std::sort(extent.begin(), extent.end());
+    for (SurrogateId s : extent) {
+      SIM_ASSIGN_OR_RETURN(std::set<uint16_t> roles, mapper->RolesOf(s, base));
+      std::vector<std::string> role_names;
+      for (uint16_t code : roles) {
+        SIM_ASSIGN_OR_RETURN(std::string name, phys.ClassForCode(code));
+        role_names.push_back(name);
+      }
+      out += "E " + std::to_string(s) + " " + Join(role_names, ",") + "\n";
+      for (const std::string& role : role_names) {
+        SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir.FindClass(role));
+        for (const AttributeDef& a : cls->attributes) {
+          if (a.is_subrole || a.is_derived) continue;
+          if (a.is_dva()) {
+            if (!a.mv) {
+              SIM_ASSIGN_OR_RETURN(Value v, mapper->GetField(s, role, a.name));
+              if (!v.is_null()) {
+                out += "F " + role + " " + a.name + " " +
+                       RenderValueLiteral(v) + "\n";
+              }
+            } else {
+              SIM_ASSIGN_OR_RETURN(std::vector<Value> values,
+                                   mapper->GetMvValues(s, role, a.name));
+              for (const Value& v : values) {
+                out += "V " + role + " " + a.name + " " +
+                       RenderValueLiteral(v) + "\n";
+              }
+            }
+            continue;
+          }
+          // EVA: emit each pair once, from the canonical (A) side;
+          // symmetric EVAs dedupe by surrogate order.
+          bool is_side_a = true;
+          Result<int> eva = phys.EvaOf(role, a.name, &is_side_a);
+          if (!eva.ok()) continue;
+          const EvaPhys& def = phys.evas()[*eva];
+          if (!def.symmetric && !is_side_a) continue;
+          SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
+                               mapper->GetEvaTargets(role, a.name, s));
+          for (SurrogateId t : targets) {
+            if (def.symmetric && t < s) continue;
+            out += "R " + role + " " + a.name + " " + std::to_string(t) +
+                   "\n";
+          }
+        }
+      }
+    }
+  }
+  out += "--- END\n";
+  return out;
+}
+
+Status RestoreDatabase(Database* db, std::string_view dump) {
+  if (!db->catalog().class_names().empty()) {
+    return Status::InvalidArgument(
+        "restore requires a database with an empty catalog");
+  }
+  std::istringstream in{std::string(dump)};
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("not a simdb logical dump");
+  }
+  if (!std::getline(in, line) || line != "--- SCHEMA") {
+    return Status::InvalidArgument("malformed dump: missing schema section");
+  }
+  std::string ddl;
+  while (std::getline(in, line) && line != "--- DATA") {
+    ddl += line;
+    ddl += "\n";
+  }
+  SIM_RETURN_IF_ERROR(db->ExecuteDdl(ddl));
+  SIM_ASSIGN_OR_RETURN(LucMapper * mapper, db->mapper());
+  const DirectoryManager& dir = db->catalog();
+
+  struct PendingRel {
+    SurrogateId owner;
+    std::string cls, attr;
+    SurrogateId target;
+  };
+  std::map<SurrogateId, SurrogateId> remap;
+  std::vector<PendingRel> rels;
+  SurrogateId current = kInvalidSurrogate;
+
+  auto split3 = [](const std::string& rest, std::string* a, std::string* b,
+                   std::string* c) {
+    size_t p1 = rest.find(' ');
+    size_t p2 = rest.find(' ', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos) return false;
+    *a = rest.substr(0, p1);
+    *b = rest.substr(p1 + 1, p2 - p1 - 1);
+    *c = rest.substr(p2 + 1);
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    if (line == "--- END") break;
+    if (line.empty()) continue;
+    char tag = line[0];
+    std::string rest = line.size() > 2 ? line.substr(2) : "";
+    switch (tag) {
+      case 'E': {
+        size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          return Status::InvalidArgument("malformed entity line: " + line);
+        }
+        SurrogateId old_id = std::stoull(rest.substr(0, sp));
+        std::string roles_text = rest.substr(sp + 1);
+        std::vector<std::string> roles;
+        size_t pos = 0;
+        while (pos <= roles_text.size()) {
+          size_t comma = roles_text.find(',', pos);
+          if (comma == std::string::npos) comma = roles_text.size();
+          roles.push_back(roles_text.substr(pos, comma - pos));
+          pos = comma + 1;
+        }
+        // Create with one maximal role, extend with the others.
+        std::vector<std::string> leaves;
+        for (const std::string& r : roles) {
+          bool has_descendant = false;
+          for (const std::string& other : roles) {
+            if (NameEq(r, other)) continue;
+            Result<bool> sub = dir.IsSubclassOrSame(other, r);
+            if (sub.ok() && *sub) has_descendant = true;
+          }
+          if (!has_descendant) leaves.push_back(r);
+        }
+        if (leaves.empty()) {
+          return Status::InvalidArgument("entity with no roles: " + line);
+        }
+        SIM_ASSIGN_OR_RETURN(SurrogateId fresh,
+                             mapper->CreateEntity(leaves[0], nullptr));
+        for (size_t i = 1; i < leaves.size(); ++i) {
+          SIM_RETURN_IF_ERROR(mapper->AddRole(fresh, leaves[i], nullptr));
+        }
+        remap[old_id] = fresh;
+        current = fresh;
+        break;
+      }
+      case 'F':
+      case 'V': {
+        if (current == kInvalidSurrogate) {
+          return Status::InvalidArgument("value line before entity: " + line);
+        }
+        std::string cls, attr, literal;
+        if (!split3(rest, &cls, &attr, &literal)) {
+          return Status::InvalidArgument("malformed value line: " + line);
+        }
+        SIM_ASSIGN_OR_RETURN(Value v, ParseLiteral(literal));
+        if (tag == 'F') {
+          SIM_RETURN_IF_ERROR(mapper->SetField(current, cls, attr, v, nullptr));
+        } else {
+          SIM_RETURN_IF_ERROR(
+              mapper->AddMvValue(current, cls, attr, v, nullptr));
+        }
+        break;
+      }
+      case 'R': {
+        if (current == kInvalidSurrogate) {
+          return Status::InvalidArgument("relationship before entity: " + line);
+        }
+        std::string cls, attr, target;
+        if (!split3(rest, &cls, &attr, &target)) {
+          return Status::InvalidArgument("malformed relationship: " + line);
+        }
+        rels.push_back(
+            {current, cls, attr, static_cast<SurrogateId>(
+                                      std::stoull(target))});
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown dump line: " + line);
+    }
+  }
+  for (const PendingRel& r : rels) {
+    auto it = remap.find(r.target);
+    if (it == remap.end()) {
+      return Status::InvalidArgument("relationship target " +
+                                     std::to_string(r.target) +
+                                     " not in dump");
+    }
+    SIM_RETURN_IF_ERROR(
+        mapper->AddEvaPair(r.cls, r.attr, r.owner, it->second, nullptr));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sim

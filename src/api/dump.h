@@ -1,0 +1,36 @@
+#ifndef SIMDB_API_DUMP_H_
+#define SIMDB_API_DUMP_H_
+
+// Logical dump and restore: a text serialization of a whole database —
+// rendered schema DDL plus an entity/value/relationship listing — that
+// restores into an empty database with identical logical content
+// (surrogates are remapped). This is the backup/migration path; the
+// format is line oriented:
+//
+//   SIMDB LOGICAL DUMP v1
+//   --- SCHEMA
+//   <DDL text>
+//   --- DATA
+//   E <surrogate> <role-class>[,<role-class>...]
+//   F <class> <attr> <literal>          single-valued DVA of that entity
+//   V <class> <attr> <literal>          one MV-DVA value
+//   R <class> <attr> <target-surrogate> one EVA instance (canonical side)
+//   --- END
+
+#include <string>
+#include <string_view>
+
+#include "api/database.h"
+#include "common/status.h"
+
+namespace sim {
+
+// Serializes schema + data. The database is read-only during the dump.
+Result<std::string> DumpDatabase(Database* db);
+
+// Restores a dump into `db`, which must have an empty catalog.
+Status RestoreDatabase(Database* db, std::string_view dump);
+
+}  // namespace sim
+
+#endif  // SIMDB_API_DUMP_H_

@@ -1,0 +1,122 @@
+#include "catalog/ddl_render.h"
+
+#include "common/strings.h"
+
+namespace sim {
+
+namespace {
+
+std::string RenderAttribute(const AttributeDef& a) {
+  std::string out = "  " + a.name + ": ";
+  if (a.is_derived) {
+    return out + "derived = " + a.derived_text;
+  }
+  if (a.is_eva()) {
+    out += a.range_class;
+    if (!a.inverse_name.empty() &&
+        a.inverse_name.rfind("inverse$", 0) != 0) {
+      out += " inverse is " + a.inverse_name;
+    }
+  } else {
+    out += a.type.ToString();
+  }
+  if (a.unique) out += " unique";
+  if (a.required) out += " required";
+  if (a.mv) {
+    out += " mv";
+    if (a.distinct || a.max_count >= 0 || !a.order_by_attr.empty()) {
+      out += " (";
+      bool first = true;
+      if (a.max_count >= 0) {
+        out += "max " + std::to_string(a.max_count);
+        first = false;
+      }
+      if (a.distinct) {
+        if (!first) out += ", ";
+        out += "distinct";
+        first = false;
+      }
+      if (!a.order_by_attr.empty()) {
+        if (!first) out += ", ";
+        out += "ordered by " + a.order_by_attr;
+        if (a.order_desc) out += " desc";
+      }
+      out += ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderClassDdl(const DirectoryManager& dir, const ClassDef& cls) {
+  std::string out;
+  if (cls.is_base()) {
+    out = "Class " + cls.name;
+  } else {
+    out = "Subclass " + cls.name + " of " + Join(cls.superclasses, " and ");
+  }
+  if (!cls.order_by_attr.empty()) {
+    out += " ordered by " + cls.order_by_attr;
+    if (cls.order_desc) out += " desc";
+  }
+  out += " (\n";
+  bool first = true;
+  for (const AttributeDef& a : cls.attributes) {
+    if (a.system_generated) continue;  // re-synthesized at Finalize
+    if (!first) out += ";\n";
+    out += RenderAttribute(a);
+    first = false;
+  }
+  out += " );\n";
+  for (const VerifyDef& v : cls.verifies) {
+    std::string msg;
+    for (char c : v.message) {
+      msg.push_back(c);
+      if (c == '"') msg.push_back('"');
+    }
+    out += "Verify " + v.name + " on " + v.class_name + "\n  assert " +
+           v.condition_text + "\n  else \"" + msg + "\";\n";
+  }
+  (void)dir;
+  return out;
+}
+
+std::string RenderSchemaDdl(const DirectoryManager& dir) {
+  std::string out;
+  for (const std::string& name : dir.class_names()) {
+    Result<const ClassDef*> cls = dir.FindClass(name);
+    if (!cls.ok()) continue;
+    out += RenderClassDdl(dir, **cls);
+    out += "\n";
+  }
+  for (const std::string& name : dir.view_names()) {
+    Result<const ViewDef*> view = dir.FindView(name);
+    if (!view.ok()) continue;
+    out += "View " + (*view)->name + " of " + (*view)->class_name +
+           " Where " + (*view)->condition_text + ";\n";
+  }
+  return out;
+}
+
+std::string RenderValueLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kString: {
+      std::string out = "\"";
+      for (char c : v.string_value()) {
+        out.push_back(c);
+        if (c == '"') out.push_back('"');
+      }
+      out.push_back('"');
+      return out;
+    }
+    case ValueType::kDate:
+      return "\"" + v.ToString() + "\"";  // parses back via date coercion
+    default:
+      return v.ToString();
+  }
+}
+
+}  // namespace sim

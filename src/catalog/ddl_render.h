@@ -1,0 +1,27 @@
+#ifndef SIMDB_CATALOG_DDL_RENDER_H_
+#define SIMDB_CATALOG_DDL_RENDER_H_
+
+// Renders a catalog back to SIM DDL text. The output re-parses to an
+// equivalent catalog (used by the logical dump, the shell's `.schema`
+// command, and round-trip tests). System-generated inverses are omitted —
+// Finalize() re-synthesizes them.
+
+#include <string>
+
+#include "catalog/directory.h"
+
+namespace sim {
+
+// One class declaration (without its verifies).
+std::string RenderClassDdl(const DirectoryManager& dir, const ClassDef& cls);
+
+// The whole schema: named types are not tracked back from attributes (they
+// were inlined at parse time), so attribute types render structurally.
+std::string RenderSchemaDdl(const DirectoryManager& dir);
+
+// A SIM literal for `v` (strings quoted with "" escaping, dates ISO).
+std::string RenderValueLiteral(const Value& v);
+
+}  // namespace sim
+
+#endif  // SIMDB_CATALOG_DDL_RENDER_H_

@@ -1,0 +1,571 @@
+#include "catalog/directory.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace sim {
+
+Status DirectoryManager::DefineType(const std::string& name, DataType type) {
+  std::string key = AsciiLower(name);
+  if (types_.count(key)) {
+    return Status::AlreadyExists("type '" + name + "' already defined");
+  }
+  if (type.kind == DataTypeKind::kSubrole) {
+    return Status::InvalidArgument(
+        "subrole types cannot be declared as named types");
+  }
+  types_[key] = std::move(type);
+  return Status::Ok();
+}
+
+Result<const DataType*> DirectoryManager::FindType(
+    const std::string& name) const {
+  auto it = types_.find(AsciiLower(name));
+  if (it == types_.end()) {
+    return Status::NotFound("no type named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status DirectoryManager::ValidateClassDef(const ClassDef& def) const {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("class name may not be empty");
+  }
+  if (classes_.count(AsciiLower(def.name)) ||
+      views_.count(AsciiLower(def.name))) {
+    return Status::AlreadyExists("class '" + def.name + "' already defined");
+  }
+  // Superclasses must already exist (declaration order requirement), must
+  // be distinct, and their families must share a single base class (§3.1:
+  // "the set of ancestors of any node contain at most one base class").
+  std::set<std::string> seen;
+  std::string base;
+  for (const auto& super : def.superclasses) {
+    std::string key = AsciiLower(super);
+    if (!seen.insert(key).second) {
+      return Status::InvalidArgument("duplicate superclass '" + super +
+                                     "' on class '" + def.name + "'");
+    }
+    auto it = classes_.find(key);
+    if (it == classes_.end()) {
+      return Status::NotFound("superclass '" + super + "' of '" + def.name +
+                              "' is not defined (declare superclasses first)");
+    }
+    SIM_ASSIGN_OR_RETURN(std::string super_base, BaseOf(super));
+    if (base.empty()) {
+      base = super_base;
+    } else if (!NameEq(base, super_base)) {
+      return Status::InvalidArgument(
+          "class '" + def.name + "' would inherit from two base classes ('" +
+          base + "' and '" + super_base + "')");
+    }
+  }
+  // Immediate attribute names must be unique within the class and must not
+  // collide with inherited attribute names.
+  for (size_t i = 0; i < def.attributes.size(); ++i) {
+    const AttributeDef& a = def.attributes[i];
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name may not be empty in '" +
+                                     def.name + "'");
+    }
+    for (size_t j = i + 1; j < def.attributes.size(); ++j) {
+      if (NameEq(a.name, def.attributes[j].name)) {
+        return Status::AlreadyExists("duplicate attribute '" + a.name +
+                                     "' in class '" + def.name + "'");
+      }
+    }
+    for (const auto& super : def.superclasses) {
+      Result<ResolvedAttr> inherited = ResolveAttribute(super, a.name);
+      if (inherited.ok()) {
+        return Status::AlreadyExists(
+            "attribute '" + a.name + "' of class '" + def.name +
+            "' collides with inherited attribute from '" +
+            inherited->owner->name + "'");
+      }
+    }
+    if (a.distinct && !a.mv) {
+      return Status::InvalidArgument("DISTINCT requires MV on attribute '" +
+                                     a.name + "'");
+    }
+    if (a.max_count >= 0 && !a.mv) {
+      return Status::InvalidArgument("MAX requires MV on attribute '" +
+                                     a.name + "'");
+    }
+    if (a.is_eva()) {
+      if (a.range_class.empty()) {
+        return Status::InvalidArgument("EVA '" + a.name +
+                                       "' has no range class");
+      }
+      if (a.unique) {
+        return Status::NotSupported("UNIQUE on EVA '" + a.name +
+                                    "' is not supported");
+      }
+    } else if (a.is_subrole && a.type.kind != DataTypeKind::kSubrole) {
+      return Status::Internal("subrole attribute with non-subrole type");
+    }
+  }
+  // When two superclasses supply attributes with the same name, the
+  // combination is ambiguous unless both resolve to the same definition
+  // (diamond through a shared ancestor).
+  if (def.superclasses.size() > 1) {
+    std::map<std::string, const AttributeDef*> merged;
+    for (const auto& super : def.superclasses) {
+      SIM_ASSIGN_OR_RETURN(std::vector<ResolvedAttr> attrs,
+                           AllAttributes(super));
+      for (const auto& ra : attrs) {
+        std::string key = AsciiLower(ra.attr->name);
+        auto [it, inserted] = merged.emplace(key, ra.attr);
+        if (!inserted && it->second != ra.attr) {
+          return Status::InvalidArgument(
+              "class '" + def.name + "' inherits conflicting attributes '" +
+              ra.attr->name + "' from multiple superclasses");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DirectoryManager::AddClass(ClassDef def) {
+  SIM_RETURN_IF_ERROR(ValidateClassDef(def));
+  std::string key = AsciiLower(def.name);
+  for (const auto& super : def.superclasses) {
+    subclasses_[AsciiLower(super)].push_back(def.name);
+  }
+  class_order_.push_back(def.name);
+  classes_.emplace(key, std::move(def));
+  finalized_ = false;
+  return Status::Ok();
+}
+
+Status DirectoryManager::AddVerify(VerifyDef def) {
+  auto it = classes_.find(AsciiLower(def.class_name));
+  if (it == classes_.end()) {
+    return Status::NotFound("verify '" + def.name + "' names unknown class '" +
+                            def.class_name + "'");
+  }
+  for (const auto& v : it->second.verifies) {
+    if (NameEq(v.name, def.name)) {
+      return Status::AlreadyExists("verify '" + def.name +
+                                   "' already defined on '" + def.class_name +
+                                   "'");
+    }
+  }
+  it->second.verifies.push_back(std::move(def));
+  return Status::Ok();
+}
+
+Status DirectoryManager::AddView(ViewDef def) {
+  std::string key = AsciiLower(def.name);
+  if (classes_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("name '" + def.name +
+                                 "' already names a class or view");
+  }
+  if (!classes_.count(AsciiLower(def.class_name))) {
+    return Status::NotFound("view '" + def.name + "' over unknown class '" +
+                            def.class_name + "'");
+  }
+  view_order_.push_back(def.name);
+  views_.emplace(key, std::move(def));
+  return Status::Ok();
+}
+
+Result<const ViewDef*> DirectoryManager::FindView(
+    const std::string& name) const {
+  auto it = views_.find(AsciiLower(name));
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool DirectoryManager::HasView(const std::string& name) const {
+  return views_.count(AsciiLower(name)) > 0;
+}
+
+Result<const ClassDef*> DirectoryManager::FindClass(
+    const std::string& name) const {
+  auto it = classes_.find(AsciiLower(name));
+  if (it == classes_.end()) {
+    return Status::NotFound("no class named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool DirectoryManager::HasClass(const std::string& name) const {
+  return classes_.count(AsciiLower(name)) > 0;
+}
+
+Result<std::vector<std::string>> DirectoryManager::AncestorsOf(
+    const std::string& name) const {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(name));
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  // Breadth-first so nearest ancestors come first.
+  std::vector<const ClassDef*> frontier = {cls};
+  while (!frontier.empty()) {
+    std::vector<const ClassDef*> next;
+    for (const ClassDef* c : frontier) {
+      for (const auto& super : c->superclasses) {
+        std::string key = AsciiLower(super);
+        if (!seen.insert(key).second) continue;
+        auto it = classes_.find(key);
+        if (it == classes_.end()) {
+          return Status::Internal("dangling superclass '" + super + "'");
+        }
+        out.push_back(it->second.name);
+        next.push_back(&it->second);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DirectoryManager::DescendantsOf(
+    const std::string& name) const {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(name));
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::vector<std::string> frontier = {cls->name};
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const auto& c : frontier) {
+      auto it = subclasses_.find(AsciiLower(c));
+      if (it == subclasses_.end()) continue;
+      for (const auto& sub : it->second) {
+        std::string key = AsciiLower(sub);
+        if (!seen.insert(key).second) continue;
+        out.push_back(sub);
+        next.push_back(sub);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+Result<std::string> DirectoryManager::BaseOf(const std::string& name) const {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(name));
+  const ClassDef* cur = cls;
+  while (!cur->is_base()) {
+    SIM_ASSIGN_OR_RETURN(cur, FindClass(cur->superclasses[0]));
+  }
+  return cur->name;
+}
+
+Result<bool> DirectoryManager::IsSubclassOrSame(const std::string& sub,
+                                                const std::string& super) const {
+  if (NameEq(sub, super)) {
+    SIM_RETURN_IF_ERROR(FindClass(sub).status());
+    return true;
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors, AncestorsOf(sub));
+  for (const auto& a : ancestors) {
+    if (NameEq(a, super)) return true;
+  }
+  SIM_RETURN_IF_ERROR(FindClass(super).status());
+  return false;
+}
+
+Result<std::vector<std::string>> DirectoryManager::ImmediateSubclassesOf(
+    const std::string& name) const {
+  SIM_RETURN_IF_ERROR(FindClass(name).status());
+  auto it = subclasses_.find(AsciiLower(name));
+  if (it == subclasses_.end()) return std::vector<std::string>();
+  return it->second;
+}
+
+Result<int> DirectoryManager::DepthOf(const std::string& name) const {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(name));
+  if (cls->is_base()) return 1;
+  int depth = 0;
+  for (const auto& super : cls->superclasses) {
+    SIM_ASSIGN_OR_RETURN(int d, DepthOf(super));
+    depth = std::max(depth, d);
+  }
+  return depth + 1;
+}
+
+Result<DirectoryManager::ResolvedAttr> DirectoryManager::ResolveAttribute(
+    const std::string& cls, const std::string& attr) const {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* c, FindClass(cls));
+  if (const AttributeDef* a = c->FindImmediateAttribute(attr)) {
+    return ResolvedAttr{c, a};
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors, AncestorsOf(cls));
+  ResolvedAttr found;
+  for (const auto& anc : ancestors) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* ac, FindClass(anc));
+    if (const AttributeDef* a = ac->FindImmediateAttribute(attr)) {
+      if (found.attr != nullptr && found.attr != a) {
+        return Status::BindError("attribute '" + attr +
+                                 "' is ambiguous on class '" + cls + "'");
+      }
+      found = ResolvedAttr{ac, a};
+    }
+  }
+  if (found.attr == nullptr) {
+    return Status::BindError("class '" + cls + "' has no attribute '" + attr +
+                             "'");
+  }
+  return found;
+}
+
+Result<std::vector<DirectoryManager::ResolvedAttr>>
+DirectoryManager::AllAttributes(const std::string& cls) const {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* c, FindClass(cls));
+  std::vector<ResolvedAttr> out;
+  std::set<const AttributeDef*> seen;
+  for (const auto& a : c->attributes) {
+    out.push_back(ResolvedAttr{c, &a});
+    seen.insert(&a);
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors, AncestorsOf(cls));
+  for (const auto& anc : ancestors) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* ac, FindClass(anc));
+    for (const auto& a : ac->attributes) {
+      if (seen.insert(&a).second) out.push_back(ResolvedAttr{ac, &a});
+    }
+  }
+  return out;
+}
+
+Result<DirectoryManager::ResolvedAttr> DirectoryManager::FindInverse(
+    const AttributeDef& eva) const {
+  if (!eva.is_eva()) {
+    return Status::Internal("FindInverse called on a DVA");
+  }
+  if (eva.inverse_name.empty()) {
+    return Status::Internal("EVA '" + eva.name +
+                            "' has no inverse (catalog not finalized?)");
+  }
+  return ResolveAttribute(eva.range_class, eva.inverse_name);
+}
+
+std::vector<const VerifyDef*> DirectoryManager::VerifiesFor(
+    const std::string& cls) const {
+  std::vector<const VerifyDef*> out;
+  auto add = [&](const std::string& name) {
+    auto it = classes_.find(AsciiLower(name));
+    if (it == classes_.end()) return;
+    for (const auto& v : it->second.verifies) out.push_back(&v);
+  };
+  add(cls);
+  Result<std::vector<std::string>> ancestors = AncestorsOf(cls);
+  if (ancestors.ok()) {
+    for (const auto& a : *ancestors) add(a);
+  }
+  return out;
+}
+
+std::vector<const VerifyDef*> DirectoryManager::AllVerifies() const {
+  std::vector<const VerifyDef*> out;
+  for (const auto& name : class_order_) {
+    auto it = classes_.find(AsciiLower(name));
+    for (const auto& v : it->second.verifies) out.push_back(&v);
+  }
+  return out;
+}
+
+Status DirectoryManager::CheckInversePairing() {
+  // First pass: validate declared inverses and detect missing ones.
+  for (const auto& name : class_order_) {
+    ClassDef& cls = classes_[AsciiLower(name)];
+    for (AttributeDef& a : cls.attributes) {
+      if (!a.is_eva()) continue;
+      if (!HasClass(a.range_class)) {
+        return Status::NotFound("EVA '" + cls.name + "." + a.name +
+                                "' has undefined range class '" +
+                                a.range_class + "'");
+      }
+      if (a.inverse_name.empty()) continue;
+      // Declared inverse: must exist on the range class (or an ancestor)
+      // and point back at (an ancestor or descendant of) this class.
+      Result<ResolvedAttr> inv = ResolveAttribute(a.range_class,
+                                                  a.inverse_name);
+      if (!inv.ok()) {
+        // "An inverse can also be explicitly named by the user" (§3.2)
+        // without being declared on the range class: the second pass
+        // synthesizes it under the given name.
+        continue;
+      }
+      const AttributeDef* ia = inv->attr;
+      if (!ia->is_eva()) {
+        return Status::InvalidArgument("inverse '" + a.inverse_name +
+                                       "' of '" + a.name + "' is not an EVA");
+      }
+      SIM_ASSIGN_OR_RETURN(
+          bool compatible,
+          IsSubclassOrSame(cls.name, ia->range_class));
+      if (!compatible) {
+        SIM_ASSIGN_OR_RETURN(compatible,
+                             IsSubclassOrSame(ia->range_class, cls.name));
+      }
+      if (!compatible) {
+        return Status::InvalidArgument(
+            "EVA '" + cls.name + "." + a.name + "' and its inverse '" +
+            inv->owner->name + "." + ia->name + "' disagree about classes");
+      }
+      if (!ia->inverse_name.empty() && !NameEq(ia->inverse_name, a.name)) {
+        return Status::InvalidArgument(
+            "EVA '" + cls.name + "." + a.name + "' names inverse '" +
+            a.inverse_name + "' but that attribute's inverse is '" +
+            ia->inverse_name + "'");
+      }
+    }
+  }
+  // Second pass: synthesize hidden inverses for EVAs without one, and fill
+  // in the back-pointer for declared-but-one-sided pairs.
+  for (const auto& name : class_order_) {
+    ClassDef& cls = classes_[AsciiLower(name)];
+    for (size_t i = 0; i < cls.attributes.size(); ++i) {
+      AttributeDef& a = cls.attributes[i];
+      if (!a.is_eva()) continue;
+      if (!a.inverse_name.empty()) {
+        ClassDef& range = classes_[AsciiLower(a.range_class)];
+        Result<ResolvedAttr> inv = ResolveAttribute(range.name,
+                                                    a.inverse_name);
+        if (inv.ok()) {
+          if (inv->attr->inverse_name.empty()) {
+            // Fill in the back-pointer on the declared inverse.
+            ClassDef& owner = classes_[AsciiLower(inv->owner->name)];
+            AttributeDef* mutable_inv =
+                owner.FindImmediateAttribute(a.inverse_name);
+            mutable_inv->inverse_name = a.name;
+          }
+        } else {
+          // User named an inverse that is not declared anywhere: create it
+          // on the range class as an unconstrained multi-valued EVA.
+          AttributeDef inv_def;
+          inv_def.name = a.inverse_name;
+          inv_def.kind = AttrKind::kEva;
+          inv_def.range_class = cls.name;
+          inv_def.inverse_name = a.name;
+          inv_def.mv = true;
+          range.attributes.push_back(std::move(inv_def));
+        }
+        continue;
+      }
+      // Synthesize a hidden, unconstrained (multi-valued) inverse on the
+      // range class. Name it after both sides to avoid collisions.
+      std::string inv_name = "inverse$" + AsciiLower(cls.name) + "$" +
+                             AsciiLower(a.name);
+      ClassDef& range = classes_[AsciiLower(a.range_class)];
+      if (range.FindImmediateAttribute(inv_name) == nullptr) {
+        AttributeDef inv;
+        inv.name = inv_name;
+        inv.kind = AttrKind::kEva;
+        inv.range_class = cls.name;
+        inv.inverse_name = a.name;
+        inv.mv = true;
+        inv.system_generated = true;
+        // push_back may reallocate cls.attributes when range == cls, so
+        // re-fetch the attribute by index afterwards.
+        range.attributes.push_back(std::move(inv));
+      }
+      cls.attributes[i].inverse_name = inv_name;
+    }
+  }
+  return Status::Ok();
+}
+
+Status DirectoryManager::CheckSubroles() {
+  for (const auto& name : class_order_) {
+    ClassDef& cls = classes_[AsciiLower(name)];
+    for (AttributeDef& a : cls.attributes) {
+      if (!a.is_dva() || a.type.kind != DataTypeKind::kSubrole) continue;
+      a.is_subrole = true;
+      SIM_ASSIGN_OR_RETURN(std::vector<std::string> subs,
+                           ImmediateSubclassesOf(cls.name));
+      for (const auto& sym : a.type.symbols) {
+        bool found = false;
+        for (const auto& sub : subs) {
+          if (NameEq(sub, sym)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "subrole attribute '" + cls.name + "." + a.name + "' lists '" +
+              sym + "', which is not an immediate subclass of '" + cls.name +
+              "'");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DirectoryManager::CheckOrderings() {
+  for (const auto& name : class_order_) {
+    const ClassDef& cls = classes_.at(AsciiLower(name));
+    if (!cls.order_by_attr.empty()) {
+      SIM_ASSIGN_OR_RETURN(ResolvedAttr ra,
+                           ResolveAttribute(cls.name, cls.order_by_attr));
+      if (!ra.attr->is_dva() || ra.attr->mv) {
+        return Status::InvalidArgument(
+            "class '" + cls.name + "' ordered by '" + cls.order_by_attr +
+            "', which is not a single-valued DVA");
+      }
+    }
+    for (const AttributeDef& a : cls.attributes) {
+      if (a.order_by_attr.empty()) continue;
+      if (!a.is_eva()) {
+        return Status::InvalidArgument("ORDERED BY applies to EVAs only ('" +
+                                       cls.name + "." + a.name + "')");
+      }
+      SIM_ASSIGN_OR_RETURN(ResolvedAttr ra,
+                           ResolveAttribute(a.range_class, a.order_by_attr));
+      if (!ra.attr->is_dva() || ra.attr->mv) {
+        return Status::InvalidArgument(
+            "EVA '" + cls.name + "." + a.name + "' ordered by '" +
+            a.order_by_attr + "', which is not a single-valued DVA of '" +
+            a.range_class + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DirectoryManager::Finalize() {
+  SIM_RETURN_IF_ERROR(CheckInversePairing());
+  SIM_RETURN_IF_ERROR(CheckSubroles());
+  SIM_RETURN_IF_ERROR(CheckOrderings());
+  finalized_ = true;
+  return Status::Ok();
+}
+
+DirectoryManager::SchemaStats DirectoryManager::ComputeStats() const {
+  SchemaStats stats;
+  std::set<std::string> counted_pairs;
+  for (const auto& name : class_order_) {
+    const ClassDef& cls = classes_.at(AsciiLower(name));
+    if (cls.is_base()) {
+      ++stats.base_classes;
+    } else {
+      ++stats.subclasses;
+    }
+    Result<int> depth = DepthOf(cls.name);
+    if (depth.ok()) stats.max_depth = std::max(stats.max_depth, *depth);
+    for (const auto& a : cls.attributes) {
+      if (a.is_dva()) {
+        ++stats.dvas;
+      } else if (!a.system_generated) {
+        // Count each EVA/inverse pair once.
+        std::string self = AsciiLower(cls.name) + "." + AsciiLower(a.name);
+        std::string other =
+            AsciiLower(a.range_class) + "." + AsciiLower(a.inverse_name);
+        std::string pair_key = self < other ? self + "|" + other
+                                            : other + "|" + self;
+        if (counted_pairs.insert(pair_key).second) ++stats.eva_inverse_pairs;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace sim

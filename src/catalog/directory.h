@@ -1,0 +1,127 @@
+#ifndef SIMDB_CATALOG_DIRECTORY_H_
+#define SIMDB_CATALOG_DIRECTORY_H_
+
+// The Directory (catalog) Manager of Figure 1. It owns every type, class
+// and assertion definition, validates the interclass graph rules of §3.1
+// (acyclic, at most one base-class ancestor), resolves inherited
+// attributes, pairs EVAs with their inverses (synthesizing hidden inverses
+// where the schema declares none) and answers the hierarchy queries the
+// binder, mapper and executor need.
+//
+// Definition order: superclasses must be declared before their subclasses
+// (as in the paper's §7 schema), but EVA range classes and subrole value
+// sets may be forward references — they are checked in Finalize(), which
+// must be called after a batch of DDL and before any data operation.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sim {
+
+class DirectoryManager {
+ public:
+  // A resolved attribute: the class that immediately declares it plus the
+  // definition itself.
+  struct ResolvedAttr {
+    const ClassDef* owner = nullptr;
+    const AttributeDef* attr = nullptr;
+  };
+
+  // §6-style schema statistics.
+  struct SchemaStats {
+    int base_classes = 0;
+    int subclasses = 0;
+    int eva_inverse_pairs = 0;  // declared pairs (not counting synthesized)
+    int dvas = 0;
+    int max_depth = 0;  // generalization levels (base class = 1)
+  };
+
+  // --- definition ---
+
+  Status DefineType(const std::string& name, DataType type);
+  Result<const DataType*> FindType(const std::string& name) const;
+
+  Status AddClass(ClassDef def);
+  Status AddVerify(VerifyDef def);
+  Status AddView(ViewDef def);
+
+  // Validates cross-references and synthesizes missing EVA inverses.
+  // Idempotent; re-run after each DDL batch.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- lookup ---
+
+  Result<const ClassDef*> FindClass(const std::string& name) const;
+  bool HasClass(const std::string& name) const;
+  // Views: nullptr-free lookup; NotFound when absent.
+  Result<const ViewDef*> FindView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  const std::vector<std::string>& view_names() const { return view_order_; }
+  // Declaration order; spelling as declared.
+  const std::vector<std::string>& class_names() const { return class_order_; }
+
+  // --- hierarchy queries (all case-insensitive) ---
+
+  // Proper ancestors, nearest first, deduplicated (diamonds collapse).
+  Result<std::vector<std::string>> AncestorsOf(const std::string& name) const;
+  // Proper descendants, nearest first, deduplicated.
+  Result<std::vector<std::string>> DescendantsOf(const std::string& name) const;
+  // The unique base class of the family `name` belongs to.
+  Result<std::string> BaseOf(const std::string& name) const;
+  // True when `sub` == `super` or `sub` is a descendant of `super`.
+  Result<bool> IsSubclassOrSame(const std::string& sub,
+                                const std::string& super) const;
+  // Immediate subclasses, declaration order.
+  Result<std::vector<std::string>> ImmediateSubclassesOf(
+      const std::string& name) const;
+  // Generalization depth of the class (base = 1).
+  Result<int> DepthOf(const std::string& name) const;
+
+  // --- attribute resolution ---
+
+  // Finds `attr` among the immediate and inherited attributes of `cls`
+  // (paper §3.2: "an inherited attribute … can be used in any context
+  // where an immediate attribute is allowed"). Ambiguity across multiple
+  // superclasses is an error.
+  Result<ResolvedAttr> ResolveAttribute(const std::string& cls,
+                                        const std::string& attr) const;
+
+  // All attributes applicable to `cls` (immediate first, then inherited,
+  // nearest ancestor first).
+  Result<std::vector<ResolvedAttr>> AllAttributes(const std::string& cls) const;
+
+  // The inverse attribute of an EVA, resolved on its range class.
+  Result<ResolvedAttr> FindInverse(const AttributeDef& eva) const;
+
+  // All VERIFY assertions whose perspective class is `cls` or an ancestor
+  // of `cls` (an entity must satisfy the assertions of every role it has).
+  std::vector<const VerifyDef*> VerifiesFor(const std::string& cls) const;
+  // Every verify in the catalog.
+  std::vector<const VerifyDef*> AllVerifies() const;
+
+  SchemaStats ComputeStats() const;
+
+ private:
+  Status ValidateClassDef(const ClassDef& def) const;
+  Status CheckInversePairing();
+  Status CheckSubroles();
+  Status CheckOrderings();
+
+  std::map<std::string, DataType> types_;        // key: lowercase name
+  std::map<std::string, ClassDef> classes_;      // key: lowercase name
+  std::map<std::string, ViewDef> views_;         // key: lowercase name
+  std::vector<std::string> view_order_;
+  std::map<std::string, std::vector<std::string>> subclasses_;  // lc -> names
+  std::vector<std::string> class_order_;
+  bool finalized_ = false;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CATALOG_DIRECTORY_H_

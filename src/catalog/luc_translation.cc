@@ -1,0 +1,289 @@
+#include "catalog/luc_translation.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sim {
+
+namespace {
+
+std::string QualKey(const std::string& cls, const std::string& attr) {
+  return AsciiLower(cls) + "." + AsciiLower(attr);
+}
+
+}  // namespace
+
+std::string EncodeRoles(const std::set<uint16_t>& roles) {
+  std::string out = "|";
+  for (uint16_t r : roles) {
+    out += std::to_string(r);
+    out += "|";
+  }
+  return out;
+}
+
+std::set<uint16_t> DecodeRoles(const std::string& encoded) {
+  std::set<uint16_t> roles;
+  size_t pos = 1;
+  while (pos < encoded.size()) {
+    size_t next = encoded.find('|', pos);
+    if (next == std::string::npos) break;
+    if (next > pos) {
+      roles.insert(static_cast<uint16_t>(std::stoul(
+          encoded.substr(pos, next - pos))));
+    }
+    pos = next + 1;
+  }
+  return roles;
+}
+
+Result<PhysicalSchema> PhysicalSchema::Build(const DirectoryManager& dir,
+                                             const MappingPolicy& policy) {
+  if (!dir.finalized()) {
+    return Status::InvalidArgument(
+        "catalog must be finalized before physical mapping");
+  }
+  PhysicalSchema phys;
+  phys.policy_ = policy;
+
+  // 1. Assign global class codes in declaration order.
+  for (const auto& name : dir.class_names()) {
+    uint16_t code = static_cast<uint16_t>(phys.code_to_class_.size());
+    phys.class_codes_[AsciiLower(name)] = code;
+    phys.code_to_class_.push_back(name);
+  }
+
+  // 2. Decide the storage unit of every class. Declaration order
+  // guarantees superclasses are processed first.
+  for (const auto& name : dir.class_names()) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir.FindClass(name));
+    bool own_unit = cls->is_base() || cls->superclasses.size() > 1 ||
+                    !policy.colocate_tree_hierarchies;
+    int unit_idx;
+    if (own_unit) {
+      unit_idx = static_cast<int>(phys.units_.size());
+      UnitPhys unit;
+      unit.name = cls->name;
+      phys.units_.push_back(std::move(unit));
+    } else {
+      auto it = phys.class_to_unit_.find(AsciiLower(cls->superclasses[0]));
+      if (it == phys.class_to_unit_.end()) {
+        return Status::Internal("superclass unit missing for " + name);
+      }
+      unit_idx = it->second;
+    }
+    phys.units_[unit_idx].classes.push_back(cls->name);
+    phys.class_to_unit_[AsciiLower(name)] = unit_idx;
+  }
+
+  // 3. Enumerate EVA pairs (each once) and decide their mapping.
+  std::set<std::string> paired;
+  uint32_t next_rel_id = 1;
+  for (const auto& name : dir.class_names()) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir.FindClass(name));
+    for (const auto& a : cls->attributes) {
+      if (!a.is_eva()) continue;
+      std::string self_key = QualKey(cls->name, a.name);
+      if (paired.count(self_key)) continue;
+      SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr inv,
+                           dir.FindInverse(a));
+      std::string inv_key = QualKey(inv.owner->name, inv.attr->name);
+      paired.insert(self_key);
+      paired.insert(inv_key);
+
+      EvaPhys eva;
+      eva.rel_id = next_rel_id++;
+      eva.class_a = cls->name;
+      eva.attr_a = a.name;
+      eva.class_b = inv.owner->name;
+      eva.attr_b = inv.attr->name;
+      eva.a_mv = a.mv;
+      eva.b_mv = inv.attr->mv;
+      eva.distinct = a.distinct || inv.attr->distinct;
+      eva.symmetric = (self_key == inv_key);
+      eva.org = policy.eva_structure_org;
+
+      // §5.2 default mapping rules.
+      if (eva.one_to_one()) {
+        eva.mapping = EvaMapping::kForeignKey;
+      } else if (eva.many_to_many() && eva.distinct) {
+        eva.mapping = EvaMapping::kPrivateStructure;
+      } else {
+        eva.mapping = EvaMapping::kCommonStructure;
+      }
+      auto ov = policy.eva_overrides.find(self_key);
+      if (ov == policy.eva_overrides.end()) {
+        ov = policy.eva_overrides.find(inv_key);
+      }
+      if (ov != policy.eva_overrides.end()) {
+        eva.mapping = ov->second;
+        if (eva.mapping == EvaMapping::kForeignKey && eva.many_to_many()) {
+          return Status::InvalidArgument(
+              "foreign-key mapping requires a single-valued side on EVA '" +
+              self_key + "'");
+        }
+      }
+
+      int idx = static_cast<int>(phys.evas_.size());
+      phys.eva_lookup_[self_key] = idx;
+      phys.eva_side_a_[self_key] = true;
+      phys.eva_lookup_[inv_key] = idx;
+      if (!eva.symmetric) phys.eva_side_a_[inv_key] = false;
+      phys.evas_.push_back(std::move(eva));
+    }
+  }
+
+  // 4. Enumerate MV DVAs.
+  for (const auto& name : dir.class_names()) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir.FindClass(name));
+    for (const auto& a : cls->attributes) {
+      if (!a.is_dva() || !a.mv) continue;
+      MvDvaPhys mv;
+      mv.id = static_cast<uint32_t>(phys.mvdvas_.size() + 1);
+      mv.class_name = cls->name;
+      mv.attr_name = a.name;
+      mv.attr = &a;
+      mv.embedded = policy.embed_bounded_mvdva && a.max_count > 0;
+      phys.mvdva_lookup_[QualKey(cls->name, a.name)] =
+          static_cast<int>(phys.mvdvas_.size());
+      phys.mvdvas_.push_back(std::move(mv));
+    }
+  }
+
+  // 5. Lay out unit fields: per class (topo order within unit), its
+  // single-valued stored DVAs (subroles are computed, not stored), FK
+  // fields for foreign-key-mapped EVAs on this (single-valued) side, and
+  // embedded MV-DVA arrays.
+  for (auto& unit : phys.units_) {
+    for (const auto& cls_name : unit.classes) {
+      SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir.FindClass(cls_name));
+      for (const auto& a : cls->attributes) {
+        std::string key = QualKey(cls->name, a.name);
+        if (a.is_dva()) {
+          if (a.is_subrole || a.is_derived) continue;  // computed, not stored
+          if (!a.mv) {
+            UnitPhys::Field f;
+            f.class_name = cls->name;
+            f.attr_name = a.name;
+            f.attr = &a;
+            unit.field_index[key] = static_cast<int>(unit.fields.size());
+            unit.fields.push_back(std::move(f));
+          } else {
+            int mv_idx = phys.mvdva_lookup_.at(key);
+            if (phys.mvdvas_[mv_idx].embedded) {
+              UnitPhys::Field f;
+              f.class_name = cls->name;
+              f.attr_name = a.name;
+              f.attr = &a;
+              f.is_embedded_mv = true;
+              unit.field_index[key] = static_cast<int>(unit.fields.size());
+              unit.fields.push_back(std::move(f));
+            }
+          }
+        } else {
+          // EVA: a FK field when this side is single-valued and the pair
+          // is foreign-key mapped.
+          auto it = phys.eva_lookup_.find(key);
+          if (it == phys.eva_lookup_.end()) {
+            return Status::Internal("EVA not paired: " + key);
+          }
+          const EvaPhys& eva = phys.evas_[it->second];
+          if (eva.mapping == EvaMapping::kForeignKey && !a.mv) {
+            UnitPhys::Field f;
+            f.class_name = cls->name;
+            f.attr_name = a.name;
+            f.attr = &a;
+            f.is_fk = true;
+            unit.field_index[key] = static_cast<int>(unit.fields.size());
+            unit.fields.push_back(std::move(f));
+          }
+        }
+      }
+    }
+  }
+
+  // 6. Secondary indexes: every UNIQUE single-valued DVA, plus policy
+  // extras.
+  for (const auto& name : dir.class_names()) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir.FindClass(name));
+    for (const auto& a : cls->attributes) {
+      if (!a.is_dva() || a.mv || a.is_subrole || a.is_derived) continue;
+      std::string key = QualKey(cls->name, a.name);
+      bool want = a.unique || policy.extra_indexes.count(key) > 0;
+      if (!want) continue;
+      IndexPhys idx;
+      idx.class_name = cls->name;
+      idx.attr_name = a.name;
+      idx.unique = a.unique;
+      phys.index_lookup_[key] = static_cast<int>(phys.indexes_.size());
+      phys.indexes_.push_back(std::move(idx));
+    }
+  }
+
+  return phys;
+}
+
+Result<int> PhysicalSchema::UnitOf(const std::string& cls) const {
+  auto it = class_to_unit_.find(AsciiLower(cls));
+  if (it == class_to_unit_.end()) {
+    return Status::NotFound("no storage unit for class '" + cls + "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<int>> PhysicalSchema::UnitsOfClassClosure(
+    const std::string& cls) const {
+  // The caller passes the closure classes; here we map one class; kept for
+  // interface symmetry. The mapper computes closures via the directory.
+  SIM_ASSIGN_OR_RETURN(int unit, UnitOf(cls));
+  return std::vector<int>{unit};
+}
+
+Result<int> PhysicalSchema::EvaOf(const std::string& cls,
+                                  const std::string& attr,
+                                  bool* is_side_a) const {
+  std::string key = QualKey(cls, attr);
+  auto it = eva_lookup_.find(key);
+  if (it == eva_lookup_.end()) {
+    return Status::NotFound("no EVA mapping for '" + key + "'");
+  }
+  if (is_side_a != nullptr) {
+    auto side = eva_side_a_.find(key);
+    *is_side_a = side == eva_side_a_.end() ? true : side->second;
+  }
+  return it->second;
+}
+
+Result<int> PhysicalSchema::MvDvaOf(const std::string& cls,
+                                    const std::string& attr) const {
+  auto it = mvdva_lookup_.find(QualKey(cls, attr));
+  if (it == mvdva_lookup_.end()) {
+    return Status::NotFound("no MV DVA mapping for '" + cls + "." + attr +
+                            "'");
+  }
+  return it->second;
+}
+
+int PhysicalSchema::IndexOf(const std::string& cls,
+                            const std::string& attr) const {
+  auto it = index_lookup_.find(QualKey(cls, attr));
+  return it == index_lookup_.end() ? -1 : it->second;
+}
+
+Result<uint16_t> PhysicalSchema::ClassCode(const std::string& cls) const {
+  auto it = class_codes_.find(AsciiLower(cls));
+  if (it == class_codes_.end()) {
+    return Status::NotFound("no class code for '" + cls + "'");
+  }
+  return it->second;
+}
+
+Result<std::string> PhysicalSchema::ClassForCode(uint16_t code) const {
+  if (code >= code_to_class_.size()) {
+    return Status::NotFound("no class with code " + std::to_string(code));
+  }
+  return code_to_class_[code];
+}
+
+}  // namespace sim

@@ -1,0 +1,178 @@
+#ifndef SIMDB_CATALOG_LUC_TRANSLATION_H_
+#define SIMDB_CATALOG_LUC_TRANSLATION_H_
+
+// The standard translation of a SIM schema into a LUC schema (paper §5.1:
+// "Every SIM schema has a standard translation into a LUC schema with a
+// LUC for every class, subclass and multi-valued DVA") plus the default
+// physical mapping rules of §5.2:
+//
+//  * tree-structured generalization hierarchies -> one storage unit with
+//    variable-format records (all immediate + inherited single-valued DVAs
+//    of a class in one physical record);
+//  * a class with two or more immediate superclasses -> its own storage
+//    unit, connected to its parents by 1:1 subclass links (we key those
+//    links by the shared surrogate);
+//  * bounded multi-valued DVAs -> embedded arrays in the owner record;
+//    unbounded ones -> a separate storage unit;
+//  * 1:1 EVAs -> foreign keys;
+//  * 1:many EVAs and non-DISTINCT many:many EVAs -> the Common EVA
+//    Structure <surr1, rel-id, surr2>;
+//  * DISTINCT many:many EVAs -> a private structure of the same shape.
+//
+// A MappingPolicy can override every rule; the §5.2 experiments toggle
+// them to measure the tradeoffs the paper describes.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/directory.h"
+#include "common/status.h"
+
+namespace sim {
+
+// How surrogate keys locate records (§5.2: "direct keys (record number),
+// random keys (based on hashing) or index sequential keys").
+enum class KeyOrganization {
+  kDirect,          // in-memory surrogate -> address map (record-number)
+  kHashed,          // page-based hash index
+  kIndexSequential, // page-based B+-tree
+};
+
+enum class EvaMapping {
+  kCommonStructure,   // shared <surr1, rel-id, surr2> structure
+  kPrivateStructure,  // per-EVA structure of the same shape
+  kForeignKey,        // surrogate-valued field on the single-valued side
+};
+
+struct MappingPolicy {
+  // Variable-format co-location of tree hierarchies (§5.2 default). When
+  // false every class maps to its own storage unit connected by 1:1
+  // subclass links — the alternative E4 measures against.
+  bool colocate_tree_hierarchies = true;
+  // Embed bounded MV DVAs in the owner record (§5.2 default).
+  bool embed_bounded_mvdva = true;
+  KeyOrganization surrogate_org = KeyOrganization::kDirect;
+  KeyOrganization eva_structure_org = KeyOrganization::kIndexSequential;
+  // Per-EVA mapping override, keyed by lowercase "class.attr" of either
+  // side of the pair.
+  std::map<std::string, EvaMapping> eva_overrides;
+  // Extra (non-unique) secondary indexes, lowercase "class.attr".
+  std::set<std::string> extra_indexes;
+  // PCTFREE-style per-page headroom kept by ordinary inserts so clustered
+  // records can be placed near their owners later (0 = pack pages fully).
+  int cluster_reserve_bytes = 0;
+};
+
+// One storage unit (physical heap file). Fields are laid out uniformly:
+// record = [surrogate, roles, declared fields...]; classes sharing a unit
+// leave fields of roles they lack null.
+struct UnitPhys {
+  std::string name;                  // root class of the unit
+  std::vector<std::string> classes;  // classes stored here, topo order
+
+  struct Field {
+    std::string class_name;  // declaring class
+    std::string attr_name;
+    const AttributeDef* attr = nullptr;
+    bool is_fk = false;        // holds a surrogate for a FK-mapped EVA
+    bool is_embedded_mv = false;  // holds an encoded embedded MV-DVA array
+  };
+  // Declared fields only; the implicit surrogate and roles fields precede
+  // them in the record (indices 0 and 1).
+  std::vector<Field> fields;
+  // lowercase "class.attr" -> index into fields.
+  std::map<std::string, int> field_index;
+};
+
+// One EVA/inverse pair.
+struct EvaPhys {
+  uint32_t rel_id = 0;
+  // Side A is the canonical (first-declared) side; side B its inverse.
+  std::string class_a, attr_a;
+  std::string class_b, attr_b;
+  bool a_mv = false, b_mv = false;
+  bool distinct = false;
+  bool symmetric = false;  // self-inverse EVA such as SPOUSE
+  EvaMapping mapping = EvaMapping::kCommonStructure;
+  KeyOrganization org = KeyOrganization::kIndexSequential;
+
+  // Cardinality descriptions per the paper §3.2.1.
+  bool one_to_one() const { return !a_mv && !b_mv; }
+  bool many_to_many() const { return a_mv && b_mv; }
+};
+
+// A multi-valued DVA's storage.
+struct MvDvaPhys {
+  uint32_t id = 0;
+  std::string class_name, attr_name;
+  const AttributeDef* attr = nullptr;
+  bool embedded = false;  // array in the owner record vs separate unit
+};
+
+// A secondary index over one single-valued DVA.
+struct IndexPhys {
+  std::string class_name, attr_name;
+  bool unique = false;
+};
+
+class PhysicalSchema {
+ public:
+  // Builds the physical schema for a finalized catalog.
+  static Result<PhysicalSchema> Build(const DirectoryManager& dir,
+                                      const MappingPolicy& policy);
+
+  const MappingPolicy& policy() const { return policy_; }
+  const std::vector<UnitPhys>& units() const { return units_; }
+  const std::vector<EvaPhys>& evas() const { return evas_; }
+  const std::vector<MvDvaPhys>& mvdvas() const { return mvdvas_; }
+  const std::vector<IndexPhys>& indexes() const { return indexes_; }
+
+  // Unit holding records of `cls` (index into units()).
+  Result<int> UnitOf(const std::string& cls) const;
+  // Units an entity of `cls` has records in: its own unit plus the units
+  // of all its ancestor classes (deduplicated, own unit first).
+  Result<std::vector<int>> UnitsOfClassClosure(const std::string& cls) const;
+  // The EVA pair an attribute participates in; `is_side_a` reports which
+  // side `cls.attr` is.
+  Result<int> EvaOf(const std::string& cls, const std::string& attr,
+                    bool* is_side_a) const;
+  Result<int> MvDvaOf(const std::string& cls, const std::string& attr) const;
+  // Secondary index over cls.attr, or -1.
+  int IndexOf(const std::string& cls, const std::string& attr) const;
+
+  // Global class code used in roles sets and record type tags.
+  Result<uint16_t> ClassCode(const std::string& cls) const;
+  Result<std::string> ClassForCode(uint16_t code) const;
+
+  // Number of distinct record formats in unit `u` (one per class — the
+  // §5.2 "variable-format records based on record types").
+  int RecordFormats(int u) const {
+    return static_cast<int>(units_[u].classes.size());
+  }
+
+ private:
+  MappingPolicy policy_;
+  std::vector<UnitPhys> units_;
+  std::vector<EvaPhys> evas_;
+  std::vector<MvDvaPhys> mvdvas_;
+  std::vector<IndexPhys> indexes_;
+  std::map<std::string, int> class_to_unit_;   // lc class name
+  std::map<std::string, int> eva_lookup_;      // lc "class.attr" -> eva idx
+  std::map<std::string, bool> eva_side_a_;     // lc "class.attr" -> side
+  std::map<std::string, int> mvdva_lookup_;    // lc "class.attr"
+  std::map<std::string, int> index_lookup_;    // lc "class.attr"
+  std::map<std::string, uint16_t> class_codes_;
+  std::vector<std::string> code_to_class_;
+};
+
+// Helpers shared with the mapper: the roles field encodes the set of class
+// codes an entity currently has, as a sorted "|c1|c2|" string.
+std::string EncodeRoles(const std::set<uint16_t>& roles);
+std::set<uint16_t> DecodeRoles(const std::string& encoded);
+
+}  // namespace sim
+
+#endif  // SIMDB_CATALOG_LUC_TRANSLATION_H_

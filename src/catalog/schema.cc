@@ -1,0 +1,22 @@
+#include "catalog/schema.h"
+
+#include "common/strings.h"
+
+namespace sim {
+
+const AttributeDef* ClassDef::FindImmediateAttribute(
+    const std::string& name) const {
+  for (const auto& a : attributes) {
+    if (NameEq(a.name, name)) return &a;
+  }
+  return nullptr;
+}
+
+AttributeDef* ClassDef::FindImmediateAttribute(const std::string& name) {
+  for (auto& a : attributes) {
+    if (NameEq(a.name, name)) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace sim

@@ -1,0 +1,105 @@
+#ifndef SIMDB_CATALOG_SCHEMA_H_
+#define SIMDB_CATALOG_SCHEMA_H_
+
+// Schema definition objects (paper §3): classes, attributes and integrity
+// assertions. These are the logical catalog entries managed by the
+// Directory Manager. All name handling is case-insensitive; definitions
+// keep the declared spelling for display.
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace sim {
+
+// Data-valued attribute vs entity-valued attribute (§3.2).
+enum class AttrKind { kDva, kEva };
+
+struct AttributeDef {
+  std::string name;
+  AttrKind kind = AttrKind::kDva;
+
+  // DVA: the value type (including subrole types, which are
+  // system-maintained and read-only).
+  DataType type;
+
+  // EVA: the range class and the inverse attribute on the range class.
+  // SIM maintains an inverse for every EVA (§3.2); when the schema does
+  // not declare one, the Directory Manager synthesizes a hidden inverse at
+  // Finalize and records its name here.
+  std::string range_class;
+  std::string inverse_name;
+
+  // Attribute options (§3.2.1).
+  bool required = false;
+  bool unique = false;
+  bool mv = false;        // multi-valued
+  bool distinct = false;  // set rather than multiset (only with mv)
+  int max_count = -1;     // MAX option; -1 = unbounded
+  // System-maintained ordering of an MV EVA's targets (§6 "work under
+  // progress ... system-maintained ordering of classes and EVAs"):
+  // `mv (ordered by <attr> [desc])` sorts delivered targets by that
+  // attribute of the range class.
+  std::string order_by_attr;
+  bool order_desc = false;
+
+  // True for subrole DVAs (value set = names of immediate subclasses).
+  bool is_subrole = false;
+  // Derived attribute (§6 "work under progress ... derived attributes"):
+  // computed from `derived_text` (a DML expression over the owning class)
+  // at query time; never stored, read-only.
+  bool is_derived = false;
+  std::string derived_text;
+  // True for inverses synthesized by the system rather than declared.
+  bool system_generated = false;
+
+  bool is_eva() const { return kind == AttrKind::kEva; }
+  bool is_dva() const { return kind == AttrKind::kDva; }
+  bool single_valued() const { return !mv; }
+};
+
+// A VERIFY assertion (§3.3, §7): a DML selection expression with the class
+// as perspective that must hold for every entity; violated updates abort
+// with `message`. The condition is stored as text in the catalog and is
+// parsed/analyzed by the integrity module.
+struct VerifyDef {
+  std::string name;
+  std::string class_name;
+  std::string condition_text;
+  std::string message;
+};
+
+// A view (§6 "work under progress includes the design of a view
+// mechanism"): a named, predicate-defined subset of a class. Views are
+// usable wherever a perspective class is expected in Retrieve, Modify and
+// Delete statements; the predicate is conjoined to the query's selection.
+struct ViewDef {
+  std::string name;
+  std::string class_name;      // underlying class
+  std::string condition_text;  // DML boolean expression
+};
+
+struct ClassDef {
+  std::string name;
+  // System-maintained extent ordering (§6): `Class X ordered by <attr>`.
+  std::string order_by_attr;
+  bool order_desc = false;
+  // Empty for base classes; one or more superclass names for subclasses.
+  // The interclass graph must be acyclic and every node's ancestor set may
+  // contain at most one base class (§3.1).
+  std::vector<std::string> superclasses;
+  std::vector<AttributeDef> attributes;  // immediate attributes only
+  std::vector<VerifyDef> verifies;
+
+  bool is_base() const { return superclasses.empty(); }
+
+  // Immediate attribute lookup (case-insensitive); nullptr when absent.
+  const AttributeDef* FindImmediateAttribute(const std::string& name) const;
+  AttributeDef* FindImmediateAttribute(const std::string& name);
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CATALOG_SCHEMA_H_

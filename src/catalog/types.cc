@@ -1,0 +1,166 @@
+#include "catalog/types.h"
+
+#include <cmath>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace sim {
+
+const char* DataTypeKindName(DataTypeKind k) {
+  switch (k) {
+    case DataTypeKind::kInteger:
+      return "integer";
+    case DataTypeKind::kNumber:
+      return "number";
+    case DataTypeKind::kString:
+      return "string";
+    case DataTypeKind::kDate:
+      return "date";
+    case DataTypeKind::kBoolean:
+      return "boolean";
+    case DataTypeKind::kSymbolic:
+      return "symbolic";
+    case DataTypeKind::kSubrole:
+      return "subrole";
+  }
+  return "?";
+}
+
+Status DataType::ValidateValue(const Value& v) const {
+  if (v.is_null()) return Status::Ok();
+  switch (kind) {
+    case DataTypeKind::kInteger: {
+      if (v.type() != ValueType::kInt) {
+        return Status::TypeError(std::string("expected integer, got ") +
+                                 ValueTypeName(v.type()));
+      }
+      if (ranges.empty()) return Status::Ok();
+      for (const auto& [lo, hi] : ranges) {
+        if (v.int_value() >= lo && v.int_value() <= hi) return Status::Ok();
+      }
+      return Status::TypeError("integer " + std::to_string(v.int_value()) +
+                               " outside declared ranges of " + ToString());
+    }
+    case DataTypeKind::kNumber: {
+      if (!v.is_numeric()) {
+        return Status::TypeError(std::string("expected number, got ") +
+                                 ValueTypeName(v.type()));
+      }
+      if (precision > 0) {
+        double limit = std::pow(10.0, precision - scale);
+        if (std::abs(v.AsReal()) >= limit) {
+          return Status::TypeError("number " + v.ToString() +
+                                   " exceeds precision of " + ToString());
+        }
+      }
+      return Status::Ok();
+    }
+    case DataTypeKind::kString: {
+      if (v.type() != ValueType::kString) {
+        return Status::TypeError(std::string("expected string, got ") +
+                                 ValueTypeName(v.type()));
+      }
+      if (max_length > 0 &&
+          v.string_value().size() > static_cast<size_t>(max_length)) {
+        return Status::TypeError("string longer than declared string[" +
+                                 std::to_string(max_length) + "]");
+      }
+      return Status::Ok();
+    }
+    case DataTypeKind::kDate:
+      if (v.type() != ValueType::kDate) {
+        return Status::TypeError(std::string("expected date, got ") +
+                                 ValueTypeName(v.type()));
+      }
+      return Status::Ok();
+    case DataTypeKind::kBoolean:
+      if (v.type() != ValueType::kBool) {
+        return Status::TypeError(std::string("expected boolean, got ") +
+                                 ValueTypeName(v.type()));
+      }
+      return Status::Ok();
+    case DataTypeKind::kSymbolic:
+    case DataTypeKind::kSubrole: {
+      if (v.type() != ValueType::kString) {
+        return Status::TypeError(std::string("expected symbolic value, got ") +
+                                 ValueTypeName(v.type()));
+      }
+      for (const auto& s : symbols) {
+        if (NameEq(s, v.string_value())) return Status::Ok();
+      }
+      return Status::TypeError("'" + v.string_value() +
+                               "' is not a member of " + ToString());
+    }
+  }
+  return Status::Internal("unhandled type kind");
+}
+
+Result<Value> DataType::CoerceValue(const Value& v) const {
+  if (v.is_null()) return v;
+  switch (kind) {
+    case DataTypeKind::kNumber:
+      if (v.type() == ValueType::kInt) {
+        Value widened = Value::Real(static_cast<double>(v.int_value()));
+        SIM_RETURN_IF_ERROR(ValidateValue(widened));
+        return widened;
+      }
+      break;
+    case DataTypeKind::kDate:
+      if (v.type() == ValueType::kString) {
+        SIM_ASSIGN_OR_RETURN(int64_t days, ParseDate(v.string_value()));
+        return Value::Date(days);
+      }
+      break;
+    case DataTypeKind::kSymbolic:
+    case DataTypeKind::kSubrole:
+      // Normalize case to the declared spelling of the symbol.
+      if (v.type() == ValueType::kString) {
+        for (const auto& s : symbols) {
+          if (NameEq(s, v.string_value())) return Value::Str(s);
+        }
+        return Status::TypeError("'" + v.string_value() +
+                                 "' is not a member of " + ToString());
+      }
+      break;
+    default:
+      break;
+  }
+  SIM_RETURN_IF_ERROR(ValidateValue(v));
+  return v;
+}
+
+std::string DataType::ToString() const {
+  switch (kind) {
+    case DataTypeKind::kInteger: {
+      if (ranges.empty()) return "integer";
+      std::string s = "integer(";
+      for (size_t i = 0; i < ranges.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += std::to_string(ranges[i].first) + ".." +
+             std::to_string(ranges[i].second);
+      }
+      return s + ")";
+    }
+    case DataTypeKind::kNumber:
+      return "number[" + std::to_string(precision) + "," +
+             std::to_string(scale) + "]";
+    case DataTypeKind::kString:
+      if (max_length == 0) return "string";
+      return "string[" + std::to_string(max_length) + "]";
+    case DataTypeKind::kDate:
+      return "date";
+    case DataTypeKind::kBoolean:
+      return "boolean";
+    case DataTypeKind::kSymbolic:
+    case DataTypeKind::kSubrole: {
+      std::string s =
+          kind == DataTypeKind::kSymbolic ? "symbolic(" : "subrole(";
+      s += Join(symbols, ", ");
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace sim

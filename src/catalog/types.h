@@ -1,0 +1,94 @@
+#ifndef SIMDB_CATALOG_TYPES_H_
+#define SIMDB_CATALOG_TYPES_H_
+
+// The SIM data type system (paper §3.2, §7). Strong typing is one of the
+// model's constraint-specification techniques: every DVA has a data type
+// that constrains its values — range-restricted integers, fixed-precision
+// numbers, bounded strings, dates, booleans, symbolic (enumerated) types
+// and the system-maintained subrole types.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sim {
+
+enum class DataTypeKind {
+  kInteger,   // integer, optionally with ranges: integer(1001..39999, ...)
+  kNumber,    // number[p, s] fixed precision/scale (stored as double)
+  kString,    // string[n]
+  kDate,      // calendar date
+  kBoolean,   // boolean
+  kSymbolic,  // symbolic (A, B, C) — enumerated names
+  kSubrole,   // subrole(sub1, sub2) — system-maintained role set
+};
+
+const char* DataTypeKindName(DataTypeKind k);
+
+struct DataType {
+  DataTypeKind kind = DataTypeKind::kInteger;
+  // string[n]; 0 means unbounded.
+  int max_length = 0;
+  // number[p, s].
+  int precision = 0;
+  int scale = 0;
+  // integer range conditions (inclusive); empty means unrestricted.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  // symbolic / subrole value sets (stored in declaration case).
+  std::vector<std::string> symbols;
+
+  static DataType Of(DataTypeKind k) {
+    DataType t;
+    t.kind = k;
+    return t;
+  }
+  static DataType Integer() { return Of(DataTypeKind::kInteger); }
+  static DataType IntegerRanges(std::vector<std::pair<int64_t, int64_t>> r) {
+    DataType t = Of(DataTypeKind::kInteger);
+    t.ranges = std::move(r);
+    return t;
+  }
+  static DataType Number(int p, int s) {
+    DataType t = Of(DataTypeKind::kNumber);
+    t.precision = p;
+    t.scale = s;
+    return t;
+  }
+  static DataType String(int n) {
+    DataType t = Of(DataTypeKind::kString);
+    t.max_length = n;
+    return t;
+  }
+  static DataType Date() { return Of(DataTypeKind::kDate); }
+  static DataType Boolean() { return Of(DataTypeKind::kBoolean); }
+  static DataType Symbolic(std::vector<std::string> syms) {
+    DataType t = Of(DataTypeKind::kSymbolic);
+    t.symbols = std::move(syms);
+    return t;
+  }
+  static DataType Subrole(std::vector<std::string> subs) {
+    DataType t = Of(DataTypeKind::kSubrole);
+    t.symbols = std::move(subs);
+    return t;
+  }
+
+  // Checks that a (non-null) runtime value conforms to this type,
+  // including range / length / precision / symbol-set constraints.
+  Status ValidateValue(const Value& v) const;
+
+  // Converts a parsed literal toward this type where the conversion is
+  // natural (int -> number, string -> date, string -> symbolic member) and
+  // validates the result. Nulls pass through unchanged.
+  Result<Value> CoerceValue(const Value& v) const;
+
+  // DDL-style rendering, e.g. "integer(1001..39999, 60001..99999)".
+  std::string ToString() const;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CATALOG_TYPES_H_

@@ -1,0 +1,34 @@
+#ifndef SIMDB_COMMON_DATE_H_
+#define SIMDB_COMMON_DATE_H_
+
+// Calendar date support for the SIM `date` data type. Dates are stored as a
+// count of days since the civil epoch 1970-01-01 (negative for earlier
+// dates), which makes comparison and ordering trivial.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sim {
+
+// Days since 1970-01-01 for the given proleptic-Gregorian civil date.
+// Uses Howard Hinnant's days-from-civil algorithm; valid over +/- millions
+// of years, far beyond any database need.
+int64_t DaysFromCivil(int year, int month, int day);
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+// True if (year, month, day) denotes a real calendar date.
+bool IsValidCivilDate(int year, int month, int day);
+
+// Parses "YYYY-MM-DD" or "MM/DD/YYYY" into days-since-epoch.
+Result<int64_t> ParseDate(const std::string& text);
+
+// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_DATE_H_

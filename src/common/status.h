@@ -1,0 +1,135 @@
+#ifndef SIMDB_COMMON_STATUS_H_
+#define SIMDB_COMMON_STATUS_H_
+
+// Error model for simdb. The library does not use C++ exceptions; every
+// fallible operation returns a Status, or a Result<T> when it also produces
+// a value. Mirrors the style used by LevelDB/RocksDB and Abseil.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sim {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,      // malformed input (bad schema, bad value, ...)
+  kNotFound,             // named object or record does not exist
+  kAlreadyExists,        // duplicate name / duplicate unique value
+  kConstraintViolation,  // an integrity constraint rejected the operation
+  kParseError,           // DDL/DML text failed to parse
+  kBindError,            // qualification/binding failed (unknown attribute,
+                         // ambiguous qualification, bad role conversion, ...)
+  kTypeError,            // value incompatible with attribute type
+  kIoError,              // storage layer failure
+  kNotSupported,         // valid SIM construct outside the implemented subset
+  kAborted,              // transaction aborted (e.g., by a VERIFY condition)
+  kInternal,             // invariant violation inside the library
+};
+
+// Human-readable name of a StatusCode ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or carries a code plus a message describing what
+// went wrong. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status plus, when OK, a value of type T.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : status_(), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sim
+
+// Propagates a non-OK Status from an expression.
+#define SIM_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::sim::Status sim_status_tmp_ = (expr);         \
+    if (!sim_status_tmp_.ok()) return sim_status_tmp_; \
+  } while (0)
+
+#define SIM_CONCAT_IMPL_(a, b) a##b
+#define SIM_CONCAT_(a, b) SIM_CONCAT_IMPL_(a, b)
+
+// Evaluates a Result<T> expression; on error propagates the Status,
+// otherwise assigns the value to `lhs` (which may be a declaration).
+#define SIM_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SIM_ASSIGN_OR_RETURN_IMPL_(SIM_CONCAT_(sim_result_, __LINE__), lhs, expr)
+
+#define SIM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#endif  // SIMDB_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef SIMDB_COMMON_STRINGS_H_
+#define SIMDB_COMMON_STRINGS_H_
+
+// Small string utilities shared across modules. SIM identifiers and keywords
+// are case-insensitive (the paper freely mixes "Student" / "STUDENT"), so
+// every name comparison in the system goes through AsciiLower / NameEq.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sim {
+
+// ASCII-lowercased copy.
+std::string AsciiLower(std::string_view s);
+
+// Case-insensitive equality of two names.
+bool NameEq(std::string_view a, std::string_view b);
+
+// Case-insensitive LIKE-style pattern match with '%' (any run) and
+// '_' (any single char). Used for the DML's pattern-matching operator.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_STRINGS_H_

@@ -1,0 +1,41 @@
+#include "common/tribool.h"
+
+namespace sim {
+
+TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown) return TriBool::kUnknown;
+  return TriBool::kTrue;
+}
+
+TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown) return TriBool::kUnknown;
+  return TriBool::kFalse;
+}
+
+TriBool TriNot(TriBool a) {
+  switch (a) {
+    case TriBool::kTrue:
+      return TriBool::kFalse;
+    case TriBool::kFalse:
+      return TriBool::kTrue;
+    case TriBool::kUnknown:
+      return TriBool::kUnknown;
+  }
+  return TriBool::kUnknown;
+}
+
+const char* TriBoolName(TriBool t) {
+  switch (t) {
+    case TriBool::kTrue:
+      return "true";
+    case TriBool::kFalse:
+      return "false";
+    case TriBool::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace sim

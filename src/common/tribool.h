@@ -1,0 +1,35 @@
+#ifndef SIMDB_COMMON_TRIBOOL_H_
+#define SIMDB_COMMON_TRIBOOL_H_
+
+// Three-valued logic used for all predicate evaluation over possibly-null
+// values (SIM paper §4.9: "Null values are treated uniformly in expression
+// evaluation, and SIM follows the 3-valued logic").
+
+namespace sim {
+
+enum class TriBool {
+  kFalse = 0,
+  kUnknown = 1,
+  kTrue = 2,
+};
+
+inline TriBool MakeTriBool(bool b) { return b ? TriBool::kTrue : TriBool::kFalse; }
+
+// Kleene conjunction: false dominates, unknown otherwise unless both true.
+TriBool TriAnd(TriBool a, TriBool b);
+// Kleene disjunction: true dominates, unknown otherwise unless both false.
+TriBool TriOr(TriBool a, TriBool b);
+// Kleene negation: unknown stays unknown.
+TriBool TriNot(TriBool a);
+
+// Selection semantics: a WHERE clause keeps a row only when the predicate
+// is definitely true.
+inline bool IsTrue(TriBool t) { return t == TriBool::kTrue; }
+inline bool IsFalse(TriBool t) { return t == TriBool::kFalse; }
+inline bool IsUnknown(TriBool t) { return t == TriBool::kUnknown; }
+
+const char* TriBoolName(TriBool t);
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_TRIBOOL_H_

@@ -1,0 +1,153 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace sim {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "boolean";
+    case ValueType::kInt:
+      return "integer";
+    case ValueType::kReal:
+      return "number";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+    case ValueType::kSurrogate:
+      return "surrogate";
+  }
+  return "?";
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    return Status::Internal("Compare called on null value");
+  }
+  if (is_numeric() && other.is_numeric()) {
+    if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
+      int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsReal(), b = other.AsReal();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    return Status::TypeError(std::string("cannot compare ") +
+                             ValueTypeName(type_) + " with " +
+                             ValueTypeName(other.type_));
+  }
+  switch (type_) {
+    case ValueType::kBool: {
+      int a = bool_value() ? 1 : 0, b = other.bool_value() ? 1 : 0;
+      return a - b;
+    }
+    case ValueType::kDate: {
+      int64_t a = date_value(), b = other.date_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kSurrogate: {
+      SurrogateId a = surrogate_value(), b = other.surrogate_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString: {
+      int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return Status::Internal("unhandled type in Compare");
+  }
+}
+
+Result<TriBool> Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return TriBool::kUnknown;
+  SIM_ASSIGN_OR_RETURN(int c, Compare(other));
+  return MakeTriBool(c == 0);
+}
+
+bool Value::StrictEquals(const Value& other) const {
+  if (is_null() && other.is_null()) return true;
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
+      return int_value() == other.int_value();
+    }
+    return AsReal() == other.AsReal();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case ValueType::kBool:
+      return bool_value() == other.bool_value();
+    case ValueType::kDate:
+      return date_value() == other.date_value();
+    case ValueType::kSurrogate:
+      return surrogate_value() == other.surrogate_value();
+    case ValueType::kString:
+      return string_value() == other.string_value();
+    default:
+      return false;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kReal:
+    case ValueType::kInt: {
+      // Numeric values hash through double so that Int(3) and Real(3.0)
+      // collide, matching StrictEquals.
+      double d = AsReal();
+      if (d == static_cast<int64_t>(d)) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d)) ^ 0x1234567;
+      }
+      return std::hash<double>()(d) ^ 0x1234567;
+    }
+    case ValueType::kBool:
+      return std::hash<int64_t>()(int_value()) ^ 0xb001;
+    case ValueType::kDate:
+      return std::hash<int64_t>()(date_value()) ^ 0xda7e;
+    case ValueType::kSurrogate:
+      return std::hash<int64_t>()(std::get<int64_t>(rep_)) ^ 0x5a5a;
+    case ValueType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "?";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kReal: {
+      double d = real_value();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        return std::to_string(static_cast<int64_t>(d)) + ".0";
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return string_value();
+    case ValueType::kDate:
+      return FormatDate(date_value());
+    case ValueType::kSurrogate:
+      return "#" + std::to_string(surrogate_value());
+  }
+  return "?";
+}
+
+}  // namespace sim

@@ -1,0 +1,105 @@
+#ifndef SIMDB_COMMON_VALUE_H_
+#define SIMDB_COMMON_VALUE_H_
+
+// Runtime value representation. A Value holds one instance of a SIM
+// displayable domain (integer, number, string, date, boolean), a surrogate
+// (the system-defined entity identifier, paper §3.1), or null. Nulls
+// represent both "unknown" and "inapplicable" (§3.2.1) and participate in
+// 3-valued logic.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "common/tribool.h"
+
+namespace sim {
+
+// Surrogate values identify entities. They are unique within a base-class
+// family, non-null, and immutable once assigned (§3.1).
+using SurrogateId = uint64_t;
+inline constexpr SurrogateId kInvalidSurrogate = 0;
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kReal = 3,
+  kString = 4,
+  kDate = 5,       // days since 1970-01-01, stored as int64
+  kSurrogate = 6,  // entity identifier
+};
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), rep_(int64_t{0}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(ValueType::kBool, int64_t{b}); }
+  static Value Int(int64_t i) { return Value(ValueType::kInt, i); }
+  static Value Real(double d) { return Value(ValueType::kReal, d); }
+  static Value Str(std::string s) {
+    return Value(ValueType::kString, std::move(s));
+  }
+  static Value Date(int64_t days) { return Value(ValueType::kDate, days); }
+  static Value Surrogate(SurrogateId s) {
+    return Value(ValueType::kSurrogate, static_cast<int64_t>(s));
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  // Accessors; the caller must check type() first (checked in debug builds).
+  bool bool_value() const { return std::get<int64_t>(rep_) != 0; }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double real_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+  int64_t date_value() const { return std::get<int64_t>(rep_); }
+  SurrogateId surrogate_value() const {
+    return static_cast<SurrogateId>(std::get<int64_t>(rep_));
+  }
+
+  bool is_numeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kReal;
+  }
+  // Numeric value widened to double (valid only when is_numeric()).
+  double AsReal() const {
+    return type_ == ValueType::kReal ? real_value()
+                                     : static_cast<double>(int_value());
+  }
+
+  // Three-way comparison under SIM's strong typing: ints and reals are
+  // mutually comparable (widening to real); every other comparison requires
+  // identical types. Nulls are not comparable here (callers handle 3VL).
+  // Returns <0, 0, >0.
+  Result<int> Compare(const Value& other) const;
+
+  // 3VL equality: unknown if either side is null.
+  Result<TriBool> Equals(const Value& other) const;
+
+  // Exact equality used for grouping, DISTINCT and container membership:
+  // null equals null, and no type coercion errors (different types are
+  // simply unequal, except int/real which compare numerically).
+  bool StrictEquals(const Value& other) const;
+
+  // Hash consistent with StrictEquals.
+  size_t Hash() const;
+
+  // Display form: strings unquoted, dates as YYYY-MM-DD, null as "?".
+  std::string ToString() const;
+
+ private:
+  Value(ValueType t, int64_t i) : type_(t), rep_(i) {}
+  Value(ValueType t, double d) : type_(t), rep_(d) {}
+  Value(ValueType t, std::string s) : type_(t), rep_(std::move(s)) {}
+
+  ValueType type_;
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_VALUE_H_

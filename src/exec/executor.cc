@@ -1,0 +1,383 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sim {
+
+namespace {
+
+// Finds the loop-deepest main-scope node referenced by an expression
+// (structured-output record homes). Returns -1 when none.
+void CollectNodes(const BExpr& expr, std::vector<int>* out) {
+  switch (expr.kind) {
+    case BExprKind::kLiteral:
+      return;
+    case BExprKind::kField:
+      out->push_back(static_cast<const BField&>(expr).node);
+      return;
+    case BExprKind::kNodeValue:
+      out->push_back(static_cast<const BNodeValue&>(expr).node);
+      return;
+    case BExprKind::kNodeRef:
+      out->push_back(static_cast<const BNodeRef&>(expr).node);
+      return;
+    case BExprKind::kBinary: {
+      const auto& b = static_cast<const BBinary&>(expr);
+      CollectNodes(*b.lhs, out);
+      CollectNodes(*b.rhs, out);
+      return;
+    }
+    case BExprKind::kUnary:
+      CollectNodes(*static_cast<const BUnary&>(expr).operand, out);
+      return;
+    case BExprKind::kAggregate:
+      // An aggregate's home is where its loops hang from; approximate with
+      // the nodes its argument references outside its own scope — covered
+      // by the loop-node parents, so nothing to add here.
+      return;
+    case BExprKind::kQuantified:
+      return;
+    case BExprKind::kIsa:
+      CollectNodes(*static_cast<const BIsa&>(expr).entity, out);
+      return;
+  }
+}
+
+struct RowKeyHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : vs) h = h * 1099511628211ULL ^ v.Hash();
+    return h;
+  }
+};
+struct RowKeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].StrictEquals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+// Null-first three-way comparison for ORDER BY / restore sorts.
+int CompareForSort(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return -1;
+  if (b.is_null()) return 1;
+  Result<int> c = a.Compare(b);
+  if (!c.ok()) return 0;  // incomparable values keep their order
+  return *c;
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
+  stats_ = ExecStats();
+  ResultSet rs;
+  rs.columns = qt.target_labels;
+  rs.structured = qt.mode == OutputMode::kStructure;
+
+  EvalContext ctx(&qt, mapper_);
+  ExprEvaluator ev(&ctx);
+
+  RunState st;
+  st.qt = &qt;
+  st.plan = plan;
+  st.ctx = &ctx;
+  st.ev = &ev;
+  st.rs = &rs;
+
+  // Iteration order: plan root order (or declaration order), each root
+  // followed by its TYPE1/3 descendants depth-first.
+  std::vector<int> root_order;
+  if (plan != nullptr && !plan->roots.empty()) {
+    for (const auto& r : plan->roots) root_order.push_back(r.node);
+  } else {
+    root_order = qt.roots;
+  }
+  st.node_depth.assign(qt.nodes.size(), 0);
+  for (int r : root_order) {
+    std::vector<std::pair<int, int>> stack = {{r, 0}};
+    while (!stack.empty()) {
+      auto [n, depth] = stack.back();
+      stack.pop_back();
+      st.node_depth[n] = depth;
+      if (qt.nodes[n].label != 2) st.loop_nodes.push_back(n);
+      std::vector<int> kids = qt.MainChildren(n);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        if (qt.nodes[*it].label != 2) stack.push_back({*it, depth + 1});
+      }
+    }
+  }
+  for (int n : qt.MainLoopNodes()) {
+    if (qt.nodes[n].label == 2) st.type2_nodes.push_back(n);
+  }
+
+  // Structured-output homes: the loop-deepest node each target references.
+  for (const auto& t : qt.targets) {
+    std::vector<int> nodes;
+    CollectNodes(*t, &nodes);
+    int home = root_order.empty() ? -1 : root_order[0];
+    int best_pos = -1;
+    for (int n : nodes) {
+      if (st.qt->nodes[n].scope >= 0 || st.qt->nodes[n].label == 2) continue;
+      auto it = std::find(st.loop_nodes.begin(), st.loop_nodes.end(), n);
+      if (it == st.loop_nodes.end()) continue;
+      int pos = static_cast<int>(it - st.loop_nodes.begin());
+      if (pos > best_pos) {
+        best_pos = pos;
+        home = n;
+      }
+    }
+    st.home_node.push_back(home);
+  }
+  st.last_emitted.assign(qt.nodes.size(), NodeBinding());
+  st.needs_restore_sort =
+      plan != nullptr && !plan->order_preserving;
+
+  SIM_RETURN_IF_ERROR(Recurse(&st, 0));
+
+  // Restore perspective order when the plan reordered roots, then apply
+  // ORDER BY, then DISTINCT.
+  if (!rs.structured &&
+      (st.needs_restore_sort || !qt.order_by.empty())) {
+    std::vector<size_t> order(rs.rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const auto& ka = st.sort_keys[a];
+      const auto& kb = st.sort_keys[b];
+      for (size_t i = 0; i < ka.size() && i < kb.size(); ++i) {
+        int c = CompareForSort(ka[i], kb[i]);
+        bool desc = i < qt.order_by.size() && qt.order_by[i].descending;
+        if (c != 0) return desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(rs.rows.size());
+    for (size_t i : order) sorted.push_back(std::move(rs.rows[i]));
+    rs.rows = std::move(sorted);
+    stats_.sorted_for_order = true;
+  }
+  if (qt.mode == OutputMode::kTableDistinct) {
+    std::unordered_set<std::vector<Value>, RowKeyHash, RowKeyEq> seen;
+    std::vector<Row> unique;
+    for (Row& r : rs.rows) {
+      if (seen.insert(r.values).second) unique.push_back(std::move(r));
+    }
+    rs.rows = std::move(unique);
+  }
+  stats_.rows_emitted = rs.rows.size();
+  return rs;
+}
+
+Result<std::vector<NodeBinding>> Executor::RootDomain(RunState* st,
+                                                      int /*loop_index*/,
+                                                      int node) {
+  if (st->plan != nullptr) {
+    for (const auto& r : st->plan->roots) {
+      if (r.node != node) continue;
+      if (r.method == AccessPlan::RootMethod::kIndexEq) {
+        SIM_ASSIGN_OR_RETURN(
+            std::optional<SurrogateId> found,
+            mapper_->LookupByIndex(r.index_class, r.index_attr, r.eq_value));
+        std::vector<NodeBinding> out;
+        if (found.has_value()) {
+          // The index covers the declaring class; the perspective may be a
+          // subclass — verify the role.
+          SIM_ASSIGN_OR_RETURN(
+              bool has,
+              mapper_->HasRole(*found, st->qt->nodes[node].class_name));
+          if (has) {
+            NodeBinding b;
+            b.bound = true;
+            b.entity = *found;
+            out.push_back(b);
+          }
+        }
+        return out;
+      }
+      break;
+    }
+  }
+  return st->ev->ComputeDomain(node);
+}
+
+Status Executor::Recurse(RunState* st, size_t i) {
+  if (i == st->loop_nodes.size()) return EmitIfSelected(st);
+  int node = st->loop_nodes[i];
+  const QtNode& n = st->qt->nodes[node];
+  std::vector<NodeBinding> domain;
+  if (n.parent < 0) {
+    SIM_ASSIGN_OR_RETURN(domain, RootDomain(st, static_cast<int>(i), node));
+  } else {
+    SIM_ASSIGN_OR_RETURN(domain, st->ev->ComputeDomain(node));
+  }
+  if (domain.empty() && n.label == 3) {
+    // Directed outer join: one dummy all-null instance (§4.5).
+    NodeBinding dummy;
+    dummy.bound = true;
+    dummy.dummy = true;
+    st->ctx->binding(node) = dummy;
+    SIM_RETURN_IF_ERROR(Recurse(st, i + 1));
+    st->ctx->binding(node) = NodeBinding();
+    return Status::Ok();
+  }
+  for (NodeBinding& b : domain) {
+    st->ctx->binding(node) = std::move(b);
+    SIM_RETURN_IF_ERROR(Recurse(st, i + 1));
+  }
+  st->ctx->binding(node) = NodeBinding();
+  return Status::Ok();
+}
+
+Result<TriBool> Executor::EvaluateSelection(RunState* st) {
+  const QueryTree& qt = *st->qt;
+  if (qt.where == nullptr) return TriBool::kTrue;
+  if (st->type2_nodes.empty()) {
+    return st->ev->EvalPredicate(*qt.where);
+  }
+  // "for some X_{m+1} ... X_n ... if <selection> is true" — existential
+  // iteration of the TYPE 2 variables.
+  bool found = false;
+  Status s = st->ev->ForEachCombination(
+      st->type2_nodes, [&]() -> Result<bool> {
+        SIM_ASSIGN_OR_RETURN(TriBool t, st->ev->EvalPredicate(*qt.where));
+        if (t == TriBool::kTrue) {
+          found = true;
+          return false;  // stop early
+        }
+        return true;
+      });
+  SIM_RETURN_IF_ERROR(s);
+  return MakeTriBool(found);
+}
+
+Status Executor::EmitIfSelected(RunState* st) {
+  ++stats_.combinations_examined;
+  SIM_ASSIGN_OR_RETURN(TriBool pass, EvaluateSelection(st));
+  if (pass != TriBool::kTrue) return Status::Ok();
+
+  const QueryTree& qt = *st->qt;
+  if (qt.mode == OutputMode::kStructure) {
+    // Emit a record for every TYPE1/3 node whose binding changed, plus all
+    // deeper ones — the fully structured multi-format output.
+    size_t first_changed = st->loop_nodes.size();
+    for (size_t i = 0; i < st->loop_nodes.size(); ++i) {
+      int node = st->loop_nodes[i];
+      const NodeBinding& cur = st->ctx->binding(node);
+      const NodeBinding& last = st->last_emitted[node];
+      bool same = last.bound && cur.bound && last.dummy == cur.dummy &&
+                  last.entity == cur.entity &&
+                  last.value.StrictEquals(cur.value);
+      if (!same) {
+        first_changed = i;
+        break;
+      }
+    }
+    for (size_t i = first_changed; i < st->loop_nodes.size(); ++i) {
+      int node = st->loop_nodes[i];
+      Row row;
+      row.format_node = node;
+      const NodeBinding& b = st->ctx->binding(node);
+      row.level = st->node_depth[node] +
+                  (b.level > 1 ? b.level - 1 : 0);
+      for (size_t t = 0; t < qt.targets.size(); ++t) {
+        if (st->home_node[t] != node) continue;
+        SIM_ASSIGN_OR_RETURN(Value v, st->ev->Eval(*qt.targets[t]));
+        row.values.push_back(std::move(v));
+      }
+      st->last_emitted[node] = b;
+      st->rs->rows.push_back(std::move(row));
+    }
+    return Status::Ok();
+  }
+
+  Row row;
+  row.values.reserve(qt.targets.size());
+  for (const auto& t : qt.targets) {
+    SIM_ASSIGN_OR_RETURN(Value v, st->ev->Eval(*t));
+    row.values.push_back(std::move(v));
+  }
+  // Sort keys: ORDER BY expressions first, then root surrogates in
+  // declaration order (restores perspective order after plan reordering).
+  std::vector<Value> keys;
+  for (const auto& o : qt.order_by) {
+    SIM_ASSIGN_OR_RETURN(Value v, st->ev->Eval(*o.expr));
+    keys.push_back(std::move(v));
+  }
+  if (st->needs_restore_sort) {
+    for (int r : qt.roots) {
+      const NodeBinding& b = st->ctx->binding(r);
+      keys.push_back(b.bound && !b.dummy ? Value::Surrogate(b.entity)
+                                         : Value::Null());
+    }
+  }
+  st->sort_keys.push_back(std::move(keys));
+  st->rs->rows.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Result<bool> Executor::EntitySatisfies(const QueryTree& qt, SurrogateId s) {
+  if (qt.roots.size() != 1) {
+    return Status::Internal("EntitySatisfies requires a single-root tree");
+  }
+  EvalContext ctx(&qt, mapper_);
+  ExprEvaluator ev(&ctx);
+  NodeBinding b;
+  b.bound = true;
+  b.entity = s;
+  ctx.binding(qt.roots[0]) = b;
+  if (qt.where == nullptr) return true;
+  std::vector<int> inner;
+  for (int n : qt.MainLoopNodes()) {
+    if (n != qt.roots[0]) inner.push_back(n);
+  }
+  if (inner.empty()) {
+    SIM_ASSIGN_OR_RETURN(TriBool t, ev.EvalPredicate(*qt.where));
+    return t == TriBool::kTrue;
+  }
+  bool found = false;
+  Status st = ev.ForEachCombination(inner, [&]() -> Result<bool> {
+    SIM_ASSIGN_OR_RETURN(TriBool t, ev.EvalPredicate(*qt.where));
+    if (t == TriBool::kTrue) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  SIM_RETURN_IF_ERROR(st);
+  return found;
+}
+
+Result<Value> Executor::EvalForEntity(const QueryTree& qt, SurrogateId s) {
+  if (qt.roots.size() != 1 || qt.targets.size() != 1) {
+    return Status::Internal(
+        "EvalForEntity requires a single root and a single target");
+  }
+  EvalContext ctx(&qt, mapper_);
+  ExprEvaluator ev(&ctx);
+  NodeBinding b;
+  b.bound = true;
+  b.entity = s;
+  ctx.binding(qt.roots[0]) = b;
+  // Bind non-root main nodes to their first instance (or a dummy).
+  for (int n : qt.MainLoopNodes()) {
+    if (n == qt.roots[0]) continue;
+    SIM_ASSIGN_OR_RETURN(std::vector<NodeBinding> domain, ev.ComputeDomain(n));
+    if (domain.empty()) {
+      NodeBinding dummy;
+      dummy.bound = true;
+      dummy.dummy = true;
+      ctx.binding(n) = dummy;
+    } else {
+      ctx.binding(n) = domain.front();
+    }
+  }
+  return ev.Eval(*qt.targets[0]);
+}
+
+}  // namespace sim

@@ -1,0 +1,78 @@
+#ifndef SIMDB_EXEC_EXECUTOR_H_
+#define SIMDB_EXEC_EXECUTOR_H_
+
+// The Query Driver. Executes a bound QueryTree with the §4.5 semantics:
+// nested loops over the TYPE 1 and TYPE 3 variables in depth-first order,
+// existential evaluation of TYPE 2 variables inside the selection, dummy
+// all-null instances for empty TYPE 3 domains (directed outer join), and
+// perspective-implied output ordering. Supports the fully tabular
+// (default), TABLE [DISTINCT] and fully STRUCTURE output forms, and can
+// follow an Optimizer AccessPlan for root access paths and iteration
+// order (restoring perspective order with an explicit sort when the plan
+// is not order-preserving).
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expr_eval.h"
+#include "exec/output.h"
+#include "luc/mapper.h"
+#include "optimizer/optimizer.h"
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+class Executor {
+ public:
+  explicit Executor(LucMapper* mapper) : mapper_(mapper) {}
+
+  struct ExecStats {
+    uint64_t combinations_examined = 0;
+    uint64_t rows_emitted = 0;
+    bool sorted_for_order = false;
+  };
+
+  // Runs a Retrieve query tree, optionally following `plan`.
+  Result<ResultSet> Run(const QueryTree& qt, const AccessPlan* plan = nullptr);
+
+  const ExecStats& last_stats() const { return stats_; }
+
+  // True when entity `s`, bound to the (single) root, satisfies the
+  // tree's selection (TYPE 2 nodes evaluated existentially). Used for
+  // update WHERE clauses and VERIFY conditions.
+  Result<bool> EntitySatisfies(const QueryTree& qt, SurrogateId s);
+
+  // Evaluates the tree's single target for entity `s` bound to the root.
+  // Non-root TYPE1/3 nodes are bound to their first instance (dummy when
+  // empty).
+  Result<Value> EvalForEntity(const QueryTree& qt, SurrogateId s);
+
+ private:
+  struct RunState {
+    const QueryTree* qt = nullptr;
+    const AccessPlan* plan = nullptr;
+    EvalContext* ctx = nullptr;
+    ExprEvaluator* ev = nullptr;
+    ResultSet* rs = nullptr;
+    std::vector<int> loop_nodes;   // TYPE 1 & 3, iteration order
+    std::vector<int> type2_nodes;  // TYPE 2, DFS order
+    std::vector<int> home_node;    // per target: structured-output home
+    std::vector<int> node_depth;   // per node id: loop depth
+    std::vector<NodeBinding> last_emitted;  // structured-mode change watch
+    std::vector<std::vector<Value>> sort_keys;  // per emitted row
+    bool needs_restore_sort = false;
+  };
+
+  Status Recurse(RunState* st, size_t i);
+  Status EmitIfSelected(RunState* st);
+  Result<std::vector<NodeBinding>> RootDomain(RunState* st, int loop_index,
+                                              int node);
+  Result<TriBool> EvaluateSelection(RunState* st);
+
+  LucMapper* mapper_;
+  ExecStats stats_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_EXEC_EXECUTOR_H_

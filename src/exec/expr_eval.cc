@@ -1,0 +1,600 @@
+#include "exec/expr_eval.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace sim {
+
+namespace {
+
+// Hash-set support for DISTINCT aggregation.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.StrictEquals(b);
+  }
+};
+
+Value TriToValue(TriBool t) {
+  switch (t) {
+    case TriBool::kTrue:
+      return Value::Bool(true);
+    case TriBool::kFalse:
+      return Value::Bool(false);
+    case TriBool::kUnknown:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+TriBool ValueToTri(const Value& v) {
+  if (v.is_null()) return TriBool::kUnknown;
+  if (v.type() == ValueType::kBool) return MakeTriBool(v.bool_value());
+  return TriBool::kUnknown;
+}
+
+}  // namespace
+
+Result<Value> ExprEvaluator::Eval(const BExpr& expr) {
+  switch (expr.kind) {
+    case BExprKind::kLiteral:
+      return static_cast<const BLiteral&>(expr).value;
+    case BExprKind::kField: {
+      const auto& f = static_cast<const BField&>(expr);
+      const NodeBinding& b = ctx_->binding(f.node);
+      if (!b.bound || b.dummy || b.entity == kInvalidSurrogate) {
+        return Value::Null();
+      }
+      return ctx_->mapper()->GetField(b.entity, f.owner->name, f.attr->name);
+    }
+    case BExprKind::kNodeValue: {
+      const auto& nv = static_cast<const BNodeValue&>(expr);
+      const NodeBinding& b = ctx_->binding(nv.node);
+      if (!b.bound || b.dummy) return Value::Null();
+      return b.value;
+    }
+    case BExprKind::kNodeRef: {
+      const auto& nr = static_cast<const BNodeRef&>(expr);
+      const NodeBinding& b = ctx_->binding(nr.node);
+      if (!b.bound || b.dummy || b.entity == kInvalidSurrogate) {
+        return Value::Null();
+      }
+      return Value::Surrogate(b.entity);
+    }
+    case BExprKind::kBinary:
+      return EvalBinary(static_cast<const BBinary&>(expr));
+    case BExprKind::kUnary: {
+      const auto& un = static_cast<const BUnary&>(expr);
+      if (un.op == UnaryOp::kNot) {
+        SIM_ASSIGN_OR_RETURN(TriBool t, EvalPredicate(*un.operand));
+        return TriToValue(TriNot(t));
+      }
+      SIM_ASSIGN_OR_RETURN(Value v, Eval(*un.operand));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kInt) return Value::Int(-v.int_value());
+      if (v.type() == ValueType::kReal) return Value::Real(-v.real_value());
+      return Status::TypeError("unary minus on non-numeric value");
+    }
+    case BExprKind::kAggregate:
+      return EvalAggregate(static_cast<const BAggregate&>(expr));
+    case BExprKind::kQuantified: {
+      SIM_ASSIGN_OR_RETURN(
+          TriBool t,
+          EvalQuantifiedStandalone(static_cast<const BQuantified&>(expr)));
+      return TriToValue(t);
+    }
+    case BExprKind::kIsa: {
+      const auto& isa = static_cast<const BIsa&>(expr);
+      SIM_ASSIGN_OR_RETURN(Value ent, Eval(*isa.entity));
+      if (ent.is_null()) return Value::Null();
+      SIM_ASSIGN_OR_RETURN(
+          bool has,
+          ctx_->mapper()->HasRole(ent.surrogate_value(), isa.class_name));
+      return Value::Bool(has);
+    }
+    case BExprKind::kFunction:
+      return EvalFunction(static_cast<const BFunction&>(expr));
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+Result<TriBool> ExprEvaluator::EvalPredicate(const BExpr& expr) {
+  if (expr.kind == BExprKind::kBinary) {
+    const auto& bin = static_cast<const BBinary&>(expr);
+    if (bin.op == BinaryOp::kAnd) {
+      SIM_ASSIGN_OR_RETURN(TriBool l, EvalPredicate(*bin.lhs));
+      if (l == TriBool::kFalse) return TriBool::kFalse;  // short circuit
+      SIM_ASSIGN_OR_RETURN(TriBool r, EvalPredicate(*bin.rhs));
+      return TriAnd(l, r);
+    }
+    if (bin.op == BinaryOp::kOr) {
+      SIM_ASSIGN_OR_RETURN(TriBool l, EvalPredicate(*bin.lhs));
+      if (l == TriBool::kTrue) return TriBool::kTrue;
+      SIM_ASSIGN_OR_RETURN(TriBool r, EvalPredicate(*bin.rhs));
+      return TriOr(l, r);
+    }
+    switch (bin.op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNeq:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kLike:
+        return EvalComparison(bin.op, *bin.lhs, *bin.rhs);
+      default:
+        break;
+    }
+  }
+  if (expr.kind == BExprKind::kUnary) {
+    const auto& un = static_cast<const BUnary&>(expr);
+    if (un.op == UnaryOp::kNot) {
+      SIM_ASSIGN_OR_RETURN(TriBool t, EvalPredicate(*un.operand));
+      return TriNot(t);
+    }
+  }
+  if (expr.kind == BExprKind::kQuantified) {
+    return EvalQuantifiedStandalone(static_cast<const BQuantified&>(expr));
+  }
+  SIM_ASSIGN_OR_RETURN(Value v, Eval(expr));
+  return ValueToTri(v);
+}
+
+Result<TriBool> ExprEvaluator::EvalComparison(BinaryOp op, const BExpr& lhs,
+                                              const BExpr& rhs) {
+  if (rhs.kind == BExprKind::kQuantified) {
+    return EvalQuantifiedComparison(op, lhs,
+                                    static_cast<const BQuantified&>(rhs),
+                                    /*quantified_on_left=*/false);
+  }
+  if (lhs.kind == BExprKind::kQuantified) {
+    return EvalQuantifiedComparison(op, rhs,
+                                    static_cast<const BQuantified&>(lhs),
+                                    /*quantified_on_left=*/true);
+  }
+  SIM_ASSIGN_OR_RETURN(Value l, Eval(lhs));
+  SIM_ASSIGN_OR_RETURN(Value r, Eval(rhs));
+  return CompareValues(op, l, r);
+}
+
+Result<TriBool> ExprEvaluator::CompareValues(BinaryOp op, const Value& l,
+                                             const Value& r) {
+  if (l.is_null() || r.is_null()) return TriBool::kUnknown;
+  if (op == BinaryOp::kLike) {
+    if (l.type() != ValueType::kString || r.type() != ValueType::kString) {
+      return Status::TypeError("LIKE requires string operands");
+    }
+    return MakeTriBool(LikeMatch(l.string_value(), r.string_value()));
+  }
+  SIM_ASSIGN_OR_RETURN(int c, l.Compare(r));
+  switch (op) {
+    case BinaryOp::kEq:
+      return MakeTriBool(c == 0);
+    case BinaryOp::kNeq:
+      return MakeTriBool(c != 0);
+    case BinaryOp::kLt:
+      return MakeTriBool(c < 0);
+    case BinaryOp::kLe:
+      return MakeTriBool(c <= 0);
+    case BinaryOp::kGt:
+      return MakeTriBool(c > 0);
+    case BinaryOp::kGe:
+      return MakeTriBool(c >= 0);
+    default:
+      return Status::Internal("not a comparison operator");
+  }
+}
+
+Result<Value> ExprEvaluator::EvalBinary(const BBinary& bin) {
+  switch (bin.op) {
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike: {
+      SIM_ASSIGN_OR_RETURN(TriBool t, EvalPredicate(bin));
+      return TriToValue(t);
+    }
+    default:
+      break;
+  }
+  SIM_ASSIGN_OR_RETURN(Value l, Eval(*bin.lhs));
+  SIM_ASSIGN_OR_RETURN(Value r, Eval(*bin.rhs));
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // String concatenation via '+'.
+  if (bin.op == BinaryOp::kAdd && l.type() == ValueType::kString &&
+      r.type() == ValueType::kString) {
+    return Value::Str(l.string_value() + r.string_value());
+  }
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeError(std::string("arithmetic on non-numeric values (") +
+                             ValueTypeName(l.type()) + ", " +
+                             ValueTypeName(r.type()) + ")");
+  }
+  bool both_int =
+      l.type() == ValueType::kInt && r.type() == ValueType::kInt;
+  switch (bin.op) {
+    case BinaryOp::kAdd:
+      if (both_int) return Value::Int(l.int_value() + r.int_value());
+      return Value::Real(l.AsReal() + r.AsReal());
+    case BinaryOp::kSub:
+      if (both_int) return Value::Int(l.int_value() - r.int_value());
+      return Value::Real(l.AsReal() - r.AsReal());
+    case BinaryOp::kMul:
+      if (both_int) return Value::Int(l.int_value() * r.int_value());
+      return Value::Real(l.AsReal() * r.AsReal());
+    case BinaryOp::kDiv:
+      if (r.AsReal() == 0) return Value::Null();  // division by zero -> null
+      return Value::Real(l.AsReal() / r.AsReal());
+    default:
+      return Status::Internal("unhandled arithmetic operator");
+  }
+}
+
+Result<Value> ExprEvaluator::EvalFunction(const BFunction& fn) {
+  std::vector<Value> args;
+  for (const BExprPtr& arg : fn.args) {
+    SIM_ASSIGN_OR_RETURN(Value v, Eval(*arg));
+    args.push_back(std::move(v));
+  }
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::TypeError(fn.name + " expects " + std::to_string(n) +
+                               " argument(s)");
+    }
+    return Status::Ok();
+  };
+  // Null propagation: any null argument yields null.
+  for (const Value& v : args) {
+    if (v.is_null()) return Value::Null();
+  }
+  if (fn.name == "length") {
+    SIM_RETURN_IF_ERROR(need(1));
+    if (args[0].type() != ValueType::kString) {
+      return Status::TypeError("length expects a string");
+    }
+    return Value::Int(static_cast<int64_t>(args[0].string_value().size()));
+  }
+  if (fn.name == "upper" || fn.name == "lower") {
+    SIM_RETURN_IF_ERROR(need(1));
+    if (args[0].type() != ValueType::kString) {
+      return Status::TypeError(fn.name + " expects a string");
+    }
+    std::string s = args[0].string_value();
+    for (char& c : s) {
+      c = fn.name == "upper"
+              ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+              : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return Value::Str(std::move(s));
+  }
+  if (fn.name == "abs") {
+    SIM_RETURN_IF_ERROR(need(1));
+    if (args[0].type() == ValueType::kInt) {
+      return Value::Int(std::abs(args[0].int_value()));
+    }
+    if (args[0].type() == ValueType::kReal) {
+      return Value::Real(std::abs(args[0].real_value()));
+    }
+    return Status::TypeError("abs expects a number");
+  }
+  if (fn.name == "round") {
+    SIM_RETURN_IF_ERROR(need(1));
+    if (args[0].type() == ValueType::kInt) return args[0];
+    if (args[0].type() == ValueType::kReal) {
+      return Value::Int(static_cast<int64_t>(std::llround(args[0].real_value())));
+    }
+    return Status::TypeError("round expects a number");
+  }
+  if (fn.name == "year" || fn.name == "month" || fn.name == "day") {
+    SIM_RETURN_IF_ERROR(need(1));
+    if (args[0].type() != ValueType::kDate) {
+      return Status::TypeError(fn.name + " expects a date");
+    }
+    int y, m, d;
+    CivilFromDays(args[0].date_value(), &y, &m, &d);
+    if (fn.name == "year") return Value::Int(y);
+    if (fn.name == "month") return Value::Int(m);
+    return Value::Int(d);
+  }
+  return Status::NotSupported("unknown function '" + fn.name + "'");
+}
+
+Result<std::vector<NodeBinding>> ExprEvaluator::ComputeDomain(int node_id) {
+  SIM_ASSIGN_OR_RETURN(std::vector<NodeBinding> domain,
+                       ComputeDomainUnfiltered(node_id));
+  const QtNode& node = ctx_->qt().nodes[node_id];
+  if (node.domain_filter == nullptr) return domain;
+  // View roots in aggregate scopes: keep only instances satisfying the
+  // view predicate.
+  NodeBinding saved = ctx_->binding(node_id);
+  std::vector<NodeBinding> filtered;
+  for (NodeBinding& b : domain) {
+    ctx_->binding(node_id) = b;
+    Result<TriBool> pass = EvalPredicate(*node.domain_filter);
+    if (!pass.ok()) {
+      ctx_->binding(node_id) = saved;
+      return pass.status();
+    }
+    if (*pass == TriBool::kTrue) filtered.push_back(std::move(b));
+  }
+  ctx_->binding(node_id) = saved;
+  return filtered;
+}
+
+Result<std::vector<NodeBinding>> ExprEvaluator::ComputeDomainUnfiltered(
+    int node_id) {
+  const QtNode& node = ctx_->qt().nodes[node_id];
+  std::vector<NodeBinding> out;
+  switch (node.derivation) {
+    case NodeDerivation::kPerspective: {
+      SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> extent,
+                           ctx_->mapper()->ExtentOf(node.class_name));
+      // Perspective order is surrogate order (§5.1) unless the class
+      // declares a system-maintained ordering, which ExtentOf applied.
+      Result<const ClassDef*> def =
+          ctx_->mapper()->dir().FindClass(node.class_name);
+      if (!def.ok() || (*def)->order_by_attr.empty()) {
+        std::sort(extent.begin(), extent.end());
+      }
+      for (SurrogateId s : extent) {
+        NodeBinding b;
+        b.bound = true;
+        b.entity = s;
+        out.push_back(b);
+      }
+      return out;
+    }
+    case NodeDerivation::kEva: {
+      const NodeBinding& parent = ctx_->binding(node.parent);
+      if (!parent.bound || parent.dummy ||
+          parent.entity == kInvalidSurrogate) {
+        return out;
+      }
+      SIM_ASSIGN_OR_RETURN(
+          std::vector<SurrogateId> targets,
+          ctx_->mapper()->GetEvaTargets(node.via_owner->name,
+                                        node.via_attr->name, parent.entity));
+      // Role conversion: keep only entities holding the converted role.
+      bool needs_filter =
+          !NameEq(node.class_name, node.via_attr->range_class);
+      for (SurrogateId t : targets) {
+        if (needs_filter) {
+          SIM_ASSIGN_OR_RETURN(bool has,
+                               ctx_->mapper()->HasRole(t, node.class_name));
+          if (!has) continue;
+        }
+        NodeBinding b;
+        b.bound = true;
+        b.entity = t;
+        b.level = 1;
+        out.push_back(b);
+      }
+      return out;
+    }
+    case NodeDerivation::kMvDva: {
+      const NodeBinding& parent = ctx_->binding(node.parent);
+      if (!parent.bound || parent.dummy ||
+          parent.entity == kInvalidSurrogate) {
+        return out;
+      }
+      SIM_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          ctx_->mapper()->GetMvValues(parent.entity, node.via_owner->name,
+                                      node.via_attr->name));
+      for (Value& v : values) {
+        NodeBinding b;
+        b.bound = true;
+        b.value = std::move(v);
+        out.push_back(std::move(b));
+      }
+      return out;
+    }
+    case NodeDerivation::kTransitiveEva: {
+      const NodeBinding& parent = ctx_->binding(node.parent);
+      if (!parent.bound || parent.dummy ||
+          parent.entity == kInvalidSurrogate) {
+        return out;
+      }
+      // Breadth-first closure with level numbers (§4.7). The start entity
+      // is excluded unless reachable through a cycle.
+      std::set<SurrogateId> seen;
+      std::vector<std::pair<SurrogateId, int>> frontier = {
+          {parent.entity, 0}};
+      while (!frontier.empty()) {
+        std::vector<std::pair<SurrogateId, int>> next;
+        for (const auto& [s, level] : frontier) {
+          SIM_ASSIGN_OR_RETURN(
+              std::vector<SurrogateId> targets,
+              ctx_->mapper()->GetEvaTargets(node.via_owner->name,
+                                            node.via_attr->name, s));
+          for (SurrogateId t : targets) {
+            if (!seen.insert(t).second) continue;
+            NodeBinding b;
+            b.bound = true;
+            b.entity = t;
+            b.level = level + 1;
+            out.push_back(b);
+            next.emplace_back(t, level + 1);
+          }
+        }
+        frontier = std::move(next);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled node derivation");
+}
+
+Status ExprEvaluator::ForEachCombination(
+    const std::vector<int>& loop_nodes,
+    const std::function<Result<bool>()>& body) {
+  // Recursive nested loops over loop_nodes[i...].
+  std::function<Result<bool>(size_t)> recurse =
+      [&](size_t i) -> Result<bool> {
+    if (i == loop_nodes.size()) return body();
+    int node = loop_nodes[i];
+    SIM_ASSIGN_OR_RETURN(std::vector<NodeBinding> domain, ComputeDomain(node));
+    for (NodeBinding& b : domain) {
+      ctx_->binding(node) = std::move(b);
+      SIM_ASSIGN_OR_RETURN(bool keep_going, recurse(i + 1));
+      if (!keep_going) {
+        ctx_->binding(node) = NodeBinding();
+        return false;
+      }
+    }
+    ctx_->binding(node) = NodeBinding();
+    return true;
+  };
+  return recurse(0).status();
+}
+
+Result<Value> ExprEvaluator::EvalAggregate(const BAggregate& agg) {
+  int64_t count = 0;
+  double sum = 0;
+  bool any_numeric = false;
+  bool all_int = true;
+  int64_t int_sum = 0;
+  Value min_v, max_v;
+  std::unordered_set<Value, ValueHash, ValueEq> distinct_seen;
+
+  Status iterate = ForEachCombination(agg.loop_nodes, [&]() -> Result<bool> {
+    SIM_ASSIGN_OR_RETURN(Value v, Eval(*agg.arg));
+    if (v.is_null()) return true;  // nulls are skipped by aggregates
+    if (agg.distinct && !distinct_seen.insert(v).second) return true;
+    ++count;
+    if (agg.func == AggFunc::kSum || agg.func == AggFunc::kAvg) {
+      if (!v.is_numeric()) {
+        return Status::TypeError("SUM/AVG over non-numeric values");
+      }
+      any_numeric = true;
+      sum += v.AsReal();
+      if (v.type() == ValueType::kInt) {
+        int_sum += v.int_value();
+      } else {
+        all_int = false;
+      }
+    }
+    if (agg.func == AggFunc::kMin) {
+      if (min_v.is_null()) {
+        min_v = v;
+      } else {
+        SIM_ASSIGN_OR_RETURN(int c, v.Compare(min_v));
+        if (c < 0) min_v = v;
+      }
+    }
+    if (agg.func == AggFunc::kMax) {
+      if (max_v.is_null()) {
+        max_v = v;
+      } else {
+        SIM_ASSIGN_OR_RETURN(int c, v.Compare(max_v));
+        if (c > 0) max_v = v;
+      }
+    }
+    return true;
+  });
+  SIM_RETURN_IF_ERROR(iterate);
+
+  switch (agg.func) {
+    case AggFunc::kCount:
+      return Value::Int(count);
+    case AggFunc::kSum:
+      if (!any_numeric) return Value::Null();
+      return all_int ? Value::Int(int_sum) : Value::Real(sum);
+    case AggFunc::kAvg:
+      if (count == 0) return Value::Null();
+      return Value::Real(sum / static_cast<double>(count));
+    case AggFunc::kMin:
+      return min_v;
+    case AggFunc::kMax:
+      return max_v;
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+Result<TriBool> ExprEvaluator::EvalQuantifiedStandalone(const BQuantified& q) {
+  // SOME = OR over bindings, ALL = AND, NO = NOT OR — all under 3VL, so
+  // false dominates a universal and true dominates an existential, with
+  // unknown in between.
+  bool any_true = false, any_false = false, any_unknown = false;
+  Status iterate = ForEachCombination(q.loop_nodes, [&]() -> Result<bool> {
+    SIM_ASSIGN_OR_RETURN(TriBool t, EvalPredicate(*q.value));
+    if (t == TriBool::kTrue) any_true = true;
+    if (t == TriBool::kFalse) any_false = true;
+    if (t == TriBool::kUnknown) any_unknown = true;
+    // Early exits on the dominating outcome.
+    if ((q.quantifier == Quantifier::kSome ||
+         q.quantifier == Quantifier::kNo) &&
+        any_true) {
+      return false;
+    }
+    if (q.quantifier == Quantifier::kAll && any_false) return false;
+    return true;
+  });
+  SIM_RETURN_IF_ERROR(iterate);
+  switch (q.quantifier) {
+    case Quantifier::kSome:
+      if (any_true) return TriBool::kTrue;
+      return any_unknown ? TriBool::kUnknown : TriBool::kFalse;
+    case Quantifier::kNo:
+      if (any_true) return TriBool::kFalse;
+      return any_unknown ? TriBool::kUnknown : TriBool::kTrue;
+    case Quantifier::kAll:
+      if (any_false) return TriBool::kFalse;
+      return any_unknown ? TriBool::kUnknown : TriBool::kTrue;
+  }
+  return Status::Internal("unhandled quantifier");
+}
+
+Result<TriBool> ExprEvaluator::EvalQuantifiedComparison(
+    BinaryOp op, const BExpr& plain, const BQuantified& q,
+    bool quantified_on_left) {
+  SIM_ASSIGN_OR_RETURN(Value fixed, Eval(plain));
+  bool any_true = false, any_false = false, any_unknown = false;
+  Status iterate = ForEachCombination(q.loop_nodes, [&]() -> Result<bool> {
+    SIM_ASSIGN_OR_RETURN(Value v, Eval(*q.value));
+    TriBool t;
+    if (quantified_on_left) {
+      SIM_ASSIGN_OR_RETURN(t, CompareValues(op, v, fixed));
+    } else {
+      SIM_ASSIGN_OR_RETURN(t, CompareValues(op, fixed, v));
+    }
+    if (t == TriBool::kTrue) any_true = true;
+    if (t == TriBool::kFalse) any_false = true;
+    if (t == TriBool::kUnknown) any_unknown = true;
+    if ((q.quantifier == Quantifier::kSome ||
+         q.quantifier == Quantifier::kNo) &&
+        any_true) {
+      return false;
+    }
+    if (q.quantifier == Quantifier::kAll && any_false) return false;
+    return true;
+  });
+  SIM_RETURN_IF_ERROR(iterate);
+  switch (q.quantifier) {
+    case Quantifier::kSome:
+      if (any_true) return TriBool::kTrue;
+      return any_unknown ? TriBool::kUnknown : TriBool::kFalse;
+    case Quantifier::kNo:
+      if (any_true) return TriBool::kFalse;
+      return any_unknown ? TriBool::kUnknown : TriBool::kTrue;
+    case Quantifier::kAll:
+      if (any_false) return TriBool::kFalse;
+      return any_unknown ? TriBool::kUnknown : TriBool::kTrue;
+  }
+  return Status::Internal("unhandled quantifier");
+}
+
+}  // namespace sim

@@ -1,0 +1,88 @@
+#ifndef SIMDB_EXEC_EXPR_EVAL_H_
+#define SIMDB_EXEC_EXPR_EVAL_H_
+
+// Bound-expression evaluation over a set of current QT-node bindings.
+// Implements SIM's 3-valued logic (§4.9): predicates evaluate to
+// true/false/unknown; arithmetic over nulls yields null; a WHERE keeps a
+// combination only when definitely true. Aggregates and quantifiers run
+// their own nested loops over their local scope nodes (§4.4/§4.6).
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tribool.h"
+#include "common/value.h"
+#include "luc/mapper.h"
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+// The current instance of one range variable: an entity (EVA/perspective
+// nodes) or a value (MV DVA nodes). `bound` distinguishes "not yet bound"
+// from a TYPE 3 dummy (all-null) instance.
+struct NodeBinding {
+  bool bound = false;
+  bool dummy = false;
+  SurrogateId entity = kInvalidSurrogate;
+  Value value;
+  int level = 0;  // transitive-closure level (1 = direct)
+};
+
+class EvalContext {
+ public:
+  EvalContext(const QueryTree* qt, LucMapper* mapper)
+      : qt_(qt), mapper_(mapper), bindings_(qt->nodes.size()) {}
+
+  const QueryTree& qt() const { return *qt_; }
+  LucMapper* mapper() { return mapper_; }
+  NodeBinding& binding(int node) { return bindings_[node]; }
+  const NodeBinding& binding(int node) const { return bindings_[node]; }
+
+ private:
+  const QueryTree* qt_;
+  LucMapper* mapper_;
+  std::vector<NodeBinding> bindings_;
+};
+
+class ExprEvaluator {
+ public:
+  explicit ExprEvaluator(EvalContext* ctx) : ctx_(ctx) {}
+
+  // Evaluates an expression to a value (unknown booleans become null).
+  Result<Value> Eval(const BExpr& expr);
+
+  // Evaluates an expression as a predicate.
+  Result<TriBool> EvalPredicate(const BExpr& expr);
+
+  // Computes the domain of a node from its parent's current binding.
+  // Perspective nodes range over their class extent; EVA nodes over the
+  // related entities (role-conversion filtered); MV DVA nodes over the
+  // attribute's values; transitive nodes over the closure (BFS levels).
+  Result<std::vector<NodeBinding>> ComputeDomain(int node);
+
+  // Runs `body` for every combination of bindings of `loop_nodes` (DFS
+  // order, parents before children). `body` returns false to stop the
+  // whole iteration early. Domains here are never padded with dummies.
+  Status ForEachCombination(const std::vector<int>& loop_nodes,
+                            const std::function<Result<bool>()>& body);
+
+ private:
+  Result<std::vector<NodeBinding>> ComputeDomainUnfiltered(int node);
+  Result<Value> EvalBinary(const BBinary& bin);
+  Result<TriBool> EvalComparison(BinaryOp op, const BExpr& lhs,
+                                 const BExpr& rhs);
+  Result<TriBool> CompareValues(BinaryOp op, const Value& l, const Value& r);
+  Result<Value> EvalAggregate(const BAggregate& agg);
+  Result<Value> EvalFunction(const BFunction& fn);
+  Result<TriBool> EvalQuantifiedStandalone(const BQuantified& q);
+  Result<TriBool> EvalQuantifiedComparison(BinaryOp op, const BExpr& plain,
+                                           const BQuantified& q,
+                                           bool quantified_on_left);
+
+  EvalContext* ctx_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_EXEC_EXPR_EVAL_H_

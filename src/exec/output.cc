@@ -1,0 +1,53 @@
+#include "exec/output.h"
+
+#include <algorithm>
+
+namespace sim {
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  if (structured) {
+    for (const Row& r : rows) {
+      out.append(static_cast<size_t>(r.level) * 2, ' ');
+      out += "[" + std::to_string(r.format_node) + "]";
+      for (const Value& v : r.values) {
+        out += " ";
+        out += v.ToString();
+      }
+      out += "\n";
+    }
+    return out;
+  }
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < r.values.size(); ++i) {
+      std::string s = r.values[i].ToString();
+      if (i < widths.size()) widths[i] = std::max(widths[i], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+  auto append_line = [&](const std::vector<std::string>& line) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (i > 0) out += "  ";
+      out += line[i];
+      if (i < widths.size() && i + 1 < line.size()) {
+        out.append(widths[i] > line[i].size() ? widths[i] - line[i].size() : 0,
+                   ' ');
+      }
+    }
+    out += "\n";
+  };
+  append_line(columns);
+  std::vector<std::string> rule;
+  for (size_t w : widths) rule.push_back(std::string(w, '-'));
+  append_line(rule);
+  for (const auto& line : cells) append_line(line);
+  return out;
+}
+
+}  // namespace sim

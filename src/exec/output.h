@@ -1,0 +1,39 @@
+#ifndef SIMDB_EXEC_OUTPUT_H_
+#define SIMDB_EXEC_OUTPUT_H_
+
+// Query output. SIM's "fully tabular" output has one record format; the
+// "fully structured" form has one format per TYPE 1/3 variable, each
+// record tagged with its format and nesting level (§4.5, §4.7 — the
+// structured form preserves the tree shape of transitive closures via
+// level numbers).
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sim {
+
+struct Row {
+  std::vector<Value> values;
+  // Structured output: the QT node this record describes, and its nesting
+  // level. Tabular output leaves these at defaults.
+  int format_node = -1;
+  int level = 0;
+};
+
+class ResultSet {
+ public:
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  bool structured = false;
+
+  size_t row_count() const { return rows.size(); }
+
+  // Pretty-printed table (tabular) or indented records (structured).
+  std::string ToString() const;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_EXEC_OUTPUT_H_

@@ -1,0 +1,185 @@
+#include "luc/luc.h"
+
+#include "storage/record_codec.h"
+
+namespace sim {
+
+Result<std::unique_ptr<UnitStore>> UnitStore::Create(BufferPool* pool,
+                                                     const UnitPhys* phys,
+                                                     uint16_t unit_code,
+                                                     KeyOrganization org) {
+  auto unit =
+      std::unique_ptr<UnitStore>(new UnitStore(pool, phys, unit_code));
+  SIM_ASSIGN_OR_RETURN(
+      unit->primary_,
+      RelKeyedStore::Create(pool, phys->name + "$primary", org));
+  return unit;
+}
+
+namespace {
+
+std::vector<Value> AssembleRecord(SurrogateId s,
+                                  const std::set<uint16_t>& roles,
+                                  const std::vector<Value>& fields) {
+  std::vector<Value> all;
+  all.reserve(fields.size() + 2);
+  all.push_back(Value::Surrogate(s));
+  all.push_back(Value::Str(EncodeRoles(roles)));
+  all.insert(all.end(), fields.begin(), fields.end());
+  return all;
+}
+
+}  // namespace
+
+Result<RecordId> UnitStore::Insert(SurrogateId s,
+                                   const std::set<uint16_t>& roles,
+                                   const std::vector<Value>& fields,
+                                   PageId hint) {
+  if (fields.size() != phys_->fields.size()) {
+    return Status::Internal("field count mismatch inserting into unit " +
+                            phys_->name);
+  }
+  SIM_ASSIGN_OR_RETURN(bool exists, Has(s));
+  if (exists) {
+    return Status::AlreadyExists("surrogate already present in unit " +
+                                 phys_->name);
+  }
+  std::string encoded =
+      EncodeRecord(unit_code_, AssembleRecord(s, roles, fields));
+  RecordId rid;
+  if (hint != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(rid, file_.InsertNear(hint, encoded));
+  } else {
+    SIM_ASSIGN_OR_RETURN(rid, file_.Insert(encoded));
+  }
+  SIM_RETURN_IF_ERROR(primary_->Add(0, s, PackRecordId(rid)));
+  return rid;
+}
+
+Result<bool> UnitStore::Has(SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> rids, primary_->Get(0, s));
+  return !rids.empty();
+}
+
+Result<RecordId> UnitStore::FindRid(SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> rids, primary_->Get(0, s));
+  if (rids.empty()) {
+    return Status::NotFound("no record for surrogate " + std::to_string(s) +
+                            " in unit " + phys_->name);
+  }
+  return UnpackRecordId(rids.front());
+}
+
+Status UnitStore::Read(SurrogateId s, std::set<uint16_t>* roles,
+                       std::vector<Value>* fields) {
+  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
+  std::string data;
+  SIM_RETURN_IF_ERROR(file_.Get(rid, &data));
+  uint16_t record_type;
+  std::vector<Value> all;
+  SIM_RETURN_IF_ERROR(DecodeRecord(data, &record_type, &all));
+  if (all.size() != phys_->fields.size() + 2) {
+    return Status::Internal("corrupt record in unit " + phys_->name);
+  }
+  if (roles != nullptr) *roles = DecodeRoles(all[1].string_value());
+  if (fields != nullptr) {
+    fields->assign(std::make_move_iterator(all.begin() + 2),
+                   std::make_move_iterator(all.end()));
+  }
+  return Status::Ok();
+}
+
+Status UnitStore::Update(SurrogateId s, const std::set<uint16_t>& roles,
+                         const std::vector<Value>& fields) {
+  if (fields.size() != phys_->fields.size()) {
+    return Status::Internal("field count mismatch updating unit " +
+                            phys_->name);
+  }
+  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
+  std::string encoded =
+      EncodeRecord(unit_code_, AssembleRecord(s, roles, fields));
+  SIM_ASSIGN_OR_RETURN(RecordId new_rid, file_.Update(rid, encoded));
+  if (!(new_rid == rid)) {
+    SIM_RETURN_IF_ERROR(primary_->Remove(0, s, PackRecordId(rid)));
+    SIM_RETURN_IF_ERROR(primary_->Add(0, s, PackRecordId(new_rid)));
+  }
+  return Status::Ok();
+}
+
+Status UnitStore::Delete(SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
+  SIM_RETURN_IF_ERROR(file_.Delete(rid));
+  return primary_->Remove(0, s, PackRecordId(rid));
+}
+
+Result<PageId> UnitStore::PageOf(SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
+  return rid.page;
+}
+
+Status UnitStore::MoveNear(SurrogateId s, PageId hint) {
+  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
+  if (rid.page == hint) return Status::Ok();
+  std::string data;
+  SIM_RETURN_IF_ERROR(file_.Get(rid, &data));
+  SIM_RETURN_IF_ERROR(file_.Delete(rid));
+  SIM_ASSIGN_OR_RETURN(RecordId new_rid, file_.InsertNear(hint, data));
+  SIM_RETURN_IF_ERROR(primary_->Remove(0, s, PackRecordId(rid)));
+  return primary_->Add(0, s, PackRecordId(new_rid));
+}
+
+UnitStore::Cursor::Cursor(const HeapFile* file, uint16_t unit_code)
+    : unit_code_(unit_code), it_(file->Begin()) {
+  SkipForeign();
+  if (it_.Valid()) status_ = DecodeCurrent();
+}
+
+void UnitStore::Cursor::SkipForeign() {
+  while (it_.Valid()) {
+    Result<uint16_t> tag = PeekRecordType(it_.record());
+    if (!tag.ok()) {
+      status_ = tag.status();
+      return;
+    }
+    if (*tag == unit_code_) return;
+    it_.Next();
+  }
+}
+
+Status UnitStore::Cursor::Next() {
+  it_.Next();
+  SkipForeign();
+  if (!it_.status().ok()) return it_.status();
+  if (!status_.ok()) return status_;
+  if (it_.Valid()) SIM_RETURN_IF_ERROR(DecodeCurrent());
+  return Status::Ok();
+}
+
+Status UnitStore::Cursor::DecodeCurrent() {
+  uint16_t record_type;
+  std::vector<Value> all;
+  SIM_RETURN_IF_ERROR(DecodeRecord(it_.record(), &record_type, &all));
+  if (all.size() < 2) return Status::Internal("corrupt unit record");
+  surrogate_ = all[0].surrogate_value();
+  roles_ = DecodeRoles(all[1].string_value());
+  fields_.assign(std::make_move_iterator(all.begin() + 2),
+                 std::make_move_iterator(all.end()));
+  return Status::Ok();
+}
+
+UnitStore::Cursor UnitStore::Scan() const { return Cursor(&file_, unit_code_); }
+
+std::string EncodeEmbeddedMv(const std::vector<Value>& values) {
+  return EncodeRecord(0, values);
+}
+
+Result<std::vector<Value>> DecodeEmbeddedMv(const Value& field) {
+  if (field.is_null()) return std::vector<Value>();
+  uint16_t record_type;
+  std::vector<Value> values;
+  SIM_RETURN_IF_ERROR(
+      DecodeRecord(field.string_value(), &record_type, &values));
+  return values;
+}
+
+}  // namespace sim

@@ -1,0 +1,116 @@
+#ifndef SIMDB_LUC_LUC_H_
+#define SIMDB_LUC_LUC_H_
+
+// Runtime storage unit: the physical realization of one or more LUCs that
+// share a heap file (variable-format mapping) or of a single LUC (one unit
+// per class). Records have the uniform shape
+//
+//   [ surrogate, roles, declared fields... ]
+//
+// where `roles` is the encoded set of class codes the entity currently
+// holds (duplicated into every unit the entity has a record in, so scans
+// and reads never need a second unit). A surrogate-keyed primary index
+// (direct / hashed / index-sequential per the mapping policy) locates
+// records.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/luc_translation.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "luc/relationship.h"
+#include "storage/heap_file.h"
+
+namespace sim {
+
+class UnitStore {
+ public:
+  // `unit_code` tags every record of this unit so that clustered pages
+  // shared with other units can be scanned selectively.
+  static Result<std::unique_ptr<UnitStore>> Create(BufferPool* pool,
+                                                   const UnitPhys* phys,
+                                                   uint16_t unit_code,
+                                                   KeyOrganization org);
+
+  const UnitPhys& phys() const { return *phys_; }
+  uint64_t record_count() const { return file_.record_count(); }
+  // Per-page insert headroom for clustered mappings (see HeapFile).
+  void set_reserve_bytes(int bytes) { file_.set_reserve_bytes(bytes); }
+
+  // Inserts the record for surrogate `s`. `fields` must have exactly
+  // phys().fields.size() entries. `hint` requests physical clustering next
+  // to an existing record's page (kInvalidPageId = no preference).
+  Result<RecordId> Insert(SurrogateId s, const std::set<uint16_t>& roles,
+                          const std::vector<Value>& fields,
+                          PageId hint = kInvalidPageId);
+
+  Result<bool> Has(SurrogateId s);
+
+  // Reads roles and fields for `s` (either out-param may be null).
+  Status Read(SurrogateId s, std::set<uint16_t>* roles,
+              std::vector<Value>* fields);
+
+  // Rewrites the record for `s`.
+  Status Update(SurrogateId s, const std::set<uint16_t>& roles,
+                const std::vector<Value>& fields);
+
+  Status Delete(SurrogateId s);
+
+  // Page currently holding the record of `s` (clustering hints).
+  Result<PageId> PageOf(SurrogateId s);
+
+  // Physically moves the record of `s` onto (or near) `hint` — the
+  // reorganization step clustered mappings use after a record has grown.
+  Status MoveNear(SurrogateId s, PageId hint);
+
+  // Full scan, decoding each record.
+  class Cursor {
+   public:
+    bool Valid() const { return it_.Valid(); }
+    SurrogateId surrogate() const { return surrogate_; }
+    const std::set<uint16_t>& roles() const { return roles_; }
+    const std::vector<Value>& fields() const { return fields_; }
+    Status Next();
+    const Status& status() const { return status_; }
+
+   private:
+    friend class UnitStore;
+    Cursor(const HeapFile* file, uint16_t unit_code);
+    Status DecodeCurrent();
+    // Skips records tagged for other units (clustered foreign records).
+    void SkipForeign();
+
+    uint16_t unit_code_;
+    HeapFile::Iterator it_;
+    SurrogateId surrogate_ = kInvalidSurrogate;
+    std::set<uint16_t> roles_;
+    std::vector<Value> fields_;
+    Status status_;
+  };
+
+  Cursor Scan() const;
+
+ private:
+  UnitStore(BufferPool* pool, const UnitPhys* phys, uint16_t unit_code)
+      : phys_(phys), unit_code_(unit_code), file_(pool, phys->name) {}
+
+  Result<RecordId> FindRid(SurrogateId s);
+
+  const UnitPhys* phys_;
+  uint16_t unit_code_;
+  HeapFile file_;
+  std::unique_ptr<RelKeyedStore> primary_;  // surrogate -> packed RecordId
+};
+
+// Encodes / decodes an embedded multi-valued DVA array (stored as one
+// string field inside the owner record, §5.2 "stored as arrays in the same
+// physical record").
+std::string EncodeEmbeddedMv(const std::vector<Value>& values);
+Result<std::vector<Value>> DecodeEmbeddedMv(const Value& field);
+
+}  // namespace sim
+
+#endif  // SIMDB_LUC_LUC_H_

@@ -1,0 +1,1071 @@
+#include "luc/mapper.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "storage/record_codec.h"
+
+namespace sim {
+
+namespace {
+
+std::string QualKey(const std::string& cls, const std::string& attr) {
+  return AsciiLower(cls) + "." + AsciiLower(attr);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LucMapper>> LucMapper::Create(
+    const DirectoryManager* dir, const PhysicalSchema* phys,
+    BufferPool* pool) {
+  auto mapper =
+      std::unique_ptr<LucMapper>(new LucMapper(dir, phys, pool));
+  SIM_RETURN_IF_ERROR(mapper->Init());
+  return mapper;
+}
+
+Status LucMapper::Init() {
+  const MappingPolicy& policy = phys_->policy();
+  for (size_t i = 0; i < phys_->units().size(); ++i) {
+    SIM_ASSIGN_OR_RETURN(
+        std::unique_ptr<UnitStore> unit,
+        UnitStore::Create(pool_, &phys_->units()[i], static_cast<uint16_t>(i),
+                          policy.surrogate_org));
+    unit->set_reserve_bytes(policy.cluster_reserve_bytes);
+    units_.push_back(std::move(unit));
+  }
+  SIM_ASSIGN_OR_RETURN(
+      common_fwd_,
+      RelKeyedStore::Create(pool_, "common_eva$fwd", policy.eva_structure_org));
+  SIM_ASSIGN_OR_RETURN(
+      common_inv_,
+      RelKeyedStore::Create(pool_, "common_eva$inv", policy.eva_structure_org));
+  SIM_ASSIGN_OR_RETURN(
+      fk_inv_, RelKeyedStore::Create(pool_, "fk$inv", policy.eva_structure_org));
+  for (size_t i = 0; i < phys_->evas().size(); ++i) {
+    const EvaPhys& eva = phys_->evas()[i];
+    if (eva.mapping != EvaMapping::kPrivateStructure) continue;
+    SIM_ASSIGN_OR_RETURN(
+        std::unique_ptr<RelKeyedStore> fwd,
+        RelKeyedStore::Create(pool_, "eva$" + std::to_string(eva.rel_id) +
+                                         "$fwd",
+                              eva.org));
+    SIM_ASSIGN_OR_RETURN(
+        std::unique_ptr<RelKeyedStore> inv,
+        RelKeyedStore::Create(pool_, "eva$" + std::to_string(eva.rel_id) +
+                                         "$inv",
+                              eva.org));
+    private_structs_[static_cast<int>(i)] = {std::move(fwd), std::move(inv)};
+  }
+  mv_file_ = std::make_unique<HeapFile>(pool_, "mvdva$records");
+  SIM_ASSIGN_OR_RETURN(
+      mv_index_,
+      RelKeyedStore::Create(pool_, "mvdva$index", policy.eva_structure_org));
+  for (const IndexPhys& idx : phys_->indexes()) {
+    SIM_ASSIGN_OR_RETURN(
+        BPlusTree tree,
+        BPlusTree::Create(pool_, "index$" + idx.class_name + "$" +
+                                     idx.attr_name));
+    sec_indexes_.push_back(std::make_unique<BPlusTree>(std::move(tree)));
+  }
+  extent_counts_.assign(dir_->class_names().size(), 0);
+  eva_pair_counts_.assign(phys_->evas().size(), 0);
+  return Status::Ok();
+}
+
+Result<LucMapper::FieldRef> LucMapper::Resolve(const std::string& cls,
+                                               const std::string& attr,
+                                               bool want_field) const {
+  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                       dir_->ResolveAttribute(cls, attr));
+  FieldRef ref;
+  ref.owner = ra.owner;
+  ref.attr = ra.attr;
+  SIM_ASSIGN_OR_RETURN(ref.unit, phys_->UnitOf(ra.owner->name));
+  const UnitPhys& unit = phys_->units()[ref.unit];
+  auto it = unit.field_index.find(QualKey(ra.owner->name, ra.attr->name));
+  ref.field = it == unit.field_index.end() ? -1 : it->second;
+  if (want_field && ref.field < 0) {
+    return Status::Internal("attribute '" + cls + "." + attr +
+                            "' has no stored field");
+  }
+  return ref;
+}
+
+Status LucMapper::ReadUnitRecord(int u, SurrogateId s,
+                                 std::set<uint16_t>* roles,
+                                 std::vector<Value>* fields) {
+  return units_[u]->Read(s, roles, fields);
+}
+
+Status LucMapper::WriteUnitField(int u, SurrogateId s, int idx,
+                                 const Value& v, Transaction* txn) {
+  std::set<uint16_t> roles;
+  std::vector<Value> fields;
+  SIM_RETURN_IF_ERROR(units_[u]->Read(s, &roles, &fields));
+  Value old = fields[idx];
+  fields[idx] = v;
+  SIM_RETURN_IF_ERROR(units_[u]->Update(s, roles, fields));
+  if (txn != nullptr) {
+    txn->LogUndo([this, u, s, idx, old]() {
+      return WriteUnitField(u, s, idx, old, nullptr);
+    });
+  }
+  return Status::Ok();
+}
+
+Result<SurrogateId> LucMapper::CreateEntity(const std::string& cls,
+                                            Transaction* txn,
+                                            SurrogateId cluster_near,
+                                            const std::string& cluster_near_cls) {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
+  SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
+                       dir_->AncestorsOf(cls));
+  std::vector<std::string> classes = {def->name};
+  classes.insert(classes.end(), ancestors.begin(), ancestors.end());
+
+  std::set<uint16_t> roles;
+  std::set<int> unit_set;
+  std::vector<int> unit_order;
+  for (const auto& c : classes) {
+    SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(c));
+    roles.insert(code);
+    SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(c));
+    if (unit_set.insert(u).second) unit_order.push_back(u);
+  }
+
+  PageId hint = kInvalidPageId;
+  if (cluster_near != kInvalidSurrogate && !cluster_near_cls.empty()) {
+    Result<int> near_unit = phys_->UnitOf(cluster_near_cls);
+    if (near_unit.ok()) {
+      Result<PageId> page = units_[*near_unit]->PageOf(cluster_near);
+      if (page.ok()) hint = *page;
+    }
+  }
+
+  SurrogateId s = next_surrogate_++;
+  for (int u : unit_order) {
+    std::vector<Value> fields(phys_->units()[u].fields.size());
+    SIM_RETURN_IF_ERROR(units_[u]->Insert(s, roles, fields, hint).status());
+    if (txn != nullptr) {
+      txn->LogUndo([this, u, s]() { return units_[u]->Delete(s); });
+    }
+  }
+  for (uint16_t code : roles) ++extent_counts_[code];
+  if (txn != nullptr) {
+    txn->LogUndo([this, roles]() {
+      for (uint16_t code : roles) --extent_counts_[code];
+      return Status::Ok();
+    });
+  }
+  return s;
+}
+
+Result<std::set<uint16_t>> LucMapper::RolesOf(SurrogateId s,
+                                              const std::string& cls) {
+  SIM_ASSIGN_OR_RETURN(std::string base, dir_->BaseOf(cls));
+  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(base));
+  std::set<uint16_t> roles;
+  SIM_RETURN_IF_ERROR(units_[u]->Read(s, &roles, nullptr));
+  return roles;
+}
+
+Result<bool> LucMapper::HasRole(SurrogateId s, const std::string& cls) {
+  SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
+  SIM_ASSIGN_OR_RETURN(std::string base, dir_->BaseOf(cls));
+  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(base));
+  std::set<uint16_t> roles;
+  Status st = units_[u]->Read(s, &roles, nullptr);
+  if (st.code() == StatusCode::kNotFound) return false;
+  SIM_RETURN_IF_ERROR(st);
+  return roles.count(code) > 0;
+}
+
+Status LucMapper::UpdateRolesEverywhere(SurrogateId s,
+                                        const std::set<uint16_t>& old_roles,
+                                        const std::set<uint16_t>& new_roles,
+                                        Transaction* txn) {
+  std::set<int> units;
+  for (uint16_t code : new_roles) {
+    SIM_ASSIGN_OR_RETURN(std::string c, phys_->ClassForCode(code));
+    SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(c));
+    units.insert(u);
+  }
+  for (int u : units) {
+    std::set<uint16_t> roles;
+    std::vector<Value> fields;
+    Status st = units_[u]->Read(s, &roles, &fields);
+    if (st.code() == StatusCode::kNotFound) continue;
+    SIM_RETURN_IF_ERROR(st);
+    SIM_RETURN_IF_ERROR(units_[u]->Update(s, new_roles, fields));
+  }
+  if (txn != nullptr) {
+    txn->LogUndo([this, s, old_roles, new_roles]() {
+      return UpdateRolesEverywhere(s, new_roles, old_roles, nullptr);
+    });
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::AddRole(SurrogateId s, const std::string& cls,
+                          Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(std::set<uint16_t> old_roles, RolesOf(s, cls));
+  SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
+  SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
+                       dir_->AncestorsOf(cls));
+  std::vector<std::string> classes = {def->name};
+  classes.insert(classes.end(), ancestors.begin(), ancestors.end());
+
+  std::set<uint16_t> new_roles = old_roles;
+  std::vector<std::string> added;
+  for (const auto& c : classes) {
+    SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(c));
+    if (new_roles.insert(code).second) added.push_back(c);
+  }
+  if (added.empty()) {
+    return Status::AlreadyExists("entity already has role '" + cls + "'");
+  }
+  // Create missing unit records (ancestor units may already exist).
+  std::set<int> have_units;
+  for (uint16_t code : old_roles) {
+    SIM_ASSIGN_OR_RETURN(std::string c, phys_->ClassForCode(code));
+    SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(c));
+    have_units.insert(u);
+  }
+  for (const auto& c : added) {
+    SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(c));
+    if (!have_units.insert(u).second) continue;
+    std::vector<Value> fields(phys_->units()[u].fields.size());
+    SIM_RETURN_IF_ERROR(units_[u]->Insert(s, new_roles, fields).status());
+    if (txn != nullptr) {
+      txn->LogUndo([this, u, s]() { return units_[u]->Delete(s); });
+    }
+  }
+  SIM_RETURN_IF_ERROR(UpdateRolesEverywhere(s, old_roles, new_roles, txn));
+  for (const auto& c : added) {
+    SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(c));
+    ++extent_counts_[code];
+  }
+  if (txn != nullptr) {
+    std::vector<std::string> added_copy = added;
+    txn->LogUndo([this, added_copy]() {
+      for (const auto& c : added_copy) {
+        Result<uint16_t> code = phys_->ClassCode(c);
+        if (code.ok()) --extent_counts_[*code];
+      }
+      return Status::Ok();
+    });
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::StripRoleData(SurrogateId s, const std::string& cls,
+                                Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
+  for (const AttributeDef& a : def->attributes) {
+    if (a.is_subrole || a.is_derived) continue;  // computed, nothing stored
+    if (a.is_eva()) {
+      SIM_RETURN_IF_ERROR(RemoveAllEvaPairs(def->name, a.name, s, txn));
+    } else if (a.mv) {
+      SIM_ASSIGN_OR_RETURN(std::vector<Value> values,
+                           GetMvValues(s, def->name, a.name));
+      for (const Value& v : values) {
+        SIM_RETURN_IF_ERROR(RemoveMvValue(s, def->name, a.name, v, txn));
+      }
+    } else if (!a.is_subrole) {
+      int idx = phys_->IndexOf(def->name, a.name);
+      if (idx >= 0) {
+        SIM_ASSIGN_OR_RETURN(Value old, GetField(s, def->name, a.name));
+        if (!old.is_null()) {
+          SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(def->name, a.name, true));
+          SIM_RETURN_IF_ERROR(UpdateSecIndex(ref, s, old, Value::Null(), txn));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::DeleteRole(SurrogateId s, const std::string& cls,
+                             Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(std::set<uint16_t> old_roles, RolesOf(s, cls));
+  SIM_ASSIGN_OR_RETURN(uint16_t cls_code, phys_->ClassCode(cls));
+  if (old_roles.count(cls_code) == 0) {
+    return Status::NotFound("entity does not have role '" + cls + "'");
+  }
+  // Roles to remove: cls plus every descendant role the entity has.
+  std::set<uint16_t> removed = {cls_code};
+  SIM_ASSIGN_OR_RETURN(std::vector<std::string> descendants,
+                       dir_->DescendantsOf(cls));
+  for (const auto& d : descendants) {
+    SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(d));
+    if (old_roles.count(code)) removed.insert(code);
+  }
+  std::set<uint16_t> new_roles;
+  for (uint16_t code : old_roles) {
+    if (!removed.count(code)) new_roles.insert(code);
+  }
+
+  // 1. Remove relationship instances, MV values and index entries owned by
+  // the removed roles.
+  for (uint16_t code : removed) {
+    SIM_ASSIGN_OR_RETURN(std::string c, phys_->ClassForCode(code));
+    SIM_RETURN_IF_ERROR(StripRoleData(s, c, txn));
+  }
+
+  // 2. Per affected unit: delete the record when no surviving role is
+  // stored there, otherwise null out the removed roles' fields.
+  std::set<int> removed_units;
+  for (uint16_t code : removed) {
+    SIM_ASSIGN_OR_RETURN(std::string c, phys_->ClassForCode(code));
+    SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(c));
+    removed_units.insert(u);
+  }
+  for (int u : removed_units) {
+    const UnitPhys& unit = phys_->units()[u];
+    bool keep = false;
+    for (const auto& c : unit.classes) {
+      SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(c));
+      if (new_roles.count(code)) {
+        keep = true;
+        break;
+      }
+    }
+    std::set<uint16_t> cur_roles;
+    std::vector<Value> fields;
+    Status st = units_[u]->Read(s, &cur_roles, &fields);
+    if (st.code() == StatusCode::kNotFound) continue;
+    SIM_RETURN_IF_ERROR(st);
+    if (!keep) {
+      SIM_RETURN_IF_ERROR(units_[u]->Delete(s));
+      if (txn != nullptr) {
+        std::vector<Value> fields_copy = fields;
+        std::set<uint16_t> roles_copy = cur_roles;
+        txn->LogUndo([this, u, s, roles_copy, fields_copy]() {
+          return units_[u]->Insert(s, roles_copy, fields_copy).status();
+        });
+      }
+    } else {
+      std::vector<Value> new_fields = fields;
+      for (size_t f = 0; f < unit.fields.size(); ++f) {
+        SIM_ASSIGN_OR_RETURN(uint16_t fcode,
+                             phys_->ClassCode(unit.fields[f].class_name));
+        if (removed.count(fcode)) new_fields[f] = Value::Null();
+      }
+      SIM_RETURN_IF_ERROR(units_[u]->Update(s, new_roles, new_fields));
+      if (txn != nullptr) {
+        std::vector<Value> fields_copy = fields;
+        std::set<uint16_t> roles_copy = cur_roles;
+        txn->LogUndo([this, u, s, roles_copy, fields_copy]() {
+          return units_[u]->Update(s, roles_copy, fields_copy);
+        });
+      }
+    }
+  }
+  // 3. Update roles in the untouched units.
+  if (!new_roles.empty()) {
+    SIM_RETURN_IF_ERROR(UpdateRolesEverywhere(s, old_roles, new_roles, txn));
+  }
+  for (uint16_t code : removed) --extent_counts_[code];
+  if (txn != nullptr) {
+    txn->LogUndo([this, removed]() {
+      for (uint16_t code : removed) ++extent_counts_[code];
+      return Status::Ok();
+    });
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::ClusterNear(SurrogateId s, const std::string& cls,
+                              SurrogateId near, const std::string& near_cls) {
+  SIM_ASSIGN_OR_RETURN(int unit, phys_->UnitOf(cls));
+  SIM_ASSIGN_OR_RETURN(int near_unit, phys_->UnitOf(near_cls));
+  SIM_ASSIGN_OR_RETURN(PageId hint, units_[near_unit]->PageOf(near));
+  return units_[unit]->MoveNear(s, hint);
+}
+
+Status LucMapper::UpdateSecIndex(const FieldRef& ref, SurrogateId s,
+                                 const Value& old_v, const Value& new_v,
+                                 Transaction* txn) {
+  int idx = phys_->IndexOf(ref.owner->name, ref.attr->name);
+  if (idx < 0) return Status::Ok();
+  if (old_v.StrictEquals(new_v)) return Status::Ok();
+  BPlusTree* tree = sec_indexes_[idx].get();
+  bool unique = phys_->indexes()[idx].unique;
+  // Nulls are omitted from the index (§3.2.1).
+  if (!new_v.is_null()) {
+    SIM_ASSIGN_OR_RETURN(std::string key, EncodeIndexKey(new_v));
+    if (unique) {
+      SIM_ASSIGN_OR_RETURN(bool exists, tree->Contains(key));
+      if (exists) {
+        return Status::ConstraintViolation(
+            "unique attribute '" + ref.owner->name + "." + ref.attr->name +
+            "' already has value " + new_v.ToString());
+      }
+    }
+    SIM_RETURN_IF_ERROR(tree->Insert(key, s));
+    if (txn != nullptr) {
+      txn->LogUndo([tree, key, s]() { return tree->Delete(key, s); });
+    }
+  }
+  if (!old_v.is_null()) {
+    SIM_ASSIGN_OR_RETURN(std::string key, EncodeIndexKey(old_v));
+    SIM_RETURN_IF_ERROR(tree->Delete(key, s));
+    if (txn != nullptr) {
+      txn->LogUndo([tree, key, s]() { return tree->Insert(key, s); });
+    }
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::SetField(SurrogateId s, const std::string& cls,
+                           const std::string& attr, const Value& v,
+                           Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
+  if (ref.attr->is_eva()) {
+    return Status::InvalidArgument("'" + attr +
+                                   "' is an EVA; use relationship operations");
+  }
+  if (ref.attr->is_subrole) {
+    return Status::InvalidArgument("subrole attribute '" + attr +
+                                   "' is system-maintained and read-only");
+  }
+  if (ref.attr->is_derived) {
+    return Status::InvalidArgument("derived attribute '" + attr +
+                                   "' is computed and read-only");
+  }
+  if (ref.attr->mv) {
+    return Status::InvalidArgument("'" + attr +
+                                   "' is multi-valued; use MV operations");
+  }
+  if (ref.field < 0) {
+    return Status::Internal("no stored field for '" + attr + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(bool has_role, HasRole(s, ref.owner->name));
+  if (!has_role) {
+    return Status::ConstraintViolation("entity does not have role '" +
+                                       ref.owner->name + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(Value coerced, ref.attr->type.CoerceValue(v));
+  std::set<uint16_t> roles;
+  std::vector<Value> fields;
+  SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(s, &roles, &fields));
+  Value old = fields[ref.field];
+  if (old.StrictEquals(coerced)) return Status::Ok();
+  SIM_RETURN_IF_ERROR(UpdateSecIndex(ref, s, old, coerced, txn));
+  return WriteUnitField(ref.unit, s, ref.field, coerced, txn);
+}
+
+Result<Value> LucMapper::GetField(SurrogateId s, const std::string& cls,
+                                  const std::string& attr) {
+  SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
+  if (ref.attr->is_eva()) {
+    return Status::InvalidArgument("'" + attr +
+                                   "' is an EVA; use GetEvaTargets");
+  }
+  if (ref.attr->is_subrole && !ref.attr->mv) {
+    // Single-valued subrole: the one immediate-subclass role the entity
+    // holds from the declared set, if any.
+    SIM_ASSIGN_OR_RETURN(std::set<uint16_t> roles, RolesOf(s, cls));
+    for (const auto& sym : ref.attr->type.symbols) {
+      SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(sym));
+      if (roles.count(code)) return Value::Str(sym);
+    }
+    return Value::Null();
+  }
+  if (ref.attr->mv) {
+    return Status::InvalidArgument("'" + attr +
+                                   "' is multi-valued; use GetMvValues");
+  }
+  if (ref.field < 0) {
+    return Status::Internal("no stored field for '" + attr + "'");
+  }
+  std::vector<Value> fields;
+  SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(s, nullptr, &fields));
+  return fields[ref.field];
+}
+
+Result<std::vector<Value>> LucMapper::GetMvValues(SurrogateId s,
+                                                  const std::string& cls,
+                                                  const std::string& attr) {
+  SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
+  if (!ref.attr->is_dva() || !ref.attr->mv) {
+    if (ref.attr->is_subrole) {
+      // Multi-valued subrole: all held roles from the declared set.
+      SIM_ASSIGN_OR_RETURN(std::set<uint16_t> roles, RolesOf(s, cls));
+      std::vector<Value> out;
+      for (const auto& sym : ref.attr->type.symbols) {
+        SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(sym));
+        if (roles.count(code)) out.push_back(Value::Str(sym));
+      }
+      return out;
+    }
+    return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
+  }
+  if (ref.attr->is_subrole) {
+    SIM_ASSIGN_OR_RETURN(std::set<uint16_t> roles, RolesOf(s, cls));
+    std::vector<Value> out;
+    for (const auto& sym : ref.attr->type.symbols) {
+      SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(sym));
+      if (roles.count(code)) out.push_back(Value::Str(sym));
+    }
+    return out;
+  }
+  SIM_ASSIGN_OR_RETURN(int mv_idx,
+                       phys_->MvDvaOf(ref.owner->name, ref.attr->name));
+  const MvDvaPhys& mv = phys_->mvdvas()[mv_idx];
+  if (mv.embedded) {
+    std::vector<Value> fields;
+    SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(s, nullptr, &fields));
+    return DecodeEmbeddedMv(fields[ref.field]);
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> packed,
+                       mv_index_->Get(mv.id, s));
+  std::vector<Value> out;
+  for (uint64_t p : packed) {
+    std::string data;
+    SIM_RETURN_IF_ERROR(mv_file_->Get(UnpackRecordId(p), &data));
+    uint16_t rt;
+    std::vector<Value> rec;
+    SIM_RETURN_IF_ERROR(DecodeRecord(data, &rt, &rec));
+    if (rec.size() != 2) return Status::Internal("corrupt MV DVA record");
+    out.push_back(rec[1]);
+  }
+  return out;
+}
+
+Status LucMapper::AddMvValue(SurrogateId s, const std::string& cls,
+                             const std::string& attr, const Value& v,
+                             Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
+  if (!ref.attr->is_dva() || !ref.attr->mv || ref.attr->is_subrole) {
+    return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
+  }
+  SIM_ASSIGN_OR_RETURN(bool has_role, HasRole(s, ref.owner->name));
+  if (!has_role) {
+    return Status::ConstraintViolation("entity does not have role '" +
+                                       ref.owner->name + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(Value coerced, ref.attr->type.CoerceValue(v));
+  if (coerced.is_null()) {
+    return Status::InvalidArgument("null cannot be a member of MV DVA '" +
+                                   attr + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<Value> current, GetMvValues(s, cls, attr));
+  if (ref.attr->distinct) {
+    for (const Value& cur : current) {
+      if (cur.StrictEquals(coerced)) return Status::Ok();  // set semantics
+    }
+  }
+  if (ref.attr->max_count >= 0 &&
+      static_cast<int>(current.size()) >= ref.attr->max_count) {
+    return Status::ConstraintViolation(
+        "MV DVA '" + attr + "' exceeds MAX " +
+        std::to_string(ref.attr->max_count));
+  }
+  SIM_ASSIGN_OR_RETURN(int mv_idx,
+                       phys_->MvDvaOf(ref.owner->name, ref.attr->name));
+  const MvDvaPhys& mv = phys_->mvdvas()[mv_idx];
+  if (mv.embedded) {
+    current.push_back(coerced);
+    return WriteUnitField(ref.unit, s, ref.field,
+                          Value::Str(EncodeEmbeddedMv(current)), txn);
+  }
+  std::string rec = EncodeRecord(static_cast<uint16_t>(mv.id),
+                                 {Value::Surrogate(s), coerced});
+  SIM_ASSIGN_OR_RETURN(RecordId rid, mv_file_->Insert(rec));
+  SIM_RETURN_IF_ERROR(mv_index_->Add(mv.id, s, PackRecordId(rid)));
+  if (txn != nullptr) {
+    uint32_t mv_id = mv.id;
+    txn->LogUndo([this, mv_id, s, rid]() {
+      SIM_RETURN_IF_ERROR(mv_file_->Delete(rid));
+      return mv_index_->Remove(mv_id, s, PackRecordId(rid));
+    });
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::RemoveMvValue(SurrogateId s, const std::string& cls,
+                                const std::string& attr, const Value& v,
+                                Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
+  if (!ref.attr->is_dva() || !ref.attr->mv || ref.attr->is_subrole) {
+    return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
+  }
+  SIM_ASSIGN_OR_RETURN(Value coerced, ref.attr->type.CoerceValue(v));
+  SIM_ASSIGN_OR_RETURN(int mv_idx,
+                       phys_->MvDvaOf(ref.owner->name, ref.attr->name));
+  const MvDvaPhys& mv = phys_->mvdvas()[mv_idx];
+  if (mv.embedded) {
+    SIM_ASSIGN_OR_RETURN(std::vector<Value> current,
+                         GetMvValues(s, cls, attr));
+    for (size_t i = 0; i < current.size(); ++i) {
+      if (current[i].StrictEquals(coerced)) {
+        current.erase(current.begin() + i);
+        return WriteUnitField(ref.unit, s, ref.field,
+                              Value::Str(EncodeEmbeddedMv(current)), txn);
+      }
+    }
+    return Status::NotFound("value not present in MV DVA '" + attr + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> packed,
+                       mv_index_->Get(mv.id, s));
+  for (uint64_t p : packed) {
+    RecordId rid = UnpackRecordId(p);
+    std::string data;
+    SIM_RETURN_IF_ERROR(mv_file_->Get(rid, &data));
+    uint16_t rt;
+    std::vector<Value> rec;
+    SIM_RETURN_IF_ERROR(DecodeRecord(data, &rt, &rec));
+    if (rec.size() == 2 && rec[1].StrictEquals(coerced)) {
+      SIM_RETURN_IF_ERROR(mv_file_->Delete(rid));
+      SIM_RETURN_IF_ERROR(mv_index_->Remove(mv.id, s, p));
+      if (txn != nullptr) {
+        uint32_t mv_id = mv.id;
+        Value val = coerced;
+        txn->LogUndo([this, mv_id, s, val]() {
+          std::string rec2 = EncodeRecord(static_cast<uint16_t>(mv_id),
+                                          {Value::Surrogate(s), val});
+          SIM_ASSIGN_OR_RETURN(RecordId new_rid, mv_file_->Insert(rec2));
+          return mv_index_->Add(mv_id, s, PackRecordId(new_rid));
+        });
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("value not present in MV DVA '" + attr + "'");
+}
+
+Result<LucMapper::EvaSide> LucMapper::ResolveEva(const std::string& cls,
+                                                 const std::string& attr)
+    const {
+  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                       dir_->ResolveAttribute(cls, attr));
+  if (!ra.attr->is_eva()) {
+    return Status::InvalidArgument("'" + attr + "' is not an EVA");
+  }
+  EvaSide side;
+  SIM_ASSIGN_OR_RETURN(
+      side.eva_idx,
+      phys_->EvaOf(ra.owner->name, ra.attr->name, &side.owner_is_a));
+  side.eva = &phys_->evas()[side.eva_idx];
+  side.owner_mv = ra.attr->mv;
+  side.owner_max = ra.attr->max_count;
+  side.distinct = side.eva->distinct;
+  return side;
+}
+
+Status LucMapper::StructAddPair(const EvaSide& side, SurrogateId owner,
+                                SurrogateId target) {
+  const EvaPhys& eva = *side.eva;
+  SurrogateId a = side.owner_is_a ? owner : target;
+  SurrogateId b = side.owner_is_a ? target : owner;
+  switch (eva.mapping) {
+    case EvaMapping::kCommonStructure:
+    case EvaMapping::kPrivateStructure: {
+      RelKeyedStore* fwd = common_fwd_.get();
+      RelKeyedStore* inv = common_inv_.get();
+      if (eva.mapping == EvaMapping::kPrivateStructure) {
+        auto& pair = private_structs_.at(side.eva_idx);
+        fwd = pair.first.get();
+        inv = pair.second.get();
+      }
+      if (eva.symmetric) {
+        SIM_RETURN_IF_ERROR(fwd->Add(eva.rel_id, a, b));
+        if (a != b) SIM_RETURN_IF_ERROR(fwd->Add(eva.rel_id, b, a));
+      } else {
+        SIM_RETURN_IF_ERROR(fwd->Add(eva.rel_id, a, b));
+        SIM_RETURN_IF_ERROR(inv->Add(eva.rel_id, b, a));
+      }
+      break;
+    }
+    case EvaMapping::kForeignKey: {
+      if (!eva.a_mv) {
+        SIM_ASSIGN_OR_RETURN(FieldRef ref,
+                             Resolve(eva.class_a, eva.attr_a, true));
+        SIM_RETURN_IF_ERROR(WriteUnitField(ref.unit, a, ref.field,
+                                           Value::Surrogate(b), nullptr));
+      }
+      if (!eva.b_mv && !eva.symmetric) {
+        SIM_ASSIGN_OR_RETURN(FieldRef ref,
+                             Resolve(eva.class_b, eva.attr_b, true));
+        SIM_RETURN_IF_ERROR(WriteUnitField(ref.unit, b, ref.field,
+                                           Value::Surrogate(a), nullptr));
+      } else if (eva.symmetric && a != b) {
+        SIM_ASSIGN_OR_RETURN(FieldRef ref,
+                             Resolve(eva.class_a, eva.attr_a, true));
+        SIM_RETURN_IF_ERROR(WriteUnitField(ref.unit, b, ref.field,
+                                           Value::Surrogate(a), nullptr));
+      }
+      // A multi-valued side traverses through the inverse index.
+      if (eva.a_mv) SIM_RETURN_IF_ERROR(fk_inv_->Add(eva.rel_id, a, b));
+      if (eva.b_mv) SIM_RETURN_IF_ERROR(fk_inv_->Add(eva.rel_id, b, a));
+      break;
+    }
+  }
+  ++eva_pair_counts_[side.eva_idx];
+  return Status::Ok();
+}
+
+Status LucMapper::StructRemovePair(const EvaSide& side, SurrogateId owner,
+                                   SurrogateId target) {
+  const EvaPhys& eva = *side.eva;
+  SurrogateId a = side.owner_is_a ? owner : target;
+  SurrogateId b = side.owner_is_a ? target : owner;
+  switch (eva.mapping) {
+    case EvaMapping::kCommonStructure:
+    case EvaMapping::kPrivateStructure: {
+      RelKeyedStore* fwd = common_fwd_.get();
+      RelKeyedStore* inv = common_inv_.get();
+      if (eva.mapping == EvaMapping::kPrivateStructure) {
+        auto& pair = private_structs_.at(side.eva_idx);
+        fwd = pair.first.get();
+        inv = pair.second.get();
+      }
+      if (eva.symmetric) {
+        SIM_RETURN_IF_ERROR(fwd->Remove(eva.rel_id, a, b));
+        if (a != b) SIM_RETURN_IF_ERROR(fwd->Remove(eva.rel_id, b, a));
+      } else {
+        SIM_RETURN_IF_ERROR(fwd->Remove(eva.rel_id, a, b));
+        SIM_RETURN_IF_ERROR(inv->Remove(eva.rel_id, b, a));
+      }
+      break;
+    }
+    case EvaMapping::kForeignKey: {
+      if (!eva.a_mv) {
+        SIM_ASSIGN_OR_RETURN(FieldRef ref,
+                             Resolve(eva.class_a, eva.attr_a, true));
+        SIM_RETURN_IF_ERROR(
+            WriteUnitField(ref.unit, a, ref.field, Value::Null(), nullptr));
+      }
+      if (!eva.b_mv && !eva.symmetric) {
+        SIM_ASSIGN_OR_RETURN(FieldRef ref,
+                             Resolve(eva.class_b, eva.attr_b, true));
+        SIM_RETURN_IF_ERROR(
+            WriteUnitField(ref.unit, b, ref.field, Value::Null(), nullptr));
+      } else if (eva.symmetric && a != b) {
+        SIM_ASSIGN_OR_RETURN(FieldRef ref,
+                             Resolve(eva.class_a, eva.attr_a, true));
+        SIM_RETURN_IF_ERROR(
+            WriteUnitField(ref.unit, b, ref.field, Value::Null(), nullptr));
+      }
+      if (eva.a_mv) SIM_RETURN_IF_ERROR(fk_inv_->Remove(eva.rel_id, a, b));
+      if (eva.b_mv) SIM_RETURN_IF_ERROR(fk_inv_->Remove(eva.rel_id, b, a));
+      break;
+    }
+  }
+  if (eva_pair_counts_[side.eva_idx] > 0) --eva_pair_counts_[side.eva_idx];
+  return Status::Ok();
+}
+
+Result<std::vector<SurrogateId>> LucMapper::GetEvaTargets(
+    const std::string& cls, const std::string& attr, SurrogateId owner) {
+  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr queried,
+                       dir_->ResolveAttribute(cls, attr));
+  if (!queried.attr->order_by_attr.empty()) {
+    SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
+                         GetEvaTargetsUnordered(cls, attr, owner));
+    SIM_RETURN_IF_ERROR(SortByAttribute(&targets, queried.attr->range_class,
+                                        queried.attr->order_by_attr,
+                                        queried.attr->order_desc));
+    return targets;
+  }
+  return GetEvaTargetsUnordered(cls, attr, owner);
+}
+
+Result<std::vector<SurrogateId>> LucMapper::GetEvaTargetsUnordered(
+    const std::string& cls, const std::string& attr, SurrogateId owner) {
+  SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
+  const EvaPhys& eva = *side.eva;
+  switch (eva.mapping) {
+    case EvaMapping::kCommonStructure:
+    case EvaMapping::kPrivateStructure: {
+      RelKeyedStore* fwd = common_fwd_.get();
+      RelKeyedStore* inv = common_inv_.get();
+      if (eva.mapping == EvaMapping::kPrivateStructure) {
+        auto& pair = private_structs_.at(side.eva_idx);
+        fwd = pair.first.get();
+        inv = pair.second.get();
+      }
+      if (eva.symmetric || side.owner_is_a) {
+        return fwd->Get(eva.rel_id, owner);
+      }
+      return inv->Get(eva.rel_id, owner);
+    }
+    case EvaMapping::kForeignKey: {
+      bool owner_single = side.owner_is_a ? !eva.a_mv : !eva.b_mv;
+      if (owner_single) {
+        const std::string& c = side.owner_is_a ? eva.class_a : eva.class_b;
+        const std::string& at = side.owner_is_a ? eva.attr_a : eva.attr_b;
+        SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(c, at, true));
+        std::vector<Value> fields;
+        SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(owner, nullptr, &fields));
+        const Value& v = fields[ref.field];
+        if (v.is_null()) return std::vector<SurrogateId>();
+        return std::vector<SurrogateId>{v.surrogate_value()};
+      }
+      return fk_inv_->Get(eva.rel_id, owner);
+    }
+  }
+  return Status::Internal("unhandled EVA mapping");
+}
+
+Status LucMapper::AddEvaPair(const std::string& cls, const std::string& attr,
+                             SurrogateId owner, SurrogateId target,
+                             Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
+  const EvaPhys& eva = *side.eva;
+  const std::string& owner_class = side.owner_is_a ? eva.class_a : eva.class_b;
+  const std::string& target_class = side.owner_is_a ? eva.class_b : eva.class_a;
+  const std::string& target_attr = side.owner_is_a ? eva.attr_b : eva.attr_a;
+
+  SIM_ASSIGN_OR_RETURN(bool owner_ok, HasRole(owner, owner_class));
+  if (!owner_ok) {
+    return Status::ConstraintViolation(
+        "owner entity lacks role '" + owner_class + "' for EVA '" + attr + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(bool target_ok, HasRole(target, target_class));
+  if (!target_ok) {
+    return Status::ConstraintViolation(
+        "target entity lacks range role '" + target_class + "' for EVA '" +
+        attr + "'");
+  }
+
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> current,
+                       GetEvaTargets(cls, attr, owner));
+  if (side.distinct || eva.one_to_one()) {
+    if (std::find(current.begin(), current.end(), target) != current.end()) {
+      return Status::Ok();  // set semantics: already related
+    }
+  }
+  if (!side.owner_mv && !current.empty()) {
+    return Status::ConstraintViolation(
+        "single-valued EVA '" + attr + "' already has a value");
+  }
+  if (side.owner_max >= 0 &&
+      static_cast<int>(current.size()) >= side.owner_max) {
+    return Status::ConstraintViolation("EVA '" + attr + "' exceeds MAX " +
+                                       std::to_string(side.owner_max));
+  }
+  // The inverse side also gains an instance; enforce its options too.
+  if (!eva.symmetric) {
+    SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> inv_current,
+                         GetEvaTargets(target_class, target_attr, target));
+    SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr inv_ra,
+                         dir_->ResolveAttribute(target_class, target_attr));
+    if (!inv_ra.attr->mv && !inv_current.empty()) {
+      return Status::ConstraintViolation(
+          "inverse EVA '" + target_attr + "' of '" + attr +
+          "' is single-valued and already set on the target");
+    }
+    if (inv_ra.attr->max_count >= 0 &&
+        static_cast<int>(inv_current.size()) >= inv_ra.attr->max_count) {
+      return Status::ConstraintViolation(
+          "inverse EVA '" + target_attr + "' exceeds MAX " +
+          std::to_string(inv_ra.attr->max_count));
+    }
+  }
+
+  SIM_RETURN_IF_ERROR(StructAddPair(side, owner, target));
+  if (txn != nullptr) {
+    EvaSide side_copy = side;
+    txn->LogUndo([this, side_copy, owner, target]() {
+      return StructRemovePair(side_copy, owner, target);
+    });
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::RemoveEvaPair(const std::string& cls,
+                                const std::string& attr, SurrogateId owner,
+                                SurrogateId target, Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> current,
+                       GetEvaTargets(cls, attr, owner));
+  if (std::find(current.begin(), current.end(), target) == current.end()) {
+    return Status::NotFound("relationship instance does not exist");
+  }
+  SIM_RETURN_IF_ERROR(StructRemovePair(side, owner, target));
+  if (txn != nullptr) {
+    EvaSide side_copy = side;
+    txn->LogUndo([this, side_copy, owner, target]() {
+      return StructAddPair(side_copy, owner, target);
+    });
+  }
+  return Status::Ok();
+}
+
+Status LucMapper::RemoveAllEvaPairs(const std::string& cls,
+                                    const std::string& attr,
+                                    SurrogateId owner, Transaction* txn) {
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
+                       GetEvaTargets(cls, attr, owner));
+  for (SurrogateId t : targets) {
+    SIM_RETURN_IF_ERROR(RemoveEvaPair(cls, attr, owner, t, txn));
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<SurrogateId>> LucMapper::LookupByIndex(
+    const std::string& cls, const std::string& attr, const Value& v) {
+  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                       dir_->ResolveAttribute(cls, attr));
+  int idx = phys_->IndexOf(ra.owner->name, ra.attr->name);
+  if (idx < 0) {
+    return Status::NotFound("no index on '" + cls + "." + attr + "'");
+  }
+  SIM_ASSIGN_OR_RETURN(Value coerced, ra.attr->type.CoerceValue(v));
+  if (coerced.is_null()) return std::optional<SurrogateId>();
+  SIM_ASSIGN_OR_RETURN(std::string key, EncodeIndexKey(coerced));
+  SIM_ASSIGN_OR_RETURN(std::optional<uint64_t> found,
+                       sec_indexes_[idx]->GetFirst(key));
+  if (!found.has_value()) return std::optional<SurrogateId>();
+  return std::optional<SurrogateId>(*found);
+}
+
+bool LucMapper::HasIndex(const std::string& cls,
+                         const std::string& attr) const {
+  Result<DirectoryManager::ResolvedAttr> ra =
+      dir_->ResolveAttribute(cls, attr);
+  if (!ra.ok()) return false;
+  return phys_->IndexOf(ra->owner->name, ra->attr->name) >= 0;
+}
+
+Result<std::vector<SurrogateId>> LucMapper::ExtentOf(const std::string& cls) {
+  SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
+  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(cls));
+  std::vector<SurrogateId> out;
+  for (UnitStore::Cursor cur = units_[u]->Scan(); cur.Valid();) {
+    SIM_RETURN_IF_ERROR(cur.status());
+    if (cur.roles().count(code)) out.push_back(cur.surrogate());
+    SIM_RETURN_IF_ERROR(cur.Next());
+  }
+  // System-maintained class ordering (§6 extension).
+  SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
+  if (!def->order_by_attr.empty()) {
+    SIM_RETURN_IF_ERROR(
+        SortByAttribute(&out, def->name, def->order_by_attr, def->order_desc));
+  }
+  return out;
+}
+
+Status LucMapper::SortByAttribute(std::vector<SurrogateId>* ids,
+                                  const std::string& cls,
+                                  const std::string& attr, bool desc) {
+  std::vector<std::pair<Value, SurrogateId>> keyed;
+  keyed.reserve(ids->size());
+  for (SurrogateId s : *ids) {
+    SIM_ASSIGN_OR_RETURN(Value v, GetField(s, cls, attr));
+    keyed.emplace_back(std::move(v), s);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [desc](const auto& a, const auto& b) {
+                     const Value& va = a.first;
+                     const Value& vb = b.first;
+                     if (va.is_null() && vb.is_null()) return a.second < b.second;
+                     if (va.is_null()) return false;  // nulls last
+                     if (vb.is_null()) return true;
+                     Result<int> c = va.Compare(vb);
+                     int cv = c.ok() ? *c : 0;
+                     if (cv != 0) return desc ? cv > 0 : cv < 0;
+                     return a.second < b.second;
+                   });
+  ids->clear();
+  for (auto& [v, s] : keyed) ids->push_back(s);
+  return Status::Ok();
+}
+
+Result<LucMapper::TargetCursor> LucMapper::OpenEvaCursor(
+    const std::string& cls, const std::string& attr, SurrogateId owner) {
+  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                       dir_->ResolveAttribute(cls, attr));
+  if (!ra.attr->is_eva()) {
+    return Status::InvalidArgument("'" + attr + "' is not an EVA");
+  }
+  TargetCursor cursor;
+  cursor.mapper_ = this;
+  cursor.range_class_ = ra.attr->range_class;
+  SIM_ASSIGN_OR_RETURN(cursor.targets_, GetEvaTargets(cls, attr, owner));
+  return cursor;
+}
+
+Result<std::vector<Value>> LucMapper::TargetCursor::ReadRecord() {
+  if (!Valid()) return Status::NotFound("cursor exhausted");
+  SIM_ASSIGN_OR_RETURN(int u, mapper_->phys().UnitOf(range_class_));
+  std::vector<Value> fields;
+  SIM_RETURN_IF_ERROR(mapper_->units_[u]->Read(target(), nullptr, &fields));
+  return fields;
+}
+
+Result<LucMapper::ExtentCursor> LucMapper::OpenExtentCursor(
+    const std::string& cls) {
+  SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
+  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(cls));
+  ExtentCursor cursor(units_[u]->Scan(), code);
+  cursor.SkipNonMembers();
+  return cursor;
+}
+
+void LucMapper::ExtentCursor::SkipNonMembers() {
+  while (cursor_.Valid() && cursor_.roles().count(code_) == 0) {
+    if (!cursor_.Next().ok()) return;
+  }
+}
+
+Status LucMapper::ExtentCursor::Next() {
+  SIM_RETURN_IF_ERROR(cursor_.Next());
+  SkipNonMembers();
+  return cursor_.status();
+}
+
+Result<uint64_t> LucMapper::ExtentCount(const std::string& cls) const {
+  SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
+  return extent_counts_[code];
+}
+
+Status LucMapper::CheckRequired(SurrogateId s, const std::string& cls) {
+  SIM_ASSIGN_OR_RETURN(std::vector<DirectoryManager::ResolvedAttr> attrs,
+                       dir_->AllAttributes(cls));
+  for (const auto& ra : attrs) {
+    if (!ra.attr->required || ra.attr->is_subrole) continue;
+    // Only roles the entity actually has are checked.
+    SIM_ASSIGN_OR_RETURN(bool has_role, HasRole(s, ra.owner->name));
+    if (!has_role) continue;
+    bool present = false;
+    if (ra.attr->is_eva()) {
+      SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
+                           GetEvaTargets(ra.owner->name, ra.attr->name, s));
+      present = !targets.empty();
+    } else if (ra.attr->mv) {
+      SIM_ASSIGN_OR_RETURN(std::vector<Value> values,
+                           GetMvValues(s, ra.owner->name, ra.attr->name));
+      present = !values.empty();
+    } else {
+      SIM_ASSIGN_OR_RETURN(Value v, GetField(s, ra.owner->name, ra.attr->name));
+      present = !v.is_null();
+    }
+    if (!present) {
+      return Status::ConstraintViolation(
+          "required attribute '" + ra.owner->name + "." + ra.attr->name +
+          "' is missing on entity " + std::to_string(s));
+    }
+  }
+  return Status::Ok();
+}
+
+double LucMapper::AvgEvaFanout(int eva_idx, bool from_a) const {
+  const EvaPhys& eva = phys_->evas()[eva_idx];
+  const std::string& owner_class = from_a ? eva.class_a : eva.class_b;
+  Result<uint16_t> code = phys_->ClassCode(owner_class);
+  if (!code.ok()) return 1.0;
+  uint64_t owners = extent_counts_[*code];
+  if (owners == 0) return 1.0;
+  return static_cast<double>(eva_pair_counts_[eva_idx]) /
+         static_cast<double>(owners);
+}
+
+uint64_t LucMapper::EvaPairCount(int eva_idx) const {
+  return eva_pair_counts_[eva_idx];
+}
+
+}  // namespace sim

@@ -1,0 +1,301 @@
+#ifndef SIMDB_LUC_MAPPER_H_
+#define SIMDB_LUC_MAPPER_H_
+
+// The LUC Mapper (Figure 1): "extends the capabilities of any underlying
+// physical or logical data source and presents a uniform, simplified view
+// of data and operations associated with it" (§5.1). Above it sits the
+// executor; below it, the storage engine.
+//
+// The mapper owns:
+//  * the runtime storage units (one per UnitPhys),
+//  * the relationship structures (shared common structure, private
+//    structures, foreign-key inverse indexes),
+//  * multi-valued DVA storage (embedded arrays or a shared dependent-LUC
+//    heap file),
+//  * secondary indexes for UNIQUE attributes,
+//  * surrogate allocation.
+//
+// It maintains structural integrity (§5.1): deleting a role cascades to
+// subclass roles, removes every EVA instance the removed roles participate
+// in and the MV-DVA records they own, and keeps inverses synchronized at
+// all times. It also enforces attribute options (type/range checks,
+// UNIQUE, MAX, DISTINCT) on the write path; REQUIRED is checked by
+// CheckRequired at statement boundaries.
+//
+// Every mutation can log an undo action on a Transaction, giving
+// statement- and transaction-level rollback.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/directory.h"
+#include "catalog/luc_translation.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "luc/luc.h"
+#include "luc/relationship.h"
+#include "storage/heap_file.h"
+#include "storage/txn.h"
+
+namespace sim {
+
+class LucMapper {
+ public:
+  // The catalog and physical schema must outlive the mapper and must not
+  // change while it exists (schema evolution requires a rebuild).
+  static Result<std::unique_ptr<LucMapper>> Create(
+      const DirectoryManager* dir, const PhysicalSchema* phys,
+      BufferPool* pool);
+
+  const DirectoryManager& dir() const { return *dir_; }
+  const PhysicalSchema& phys() const { return *phys_; }
+  BufferPool* pool() { return pool_; }
+
+  // --- entity lifecycle ---
+
+  // Creates a new entity whose roles are `cls` plus all its ancestors.
+  // All declared fields start null. When `cluster_near` names an existing
+  // entity, the new records are placed on that entity's page where
+  // possible (clustered physical mapping).
+  Result<SurrogateId> CreateEntity(const std::string& cls, Transaction* txn,
+                                   SurrogateId cluster_near = kInvalidSurrogate,
+                                   const std::string& cluster_near_cls = "");
+
+  // Extends an existing entity with role `cls` (and any missing
+  // intermediate ancestor roles) — the INSERT ... FROM operation of §4.8.
+  Status AddRole(SurrogateId s, const std::string& cls, Transaction* txn);
+
+  Result<bool> HasRole(SurrogateId s, const std::string& cls);
+
+  // The role set of the entity; `cls` may be any class of its family.
+  Result<std::set<uint16_t>> RolesOf(SurrogateId s, const std::string& cls);
+
+  // Removes role `cls` and all its subclass roles; removing the base role
+  // deletes the entity entirely (§4.8 delete semantics).
+  Status DeleteRole(SurrogateId s, const std::string& cls, Transaction* txn);
+
+  // Physically relocates the primary record of `s` (in the unit of `cls`)
+  // next to the record of `near` (in the unit of `near_cls`) — the
+  // clustered physical mapping's reorganization step (§5.2).
+  Status ClusterNear(SurrogateId s, const std::string& cls, SurrogateId near,
+                     const std::string& near_cls);
+
+  // --- single-valued DVAs ---
+
+  // `cls` may be any class that has the attribute (resolution finds the
+  // declaring class). Values are coerced and validated against the
+  // attribute type; UNIQUE indexes are maintained.
+  Status SetField(SurrogateId s, const std::string& cls,
+                  const std::string& attr, const Value& v, Transaction* txn);
+  Result<Value> GetField(SurrogateId s, const std::string& cls,
+                         const std::string& attr);
+
+  // --- multi-valued DVAs ---
+
+  Status AddMvValue(SurrogateId s, const std::string& cls,
+                    const std::string& attr, const Value& v, Transaction* txn);
+  Status RemoveMvValue(SurrogateId s, const std::string& cls,
+                       const std::string& attr, const Value& v,
+                       Transaction* txn);
+  Result<std::vector<Value>> GetMvValues(SurrogateId s, const std::string& cls,
+                                         const std::string& attr);
+
+  // --- EVAs ---
+
+  // Adds the relationship instance (owner --attr--> target); the inverse
+  // becomes visible immediately. Enforces that `target` has the range
+  // class role, that a single-valued side is unoccupied, MAX, DISTINCT.
+  Status AddEvaPair(const std::string& cls, const std::string& attr,
+                    SurrogateId owner, SurrogateId target, Transaction* txn);
+  Status RemoveEvaPair(const std::string& cls, const std::string& attr,
+                       SurrogateId owner, SurrogateId target,
+                       Transaction* txn);
+  // Removes every instance of this EVA owned by `owner`.
+  Status RemoveAllEvaPairs(const std::string& cls, const std::string& attr,
+                           SurrogateId owner, Transaction* txn);
+  // Targets are delivered in the EVA's system-maintained order when one
+  // is declared (`mv (ordered by <attr>)`), else in surrogate order.
+  Result<std::vector<SurrogateId>> GetEvaTargets(const std::string& cls,
+                                                 const std::string& attr,
+                                                 SurrogateId owner);
+
+  // --- cursors (§5.1: "A cursor can be opened on a LUC or on a
+  // relationship and it delivers one record of the LUC at a time") ---
+
+  // Relationship cursor: positioned over the targets of one EVA instance
+  // set, delivering one range-LUC record at a time.
+  class TargetCursor {
+   public:
+    bool Valid() const { return index_ < targets_.size(); }
+    SurrogateId target() const { return targets_[index_]; }
+    void Next() { ++index_; }
+    size_t size() const { return targets_.size(); }
+    // Reads the current target's record fields from its primary unit.
+    Result<std::vector<Value>> ReadRecord();
+
+   private:
+    friend class LucMapper;
+    LucMapper* mapper_ = nullptr;
+    std::string range_class_;
+    std::vector<SurrogateId> targets_;
+    size_t index_ = 0;
+  };
+
+  Result<TargetCursor> OpenEvaCursor(const std::string& cls,
+                                     const std::string& attr,
+                                     SurrogateId owner);
+
+  // Class (LUC) cursor: streams the extent of `cls` including subclass
+  // members, one entity at a time, without materializing it.
+  class ExtentCursor {
+   public:
+    bool Valid() const { return cursor_.Valid(); }
+    SurrogateId surrogate() const { return cursor_.surrogate(); }
+    const std::vector<Value>& fields() const { return cursor_.fields(); }
+    Status Next();
+    const Status& status() const { return cursor_.status(); }
+
+   private:
+    friend class LucMapper;
+    ExtentCursor(UnitStore::Cursor cursor, uint16_t code)
+        : cursor_(std::move(cursor)), code_(code) {}
+    void SkipNonMembers();
+
+    UnitStore::Cursor cursor_;
+    uint16_t code_;
+  };
+
+  Result<ExtentCursor> OpenExtentCursor(const std::string& cls);
+
+  // --- lookup & scans ---
+
+  // Entity with `attr` == v via the secondary index, when one exists.
+  Result<std::optional<SurrogateId>> LookupByIndex(const std::string& cls,
+                                                   const std::string& attr,
+                                                   const Value& v);
+  bool HasIndex(const std::string& cls, const std::string& attr) const;
+
+  // Surrogates of every entity holding role `cls` (extent including
+  // subclasses, which is SIM's class membership semantics).
+  Result<std::vector<SurrogateId>> ExtentOf(const std::string& cls);
+  // Maintained count of the extent (no scan).
+  Result<uint64_t> ExtentCount(const std::string& cls) const;
+
+  // --- integrity support ---
+
+  // Verifies every REQUIRED attribute applicable to role `cls` of `s` is
+  // present (non-null / at least one value or target).
+  Status CheckRequired(SurrogateId s, const std::string& cls);
+
+  // --- statistics for the optimizer ---
+
+  // Average number of side-B targets per side-A owner of an EVA pair
+  // (and vice versa when `from_a` is false).
+  double AvgEvaFanout(int eva_idx, bool from_a) const;
+  uint64_t EvaPairCount(int eva_idx) const;
+
+ private:
+  LucMapper(const DirectoryManager* dir, const PhysicalSchema* phys,
+            BufferPool* pool)
+      : dir_(dir), phys_(phys), pool_(pool) {}
+
+  Status Init();
+
+  // Declaring class + attribute + unit/field coordinates.
+  struct FieldRef {
+    const ClassDef* owner = nullptr;
+    const AttributeDef* attr = nullptr;
+    int unit = -1;
+    int field = -1;  // index into unit fields; -1 when not stored
+  };
+  Result<FieldRef> Resolve(const std::string& cls, const std::string& attr,
+                           bool want_field) const;
+
+  // Reads the record of `s` in unit `u`.
+  Status ReadUnitRecord(int u, SurrogateId s, std::set<uint16_t>* roles,
+                        std::vector<Value>* fields);
+  // Replaces field `idx` of `s` in unit `u` (no option checks).
+  Status WriteUnitField(int u, SurrogateId s, int idx, const Value& v,
+                        Transaction* txn);
+
+  // Updates the roles set duplicated in every unit record of the entity.
+  Status UpdateRolesEverywhere(SurrogateId s,
+                               const std::set<uint16_t>& old_roles,
+                               const std::set<uint16_t>& new_roles,
+                               Transaction* txn);
+
+  // Per-side descriptors for an EVA instance operation.
+  struct EvaSide {
+    const EvaPhys* eva = nullptr;
+    int eva_idx = -1;
+    bool owner_is_a = true;
+    bool owner_mv = false;
+    int owner_max = -1;
+    bool distinct = false;
+  };
+  Result<EvaSide> ResolveEva(const std::string& cls, const std::string& attr)
+      const;
+
+  Result<std::vector<SurrogateId>> GetEvaTargetsUnordered(
+      const std::string& cls, const std::string& attr, SurrogateId owner);
+
+  // Structure-level pair maintenance (no option checks).
+  Status StructAddPair(const EvaSide& side, SurrogateId owner,
+                       SurrogateId target);
+  Status StructRemovePair(const EvaSide& side, SurrogateId owner,
+                          SurrogateId target);
+
+  // Removes all EVA pairs and MV values owned by role `cls` of `s`,
+  // logging undos; used by DeleteRole.
+  Status StripRoleData(SurrogateId s, const std::string& cls,
+                       Transaction* txn);
+
+  // Secondary index maintenance for one stored field change.
+  Status UpdateSecIndex(const FieldRef& ref, SurrogateId s, const Value& old_v,
+                        const Value& new_v, Transaction* txn);
+
+  // Sorts surrogates by an attribute of `cls` (system-maintained ordering,
+  // §6 extension). Nulls sort last; surrogate order breaks ties.
+  Status SortByAttribute(std::vector<SurrogateId>* ids, const std::string& cls,
+                         const std::string& attr, bool desc);
+
+  const DirectoryManager* dir_;
+  const PhysicalSchema* phys_;
+  BufferPool* pool_;
+
+  std::vector<std::unique_ptr<UnitStore>> units_;
+  // Common EVA Structure: forward keyed by side-A surrogate, inverse keyed
+  // by side-B surrogate.
+  std::unique_ptr<RelKeyedStore> common_fwd_;
+  std::unique_ptr<RelKeyedStore> common_inv_;
+  // Private structures for DISTINCT many:many EVAs, keyed by eva index.
+  std::map<int, std::pair<std::unique_ptr<RelKeyedStore>,
+                          std::unique_ptr<RelKeyedStore>>>
+      private_structs_;
+  // Inverse index for foreign-key-mapped EVAs with a multi-valued side.
+  std::unique_ptr<RelKeyedStore> fk_inv_;
+
+  // Separate-unit MV DVAs: records [owner, value] in one shared dependent
+  // file, located via (mvdva-id, owner) -> packed RecordId.
+  std::unique_ptr<HeapFile> mv_file_;
+  std::unique_ptr<RelKeyedStore> mv_index_;
+
+  // Secondary indexes parallel to phys_->indexes(): key -> surrogate.
+  std::vector<std::unique_ptr<BPlusTree>> sec_indexes_;
+
+  // Extent counters keyed by class code.
+  std::vector<uint64_t> extent_counts_;
+  // Per-EVA instance counts and per-side distinct owner tracking for
+  // fanout statistics.
+  std::vector<uint64_t> eva_pair_counts_;
+
+  SurrogateId next_surrogate_ = 1;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_LUC_MAPPER_H_

@@ -1,0 +1,112 @@
+#include "luc/relationship.h"
+
+#include <algorithm>
+
+#include "storage/record_codec.h"
+
+namespace sim {
+
+Result<std::unique_ptr<RelKeyedStore>> RelKeyedStore::Create(
+    BufferPool* pool, std::string name, KeyOrganization org) {
+  auto store =
+      std::unique_ptr<RelKeyedStore>(new RelKeyedStore(std::move(name), org));
+  switch (org) {
+    case KeyOrganization::kDirect:
+      break;
+    case KeyOrganization::kHashed: {
+      SIM_ASSIGN_OR_RETURN(HashIndex idx,
+                           HashIndex::Create(pool, store->name_, 256));
+      store->hashed_.emplace(std::move(idx));
+      break;
+    }
+    case KeyOrganization::kIndexSequential: {
+      SIM_ASSIGN_OR_RETURN(BPlusTree tree,
+                           BPlusTree::Create(pool, store->name_));
+      store->tree_.emplace(std::move(tree));
+      break;
+    }
+  }
+  return store;
+}
+
+Status RelKeyedStore::Add(uint32_t rel_id, SurrogateId key,
+                          SurrogateId value) {
+  switch (org_) {
+    case KeyOrganization::kDirect:
+      direct_.emplace(std::make_pair(rel_id, key), value);
+      break;
+    case KeyOrganization::kHashed:
+      SIM_RETURN_IF_ERROR(hashed_->Insert(EncodeRelKey(rel_id, key), value));
+      break;
+    case KeyOrganization::kIndexSequential:
+      SIM_RETURN_IF_ERROR(tree_->Insert(EncodeRelKey(rel_id, key), value));
+      break;
+  }
+  ++entry_count_;
+  return Status::Ok();
+}
+
+Status RelKeyedStore::Remove(uint32_t rel_id, SurrogateId key,
+                             SurrogateId value) {
+  switch (org_) {
+    case KeyOrganization::kDirect: {
+      auto range = direct_.equal_range(std::make_pair(rel_id, key));
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == value) {
+          direct_.erase(it);
+          if (entry_count_ > 0) --entry_count_;
+          return Status::Ok();
+        }
+      }
+      return Status::NotFound("relationship instance not found in " + name_);
+    }
+    case KeyOrganization::kHashed:
+      SIM_RETURN_IF_ERROR(hashed_->Delete(EncodeRelKey(rel_id, key), value));
+      break;
+    case KeyOrganization::kIndexSequential:
+      SIM_RETURN_IF_ERROR(tree_->Delete(EncodeRelKey(rel_id, key), value));
+      break;
+  }
+  if (entry_count_ > 0) --entry_count_;
+  return Status::Ok();
+}
+
+Result<std::vector<SurrogateId>> RelKeyedStore::Get(uint32_t rel_id,
+                                                    SurrogateId key) {
+  switch (org_) {
+    case KeyOrganization::kDirect: {
+      std::vector<SurrogateId> out;
+      auto range = direct_.equal_range(std::make_pair(rel_id, key));
+      for (auto it = range.first; it != range.second; ++it) {
+        out.push_back(it->second);
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    case KeyOrganization::kHashed: {
+      SIM_ASSIGN_OR_RETURN(std::vector<uint64_t> vals,
+                           hashed_->GetAll(EncodeRelKey(rel_id, key)));
+      std::sort(vals.begin(), vals.end());
+      return std::vector<SurrogateId>(vals.begin(), vals.end());
+    }
+    case KeyOrganization::kIndexSequential: {
+      SIM_ASSIGN_OR_RETURN(std::vector<uint64_t> vals,
+                           tree_->GetAll(EncodeRelKey(rel_id, key)));
+      return std::vector<SurrogateId>(vals.begin(), vals.end());
+    }
+  }
+  return Status::Internal("unhandled key organization");
+}
+
+Result<bool> RelKeyedStore::Contains(uint32_t rel_id, SurrogateId key,
+                                     SurrogateId value) {
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> vals, Get(rel_id, key));
+  return std::find(vals.begin(), vals.end(), value) != vals.end();
+}
+
+Result<uint64_t> RelKeyedStore::CountFor(uint32_t rel_id, SurrogateId key) {
+  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> vals, Get(rel_id, key));
+  return static_cast<uint64_t>(vals.size());
+}
+
+}  // namespace sim

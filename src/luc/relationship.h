@@ -1,0 +1,75 @@
+#ifndef SIMDB_LUC_RELATIONSHIP_H_
+#define SIMDB_LUC_RELATIONSHIP_H_
+
+// Keyed relationship storage. A RelKeyedStore holds (rel-id, surrogate) ->
+// surrogate associations — the runtime form of the Common EVA Structure
+// records <surrogate1, rel-id, surrogate2> of §5.2. One store instance
+// keyed in the forward direction plus one keyed in the inverse direction
+// together implement a relationship structure; "common" structures are
+// shared by many EVAs (distinguished by rel-id), "private" ones serve a
+// single DISTINCT many:many EVA.
+//
+// The §5.2 key organizations are all supported:
+//   direct          — an in-memory multimap (models record-number keys:
+//                     no block accesses for the probe itself),
+//   hashed          — the page-based hash index,
+//   index sequential— the page-based B+-tree.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/luc_translation.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/bptree.h"
+#include "storage/buffer_pool.h"
+#include "storage/hash_index.h"
+
+namespace sim {
+
+class RelKeyedStore {
+ public:
+  static Result<std::unique_ptr<RelKeyedStore>> Create(BufferPool* pool,
+                                                       std::string name,
+                                                       KeyOrganization org);
+
+  const std::string& name() const { return name_; }
+  KeyOrganization organization() const { return org_; }
+  uint64_t entry_count() const { return entry_count_; }
+
+  Status Add(uint32_t rel_id, SurrogateId key, SurrogateId value);
+  Status Remove(uint32_t rel_id, SurrogateId key, SurrogateId value);
+  // Values associated with (rel_id, key), in insertion-independent order
+  // (sorted for the tree organization).
+  Result<std::vector<SurrogateId>> Get(uint32_t rel_id, SurrogateId key);
+  Result<bool> Contains(uint32_t rel_id, SurrogateId key, SurrogateId value);
+  Result<uint64_t> CountFor(uint32_t rel_id, SurrogateId key);
+
+ private:
+  RelKeyedStore(std::string name, KeyOrganization org)
+      : name_(std::move(name)), org_(org) {}
+
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      return std::hash<uint64_t>()(p.first * 0x9e3779b97f4a7c15ULL ^
+                                   p.second);
+    }
+  };
+
+  std::string name_;
+  KeyOrganization org_;
+  uint64_t entry_count_ = 0;
+  // Exactly one of the following backs the store, per org_.
+  std::unordered_multimap<std::pair<uint64_t, uint64_t>, SurrogateId, PairHash>
+      direct_;
+  std::optional<HashIndex> hashed_;
+  std::optional<BPlusTree> tree_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_LUC_RELATIONSHIP_H_

@@ -1,0 +1,68 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim {
+
+double CostModel::ExtentScanCost(const std::string& cls) const {
+  // The extent scan touches every page of the class's storage unit; with
+  // co-located hierarchies the unit holds the whole family, which is why
+  // subclass scans of a colocated unit are costed on the family size.
+  Result<int> unit = phys_->UnitOf(cls);
+  double records = static_cast<double>(stats_->CardinalityOf(cls));
+  if (unit.ok()) {
+    double family = 0;
+    for (const auto& c : phys_->units()[*unit].classes) {
+      family += static_cast<double>(stats_->CardinalityOf(c));
+    }
+    records = std::max(records, family);
+  }
+  return std::max(1.0, records / stats_->blocking_factor);
+}
+
+double CostModel::IndexLookupCost() const {
+  // B+-tree descent (~height) plus one block for the record itself. A
+  // typical small index is 2 levels.
+  return 3.0;
+}
+
+double CostModel::FirstInstanceCost(const EvaPhys& eva, bool from_a) const {
+  bool owner_single = from_a ? !eva.a_mv : !eva.b_mv;
+  if (eva.mapping == EvaMapping::kForeignKey && owner_single) {
+    // The surrogate sits in the already-fetched owner record.
+    return 0.0;
+  }
+  switch (eva.org) {
+    case KeyOrganization::kDirect:
+      return 0.0;  // in-memory record-number keys
+    case KeyOrganization::kHashed:
+      return 1.0;  // one bucket page
+    case KeyOrganization::kIndexSequential: {
+      // Tree height grows with the structure's population.
+      size_t idx = 0;
+      for (; idx < phys_->evas().size(); ++idx) {
+        if (&phys_->evas()[idx] == &eva) break;
+      }
+      double pairs = idx < stats_->evas.size()
+                         ? static_cast<double>(stats_->evas[idx].pairs)
+                         : 0.0;
+      return std::max(1.0, std::ceil(std::log(std::max(2.0, pairs)) /
+                                     std::log(100.0)));
+    }
+  }
+  return 1.0;
+}
+
+double CostModel::EvaTraverseCost(int eva_idx, bool from_a) const {
+  const EvaPhys& eva = phys_->evas()[eva_idx];
+  double fanout = 1.0;
+  if (static_cast<size_t>(eva_idx) < stats_->evas.size()) {
+    fanout = from_a ? stats_->evas[eva_idx].fanout_a
+                    : stats_->evas[eva_idx].fanout_b;
+  }
+  // First instance + one block per delivered target record.
+  return FirstInstanceCost(eva, from_a) + std::max(0.0, fanout) * 1.0;
+}
+
+}  // namespace sim

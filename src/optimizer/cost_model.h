@@ -1,0 +1,47 @@
+#ifndef SIMDB_OPTIMIZER_COST_MODEL_H_
+#define SIMDB_OPTIMIZER_COST_MODEL_H_
+
+// Block-access cost model. Costs follow §5.1–5.2: the I/O cost of reaching
+// the first instance of a relationship depends on its physical mapping —
+// 0 when the value is in the already-fetched record (foreign-key field) or
+// in an in-memory direct-key structure, 1 block for hashed keys, index
+// height for index-sequential keys — and each delivered target record
+// costs one block to fetch. "This technique enables the Optimizer to do
+// its job without considering physical mapping details" beyond these
+// parameters.
+
+#include "catalog/luc_translation.h"
+#include "optimizer/stats.h"
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+class CostModel {
+ public:
+  CostModel(const PhysicalSchema* phys, const StatsSnapshot* stats)
+      : phys_(phys), stats_(stats) {}
+
+  // Blocks to scan the whole extent of `cls`.
+  double ExtentScanCost(const std::string& cls) const;
+
+  // Blocks to locate one entity through a secondary index and fetch it.
+  double IndexLookupCost() const;
+
+  // Blocks to enumerate the targets of one relationship instance set:
+  // first-instance cost + per-target record fetches.
+  double EvaTraverseCost(int eva_idx, bool from_a) const;
+
+  // First-instance block cost for the EVA's mapping and key organization.
+  double FirstInstanceCost(const EvaPhys& eva, bool from_a) const;
+
+  double blocking_factor() const { return stats_->blocking_factor; }
+  const StatsSnapshot& stats() const { return *stats_; }
+
+ private:
+  const PhysicalSchema* phys_;
+  const StatsSnapshot* stats_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_OPTIMIZER_COST_MODEL_H_

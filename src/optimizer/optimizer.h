@@ -1,0 +1,88 @@
+#ifndef SIMDB_OPTIMIZER_OPTIMIZER_H_
+#define SIMDB_OPTIMIZER_OPTIMIZER_H_
+
+// Query optimization (§5.1): build the query graph over LUC objects
+// (here: the bound QT), enumerate strategies, cost each and pick the
+// cheapest. Strategies cover the perspective (root) access paths — extent
+// scan vs. secondary-index equality lookup — and, for multi-perspective
+// queries, the join (root iteration) order. A strategy that does not
+// preserve the perspective-implied output ordering carries an explicit
+// sort cost ("Transformation of a query graph for a strategy is tested to
+// see if it is semantics-preserving, and, if it is not, the cost of
+// reordering/sorting output is added").
+
+#include <string>
+#include <vector>
+
+#include "luc/mapper.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/stats.h"
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+struct AccessPlan {
+  enum class RootMethod { kScan, kIndexEq };
+
+  struct RootAccess {
+    int node = -1;
+    RootMethod method = RootMethod::kScan;
+    // For kIndexEq: the indexed attribute and the literal to probe with.
+    std::string index_class, index_attr;
+    Value eq_value;
+    double est_cardinality = 0;
+  };
+
+  // Roots in chosen iteration order (may differ from declaration order).
+  std::vector<RootAccess> roots;
+  // True when the root order matches the perspective list, so the output
+  // comes out in perspective order without sorting.
+  bool order_preserving = true;
+  double est_cost = 0;
+  double sort_cost = 0;
+  int strategies_considered = 0;
+
+  std::string Describe() const;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(LucMapper* mapper)
+      : mapper_(mapper),
+        stats_(StatsSnapshot::Collect(mapper)),
+        cost_model_(&mapper->phys(), &stats_) {}
+
+  // Re-reads statistics from the mapper.
+  void RefreshStats();
+
+  Result<AccessPlan> Optimize(const QueryTree& qt);
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const StatsSnapshot& stats() const { return stats_; }
+
+ private:
+  struct IndexCandidate {
+    int root = -1;
+    std::string index_class, index_attr;
+    Value eq_value;
+  };
+
+  // Finds `field(root) = literal` conjuncts with a secondary index.
+  void CollectIndexCandidates(const QueryTree& qt, const BExpr* expr,
+                              std::vector<IndexCandidate>* out) const;
+
+  // Cost of one complete strategy.
+  double CostStrategy(const QueryTree& qt,
+                      const std::vector<AccessPlan::RootAccess>& roots) const;
+
+  double ChildTraversalCost(const QueryTree& qt, int node,
+                            double parent_card) const;
+
+  LucMapper* mapper_;
+  StatsSnapshot stats_;
+  CostModel cost_model_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,30 @@
+#include "optimizer/stats.h"
+
+#include "common/strings.h"
+
+namespace sim {
+
+uint64_t StatsSnapshot::CardinalityOf(const std::string& cls) const {
+  auto it = class_cardinality.find(AsciiLower(cls));
+  return it == class_cardinality.end() ? 0 : it->second;
+}
+
+StatsSnapshot StatsSnapshot::Collect(LucMapper* mapper) {
+  StatsSnapshot s;
+  const DirectoryManager& dir = mapper->dir();
+  for (const auto& name : dir.class_names()) {
+    Result<uint64_t> count = mapper->ExtentCount(name);
+    s.class_cardinality[AsciiLower(name)] = count.ok() ? *count : 0;
+  }
+  const PhysicalSchema& phys = mapper->phys();
+  for (size_t i = 0; i < phys.evas().size(); ++i) {
+    StatsSnapshot::EvaStats es;
+    es.pairs = mapper->EvaPairCount(static_cast<int>(i));
+    es.fanout_a = mapper->AvgEvaFanout(static_cast<int>(i), true);
+    es.fanout_b = mapper->AvgEvaFanout(static_cast<int>(i), false);
+    s.evas.push_back(es);
+  }
+  return s;
+}
+
+}  // namespace sim

@@ -1,0 +1,39 @@
+#ifndef SIMDB_OPTIMIZER_STATS_H_
+#define SIMDB_OPTIMIZER_STATS_H_
+
+// Statistics the Parser/Optimizer feeds its cost model (§5.1: "Cardinality
+// of LUCs and relationships, blocking factors, indexes and the cost of
+// accessing the first and subsequent instances of a relationship are some
+// of the optimization parameters used").
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "luc/mapper.h"
+
+namespace sim {
+
+struct StatsSnapshot {
+  struct EvaStats {
+    uint64_t pairs = 0;
+    double fanout_a = 1.0;  // avg side-B targets per side-A owner
+    double fanout_b = 1.0;
+  };
+
+  // Lowercase class name -> extent cardinality.
+  std::map<std::string, uint64_t> class_cardinality;
+  std::vector<EvaStats> evas;  // parallel to phys.evas()
+  // Records per page for extent scans (blocking factor).
+  double blocking_factor = 40.0;
+
+  uint64_t CardinalityOf(const std::string& cls) const;
+
+  // Reads maintained counters from the mapper (no scans).
+  static StatsSnapshot Collect(LucMapper* mapper);
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_OPTIMIZER_STATS_H_

@@ -1,0 +1,135 @@
+#include "parser/ast.h"
+
+namespace sim {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLike:
+      return "like";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+const char* QuantifierName(Quantifier q) {
+  switch (q) {
+    case Quantifier::kSome:
+      return "some";
+    case Quantifier::kAll:
+      return "all";
+    case Quantifier::kNo:
+      return "no";
+  }
+  return "?";
+}
+
+std::string LiteralExpr::ToText() const {
+  if (value.type() == ValueType::kString) {
+    std::string out = "\"";
+    for (char c : value.string_value()) {
+      out.push_back(c);
+      if (c == '"') out.push_back('"');
+    }
+    out.push_back('"');
+    return out;
+  }
+  return value.ToString();
+}
+
+std::string QualElement::ToText() const {
+  std::string out;
+  if (transitive) {
+    out = "transitive(" + name + ")";
+  } else if (inverse) {
+    out = "inverse(" + name + ")";
+  } else {
+    out = name;
+  }
+  if (!as_class.empty()) out += " as " + as_class;
+  return out;
+}
+
+std::string QualRefExpr::ToText() const {
+  std::string out;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += " of ";
+    out += elements[i].ToText();
+  }
+  return out;
+}
+
+std::string BinaryExpr::ToText() const {
+  return "(" + lhs->ToText() + " " + BinaryOpName(op) + " " + rhs->ToText() +
+         ")";
+}
+
+std::string UnaryExpr::ToText() const {
+  if (op == UnaryOp::kNot) return "(not " + operand->ToText() + ")";
+  return "(-" + operand->ToText() + ")";
+}
+
+std::string AggregateExpr::ToText() const {
+  std::string out = AggFuncName(func);
+  if (distinct) out += " distinct";
+  out += "(" + arg->ToText() + ")";
+  for (const auto& e : outer) out += " of " + e.ToText();
+  return out;
+}
+
+std::string QuantifiedExpr::ToText() const {
+  return std::string(QuantifierName(quantifier)) + "(" + arg->ToText() + ")";
+}
+
+std::string FunctionExpr::ToText() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToText();
+  }
+  return out + ")";
+}
+
+std::string IsaExpr::ToText() const {
+  return "(" + entity->ToText() + " isa " + class_name + ")";
+}
+
+}  // namespace sim

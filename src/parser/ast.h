@@ -1,0 +1,238 @@
+#ifndef SIMDB_PARSER_AST_H_
+#define SIMDB_PARSER_AST_H_
+
+// Abstract syntax for SIM DML (§4) and the declarations of the DDL (§7).
+// Qualification chains are kept exactly as written (leftmost attribute
+// first); the binder completes and resolves them against the perspective
+// classes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sim {
+
+// ----- expressions -----
+
+enum class ExprKind {
+  kLiteral,
+  kQualRef,
+  kBinary,
+  kUnary,
+  kAggregate,
+  kQuantified,
+  kIsa,
+  kFunction,
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  ExprKind kind;
+
+  // Round-trips the expression back to DML text (used for catalog storage
+  // of VERIFY conditions and for diagnostics).
+  virtual std::string ToText() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  Value value;
+  std::string ToText() const override;
+};
+
+// One element of a qualification chain: an attribute name, a perspective
+// class name or a reference variable, optionally wrapped in INVERSE(...) or
+// TRANSITIVE(...) and optionally role-converted with AS.
+struct QualElement {
+  std::string name;
+  std::string as_class;   // AS <class> role conversion; empty if absent
+  bool inverse = false;    // INVERSE(<eva>)
+  bool transitive = false; // TRANSITIVE(<eva>)
+  std::string ToText() const;
+};
+
+// "<e1> OF <e2> OF ... OF <ek>" stored leftmost-first: elements[0] is the
+// final attribute, elements.back() is nearest the perspective.
+struct QualRefExpr : Expr {
+  QualRefExpr() : Expr(ExprKind::kQualRef) {}
+  std::vector<QualElement> elements;
+  std::string ToText() const override;
+};
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  BinaryOp op;
+  ExprPtr lhs, rhs;
+  std::string ToText() const override;
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  ExprPtr operand;
+  std::string ToText() const override;
+};
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+// <func> [DISTINCT] ( <arg> ) [OF <outer qualification>]
+// The argument is evaluated in a fresh binding scope rooted where the
+// outer qualification anchors (§4.6: aggregates delimit their scope).
+struct AggregateExpr : Expr {
+  AggregateExpr() : Expr(ExprKind::kAggregate) {}
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;
+  ExprPtr arg;
+  std::vector<QualElement> outer;  // leftmost-first, may be empty
+  std::string ToText() const override;
+};
+
+enum class Quantifier { kSome, kAll, kNo };
+
+const char* QuantifierName(Quantifier q);
+
+// SOME/ALL/NO ( <path> ) — appears as a comparison operand (§4.6/§4.9).
+struct QuantifiedExpr : Expr {
+  QuantifiedExpr() : Expr(ExprKind::kQuantified) {}
+  Quantifier quantifier = Quantifier::kSome;
+  ExprPtr arg;
+  std::string ToText() const override;
+};
+
+// Scalar primitive functions (§4.9: "an array of operators and primitive
+// functions"): LENGTH, UPPER, LOWER, ABS, ROUND, YEAR, MONTH, DAY.
+struct FunctionExpr : Expr {
+  FunctionExpr() : Expr(ExprKind::kFunction) {}
+  std::string name;  // lowercase
+  std::vector<ExprPtr> args;
+  std::string ToText() const override;
+};
+
+// <entity path> ISA <class> (§4.9 example 7).
+struct IsaExpr : Expr {
+  IsaExpr() : Expr(ExprKind::kIsa) {}
+  ExprPtr entity;
+  std::string class_name;
+  std::string ToText() const override;
+};
+
+// ----- DML statements -----
+
+enum class StmtKind { kRetrieve, kInsert, kModify, kDelete };
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  StmtKind kind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Perspective {
+  std::string class_name;
+  std::string ref_var;  // optional explicit range variable
+};
+
+enum class OutputMode { kDefault, kTable, kTableDistinct, kStructure };
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct RetrieveStmt : Stmt {
+  RetrieveStmt() : Stmt(StmtKind::kRetrieve) {}
+  std::vector<Perspective> perspectives;  // empty = derive from targets
+  OutputMode mode = OutputMode::kDefault;
+  std::vector<ExprPtr> targets;
+  std::vector<OrderItem> order_by;
+  ExprPtr where;  // may be null
+};
+
+// One assignment inside INSERT or MODIFY (§4.8):
+//   <attr> := <expr>
+//   <attr> := [INCLUDE|EXCLUDE] <expr>                      (MV DVA)
+//   <attr> := [INCLUDE|EXCLUDE] <object> WITH ( <boolexpr> ) (EVA)
+struct Assignment {
+  enum class Mode { kSet, kInclude, kExclude };
+  std::string attr;
+  Mode mode = Mode::kSet;
+  // EVA selector form: entities of `with_object` satisfying `with_expr`.
+  bool is_selector = false;
+  std::string with_object;
+  ExprPtr with_expr;
+  // Plain expression form.
+  ExprPtr value;
+};
+
+struct InsertStmt : Stmt {
+  InsertStmt() : Stmt(StmtKind::kInsert) {}
+  std::string class_name;
+  // Role-extension form: INSERT <class> FROM <ancestor> WHERE <expr>.
+  std::string from_class;
+  ExprPtr from_where;
+  std::vector<Assignment> assignments;
+};
+
+struct ModifyStmt : Stmt {
+  ModifyStmt() : Stmt(StmtKind::kModify) {}
+  std::string class_name;
+  std::vector<Assignment> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt : Stmt {
+  DeleteStmt() : Stmt(StmtKind::kDelete) {}
+  std::string class_name;
+  ExprPtr where;
+};
+
+// ----- DDL statements -----
+
+struct TypeDecl {
+  std::string name;
+  DataType type;
+};
+
+struct DdlStatement {
+  // Exactly one of these is populated.
+  std::unique_ptr<TypeDecl> type_decl;
+  std::unique_ptr<ClassDef> class_decl;
+  std::unique_ptr<VerifyDef> verify_decl;
+  std::unique_ptr<ViewDef> view_decl;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_PARSER_AST_H_

@@ -1,0 +1,327 @@
+#include "parser/ddl_parser.h"
+
+#include "common/strings.h"
+#include "parser/dml_parser.h"
+#include "parser/lexer.h"
+
+namespace sim {
+
+Result<std::vector<DdlStatement>> DdlParser::Parse(
+    std::string_view text, const DirectoryManager* dir) {
+  Lexer lexer(text);
+  SIM_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  DdlParser parser(std::move(tokens), dir);
+  return parser.ParseAll();
+}
+
+Result<std::vector<DdlStatement>> DdlParser::ParseAll() {
+  std::vector<DdlStatement> out;
+  while (!AtEnd()) {
+    if (Match(TokenType::kSemicolon) || Match(TokenType::kPeriod)) continue;
+    if (MatchKeyword("type")) {
+      SIM_ASSIGN_OR_RETURN(DdlStatement s, ParseTypeDecl());
+      out.push_back(std::move(s));
+    } else if (MatchKeyword("class")) {
+      SIM_ASSIGN_OR_RETURN(DdlStatement s, ParseClassDecl(false));
+      out.push_back(std::move(s));
+    } else if (MatchKeyword("subclass")) {
+      SIM_ASSIGN_OR_RETURN(DdlStatement s, ParseClassDecl(true));
+      out.push_back(std::move(s));
+    } else if (MatchKeyword("verify")) {
+      SIM_ASSIGN_OR_RETURN(DdlStatement s, ParseVerifyDecl());
+      out.push_back(std::move(s));
+    } else if (MatchKeyword("view")) {
+      SIM_ASSIGN_OR_RETURN(DdlStatement s, ParseViewDecl());
+      out.push_back(std::move(s));
+    } else {
+      return ErrorHere(
+          "expected 'Type', 'Class', 'Subclass', 'Verify' or 'View' "
+          "declaration");
+    }
+  }
+  return out;
+}
+
+bool DdlParser::IsTypeName(const std::string& name) const {
+  if (local_types_.count(AsciiLower(name))) return true;
+  if (dir_ != nullptr && dir_->FindType(name).ok()) return true;
+  return false;
+}
+
+Result<DdlStatement> DdlParser::ParseTypeDecl() {
+  SIM_ASSIGN_OR_RETURN(std::string name, ExpectIdent("after 'Type'"));
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kEq, "in type declaration"));
+  SIM_ASSIGN_OR_RETURN(std::string spec_name,
+                       ExpectIdent("naming the type's representation"));
+  SIM_ASSIGN_OR_RETURN(DataType type, ParseTypeSpec(spec_name));
+  if (type.kind == DataTypeKind::kSubrole) {
+    return ErrorHere("subrole types cannot be named types");
+  }
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kSemicolon, "ending type declaration"));
+  DdlStatement s;
+  s.type_decl = std::make_unique<TypeDecl>();
+  s.type_decl->name = name;
+  s.type_decl->type = std::move(type);
+  local_types_[AsciiLower(name)] = s.type_decl->type;
+  return s;
+}
+
+Result<DataType> DdlParser::ParseTypeSpec(const std::string& name) {
+  if (NameEq(name, "string")) {
+    int max_length = 0;
+    if (Match(TokenType::kLBracket)) {
+      if (!Check(TokenType::kInt)) return ErrorHere("expected string length");
+      max_length = static_cast<int>(Advance().int_value);
+      SIM_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "after string length"));
+    }
+    return DataType::String(max_length);
+  }
+  if (NameEq(name, "integer")) {
+    if (!Match(TokenType::kLParen)) return DataType::Integer();
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    for (;;) {
+      if (!Check(TokenType::kInt)) return ErrorHere("expected range bound");
+      int64_t lo = Advance().int_value;
+      SIM_RETURN_IF_ERROR(Expect(TokenType::kDotDot, "in integer range"));
+      if (!Check(TokenType::kInt)) return ErrorHere("expected range bound");
+      int64_t hi = Advance().int_value;
+      if (hi < lo) return ErrorHere("descending integer range");
+      ranges.emplace_back(lo, hi);
+      if (!Match(TokenType::kComma)) break;
+    }
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after integer ranges"));
+    return DataType::IntegerRanges(std::move(ranges));
+  }
+  if (NameEq(name, "number")) {
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kLBracket, "after 'number'"));
+    if (!Check(TokenType::kInt)) return ErrorHere("expected precision");
+    int precision = static_cast<int>(Advance().int_value);
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kComma, "in number[p,s]"));
+    if (!Check(TokenType::kInt)) return ErrorHere("expected scale");
+    int scale = static_cast<int>(Advance().int_value);
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "after number[p,s]"));
+    return DataType::Number(precision, scale);
+  }
+  if (NameEq(name, "date")) return DataType::Date();
+  if (NameEq(name, "boolean")) return DataType::Boolean();
+  if (NameEq(name, "symbolic") || NameEq(name, "subrole")) {
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "after symbolic/subrole"));
+    std::vector<std::string> symbols;
+    for (;;) {
+      SIM_ASSIGN_OR_RETURN(std::string sym, ExpectIdent("symbol name"));
+      symbols.push_back(std::move(sym));
+      if (!Match(TokenType::kComma)) break;
+    }
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after symbol list"));
+    return NameEq(name, "symbolic") ? DataType::Symbolic(std::move(symbols))
+                                    : DataType::Subrole(std::move(symbols));
+  }
+  // Named type reference: this batch first, then the catalog.
+  auto local = local_types_.find(AsciiLower(name));
+  if (local != local_types_.end()) return local->second;
+  if (dir_ != nullptr) {
+    SIM_ASSIGN_OR_RETURN(const DataType* t, dir_->FindType(name));
+    return *t;
+  }
+  return Status::ParseError("unknown type '" + name + "'");
+}
+
+Result<AttributeDef> DdlParser::ParseAttribute() {
+  AttributeDef attr;
+  SIM_ASSIGN_OR_RETURN(attr.name, ExpectIdent("attribute name"));
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kColon, "after attribute name"));
+  if (Peek().Is("derived")) {
+    // Derived attribute: <name>: derived = <expression>.
+    Advance();
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kEq, "after 'derived'"));
+    std::vector<Token> expr_tokens;
+    int depth = 0;
+    while (!AtEnd()) {
+      const Token& t = Peek();
+      if (depth == 0 && (t.type == TokenType::kSemicolon ||
+                         t.type == TokenType::kRParen)) {
+        break;
+      }
+      if (t.type == TokenType::kLParen) ++depth;
+      if (t.type == TokenType::kRParen) --depth;
+      expr_tokens.push_back(Advance());
+    }
+    Token end_token;
+    end_token.type = TokenType::kEnd;
+    expr_tokens.push_back(end_token);
+    SIM_ASSIGN_OR_RETURN(ExprPtr expr,
+                         DmlParser::ParseExpressionTokens(
+                             std::move(expr_tokens)));
+    attr.kind = AttrKind::kDva;
+    attr.is_derived = true;
+    attr.derived_text = expr->ToText();
+    return attr;
+  }
+  SIM_ASSIGN_OR_RETURN(std::string type_name,
+                       ExpectIdent("attribute type or range class"));
+  bool is_builtin =
+      NameEq(type_name, "string") || NameEq(type_name, "integer") ||
+      NameEq(type_name, "number") || NameEq(type_name, "date") ||
+      NameEq(type_name, "boolean") || NameEq(type_name, "symbolic") ||
+      NameEq(type_name, "subrole");
+  if (is_builtin || IsTypeName(type_name)) {
+    attr.kind = AttrKind::kDva;
+    SIM_ASSIGN_OR_RETURN(attr.type, ParseTypeSpec(type_name));
+    if (attr.type.kind == DataTypeKind::kSubrole) attr.is_subrole = true;
+  } else {
+    // EVA: range class (possibly a forward reference).
+    attr.kind = AttrKind::kEva;
+    attr.range_class = type_name;
+    if (Peek().Is("inverse")) {
+      Advance();
+      SIM_RETURN_IF_ERROR(ExpectKeyword("is", "in 'inverse is <name>'"));
+      SIM_ASSIGN_OR_RETURN(attr.inverse_name, ExpectIdent("inverse name"));
+    }
+  }
+  SIM_RETURN_IF_ERROR(ParseAttributeOptions(&attr));
+  return attr;
+}
+
+Status DdlParser::ParseAttributeOptions(AttributeDef* attr) {
+  // Options may be separated by commas or just spaces, and `mv` may carry
+  // a parenthesized option list: mv (max 10, distinct).
+  for (;;) {
+    Match(TokenType::kComma);
+    if (Peek().Is("unique")) {
+      Advance();
+      attr->unique = true;
+    } else if (Peek().Is("required")) {
+      Advance();
+      attr->required = true;
+    } else if (Peek().Is("mv")) {
+      Advance();
+      attr->mv = true;
+      if (Match(TokenType::kLParen)) {
+        for (;;) {
+          if (Peek().Is("distinct")) {
+            Advance();
+            attr->distinct = true;
+          } else if (Peek().Is("max")) {
+            Advance();
+            if (!Check(TokenType::kInt)) {
+              return ErrorHere("expected integer after MAX");
+            }
+            attr->max_count = static_cast<int>(Advance().int_value);
+          } else if (Peek().Is("ordered")) {
+            Advance();
+            SIM_RETURN_IF_ERROR(ExpectKeyword("by", "after 'ordered'"));
+            SIM_ASSIGN_OR_RETURN(attr->order_by_attr,
+                                 ExpectIdent("ordering attribute"));
+            if (MatchKeyword("desc") || MatchKeyword("descending")) {
+              attr->order_desc = true;
+            }
+          } else {
+            return ErrorHere(
+                "expected 'distinct', 'max' or 'ordered by' in MV options");
+          }
+          if (!Match(TokenType::kComma)) break;
+        }
+        SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after MV options"));
+      }
+    } else if (Peek().Is("inverse")) {
+      // `inverse is <name>` may also follow options.
+      Advance();
+      SIM_RETURN_IF_ERROR(ExpectKeyword("is", "in 'inverse is <name>'"));
+      SIM_ASSIGN_OR_RETURN(attr->inverse_name, ExpectIdent("inverse name"));
+    } else {
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<DdlStatement> DdlParser::ParseClassDecl(bool is_subclass) {
+  auto def = std::make_unique<ClassDef>();
+  SIM_ASSIGN_OR_RETURN(def->name, ExpectIdent("class name"));
+  if (is_subclass) {
+    SIM_RETURN_IF_ERROR(ExpectKeyword("of", "after subclass name"));
+    for (;;) {
+      SIM_ASSIGN_OR_RETURN(std::string super, ExpectIdent("superclass name"));
+      def->superclasses.push_back(std::move(super));
+      if (!MatchKeyword("and")) break;
+    }
+  }
+  if (MatchKeyword("ordered")) {
+    SIM_RETURN_IF_ERROR(ExpectKeyword("by", "after 'ordered'"));
+    SIM_ASSIGN_OR_RETURN(def->order_by_attr, ExpectIdent("ordering attribute"));
+    if (MatchKeyword("desc") || MatchKeyword("descending")) {
+      def->order_desc = true;
+    }
+  }
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "starting class body"));
+  if (!Check(TokenType::kRParen)) {
+    for (;;) {
+      SIM_ASSIGN_OR_RETURN(AttributeDef attr, ParseAttribute());
+      def->attributes.push_back(std::move(attr));
+      if (!Match(TokenType::kSemicolon)) break;
+      if (Check(TokenType::kRParen)) break;  // trailing semicolon
+    }
+  }
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "ending class body"));
+  Match(TokenType::kSemicolon);
+  DdlStatement s;
+  s.class_decl = std::move(def);
+  return s;
+}
+
+Result<DdlStatement> DdlParser::ParseViewDecl() {
+  // View <name> of <class> Where <boolexpr>;
+  auto def = std::make_unique<ViewDef>();
+  SIM_ASSIGN_OR_RETURN(def->name, ExpectIdent("view name"));
+  SIM_RETURN_IF_ERROR(ExpectKeyword("of", "after view name"));
+  SIM_ASSIGN_OR_RETURN(def->class_name, ExpectIdent("view class"));
+  SIM_RETURN_IF_ERROR(ExpectKeyword("where", "in view declaration"));
+  std::vector<Token> cond;
+  while (!AtEnd() && !Check(TokenType::kSemicolon)) {
+    cond.push_back(Advance());
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  cond.push_back(end_token);
+  SIM_ASSIGN_OR_RETURN(ExprPtr expr,
+                       DmlParser::ParseExpressionTokens(std::move(cond)));
+  def->condition_text = expr->ToText();
+  Match(TokenType::kSemicolon);
+  DdlStatement s;
+  s.view_decl = std::move(def);
+  return s;
+}
+
+Result<DdlStatement> DdlParser::ParseVerifyDecl() {
+  auto def = std::make_unique<VerifyDef>();
+  SIM_ASSIGN_OR_RETURN(def->name, ExpectIdent("verify name"));
+  SIM_RETURN_IF_ERROR(ExpectKeyword("on", "after verify name"));
+  SIM_ASSIGN_OR_RETURN(def->class_name, ExpectIdent("verify class"));
+  SIM_RETURN_IF_ERROR(ExpectKeyword("assert", "in verify declaration"));
+  // Collect the condition tokens up to the ELSE keyword.
+  std::vector<Token> cond;
+  while (!AtEnd() && !Peek().Is("else") &&
+         !Check(TokenType::kSemicolon)) {
+    cond.push_back(Advance());
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  cond.push_back(end_token);
+  SIM_ASSIGN_OR_RETURN(ExprPtr expr,
+                       DmlParser::ParseExpressionTokens(std::move(cond)));
+  def->condition_text = expr->ToText();
+  if (MatchKeyword("else")) {
+    if (!Check(TokenType::kString)) {
+      return ErrorHere("expected message string after ELSE");
+    }
+    def->message = Advance().text;
+  } else {
+    def->message = "integrity condition '" + def->name + "' violated";
+  }
+  Match(TokenType::kSemicolon);
+  DdlStatement s;
+  s.verify_decl = std::move(def);
+  return s;
+}
+
+}  // namespace sim

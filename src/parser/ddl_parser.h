@@ -1,0 +1,58 @@
+#ifndef SIMDB_PARSER_DDL_PARSER_H_
+#define SIMDB_PARSER_DDL_PARSER_H_
+
+// Parser for the SIM schema definition language of §7:
+//
+//   Type <name> = <type-spec>;
+//   Class <name> ( <attribute>; ... );
+//   Subclass <name> of <super> [and <super>]... ( <attribute>; ... );
+//   Verify <name> on <class> assert <expr> else "<message>";
+//
+// Attribute syntax:
+//   <name>: <type-spec> [options]            -- DVA
+//   <name>: <class> [inverse is <name>] [options]  -- EVA
+// with options UNIQUE, REQUIRED, MV [( DISTINCT | MAX <n> ... )],
+// separated by spaces or commas.
+//
+// Named types must be declared before use; EVA range classes may be
+// forward references (resolved at catalog Finalize).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/directory.h"
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/parser_base.h"
+
+namespace sim {
+
+class DdlParser : public ParserBase {
+ public:
+  // `dir` provides already-declared named types; may be null.
+  static Result<std::vector<DdlStatement>> Parse(std::string_view text,
+                                                 const DirectoryManager* dir);
+
+ private:
+  DdlParser(std::vector<Token> tokens, const DirectoryManager* dir)
+      : ParserBase(std::move(tokens)), dir_(dir) {}
+
+  Result<std::vector<DdlStatement>> ParseAll();
+  Result<DdlStatement> ParseTypeDecl();
+  Result<DdlStatement> ParseClassDecl(bool is_subclass);
+  Result<DdlStatement> ParseVerifyDecl();
+  Result<DdlStatement> ParseViewDecl();
+  Result<AttributeDef> ParseAttribute();
+  Result<DataType> ParseTypeSpec(const std::string& name);
+  Status ParseAttributeOptions(AttributeDef* attr);
+  bool IsTypeName(const std::string& name) const;
+
+  const DirectoryManager* dir_;
+  // Types declared earlier in this batch (lowercase name -> definition).
+  std::map<std::string, DataType> local_types_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_PARSER_DDL_PARSER_H_

@@ -1,0 +1,490 @@
+#include "parser/dml_parser.h"
+
+#include "common/strings.h"
+#include "parser/lexer.h"
+
+namespace sim {
+
+Result<StmtPtr> DmlParser::ParseStatement(std::string_view text) {
+  Lexer lexer(text);
+  SIM_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  DmlParser parser(std::move(tokens));
+  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, parser.ParseOne());
+  parser.Match(TokenType::kPeriod);
+  parser.Match(TokenType::kSemicolon);
+  if (!parser.AtEnd()) {
+    return parser.ErrorHere("unexpected trailing input after statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<StmtPtr>> DmlParser::ParseScript(std::string_view text) {
+  Lexer lexer(text);
+  SIM_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  DmlParser parser(std::move(tokens));
+  std::vector<StmtPtr> out;
+  while (!parser.AtEnd()) {
+    if (parser.Match(TokenType::kPeriod) ||
+        parser.Match(TokenType::kSemicolon)) {
+      continue;
+    }
+    SIM_ASSIGN_OR_RETURN(StmtPtr stmt, parser.ParseOne());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Result<ExprPtr> DmlParser::ParseExpressionText(std::string_view text) {
+  Lexer lexer(text);
+  SIM_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  return ParseExpressionTokens(std::move(tokens));
+}
+
+Result<ExprPtr> DmlParser::ParseExpressionTokens(std::vector<Token> tokens) {
+  DmlParser parser(std::move(tokens));
+  SIM_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  if (!parser.AtEnd()) {
+    return parser.ErrorHere("unexpected trailing input after expression");
+  }
+  return expr;
+}
+
+bool DmlParser::AtStatementBoundary() const {
+  const Token& t = Peek();
+  return t.type == TokenType::kEnd || t.Is("from") || t.Is("retrieve") ||
+         t.Is("insert") || t.Is("modify") || t.Is("delete");
+}
+
+Result<StmtPtr> DmlParser::ParseOne() {
+  if (Peek().Is("from") || Peek().Is("retrieve")) return ParseRetrieve();
+  if (MatchKeyword("insert")) return ParseInsert();
+  if (MatchKeyword("modify")) return ParseModify();
+  if (MatchKeyword("delete")) return ParseDelete();
+  return ErrorHere("expected FROM, RETRIEVE, INSERT, MODIFY or DELETE");
+}
+
+Result<StmtPtr> DmlParser::ParseRetrieve() {
+  auto stmt = std::make_unique<RetrieveStmt>();
+  if (MatchKeyword("from")) {
+    for (;;) {
+      Perspective p;
+      SIM_ASSIGN_OR_RETURN(p.class_name, ExpectIdent("perspective class"));
+      // Optional explicit range variable: `From Student S, ...`.
+      if (Check(TokenType::kIdent) && !Peek().Is("retrieve")) {
+        p.ref_var = Advance().text;
+      }
+      stmt->perspectives.push_back(std::move(p));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+  SIM_RETURN_IF_ERROR(ExpectKeyword("retrieve", "in query"));
+  if (MatchKeyword("table")) {
+    stmt->mode = MatchKeyword("distinct") ? OutputMode::kTableDistinct
+                                          : OutputMode::kTable;
+  } else if (MatchKeyword("structure")) {
+    stmt->mode = OutputMode::kStructure;
+  }
+  for (;;) {
+    SIM_RETURN_IF_ERROR(ParseTargetItems(&stmt->targets));
+    if (!Match(TokenType::kComma)) break;
+  }
+  // The paper's grammar is [ORDER BY ...] [WHERE ...]; we accept the two
+  // clauses in either order (each at most once).
+  while (Peek().Is("order") || Peek().Is("where")) {
+    if (MatchKeyword("order")) {
+      if (!stmt->order_by.empty()) {
+        return ErrorHere("duplicate ORDER BY clause");
+      }
+      SIM_RETURN_IF_ERROR(ExpectKeyword("by", "after ORDER"));
+      for (;;) {
+        OrderItem item;
+        SIM_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc") || MatchKeyword("descending")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("asc");
+          MatchKeyword("ascending");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!Match(TokenType::kComma)) break;
+      }
+    } else if (MatchKeyword("where")) {
+      if (stmt->where != nullptr) {
+        return ErrorHere("duplicate WHERE clause");
+      }
+      SIM_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> DmlParser::ParseInsert() {
+  auto stmt = std::make_unique<InsertStmt>();
+  SIM_ASSIGN_OR_RETURN(stmt->class_name, ExpectIdent("class after INSERT"));
+  if (MatchKeyword("from")) {
+    SIM_ASSIGN_OR_RETURN(stmt->from_class, ExpectIdent("ancestor class"));
+    SIM_RETURN_IF_ERROR(ExpectKeyword("where", "in INSERT ... FROM"));
+    SIM_ASSIGN_OR_RETURN(stmt->from_where, ParseExpr());
+  }
+  if (Match(TokenType::kLParen)) {
+    if (!Check(TokenType::kRParen)) {
+      SIM_ASSIGN_OR_RETURN(stmt->assignments, ParseAssignmentList());
+    }
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "ending assignment list"));
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> DmlParser::ParseModify() {
+  auto stmt = std::make_unique<ModifyStmt>();
+  SIM_ASSIGN_OR_RETURN(stmt->class_name, ExpectIdent("class after MODIFY"));
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "starting assignment list"));
+  SIM_ASSIGN_OR_RETURN(stmt->assignments, ParseAssignmentList());
+  SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "ending assignment list"));
+  if (MatchKeyword("where")) {
+    SIM_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> DmlParser::ParseDelete() {
+  auto stmt = std::make_unique<DeleteStmt>();
+  SIM_ASSIGN_OR_RETURN(stmt->class_name, ExpectIdent("class after DELETE"));
+  if (MatchKeyword("where")) {
+    SIM_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<std::vector<Assignment>> DmlParser::ParseAssignmentList() {
+  std::vector<Assignment> out;
+  for (;;) {
+    SIM_ASSIGN_OR_RETURN(Assignment a, ParseAssignment());
+    out.push_back(std::move(a));
+    if (!Match(TokenType::kComma)) break;
+  }
+  return out;
+}
+
+Result<Assignment> DmlParser::ParseAssignment() {
+  Assignment a;
+  SIM_ASSIGN_OR_RETURN(a.attr, ExpectIdent("attribute name in assignment"));
+  // Accept ":=", and also ": =" (the paper's typesetting splits them).
+  if (!Match(TokenType::kAssign)) {
+    if (!(Match(TokenType::kColon) && Match(TokenType::kEq))) {
+      return ErrorHere("expected ':=' in assignment");
+    }
+  }
+  if (MatchKeyword("include")) {
+    a.mode = Assignment::Mode::kInclude;
+  } else if (MatchKeyword("exclude")) {
+    a.mode = Assignment::Mode::kExclude;
+  }
+  // EVA selector form: <object> WITH ( <boolexpr> ). Lookahead: an
+  // identifier followed by WITH.
+  if (Check(TokenType::kIdent) && Peek(1).Is("with")) {
+    a.is_selector = true;
+    a.with_object = Advance().text;
+    Advance();  // WITH
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "after WITH"));
+    SIM_ASSIGN_OR_RETURN(a.with_expr, ParseExpr());
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after WITH condition"));
+    return a;
+  }
+  SIM_ASSIGN_OR_RETURN(a.value, ParseExpr());
+  return a;
+}
+
+Status DmlParser::ParseTargetItems(std::vector<ExprPtr>* out) {
+  // §4.2: "Qualifications of multiple target list items can also be
+  // parenthetically factored": (Name, Salary) of Advisor expands to
+  // Name of Advisor, Salary of Advisor. Distinguished from a parenthesized
+  // expression by the OF following the closing parenthesis.
+  if (Check(TokenType::kLParen)) {
+    size_t saved = pos_;
+    Advance();
+    std::vector<ExprPtr> inner;
+    bool factored = true;
+    for (;;) {
+      Result<ExprPtr> e = ParseExpr();
+      if (!e.ok()) {
+        factored = false;
+        break;
+      }
+      inner.push_back(std::move(*e));
+      if (Match(TokenType::kComma)) continue;
+      break;
+    }
+    if (factored && Match(TokenType::kRParen) && Peek().Is("of")) {
+      std::vector<QualElement> suffix;
+      SIM_RETURN_IF_ERROR(ParseQualSuffix(&suffix));
+      for (ExprPtr& e : inner) {
+        if (e->kind != ExprKind::kQualRef) {
+          return ErrorHere(
+              "factored qualification requires attribute references");
+        }
+        auto* ref = static_cast<QualRefExpr*>(e.get());
+        ref->elements.insert(ref->elements.end(), suffix.begin(),
+                             suffix.end());
+        out->push_back(std::move(e));
+      }
+      return Status::Ok();
+    }
+    pos_ = saved;  // not factored: re-parse as an ordinary expression
+  }
+  SIM_ASSIGN_OR_RETURN(ExprPtr target, ParseExpr());
+  out->push_back(std::move(target));
+  return Status::Ok();
+}
+
+// ----- expressions -----
+
+Result<ExprPtr> DmlParser::ParseExpr() {
+  SIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("or")) {
+    SIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                       std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> DmlParser::ParseAnd() {
+  SIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("and")) {
+    SIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                       std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> DmlParser::ParseNot() {
+  if (MatchKeyword("not")) {
+    SIM_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> DmlParser::ParseComparison() {
+  SIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  BinaryOp op;
+  if (Match(TokenType::kEq)) {
+    op = BinaryOp::kEq;
+  } else if (Match(TokenType::kNeq)) {
+    op = BinaryOp::kNeq;
+  } else if (Match(TokenType::kLe)) {
+    op = BinaryOp::kLe;
+  } else if (Match(TokenType::kLt)) {
+    op = BinaryOp::kLt;
+  } else if (Match(TokenType::kGe)) {
+    op = BinaryOp::kGe;
+  } else if (Match(TokenType::kGt)) {
+    op = BinaryOp::kGt;
+  } else if (MatchKeyword("like")) {
+    op = BinaryOp::kLike;
+  } else if (MatchKeyword("isa")) {
+    auto isa = std::make_unique<IsaExpr>();
+    isa->entity = std::move(lhs);
+    SIM_ASSIGN_OR_RETURN(isa->class_name, ExpectIdent("class after ISA"));
+    return ExprPtr(std::move(isa));
+  } else {
+    return lhs;
+  }
+  SIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+  return ExprPtr(std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                              std::move(rhs)));
+}
+
+Result<ExprPtr> DmlParser::ParseAdditive() {
+  SIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenType::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Match(TokenType::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return lhs;
+    }
+    SIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> DmlParser::ParseTerm() {
+  SIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenType::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Match(TokenType::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else {
+      return lhs;
+    }
+    SIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+    lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+bool DmlParser::PeekIsAggregate() const {
+  const Token& t = Peek();
+  if (!(t.Is("count") || t.Is("sum") || t.Is("avg") || t.Is("min") ||
+        t.Is("max"))) {
+    return false;
+  }
+  // Must be followed by '(' or 'distinct ('.
+  if (Peek(1).type == TokenType::kLParen) return true;
+  return Peek(1).Is("distinct") && Peek(2).type == TokenType::kLParen;
+}
+
+bool DmlParser::PeekIsQuantifier() const {
+  const Token& t = Peek();
+  return (t.Is("some") || t.Is("all") || t.Is("no")) &&
+         Peek(1).type == TokenType::kLParen;
+}
+
+Result<ExprPtr> DmlParser::ParseFactor() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kInt) {
+    Advance();
+    return ExprPtr(std::make_unique<LiteralExpr>(Value::Int(t.int_value)));
+  }
+  if (t.type == TokenType::kReal) {
+    Advance();
+    return ExprPtr(std::make_unique<LiteralExpr>(Value::Real(t.real_value)));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return ExprPtr(std::make_unique<LiteralExpr>(Value::Str(t.text)));
+  }
+  if (t.type == TokenType::kMinus) {
+    Advance();
+    SIM_ASSIGN_OR_RETURN(ExprPtr operand, ParseFactor());
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+  }
+  if (t.type == TokenType::kLParen) {
+    Advance();
+    SIM_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "closing parenthesis"));
+    return inner;
+  }
+  if (t.Is("true")) {
+    Advance();
+    return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+  }
+  if (t.Is("false")) {
+    Advance();
+    return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+  }
+  if (t.Is("null")) {
+    Advance();
+    return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+  }
+  if (PeekIsAggregate()) {
+    auto agg = std::make_unique<AggregateExpr>();
+    const Token& f = Advance();
+    if (f.Is("count")) agg->func = AggFunc::kCount;
+    if (f.Is("sum")) agg->func = AggFunc::kSum;
+    if (f.Is("avg")) agg->func = AggFunc::kAvg;
+    if (f.Is("min")) agg->func = AggFunc::kMin;
+    if (f.Is("max")) agg->func = AggFunc::kMax;
+    agg->distinct = MatchKeyword("distinct");
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "after aggregate name"));
+    SIM_ASSIGN_OR_RETURN(agg->arg, ParseExpr());
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after aggregate argument"));
+    SIM_RETURN_IF_ERROR(ParseQualSuffix(&agg->outer));
+    return ExprPtr(std::move(agg));
+  }
+  if (PeekIsQuantifier()) {
+    auto q = std::make_unique<QuantifiedExpr>();
+    const Token& f = Advance();
+    if (f.Is("some")) q->quantifier = Quantifier::kSome;
+    if (f.Is("all")) q->quantifier = Quantifier::kAll;
+    if (f.Is("no")) q->quantifier = Quantifier::kNo;
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "after quantifier"));
+    SIM_ASSIGN_OR_RETURN(q->arg, ParseExpr());
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after quantifier argument"));
+    return ExprPtr(std::move(q));
+  }
+  if (t.type == TokenType::kIdent) {
+    static const char* kFunctions[] = {"length", "upper",  "lower", "abs",
+                                       "round",  "year",   "month", "day"};
+    if (Peek(1).type == TokenType::kLParen) {
+      for (const char* f : kFunctions) {
+        if (t.Is(f)) {
+          auto call = std::make_unique<FunctionExpr>();
+          call->name = f;
+          Advance();
+          Advance();  // '('
+          if (!Check(TokenType::kRParen)) {
+            for (;;) {
+              SIM_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              call->args.push_back(std::move(arg));
+              if (!Match(TokenType::kComma)) break;
+            }
+          }
+          SIM_RETURN_IF_ERROR(
+              Expect(TokenType::kRParen, "after function arguments"));
+          return ExprPtr(std::move(call));
+        }
+      }
+    }
+    return ParseQualRefOrCall();
+  }
+  return ErrorHere("expected expression");
+}
+
+Result<QualElement> DmlParser::ParseQualElement() {
+  QualElement e;
+  if (Peek().Is("transitive") && Peek(1).type == TokenType::kLParen) {
+    Advance();
+    Advance();
+    if (Peek().Is("inverse") && Peek(1).type == TokenType::kLParen) {
+      Advance();
+      Advance();
+      e.inverse = true;
+      SIM_ASSIGN_OR_RETURN(e.name, ExpectIdent("EVA name in INVERSE()"));
+      SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "closing INVERSE()"));
+    } else {
+      SIM_ASSIGN_OR_RETURN(e.name, ExpectIdent("EVA name in TRANSITIVE()"));
+    }
+    e.transitive = true;
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "closing TRANSITIVE()"));
+  } else if (Peek().Is("inverse") && Peek(1).type == TokenType::kLParen) {
+    Advance();
+    Advance();
+    e.inverse = true;
+    SIM_ASSIGN_OR_RETURN(e.name, ExpectIdent("EVA name in INVERSE()"));
+    SIM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "closing INVERSE()"));
+  } else {
+    SIM_ASSIGN_OR_RETURN(e.name, ExpectIdent("qualification element"));
+  }
+  if (MatchKeyword("as")) {
+    SIM_ASSIGN_OR_RETURN(e.as_class, ExpectIdent("class after AS"));
+  }
+  return e;
+}
+
+Status DmlParser::ParseQualSuffix(std::vector<QualElement>* out) {
+  while (Peek().Is("of")) {
+    Advance();
+    SIM_ASSIGN_OR_RETURN(QualElement e, ParseQualElement());
+    out->push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+
+Result<ExprPtr> DmlParser::ParseQualRefOrCall() {
+  auto ref = std::make_unique<QualRefExpr>();
+  SIM_ASSIGN_OR_RETURN(QualElement first, ParseQualElement());
+  ref->elements.push_back(std::move(first));
+  SIM_RETURN_IF_ERROR(ParseQualSuffix(&ref->elements));
+  return ExprPtr(std::move(ref));
+}
+
+}  // namespace sim

@@ -1,0 +1,67 @@
+#ifndef SIMDB_PARSER_DML_PARSER_H_
+#define SIMDB_PARSER_DML_PARSER_H_
+
+// Parser for SIM DML (§4): Retrieve queries with perspectives,
+// qualification, aggregates, quantifiers, transitive closure and ISA
+// tests; and the Insert / Modify / Delete update statements with
+// INCLUDE/EXCLUDE and EVA selector assignments. Statements terminate with
+// '.' or ';' (both accepted) or end of input.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/parser_base.h"
+
+namespace sim {
+
+class DmlParser : public ParserBase {
+ public:
+  // Parses exactly one statement (trailing terminator optional).
+  static Result<StmtPtr> ParseStatement(std::string_view text);
+
+  // Parses a sequence of statements.
+  static Result<std::vector<StmtPtr>> ParseScript(std::string_view text);
+
+  // Parses a standalone expression (used for VERIFY conditions).
+  static Result<ExprPtr> ParseExpressionText(std::string_view text);
+  static Result<ExprPtr> ParseExpressionTokens(std::vector<Token> tokens);
+
+ private:
+  explicit DmlParser(std::vector<Token> tokens)
+      : ParserBase(std::move(tokens)) {}
+
+  Result<StmtPtr> ParseOne();
+  Result<StmtPtr> ParseRetrieve();
+  Result<StmtPtr> ParseInsert();
+  Result<StmtPtr> ParseModify();
+  Result<StmtPtr> ParseDelete();
+  Result<std::vector<Assignment>> ParseAssignmentList();
+  Result<Assignment> ParseAssignment();
+  // Parses one target-list item, expanding §4.2 factored qualification
+  // "(a, b) of x" into multiple targets.
+  Status ParseTargetItems(std::vector<ExprPtr>* out);
+
+  // Expression grammar, loosest to tightest binding.
+  Result<ExprPtr> ParseExpr();        // OR
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();  // = <> < <= > >= LIKE ISA
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseTerm();
+  Result<ExprPtr> ParseFactor();
+  Result<ExprPtr> ParseQualRefOrCall();
+  Result<QualElement> ParseQualElement();
+  // Parses "OF element OF element..." suffixes into `out`.
+  Status ParseQualSuffix(std::vector<QualElement>* out);
+
+  bool PeekIsAggregate() const;
+  bool PeekIsQuantifier() const;
+  // True when the current token starts a new statement keyword.
+  bool AtStatementBoundary() const;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_PARSER_DML_PARSER_H_

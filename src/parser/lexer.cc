@@ -1,0 +1,226 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sim {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Token Lexer::Make(TokenType type) const {
+  Token t;
+  t.type = type;
+  t.line = tok_line_;
+  t.column = tok_column_;
+  return t;
+}
+
+Status Lexer::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    // Skip whitespace and (* ... *) comments.
+    for (;;) {
+      if (AtEnd()) break;
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '(' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == ')')) Advance();
+        if (AtEnd()) return ErrorHere("unterminated comment");
+        Advance();
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (AtEnd()) {
+      out.push_back(Make(TokenType::kEnd));
+      return out;
+    }
+    tok_line_ = line_;
+    tok_column_ = column_;
+    SIM_RETURN_IF_ERROR(LexOne(&out));
+  }
+}
+
+Status Lexer::LexOne(std::vector<Token>* out) {
+  char c = Peek();
+  if (IsIdentStart(c)) {
+    std::string text;
+    text.push_back(Advance());
+    for (;;) {
+      char n = Peek();
+      if (IsIdentChar(n)) {
+        text.push_back(Advance());
+      } else if (n == '-' && IsIdentChar(Peek(1))) {
+        // Hyphenated identifier continuation (soc-sec-no).
+        text.push_back(Advance());
+        text.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    Token t = Make(TokenType::kIdent);
+    t.text = std::move(text);
+    // The NEQ keyword is an operator.
+    if (t.Is("neq")) {
+      t = Make(TokenType::kNeq);
+    }
+    out->push_back(std::move(t));
+    return Status::Ok();
+  }
+  if (IsDigit(c)) {
+    std::string text;
+    while (IsDigit(Peek())) text.push_back(Advance());
+    bool is_real = false;
+    if (Peek() == '.' && IsDigit(Peek(1))) {
+      is_real = true;
+      text.push_back(Advance());
+      while (IsDigit(Peek())) text.push_back(Advance());
+    }
+    if (is_real) {
+      Token t = Make(TokenType::kReal);
+      t.real_value = std::strtod(text.c_str(), nullptr);
+      t.text = std::move(text);
+      out->push_back(std::move(t));
+    } else {
+      Token t = Make(TokenType::kInt);
+      t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      t.text = std::move(text);
+      out->push_back(std::move(t));
+    }
+    return Status::Ok();
+  }
+  if (c == '"') {
+    Advance();
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return ErrorHere("unterminated string literal");
+      char n = Advance();
+      if (n == '"') {
+        if (Peek() == '"') {
+          text.push_back('"');
+          Advance();
+          continue;
+        }
+        break;
+      }
+      text.push_back(n);
+    }
+    Token t = Make(TokenType::kString);
+    t.text = std::move(text);
+    out->push_back(std::move(t));
+    return Status::Ok();
+  }
+  Advance();
+  switch (c) {
+    case '(':
+      out->push_back(Make(TokenType::kLParen));
+      return Status::Ok();
+    case ')':
+      out->push_back(Make(TokenType::kRParen));
+      return Status::Ok();
+    case '[':
+      out->push_back(Make(TokenType::kLBracket));
+      return Status::Ok();
+    case ']':
+      out->push_back(Make(TokenType::kRBracket));
+      return Status::Ok();
+    case ',':
+      out->push_back(Make(TokenType::kComma));
+      return Status::Ok();
+    case ';':
+      out->push_back(Make(TokenType::kSemicolon));
+      return Status::Ok();
+    case '.':
+      if (Peek() == '.') {
+        Advance();
+        out->push_back(Make(TokenType::kDotDot));
+      } else {
+        out->push_back(Make(TokenType::kPeriod));
+      }
+      return Status::Ok();
+    case ':':
+      if (Peek() == '=') {
+        Advance();
+        out->push_back(Make(TokenType::kAssign));
+      } else {
+        out->push_back(Make(TokenType::kColon));
+      }
+      return Status::Ok();
+    case '=':
+      out->push_back(Make(TokenType::kEq));
+      return Status::Ok();
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        out->push_back(Make(TokenType::kLe));
+      } else if (Peek() == '>') {
+        Advance();
+        out->push_back(Make(TokenType::kNeq));
+      } else {
+        out->push_back(Make(TokenType::kLt));
+      }
+      return Status::Ok();
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        out->push_back(Make(TokenType::kGe));
+      } else {
+        out->push_back(Make(TokenType::kGt));
+      }
+      return Status::Ok();
+    case '+':
+      out->push_back(Make(TokenType::kPlus));
+      return Status::Ok();
+    case '-':
+      out->push_back(Make(TokenType::kMinus));
+      return Status::Ok();
+    case '*':
+      out->push_back(Make(TokenType::kStar));
+      return Status::Ok();
+    case '/':
+      out->push_back(Make(TokenType::kSlash));
+      return Status::Ok();
+    default:
+      return ErrorHere(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace sim

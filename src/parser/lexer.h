@@ -1,0 +1,41 @@
+#ifndef SIMDB_PARSER_LEXER_H_
+#define SIMDB_PARSER_LEXER_H_
+
+// Tokenizer for SIM DDL/DML text. Supports (* ... *) comments, hyphenated
+// identifiers, "string" literals with "" escapes, integer and decimal
+// literals, `..` range punctuation and `:=` assignment.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace sim {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  // Tokenizes the whole input; the final token is always kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status LexOne(std::vector<Token>* out);
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  Token Make(TokenType type) const;
+  Status ErrorHere(const std::string& message) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_PARSER_LEXER_H_

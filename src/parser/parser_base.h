@@ -1,0 +1,70 @@
+#ifndef SIMDB_PARSER_PARSER_BASE_H_
+#define SIMDB_PARSER_PARSER_BASE_H_
+
+// Shared token-cursor machinery for the DDL and DML recursive-descent
+// parsers.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace sim {
+
+class ParserBase {
+ protected:
+  explicit ParserBase(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!Peek().Is(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  Status Expect(TokenType t, const std::string& context) {
+    if (Match(t)) return Status::Ok();
+    return ErrorHere(std::string("expected ") + TokenTypeName(t) + " " +
+                     context);
+  }
+  Status ExpectKeyword(const char* kw, const std::string& context) {
+    if (MatchKeyword(kw)) return Status::Ok();
+    return ErrorHere(std::string("expected '") + kw + "' " + context);
+  }
+  Result<std::string> ExpectIdent(const std::string& context) {
+    if (!Check(TokenType::kIdent)) {
+      return ErrorHere("expected identifier " + context);
+    }
+    return Advance().text;
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(message + ", found " + t.Describe() +
+                              " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_PARSER_PARSER_BASE_H_

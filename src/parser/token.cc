@@ -1,0 +1,75 @@
+#include "parser/token.h"
+
+#include "common/strings.h"
+
+namespace sim {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kString:
+      return "string literal";
+    case TokenType::kInt:
+      return "integer literal";
+    case TokenType::kReal:
+      return "number literal";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kPeriod:
+      return "'.'";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kAssign:
+      return "':='";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNeq:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kDotDot:
+      return "'..'";
+  }
+  return "?";
+}
+
+bool Token::Is(const char* keyword) const {
+  return type == TokenType::kIdent && NameEq(text, keyword);
+}
+
+std::string Token::Describe() const {
+  if (type == TokenType::kIdent) return "'" + text + "'";
+  if (type == TokenType::kString) return "string \"" + text + "\"";
+  if (type == TokenType::kInt) return "integer " + std::to_string(int_value);
+  if (type == TokenType::kReal) return "number literal";
+  return TokenTypeName(type);
+}
+
+}  // namespace sim

@@ -1,0 +1,61 @@
+#ifndef SIMDB_PARSER_TOKEN_H_
+#define SIMDB_PARSER_TOKEN_H_
+
+// Token stream for SIM's DDL and DML. SIM is an English-like language:
+// keywords are case-insensitive, identifiers may contain hyphens
+// (SOC-SEC-NO, COURSES-ENROLLED). A hyphen is part of an identifier when
+// it is directly surrounded by identifier characters; subtraction
+// therefore requires whitespace (`a - b`), the same convention COBOL-era
+// languages used.
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+enum class TokenType {
+  kEnd,
+  kIdent,
+  kString,   // "double quoted", "" escapes a quote
+  kInt,
+  kReal,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kPeriod,   // statement terminator
+  kColon,
+  kAssign,   // :=
+  kEq,
+  kNeq,      // <> (the keyword NEQ also maps here during parsing)
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kDotDot,   // .. in integer ranges
+};
+
+const char* TokenTypeName(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // identifier/keyword spelling or string contents
+  int64_t int_value = 0;
+  double real_value = 0;
+  int line = 1;
+  int column = 1;
+
+  // Case-insensitive keyword test for identifier tokens.
+  bool Is(const char* keyword) const;
+  std::string Describe() const;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_PARSER_TOKEN_H_

@@ -1,0 +1,611 @@
+#include "semantics/binder.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "parser/dml_parser.h"
+
+namespace sim {
+
+Result<int> Binder::MakeRoot(QueryTree* qt, const std::string& class_name,
+                             const std::string& ref_var, const Ctx* scope_ctx) {
+  std::string underlying = class_name;
+  std::string view_condition;
+  std::string view_ref = ref_var;
+  if (!dir_->HasClass(class_name) && dir_->HasView(class_name)) {
+    SIM_ASSIGN_OR_RETURN(const ViewDef* view, dir_->FindView(class_name));
+    underlying = view->class_name;
+    view_condition = view->condition_text;
+    // The view name keeps working as a qualifier for this root.
+    if (view_ref.empty()) view_ref = view->name;
+  }
+  SIM_ASSIGN_OR_RETURN(const ClassDef* cls, dir_->FindClass(underlying));
+  QtNode node;
+  node.id = static_cast<int>(qt->nodes.size());
+  node.derivation = NodeDerivation::kPerspective;
+  node.class_name = cls->name;
+  node.ref_var = view_ref;
+  if (scope_ctx != nullptr && scope_ctx->scope >= 0) {
+    node.scope = scope_ctx->scope;
+    scope_ctx->scope_nodes->push_back(node.id);
+  } else {
+    qt->roots.push_back(node.id);
+  }
+  int id = static_cast<int>(qt->nodes.size());
+  qt->nodes.push_back(std::move(node));
+  if (!view_condition.empty()) {
+    pending_view_conditions_.emplace_back(id, view_condition);
+  }
+  return id;
+}
+
+Status Binder::ApplyViewConditions(QueryTree* qt) {
+  // A view condition may itself anchor at a view over a view; the loop
+  // processes conditions queued during its own iterations.
+  for (size_t i = 0; i < pending_view_conditions_.size(); ++i) {
+    auto [root, text] = pending_view_conditions_[i];
+    SIM_ASSIGN_OR_RETURN(ExprPtr expr, DmlParser::ParseExpressionText(text));
+    if (qt->nodes[root].scope < 0) {
+      // Main-query view root: conjoin the predicate into the selection so
+      // the optimizer sees it (index selection, TYPE 2 labeling).
+      Ctx vctx;
+      vctx.qt = qt;
+      vctx.in_target = false;
+      vctx.anchor_node = root;
+      vctx.restrict_to_anchor = true;
+      SIM_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*expr, &vctx));
+      if (qt->where == nullptr) {
+        qt->where = std::move(bound);
+      } else {
+        qt->where = std::make_unique<BBinary>(BinaryOp::kAnd,
+                                              std::move(qt->where),
+                                              std::move(bound));
+      }
+      continue;
+    }
+    // Aggregate/quantifier-scope view root: the main selection is not
+    // evaluated for its bindings, so the predicate becomes a
+    // self-contained existential domain filter on the node itself.
+    auto filter = std::make_unique<BQuantified>();
+    filter->quantifier = Quantifier::kSome;
+    Ctx vctx;
+    vctx.qt = qt;
+    vctx.in_target = false;
+    vctx.scope = next_scope_++;
+    vctx.scope_nodes = &filter->loop_nodes;
+    vctx.anchor_node = root;
+    vctx.restrict_to_anchor = true;
+    SIM_ASSIGN_OR_RETURN(filter->value, BindExpr(*expr, &vctx));
+    qt->nodes[root].domain_filter = std::move(filter);
+  }
+  pending_view_conditions_.clear();
+  return Status::Ok();
+}
+
+Result<QueryTree> Binder::BindRetrieve(const RetrieveStmt& stmt) {
+  QueryTree qt;
+  qt.mode = stmt.mode;
+  node_keys_.clear();
+  next_scope_ = 0;
+  pending_view_conditions_.clear();
+
+  for (const Perspective& p : stmt.perspectives) {
+    SIM_RETURN_IF_ERROR(
+        MakeRoot(&qt, p.class_name, p.ref_var, nullptr).status());
+  }
+
+  Ctx ctx;
+  ctx.qt = &qt;
+  ctx.allow_new_roots = stmt.perspectives.empty();
+
+  for (const ExprPtr& t : stmt.targets) {
+    ctx.in_target = true;
+    SIM_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*t, &ctx));
+    qt.targets.push_back(std::move(bound));
+    qt.target_labels.push_back(t->ToText());
+  }
+  if (stmt.where != nullptr) {
+    ctx.in_target = false;
+    SIM_ASSIGN_OR_RETURN(qt.where, BindExpr(*stmt.where, &ctx));
+  }
+  for (const OrderItem& o : stmt.order_by) {
+    ctx.in_target = true;  // ordering exposes values like targets do
+    BoundOrderItem item;
+    SIM_ASSIGN_OR_RETURN(item.expr, BindExpr(*o.expr, &ctx));
+    item.descending = o.descending;
+    qt.order_by.push_back(std::move(item));
+  }
+  // A query may legitimately have no main perspective — e.g.
+  // "Retrieve AVG(Salary of Instructor)" ranges only inside the
+  // aggregate's scope and produces a single output record.
+  SIM_RETURN_IF_ERROR(ApplyViewConditions(&qt));
+  LabelTree(&qt);
+  return qt;
+}
+
+Result<QueryTree> Binder::BindCondition(const std::string& perspective_class,
+                                        const Expr& condition) {
+  QueryTree qt;
+  node_keys_.clear();
+  next_scope_ = 0;
+  SIM_RETURN_IF_ERROR(
+      MakeRoot(&qt, perspective_class, "", nullptr).status());
+  Ctx ctx;
+  ctx.qt = &qt;
+  ctx.in_target = false;
+  SIM_ASSIGN_OR_RETURN(qt.where, BindExpr(condition, &ctx));
+  SIM_RETURN_IF_ERROR(ApplyViewConditions(&qt));
+  LabelTree(&qt);
+  return qt;
+}
+
+Result<QueryTree> Binder::BindEntityExpr(const std::string& perspective_class,
+                                         const Expr& expr) {
+  QueryTree qt;
+  node_keys_.clear();
+  next_scope_ = 0;
+  SIM_RETURN_IF_ERROR(
+      MakeRoot(&qt, perspective_class, "", nullptr).status());
+  Ctx ctx;
+  ctx.qt = &qt;
+  ctx.in_target = true;
+  SIM_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(expr, &ctx));
+  qt.targets.push_back(std::move(bound));
+  qt.target_labels.push_back(expr.ToText());
+  SIM_RETURN_IF_ERROR(ApplyViewConditions(&qt));
+  LabelTree(&qt);
+  return qt;
+}
+
+Result<BExprPtr> Binder::BindExpr(const Expr& expr, Ctx* ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(expr);
+      return BExprPtr(std::make_unique<BLiteral>(lit.value));
+    }
+    case ExprKind::kQualRef:
+      return BindQualRef(static_cast<const QualRefExpr&>(expr), ctx);
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      SIM_ASSIGN_OR_RETURN(BExprPtr lhs, BindExpr(*bin.lhs, ctx));
+      SIM_ASSIGN_OR_RETURN(BExprPtr rhs, BindExpr(*bin.rhs, ctx));
+      return BExprPtr(std::make_unique<BBinary>(bin.op, std::move(lhs),
+                                                std::move(rhs)));
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      SIM_ASSIGN_OR_RETURN(BExprPtr operand, BindExpr(*un.operand, ctx));
+      return BExprPtr(std::make_unique<BUnary>(un.op, std::move(operand)));
+    }
+    case ExprKind::kAggregate:
+      return BindAggregate(static_cast<const AggregateExpr&>(expr), ctx);
+    case ExprKind::kQuantified:
+      return BindQuantified(static_cast<const QuantifiedExpr&>(expr), ctx);
+    case ExprKind::kFunction: {
+      const auto& fn = static_cast<const FunctionExpr&>(expr);
+      auto bound = std::make_unique<BFunction>();
+      bound->name = fn.name;
+      for (const ExprPtr& arg : fn.args) {
+        SIM_ASSIGN_OR_RETURN(BExprPtr barg, BindExpr(*arg, ctx));
+        bound->args.push_back(std::move(barg));
+      }
+      return BExprPtr(std::move(bound));
+    }
+    case ExprKind::kIsa: {
+      const auto& isa = static_cast<const IsaExpr&>(expr);
+      auto bound = std::make_unique<BIsa>();
+      SIM_ASSIGN_OR_RETURN(bound->entity, BindExpr(*isa.entity, ctx));
+      if (bound->entity->kind != BExprKind::kNodeRef) {
+        return Status::BindError(
+            "left side of ISA must denote an entity, not a value");
+      }
+      SIM_ASSIGN_OR_RETURN(const ClassDef* cls,
+                           dir_->FindClass(isa.class_name));
+      bound->class_name = cls->name;
+      return BExprPtr(std::move(bound));
+    }
+  }
+  return Status::Internal("unhandled expression kind in binder");
+}
+
+Result<DirectoryManager::ResolvedAttr> Binder::ResolveElemAttr(
+    const std::string& cls, const QualElement& e) const {
+  if (!e.inverse) return dir_->ResolveAttribute(cls, e.name);
+  // INVERSE(X): X is an EVA declared elsewhere whose range covers `cls`;
+  // the traversal is X's inverse, resolved on `cls`.
+  const AttributeDef* found = nullptr;
+  for (const auto& cname : dir_->class_names()) {
+    SIM_ASSIGN_OR_RETURN(const ClassDef* c, dir_->FindClass(cname));
+    const AttributeDef* a = c->FindImmediateAttribute(e.name);
+    if (a == nullptr || !a->is_eva()) continue;
+    SIM_ASSIGN_OR_RETURN(bool fits, dir_->IsSubclassOrSame(cls, a->range_class));
+    if (!fits) {
+      SIM_ASSIGN_OR_RETURN(fits, dir_->IsSubclassOrSame(a->range_class, cls));
+    }
+    if (!fits) continue;
+    if (found != nullptr && found != a) {
+      return Status::BindError("INVERSE(" + e.name + ") is ambiguous");
+    }
+    found = a;
+  }
+  if (found == nullptr) {
+    return Status::BindError("INVERSE(" + e.name +
+                             ") does not name an EVA with range '" + cls + "'");
+  }
+  return dir_->ResolveAttribute(cls, found->inverse_name);
+}
+
+Result<int> Binder::ResolveAnchor(const QualElement& last, Ctx* ctx,
+                                  bool* consumed) {
+  QueryTree* qt = ctx->qt;
+  // Candidate anchors: the aggregate outer anchor (if any) first, then the
+  // main perspectives (unless the context is anchor-restricted, as inside
+  // derived-attribute expressions).
+  std::vector<int> candidates;
+  if (ctx->anchor_node >= 0) candidates.push_back(ctx->anchor_node);
+  if (!ctx->restrict_to_anchor) {
+    for (int r : qt->roots) candidates.push_back(r);
+  }
+
+  // 1. Explicit reference variable.
+  for (int r : candidates) {
+    if (!qt->nodes[r].ref_var.empty() &&
+        NameEq(qt->nodes[r].ref_var, last.name)) {
+      *consumed = true;
+      return r;
+    }
+  }
+  // 2. Perspective class name (nearest enclosing first).
+  for (int r : candidates) {
+    if (NameEq(qt->nodes[r].class_name, last.name)) {
+      if (!last.as_class.empty()) {
+        return Status::NotSupported(
+            "role conversion on a perspective reference is not supported");
+      }
+      *consumed = true;
+      return r;
+    }
+  }
+  // 3. Attribute reachable from exactly one candidate.
+  std::vector<int> matches;
+  for (int r : candidates) {
+    if (qt->nodes[r].class_name.empty()) continue;
+    Result<DirectoryManager::ResolvedAttr> ra =
+        ResolveElemAttr(qt->nodes[r].class_name, last);
+    if (ra.ok()) matches.push_back(r);
+  }
+  if (matches.size() == 1) {
+    *consumed = false;
+    return matches[0];
+  }
+  if (matches.size() > 1) {
+    // Prefer the aggregate anchor when it matches.
+    if (ctx->anchor_node >= 0 && matches[0] == ctx->anchor_node) {
+      *consumed = false;
+      return matches[0];
+    }
+    return Status::BindError("qualification of '" + last.name +
+                             "' is ambiguous among multiple perspectives");
+  }
+  // 4. A class name opening a new perspective (queries without FROM, and
+  // fresh ranges inside aggregate/quantifier scopes).
+  if (!ctx->restrict_to_anchor && (ctx->allow_new_roots || ctx->scope >= 0) &&
+      (dir_->HasClass(last.name) || dir_->HasView(last.name))) {
+    SIM_ASSIGN_OR_RETURN(int root, MakeRoot(qt, last.name, "", ctx));
+    *consumed = true;
+    return root;
+  }
+  // 5. Deep completion: §4.2 allows qualification to be "cut short at any
+  // stage where the context is sufficient ... to complete it
+  // unambiguously" — e.g. bare `Salary` from STUDENT means `Salary of
+  // Advisor of Student`. Search for a unique shortest EVA path from a
+  // candidate anchor to a class owning the attribute and materialize the
+  // path's nodes.
+  SIM_ASSIGN_OR_RETURN(int completed, CompleteThroughPath(last, ctx));
+  if (completed >= 0) {
+    *consumed = false;
+    return completed;
+  }
+  return Status::BindError("cannot anchor qualification element '" +
+                           last.name + "' to any perspective");
+}
+
+Result<int> Binder::CompleteThroughPath(const QualElement& last, Ctx* ctx) {
+  QueryTree* qt = ctx->qt;
+  if (last.inverse || last.transitive) return -1;
+  std::vector<int> starts;
+  if (ctx->anchor_node >= 0) starts.push_back(ctx->anchor_node);
+  for (int r : qt->roots) starts.push_back(r);
+
+  // Breadth-first over EVA traversals (user-declared attributes only;
+  // synthesized inverses would create surprising implicit paths). A path
+  // is (start node, sequence of resolved EVAs).
+  struct PathState {
+    int start;
+    std::string cls;
+    std::vector<DirectoryManager::ResolvedAttr> evas;
+  };
+  std::vector<PathState> frontier;
+  for (int s : starts) {
+    if (!qt->nodes[s].class_name.empty()) {
+      frontier.push_back({s, qt->nodes[s].class_name, {}});
+    }
+  }
+  constexpr int kMaxDepth = 3;
+  for (int depth = 1; depth <= kMaxDepth && !frontier.empty(); ++depth) {
+    std::vector<PathState> next;
+    std::vector<PathState> hits;
+    for (const PathState& st : frontier) {
+      Result<std::vector<DirectoryManager::ResolvedAttr>> attrs =
+          dir_->AllAttributes(st.cls);
+      if (!attrs.ok()) continue;
+      for (const auto& ra : *attrs) {
+        if (!ra.attr->is_eva() || ra.attr->system_generated) continue;
+        PathState extended = st;
+        extended.cls = ra.attr->range_class;
+        extended.evas.push_back(ra);
+        // Does the target attribute resolve on the new class?
+        if (dir_->ResolveAttribute(extended.cls, last.name).ok()) {
+          hits.push_back(extended);
+        }
+        next.push_back(std::move(extended));
+      }
+    }
+    if (hits.size() > 1) {
+      return Status::BindError("qualification of '" + last.name +
+                               "' is ambiguous: multiple completion paths "
+                               "exist");
+    }
+    if (hits.size() == 1) {
+      // Materialize the path's nodes.
+      int cur = hits[0].start;
+      MarkUsage(qt, cur, ctx->in_target);
+      for (const auto& ra : hits[0].evas) {
+        QualElement step;
+        step.name = ra.attr->name;
+        SIM_ASSIGN_OR_RETURN(cur, GetOrCreateChild(cur, ra, step, ctx));
+        MarkUsage(qt, cur, ctx->in_target);
+      }
+      return cur;
+    }
+    frontier = std::move(next);
+  }
+  return -1;
+}
+
+Result<int> Binder::GetOrCreateChild(int parent,
+                                     const DirectoryManager::ResolvedAttr& ra,
+                                     const QualElement& e, Ctx* ctx) {
+  QueryTree* qt = ctx->qt;
+  std::string key = AsciiLower(ra.attr->name);
+  if (e.transitive) key += "|transitive";
+  if (!e.as_class.empty()) key += "|as:" + AsciiLower(e.as_class);
+  auto map_key = std::make_tuple(ctx->scope, parent, key);
+  auto it = node_keys_.find(map_key);
+  if (it != node_keys_.end()) return it->second;
+
+  QtNode node;
+  node.id = static_cast<int>(qt->nodes.size());
+  node.parent = parent;
+  node.via_owner = ra.owner;
+  node.via_attr = ra.attr;
+  node.scope = ctx->scope;
+  if (ra.attr->is_eva()) {
+    node.derivation =
+        e.transitive ? NodeDerivation::kTransitiveEva : NodeDerivation::kEva;
+    SIM_ASSIGN_OR_RETURN(const ClassDef* range,
+                         dir_->FindClass(ra.attr->range_class));
+    node.class_name = range->name;
+    if (!e.as_class.empty()) {
+      SIM_ASSIGN_OR_RETURN(const ClassDef* conv,
+                           dir_->FindClass(e.as_class));
+      SIM_ASSIGN_OR_RETURN(bool down,
+                           dir_->IsSubclassOrSame(conv->name, range->name));
+      SIM_ASSIGN_OR_RETURN(bool up,
+                           dir_->IsSubclassOrSame(range->name, conv->name));
+      if (!down && !up) {
+        return Status::BindError("role conversion AS " + e.as_class +
+                                 " is not in the generalization hierarchy of '" +
+                                 range->name + "'");
+      }
+      node.class_name = conv->name;
+    }
+    if (e.transitive) {
+      // The closure walks one EVA repeatedly; its range must stay within
+      // one class family (a cyclic chain, §4.7).
+      SIM_ASSIGN_OR_RETURN(bool cyc_a, dir_->IsSubclassOrSame(
+                                           ra.attr->range_class,
+                                           ra.owner->name));
+      SIM_ASSIGN_OR_RETURN(bool cyc_b, dir_->IsSubclassOrSame(
+                                           ra.owner->name,
+                                           ra.attr->range_class));
+      if (!cyc_a && !cyc_b) {
+        return Status::BindError("TRANSITIVE(" + ra.attr->name +
+                                 ") requires a cyclic EVA");
+      }
+    }
+  } else {
+    if (!ra.attr->mv) {
+      return Status::BindError("attribute '" + ra.attr->name +
+                               "' is single-valued and cannot be a "
+                               "qualification step");
+    }
+    node.derivation = NodeDerivation::kMvDva;
+    if (e.transitive) {
+      return Status::BindError("TRANSITIVE over a DVA is not meaningful");
+    }
+  }
+  int id = node.id;
+  qt->nodes.push_back(std::move(node));
+  qt->nodes[parent].children.push_back(id);
+  node_keys_[map_key] = id;
+  if (ctx->scope >= 0) ctx->scope_nodes->push_back(id);
+  return id;
+}
+
+void Binder::MarkUsage(QueryTree* qt, int node, bool in_target) {
+  if (in_target) {
+    qt->nodes[node].used_in_target = true;
+  } else {
+    qt->nodes[node].used_in_where = true;
+  }
+}
+
+Result<BExprPtr> Binder::BindQualRef(const QualRefExpr& ref, Ctx* ctx) {
+  if (ref.elements.empty()) {
+    return Status::Internal("empty qualification chain");
+  }
+  QueryTree* qt = ctx->qt;
+  bool consumed = false;
+  SIM_ASSIGN_OR_RETURN(int anchor,
+                       ResolveAnchor(ref.elements.back(), ctx, &consumed));
+  MarkUsage(qt, anchor, ctx->in_target);
+
+  int count = static_cast<int>(ref.elements.size());
+  int start = consumed ? count - 2 : count - 1;
+  if (start < 0) {
+    // Single element naming the perspective itself: an entity reference.
+    return BExprPtr(std::make_unique<BNodeRef>(anchor));
+  }
+  int cur = anchor;
+  for (int i = start; i >= 1; --i) {
+    const QualElement& e = ref.elements[i];
+    SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                         ResolveElemAttr(qt->nodes[cur].class_name, e));
+    if (!ra.attr->is_eva()) {
+      return Status::BindError("'" + e.name +
+                               "' is not an EVA; only EVAs can appear in the "
+                               "middle of a qualification");
+    }
+    SIM_ASSIGN_OR_RETURN(cur, GetOrCreateChild(cur, ra, e, ctx));
+    MarkUsage(qt, cur, ctx->in_target);
+  }
+
+  const QualElement& e0 = ref.elements[0];
+  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                       ResolveElemAttr(qt->nodes[cur].class_name, e0));
+  if (ra.attr->is_eva()) {
+    SIM_ASSIGN_OR_RETURN(int node, GetOrCreateChild(cur, ra, e0, ctx));
+    MarkUsage(qt, node, ctx->in_target);
+    return BExprPtr(std::make_unique<BNodeRef>(node));
+  }
+  if (ra.attr->mv) {
+    SIM_ASSIGN_OR_RETURN(int node, GetOrCreateChild(cur, ra, e0, ctx));
+    MarkUsage(qt, node, ctx->in_target);
+    return BExprPtr(std::make_unique<BNodeValue>(node));
+  }
+  if (ra.attr->is_derived) {
+    return BindDerived(cur, ra, ctx);
+  }
+  auto field = std::make_unique<BField>();
+  field->node = cur;
+  field->owner = ra.owner;
+  field->attr = ra.attr;
+  return BExprPtr(std::move(field));
+}
+
+Result<BExprPtr> Binder::BindDerived(int node,
+                                     const DirectoryManager::ResolvedAttr& ra,
+                                     Ctx* ctx) {
+  if (derived_depth_ >= 8) {
+    return Status::BindError("derived attribute '" + ra.attr->name +
+                             "' recurses too deeply (cyclic definition?)");
+  }
+  SIM_ASSIGN_OR_RETURN(ExprPtr expr,
+                       DmlParser::ParseExpressionText(ra.attr->derived_text));
+  Ctx inner = *ctx;
+  inner.anchor_node = node;
+  inner.restrict_to_anchor = true;
+  inner.allow_new_roots = false;
+  ++derived_depth_;
+  Result<BExprPtr> bound = BindExpr(*expr, &inner);
+  --derived_depth_;
+  if (!bound.ok()) {
+    return Status::BindError("in derived attribute '" + ra.owner->name + "." +
+                             ra.attr->name + "': " +
+                             bound.status().message());
+  }
+  return bound;
+}
+
+Result<BExprPtr> Binder::BindAggregate(const AggregateExpr& agg, Ctx* ctx) {
+  auto bound = std::make_unique<BAggregate>();
+  bound->func = agg.func;
+  bound->distinct = agg.distinct;
+
+  // The outer suffix anchors the aggregate. "(AVG(...)) of Department"
+  // binds Department (and any EVAs in the suffix) in the *enclosing*
+  // scope.
+  int anchor = ctx->anchor_node;
+  if (!agg.outer.empty()) {
+    QualRefExpr outer_ref;
+    outer_ref.elements = agg.outer;
+    SIM_ASSIGN_OR_RETURN(BExprPtr outer_bound, BindQualRef(outer_ref, ctx));
+    if (outer_bound->kind != BExprKind::kNodeRef) {
+      return Status::BindError(
+          "aggregate qualification suffix must denote entities");
+    }
+    anchor = static_cast<BNodeRef*>(outer_bound.get())->node;
+  }
+
+  Ctx inner;
+  inner.qt = ctx->qt;
+  inner.in_target = ctx->in_target;
+  inner.scope = next_scope_++;
+  inner.scope_nodes = &bound->loop_nodes;
+  inner.anchor_node = anchor;
+  inner.allow_new_roots = true;
+  SIM_ASSIGN_OR_RETURN(bound->arg, BindExpr(*agg.arg, &inner));
+  return BExprPtr(std::move(bound));
+}
+
+Result<BExprPtr> Binder::BindQuantified(const QuantifiedExpr& q, Ctx* ctx) {
+  auto bound = std::make_unique<BQuantified>();
+  bound->quantifier = q.quantifier;
+  Ctx inner;
+  inner.qt = ctx->qt;
+  inner.in_target = ctx->in_target;
+  inner.scope = next_scope_++;
+  inner.scope_nodes = &bound->loop_nodes;
+  inner.anchor_node = ctx->anchor_node;
+  inner.allow_new_roots = true;
+  SIM_ASSIGN_OR_RETURN(bound->value, BindExpr(*q.arg, &inner));
+  return BExprPtr(std::move(bound));
+}
+
+void Binder::LabelTree(QueryTree* qt) {
+  // Fold usage over subtrees (main-scope nodes only), then label.
+  // Post-order accumulation.
+  std::vector<std::pair<bool, bool>> usage(qt->nodes.size(), {false, false});
+  // Process nodes in reverse creation order; parents are always created
+  // before children, so children are visited first.
+  for (int i = static_cast<int>(qt->nodes.size()) - 1; i >= 0; --i) {
+    const QtNode& n = qt->nodes[i];
+    usage[i].first = usage[i].first || n.used_in_target;
+    usage[i].second = usage[i].second || n.used_in_where;
+    if (n.parent >= 0 && n.scope < 0) {
+      usage[n.parent].first = usage[n.parent].first || usage[i].first;
+      usage[n.parent].second = usage[n.parent].second || usage[i].second;
+    }
+  }
+  for (QtNode& n : qt->nodes) {
+    if (n.scope >= 0) {
+      n.label = 1;
+      continue;
+    }
+    bool is_root = n.parent < 0;
+    bool t = usage[n.id].first;
+    bool w = usage[n.id].second;
+    if (is_root) {
+      n.label = 1;
+    } else if (t && !w) {
+      n.label = 3;
+    } else if (!t && w) {
+      n.label = 2;
+    } else {
+      n.label = 1;
+    }
+  }
+}
+
+}  // namespace sim

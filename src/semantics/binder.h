@@ -1,0 +1,113 @@
+#ifndef SIMDB_SEMANTICS_BINDER_H_
+#define SIMDB_SEMANTICS_BINDER_H_
+
+// Qualification and binding (§4.2, §4.4). The binder turns parsed DML into
+// a QueryTree:
+//  * completes cut-short qualifications ("Name of Advisor" ->
+//    "Name of Advisor of Student") by anchoring the rightmost element
+//    against the perspectives,
+//  * binds identically-qualified EVA / MV-DVA occurrences to one range
+//    variable,
+//  * opens fresh scopes for aggregates, quantifiers and transitive closure
+//    (constructs that break implicit binding),
+//  * resolves INVERSE(...) and AS role conversions,
+//  * labels every main-query node TYPE 1 / 2 / 3 per §4.5.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/directory.h"
+#include "common/status.h"
+#include "parser/ast.h"
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+class Binder {
+ public:
+  explicit Binder(const DirectoryManager* dir) : dir_(dir) {}
+
+  // Binds a full Retrieve statement.
+  Result<QueryTree> BindRetrieve(const RetrieveStmt& stmt);
+
+  // Binds a boolean condition with a single perspective class (VERIFY
+  // assertions, update-statement WHERE clauses). The resulting tree has one
+  // root; the executor supplies the root's binding.
+  Result<QueryTree> BindCondition(const std::string& perspective_class,
+                                  const Expr& condition);
+
+  // Binds a scalar expression (update assignment right-hand side) with a
+  // single perspective class; the expression becomes the tree's only
+  // target.
+  Result<QueryTree> BindEntityExpr(const std::string& perspective_class,
+                                   const Expr& expr);
+
+ private:
+  struct Ctx {
+    QueryTree* qt = nullptr;
+    bool in_target = false;
+    int scope = -1;                        // -1 = main query
+    std::vector<int>* scope_nodes = nullptr;  // local loop nodes, DFS order
+    int anchor_node = -1;  // preferred anchor (aggregate outer suffix)
+    bool allow_new_roots = false;  // class names may open new perspectives
+    // Derived-attribute expressions bind strictly against their owning
+    // entity's node; perspectives are not candidate anchors.
+    bool restrict_to_anchor = false;
+  };
+
+  // Creates a perspective root. `class_name` may also name a view, in
+  // which case the root ranges over the view's underlying class and the
+  // view predicate is queued for conjunction into the selection.
+  Result<int> MakeRoot(QueryTree* qt, const std::string& class_name,
+                       const std::string& ref_var, const Ctx* scope_ctx);
+
+  // Binds queued view predicates and ANDs them into qt->where. Must run
+  // before labeling.
+  Status ApplyViewConditions(QueryTree* qt);
+
+  Result<BExprPtr> BindExpr(const Expr& expr, Ctx* ctx);
+  Result<BExprPtr> BindQualRef(const QualRefExpr& ref, Ctx* ctx);
+  // Inlines a derived attribute's stored expression, anchored at `node`.
+  Result<BExprPtr> BindDerived(int node,
+                               const DirectoryManager::ResolvedAttr& ra,
+                               Ctx* ctx);
+  Result<BExprPtr> BindAggregate(const AggregateExpr& agg, Ctx* ctx);
+  Result<BExprPtr> BindQuantified(const QuantifiedExpr& q, Ctx* ctx);
+
+  // Resolves the rightmost chain element to an anchor node. `consumed` is
+  // set when the element itself named the anchor (class or ref var).
+  Result<int> ResolveAnchor(const QualElement& last, Ctx* ctx, bool* consumed);
+
+  // Deep qualification completion (§4.2): unique shortest EVA path from a
+  // perspective to a class owning `last`. Returns the node at the end of
+  // the materialized path, or -1 when no path exists; ambiguity is an
+  // error.
+  Result<int> CompleteThroughPath(const QualElement& last, Ctx* ctx);
+
+  // Resolves element `e` as an attribute of class `cls`, handling
+  // INVERSE(...).
+  Result<DirectoryManager::ResolvedAttr> ResolveElemAttr(
+      const std::string& cls, const QualElement& e) const;
+
+  // Finds or creates the child node for traversing `ra` from `parent`.
+  Result<int> GetOrCreateChild(int parent,
+                               const DirectoryManager::ResolvedAttr& ra,
+                               const QualElement& e, Ctx* ctx);
+
+  void MarkUsage(QueryTree* qt, int node, bool in_target);
+  void LabelTree(QueryTree* qt);
+
+  const DirectoryManager* dir_;
+  // (scope, parent, key) -> node id; reset per statement.
+  std::map<std::tuple<int, int, std::string>, int> node_keys_;
+  int next_scope_ = 0;
+  // Guards against cyclic derived-attribute definitions.
+  int derived_depth_ = 0;
+  // (root node, condition text) pairs queued by MakeRoot for views.
+  std::vector<std::pair<int, std::string>> pending_view_conditions_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_SEMANTICS_BINDER_H_

@@ -1,0 +1,54 @@
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+std::vector<int> QueryTree::MainChildren(int node) const {
+  std::vector<int> out;
+  for (int c : nodes[node].children) {
+    if (nodes[c].scope < 0) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<int> QueryTree::MainLoopNodes() const {
+  std::vector<int> out;
+  std::vector<int> stack(roots.rbegin(), roots.rend());
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    std::vector<int> kids = MainChildren(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::string QueryTree::DebugString() const {
+  std::string out;
+  for (const QtNode& n : nodes) {
+    out += "X" + std::to_string(n.id) + " [";
+    switch (n.derivation) {
+      case NodeDerivation::kPerspective:
+        out += "perspective " + n.class_name;
+        break;
+      case NodeDerivation::kEva:
+        out += "eva " + (n.via_attr ? n.via_attr->name : "?") + " -> " +
+               n.class_name;
+        break;
+      case NodeDerivation::kMvDva:
+        out += "mvdva " + (n.via_attr ? n.via_attr->name : "?");
+        break;
+      case NodeDerivation::kTransitiveEva:
+        out += "transitive " + (n.via_attr ? n.via_attr->name : "?") + " -> " +
+               n.class_name;
+        break;
+    }
+    out += "] parent=" + std::to_string(n.parent) +
+           " type=" + std::to_string(n.label);
+    if (n.scope >= 0) out += " scope=" + std::to_string(n.scope);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sim

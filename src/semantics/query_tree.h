@@ -1,0 +1,186 @@
+#ifndef SIMDB_SEMANTICS_QUERY_TREE_H_
+#define SIMDB_SEMANTICS_QUERY_TREE_H_
+
+// The bound form of a DML query: the query tree (QT) of §4.5. Nodes are
+// range variables — perspective classes, EVA traversals, multi-valued DVA
+// expansions, transitive closures — and edges are the EVAs / MV DVAs that
+// derive a child's domain from its parent's current binding. Each node is
+// labeled TYPE 1 (target + selection), TYPE 2 (selection only, evaluated
+// existentially) or TYPE 3 (target only, outer-joined).
+//
+// Bound expressions (BExpr) mirror the AST but reference QT nodes and
+// resolved attributes instead of names.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/directory.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "parser/ast.h"
+
+namespace sim {
+
+struct BExpr;  // bound expressions, defined below
+
+enum class NodeDerivation {
+  kPerspective,    // root: ranges over a class extent
+  kEva,            // child: entities related to parent via an EVA
+  kMvDva,          // child: values of a multi-valued DVA of parent
+  kTransitiveEva,  // child: transitive closure of an EVA from parent
+};
+
+struct QtNode {
+  int id = -1;
+  int parent = -1;  // -1 for roots
+  NodeDerivation derivation = NodeDerivation::kPerspective;
+
+  // Effective class of the entities this node ranges over (empty for MV
+  // DVA value nodes). Role conversion (AS) narrows/widens this relative to
+  // the EVA's declared range.
+  std::string class_name;
+
+  // For kEva/kMvDva/kTransitiveEva: the traversed attribute, resolved on
+  // the parent's class.
+  const ClassDef* via_owner = nullptr;
+  const AttributeDef* via_attr = nullptr;
+
+  // Explicit range variable name (perspective ref vars), if any.
+  std::string ref_var;
+
+  // -1 when the node belongs to the main query; otherwise an opaque scope
+  // id grouping the local nodes of one aggregate / quantifier (§4.4:
+  // "implicit binding of names is broken" inside these constructs).
+  int scope = -1;
+
+  std::vector<int> children;
+
+  // Usage marks set during binding, then folded into the label.
+  bool used_in_target = false;
+  bool used_in_where = false;
+
+  // TYPE 1 / 2 / 3 per §4.5.
+  int label = 1;
+
+  // Optional predicate restricting this node's domain (view roots inside
+  // aggregate/quantifier scopes, where the predicate cannot be conjoined
+  // into the main selection). Shared so QtNode stays copyable.
+  std::shared_ptr<BExpr> domain_filter;
+};
+
+// ----- bound expressions -----
+
+enum class BExprKind {
+  kLiteral,
+  kField,       // single-valued DVA (or subrole) of a node's entity
+  kNodeValue,   // current value of an MV-DVA node
+  kNodeRef,     // current entity (surrogate) of an entity node
+  kBinary,
+  kUnary,
+  kAggregate,
+  kQuantified,
+  kIsa,
+  kFunction,
+};
+
+struct BExpr {
+  explicit BExpr(BExprKind k) : kind(k) {}
+  virtual ~BExpr() = default;
+  BExprKind kind;
+};
+
+using BExprPtr = std::unique_ptr<BExpr>;
+
+struct BLiteral : BExpr {
+  explicit BLiteral(Value v) : BExpr(BExprKind::kLiteral), value(std::move(v)) {}
+  Value value;
+};
+
+struct BField : BExpr {
+  BField() : BExpr(BExprKind::kField) {}
+  int node = -1;
+  const ClassDef* owner = nullptr;
+  const AttributeDef* attr = nullptr;
+};
+
+struct BNodeValue : BExpr {
+  explicit BNodeValue(int n) : BExpr(BExprKind::kNodeValue), node(n) {}
+  int node;
+};
+
+struct BNodeRef : BExpr {
+  explicit BNodeRef(int n) : BExpr(BExprKind::kNodeRef), node(n) {}
+  int node;
+};
+
+struct BBinary : BExpr {
+  BBinary(BinaryOp o, BExprPtr l, BExprPtr r)
+      : BExpr(BExprKind::kBinary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  BinaryOp op;
+  BExprPtr lhs, rhs;
+};
+
+struct BUnary : BExpr {
+  BUnary(UnaryOp o, BExprPtr e)
+      : BExpr(BExprKind::kUnary), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  BExprPtr operand;
+};
+
+struct BAggregate : BExpr {
+  BAggregate() : BExpr(BExprKind::kAggregate) {}
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;
+  // Local loop nodes in DFS order; their domains are derived from already-
+  // bound outer nodes when evaluation starts.
+  std::vector<int> loop_nodes;
+  BExprPtr arg;
+};
+
+struct BQuantified : BExpr {
+  BQuantified() : BExpr(BExprKind::kQuantified) {}
+  Quantifier quantifier = Quantifier::kSome;
+  std::vector<int> loop_nodes;
+  BExprPtr value;  // compared against the other comparison operand
+};
+
+struct BFunction : BExpr {
+  BFunction() : BExpr(BExprKind::kFunction) {}
+  std::string name;  // lowercase
+  std::vector<BExprPtr> args;
+};
+
+struct BIsa : BExpr {
+  BIsa() : BExpr(BExprKind::kIsa) {}
+  BExprPtr entity;
+  std::string class_name;
+};
+
+// ----- the bound query -----
+
+struct BoundOrderItem {
+  BExprPtr expr;
+  bool descending = false;
+};
+
+struct QueryTree {
+  std::vector<QtNode> nodes;
+  std::vector<int> roots;  // perspective nodes, declaration order
+  OutputMode mode = OutputMode::kDefault;
+  std::vector<BExprPtr> targets;
+  std::vector<std::string> target_labels;  // display headers
+  std::vector<BoundOrderItem> order_by;
+  BExprPtr where;  // null = no selection
+
+  // Main-query child nodes of `node` (excludes aggregate-local scopes).
+  std::vector<int> MainChildren(int node) const;
+  // Main-query nodes of the given label set in DFS order from the roots.
+  std::vector<int> MainLoopNodes() const;
+
+  std::string DebugString() const;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_SEMANTICS_QUERY_TREE_H_

@@ -1,0 +1,366 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sim {
+
+namespace {
+
+// Node layout:
+//   leaf:     [u8 1][u16 n][u32 next][entries: u16 klen, key, u64 value]
+//   internal: [u8 0][u16 n][u32 child0][entries: u16 klen, key, u32 child]
+constexpr size_t kLeafHeader = 1 + 2 + 4;
+constexpr size_t kInternalHeader = 1 + 2 + 4;
+// Leave headroom so a node can temporarily hold one oversized entry set
+// before splitting.
+constexpr size_t kNodeCapacity = kPageSize;
+constexpr size_t kMaxKeyLen = 1024;
+
+void PutU16At(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint16_t GetU16At(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void PutU32At(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint32_t GetU32At(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void PutU64At(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint64_t GetU64At(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool, std::string name) {
+  SIM_ASSIGN_OR_RETURN(PageHandle h, pool->New());
+  LeafNode empty;
+  BPlusTree tree(pool, std::move(name), h.id());
+  EncodeLeaf(empty, h.data());
+  h.MarkDirty();
+  return tree;
+}
+
+Result<bool> BPlusTree::IsLeafPage(const char* data) {
+  uint8_t kind = static_cast<uint8_t>(data[0]);
+  if (kind > 1) return Status::Internal("corrupt b+tree node tag");
+  return kind == 1;
+}
+
+void BPlusTree::EncodeLeaf(const LeafNode& node, char* data) {
+  data[0] = 1;
+  PutU16At(data + 1, static_cast<uint16_t>(node.keys.size()));
+  PutU32At(data + 3, node.next);
+  char* p = data + kLeafHeader;
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    PutU16At(p, static_cast<uint16_t>(node.keys[i].size()));
+    p += 2;
+    std::memcpy(p, node.keys[i].data(), node.keys[i].size());
+    p += node.keys[i].size();
+    PutU64At(p, node.values[i]);
+    p += 8;
+  }
+}
+
+Status BPlusTree::DecodeLeaf(const char* data, LeafNode* node) {
+  if (data[0] != 1) return Status::Internal("not a leaf node");
+  uint16_t n = GetU16At(data + 1);
+  node->next = GetU32At(data + 3);
+  node->keys.clear();
+  node->values.clear();
+  node->keys.reserve(n);
+  node->values.reserve(n);
+  const char* p = data + kLeafHeader;
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t klen = GetU16At(p);
+    p += 2;
+    node->keys.emplace_back(p, klen);
+    p += klen;
+    node->values.push_back(GetU64At(p));
+    p += 8;
+  }
+  return Status::Ok();
+}
+
+void BPlusTree::EncodeInternal(const InternalNode& node, char* data) {
+  data[0] = 0;
+  PutU16At(data + 1, static_cast<uint16_t>(node.keys.size()));
+  PutU32At(data + 3, node.children[0]);
+  char* p = data + kInternalHeader;
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    PutU16At(p, static_cast<uint16_t>(node.keys[i].size()));
+    p += 2;
+    std::memcpy(p, node.keys[i].data(), node.keys[i].size());
+    p += node.keys[i].size();
+    PutU32At(p, node.children[i + 1]);
+    p += 4;
+  }
+}
+
+Status BPlusTree::DecodeInternal(const char* data, InternalNode* node) {
+  if (data[0] != 0) return Status::Internal("not an internal node");
+  uint16_t n = GetU16At(data + 1);
+  node->keys.clear();
+  node->children.clear();
+  node->keys.reserve(n);
+  node->children.reserve(n + 1);
+  node->children.push_back(GetU32At(data + 3));
+  const char* p = data + kInternalHeader;
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t klen = GetU16At(p);
+    p += 2;
+    node->keys.emplace_back(p, klen);
+    p += klen;
+    node->children.push_back(GetU32At(p));
+    p += 4;
+  }
+  return Status::Ok();
+}
+
+size_t BPlusTree::LeafSize(const LeafNode& node) {
+  size_t size = kLeafHeader;
+  for (const auto& k : node.keys) size += 2 + k.size() + 8;
+  return size;
+}
+
+size_t BPlusTree::InternalSize(const InternalNode& node) {
+  size_t size = kInternalHeader;
+  for (const auto& k : node.keys) size += 2 + k.size() + 4;
+  return size;
+}
+
+Result<std::optional<BPlusTree::SplitResult>> BPlusTree::InsertRec(
+    PageId page, std::string_view key, uint64_t value) {
+  SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+  SIM_ASSIGN_OR_RETURN(bool is_leaf, IsLeafPage(h.data()));
+  if (is_leaf) {
+    LeafNode node;
+    SIM_RETURN_IF_ERROR(DecodeLeaf(h.data(), &node));
+    auto pos = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+    size_t idx = static_cast<size_t>(pos - node.keys.begin());
+    node.keys.insert(pos, std::string(key));
+    node.values.insert(node.values.begin() + idx, value);
+    if (LeafSize(node) <= kNodeCapacity) {
+      EncodeLeaf(node, h.data());
+      h.MarkDirty();
+      return std::optional<SplitResult>();
+    }
+    // Split: move the upper half to a new leaf.
+    size_t mid = node.keys.size() / 2;
+    LeafNode right;
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    right.values.assign(node.values.begin() + mid, node.values.end());
+    right.next = node.next;
+    node.keys.resize(mid);
+    node.values.resize(mid);
+    SIM_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+    node.next = rh.id();
+    EncodeLeaf(node, h.data());
+    h.MarkDirty();
+    EncodeLeaf(right, rh.data());
+    rh.MarkDirty();
+    return std::optional<SplitResult>(SplitResult{right.keys.front(), rh.id()});
+  }
+
+  InternalNode node;
+  SIM_RETURN_IF_ERROR(DecodeInternal(h.data(), &node));
+  auto pos = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+  size_t child_idx = static_cast<size_t>(pos - node.keys.begin());
+  PageId child = node.children[child_idx];
+  // Release the parent pin while descending to keep pin pressure low.
+  h.Release();
+  SIM_ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                       InsertRec(child, key, value));
+  if (!split.has_value()) return std::optional<SplitResult>();
+
+  SIM_ASSIGN_OR_RETURN(PageHandle h2, pool_->Fetch(page));
+  SIM_RETURN_IF_ERROR(DecodeInternal(h2.data(), &node));
+  auto pos2 = std::upper_bound(node.keys.begin(), node.keys.end(),
+                               split->separator);
+  size_t idx = static_cast<size_t>(pos2 - node.keys.begin());
+  node.keys.insert(pos2, split->separator);
+  node.children.insert(node.children.begin() + idx + 1, split->right);
+  if (InternalSize(node) <= kNodeCapacity) {
+    EncodeInternal(node, h2.data());
+    h2.MarkDirty();
+    return std::optional<SplitResult>();
+  }
+  // Split internal node: middle key moves up.
+  size_t mid = node.keys.size() / 2;
+  std::string up_key = node.keys[mid];
+  InternalNode right;
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1, node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  SIM_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+  EncodeInternal(node, h2.data());
+  h2.MarkDirty();
+  EncodeInternal(right, rh.data());
+  rh.MarkDirty();
+  return std::optional<SplitResult>(SplitResult{std::move(up_key), rh.id()});
+}
+
+Status BPlusTree::Insert(std::string_view key, uint64_t value) {
+  if (key.size() > kMaxKeyLen) {
+    return Status::InvalidArgument("index key too long");
+  }
+  SIM_ASSIGN_OR_RETURN(std::optional<SplitResult> split,
+                       InsertRec(root_, key, value));
+  if (split.has_value()) {
+    InternalNode new_root;
+    new_root.keys.push_back(split->separator);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(split->right);
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+    EncodeInternal(new_root, h.data());
+    h.MarkDirty();
+    root_ = h.id();
+    ++height_;
+  }
+  ++entry_count_;
+  return Status::Ok();
+}
+
+Status BPlusTree::InsertUnique(std::string_view key, uint64_t value) {
+  SIM_ASSIGN_OR_RETURN(bool exists, Contains(key));
+  if (exists) return Status::AlreadyExists("duplicate key in unique index");
+  return Insert(key, value);
+}
+
+Result<PageId> BPlusTree::FindLeaf(std::string_view key) {
+  PageId page = root_;
+  for (;;) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    SIM_ASSIGN_OR_RETURN(bool is_leaf, IsLeafPage(h.data()));
+    if (is_leaf) return page;
+    InternalNode node;
+    SIM_RETURN_IF_ERROR(DecodeInternal(h.data(), &node));
+    // Descend to the leftmost child that can contain `key` so iteration
+    // over duplicates starts at the first occurrence.
+    auto pos = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    size_t idx = static_cast<size_t>(pos - node.keys.begin());
+    page = node.children[idx];
+  }
+}
+
+Result<PageId> BPlusTree::LeftmostLeaf() {
+  PageId page = root_;
+  for (;;) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    SIM_ASSIGN_OR_RETURN(bool is_leaf, IsLeafPage(h.data()));
+    if (is_leaf) return page;
+    InternalNode node;
+    SIM_RETURN_IF_ERROR(DecodeInternal(h.data(), &node));
+    page = node.children[0];
+  }
+}
+
+Status BPlusTree::Delete(std::string_view key, uint64_t value) {
+  SIM_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
+  while (leaf != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(leaf));
+    LeafNode node;
+    SIM_RETURN_IF_ERROR(DecodeLeaf(h.data(), &node));
+    bool past_key = false;
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      if (node.keys[i] == key && node.values[i] == value) {
+        node.keys.erase(node.keys.begin() + i);
+        node.values.erase(node.values.begin() + i);
+        EncodeLeaf(node, h.data());
+        h.MarkDirty();
+        if (entry_count_ > 0) --entry_count_;
+        return Status::Ok();
+      }
+      if (node.keys[i] > std::string(key)) {
+        past_key = true;
+        break;
+      }
+    }
+    if (past_key && !node.keys.empty()) break;
+    leaf = node.next;
+  }
+  return Status::NotFound("(key, value) pair not in index");
+}
+
+Result<bool> BPlusTree::Contains(std::string_view key) {
+  SIM_ASSIGN_OR_RETURN(Iterator it, Seek(key));
+  return it.Valid() && it.key() == key;
+}
+
+Result<std::vector<uint64_t>> BPlusTree::GetAll(std::string_view key) {
+  std::vector<uint64_t> out;
+  SIM_ASSIGN_OR_RETURN(Iterator it, Seek(key));
+  while (it.Valid() && it.key() == key) {
+    out.push_back(it.value());
+    SIM_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<std::optional<uint64_t>> BPlusTree::GetFirst(std::string_view key) {
+  SIM_ASSIGN_OR_RETURN(Iterator it, Seek(key));
+  if (it.Valid() && it.key() == key) {
+    return std::optional<uint64_t>(it.value());
+  }
+  return std::optional<uint64_t>();
+}
+
+Status BPlusTree::Iterator::LoadLeaf(PageId leaf, std::string_view seek_key) {
+  while (leaf != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, tree_->pool_->Fetch(leaf));
+    LeafNode node;
+    SIM_RETURN_IF_ERROR(DecodeLeaf(h.data(), &node));
+    auto pos =
+        std::lower_bound(node.keys.begin(), node.keys.end(), seek_key);
+    if (pos != node.keys.end()) {
+      leaf_ = leaf;
+      keys_ = std::move(node.keys);
+      values_ = std::move(node.values);
+      index_ = static_cast<size_t>(pos - keys_.begin());
+      next_ = node.next;
+      valid_ = true;
+      return Status::Ok();
+    }
+    leaf = node.next;
+    seek_key = std::string_view();  // everything in later leaves qualifies
+  }
+  valid_ = false;
+  return Status::Ok();
+}
+
+Status BPlusTree::Iterator::Next() {
+  if (!valid_) return Status::Ok();
+  ++index_;
+  if (index_ < keys_.size()) return Status::Ok();
+  PageId next = next_;
+  keys_.clear();
+  values_.clear();
+  index_ = 0;
+  valid_ = false;
+  return LoadLeaf(next, std::string_view());
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Seek(std::string_view key) {
+  Iterator it;
+  it.tree_ = this;
+  SIM_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
+  SIM_RETURN_IF_ERROR(it.LoadLeaf(leaf, key));
+  return it;
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Begin() {
+  Iterator it;
+  it.tree_ = this;
+  SIM_ASSIGN_OR_RETURN(PageId leaf, LeftmostLeaf());
+  SIM_RETURN_IF_ERROR(it.LoadLeaf(leaf, std::string_view()));
+  return it;
+}
+
+}  // namespace sim

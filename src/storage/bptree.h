@@ -1,0 +1,125 @@
+#ifndef SIMDB_STORAGE_BPTREE_H_
+#define SIMDB_STORAGE_BPTREE_H_
+
+// Page-based B+-tree mapping byte-string keys (memcmp order) to u64 values.
+// Duplicate keys are allowed; (key, value) pairs are unique. This is the
+// "index sequential" key organization of §5.2; it also backs UNIQUE
+// attribute enforcement and surrogate -> RecordId primary indexes.
+//
+// All node access goes through the buffer pool, so tree probes show up in
+// the block-access counters used by the optimizer cost model and by the
+// mapping experiments.
+//
+// Deletions do not rebalance (nodes may underflow); this matches the
+// reproduction's needs and keeps the structure simple. Empty leaves remain
+// chained and are skipped by iterators.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace sim {
+
+class BPlusTree {
+ public:
+  // Creates a new empty tree (allocates the root leaf).
+  static Result<BPlusTree> Create(BufferPool* pool, std::string name);
+
+  const std::string& name() const { return name_; }
+  PageId root() const { return root_; }
+  int height() const { return height_; }
+  uint64_t entry_count() const { return entry_count_; }
+
+  // Inserts a (key, value) pair. Duplicate keys allowed; inserting the
+  // exact same (key, value) pair twice is also allowed (multiset).
+  Status Insert(std::string_view key, uint64_t value);
+
+  // Inserts only if the key is absent; AlreadyExists otherwise.
+  Status InsertUnique(std::string_view key, uint64_t value);
+
+  // Removes one (key, value) pair; NotFound if absent.
+  Status Delete(std::string_view key, uint64_t value);
+
+  // True if at least one entry with this key exists.
+  Result<bool> Contains(std::string_view key);
+
+  // All values stored under `key`.
+  Result<std::vector<uint64_t>> GetAll(std::string_view key);
+
+  // First value under `key`, if any.
+  Result<std::optional<uint64_t>> GetFirst(std::string_view key);
+
+  // Forward iterator positioned at the first entry with key >= seek_key.
+  // The iterator materializes one leaf at a time.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return keys_[index_]; }
+    uint64_t value() const { return values_[index_]; }
+    Status Next();
+
+   private:
+    friend class BPlusTree;
+    BPlusTree* tree_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    PageId next_ = kInvalidPageId;
+    std::vector<std::string> keys_;
+    std::vector<uint64_t> values_;
+    size_t index_ = 0;
+    bool valid_ = false;
+
+    Status LoadLeaf(PageId leaf, std::string_view seek_key);
+  };
+
+  Result<Iterator> Seek(std::string_view key);
+  Result<Iterator> Begin();
+
+ private:
+  BPlusTree(BufferPool* pool, std::string name, PageId root)
+      : pool_(pool), name_(std::move(name)), root_(root) {}
+
+  struct LeafNode {
+    std::vector<std::string> keys;
+    std::vector<uint64_t> values;
+    PageId next = kInvalidPageId;
+  };
+  struct InternalNode {
+    std::vector<std::string> keys;      // size n
+    std::vector<PageId> children;       // size n + 1
+  };
+  struct SplitResult {
+    std::string separator;
+    PageId right;
+  };
+
+  static Result<bool> IsLeafPage(const char* data);
+  static void EncodeLeaf(const LeafNode& node, char* data);
+  static Status DecodeLeaf(const char* data, LeafNode* node);
+  static void EncodeInternal(const InternalNode& node, char* data);
+  static Status DecodeInternal(const char* data, InternalNode* node);
+  static size_t LeafSize(const LeafNode& node);
+  static size_t InternalSize(const InternalNode& node);
+
+  // Recursive insert; returns a split description when `page` split.
+  Result<std::optional<SplitResult>> InsertRec(PageId page,
+                                               std::string_view key,
+                                               uint64_t value);
+  // Finds the leaf that may contain `key`.
+  Result<PageId> FindLeaf(std::string_view key);
+  Result<PageId> LeftmostLeaf();
+
+  BufferPool* pool_;
+  std::string name_;
+  PageId root_;
+  int height_ = 1;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_BPTREE_H_

@@ -1,0 +1,138 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace sim {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.frame_ = -1;
+    other.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+char* PageHandle::data() { return pool_->frames_[frame_].data.get(); }
+
+const char* PageHandle::data() const {
+  return pool_->frames_[frame_].data.get();
+}
+
+void PageHandle::MarkDirty() { pool_->frames_[frame_].dirty = true; }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_frames) : pager_(pager) {
+  frames_.resize(capacity_frames);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<char[]>(kPageSize);
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  ++stats_.logical_fetches;
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.lru_tick = ++tick_;
+    return PageHandle(this, it->second, id);
+  }
+  ++stats_.misses;
+  SIM_ASSIGN_OR_RETURN(int frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  SIM_RETURN_IF_ERROR(pager_->Read(id, f.data.get()));
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.lru_tick = ++tick_;
+  page_to_frame_[id] = frame;
+  return PageHandle(this, frame, id);
+}
+
+Result<PageHandle> BufferPool::New() {
+  SIM_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
+  ++stats_.logical_fetches;
+  SIM_ASSIGN_OR_RETURN(int frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.lru_tick = ++tick_;
+  page_to_frame_[id] = frame;
+  return PageHandle(this, frame, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      SIM_RETURN_IF_ERROR(pager_->Write(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::InvalidateAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
+    if (f.dirty) {
+      SIM_RETURN_IF_ERROR(pager_->Write(f.page_id, f.data.get()));
+      ++stats_.dirty_writebacks;
+    }
+    page_to_frame_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    f.dirty = false;
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Unpin(int frame) {
+  Frame& f = frames_[frame];
+  if (f.pin_count > 0) --f.pin_count;
+}
+
+Result<int> BufferPool::GetVictimFrame() {
+  int victim = -1;
+  uint64_t oldest = ~uint64_t{0};
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId) {
+      victim = static_cast<int>(i);
+      break;
+    }
+    if (f.pin_count == 0 && f.lru_tick < oldest) {
+      oldest = f.lru_tick;
+      victim = static_cast<int>(i);
+    }
+  }
+  if (victim < 0) {
+    return Status::IoError("buffer pool exhausted: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.page_id != kInvalidPageId) {
+    if (f.dirty) {
+      SIM_RETURN_IF_ERROR(pager_->Write(f.page_id, f.data.get()));
+      ++stats_.dirty_writebacks;
+    }
+    page_to_frame_.erase(f.page_id);
+    ++stats_.evictions;
+    f.page_id = kInvalidPageId;
+  }
+  return victim;
+}
+
+}  // namespace sim

@@ -1,0 +1,109 @@
+#ifndef SIMDB_STORAGE_BUFFER_POOL_H_
+#define SIMDB_STORAGE_BUFFER_POOL_H_
+
+// LRU buffer pool. All page access in the system flows through Fetch/New,
+// so the pool's counters are the system's definition of "block accesses":
+//  * logical_fetches — every page touch (what a clustered mapping saves),
+//  * misses          — touches that had to go to the pager (cold/evicted).
+// The §5.2 experiments read these counters directly.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace sim {
+
+class BufferPool;
+
+// RAII pin on a buffered page. While a handle is alive the frame cannot be
+// evicted. Handles are movable but not copyable.
+class PageHandle {
+ public:
+  PageHandle() : pool_(nullptr), frame_(-1), id_(kInvalidPageId) {}
+  PageHandle(BufferPool* pool, int frame, PageId id)
+      : pool_(pool), frame_(frame), id_(id) {}
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept
+      : pool_(nullptr), frame_(-1), id_(kInvalidPageId) {
+    *this = std::move(other);
+  }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data();
+  const char* data() const;
+  // Marks the page dirty so it is written back before eviction.
+  void MarkDirty();
+  // Explicitly releases the pin (also done by the destructor).
+  void Release();
+
+ private:
+  BufferPool* pool_;
+  int frame_;
+  PageId id_;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t logical_fetches = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_writebacks = 0;
+  };
+
+  BufferPool(Pager* pager, size_t capacity_frames);
+
+  // Pins page `id`, reading it from the pager on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  // Allocates a fresh page in the pager and pins it (counts as a miss-free
+  // fetch; the new page is born in the pool).
+  Result<PageHandle> New();
+
+  // Writes back all dirty frames.
+  Status FlushAll();
+
+  // Drops every unpinned frame (writing back dirty ones). Used by
+  // experiments that want a cold cache.
+  Status InvalidateAll();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+  Pager* pager() { return pager_; }
+  size_t capacity() const { return frames_.size(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    uint64_t lru_tick = 0;
+  };
+
+  void Unpin(int frame);
+  // Picks an unpinned frame to reuse, writing back if dirty.
+  Result<int> GetVictimFrame();
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int> page_to_frame_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_BUFFER_POOL_H_

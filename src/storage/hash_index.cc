@@ -1,0 +1,156 @@
+#include "storage/hash_index.h"
+
+#include <cstring>
+#include <functional>
+
+namespace sim {
+
+namespace {
+
+// Bucket page layout: [u16 n][u32 overflow][entries: u16 klen, key, u64 val]
+constexpr size_t kBucketHeader = 2 + 4;
+
+struct BucketPage {
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;
+  PageId overflow = kInvalidPageId;
+};
+
+void EncodeBucket(const BucketPage& b, char* data) {
+  uint16_t n = static_cast<uint16_t>(b.keys.size());
+  std::memcpy(data, &n, 2);
+  std::memcpy(data + 2, &b.overflow, 4);
+  char* p = data + kBucketHeader;
+  for (size_t i = 0; i < b.keys.size(); ++i) {
+    uint16_t klen = static_cast<uint16_t>(b.keys[i].size());
+    std::memcpy(p, &klen, 2);
+    p += 2;
+    std::memcpy(p, b.keys[i].data(), klen);
+    p += klen;
+    std::memcpy(p, &b.values[i], 8);
+    p += 8;
+  }
+}
+
+void DecodeBucket(const char* data, BucketPage* b) {
+  uint16_t n;
+  std::memcpy(&n, data, 2);
+  std::memcpy(&b->overflow, data + 2, 4);
+  b->keys.clear();
+  b->values.clear();
+  const char* p = data + kBucketHeader;
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t klen;
+    std::memcpy(&klen, p, 2);
+    p += 2;
+    b->keys.emplace_back(p, klen);
+    p += klen;
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    b->values.push_back(v);
+  }
+}
+
+size_t BucketSize(const BucketPage& b) {
+  size_t size = kBucketHeader;
+  for (const auto& k : b.keys) size += 2 + k.size() + 8;
+  return size;
+}
+
+}  // namespace
+
+Result<HashIndex> HashIndex::Create(BufferPool* pool, std::string name,
+                                    size_t num_buckets) {
+  size_t n = 1;
+  while (n < num_buckets) n <<= 1;
+  return HashIndex(pool, std::move(name), n);
+}
+
+size_t HashIndex::BucketOf(std::string_view key) const {
+  return std::hash<std::string_view>()(key) & (buckets_.size() - 1);
+}
+
+Result<PageId> HashIndex::EnsureBucketPage(size_t bucket) {
+  if (buckets_[bucket] != kInvalidPageId) return buckets_[bucket];
+  SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+  BucketPage empty;
+  EncodeBucket(empty, h.data());
+  h.MarkDirty();
+  buckets_[bucket] = h.id();
+  return h.id();
+}
+
+Status HashIndex::Insert(std::string_view key, uint64_t value) {
+  SIM_ASSIGN_OR_RETURN(PageId page, EnsureBucketPage(BucketOf(key)));
+  for (;;) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    BucketPage b;
+    DecodeBucket(h.data(), &b);
+    if (BucketSize(b) + 2 + key.size() + 8 <= kPageSize) {
+      b.keys.emplace_back(key);
+      b.values.push_back(value);
+      EncodeBucket(b, h.data());
+      h.MarkDirty();
+      ++entry_count_;
+      return Status::Ok();
+    }
+    if (b.overflow == kInvalidPageId) {
+      SIM_ASSIGN_OR_RETURN(PageHandle oh, pool_->New());
+      BucketPage fresh;
+      fresh.keys.emplace_back(key);
+      fresh.values.push_back(value);
+      EncodeBucket(fresh, oh.data());
+      oh.MarkDirty();
+      b.overflow = oh.id();
+      EncodeBucket(b, h.data());
+      h.MarkDirty();
+      ++entry_count_;
+      return Status::Ok();
+    }
+    page = b.overflow;
+  }
+}
+
+Status HashIndex::Delete(std::string_view key, uint64_t value) {
+  PageId page = buckets_[BucketOf(key)];
+  while (page != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    BucketPage b;
+    DecodeBucket(h.data(), &b);
+    for (size_t i = 0; i < b.keys.size(); ++i) {
+      if (b.keys[i] == key && b.values[i] == value) {
+        b.keys.erase(b.keys.begin() + i);
+        b.values.erase(b.values.begin() + i);
+        EncodeBucket(b, h.data());
+        h.MarkDirty();
+        if (entry_count_ > 0) --entry_count_;
+        return Status::Ok();
+      }
+    }
+    page = b.overflow;
+  }
+  return Status::NotFound("(key, value) pair not in hash index");
+}
+
+Result<std::vector<uint64_t>> HashIndex::GetAll(std::string_view key) {
+  std::vector<uint64_t> out;
+  PageId page = buckets_[BucketOf(key)];
+  while (page != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    BucketPage b;
+    DecodeBucket(h.data(), &b);
+    for (size_t i = 0; i < b.keys.size(); ++i) {
+      if (b.keys[i] == key) out.push_back(b.values[i]);
+    }
+    page = b.overflow;
+  }
+  return out;
+}
+
+Result<bool> HashIndex::Contains(std::string_view key) {
+  SIM_ASSIGN_OR_RETURN(std::vector<uint64_t> all, GetAll(key));
+  return !all.empty();
+}
+
+}  // namespace sim

@@ -1,0 +1,51 @@
+#ifndef SIMDB_STORAGE_HASH_INDEX_H_
+#define SIMDB_STORAGE_HASH_INDEX_H_
+
+// Page-based static hash index: a fixed bucket directory, each bucket a
+// chain of pages holding (key, u64 value) entries. This is the "random
+// keys (based on hashing)" organization of §5.2. Lookups cost one block
+// access per chain page probed; well-sized tables probe exactly one.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace sim {
+
+class HashIndex {
+ public:
+  // Creates an index with `num_buckets` chains (rounded up to a power of
+  // two). Bucket pages are allocated lazily.
+  static Result<HashIndex> Create(BufferPool* pool, std::string name,
+                                  size_t num_buckets);
+
+  const std::string& name() const { return name_; }
+  uint64_t entry_count() const { return entry_count_; }
+
+  Status Insert(std::string_view key, uint64_t value);
+  Status Delete(std::string_view key, uint64_t value);
+  Result<std::vector<uint64_t>> GetAll(std::string_view key);
+  Result<bool> Contains(std::string_view key);
+
+ private:
+  HashIndex(BufferPool* pool, std::string name, size_t num_buckets)
+      : pool_(pool),
+        name_(std::move(name)),
+        buckets_(num_buckets, kInvalidPageId) {}
+
+  size_t BucketOf(std::string_view key) const;
+  Result<PageId> EnsureBucketPage(size_t bucket);
+
+  BufferPool* pool_;
+  std::string name_;
+  std::vector<PageId> buckets_;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_HASH_INDEX_H_

@@ -1,0 +1,148 @@
+#include "storage/heap_file.h"
+
+#include <algorithm>
+
+namespace sim {
+
+HeapFile::HeapFile(BufferPool* pool, std::string name)
+    : pool_(pool), name_(std::move(name)) {}
+
+Result<RecordId> HeapFile::Insert(std::string_view record) {
+  if (record.size() > kPageSize - 64) {
+    return Status::InvalidArgument("record larger than page capacity");
+  }
+  // Try the most recently appended pages first (cheap heuristic), guided by
+  // the free-space estimates. Ordinary inserts honour the clustering
+  // reserve; records that cannot fit anywhere even so still get fresh
+  // pages below.
+  int needed = static_cast<int>(record.size()) + reserve_bytes_;
+  for (size_t i = pages_.size(); i-- > 0;) {
+    if (free_estimate_[i] < needed) continue;
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pages_[i]));
+    SlottedPage page(h.data());
+    Result<int> slot = page.Insert(record);
+    if (slot.ok()) {
+      h.MarkDirty();
+      free_estimate_[i] = page.FreeSpaceForNewRecord();
+      ++record_count_;
+      return RecordId{pages_[i], static_cast<uint16_t>(*slot)};
+    }
+    free_estimate_[i] = page.FreeSpaceForNewRecord();
+    // Only probe a couple of pages before extending the file.
+    if (i + 4 < pages_.size()) break;
+  }
+  SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+  SlottedPage::Initialize(h.data());
+  SlottedPage page(h.data());
+  SIM_ASSIGN_OR_RETURN(int slot, page.Insert(record));
+  h.MarkDirty();
+  pages_.push_back(h.id());
+  free_estimate_.push_back(page.FreeSpaceForNewRecord());
+  ++record_count_;
+  return RecordId{h.id(), static_cast<uint16_t>(slot)};
+}
+
+Result<RecordId> HeapFile::InsertNear(PageId hint, std::string_view record) {
+  auto it = std::find(pages_.begin(), pages_.end(), hint);
+  if (it == pages_.end() && hint != kInvalidPageId &&
+      hint < pool_->pager()->page_count()) {
+    // Adopt a page owned by another file: clustered mappings place
+    // dependent records physically next to their owner even across storage
+    // units (records carry a unit tag so scans skip foreign ones).
+    pages_.push_back(hint);
+    free_estimate_.push_back(0);  // refreshed below
+    it = pages_.end() - 1;
+  }
+  if (it != pages_.end()) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(hint));
+    SlottedPage page(h.data());
+    Result<int> slot = page.Insert(record);
+    size_t idx = static_cast<size_t>(it - pages_.begin());
+    free_estimate_[idx] = page.FreeSpaceForNewRecord();
+    if (slot.ok()) {
+      h.MarkDirty();
+      ++record_count_;
+      return RecordId{hint, static_cast<uint16_t>(*slot)};
+    }
+  }
+  return Insert(record);
+}
+
+Status HeapFile::Get(RecordId rid, std::string* out) const {
+  SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page));
+  SlottedPage page(const_cast<char*>(h.data()));
+  std::string_view rec;
+  if (!page.Get(rid.slot, &rec)) {
+    return Status::NotFound("no record at " + rid.ToString() + " in " + name_);
+  }
+  out->assign(rec.data(), rec.size());
+  return Status::Ok();
+}
+
+Result<RecordId> HeapFile::Update(RecordId rid, std::string_view record) {
+  {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page));
+    SlottedPage page(h.data());
+    Status s = page.Update(rid.slot, record);
+    if (s.ok()) {
+      h.MarkDirty();
+      return rid;
+    }
+    if (s.code() != StatusCode::kIoError) return s;
+    // Did not fit: fall through to move. Update() already tombstoned the
+    // slot in the growth path only on success, so delete explicitly here.
+    std::string_view existing;
+    if (page.Get(rid.slot, &existing)) {
+      SIM_RETURN_IF_ERROR(page.Delete(rid.slot));
+      h.MarkDirty();
+    }
+    --record_count_;  // Insert below will re-increment.
+  }
+  return Insert(record);
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(rid.page));
+  SlottedPage page(h.data());
+  SIM_RETURN_IF_ERROR(page.Delete(rid.slot));
+  h.MarkDirty();
+  if (record_count_ > 0) --record_count_;
+  auto it = std::find(pages_.begin(), pages_.end(), rid.page);
+  if (it != pages_.end()) {
+    free_estimate_[it - pages_.begin()] = page.FreeSpaceForNewRecord();
+  }
+  return Status::Ok();
+}
+
+HeapFile::Iterator::Iterator(const HeapFile* file) : file_(file) {
+  Advance(/*first=*/true);
+}
+
+void HeapFile::Iterator::Next() { Advance(/*first=*/false); }
+
+void HeapFile::Iterator::Advance(bool first) {
+  valid_ = false;
+  if (!first && page_index_ >= file_->pages_.size()) return;
+  while (page_index_ < file_->pages_.size()) {
+    Result<PageHandle> h = file_->pool_->Fetch(file_->pages_[page_index_]);
+    if (!h.ok()) {
+      status_ = h.status();
+      return;
+    }
+    SlottedPage page(h->data());
+    for (int s = slot_ + 1; s < page.slot_count(); ++s) {
+      std::string_view rec;
+      if (page.Get(s, &rec)) {
+        slot_ = s;
+        rid_ = RecordId{file_->pages_[page_index_], static_cast<uint16_t>(s)};
+        record_.assign(rec.data(), rec.size());
+        valid_ = true;
+        return;
+      }
+    }
+    ++page_index_;
+    slot_ = -1;
+  }
+}
+
+}  // namespace sim

@@ -1,0 +1,111 @@
+#ifndef SIMDB_STORAGE_HEAP_FILE_H_
+#define SIMDB_STORAGE_HEAP_FILE_H_
+
+// A heap file is an unordered collection of variable-length records spread
+// over slotted pages. It is the physical "storage unit" of §5.2: one heap
+// file holds a generalization hierarchy's variable-format records, a
+// multi-valued DVA's records, or a Common EVA Structure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace sim {
+
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const RecordId& o) const {
+    return page == o.page && slot == o.slot;
+  }
+  std::string ToString() const {
+    return std::to_string(page) + ":" + std::to_string(slot);
+  }
+};
+
+// Packs a RecordId into the u64 payload slot of an index entry.
+inline uint64_t PackRecordId(RecordId rid) {
+  return (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
+}
+inline RecordId UnpackRecordId(uint64_t packed) {
+  return RecordId{static_cast<PageId>(packed >> 16),
+                  static_cast<uint16_t>(packed & 0xFFFF)};
+}
+
+class HeapFile {
+ public:
+  HeapFile(BufferPool* pool, std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Appends a record wherever there is room.
+  Result<RecordId> Insert(std::string_view record);
+
+  // Clustered insert: places the record on `hint` when it fits there,
+  // falling back to a normal insert. This implements the §5.2 "clustering"
+  // physical mapping (first relationship instance costs 0 extra blocks).
+  Result<RecordId> InsertNear(PageId hint, std::string_view record);
+
+  // Copies the record into *out.
+  Status Get(RecordId rid, std::string* out) const;
+
+  // Rewrites a record in place when possible; if the new version does not
+  // fit on its page, the record moves and the new RecordId is returned.
+  Result<RecordId> Update(RecordId rid, std::string_view record);
+
+  Status Delete(RecordId rid);
+
+  uint64_t record_count() const { return record_count_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  // Reserve this many bytes per page during ordinary inserts (clustered
+  // mappings' PCTFREE-style headroom). InsertNear ignores the reserve.
+  void set_reserve_bytes(int bytes) { reserve_bytes_ = bytes; }
+  int reserve_bytes() const { return reserve_bytes_; }
+
+  // Forward scan over all live records. Usage:
+  //   for (auto it = file.Begin(); it.Valid(); it.Next()) ...
+  // Any Status error during iteration stops the scan and is exposed via
+  // status().
+  class Iterator {
+   public:
+    Iterator(const HeapFile* file);
+    bool Valid() const { return valid_; }
+    RecordId rid() const { return rid_; }
+    const std::string& record() const { return record_; }
+    void Next();
+    const Status& status() const { return status_; }
+
+   private:
+    void Advance(bool first);
+
+    const HeapFile* file_;
+    size_t page_index_ = 0;
+    int slot_ = -1;
+    bool valid_ = false;
+    RecordId rid_;
+    std::string record_;
+    Status status_;
+  };
+
+  Iterator Begin() const { return Iterator(this); }
+
+ private:
+  BufferPool* pool_;
+  std::string name_;
+  std::vector<PageId> pages_;
+  // Cached free-space estimate per page (parallel to pages_).
+  std::vector<int> free_estimate_;
+  uint64_t record_count_ = 0;
+  int reserve_bytes_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_HEAP_FILE_H_

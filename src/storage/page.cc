@@ -1,0 +1,166 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace sim {
+
+namespace {
+constexpr size_t kSlotEntrySize = 4;
+}  // namespace
+
+uint16_t SlottedPage::ReadU16(size_t off) const {
+  uint16_t v;
+  std::memcpy(&v, data_ + off, 2);
+  return v;
+}
+
+void SlottedPage::WriteU16(size_t off, uint16_t v) {
+  std::memcpy(data_ + off, &v, 2);
+}
+
+void SlottedPage::Initialize(char* data) {
+  std::memset(data, 0, kPageSize);
+  SlottedPage page(data);
+  page.WriteU16(0, 0);                                   // slot_count
+  page.WriteU16(2, static_cast<uint16_t>(kPageSize));    // free_end
+  page.WriteU16(4, 0);                                   // garbage bytes
+}
+
+int SlottedPage::slot_count() const { return ReadU16(0); }
+
+int SlottedPage::FreeSpaceForNewRecord() const {
+  int slots = slot_count();
+  int free_end = ReadU16(2);
+  int garbage = ReadU16(4);
+  int directory_end = static_cast<int>(kHeaderSize + slots * kSlotEntrySize);
+  int contiguous = free_end - directory_end;
+  int total = contiguous + garbage;
+  // A new record also needs a slot entry (unless a tombstoned slot can be
+  // reused; we are conservative here).
+  return total - static_cast<int>(kSlotEntrySize);
+}
+
+Result<int> SlottedPage::Insert(std::string_view record) {
+  const int len = static_cast<int>(record.size());
+  if (len > FreeSpaceForNewRecord()) {
+    return Status::IoError("record does not fit in page");
+  }
+  int slots = slot_count();
+  // Reuse a tombstoned slot if available to bound directory growth.
+  int slot = -1;
+  for (int i = 0; i < slots; ++i) {
+    if (ReadU16(SlotOffsetPos(i)) == 0) {
+      slot = i;
+      break;
+    }
+  }
+  bool new_slot = slot < 0;
+  if (new_slot) slot = slots;
+
+  int free_end = ReadU16(2);
+  int directory_end = static_cast<int>(
+      kHeaderSize + (slots + (new_slot ? 1 : 0)) * kSlotEntrySize);
+  if (free_end - directory_end < len) {
+    Compact();
+    free_end = ReadU16(2);
+    if (free_end - directory_end < len) {
+      return Status::IoError("record does not fit in page after compaction");
+    }
+  }
+  int offset = free_end - len;
+  std::memcpy(data_ + offset, record.data(), len);
+  WriteU16(2, static_cast<uint16_t>(offset));
+  if (new_slot) WriteU16(0, static_cast<uint16_t>(slots + 1));
+  WriteU16(SlotOffsetPos(slot), static_cast<uint16_t>(offset));
+  WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(len));
+  return slot;
+}
+
+bool SlottedPage::Get(int slot, std::string_view* record) const {
+  if (slot < 0 || slot >= slot_count()) return false;
+  uint16_t offset = ReadU16(SlotOffsetPos(slot));
+  if (offset == 0) return false;
+  uint16_t len = ReadU16(SlotLengthPos(slot));
+  *record = std::string_view(data_ + offset, len);
+  return true;
+}
+
+Status SlottedPage::Delete(int slot) {
+  if (slot < 0 || slot >= slot_count()) {
+    return Status::NotFound("no such slot");
+  }
+  uint16_t offset = ReadU16(SlotOffsetPos(slot));
+  if (offset == 0) return Status::NotFound("slot already empty");
+  uint16_t len = ReadU16(SlotLengthPos(slot));
+  WriteU16(SlotOffsetPos(slot), 0);
+  WriteU16(SlotLengthPos(slot), 0);
+  WriteU16(4, static_cast<uint16_t>(ReadU16(4) + len));
+  return Status::Ok();
+}
+
+Status SlottedPage::Update(int slot, std::string_view record) {
+  if (slot < 0 || slot >= slot_count()) {
+    return Status::NotFound("no such slot");
+  }
+  uint16_t offset = ReadU16(SlotOffsetPos(slot));
+  if (offset == 0) return Status::NotFound("slot is empty");
+  uint16_t old_len = ReadU16(SlotLengthPos(slot));
+  if (record.size() <= old_len) {
+    std::memcpy(data_ + offset, record.data(), record.size());
+    WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(record.size()));
+    WriteU16(4, static_cast<uint16_t>(ReadU16(4) + (old_len - record.size())));
+    return Status::Ok();
+  }
+  // Grow: delete then re-insert into the same slot.
+  SIM_RETURN_IF_ERROR(Delete(slot));
+  int slots = slot_count();
+  int free_end = ReadU16(2);
+  int directory_end = static_cast<int>(kHeaderSize + slots * kSlotEntrySize);
+  int len = static_cast<int>(record.size());
+  if (free_end - directory_end < len) {
+    Compact();
+    free_end = ReadU16(2);
+    if (free_end - directory_end < len) {
+      // Restore nothing: caller treats this as "move the record elsewhere".
+      return Status::IoError("updated record does not fit in page");
+    }
+  }
+  int new_offset = free_end - len;
+  std::memcpy(data_ + new_offset, record.data(), len);
+  WriteU16(2, static_cast<uint16_t>(new_offset));
+  WriteU16(SlotOffsetPos(slot), static_cast<uint16_t>(new_offset));
+  WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(len));
+  return Status::Ok();
+}
+
+int SlottedPage::UsedBytes() const {
+  int used = static_cast<int>(kHeaderSize + slot_count() * kSlotEntrySize);
+  for (int i = 0; i < slot_count(); ++i) {
+    if (ReadU16(SlotOffsetPos(i)) != 0) used += ReadU16(SlotLengthPos(i));
+  }
+  return used;
+}
+
+void SlottedPage::Compact() {
+  int slots = slot_count();
+  std::vector<std::pair<int, std::string>> live;
+  live.reserve(slots);
+  for (int i = 0; i < slots; ++i) {
+    uint16_t offset = ReadU16(SlotOffsetPos(i));
+    if (offset == 0) continue;
+    uint16_t len = ReadU16(SlotLengthPos(i));
+    live.emplace_back(i, std::string(data_ + offset, len));
+  }
+  int free_end = static_cast<int>(kPageSize);
+  for (const auto& [slot, bytes] : live) {
+    free_end -= static_cast<int>(bytes.size());
+    std::memcpy(data_ + free_end, bytes.data(), bytes.size());
+    WriteU16(SlotOffsetPos(slot), static_cast<uint16_t>(free_end));
+    WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(bytes.size()));
+  }
+  WriteU16(2, static_cast<uint16_t>(free_end));
+  WriteU16(4, 0);
+}
+
+}  // namespace sim

@@ -1,0 +1,90 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sim {
+
+Status MemPager::Read(PageId id, char* out) {
+  if (id >= pages_.size()) return Status::IoError("read past end of pager");
+  ++stats_.physical_reads;
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  return Status::Ok();
+}
+
+Status MemPager::Write(PageId id, const char* data) {
+  if (id >= pages_.size()) return Status::IoError("write past end of pager");
+  ++stats_.physical_writes;
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::Ok();
+}
+
+Result<PageId> MemPager::Allocate() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot seek " + path);
+  }
+  return std::unique_ptr<FilePager>(
+      new FilePager(fd, static_cast<uint32_t>(size / kPageSize)));
+}
+
+FilePager::~FilePager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FilePager::Read(PageId id, char* out) {
+  if (id >= page_count_) return Status::IoError("read past end of pager");
+  ++stats_.physical_reads;
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short read on page " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Status FilePager::Write(PageId id, const char* data) {
+  if (id >= page_count_) return Status::IoError("write past end of pager");
+  ++stats_.physical_writes;
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short write on page " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Result<PageId> FilePager::Allocate() {
+  char zero[kPageSize];
+  std::memset(zero, 0, kPageSize);
+  PageId id = page_count_;
+  ssize_t n = ::pwrite(fd_, zero, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("cannot extend database file");
+  }
+  ++page_count_;
+  return id;
+}
+
+Status FilePager::Sync() {
+  if (::fsync(fd_) != 0) return Status::IoError("fsync failed");
+  return Status::Ok();
+}
+
+}  // namespace sim

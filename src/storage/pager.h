@@ -1,0 +1,80 @@
+#ifndef SIMDB_STORAGE_PAGER_H_
+#define SIMDB_STORAGE_PAGER_H_
+
+// Physical page storage. A Pager owns a flat, append-only address space of
+// kPageSize pages and counts physical I/O. Two implementations are
+// provided: an in-memory pager (the default for experiments, where block
+// accesses are what matters) and a file-backed pager (durability).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace sim {
+
+class Pager {
+ public:
+  struct Stats {
+    uint64_t physical_reads = 0;
+    uint64_t physical_writes = 0;
+  };
+
+  virtual ~Pager() = default;
+
+  // Copies page `id` into `out` (kPageSize bytes).
+  virtual Status Read(PageId id, char* out) = 0;
+  // Writes kPageSize bytes from `data` to page `id`.
+  virtual Status Write(PageId id, const char* data) = 0;
+  // Extends the address space by one zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+  virtual uint32_t page_count() const = 0;
+  // Flushes any OS buffers (no-op for the in-memory pager).
+  virtual Status Sync() { return Status::Ok(); }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ protected:
+  Stats stats_;
+};
+
+// Heap-allocated pages; contents are lost when the pager is destroyed.
+class MemPager : public Pager {
+ public:
+  Status Read(PageId id, char* out) override;
+  Status Write(PageId id, const char* data) override;
+  Result<PageId> Allocate() override;
+  uint32_t page_count() const override {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+// File-backed pages using pread/pwrite on a single database file.
+class FilePager : public Pager {
+ public:
+  static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
+  ~FilePager() override;
+
+  Status Read(PageId id, char* out) override;
+  Status Write(PageId id, const char* data) override;
+  Result<PageId> Allocate() override;
+  uint32_t page_count() const override { return page_count_; }
+  Status Sync() override;
+
+ private:
+  FilePager(int fd, uint32_t page_count) : fd_(fd), page_count_(page_count) {}
+
+  int fd_;
+  uint32_t page_count_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_PAGER_H_

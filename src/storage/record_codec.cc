@@ -1,0 +1,234 @@
+#include "storage/record_codec.h"
+
+#include <cstring>
+
+namespace sim {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 2);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+bool GetU16(std::string_view* in, uint16_t* v) {
+  if (in->size() < 2) return false;
+  std::memcpy(v, in->data(), 2);
+  in->remove_prefix(2);
+  return true;
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  std::memcpy(v, in->data(), 4);
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetI64(std::string_view* in, int64_t* v) {
+  if (in->size() < 8) return false;
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+bool GetDouble(std::string_view* in, double* v) {
+  if (in->size() < 8) return false;
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+void PutBigEndian64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+}  // namespace
+
+std::string EncodeRecord(uint16_t record_type,
+                         const std::vector<Value>& values) {
+  std::string out;
+  out.reserve(16 + values.size() * 9);
+  PutU16(&out, record_type);
+  PutU16(&out, static_cast<uint16_t>(values.size()));
+  for (const Value& v : values) {
+    out.push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kBool:
+        out.push_back(v.bool_value() ? 1 : 0);
+        break;
+      case ValueType::kInt:
+        PutI64(&out, v.int_value());
+        break;
+      case ValueType::kDate:
+        PutI64(&out, v.date_value());
+        break;
+      case ValueType::kSurrogate:
+        PutI64(&out, static_cast<int64_t>(v.surrogate_value()));
+        break;
+      case ValueType::kReal:
+        PutDouble(&out, v.real_value());
+        break;
+      case ValueType::kString: {
+        const std::string& s = v.string_value();
+        PutU32(&out, static_cast<uint32_t>(s.size()));
+        out.append(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodeRecord(std::string_view data, uint16_t* record_type,
+                    std::vector<Value>* values) {
+  uint16_t count;
+  if (!GetU16(&data, record_type) || !GetU16(&data, &count)) {
+    return Status::Internal("truncated record header");
+  }
+  values->clear();
+  values->reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    if (data.empty()) return Status::Internal("truncated record field");
+    auto type = static_cast<ValueType>(data[0]);
+    data.remove_prefix(1);
+    switch (type) {
+      case ValueType::kNull:
+        values->push_back(Value::Null());
+        break;
+      case ValueType::kBool: {
+        if (data.empty()) return Status::Internal("truncated bool");
+        values->push_back(Value::Bool(data[0] != 0));
+        data.remove_prefix(1);
+        break;
+      }
+      case ValueType::kInt: {
+        int64_t v;
+        if (!GetI64(&data, &v)) return Status::Internal("truncated int");
+        values->push_back(Value::Int(v));
+        break;
+      }
+      case ValueType::kDate: {
+        int64_t v;
+        if (!GetI64(&data, &v)) return Status::Internal("truncated date");
+        values->push_back(Value::Date(v));
+        break;
+      }
+      case ValueType::kSurrogate: {
+        int64_t v;
+        if (!GetI64(&data, &v)) return Status::Internal("truncated surrogate");
+        values->push_back(Value::Surrogate(static_cast<SurrogateId>(v)));
+        break;
+      }
+      case ValueType::kReal: {
+        double v;
+        if (!GetDouble(&data, &v)) return Status::Internal("truncated real");
+        values->push_back(Value::Real(v));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len;
+        if (!GetU32(&data, &len) || data.size() < len) {
+          return Status::Internal("truncated string");
+        }
+        values->push_back(Value::Str(std::string(data.substr(0, len))));
+        data.remove_prefix(len);
+        break;
+      }
+      default:
+        return Status::Internal("unknown value tag in record");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<uint16_t> PeekRecordType(std::string_view data) {
+  uint16_t record_type;
+  if (!GetU16(&data, &record_type)) {
+    return Status::Internal("truncated record header");
+  }
+  return record_type;
+}
+
+Status AppendIndexKey(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return Status::TypeError("null values cannot be indexed");
+    case ValueType::kBool:
+      out->push_back(1);
+      out->push_back(v.bool_value() ? 1 : 0);
+      return Status::Ok();
+    case ValueType::kInt:
+    case ValueType::kDate: {
+      out->push_back(2);
+      uint64_t bits = static_cast<uint64_t>(
+          v.type() == ValueType::kInt ? v.int_value() : v.date_value());
+      bits ^= (uint64_t{1} << 63);  // flip sign bit for unsigned ordering
+      PutBigEndian64(out, bits);
+      return Status::Ok();
+    }
+    case ValueType::kReal: {
+      out->push_back(2);
+      double d = v.real_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      // IEEE-754 total-order transform.
+      if (bits >> 63) {
+        bits = ~bits;
+      } else {
+        bits |= (uint64_t{1} << 63);
+      }
+      PutBigEndian64(out, bits);
+      return Status::Ok();
+    }
+    case ValueType::kSurrogate: {
+      out->push_back(3);
+      PutBigEndian64(out, v.surrogate_value());
+      return Status::Ok();
+    }
+    case ValueType::kString: {
+      out->push_back(4);
+      out->append(v.string_value());
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled type in AppendIndexKey");
+}
+
+Result<std::string> EncodeIndexKey(const Value& v) {
+  std::string out;
+  SIM_RETURN_IF_ERROR(AppendIndexKey(v, &out));
+  return out;
+}
+
+std::string EncodeRelKey(uint32_t rel_id, SurrogateId surrogate) {
+  std::string out;
+  char buf[4];
+  for (int i = 3; i >= 0; --i) {
+    buf[i] = static_cast<char>(rel_id & 0xFF);
+    rel_id >>= 8;
+  }
+  out.append(buf, 4);
+  PutBigEndian64(&out, surrogate);
+  return out;
+}
+
+}  // namespace sim

@@ -1,0 +1,62 @@
+#ifndef SIMDB_STORAGE_RECORD_CODEC_H_
+#define SIMDB_STORAGE_RECORD_CODEC_H_
+
+// Serialization of records (tagged tuples of Values) to page bytes, and of
+// Values to order-preserving index keys.
+//
+// Record wire format:
+//   u16 record_type | u16 field_count | fields...
+//   field: u8 value-type tag, then
+//     null       -> (nothing)
+//     bool       -> u8
+//     int/date/
+//     surrogate  -> i64 little-endian
+//     real       -> 8-byte IEEE double
+//     string     -> u32 length + bytes
+//
+// The record_type identifies the format of a variable-format record within
+// a storage unit (paper §5.2: hierarchies map to one unit with one record
+// type per class).
+//
+// Index key format (memcmp-ordered):
+//   u8 type class | payload
+//     ints/dates/surrogates -> 8-byte big-endian with the sign bit flipped
+//     reals                 -> IEEE bits transformed to sort order
+//     strings               -> raw bytes (case preserved)
+// Nulls are not indexed (§3.2.1: nulls are omitted from uniqueness).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sim {
+
+// Encodes `values` with the given record type tag.
+std::string EncodeRecord(uint16_t record_type,
+                         const std::vector<Value>& values);
+
+// Decodes a record; on success fills record_type and values.
+Status DecodeRecord(std::string_view data, uint16_t* record_type,
+                    std::vector<Value>* values);
+
+// Reads only the record-type tag (cheap dispatch during scans).
+Result<uint16_t> PeekRecordType(std::string_view data);
+
+// Order-preserving key encoding for a single value. Appends to *out.
+// Returns TypeError for nulls (callers must not index nulls).
+Status AppendIndexKey(const Value& v, std::string* out);
+
+// Convenience: key for one value.
+Result<std::string> EncodeIndexKey(const Value& v);
+
+// Key for a (relationship-id, surrogate) pair — the Common EVA Structure
+// lookup key of §5.2.
+std::string EncodeRelKey(uint32_t rel_id, SurrogateId surrogate);
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_RECORD_CODEC_H_

@@ -1,0 +1,41 @@
+#include "storage/txn.h"
+
+namespace sim {
+
+Status Transaction::RollbackTo(size_t depth) {
+  while (undo_log_.size() > depth) {
+    Status s = undo_log_.back()();
+    undo_log_.pop_back();
+    if (!s.ok()) {
+      return Status::Internal("undo action failed: " + s.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Transaction* TransactionManager::Begin() {
+  txns_.push_back(std::make_unique<Transaction>(next_id_++));
+  return txns_.back().get();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (!txn->active()) {
+    return Status::InvalidArgument("transaction is not active");
+  }
+  txn->undo_log_.clear();
+  txn->state_ = Transaction::State::kCommitted;
+  ++committed_;
+  return Status::Ok();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (!txn->active()) {
+    return Status::InvalidArgument("transaction is not active");
+  }
+  Status result = txn->RollbackTo(0);
+  txn->state_ = Transaction::State::kAborted;
+  ++aborted_;
+  return result;
+}
+
+}  // namespace sim

@@ -1,0 +1,75 @@
+#ifndef SIMDB_STORAGE_TXN_H_
+#define SIMDB_STORAGE_TXN_H_
+
+// Transactions. SIM relied on DMSII for transaction management; our
+// substitute provides statement- and user-level atomicity through an undo
+// log of compensation callbacks. Each layer (heap file, index, mapper)
+// registers the inverse of every mutation it performs; Abort replays the
+// log in reverse. This is sufficient for the paper-visible behaviour:
+// a VERIFY violation or constraint failure rolls the whole statement back.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sim {
+
+class Transaction {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  explicit Transaction(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+  State state() const { return state_; }
+  bool active() const { return state_ == State::kActive; }
+
+  // Registers a compensation action undoing one mutation. Compensations
+  // must succeed on replay (they restore previously-valid state); failures
+  // are surfaced as Internal errors from Abort.
+  void LogUndo(std::function<Status()> undo) {
+    undo_log_.push_back(std::move(undo));
+  }
+
+  size_t undo_depth() const { return undo_log_.size(); }
+
+  // Rolls back to a previously captured depth (statement-level rollback
+  // inside a larger transaction).
+  Status RollbackTo(size_t depth);
+
+ private:
+  friend class TransactionManager;
+
+  uint64_t id_;
+  State state_ = State::kActive;
+  std::vector<std::function<Status()>> undo_log_;
+};
+
+class TransactionManager {
+ public:
+  // Starts a new transaction. The manager retains ownership.
+  Transaction* Begin();
+
+  // Discards the undo log and marks the transaction committed.
+  Status Commit(Transaction* txn);
+
+  // Replays the undo log in reverse and marks the transaction aborted.
+  Status Abort(Transaction* txn);
+
+  uint64_t committed_count() const { return committed_; }
+  uint64_t aborted_count() const { return aborted_; }
+
+ private:
+  std::vector<std::unique_ptr<Transaction>> txns_;
+  uint64_t next_id_ = 1;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_TXN_H_

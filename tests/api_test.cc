@@ -1,0 +1,139 @@
+// Database API surface tests: Explain, result formatting, option plumbing,
+// file-backed opening, and error paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+TEST(ApiTest, ExplainShowsTreeAndPlan) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto text = (*db)->Explain(
+      "From Student Retrieve Name Where soc-sec-no = 456887766");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("perspective"), std::string::npos);
+  EXPECT_NE(text->find("plan("), std::string::npos);
+  EXPECT_NE(text->find("cost"), std::string::npos);
+  // On a tiny extent the optimizer correctly prefers the 1-page scan over
+  // a 3-block index probe; with a larger extent it switches to the index.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*db)
+                    ->ExecuteUpdate("Insert person (soc-sec-no := " +
+                                    std::to_string(1000 + i) + ")")
+                    .ok());
+  }
+  text = (*db)->Explain(
+      "From Person Retrieve Name Where soc-sec-no = 456887766");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("index["), std::string::npos);
+  // Explain rejects updates.
+  EXPECT_FALSE((*db)->Explain("Delete student").ok());
+}
+
+TEST(ApiTest, QueryUpdateRouting) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->ExecuteQuery("Delete student").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->ExecuteUpdate("From Student Retrieve Name").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->ExecuteScript("From Student Retrieve Name.").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, DdlAfterDataRejected) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->ExecuteDdl("Class Late ( x: integer );").code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(ApiTest, MultipleDdlBatchesBeforeData) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("Class A ( x: integer );").ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("Subclass B of A ( y: integer );").ok());
+  ASSERT_TRUE((*db)->ExecuteUpdate("Insert b (x := 1, y := 2)").ok());
+  auto rs = (*db)->ExecuteQuery("From B Retrieve x, y");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST(ApiTest, TransactionStateErrors) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->Commit().ok());
+  EXPECT_FALSE((*db)->Rollback().ok());
+  ASSERT_TRUE((*db)->Begin().ok());
+  EXPECT_FALSE((*db)->Begin().ok());
+  ASSERT_TRUE((*db)->Commit().ok());
+}
+
+TEST(ApiTest, FileBackedDatabase) {
+  std::string path = ::testing::TempDir() + "/simdb_api_test.db";
+  ::remove(path.c_str());
+  DatabaseOptions options;
+  options.file_path = path;
+  auto db = sim::testing::OpenUniversity(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto rs = (*db)->ExecuteQuery("From Student Retrieve Name");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+  EXPECT_GT((*db)->pager().page_count(), 0u);
+  ::remove(path.c_str());
+}
+
+TEST(ApiTest, ResultSetFormatting) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery(
+      "From Department Retrieve name, dept-nbr Order By dept-nbr");
+  ASSERT_TRUE(rs.ok());
+  std::string table = rs->ToString();
+  // Header, rule, one line per row.
+  EXPECT_NE(table.find("name"), std::string::npos);
+  EXPECT_NE(table.find("---"), std::string::npos);
+  EXPECT_NE(table.find("Physics"), std::string::npos);
+  size_t lines = std::count(table.begin(), table.end(), '\n');
+  EXPECT_EQ(lines, 2u + rs->rows.size());
+
+  auto structured = (*db)->ExecuteQuery(
+      "From Department Retrieve Structure name");
+  ASSERT_TRUE(structured.ok());
+  EXPECT_TRUE(structured->structured);
+  EXPECT_NE(structured->ToString().find("["), std::string::npos);
+}
+
+TEST(ApiTest, BufferPoolOptionRespected) {
+  DatabaseOptions options;
+  options.buffer_pool_frames = 16;
+  auto db = sim::testing::OpenUniversity(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->buffer_pool().capacity(), 16u);
+}
+
+TEST(ApiTest, LastExecStatsReflectWork) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("From Person Retrieve Name");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ((*db)->last_exec_stats().rows_emitted, 6u);
+  EXPECT_GE((*db)->last_exec_stats().combinations_examined, 6u);
+}
+
+TEST(ApiTest, ParseErrorsCarryLocation) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("From Student Retrieve +");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rs.status().message().find("line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,232 @@
+// Unit tests for qualification completion, implicit binding and the
+// TYPE 1/2/3 labeling of §4.4–4.5.
+
+#include "semantics/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "parser/dml_parser.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sim::testing::OpenUniversity(DatabaseOptions(), false);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  Result<QueryTree> Bind(const std::string& query) {
+    SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(query));
+    Binder binder(&db_->catalog());
+    return binder.BindRetrieve(static_cast<const RetrieveStmt&>(*stmt));
+  }
+
+  // Main-scope nodes with the given label.
+  static std::vector<int> NodesWithLabel(const QueryTree& qt, int label) {
+    std::vector<int> out;
+    for (const QtNode& n : qt.nodes) {
+      if (n.scope < 0 && n.label == label) out.push_back(n.id);
+    }
+    return out;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(BinderTest, CutShortQualificationCompletes) {
+  // §4.2: "Name of Advisor of Student, Salary of Advisor of Student" and
+  // "Name of Advisor, Salary" yield identical results — bare `Salary`
+  // completes through the unique Advisor path.
+  auto qt1 = Bind("From Student Retrieve Name of Advisor, Salary");
+  ASSERT_TRUE(qt1.ok()) << qt1.status().ToString();
+  auto qt2 = Bind(
+      "From Student Retrieve Name of Advisor of Student, "
+      "Salary of Advisor of Student");
+  ASSERT_TRUE(qt2.ok()) << qt2.status().ToString();
+  auto qt3 = Bind("From Student Retrieve Name of Advisor, Salary of Advisor");
+  ASSERT_TRUE(qt3.ok()) << qt3.status().ToString();
+  // Identical shapes: root + one (shared) advisor node.
+  EXPECT_EQ(qt1->nodes.size(), 2u);
+  EXPECT_EQ(qt2->nodes.size(), 2u);
+  EXPECT_EQ(qt3->nodes.size(), 2u);
+}
+
+TEST_F(BinderTest, AmbiguousDeepCompletionRejected) {
+  // From COURSE, bare `name` could complete via STUDENTS-ENROLLED or via
+  // TEACHERS (both depth 1): ambiguous.
+  auto qt = Bind("From Course Retrieve name");
+  EXPECT_FALSE(qt.ok());
+  EXPECT_EQ(qt.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, ImplicitBindingSharesRangeVariables) {
+  // §4.4: all occurrences of COURSES-ENROLLED bind to one variable.
+  auto qt = Bind(
+      "Retrieve Name of Student, Title of Courses-Enrolled of Student, "
+      "Credits of Courses-Enrolled of Student, "
+      "Name of Teachers of Courses-Enrolled of Student "
+      "Where Soc-Sec-No of Student = 456887766");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  // Nodes: student root, courses-enrolled, teachers. (Soc-sec-no and the
+  // DVAs are fields, not nodes.)
+  EXPECT_EQ(qt->nodes.size(), 3u);
+  EXPECT_EQ(qt->roots.size(), 1u);
+}
+
+TEST_F(BinderTest, TypeLabels) {
+  // Paper §4.5 rules on a query with target-only and selection-only
+  // variables.
+  auto qt = Bind(
+      "Retrieve name of instructor, title of courses-taught "
+      "Where name of major-department of advisees = \"Physics\"");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  // instructor root: TYPE 1. courses-taught: target only -> TYPE 3.
+  // advisees and major-department: selection only -> TYPE 2.
+  EXPECT_EQ(NodesWithLabel(*qt, 1).size(), 1u);
+  EXPECT_EQ(NodesWithLabel(*qt, 3).size(), 1u);
+  EXPECT_EQ(NodesWithLabel(*qt, 2).size(), 2u);
+}
+
+TEST_F(BinderTest, NodeUsedInBothIsType1) {
+  auto qt = Bind(
+      "From Student Retrieve Name of Advisor "
+      "Where Salary of Advisor > 100");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  // advisor appears in target and selection -> TYPE 1.
+  EXPECT_EQ(NodesWithLabel(*qt, 1).size(), 2u);  // root + advisor
+  EXPECT_TRUE(NodesWithLabel(*qt, 2).empty());
+  EXPECT_TRUE(NodesWithLabel(*qt, 3).empty());
+}
+
+TEST_F(BinderTest, DescendantUsageMakesAncestorType1) {
+  // courses-enrolled is used (via its child teachers) in the selection and
+  // (itself) in the target -> TYPE 1; teachers: selection only -> TYPE 2.
+  auto qt = Bind(
+      "From Student Retrieve Title of Courses-Enrolled "
+      "Where Salary of Teachers of Courses-Enrolled > 0");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  ASSERT_EQ(qt->nodes.size(), 3u);
+  EXPECT_EQ(qt->nodes[1].label, 1);  // courses-enrolled
+  EXPECT_EQ(qt->nodes[2].label, 2);  // teachers
+}
+
+TEST_F(BinderTest, MultiPerspective) {
+  auto qt = Bind(
+      "From student, instructor Retrieve name of student, "
+      "name of instructor Where birthdate of student < "
+      "birthdate of instructor");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  EXPECT_EQ(qt->roots.size(), 2u);
+}
+
+TEST_F(BinderTest, DerivedPerspectiveWithoutFrom) {
+  auto qt = Bind("Retrieve name of instructor");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  ASSERT_EQ(qt->roots.size(), 1u);
+  EXPECT_EQ(qt->nodes[qt->roots[0]].class_name, "Instructor");
+}
+
+TEST_F(BinderTest, RefVarDisambiguatesSelfJoin) {
+  auto qt = Bind(
+      "From person p, person q Retrieve name of p, name of q "
+      "Where birthdate of p < birthdate of q");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  EXPECT_EQ(qt->roots.size(), 2u);
+  // Without ref vars the same query is ambiguous.
+  auto ambiguous = Bind(
+      "From person, person Retrieve name of person "
+      "Where birthdate of person < 0");
+  // Two identical perspectives: the class-name anchor matches the first;
+  // this is accepted (the paper leaves it to ref vars).
+  EXPECT_TRUE(ambiguous.ok());
+}
+
+TEST_F(BinderTest, AggregateOpensScope) {
+  auto qt = Bind(
+      "From Student Retrieve count(courses-enrolled), "
+      "Title of Courses-Enrolled");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  // The aggregate's courses-enrolled is a separate (scoped) node from the
+  // target's courses-enrolled (§4.4: binding is broken).
+  int scoped = 0, main_nodes = 0;
+  for (const QtNode& n : qt->nodes) {
+    if (n.scope >= 0) ++scoped;
+    else ++main_nodes;
+  }
+  EXPECT_EQ(scoped, 1);
+  EXPECT_EQ(main_nodes, 2);  // root + target courses-enrolled
+}
+
+TEST_F(BinderTest, AggregateOuterSuffixAnchorsInMainScope) {
+  auto qt = Bind(
+      "From Department Retrieve name, "
+      "AVG(Salary of Instructors-employed) of Department");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  // instructors-employed lives in the aggregate scope, anchored at the
+  // department root.
+  bool found_scoped = false;
+  for (const QtNode& n : qt->nodes) {
+    if (n.scope >= 0) {
+      found_scoped = true;
+      EXPECT_EQ(n.parent, qt->roots[0]);
+    }
+  }
+  EXPECT_TRUE(found_scoped);
+}
+
+TEST_F(BinderTest, RoleConversionValidation) {
+  auto qt = Bind(
+      "From Student Retrieve Teaching-Load of Student "
+      "Where student-nbr > 0");
+  // teaching-load is a TA attribute, not reachable from Student without
+  // conversion.
+  EXPECT_FALSE(qt.ok());
+  auto converted = Bind(
+      "From Student Retrieve Student-No of Spouse as Student of Student");
+  // student-no is not in the schema (it is student-nbr); expect bind error
+  // mentioning the attribute.
+  EXPECT_FALSE(converted.ok());
+  auto ok = Bind(
+      "From Student Retrieve Student-Nbr of Spouse as Student of Student");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  // Conversion to an unrelated class fails.
+  auto bad = Bind("From Student Retrieve Title of Spouse as Course of Student");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(BinderTest, InverseFunctionResolves) {
+  // INVERSE(ADVISOR) can be used where ADVISEES is allowed (§3.2).
+  auto qt = Bind("From Instructor Retrieve Name of INVERSE(advisor)");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  ASSERT_EQ(qt->nodes.size(), 2u);
+  EXPECT_TRUE(NameEq(qt->nodes[1].via_attr->name, "advisees"));
+}
+
+TEST_F(BinderTest, MidChainDvaRejected) {
+  auto qt = Bind("From Student Retrieve Name of Name of Student");
+  EXPECT_FALSE(qt.ok());
+  EXPECT_EQ(qt.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, TransitiveRequiresCyclicEva) {
+  auto qt = Bind("From Course Retrieve Title of Transitive(prerequisites)");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  auto bad = Bind("From Student Retrieve Name of Transitive(advisor)");
+  EXPECT_FALSE(bad.ok());  // advisor is not cyclic (student -> instructor)
+}
+
+TEST_F(BinderTest, IsaRequiresEntity) {
+  auto qt = Bind(
+      "From person Retrieve name Where person isa student");
+  ASSERT_TRUE(qt.ok()) << qt.status().ToString();
+  auto bad = Bind("From person Retrieve name Where name isa student");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace sim

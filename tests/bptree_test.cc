@@ -1,0 +1,179 @@
+// Unit and property tests for the page-based B+-tree.
+
+#include "storage/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "storage/record_codec.h"
+
+namespace sim {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(&pager_, 64) {}
+  MemPager pager_;
+  BufferPool pool_;
+};
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+TEST_F(BPlusTreeTest, InsertAndLookup) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert("apple", 1).ok());
+  ASSERT_TRUE(tree->Insert("banana", 2).ok());
+  auto v = tree->GetFirst("apple");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, 1u);
+  auto missing = tree->GetFirst("cherry");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+}
+
+TEST_F(BPlusTreeTest, DuplicateKeys) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t v = 0; v < 10; ++v) {
+    ASSERT_TRUE(tree->Insert("dup", v).ok());
+  }
+  auto all = tree->GetAll("dup");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+}
+
+TEST_F(BPlusTreeTest, InsertUniqueRejectsDuplicates) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->InsertUnique("once", 1).ok());
+  auto again = tree->InsertUnique("once", 2);
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(BPlusTreeTest, SplitsGrowHeight) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  const int kCount = 5000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(tree->Insert(Key(i), static_cast<uint64_t>(i)).ok()) << i;
+  }
+  EXPECT_GE(tree->height(), 2);
+  EXPECT_EQ(tree->entry_count(), static_cast<uint64_t>(kCount));
+  // Every key still findable.
+  for (int i = 0; i < kCount; i += 97) {
+    auto v = tree->GetFirst(Key(i));
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(v->has_value()) << i;
+    EXPECT_EQ(**v, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(BPlusTreeTest, IterationIsSorted) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  std::mt19937 rng(42);
+  std::vector<int> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back(i);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int k : keys) {
+    ASSERT_TRUE(tree->Insert(Key(k), static_cast<uint64_t>(k)).ok());
+  }
+  auto it = tree->Begin();
+  ASSERT_TRUE(it.ok());
+  std::string prev;
+  int count = 0;
+  while (it->Valid()) {
+    EXPECT_LE(prev, it->key());
+    prev = it->key();
+    ++count;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(count, 2000);
+}
+
+TEST_F(BPlusTreeTest, SeekPositionsAtLowerBound) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 100; i += 2) {
+    ASSERT_TRUE(tree->Insert(Key(i), static_cast<uint64_t>(i)).ok());
+  }
+  auto it = tree->Seek(Key(31));
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), Key(32));
+}
+
+TEST_F(BPlusTreeTest, DeleteSpecificPair) {
+  auto tree = BPlusTree::Create(&pool_, "t");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert("k", 1).ok());
+  ASSERT_TRUE(tree->Insert("k", 2).ok());
+  ASSERT_TRUE(tree->Insert("k", 3).ok());
+  ASSERT_TRUE(tree->Delete("k", 2).ok());
+  auto all = tree->GetAll("k");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0], 1u);
+  EXPECT_EQ((*all)[1], 3u);
+  EXPECT_EQ(tree->Delete("k", 9).code(), StatusCode::kNotFound);
+}
+
+// Property test: a random insert/delete workload matches std::multimap.
+class BPlusTreeRandomWorkload : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeRandomWorkload, MatchesReferenceModel) {
+  MemPager pager;
+  BufferPool pool(&pager, 128);
+  auto tree = BPlusTree::Create(&pool, "t");
+  ASSERT_TRUE(tree.ok());
+  std::multimap<std::string, uint64_t> model;
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> key_dist(0, 200);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  for (int step = 0; step < 3000; ++step) {
+    std::string key = Key(key_dist(rng));
+    if (op_dist(rng) < 70) {
+      uint64_t value = static_cast<uint64_t>(step);
+      ASSERT_TRUE(tree->Insert(key, value).ok());
+      model.emplace(key, value);
+    } else {
+      auto range = model.equal_range(key);
+      if (range.first != range.second) {
+        uint64_t value = range.first->second;
+        ASSERT_TRUE(tree->Delete(key, value).ok());
+        model.erase(range.first);
+      } else {
+        EXPECT_EQ(tree->Delete(key, 0).code(), StatusCode::kNotFound);
+      }
+    }
+  }
+  EXPECT_EQ(tree->entry_count(), model.size());
+  // Spot-check every key's value multiset.
+  for (int k = 0; k <= 200; ++k) {
+    auto got = tree->GetAll(Key(k));
+    ASSERT_TRUE(got.ok());
+    auto range = model.equal_range(Key(k));
+    std::vector<uint64_t> expected;
+    for (auto it = range.first; it != range.second; ++it) {
+      expected.push_back(it->second);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<uint64_t> actual = *got;
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomWorkload,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,247 @@
+// Unit tests for the type system and the Directory Manager: §3.1 graph
+// rules, inheritance resolution, inverse pairing, subrole validation and
+// schema statistics.
+
+#include <gtest/gtest.h>
+
+#include "catalog/directory.h"
+#include "catalog/types.h"
+#include "common/strings.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+// ----- DataType -----
+
+TEST(TypesTest, IntegerRanges) {
+  DataType t = DataType::IntegerRanges({{1001, 39999}, {60001, 99999}});
+  EXPECT_TRUE(t.ValidateValue(Value::Int(1001)).ok());
+  EXPECT_TRUE(t.ValidateValue(Value::Int(60001)).ok());
+  EXPECT_FALSE(t.ValidateValue(Value::Int(40000)).ok());
+  EXPECT_FALSE(t.ValidateValue(Value::Int(0)).ok());
+  EXPECT_TRUE(t.ValidateValue(Value::Null()).ok());  // nulls pass types
+  EXPECT_FALSE(t.ValidateValue(Value::Str("1001")).ok());
+}
+
+TEST(TypesTest, StringLength) {
+  DataType t = DataType::String(5);
+  EXPECT_TRUE(t.ValidateValue(Value::Str("abcde")).ok());
+  EXPECT_FALSE(t.ValidateValue(Value::Str("abcdef")).ok());
+}
+
+TEST(TypesTest, NumberPrecision) {
+  DataType t = DataType::Number(9, 2);  // |v| < 10^7
+  EXPECT_TRUE(t.ValidateValue(Value::Real(9999999.99 - 1)).ok());
+  EXPECT_FALSE(t.ValidateValue(Value::Real(1e7)).ok());
+  // Int -> number coercion widens.
+  auto coerced = t.CoerceValue(Value::Int(42));
+  ASSERT_TRUE(coerced.ok());
+  EXPECT_EQ(coerced->type(), ValueType::kReal);
+}
+
+TEST(TypesTest, DateCoercionFromString) {
+  DataType t = DataType::Date();
+  auto coerced = t.CoerceValue(Value::Str("1988-06-01"));
+  ASSERT_TRUE(coerced.ok());
+  EXPECT_EQ(coerced->type(), ValueType::kDate);
+  EXPECT_FALSE(t.CoerceValue(Value::Str("banana")).ok());
+}
+
+TEST(TypesTest, SymbolicNormalizesCase) {
+  DataType t = DataType::Symbolic({"BS", "MBA", "MS", "PHD"});
+  auto coerced = t.CoerceValue(Value::Str("phd"));
+  ASSERT_TRUE(coerced.ok());
+  EXPECT_EQ(coerced->string_value(), "PHD");
+  EXPECT_FALSE(t.CoerceValue(Value::Str("BA")).ok());
+}
+
+// ----- DirectoryManager -----
+
+ClassDef MakeClass(const std::string& name,
+                   std::vector<std::string> supers = {}) {
+  ClassDef def;
+  def.name = name;
+  def.superclasses = std::move(supers);
+  return def;
+}
+
+AttributeDef Dva(const std::string& name, DataType t) {
+  AttributeDef a;
+  a.name = name;
+  a.kind = AttrKind::kDva;
+  a.type = std::move(t);
+  return a;
+}
+
+AttributeDef Eva(const std::string& name, const std::string& range,
+                 const std::string& inverse = "") {
+  AttributeDef a;
+  a.name = name;
+  a.kind = AttrKind::kEva;
+  a.range_class = range;
+  a.inverse_name = inverse;
+  return a;
+}
+
+TEST(DirectoryTest, RejectsDuplicateClass) {
+  DirectoryManager dir;
+  ASSERT_TRUE(dir.AddClass(MakeClass("A")).ok());
+  EXPECT_EQ(dir.AddClass(MakeClass("a")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DirectoryTest, RequiresDeclaredSuperclasses) {
+  DirectoryManager dir;
+  EXPECT_EQ(dir.AddClass(MakeClass("B", {"missing"})).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DirectoryTest, RejectsTwoBaseAncestors) {
+  // §3.1: "the set of ancestors of any node contain at most one base
+  // class".
+  DirectoryManager dir;
+  ASSERT_TRUE(dir.AddClass(MakeClass("Base1")).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("Base2")).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("Sub1", {"Base1"})).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("Sub2", {"Base2"})).ok());
+  EXPECT_EQ(dir.AddClass(MakeClass("Bad", {"Sub1", "Sub2"})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryTest, AllowsDiamondWithinOneFamily) {
+  DirectoryManager dir;
+  ASSERT_TRUE(dir.AddClass(MakeClass("P")).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("L", {"P"})).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("R", {"P"})).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("D", {"L", "R"})).ok());
+  auto ancestors = dir.AncestorsOf("D");
+  ASSERT_TRUE(ancestors.ok());
+  EXPECT_EQ(ancestors->size(), 3u);  // L, R, P once
+  auto depth = dir.DepthOf("D");
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ(*depth, 3);
+}
+
+TEST(DirectoryTest, RejectsInheritedAttributeCollision) {
+  DirectoryManager dir;
+  ClassDef p = MakeClass("P");
+  p.attributes.push_back(Dva("x", DataType::Integer()));
+  ASSERT_TRUE(dir.AddClass(std::move(p)).ok());
+  ClassDef c = MakeClass("C", {"P"});
+  c.attributes.push_back(Dva("X", DataType::Integer()));
+  EXPECT_EQ(dir.AddClass(std::move(c)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DirectoryTest, InheritedAttributeResolution) {
+  DirectoryManager dir;
+  ClassDef p = MakeClass("P");
+  p.attributes.push_back(Dva("name", DataType::String(30)));
+  ASSERT_TRUE(dir.AddClass(std::move(p)).ok());
+  ASSERT_TRUE(dir.AddClass(MakeClass("C", {"P"})).ok());
+  ASSERT_TRUE(dir.Finalize().ok());
+  auto ra = dir.ResolveAttribute("C", "name");
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(ra->owner->name, "P");
+  EXPECT_FALSE(dir.ResolveAttribute("C", "nope").ok());
+}
+
+TEST(DirectoryTest, SynthesizesMissingInverse) {
+  DirectoryManager dir;
+  ASSERT_TRUE(dir.AddClass(MakeClass("Dept")).ok());
+  ClassDef c = MakeClass("Emp");
+  c.attributes.push_back(Eva("works-in", "Dept"));  // no inverse declared
+  ASSERT_TRUE(dir.AddClass(std::move(c)).ok());
+  ASSERT_TRUE(dir.Finalize().ok());
+  auto ra = dir.ResolveAttribute("Emp", "works-in");
+  ASSERT_TRUE(ra.ok());
+  EXPECT_FALSE(ra->attr->inverse_name.empty());
+  auto inv = dir.FindInverse(*ra->attr);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->owner->name, "Dept");
+  EXPECT_TRUE(inv->attr->mv);
+  EXPECT_TRUE(inv->attr->system_generated);
+}
+
+TEST(DirectoryTest, CreatesUserNamedInverse) {
+  DirectoryManager dir;
+  ASSERT_TRUE(dir.AddClass(MakeClass("Dept")).ok());
+  ClassDef c = MakeClass("Emp");
+  c.attributes.push_back(Eva("works-in", "Dept", "staff"));
+  ASSERT_TRUE(dir.AddClass(std::move(c)).ok());
+  ASSERT_TRUE(dir.Finalize().ok());
+  auto inv = dir.ResolveAttribute("Dept", "staff");
+  ASSERT_TRUE(inv.ok()) << inv.status().ToString();
+  EXPECT_EQ(inv->attr->inverse_name, "works-in");
+}
+
+TEST(DirectoryTest, RejectsUndefinedEvaRange) {
+  DirectoryManager dir;
+  ClassDef c = MakeClass("Emp");
+  c.attributes.push_back(Eva("works-in", "Nowhere"));
+  ASSERT_TRUE(dir.AddClass(std::move(c)).ok());
+  EXPECT_EQ(dir.Finalize().code(), StatusCode::kNotFound);
+}
+
+TEST(DirectoryTest, RejectsSubroleListingNonSubclass) {
+  DirectoryManager dir;
+  ClassDef p = MakeClass("P");
+  AttributeDef sr = Dva("role", DataType::Subrole({"stranger"}));
+  p.attributes.push_back(std::move(sr));
+  ASSERT_TRUE(dir.AddClass(std::move(p)).ok());
+  EXPECT_EQ(dir.Finalize().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryTest, UniversityHierarchyQueries) {
+  auto db = sim::testing::OpenUniversity(DatabaseOptions(), false);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const DirectoryManager& dir = (*db)->catalog();
+
+  auto base = dir.BaseOf("teaching-assistant");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(*base, "Person");
+
+  auto descendants = dir.DescendantsOf("person");
+  ASSERT_TRUE(descendants.ok());
+  EXPECT_EQ(descendants->size(), 3u);
+
+  auto is_sub = dir.IsSubclassOrSame("teaching-assistant", "instructor");
+  ASSERT_TRUE(is_sub.ok());
+  EXPECT_TRUE(*is_sub);
+  is_sub = dir.IsSubclassOrSame("instructor", "student");
+  ASSERT_TRUE(is_sub.ok());
+  EXPECT_FALSE(*is_sub);
+
+  // TA inherits attributes from both parents and from Person.
+  auto all = dir.AllAttributes("teaching-assistant");
+  ASSERT_TRUE(all.ok());
+  bool has_salary = false, has_courses_enrolled = false, has_name = false;
+  for (const auto& ra : *all) {
+    if (NameEq(ra.attr->name, "salary")) has_salary = true;
+    if (NameEq(ra.attr->name, "courses-enrolled")) has_courses_enrolled = true;
+    if (NameEq(ra.attr->name, "name")) has_name = true;
+  }
+  EXPECT_TRUE(has_salary);
+  EXPECT_TRUE(has_courses_enrolled);
+  EXPECT_TRUE(has_name);
+}
+
+TEST(DirectoryTest, UniversityStats) {
+  auto db = sim::testing::OpenUniversity(DatabaseOptions(), false, true);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  DirectoryManager::SchemaStats stats = (*db)->catalog().ComputeStats();
+  EXPECT_EQ(stats.base_classes, 3);
+  EXPECT_EQ(stats.subclasses, 3);
+  EXPECT_EQ(stats.max_depth, 3);
+  // Declared EVA pairs: spouse(self), advisor/advisees,
+  // courses-enrolled/students-enrolled, teachers/courses-taught,
+  // prerequisites/prerequisite-of, assigned-department/instructors-
+  // employed, major-department(+synthesized), courses-offered(+synth).
+  EXPECT_EQ(stats.eva_inverse_pairs, 8);
+  // DVAs: person 4 (name, ssn, birthdate, profession), student 2
+  // (student-nbr, instructor-status), instructor 4 (employee-nbr, salary,
+  // bonus, student-status), TA 1, course 3, department 2.
+  EXPECT_EQ(stats.dvas, 16);
+}
+
+}  // namespace
+}  // namespace sim

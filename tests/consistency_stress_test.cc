@@ -1,0 +1,226 @@
+// Randomized consistency stress test. Applies a long random sequence of
+// mapper mutations (entity creation, role extension/removal, field
+// updates, EVA include/exclude) interleaved with invariant checks:
+//
+//  I1  every EVA instance is visible from both sides (inverse sync, §3.2);
+//  I2  maintained extent counters equal actual extent scans;
+//  I3  an entity's roles are downward-closed under "has all ancestors";
+//  I4  unique-index lookups agree with scans;
+//  I5  a logical dump of the final state restores to an equivalent
+//      database.
+//
+// Runs under both hierarchy mapping policies.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "api/dump.h"
+#include "common/strings.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class ConsistencyStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyStress, RandomWorkloadKeepsInvariants) {
+  int seed = GetParam();
+  DatabaseOptions options;
+  options.mapping.colocate_tree_hierarchies = (seed % 2) == 0;
+  auto db_result = sim::testing::OpenUniversity(options, /*with_data=*/false);
+  ASSERT_TRUE(db_result.ok());
+  auto db = std::move(*db_result);
+  auto mapper_result = db->mapper();
+  ASSERT_TRUE(mapper_result.ok());
+  LucMapper* mapper = *mapper_result;
+
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  std::vector<SurrogateId> persons, courses;
+  int64_t next_ssn = 1;
+
+  auto random_of = [&](std::vector<SurrogateId>& v) -> SurrogateId {
+    return v[std::uniform_int_distribution<size_t>(0, v.size() - 1)(rng)];
+  };
+
+  const char* kPersonRoles[] = {"person", "student", "instructor"};
+  for (int step = 0; step < 600; ++step) {
+    int op = op_dist(rng);
+    if (op < 25 || persons.size() < 3) {
+      // Create an entity with a random role depth.
+      const char* cls = kPersonRoles[step % 3];
+      auto s = mapper->CreateEntity(cls, nullptr);
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+      ASSERT_TRUE(mapper
+                      ->SetField(*s, "person", "soc-sec-no",
+                                 Value::Int(next_ssn++), nullptr)
+                      .ok());
+      if (NameEq(cls, "instructor")) {
+        ASSERT_TRUE(mapper
+                        ->SetField(*s, "instructor", "employee-nbr",
+                                   Value::Int(1000 + next_ssn), nullptr)
+                        .ok());
+      }
+      persons.push_back(*s);
+    } else if (op < 35 || courses.size() < 2) {
+      auto c = mapper->CreateEntity("course", nullptr);
+      ASSERT_TRUE(c.ok());
+      ASSERT_TRUE(mapper
+                      ->SetField(*c, "course", "course-no",
+                                 Value::Int(1000 + step), nullptr)
+                      .ok());
+      ASSERT_TRUE(mapper
+                      ->SetField(*c, "course", "title",
+                                 Value::Str("C" + std::to_string(step)),
+                                 nullptr)
+                      .ok());
+      ASSERT_TRUE(mapper
+                      ->SetField(*c, "course", "credits", Value::Int(4),
+                                 nullptr)
+                      .ok());
+      courses.push_back(*c);
+    } else if (op < 50) {
+      // Random enrollment (include); range-role violations are expected
+      // and must fail cleanly.
+      SurrogateId p = random_of(persons);
+      SurrogateId c = random_of(courses);
+      Status st = mapper->AddEvaPair("student", "courses-enrolled", p, c,
+                                     nullptr);
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kConstraintViolation)
+            << st.ToString();
+      }
+    } else if (op < 60) {
+      // Random un-enrollment.
+      SurrogateId p = random_of(persons);
+      auto has = mapper->HasRole(p, "student");
+      if (has.ok() && *has) {
+        auto targets = mapper->GetEvaTargets("student", "courses-enrolled", p);
+        ASSERT_TRUE(targets.ok());
+        if (!targets->empty()) {
+          ASSERT_TRUE(mapper
+                          ->RemoveEvaPair("student", "courses-enrolled", p,
+                                          targets->front(), nullptr)
+                          .ok());
+        }
+      }
+    } else if (op < 72) {
+      // Role extension.
+      SurrogateId p = random_of(persons);
+      const char* role = (op % 2 == 0) ? "student" : "instructor";
+      Status st = mapper->AddRole(p, role, nullptr);
+      if (st.ok() && NameEq(role, "instructor")) {
+        (void)mapper->SetField(p, "instructor", "employee-nbr",
+                               Value::Int(1000 + next_ssn++), nullptr);
+      } else if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kAlreadyExists) << st.ToString();
+      }
+    } else if (op < 82) {
+      // Role or entity deletion.
+      SurrogateId p = random_of(persons);
+      const char* role = (op % 3 == 0)   ? "person"
+                         : (op % 3 == 1) ? "student"
+                                         : "instructor";
+      Status st = mapper->DeleteRole(p, role, nullptr);
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+      }
+      if (st.ok() && NameEq(role, "person")) {
+        persons.erase(std::find(persons.begin(), persons.end(), p));
+        if (persons.empty()) continue;
+      }
+    } else if (op < 92) {
+      // Field rewrite.
+      SurrogateId p = random_of(persons);
+      (void)mapper->SetField(p, "person", "name",
+                             Value::Str("N" + std::to_string(step)), nullptr);
+    } else {
+      // Advisor assignment between a random student and instructor.
+      SurrogateId a = random_of(persons), b = random_of(persons);
+      Status st = mapper->AddEvaPair("student", "advisor", a, b, nullptr);
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kConstraintViolation)
+            << st.ToString();
+      }
+    }
+
+    if (step % 100 != 99) continue;
+
+    // ---- invariant checks ----
+    // I2: extent counters match scans.
+    for (const char* cls :
+         {"person", "student", "instructor", "teaching-assistant", "course"}) {
+      auto scan = mapper->ExtentOf(cls);
+      auto count = mapper->ExtentCount(cls);
+      ASSERT_TRUE(scan.ok() && count.ok());
+      EXPECT_EQ(scan->size(), *count) << cls << " at step " << step;
+    }
+    // I1 + I3 + I4 over every person.
+    auto all_persons = mapper->ExtentOf("person");
+    ASSERT_TRUE(all_persons.ok());
+    for (SurrogateId p : *all_persons) {
+      auto roles = mapper->RolesOf(p, "person");
+      ASSERT_TRUE(roles.ok());
+      // I3: roles closed upward (every role's ancestors present).
+      for (uint16_t code : *roles) {
+        auto cls = mapper->phys().ClassForCode(code);
+        ASSERT_TRUE(cls.ok());
+        auto ancestors = db->catalog().AncestorsOf(*cls);
+        ASSERT_TRUE(ancestors.ok());
+        for (const auto& anc : *ancestors) {
+          auto has = mapper->HasRole(p, anc);
+          ASSERT_TRUE(has.ok());
+          EXPECT_TRUE(*has) << *cls << " without ancestor " << anc;
+        }
+      }
+      // I1: enrollment visible from the course side.
+      auto is_student = mapper->HasRole(p, "student");
+      ASSERT_TRUE(is_student.ok());
+      if (*is_student) {
+        auto enrolled = mapper->GetEvaTargets("student", "courses-enrolled", p);
+        ASSERT_TRUE(enrolled.ok());
+        for (SurrogateId c : *enrolled) {
+          auto back = mapper->GetEvaTargets("course", "students-enrolled", c);
+          ASSERT_TRUE(back.ok());
+          EXPECT_NE(std::find(back->begin(), back->end(), p), back->end())
+              << "inverse lost for entity " << p;
+        }
+      }
+      // I4: the unique index agrees with the stored field.
+      auto ssn = mapper->GetField(p, "person", "soc-sec-no");
+      ASSERT_TRUE(ssn.ok());
+      if (!ssn->is_null()) {
+        auto found = mapper->LookupByIndex("person", "soc-sec-no", *ssn);
+        ASSERT_TRUE(found.ok());
+        ASSERT_TRUE(found->has_value());
+        EXPECT_EQ(**found, p);
+      }
+    }
+  }
+
+  // I5: dump/restore equivalence on the final state.
+  auto dump = DumpDatabase(db.get());
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  auto restored = Database::Open();
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(RestoreDatabase(restored->get(), *dump).ok());
+  const char* kProbes[] = {
+      "Retrieve count(person), count(student), count(instructor), "
+      "count(course)",
+      "From Student Retrieve Table Distinct count(courses-enrolled) of "
+      "Student Order By count(courses-enrolled) of Student",
+  };
+  for (const char* q : kProbes) {
+    auto a = db->ExecuteQuery(q);
+    auto b = (*restored)->ExecuteQuery(q);
+    ASSERT_TRUE(a.ok() && b.ok()) << q;
+    EXPECT_EQ(a->ToString(), b->ToString()) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyStress,
+                         ::testing::Values(11, 12, 23, 24, 35));
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,155 @@
+// Derived attributes — one of the paper's §6 "future developments"
+// implemented as an extension: `<name>: derived = <expression>` computes
+// at query time from the owning entity, supports aggregates and EVA
+// traversal, is read-only and never stored.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class DerivedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->ExecuteDdl(R"(
+      Class Department (
+        name: string[30] unique required );
+      Class Employee (
+        emp-name: string[30];
+        salary: integer;
+        bonus: integer;
+        total-comp: derived = salary + bonus;
+        well-paid: derived = total-comp > 100000;
+        dept: department inverse is staff;
+        dept-name: derived = name of dept );
+      Verify comp-cap on Employee
+        assert total-comp < 500000 else "compensation too high";
+    )")
+                    .ok());
+    ASSERT_TRUE(db_->ExecuteScript(R"(
+      Insert department (name := "R&D").
+      Insert employee (emp-name := "Ada", salary := 90000, bonus := 20000,
+                       dept := department with (name = "R&D")).
+      Insert employee (emp-name := "Bob", salary := 50000, bonus := 1000).
+    )").ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DerivedTest, ComputedInTargetList) {
+  auto rs = db_->ExecuteQuery(
+      "From Employee Retrieve emp-name, total-comp Order By emp-name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0].values[1].int_value(), 110000);
+  EXPECT_EQ(rs->rows[1].values[1].int_value(), 51000);
+}
+
+TEST_F(DerivedTest, DerivedReferencingDerived) {
+  auto rs = db_->ExecuteQuery(
+      "From Employee Retrieve emp-name Where well-paid = true");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Ada");
+}
+
+TEST_F(DerivedTest, DerivedThroughEva) {
+  auto rs = db_->ExecuteQuery(
+      "From Employee Retrieve dept-name Where emp-name = \"Ada\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "R&D");
+  // Bob has no department: the derived value is null.
+  rs = db_->ExecuteQuery(
+      "From Employee Retrieve dept-name Where emp-name = \"Bob\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows[0].values[0].is_null());
+}
+
+TEST_F(DerivedTest, DerivedUsableInWhereAndSelectors) {
+  auto n = db_->ExecuteUpdate(
+      "Modify employee (bonus := 0) Where total-comp > 100000");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  auto rs = db_->ExecuteQuery(
+      "From Employee Retrieve total-comp Where emp-name = \"Ada\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 90000);
+}
+
+TEST_F(DerivedTest, DerivedIsReadOnly) {
+  auto n = db_->ExecuteUpdate(
+      "Modify employee (total-comp := 1) Where emp-name = \"Ada\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DerivedTest, DerivedWorksInsideVerify) {
+  auto n = db_->ExecuteUpdate(
+      "Modify employee (salary := 600000) Where emp-name = \"Ada\"");
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(n.status().message(), "compensation too high");
+}
+
+TEST_F(DerivedTest, DerivedWithAggregate) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl(R"(
+    Class Team (
+      team-name: string[20];
+      member-count: derived = count(members);
+      members: player inverse is plays-for mv );
+    Class Player (
+      player-name: string[20] );
+  )")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteScript(R"(
+    Insert team (team-name := "Reds").
+    Insert player (player-name := "p1",
+                   plays-for := team with (team-name = "Reds")).
+    Insert player (player-name := "p2",
+                   plays-for := team with (team-name = "Reds")).
+  )").ok());
+  auto rs = (*db)->ExecuteQuery("From Team Retrieve member-count");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 2);
+}
+
+TEST_F(DerivedTest, CyclicDerivedDetected) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl(R"(
+    Class Loop (
+      a: derived = b + 1;
+      b: derived = a + 1 );
+  )")
+                  .ok());
+  ASSERT_TRUE((*db)->ExecuteUpdate("Insert loop").ok());
+  auto rs = (*db)->ExecuteQuery("From Loop Retrieve a");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(DerivedTest, DerivedNotStored) {
+  // The physical layout has fields only for salary/bonus/FK, not the
+  // derived attributes.
+  auto phys = PhysicalSchema::Build(db_->catalog(), MappingPolicy());
+  ASSERT_TRUE(phys.ok());
+  int unit = *phys->UnitOf("employee");
+  for (const auto& f : phys->units()[unit].fields) {
+    EXPECT_NE(AsciiLower(f.attr_name), "total-comp");
+    EXPECT_NE(AsciiLower(f.attr_name), "well-paid");
+    EXPECT_NE(AsciiLower(f.attr_name), "dept-name");
+  }
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,138 @@
+// Logical dump / restore round-trips and DDL rendering.
+
+#include "api/dump.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/ddl_render.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+// Canonical query results must survive a dump/restore round-trip.
+TEST(DumpTest, UniversityRoundTrip) {
+  auto src = sim::testing::OpenUniversity();
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  auto dump = DumpDatabase(src->get());
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+
+  auto dst = Database::Open();
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE(RestoreDatabase(dst->get(), *dump).ok());
+
+  const char* kProbes[] = {
+      "From Student Retrieve Name, Name of Advisor Order By Name",
+      "From Person Retrieve Name, Name of Spouse Order By Name",
+      "From Course Retrieve Title, count(students-enrolled) of Course "
+      "Order By Title",
+      "From Teaching-Assistant Retrieve name, teaching-load, salary",
+      "From Course Retrieve Title of Transitive(prerequisites) "
+      "Where Title = \"Quantum Chromodynamics\" Order By Title",
+      "Retrieve AVG(salary of instructor), count(person)",
+  };
+  for (const char* q : kProbes) {
+    auto a = (*src)->ExecuteQuery(q);
+    auto b = (*dst)->ExecuteQuery(q);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+    EXPECT_EQ(a->ToString(), b->ToString()) << q;
+  }
+}
+
+TEST(DumpTest, RestoredDatabaseIsFullyWritable) {
+  auto src = sim::testing::OpenUniversity();
+  ASSERT_TRUE(src.ok());
+  auto dump = DumpDatabase(src->get());
+  ASSERT_TRUE(dump.ok());
+  auto dst = Database::Open();
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE(RestoreDatabase(dst->get(), *dump).ok());
+  // Unique indexes were rebuilt: duplicates still rejected.
+  auto n = (*dst)->ExecuteUpdate(
+      "Insert person (soc-sec-no := 456887766, name := \"Imposter\")");
+  EXPECT_EQ(n.status().code(), StatusCode::kConstraintViolation);
+  // And inverses are live.
+  n = (*dst)->ExecuteUpdate(
+      "Modify student (advisor := instructor with (name = \"Alan Turing\")) "
+      "Where name = \"Tom Jones\"");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  auto rs = (*dst)->ExecuteQuery(
+      "From Instructor Retrieve Name of Advisees Where Name = "
+      "\"Alan Turing\"");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Tom Jones");
+}
+
+TEST(DumpTest, RestoreRejectsNonEmptyDatabase) {
+  auto src = sim::testing::OpenUniversity(DatabaseOptions(), false);
+  ASSERT_TRUE(src.ok());
+  auto dump = DumpDatabase(src->get());
+  ASSERT_TRUE(dump.ok());
+  auto dst = sim::testing::OpenUniversity(DatabaseOptions(), false);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(RestoreDatabase(dst->get(), *dump).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DumpTest, RestoreRejectsGarbage) {
+  auto dst = Database::Open();
+  ASSERT_TRUE(dst.ok());
+  EXPECT_FALSE(RestoreDatabase(dst->get(), "not a dump").ok());
+}
+
+TEST(DdlRenderTest, SchemaRoundTripsThroughParser) {
+  auto src = sim::testing::OpenUniversity(DatabaseOptions(), false, true);
+  ASSERT_TRUE(src.ok());
+  std::string ddl = RenderSchemaDdl((*src)->catalog());
+
+  auto dst = Database::Open();
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE((*dst)->ExecuteDdl(ddl).ok()) << ddl;
+  DirectoryManager::SchemaStats a = (*src)->catalog().ComputeStats();
+  DirectoryManager::SchemaStats b = (*dst)->catalog().ComputeStats();
+  EXPECT_EQ(a.base_classes, b.base_classes);
+  EXPECT_EQ(a.subclasses, b.subclasses);
+  EXPECT_EQ(a.eva_inverse_pairs, b.eva_inverse_pairs);
+  EXPECT_EQ(a.dvas, b.dvas);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  // Verifies survive too.
+  EXPECT_EQ((*src)->catalog().AllVerifies().size(),
+            (*dst)->catalog().AllVerifies().size());
+}
+
+TEST(DdlRenderTest, RendersOrderedByAndDerived) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl(R"(
+    Class Team ordered by team-name desc (
+      team-name: string[20];
+      strength: derived = count(players);
+      players: player inverse is plays-for mv (max 11, ordered by rank) );
+    Class Player (
+      player-name: string[20];
+      rank: integer );
+  )")
+                  .ok());
+  std::string ddl = RenderSchemaDdl((*db)->catalog());
+  EXPECT_NE(ddl.find("ordered by team-name desc"), std::string::npos) << ddl;
+  EXPECT_NE(ddl.find("ordered by rank"), std::string::npos) << ddl;
+  EXPECT_NE(ddl.find("derived = count(players)"), std::string::npos) << ddl;
+  // And it re-parses.
+  auto db2 = Database::Open();
+  ASSERT_TRUE(db2.ok());
+  EXPECT_TRUE((*db2)->ExecuteDdl(ddl).ok()) << ddl;
+}
+
+TEST(DdlRenderTest, ValueLiterals) {
+  EXPECT_EQ(RenderValueLiteral(Value::Int(-5)), "-5");
+  EXPECT_EQ(RenderValueLiteral(Value::Str("say \"hi\"")),
+            "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(RenderValueLiteral(Value::Null()), "null");
+  EXPECT_EQ(RenderValueLiteral(Value::Bool(true)), "true");
+  EXPECT_EQ(RenderValueLiteral(Value::Date(0)), "\"1970-01-01\"");
+}
+
+}  // namespace
+}  // namespace sim

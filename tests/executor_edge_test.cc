@@ -1,0 +1,148 @@
+// Additional retrieval edge cases: factored qualification, nested
+// extended attributes, INVERSE in queries, structured transitive levels,
+// dates in selections, and empty-domain behaviours.
+
+#include <gtest/gtest.h>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sim::testing::OpenUniversity();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorEdgeTest, FactoredQualification) {
+  // §4.2: (Name, Salary) of Advisor == Name of Advisor, Salary of Advisor.
+  auto factored = db_->ExecuteQuery(
+      "From Student Retrieve (Name, Salary) of Advisor "
+      "Where name of student = \"John Doe\"");
+  ASSERT_TRUE(factored.ok()) << factored.status().ToString();
+  auto expanded = db_->ExecuteQuery(
+      "From Student Retrieve Name of Advisor, Salary of Advisor "
+      "Where name of student = \"John Doe\"");
+  ASSERT_TRUE(expanded.ok());
+  ASSERT_EQ(factored->rows.size(), 1u);
+  ASSERT_EQ(factored->columns.size(), 2u);
+  EXPECT_EQ(factored->rows[0].values[0].ToString(),
+            expanded->rows[0].values[0].ToString());
+  EXPECT_EQ(factored->rows[0].values[1].ToString(),
+            expanded->rows[0].values[1].ToString());
+  // A parenthesized arithmetic expression is NOT treated as factoring.
+  auto arith = db_->ExecuteQuery(
+      "From Instructor Retrieve (salary + bonus) / 2 "
+      "Where name = \"Richard Feynman\"");
+  ASSERT_TRUE(arith.ok()) << arith.status().ToString();
+  EXPECT_NEAR(arith->rows[0].values[0].AsReal(), 45000, 1e-9);
+}
+
+TEST_F(ExecutorEdgeTest, ThreeHopExtendedAttribute) {
+  // student -> courses-enrolled -> teachers -> assigned-department.
+  auto rs = db_->ExecuteQuery(
+      "From Student Retrieve Name, "
+      "name of assigned-department of teachers of courses-enrolled "
+      "Where Name = \"Jane Roe\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Jane: Physics I (Feynman/Physics) + QCD (Feynman/Physics) = 2 rows.
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0].values[1].ToString(), "Physics");
+}
+
+TEST_F(ExecutorEdgeTest, InverseFunctionInQuery) {
+  auto rs = db_->ExecuteQuery(
+      "From Instructor Retrieve Name, Name of INVERSE(advisor) "
+      "Where Name = \"Emmy Noether\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[1].ToString(), "John Doe");
+}
+
+TEST_F(ExecutorEdgeTest, StructuredTransitiveLevels) {
+  auto rs = db_->ExecuteQuery(
+      "From Course Retrieve Structure Title, "
+      "Title of Transitive(prerequisites) "
+      "Where Title = \"Calculus II\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Records: Calculus II (level 0), Calculus I (level 1), Algebra I
+  // (level 2) — the §4.7 tree preservation via level numbers.
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(rs->rows[0].level, 0);
+  EXPECT_EQ(rs->rows[1].level, 1);
+  EXPECT_EQ(rs->rows[2].level, 2);
+}
+
+TEST_F(ExecutorEdgeTest, DateComparisons) {
+  auto rs = db_->ExecuteQuery(
+      "From Person Retrieve Name Where birthdate < \"1910-01-01\"");
+  // String literals do not silently coerce in comparisons; the typed way
+  // is via year(). (Strong typing: this errors.)
+  EXPECT_FALSE(rs.ok());
+  rs = db_->ExecuteQuery(
+      "From Person Retrieve Name Where year(birthdate) < 1910 "
+      "Order By Name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);  // Noether 1882, Jane Roe 1905
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Emmy Noether");
+}
+
+TEST_F(ExecutorEdgeTest, QuantifierOverEmptySetIsVacuous) {
+  // Turing has no advisees: ALL over the empty set is true, SOME false.
+  auto rs = db_->ExecuteQuery(
+      "From Instructor Retrieve Name Where "
+      "2000 < all(student-nbr of advisees) and name = \"Alan Turing\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 1u);
+  rs = db_->ExecuteQuery(
+      "From Instructor Retrieve Name Where "
+      "2000 < some(student-nbr of advisees) and name = \"Alan Turing\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, MultipleAggregatesSameScopeAnchor) {
+  auto rs = db_->ExecuteQuery(
+      "From Department Retrieve name, "
+      "count(instructors-employed) of Department, "
+      "min(salary of instructors-employed) of Department, "
+      "max(salary of instructors-employed) of Department "
+      "Where name = \"Mathematics\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[1].int_value(), 2);  // Noether + Tom Jones
+  EXPECT_EQ(rs->rows[0].values[2].AsReal(), 15000);
+  EXPECT_EQ(rs->rows[0].values[3].AsReal(), 60000);
+}
+
+TEST_F(ExecutorEdgeTest, SelfReferentialSpouseJoin) {
+  auto rs = db_->ExecuteQuery(
+      "From person p, person q Retrieve name of p, name of q "
+      "Where spouse of p = q and birthdate of p < birthdate of q");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Jane (1905) is married to John (1960): one ordered pair qualifies.
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Jane Roe");
+  EXPECT_EQ(rs->rows[0].values[1].ToString(), "John Doe");
+}
+
+TEST_F(ExecutorEdgeTest, OrderByExtendedAttributeWithNulls) {
+  auto rs = db_->ExecuteQuery(
+      "From Student Retrieve Name Order By Salary of Advisor Desc");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 3u);
+  // Feynman 70000 > Noether 60000 > Tom (no advisor, null sorts first in
+  // ascending => last under Desc? Nulls compare smallest; Desc puts
+  // non-null larger first and null last).
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Jane Roe");
+  EXPECT_EQ(rs->rows[1].values[0].ToString(), "John Doe");
+  EXPECT_EQ(rs->rows[2].values[0].ToString(), "Tom Jones");
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,287 @@
+// Retrieval-semantics tests for the Query Driver: nested-loop ordering,
+// outer joins, existential TYPE 2 evaluation, aggregates, quantifiers,
+// transitive closure, 3-valued logic, ordering, DISTINCT and structured
+// output.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sim::testing::OpenUniversity();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  ResultSet Q(const std::string& q) {
+    auto rs = db_->ExecuteQuery(q);
+    EXPECT_TRUE(rs.ok()) << q << " -> " << rs.status().ToString();
+    return rs.ok() ? std::move(*rs) : ResultSet();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorTest, PerspectiveOrderIsSurrogateOrder) {
+  // §5.1: "DML implies an implicit ordering of output based on student
+  // surrogates" — insertion order in our fixture.
+  ResultSet rs = Q("From Student Retrieve Name");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0].values[0].ToString(), "John Doe");
+  EXPECT_EQ(rs.rows[1].values[0].ToString(), "Jane Roe");
+  EXPECT_EQ(rs.rows[2].values[0].ToString(), "Tom Jones");
+}
+
+TEST_F(ExecutorTest, NestedIterationRepeatsOuterValues) {
+  // One output record per (student, course) combination.
+  ResultSet rs = Q("From Student Retrieve Name, Title of Courses-Enrolled");
+  // John 2 + Jane 2 + Tom 1 = 5 rows.
+  ASSERT_EQ(rs.rows.size(), 5u);
+  int john_rows = 0;
+  for (const Row& r : rs.rows) {
+    if (r.values[0].ToString() == "John Doe") ++john_rows;
+  }
+  EXPECT_EQ(john_rows, 2);
+}
+
+TEST_F(ExecutorTest, OuterJoinDummyForEmptyType3) {
+  // Persons without spouses still print, with null spouse names.
+  ResultSet rs = Q("From Person Retrieve Name, Name of Spouse");
+  ASSERT_EQ(rs.rows.size(), 6u);
+  int with_spouse = 0, without = 0;
+  for (const Row& r : rs.rows) {
+    if (r.values[1].is_null()) {
+      ++without;
+    } else {
+      ++with_spouse;
+    }
+  }
+  EXPECT_EQ(with_spouse, 2);  // John <-> Jane
+  EXPECT_EQ(without, 4);
+}
+
+TEST_F(ExecutorTest, Type2NodesDoNotMultiplyOutput) {
+  // advisees is selection-only: an instructor with several advisees still
+  // produces one row.
+  ASSERT_TRUE(db_->ExecuteUpdate(
+                     "Modify student (advisor := instructor with "
+                     "(name = \"Emmy Noether\")) Where name = \"Tom Jones\"")
+                  .ok());
+  ResultSet rs = Q(
+      "From Instructor Retrieve Name Where student-nbr of advisees > 0");
+  // Noether advises John + Tom but appears once; Feynman advises Jane.
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0].values[0].ToString(), "Emmy Noether");
+  EXPECT_EQ(rs.rows[1].values[0].ToString(), "Richard Feynman");
+}
+
+TEST_F(ExecutorTest, ThreeValuedLogicInSelection) {
+  // Tom Jones has no advisor: `salary of advisor > 0` is unknown -> row
+  // dropped, and `not (...)` is still unknown -> dropped too.
+  ResultSet pos = Q("From Student Retrieve Name Where Salary of Advisor > 0");
+  EXPECT_EQ(pos.rows.size(), 2u);
+  ResultSet neg = Q(
+      "From Student Retrieve Name Where not (Salary of Advisor > 0)");
+  EXPECT_EQ(neg.rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, ComparisonOperators) {
+  EXPECT_EQ(Q("From Course Retrieve Title Where credits >= 8").rows.size(),
+            2u);
+  EXPECT_EQ(Q("From Course Retrieve Title Where credits < 4").rows.size(), 0u);
+  EXPECT_EQ(Q("From Course Retrieve Title Where credits <> 4").rows.size(),
+            3u);
+  EXPECT_EQ(
+      Q("From Course Retrieve Title Where Title like \"Calculus%\"")
+          .rows.size(),
+      2u);
+}
+
+TEST_F(ExecutorTest, ArithmeticAndStringConcat) {
+  ResultSet rs = Q(
+      "From Instructor Retrieve salary + bonus, salary / 1000, "
+      "name + \"!\" Where name = \"Richard Feynman\"");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_NEAR(rs.rows[0].values[0].AsReal(), 90000, 1e-9);
+  EXPECT_NEAR(rs.rows[0].values[1].AsReal(), 70, 1e-9);
+  EXPECT_EQ(rs.rows[0].values[2].ToString(), "Richard Feynman!");
+  // Null-propagating arithmetic: Turing has no bonus.
+  rs = Q("From Instructor Retrieve salary + bonus "
+         "Where name = \"Alan Turing\"");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0].values[0].is_null());
+}
+
+TEST_F(ExecutorTest, Aggregates) {
+  ResultSet rs = Q("From Department Retrieve name, "
+                   "count(instructors-employed) of Department");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // Physics: Feynman. Mathematics: Noether + Tom Jones(TA).
+  // Computer-Science: Turing.
+  EXPECT_EQ(rs.rows[0].values[1].int_value(), 1);
+  EXPECT_EQ(rs.rows[1].values[1].int_value(), 2);
+  EXPECT_EQ(rs.rows[2].values[1].int_value(), 1);
+
+  rs = Q("Retrieve AVG(Salary of Instructor)");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_NEAR(rs.rows[0].values[0].AsReal(),
+              (50000.0 + 60000 + 70000 + 15000) / 4, 1e-6);
+
+  rs = Q("Retrieve MIN(credits of course), MAX(credits of course), "
+         "SUM(credits of course)");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].values[0].int_value(), 4);
+  EXPECT_EQ(rs.rows[0].values[1].int_value(), 12);
+  EXPECT_EQ(rs.rows[0].values[2].AsReal(), 38);
+}
+
+TEST_F(ExecutorTest, CountTeachersOfCoursesEnrolled) {
+  // §4.6 example 3: per student, teachers across all enrolled courses.
+  ResultSet rs = Q(
+      "From Student Retrieve Name, "
+      "COUNT(Teachers of Courses-enrolled) of Student");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // John: Algebra I (Tom) + Databases (Turing) = 2.
+  EXPECT_EQ(rs.rows[0].values[1].int_value(), 2);
+  // Jane: Physics I (Feynman) + QCD (Feynman) = 2 occurrences (multiset).
+  EXPECT_EQ(rs.rows[1].values[1].int_value(), 2);
+  // Tom: Databases (Turing) = 1.
+  EXPECT_EQ(rs.rows[2].values[1].int_value(), 1);
+}
+
+TEST_F(ExecutorTest, QuantifierSemantics) {
+  // SOME: instructors with some advisee majoring in Physics.
+  ResultSet rs = Q(
+      "From Instructor Retrieve Name Where "
+      "\"Physics\" = some(name of major-department of advisees)");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].values[0].ToString(), "Richard Feynman");
+
+  // NO: instructors with no advisees majoring in Physics (vacuously true
+  // for instructors without advisees).
+  rs = Q("From Instructor Retrieve Name Where "
+         "\"Physics\" = no(name of major-department of advisees)");
+  EXPECT_EQ(rs.rows.size(), 3u);
+
+  // ALL: courses where all credits... use: students where all enrolled
+  // courses have credits >= 4 (every student qualifies).
+  rs = Q("From Student Retrieve Name Where "
+         "4 <= all(credits of courses-enrolled)");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  rs = Q("From Student Retrieve Name Where "
+         "8 <= all(credits of courses-enrolled)");
+  // Jane: Physics I has 6 -> fails; John: Algebra 4 -> fails; Tom:
+  // Databases 12 -> passes.
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].values[0].ToString(), "Tom Jones");
+}
+
+TEST_F(ExecutorTest, TransitiveClosureLevels) {
+  // Prerequisites of Calculus II: Calculus I (level 1), Algebra I (2).
+  ResultSet rs = Q(
+      "From Course Retrieve Title of Transitive(prerequisites) "
+      "Where Title = \"Calculus II\"");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  std::set<std::string> titles = {rs.rows[0].values[0].ToString(),
+                                  rs.rows[1].values[0].ToString()};
+  EXPECT_TRUE(titles.count("Calculus I"));
+  EXPECT_TRUE(titles.count("Algebra I"));
+}
+
+TEST_F(ExecutorTest, OrderBy) {
+  ResultSet rs = Q("From Course Retrieve Title, credits Order By credits "
+                   "Desc, Title");
+  ASSERT_EQ(rs.rows.size(), 6u);
+  EXPECT_EQ(rs.rows[0].values[0].ToString(), "Databases");
+  EXPECT_EQ(rs.rows[1].values[0].ToString(), "Quantum Chromodynamics");
+  EXPECT_EQ(rs.rows[2].values[0].ToString(), "Physics I");
+  // Ties on credits=4 resolved by title ascending.
+  EXPECT_EQ(rs.rows[3].values[0].ToString(), "Algebra I");
+}
+
+TEST_F(ExecutorTest, TableDistinct) {
+  ResultSet rs = Q(
+      "From Course Retrieve Table Distinct credits of Course");
+  // Credits: 4, 4, 4, 6, 8, 12 -> distinct {4, 6, 8, 12}.
+  EXPECT_EQ(rs.rows.size(), 4u);
+  ResultSet plain = Q("From Course Retrieve Table credits of Course");
+  EXPECT_EQ(plain.rows.size(), 6u);
+}
+
+TEST_F(ExecutorTest, StructuredOutput) {
+  ResultSet rs = Q(
+      "From Student Retrieve Structure Name, Title of Courses-Enrolled");
+  ASSERT_TRUE(rs.structured);
+  // Records: one per student (format root) + one per enrollment (format
+  // child): 3 + 5 = 8.
+  EXPECT_EQ(rs.rows.size(), 8u);
+  // First record is a student record at level 0; its next is a course
+  // record at level 1.
+  EXPECT_EQ(rs.rows[0].level, 0);
+  EXPECT_EQ(rs.rows[1].level, 1);
+  EXPECT_NE(rs.rows[0].format_node, rs.rows[1].format_node);
+}
+
+TEST_F(ExecutorTest, IsaConversionFilters) {
+  // Persons who are students.
+  ResultSet rs = Q("From Person Retrieve Name Where Person isa student");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  rs = Q("From Person Retrieve Name Where Person isa teaching-assistant");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].values[0].ToString(), "Tom Jones");
+}
+
+TEST_F(ExecutorTest, RoleConversionInChain) {
+  // Jane's spouse is John (a student): conversion keeps him; Tom has no
+  // spouse.
+  ResultSet rs = Q(
+      "From Student Retrieve Name, Student-Nbr of Spouse as Student of "
+      "Student");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[1].values[0].ToString(), "Jane Roe");
+  EXPECT_EQ(rs.rows[1].values[1].int_value(), 2001);
+  EXPECT_TRUE(rs.rows[2].values[1].is_null());
+}
+
+TEST_F(ExecutorTest, MultiPerspectiveCrossProduct) {
+  ResultSet rs = Q(
+      "From Department d, Department e Retrieve name of d, name of e");
+  EXPECT_EQ(rs.rows.size(), 9u);
+}
+
+TEST_F(ExecutorTest, SubroleInTargetList) {
+  // §3.2: subroles "provide a convenient method to retrieve symbolically
+  // all the roles an entity participates in".
+  ResultSet rs = Q(
+      "From Person Retrieve Name, profession Where Name = \"Tom Jones\"");
+  ASSERT_EQ(rs.rows.size(), 2u);  // one row per profession value
+  std::set<std::string> roles = {rs.rows[0].values[1].ToString(),
+                                 rs.rows[1].values[1].ToString()};
+  EXPECT_TRUE(roles.count("student"));
+  EXPECT_TRUE(roles.count("instructor"));
+}
+
+TEST_F(ExecutorTest, EmptyExtent) {
+  auto db = sim::testing::OpenUniversity(DatabaseOptions(), false);
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("From Student Retrieve Name");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 0u);
+  // Aggregates over empty extents.
+  rs = (*db)->ExecuteQuery("Retrieve count(student), avg(salary of "
+                           "instructor)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 0);
+  EXPECT_TRUE(rs->rows[0].values[1].is_null());
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,110 @@
+// Scalar primitive functions (§4.9: "an array of operators and primitive
+// functions").
+
+#include <gtest/gtest.h>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class FunctionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sim::testing::OpenUniversity();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  Value Single(const std::string& q) {
+    auto rs = db_->ExecuteQuery(q);
+    EXPECT_TRUE(rs.ok()) << q << " -> " << rs.status().ToString();
+    if (!rs.ok() || rs->rows.empty()) return Value::Null();
+    return rs->rows[0].values[0];
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(FunctionsTest, StringFunctions) {
+  EXPECT_EQ(Single("From Person Retrieve length(name) "
+                   "Where name = \"John Doe\"")
+                .int_value(),
+            8);
+  EXPECT_EQ(Single("From Person Retrieve upper(name) "
+                   "Where name = \"John Doe\"")
+                .ToString(),
+            "JOHN DOE");
+  EXPECT_EQ(Single("From Person Retrieve lower(name) "
+                   "Where name = \"John Doe\"")
+                .ToString(),
+            "john doe");
+}
+
+TEST_F(FunctionsTest, NumericFunctions) {
+  EXPECT_EQ(Single("From Course Retrieve abs(credits - 10) "
+                   "Where title = \"Algebra I\"")
+                .int_value(),
+            6);
+  EXPECT_EQ(Single("From Instructor Retrieve round(salary / 9) "
+                   "Where name = \"Alan Turing\"")
+                .int_value(),
+            5556);
+}
+
+TEST_F(FunctionsTest, DateFunctions) {
+  EXPECT_EQ(Single("From Person Retrieve year(birthdate) "
+                   "Where name = \"Alan Turing\"")
+                .int_value(),
+            1912);
+  EXPECT_EQ(Single("From Person Retrieve month(birthdate) "
+                   "Where name = \"Alan Turing\"")
+                .int_value(),
+            6);
+  EXPECT_EQ(Single("From Person Retrieve day(birthdate) "
+                   "Where name = \"Alan Turing\"")
+                .int_value(),
+            23);
+}
+
+TEST_F(FunctionsTest, FunctionsInSelection) {
+  auto rs = db_->ExecuteQuery(
+      "From Person Retrieve name Where year(birthdate) < 1900");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Emmy Noether");
+}
+
+TEST_F(FunctionsTest, NullPropagation) {
+  // Tom Jones has no spouse: length(name of spouse) is null, and the
+  // comparison is unknown.
+  auto rs = db_->ExecuteQuery(
+      "From Person Retrieve name "
+      "Where length(name of spouse) > 0 and name = \"Tom Jones\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 0u);
+}
+
+TEST_F(FunctionsTest, TypeErrors) {
+  auto rs = db_->ExecuteQuery("From Person Retrieve length(birthdate)");
+  EXPECT_FALSE(rs.ok());
+  rs = db_->ExecuteQuery("From Person Retrieve abs(name)");
+  EXPECT_FALSE(rs.ok());
+  rs = db_->ExecuteQuery("From Person Retrieve year(name, birthdate)");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(FunctionsTest, AttributeNamedLikeFunctionStillResolves) {
+  // A bare identifier that matches a function name but is not followed by
+  // '(' parses as a qualification element.
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("Class T ( day: integer );").ok());
+  ASSERT_TRUE((*db)->ExecuteUpdate("Insert t (day := 7)").ok());
+  auto rs = (*db)->ExecuteQuery("From T Retrieve day");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 7);
+}
+
+}  // namespace
+}  // namespace sim

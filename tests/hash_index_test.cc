@@ -1,0 +1,94 @@
+// Unit tests for the page-based static hash index.
+
+#include "storage/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace sim {
+namespace {
+
+TEST(HashIndexTest, InsertLookupDelete) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  auto idx = HashIndex::Create(&pool, "h", 16);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(idx->Insert("alpha", 1).ok());
+  ASSERT_TRUE(idx->Insert("alpha", 2).ok());
+  ASSERT_TRUE(idx->Insert("beta", 3).ok());
+  auto all = idx->GetAll("alpha");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  auto has = idx->Contains("beta");
+  ASSERT_TRUE(has.ok());
+  EXPECT_TRUE(*has);
+  ASSERT_TRUE(idx->Delete("alpha", 1).ok());
+  all = idx->GetAll("alpha");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0], 2u);
+  EXPECT_EQ(idx->Delete("alpha", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(HashIndexTest, OverflowChains) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  // One bucket forces every key into a single chain with overflow pages.
+  auto idx = HashIndex::Create(&pool, "h", 1);
+  ASSERT_TRUE(idx.ok());
+  const int kCount = 2000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(idx->Insert("key" + std::to_string(i),
+                            static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_EQ(idx->entry_count(), static_cast<uint64_t>(kCount));
+  for (int i = 0; i < kCount; i += 131) {
+    auto all = idx->GetAll("key" + std::to_string(i));
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(all->size(), 1u);
+    EXPECT_EQ((*all)[0], static_cast<uint64_t>(i));
+  }
+}
+
+TEST(HashIndexTest, RandomWorkloadMatchesModel) {
+  MemPager pager;
+  BufferPool pool(&pager, 128);
+  auto idx = HashIndex::Create(&pool, "h", 8);
+  ASSERT_TRUE(idx.ok());
+  std::multimap<std::string, uint64_t> model;
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> key_dist(0, 50);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+  for (int step = 0; step < 2000; ++step) {
+    std::string key = "k" + std::to_string(key_dist(rng));
+    if (op_dist(rng) < 65) {
+      ASSERT_TRUE(idx->Insert(key, static_cast<uint64_t>(step)).ok());
+      model.emplace(key, static_cast<uint64_t>(step));
+    } else {
+      auto range = model.equal_range(key);
+      if (range.first != range.second) {
+        ASSERT_TRUE(idx->Delete(key, range.first->second).ok());
+        model.erase(range.first);
+      }
+    }
+  }
+  for (int k = 0; k <= 50; ++k) {
+    std::string key = "k" + std::to_string(k);
+    auto got = idx->GetAll(key);
+    ASSERT_TRUE(got.ok());
+    std::vector<uint64_t> actual = *got;
+    std::sort(actual.begin(), actual.end());
+    std::vector<uint64_t> expected;
+    auto range = model.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+      expected.push_back(it->second);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(actual, expected) << key;
+  }
+}
+
+}  // namespace
+}  // namespace sim

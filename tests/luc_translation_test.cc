@@ -1,0 +1,162 @@
+// Tests for the SIM -> LUC standard translation and the §5.2 default
+// physical mapping rules (experiment E2's correctness basis).
+
+#include "catalog/luc_translation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class LucTranslationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sim::testing::OpenUniversity(DatabaseOptions(), false);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  Result<PhysicalSchema> Build(const MappingPolicy& policy) {
+    return PhysicalSchema::Build(db_->catalog(), policy);
+  }
+
+  const EvaPhys* FindEva(const PhysicalSchema& phys, const std::string& cls,
+                         const std::string& attr) {
+    bool side_a;
+    auto idx = phys.EvaOf(cls, attr, &side_a);
+    if (!idx.ok()) return nullptr;
+    return &phys.evas()[*idx];
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(LucTranslationTest, ColocatedDefaultUnits) {
+  auto phys = Build(MappingPolicy());
+  ASSERT_TRUE(phys.ok()) << phys.status().ToString();
+  // Units: Person tree (Person+Student+Instructor), Teaching-Assistant
+  // (multi-super satellite), Course, Department.
+  ASSERT_EQ(phys->units().size(), 4u);
+  auto person_unit = phys->UnitOf("student");
+  ASSERT_TRUE(person_unit.ok());
+  EXPECT_EQ(*person_unit, *phys->UnitOf("person"));
+  EXPECT_EQ(*person_unit, *phys->UnitOf("instructor"));
+  auto ta_unit = phys->UnitOf("teaching-assistant");
+  ASSERT_TRUE(ta_unit.ok());
+  EXPECT_NE(*ta_unit, *person_unit);
+  // "The number of record types needed will be equal to the number of
+  // nodes in the tree": Person tree holds 3 classes.
+  EXPECT_EQ(phys->RecordFormats(*person_unit), 3);
+}
+
+TEST_F(LucTranslationTest, LucPerClassWhenColocationOff) {
+  MappingPolicy policy;
+  policy.colocate_tree_hierarchies = false;
+  auto phys = Build(policy);
+  ASSERT_TRUE(phys.ok());
+  EXPECT_EQ(phys->units().size(), 6u);  // one per class
+  EXPECT_NE(*phys->UnitOf("student"), *phys->UnitOf("person"));
+}
+
+TEST_F(LucTranslationTest, DefaultEvaMappings) {
+  auto phys = Build(MappingPolicy());
+  ASSERT_TRUE(phys.ok());
+  // 1:1 -> foreign key (spouse).
+  const EvaPhys* spouse = FindEva(*phys, "person", "spouse");
+  ASSERT_NE(spouse, nullptr);
+  EXPECT_TRUE(spouse->one_to_one());
+  EXPECT_TRUE(spouse->symmetric);
+  EXPECT_EQ(spouse->mapping, EvaMapping::kForeignKey);
+  // many:1 -> common structure (advisor/advisees).
+  const EvaPhys* advisor = FindEva(*phys, "student", "advisor");
+  ASSERT_NE(advisor, nullptr);
+  EXPECT_EQ(advisor->mapping, EvaMapping::kCommonStructure);
+  // many:many with DISTINCT -> private structure (courses-enrolled).
+  const EvaPhys* enrolled = FindEva(*phys, "student", "courses-enrolled");
+  ASSERT_NE(enrolled, nullptr);
+  EXPECT_TRUE(enrolled->many_to_many());
+  EXPECT_TRUE(enrolled->distinct);
+  EXPECT_EQ(enrolled->mapping, EvaMapping::kPrivateStructure);
+  // many:many without DISTINCT -> common structure (courses-offered's
+  // synthesized inverse pair).
+  const EvaPhys* offered = FindEva(*phys, "department", "courses-offered");
+  ASSERT_NE(offered, nullptr);
+  EXPECT_EQ(offered->mapping, EvaMapping::kCommonStructure);
+}
+
+TEST_F(LucTranslationTest, EvaOverrides) {
+  MappingPolicy policy;
+  policy.eva_overrides["student.advisor"] = EvaMapping::kForeignKey;
+  auto phys = Build(policy);
+  ASSERT_TRUE(phys.ok());
+  const EvaPhys* advisor = FindEva(*phys, "student", "advisor");
+  ASSERT_NE(advisor, nullptr);
+  EXPECT_EQ(advisor->mapping, EvaMapping::kForeignKey);
+
+  // FK mapping of a many:many EVA is rejected.
+  MappingPolicy bad;
+  bad.eva_overrides["student.courses-enrolled"] = EvaMapping::kForeignKey;
+  EXPECT_EQ(Build(bad).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LucTranslationTest, MvDvaEmbedding) {
+  // The UNIVERSITY schema has no bounded MV DVA; build a dedicated schema.
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteDdl("Class Box ("
+                               "  tag: string[8];"
+                               "  bounded: integer mv (max 3);"
+                               "  unbounded: integer mv );")
+                  .ok());
+  auto phys = PhysicalSchema::Build((*db)->catalog(), MappingPolicy());
+  ASSERT_TRUE(phys.ok());
+  auto bounded = phys->MvDvaOf("Box", "bounded");
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(phys->mvdvas()[*bounded].embedded);
+  auto unbounded = phys->MvDvaOf("Box", "unbounded");
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_FALSE(phys->mvdvas()[*unbounded].embedded);
+  // Embedded arrays surface as a stored field; unbounded ones do not.
+  int unit = *phys->UnitOf("Box");
+  EXPECT_EQ(phys->units()[unit].fields.size(), 2u);  // tag + bounded
+}
+
+TEST_F(LucTranslationTest, UniqueAttributesGetIndexes) {
+  auto phys = Build(MappingPolicy());
+  ASSERT_TRUE(phys.ok());
+  EXPECT_GE(phys->IndexOf("person", "soc-sec-no"), 0);
+  EXPECT_GE(phys->IndexOf("instructor", "employee-nbr"), 0);
+  EXPECT_GE(phys->IndexOf("course", "course-no"), 0);
+  EXPECT_LT(phys->IndexOf("person", "name"), 0);  // not unique
+}
+
+TEST_F(LucTranslationTest, ExtraIndexPolicy) {
+  MappingPolicy policy;
+  policy.extra_indexes.insert("person.name");
+  auto phys = Build(policy);
+  ASSERT_TRUE(phys.ok());
+  EXPECT_GE(phys->IndexOf("person", "name"), 0);
+}
+
+TEST_F(LucTranslationTest, SubrolesAreComputedNotStored) {
+  auto phys = Build(MappingPolicy());
+  ASSERT_TRUE(phys.ok());
+  int unit = *phys->UnitOf("person");
+  for (const auto& f : phys->units()[unit].fields) {
+    EXPECT_FALSE(NameEq(f.attr_name, "profession"));
+    EXPECT_FALSE(NameEq(f.attr_name, "instructor-status"));
+  }
+}
+
+TEST(RolesCodecTest, RoundTrip) {
+  std::set<uint16_t> roles = {0, 3, 12, 250};
+  EXPECT_EQ(DecodeRoles(EncodeRoles(roles)), roles);
+  EXPECT_TRUE(DecodeRoles(EncodeRoles({})).empty());
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,373 @@
+// Unit tests for the LUC Mapper: entity/role lifecycle, attribute
+// options, EVA/inverse synchronization, structural-integrity cascades and
+// undo-based rollback — the §5.1 Mapper responsibilities.
+
+#include "luc/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class MapperTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    // Parameterized over the colocation policy so the same semantics hold
+    // under both §5.2 hierarchy mappings.
+    options.mapping.colocate_tree_hierarchies = GetParam();
+    auto db = sim::testing::OpenUniversity(options, /*with_data=*/false);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    auto mapper = db_->mapper();
+    ASSERT_TRUE(mapper.ok()) << mapper.status().ToString();
+    mapper_ = *mapper;
+  }
+
+  std::unique_ptr<Database> db_;
+  LucMapper* mapper_ = nullptr;
+};
+
+TEST_P(MapperTest, CreateEntityGetsAncestorRoles) {
+  auto s = mapper_->CreateEntity("teaching-assistant", nullptr);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  for (const char* cls :
+       {"person", "student", "instructor", "teaching-assistant"}) {
+    auto has = mapper_->HasRole(*s, cls);
+    ASSERT_TRUE(has.ok());
+    EXPECT_TRUE(*has) << cls;
+  }
+  EXPECT_EQ(mapper_->ExtentCount("person").value(), 1u);
+  EXPECT_EQ(mapper_->ExtentCount("student").value(), 1u);
+}
+
+TEST_P(MapperTest, FieldRoundTripIncludingInherited) {
+  auto s = mapper_->CreateEntity("student", nullptr);
+  ASSERT_TRUE(s.ok());
+  // Inherited attribute written through the subclass name.
+  ASSERT_TRUE(
+      mapper_->SetField(*s, "student", "name", Value::Str("Ada"), nullptr)
+          .ok());
+  ASSERT_TRUE(mapper_->SetField(*s, "student", "student-nbr",
+                                Value::Int(1001), nullptr)
+                  .ok());
+  auto name = mapper_->GetField(*s, "person", "name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->ToString(), "Ada");
+  auto nbr = mapper_->GetField(*s, "student", "student-nbr");
+  ASSERT_TRUE(nbr.ok());
+  EXPECT_EQ(nbr->int_value(), 1001);
+}
+
+TEST_P(MapperTest, TypeValidationOnWrite) {
+  auto s = mapper_->CreateEntity("student", nullptr);
+  ASSERT_TRUE(s.ok());
+  // student-nbr is id-number: integer(1001..39999, 60001..99999).
+  auto bad = mapper_->SetField(*s, "student", "student-nbr", Value::Int(5),
+                               nullptr);
+  EXPECT_EQ(bad.code(), StatusCode::kTypeError);
+  auto wrong_type =
+      mapper_->SetField(*s, "student", "name", Value::Int(5), nullptr);
+  EXPECT_EQ(wrong_type.code(), StatusCode::kTypeError);
+}
+
+TEST_P(MapperTest, UniqueEnforcement) {
+  auto a = mapper_->CreateEntity("person", nullptr);
+  auto b = mapper_->CreateEntity("person", nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(mapper_->SetField(*a, "person", "soc-sec-no",
+                                Value::Int(111), nullptr)
+                  .ok());
+  auto dup = mapper_->SetField(*b, "person", "soc-sec-no", Value::Int(111),
+                               nullptr);
+  EXPECT_EQ(dup.code(), StatusCode::kConstraintViolation);
+  // Changing the first frees the value.
+  ASSERT_TRUE(mapper_->SetField(*a, "person", "soc-sec-no",
+                                Value::Int(222), nullptr)
+                  .ok());
+  EXPECT_TRUE(mapper_->SetField(*b, "person", "soc-sec-no", Value::Int(111),
+                                nullptr)
+                  .ok());
+  auto found = mapper_->LookupByIndex("person", "soc-sec-no", Value::Int(222));
+  ASSERT_TRUE(found.ok());
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ(**found, *a);
+}
+
+TEST_P(MapperTest, SubrolesAreComputedAndReadOnly) {
+  auto s = mapper_->CreateEntity("student", nullptr);
+  ASSERT_TRUE(s.ok());
+  auto roles = mapper_->GetMvValues(*s, "person", "profession");
+  ASSERT_TRUE(roles.ok());
+  ASSERT_EQ(roles->size(), 1u);
+  EXPECT_EQ((*roles)[0].ToString(), "student");
+  auto readonly = mapper_->SetField(*s, "person", "profession",
+                                    Value::Str("instructor"), nullptr);
+  EXPECT_EQ(readonly.code(), StatusCode::kInvalidArgument);
+  // Single-valued subrole on Student reports TA only when present.
+  auto status = mapper_->GetField(*s, "student", "instructor-status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->is_null());
+  ASSERT_TRUE(mapper_->AddRole(*s, "teaching-assistant", nullptr).ok());
+  status = mapper_->GetField(*s, "student", "instructor-status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->ToString(), "teaching-assistant");
+}
+
+TEST_P(MapperTest, EvaInverseSynchronization) {
+  auto stu = mapper_->CreateEntity("student", nullptr);
+  auto inst = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(stu.ok() && inst.ok());
+  ASSERT_TRUE(
+      mapper_->AddEvaPair("student", "advisor", *stu, *inst, nullptr).ok());
+  // Forward and inverse agree immediately (§3.2: "stay synchronized at
+  // all times").
+  auto fwd = mapper_->GetEvaTargets("student", "advisor", *stu);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_EQ(fwd->size(), 1u);
+  EXPECT_EQ((*fwd)[0], *inst);
+  auto inv = mapper_->GetEvaTargets("instructor", "advisees", *inst);
+  ASSERT_TRUE(inv.ok());
+  ASSERT_EQ(inv->size(), 1u);
+  EXPECT_EQ((*inv)[0], *stu);
+  // Removing through the inverse side clears the forward side.
+  ASSERT_TRUE(
+      mapper_->RemoveEvaPair("instructor", "advisees", *inst, *stu, nullptr)
+          .ok());
+  fwd = mapper_->GetEvaTargets("student", "advisor", *stu);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_TRUE(fwd->empty());
+}
+
+TEST_P(MapperTest, SingleValuedEvaOccupancy) {
+  auto stu = mapper_->CreateEntity("student", nullptr);
+  auto i1 = mapper_->CreateEntity("instructor", nullptr);
+  auto i2 = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(stu.ok() && i1.ok() && i2.ok());
+  ASSERT_TRUE(
+      mapper_->AddEvaPair("student", "advisor", *stu, *i1, nullptr).ok());
+  auto second = mapper_->AddEvaPair("student", "advisor", *stu, *i2, nullptr);
+  EXPECT_EQ(second.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_P(MapperTest, EvaMaxEnforcedOnInverseSide) {
+  // advisees has MAX 10: an 11th advisee must be rejected even though each
+  // student's side is single-valued and unoccupied.
+  auto inst = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(inst.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto stu = mapper_->CreateEntity("student", nullptr);
+    ASSERT_TRUE(stu.ok());
+    ASSERT_TRUE(
+        mapper_->AddEvaPair("student", "advisor", *stu, *inst, nullptr).ok())
+        << i;
+  }
+  auto extra = mapper_->CreateEntity("student", nullptr);
+  ASSERT_TRUE(extra.ok());
+  auto over = mapper_->AddEvaPair("student", "advisor", *extra, *inst,
+                                  nullptr);
+  EXPECT_EQ(over.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_P(MapperTest, EvaRangeRoleEnforced) {
+  auto stu = mapper_->CreateEntity("student", nullptr);
+  auto course = mapper_->CreateEntity("course", nullptr);
+  ASSERT_TRUE(stu.ok() && course.ok());
+  // advisor's range is INSTRUCTOR; a course is not acceptable.
+  auto bad = mapper_->AddEvaPair("student", "advisor", *stu, *course, nullptr);
+  EXPECT_EQ(bad.code(), StatusCode::kConstraintViolation);
+  // A plain person is not an instructor either.
+  auto person = mapper_->CreateEntity("person", nullptr);
+  ASSERT_TRUE(person.ok());
+  bad = mapper_->AddEvaPair("student", "advisor", *stu, *person, nullptr);
+  EXPECT_EQ(bad.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_P(MapperTest, SymmetricSpouse) {
+  auto a = mapper_->CreateEntity("person", nullptr);
+  auto b = mapper_->CreateEntity("person", nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(mapper_->AddEvaPair("person", "spouse", *a, *b, nullptr).ok());
+  auto from_a = mapper_->GetEvaTargets("person", "spouse", *a);
+  auto from_b = mapper_->GetEvaTargets("person", "spouse", *b);
+  ASSERT_TRUE(from_a.ok() && from_b.ok());
+  ASSERT_EQ(from_a->size(), 1u);
+  ASSERT_EQ(from_b->size(), 1u);
+  EXPECT_EQ((*from_a)[0], *b);
+  EXPECT_EQ((*from_b)[0], *a);
+}
+
+TEST_P(MapperTest, DeleteRoleCascadesDownNotUp) {
+  // §4.8: deleting a STUDENT role keeps PERSON; deleting PERSON removes
+  // everything.
+  auto s = mapper_->CreateEntity("teaching-assistant", nullptr);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(mapper_->DeleteRole(*s, "student", nullptr).ok());
+  EXPECT_FALSE(*mapper_->HasRole(*s, "student"));
+  EXPECT_FALSE(*mapper_->HasRole(*s, "teaching-assistant"));
+  EXPECT_TRUE(*mapper_->HasRole(*s, "person"));
+  EXPECT_TRUE(*mapper_->HasRole(*s, "instructor"));
+  ASSERT_TRUE(mapper_->DeleteRole(*s, "person", nullptr).ok());
+  EXPECT_FALSE(mapper_->HasRole(*s, "person").ok() &&
+               *mapper_->HasRole(*s, "person"));
+}
+
+TEST_P(MapperTest, DeleteRoleRemovesEvaInstances) {
+  auto stu = mapper_->CreateEntity("student", nullptr);
+  auto inst = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(stu.ok() && inst.ok());
+  ASSERT_TRUE(
+      mapper_->AddEvaPair("student", "advisor", *stu, *inst, nullptr).ok());
+  // Deleting the instructor role removes the relationship instance: no
+  // dangling references (§3.3).
+  ASSERT_TRUE(mapper_->DeleteRole(*inst, "instructor", nullptr).ok());
+  auto fwd = mapper_->GetEvaTargets("student", "advisor", *stu);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_TRUE(fwd->empty());
+}
+
+TEST_P(MapperTest, DeleteRoleRemovesUniqueIndexEntries) {
+  auto a = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(mapper_->SetField(*a, "instructor", "employee-nbr",
+                                Value::Int(1001), nullptr)
+                  .ok());
+  ASSERT_TRUE(mapper_->DeleteRole(*a, "instructor", nullptr).ok());
+  // The value is free for reuse.
+  auto b = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(mapper_->SetField(*b, "instructor", "employee-nbr",
+                                Value::Int(1001), nullptr)
+                  .ok());
+}
+
+TEST_P(MapperTest, ExtentIncludesSubclassEntities) {
+  ASSERT_TRUE(mapper_->CreateEntity("person", nullptr).ok());
+  ASSERT_TRUE(mapper_->CreateEntity("student", nullptr).ok());
+  ASSERT_TRUE(mapper_->CreateEntity("teaching-assistant", nullptr).ok());
+  auto person_extent = mapper_->ExtentOf("person");
+  auto student_extent = mapper_->ExtentOf("student");
+  auto instructor_extent = mapper_->ExtentOf("instructor");
+  ASSERT_TRUE(person_extent.ok() && student_extent.ok() &&
+              instructor_extent.ok());
+  EXPECT_EQ(person_extent->size(), 3u);
+  EXPECT_EQ(student_extent->size(), 2u);   // student + TA
+  EXPECT_EQ(instructor_extent->size(), 1u);  // TA only
+}
+
+TEST_P(MapperTest, RequiredCheck) {
+  auto s = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(s.ok());
+  auto missing = mapper_->CheckRequired(*s, "instructor");
+  EXPECT_EQ(missing.code(), StatusCode::kConstraintViolation);
+  ASSERT_TRUE(mapper_->SetField(*s, "instructor", "employee-nbr",
+                                Value::Int(1001), nullptr)
+                  .ok());
+  ASSERT_TRUE(mapper_->SetField(*s, "person", "soc-sec-no", Value::Int(5),
+                                nullptr)
+                  .ok());
+  EXPECT_TRUE(mapper_->CheckRequired(*s, "instructor").ok());
+}
+
+TEST_P(MapperTest, TransactionRollbackRestoresEverything) {
+  TransactionManager manager;
+  auto stu = mapper_->CreateEntity("student", nullptr);
+  auto inst = mapper_->CreateEntity("instructor", nullptr);
+  ASSERT_TRUE(stu.ok() && inst.ok());
+  ASSERT_TRUE(mapper_->SetField(*stu, "person", "name", Value::Str("Before"),
+                                nullptr)
+                  .ok());
+
+  Transaction* txn = manager.Begin();
+  ASSERT_TRUE(
+      mapper_->SetField(*stu, "person", "name", Value::Str("After"), txn)
+          .ok());
+  ASSERT_TRUE(mapper_->SetField(*stu, "person", "soc-sec-no", Value::Int(77),
+                                txn)
+                  .ok());
+  ASSERT_TRUE(mapper_->AddEvaPair("student", "advisor", *stu, *inst, txn).ok());
+  auto extra = mapper_->CreateEntity("course", txn);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(mapper_->AddMvValue(*extra, "course", "credits", Value::Int(3),
+                                  nullptr)
+                  .code() != StatusCode::kOk ||
+              true);  // credits is single-valued; ignore
+  ASSERT_TRUE(manager.Abort(txn).ok());
+
+  // Name restored, unique index entry gone, EVA pair gone, entity gone.
+  auto name = mapper_->GetField(*stu, "person", "name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->ToString(), "Before");
+  auto ssn = mapper_->LookupByIndex("person", "soc-sec-no", Value::Int(77));
+  ASSERT_TRUE(ssn.ok());
+  EXPECT_FALSE(ssn->has_value());
+  auto advisor = mapper_->GetEvaTargets("student", "advisor", *stu);
+  ASSERT_TRUE(advisor.ok());
+  EXPECT_TRUE(advisor->empty());
+  EXPECT_EQ(mapper_->ExtentCount("course").value(), 0u);
+}
+
+TEST_P(MapperTest, MvDvaSeparateUnit) {
+  // courses-offered is an EVA; use a custom schema for MV DVA data ops.
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteDdl("Class Box ("
+                               "  tag: string[8];"
+                               "  bounded: integer mv (max 2, distinct);"
+                               "  unbounded: string mv );")
+                  .ok());
+  auto mapper = (*db)->mapper();
+  ASSERT_TRUE(mapper.ok());
+  auto s = (*mapper)->CreateEntity("Box", nullptr);
+  ASSERT_TRUE(s.ok());
+
+  // Unbounded (separate unit).
+  ASSERT_TRUE((*mapper)
+                  ->AddMvValue(*s, "Box", "unbounded", Value::Str("x"),
+                               nullptr)
+                  .ok());
+  ASSERT_TRUE((*mapper)
+                  ->AddMvValue(*s, "Box", "unbounded", Value::Str("y"),
+                               nullptr)
+                  .ok());
+  auto values = (*mapper)->GetMvValues(*s, "Box", "unbounded");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 2u);
+  ASSERT_TRUE((*mapper)
+                  ->RemoveMvValue(*s, "Box", "unbounded", Value::Str("x"),
+                                  nullptr)
+                  .ok());
+  values = (*mapper)->GetMvValues(*s, "Box", "unbounded");
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].ToString(), "y");
+
+  // Bounded (embedded): distinct de-duplicates, MAX enforced.
+  ASSERT_TRUE((*mapper)
+                  ->AddMvValue(*s, "Box", "bounded", Value::Int(1), nullptr)
+                  .ok());
+  ASSERT_TRUE((*mapper)
+                  ->AddMvValue(*s, "Box", "bounded", Value::Int(1), nullptr)
+                  .ok());  // set semantics: no-op
+  auto bounded = (*mapper)->GetMvValues(*s, "Box", "bounded");
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->size(), 1u);
+  ASSERT_TRUE((*mapper)
+                  ->AddMvValue(*s, "Box", "bounded", Value::Int(2), nullptr)
+                  .ok());
+  auto over =
+      (*mapper)->AddMvValue(*s, "Box", "bounded", Value::Int(3), nullptr);
+  EXPECT_EQ(over.code(), StatusCode::kConstraintViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(MappingPolicies, MapperTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Colocated" : "LucPerClass";
+                         });
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,151 @@
+// The §5.2 cost claims, pinned as deterministic block-access assertions
+// (the benches measure the same quantities over larger populations; these
+// tests keep the claims from regressing).
+
+#include <gtest/gtest.h>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+// Builds a 3-level chain (c1 <- c2 <- c3) with `n` leaf entities.
+std::unique_ptr<Database> BuildChain(bool colocate, int n) {
+  DatabaseOptions options;
+  options.mapping.colocate_tree_hierarchies = colocate;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE((*db)
+                  ->ExecuteDdl("Class c1 ( a1: integer );"
+                               "Subclass c2 of c1 ( a2: integer );"
+                               "Subclass c3 of c2 ( a3: integer );")
+                  .ok());
+  auto mapper = (*db)->mapper();
+  EXPECT_TRUE(mapper.ok());
+  for (int i = 0; i < n; ++i) {
+    auto s = (*mapper)->CreateEntity("c3", nullptr);
+    EXPECT_TRUE(s.ok());
+    for (int level = 1; level <= 3; ++level) {
+      EXPECT_TRUE((*mapper)
+                      ->SetField(*s, "c" + std::to_string(level),
+                                 "a" + std::to_string(level), Value::Int(i),
+                                 nullptr)
+                      .ok());
+    }
+  }
+  return std::move(*db);
+}
+
+// §5.2: "all immediate and inherited single-valued DVAs applicable to a
+// class will be in one physical record" — one cold block per entity read
+// under co-location, one per level otherwise.
+TEST(MappingClaims, HierarchyReadBlocks) {
+  for (bool colocate : {true, false}) {
+    auto db = BuildChain(colocate, 50);
+    auto mapper = *db->mapper();
+    auto extent = *mapper->ExtentOf("c3");
+    ASSERT_FALSE(extent.empty());
+    BufferPool& pool = db->buffer_pool();
+    ASSERT_TRUE(pool.InvalidateAll().ok());
+    pool.ResetStats();
+    SurrogateId s = extent.front();
+    for (int level = 1; level <= 3; ++level) {
+      ASSERT_TRUE(
+          mapper->GetField(s, "c3", "a" + std::to_string(level)).ok());
+    }
+    EXPECT_EQ(pool.stats().misses, colocate ? 1u : 3u)
+        << (colocate ? "colocated" : "per-class");
+  }
+}
+
+// §5.2: "the Mapper will perform one delete instead of the two operations
+// that may be needed otherwise."
+TEST(MappingClaims, DeleteTouchesOneRecordWhenColocated) {
+  auto colocated = BuildChain(true, 20);
+  auto per_class = BuildChain(false, 20);
+  auto m1 = *colocated->mapper();
+  auto m2 = *per_class->mapper();
+  SurrogateId s1 = (*m1->ExtentOf("c3")).front();
+  SurrogateId s2 = (*m2->ExtentOf("c3")).front();
+  colocated->buffer_pool().ResetStats();
+  ASSERT_TRUE(m1->DeleteRole(s1, "c1", nullptr).ok());
+  uint64_t colocated_fetches = colocated->buffer_pool().stats().logical_fetches;
+  per_class->buffer_pool().ResetStats();
+  ASSERT_TRUE(m2->DeleteRole(s2, "c1", nullptr).ok());
+  uint64_t per_class_fetches = per_class->buffer_pool().stats().logical_fetches;
+  EXPECT_LT(colocated_fetches, per_class_fetches);
+}
+
+// §5.2 key-organization ladder for the first relationship instance:
+// direct = 0 blocks, hashed = 1, index-sequential >= 1, and the FK field
+// costs exactly the owner-record read.
+TEST(MappingClaims, FirstInstanceCostLadder) {
+  struct Case {
+    KeyOrganization org;
+    bool fk;
+    uint64_t expected_fetches;
+  };
+  const Case kCases[] = {
+      {KeyOrganization::kDirect, false, 0},
+      {KeyOrganization::kHashed, false, 1},
+      {KeyOrganization::kIndexSequential, false, 1},
+      {KeyOrganization::kIndexSequential, true, 1},  // the owner record
+  };
+  for (const Case& c : kCases) {
+    DatabaseOptions options;
+    options.mapping.eva_structure_org = c.org;
+    if (c.fk) {
+      options.mapping.eva_overrides["student.advisor"] =
+          EvaMapping::kForeignKey;
+    }
+    auto db = sim::testing::OpenUniversity(options);
+    ASSERT_TRUE(db.ok());
+    auto mapper = *(*db)->mapper();
+    auto john =
+        *mapper->LookupByIndex("person", "soc-sec-no", Value::Int(456887766));
+    ASSERT_TRUE(john.has_value());
+    // The §5.2 claim is about I/O: distinct blocks read on a cold cache
+    // (the tree probe touches its one root-leaf page twice, but that is a
+    // buffer hit, not a second block access).
+    ASSERT_TRUE((*db)->buffer_pool().InvalidateAll().ok());
+    (*db)->buffer_pool().ResetStats();
+    auto targets = mapper->GetEvaTargets("student", "advisor", *john);
+    ASSERT_TRUE(targets.ok());
+    ASSERT_EQ(targets->size(), 1u);
+    EXPECT_EQ((*db)->buffer_pool().stats().misses, c.expected_fetches)
+        << "org=" << static_cast<int>(c.org) << " fk=" << c.fk;
+  }
+}
+
+// §5.2: bounded MV DVAs embed in the owner record — reading them costs the
+// same single block as the record; unbounded ones pay per value.
+TEST(MappingClaims, EmbeddedMvDvaReadBlocks) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteDdl("Class Item ("
+                               "  bounded: integer mv (max 4);"
+                               "  unbounded: integer mv );")
+                  .ok());
+  auto mapper = *(*db)->mapper();
+  auto s = *mapper->CreateEntity("Item", nullptr);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        mapper->AddMvValue(s, "Item", "bounded", Value::Int(i), nullptr).ok());
+    ASSERT_TRUE(
+        mapper->AddMvValue(s, "Item", "unbounded", Value::Int(i), nullptr)
+            .ok());
+  }
+  BufferPool& pool = (*db)->buffer_pool();
+  pool.ResetStats();
+  ASSERT_TRUE(mapper->GetMvValues(s, "Item", "bounded").ok());
+  uint64_t embedded_fetches = pool.stats().logical_fetches;
+  pool.ResetStats();
+  ASSERT_TRUE(mapper->GetMvValues(s, "Item", "unbounded").ok());
+  uint64_t separate_fetches = pool.stats().logical_fetches;
+  EXPECT_EQ(embedded_fetches, 1u);
+  EXPECT_GT(separate_fetches, embedded_fetches);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,135 @@
+// §6 extension tests: system-maintained ordering of classes and EVAs, and
+// the §5.1 cursor interfaces (class cursor + relationship cursor).
+
+#include <gtest/gtest.h>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->ExecuteDdl(R"(
+      Class Team ordered by team-name (
+        team-name: string[20];
+        players: player inverse is plays-for mv (ordered by rank desc) );
+      Class Player (
+        player-name: string[20];
+        rank: integer );
+    )")
+                    .ok());
+    ASSERT_TRUE(db_->ExecuteScript(R"(
+      Insert team (team-name := "Zebras").
+      Insert team (team-name := "Aardvarks").
+      Insert team (team-name := "Mules").
+      Insert player (player-name := "low", rank := 1,
+                     plays-for := team with (team-name = "Zebras")).
+      Insert player (player-name := "high", rank := 9,
+                     plays-for := team with (team-name = "Zebras")).
+      Insert player (player-name := "mid", rank := 5,
+                     plays-for := team with (team-name = "Zebras")).
+    )").ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(OrderingTest, ClassExtentFollowsDeclaredOrdering) {
+  // Teams were inserted Z, A, M; the class is ordered by team-name.
+  auto rs = db_->ExecuteQuery("From Team Retrieve team-name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Aardvarks");
+  EXPECT_EQ(rs->rows[1].values[0].ToString(), "Mules");
+  EXPECT_EQ(rs->rows[2].values[0].ToString(), "Zebras");
+}
+
+TEST_F(OrderingTest, EvaTargetsFollowDeclaredOrdering) {
+  // players is ordered by rank desc.
+  auto rs = db_->ExecuteQuery(
+      "From Team Retrieve player-name of players "
+      "Where team-name = \"Zebras\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "high");
+  EXPECT_EQ(rs->rows[1].values[0].ToString(), "mid");
+  EXPECT_EQ(rs->rows[2].values[0].ToString(), "low");
+}
+
+TEST_F(OrderingTest, OrderingValidatedAtFinalize) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  auto s = (*db)->ExecuteDdl(
+      "Class Bad ordered by nonexistent ( x: integer );");
+  EXPECT_FALSE(s.ok());
+  auto db2 = Database::Open();
+  ASSERT_TRUE(db2.ok());
+  s = (*db2)->ExecuteDdl(
+      "Class AlsoBad ( items: thing mv (ordered by nothing) );"
+      "Class Thing ( t: integer );");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(CursorTest, ExtentCursorStreamsClassMembers) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto mapper = (*db)->mapper();
+  ASSERT_TRUE(mapper.ok());
+  auto cursor = (*mapper)->OpenExtentCursor("student");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  int count = 0;
+  while (cursor->Valid()) {
+    ++count;
+    ASSERT_TRUE(cursor->Next().ok());
+  }
+  EXPECT_EQ(count, 3);
+  // The instructor extent includes the TA via the satellite-unit roles.
+  auto instructors = (*mapper)->OpenExtentCursor("instructor");
+  ASSERT_TRUE(instructors.ok());
+  count = 0;
+  while (instructors->Valid()) {
+    ++count;
+    ASSERT_TRUE(instructors->Next().ok());
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(CursorTest, RelationshipCursorDeliversRangeRecords) {
+  // §5.1: "Relationship cursors deliver one record of the range LUC at a
+  // time and the Mapper assumes the responsibility of traversing a
+  // relationship, no matter how it is physically mapped."
+  for (bool fk : {false, true}) {
+    DatabaseOptions options;
+    if (fk) {
+      options.mapping.eva_overrides["student.advisor"] =
+          EvaMapping::kForeignKey;
+    }
+    auto db = sim::testing::OpenUniversity(options);
+    ASSERT_TRUE(db.ok());
+    auto mapper = (*db)->mapper();
+    ASSERT_TRUE(mapper.ok());
+    auto noether =
+        (*mapper)->LookupByIndex("person", "soc-sec-no", Value::Int(900000002));
+    ASSERT_TRUE(noether.ok());
+    ASSERT_TRUE(noether->has_value());
+    auto cursor =
+        (*mapper)->OpenEvaCursor("instructor", "advisees", **noether);
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    ASSERT_EQ(cursor->size(), 1u);
+    ASSERT_TRUE(cursor->Valid());
+    auto record = cursor->ReadRecord();
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_FALSE(record->empty());
+    cursor->Next();
+    EXPECT_FALSE(cursor->Valid());
+    EXPECT_FALSE(cursor->ReadRecord().ok());
+  }
+}
+
+}  // namespace
+}  // namespace sim

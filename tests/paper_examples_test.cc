@@ -1,0 +1,213 @@
+// The seven worked DML examples of paper §4.9, executed end-to-end against
+// the UNIVERSITY database. These are the core behavioural reproduction:
+// each exercises a different language feature (insert with EVA selector,
+// role extension, include/exclude, derived-attribute modify with
+// quantifiers, transitive closure aggregation, extended-attribute
+// selection with outer-joined targets, and multi-perspective entity
+// comparison with ISA).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+using sim::testing::OpenUniversity;
+
+class PaperExamples : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = OpenUniversity();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  Result<ResultSet> Query(const std::string& q) {
+    return db_->ExecuteQuery(q);
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// Example 1: "Insert John Doe as a STUDENT and enroll him in Algebra I."
+// (The fixture already has a John Doe; use a fresh name.)
+TEST_F(PaperExamples, Example1InsertStudent) {
+  auto n = db_->ExecuteUpdate(
+      "Insert student(name := \"John Q. Public\", soc-sec-no := 456887999, "
+      "courses-enrolled := course with (title = \"Algebra I\"))");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+
+  auto rs = Query(
+      "From Student Retrieve Title of Courses-Enrolled "
+      "Where Name = \"John Q. Public\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Algebra I");
+
+  // The new student is also a PERSON (all superclass roles inserted).
+  auto person = Query(
+      "From Person Retrieve soc-sec-no Where Name = \"John Q. Public\"");
+  ASSERT_TRUE(person.ok());
+  ASSERT_EQ(person->rows.size(), 1u);
+  EXPECT_EQ(person->rows[0].values[0].int_value(), 456887999);
+}
+
+// Example 2: "Make John Doe an Instructor too." — role extension with
+// INSERT ... FROM.
+TEST_F(PaperExamples, Example2RoleExtension) {
+  auto n = db_->ExecuteUpdate(
+      "Insert instructor From person Where name = \"John Doe\" "
+      "(employee-nbr := 1729)");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+
+  // John Doe is now in the INSTRUCTOR extent and kept his student role.
+  auto rs = Query(
+      "From Instructor Retrieve employee-nbr Where name = \"John Doe\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 1729);
+  auto student = Query(
+      "From Student Retrieve student-nbr Where name = \"John Doe\"");
+  ASSERT_TRUE(student.ok());
+  ASSERT_EQ(student->rows.size(), 1u);
+  EXPECT_EQ(student->rows[0].values[0].int_value(), 2001);
+
+  // The PROFESSION subrole of the person now reports both roles.
+  auto prof = Query(
+      "From Person Retrieve profession Where name = \"John Doe\"");
+  ASSERT_TRUE(prof.ok()) << prof.status().ToString();
+  std::vector<std::string> roles;
+  for (const Row& r : prof->rows) roles.push_back(r.values[0].ToString());
+  std::sort(roles.begin(), roles.end());
+  ASSERT_EQ(roles.size(), 2u);
+  EXPECT_EQ(roles[0], "instructor");
+  EXPECT_EQ(roles[1], "student");
+}
+
+// Example 3: "Let John Doe drop Algebra I and let Joe Bloke be his
+// advisor." (Our Joe Bloke is Alan Turing.)
+TEST_F(PaperExamples, Example3ExcludeAndReassign) {
+  auto n = db_->ExecuteUpdate(
+      "Modify student ("
+      "  courses-enrolled := exclude courses-enrolled with "
+      "    (title = \"Algebra I\"),"
+      "  advisor := instructor with (name = \"Alan Turing\"))"
+      "Where name of student = \"John Doe\"");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+
+  auto courses = Query(
+      "From Student Retrieve Title of Courses-Enrolled "
+      "Where Name = \"John Doe\"");
+  ASSERT_TRUE(courses.ok());
+  ASSERT_EQ(courses->rows.size(), 1u);
+  EXPECT_EQ(courses->rows[0].values[0].ToString(), "Databases");
+
+  auto advisor = Query(
+      "From Student Retrieve Name of Advisor Where Name = \"John Doe\"");
+  ASSERT_TRUE(advisor.ok());
+  ASSERT_EQ(advisor->rows.size(), 1u);
+  EXPECT_EQ(advisor->rows[0].values[0].ToString(), "Alan Turing");
+
+  // Inverse synchronization: John Doe left Noether's advisee set and
+  // joined Turing's.
+  auto advisees = Query(
+      "From Instructor Retrieve Name of Advisees "
+      "Where Name = \"Emmy Noether\"");
+  ASSERT_TRUE(advisees.ok());
+  ASSERT_EQ(advisees->rows.size(), 1u);
+  EXPECT_TRUE(advisees->rows[0].values[0].is_null());  // outer join dummy
+}
+
+// Example 4: "If an instructor teaches more than 3 courses and advises
+// students from other departments, give him a 10% raise." Adapted to the
+// fixture: more than 1 course. Feynman teaches 2 courses and advises Jane
+// (Physics major, same as his department) -> the NEQ SOME(...) quantifier
+// must evaluate false for him. Noether teaches 2 courses and advises
+// nobody after we move John to her: set up so she advises John (CS major,
+// different from Mathematics) -> raise.
+TEST_F(PaperExamples, Example4QuantifiedModify) {
+  auto n = db_->ExecuteUpdate(
+      "Modify instructor( salary := 1.1 * salary ) "
+      "Where count(courses-taught) of instructor > 1 and "
+      "      assigned-department neq some(major-department of advisees)");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  // Noether: 2 courses, advises John Doe whose major (CS) differs from her
+  // department (Mathematics) -> raise. Feynman: 2 courses, advises Jane
+  // whose major (Physics) equals his department -> no raise. Turing: 1
+  // course -> no raise.
+  EXPECT_EQ(*n, 1);
+  auto rs = Query("From Instructor Retrieve salary "
+                  "Where name = \"Emmy Noether\"");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_NEAR(rs->rows[0].values[0].AsReal(), 66000.0, 1e-6);
+  auto feynman = Query("From Instructor Retrieve salary "
+                       "Where name = \"Richard Feynman\"");
+  ASSERT_TRUE(feynman.ok());
+  EXPECT_NEAR(feynman->rows[0].values[0].AsReal(), 70000.0, 1e-6);
+}
+
+// Example 5: "Find the minimum number of courses that must be completed
+// before one enrolls in Quantum Chromodynamics."
+TEST_F(PaperExamples, Example5TransitiveClosureCount) {
+  auto rs = Query(
+      "From course "
+      "Retrieve count distinct (transitive(prerequisite-of)) "
+      "Where title = \"Quantum Chromodynamics\"");
+  // NOTE: in our fixture `prerequisites` points to what must be taken
+  // first, so the closure below QCD uses `prerequisites`.
+  auto rs2 = Query(
+      "From course "
+      "Retrieve count distinct (transitive(prerequisites)) "
+      "Where title = \"Quantum Chromodynamics\"");
+  ASSERT_TRUE(rs2.ok()) << rs2.status().ToString();
+  ASSERT_EQ(rs2->rows.size(), 1u);
+  // {Calculus II, Physics I, Calculus I, Algebra I}
+  EXPECT_EQ(rs2->rows[0].values[0].int_value(), 4);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 0);  // nothing builds on QCD
+}
+
+// Example 6: "Print the name of each instructor who advises some student
+// from the Physics department and the courses he teaches, if any."
+TEST_F(PaperExamples, Example6ExtendedSelectionOuterTarget) {
+  auto rs = Query(
+      "Retrieve name of instructor, title of courses-taught "
+      "Where name of major-department of advisees = \"Physics\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Feynman advises Jane Roe (Physics); he teaches two courses.
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Richard Feynman");
+  EXPECT_EQ(rs->rows[1].values[0].ToString(), "Richard Feynman");
+  std::vector<std::string> titles = {rs->rows[0].values[1].ToString(),
+                                     rs->rows[1].values[1].ToString()};
+  std::sort(titles.begin(), titles.end());
+  EXPECT_EQ(titles[0], "Physics I");
+  EXPECT_EQ(titles[1], "Quantum Chromodynamics");
+}
+
+// Example 7: "Print student, instructor pairs where the student is older
+// than the instructor and the instructor is not a teaching assistant and
+// is not the student's advisor."
+TEST_F(PaperExamples, Example7MultiPerspectiveIsa) {
+  auto rs = Query(
+      "From student, instructor "
+      "Retrieve name of student, name of Instructor "
+      "Where birthdate of student < birthdate of instructor and "
+      "      advisor of student NEQ instructor and "
+      "      not instructor isa teaching-assistant");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Jane Roe");
+  EXPECT_EQ(rs->rows[0].values[1].ToString(), "Alan Turing");
+}
+
+}  // namespace
+}  // namespace sim

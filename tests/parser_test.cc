@@ -1,0 +1,287 @@
+// Unit tests for the lexer, DDL parser and DML parser.
+
+#include <gtest/gtest.h>
+
+#include "parser/ddl_parser.h"
+#include "parser/dml_parser.h"
+#include "parser/lexer.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+// ----- lexer -----
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  Lexer lexer(text);
+  return lexer.Tokenize();
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  auto tokens = Lex("soc-sec-no of Student");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // ident, ident, ident, end
+  EXPECT_EQ((*tokens)[0].text, "soc-sec-no");
+  EXPECT_EQ((*tokens)[1].text, "of");
+  EXPECT_EQ((*tokens)[2].text, "Student");
+}
+
+TEST(LexerTest, HyphenVsMinus) {
+  auto tokens = Lex("a - b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kMinus);
+  // No spaces: one identifier.
+  tokens = Lex("a-b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 2u);
+  EXPECT_EQ((*tokens)[0].text, "a-b");
+  // Number minus number.
+  tokens = Lex("3-4");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].int_value, 3);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kMinus);
+}
+
+TEST(LexerTest, NumbersAndRanges) {
+  auto tokens = Lex("1001..39999 2.5 42");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 6u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInt);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDotDot);
+  EXPECT_EQ((*tokens)[2].int_value, 39999);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kReal);
+  EXPECT_DOUBLE_EQ((*tokens)[3].real_value, 2.5);
+  EXPECT_EQ((*tokens)[4].int_value, 42);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Lex("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 2u);
+  EXPECT_EQ((*tokens)[0].text, "say \"hi\"");
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+}
+
+TEST(LexerTest, CommentsAndOperators) {
+  auto tokens = Lex("(* a comment *) x := 1 <> 2 <= >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "x");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kAssign);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNeq);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kGe);
+  EXPECT_FALSE(Lex("(* unterminated").ok());
+}
+
+TEST(LexerTest, NeqKeywordBecomesOperator) {
+  auto tokens = Lex("a NEQ b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kNeq);
+}
+
+// ----- DDL parser -----
+
+TEST(DdlParserTest, ParsesUniversitySchema) {
+  auto parsed = DdlParser::Parse(sim::testing::kUniversityDdl, nullptr);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // 2 types + 6 classes.
+  EXPECT_EQ(parsed->size(), 8u);
+}
+
+TEST(DdlParserTest, AttributeOptions) {
+  auto parsed = DdlParser::Parse(
+      "Class C ( a: integer, unique, required;"
+      "          b: string[10] mv (max 5, distinct);"
+      "          c: D inverse is back mv );",
+      nullptr);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ClassDef& def = *(*parsed)[0].class_decl;
+  ASSERT_EQ(def.attributes.size(), 3u);
+  EXPECT_TRUE(def.attributes[0].unique);
+  EXPECT_TRUE(def.attributes[0].required);
+  EXPECT_TRUE(def.attributes[1].mv);
+  EXPECT_TRUE(def.attributes[1].distinct);
+  EXPECT_EQ(def.attributes[1].max_count, 5);
+  EXPECT_TRUE(def.attributes[2].is_eva());
+  EXPECT_EQ(def.attributes[2].range_class, "D");
+  EXPECT_EQ(def.attributes[2].inverse_name, "back");
+  EXPECT_TRUE(def.attributes[2].mv);
+}
+
+TEST(DdlParserTest, VerifyCapturesConditionAndMessage) {
+  auto parsed = DdlParser::Parse(
+      "Verify v1 on Student assert sum(credits of courses-enrolled) >= 12 "
+      "else \"too few\";",
+      nullptr);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const VerifyDef& v = *(*parsed)[0].verify_decl;
+  EXPECT_EQ(v.name, "v1");
+  EXPECT_EQ(v.class_name, "Student");
+  EXPECT_EQ(v.message, "too few");
+  // The condition round-trips through the expression unparser.
+  auto reparsed = DmlParser::ParseExpressionText(v.condition_text);
+  EXPECT_TRUE(reparsed.ok()) << v.condition_text;
+}
+
+TEST(DdlParserTest, Errors) {
+  EXPECT_FALSE(DdlParser::Parse("Class ( x: integer );", nullptr).ok());
+  EXPECT_FALSE(DdlParser::Parse("Klass C ( x: integer );", nullptr).ok());
+  EXPECT_FALSE(DdlParser::Parse("Class C ( x integer );", nullptr).ok());
+  EXPECT_FALSE(
+      DdlParser::Parse("Class C ( x: integer(9..1) );", nullptr).ok());
+  EXPECT_FALSE(DdlParser::Parse("Type t = unknown-type;", nullptr).ok());
+  EXPECT_FALSE(
+      DdlParser::Parse("Class C ( x: integer mv (wrong) );", nullptr).ok());
+}
+
+TEST(DdlParserTest, NamedTypeWithinBatch) {
+  auto parsed = DdlParser::Parse(
+      "Type small = integer (1..5);"
+      "Class C ( x: small );",
+      nullptr);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ClassDef& def = *(*parsed)[1].class_decl;
+  EXPECT_EQ(def.attributes[0].type.kind, DataTypeKind::kInteger);
+  ASSERT_EQ(def.attributes[0].type.ranges.size(), 1u);
+  EXPECT_EQ(def.attributes[0].type.ranges[0].second, 5);
+}
+
+// ----- DML parser -----
+
+Result<StmtPtr> ParseDml(const std::string& text) {
+  return DmlParser::ParseStatement(text);
+}
+
+TEST(DmlParserTest, RetrieveShapes) {
+  auto stmt = ParseDml("From Student Retrieve Name, Name of Advisor");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& q = static_cast<const RetrieveStmt&>(**stmt);
+  ASSERT_EQ(q.perspectives.size(), 1u);
+  EXPECT_EQ(q.perspectives[0].class_name, "Student");
+  EXPECT_EQ(q.targets.size(), 2u);
+  EXPECT_EQ(q.mode, OutputMode::kDefault);
+
+  stmt = ParseDml(
+      "From Student S Retrieve Table Distinct Name Order By Name Desc "
+      "Where student-nbr > 1000.");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& q2 = static_cast<const RetrieveStmt&>(**stmt);
+  EXPECT_EQ(q2.perspectives[0].ref_var, "S");
+  EXPECT_EQ(q2.mode, OutputMode::kTableDistinct);
+  ASSERT_EQ(q2.order_by.size(), 1u);
+  EXPECT_TRUE(q2.order_by[0].descending);
+  ASSERT_NE(q2.where, nullptr);
+}
+
+TEST(DmlParserTest, QualificationChainWithAsAndInverse) {
+  auto stmt = ParseDml(
+      "From Student Retrieve Student-No of Spouse as Student of Student, "
+      "Name of INVERSE(advisor)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& q = static_cast<const RetrieveStmt&>(**stmt);
+  const auto& chain = static_cast<const QualRefExpr&>(*q.targets[0]);
+  ASSERT_EQ(chain.elements.size(), 3u);
+  EXPECT_EQ(chain.elements[1].name, "Spouse");
+  EXPECT_EQ(chain.elements[1].as_class, "Student");
+  const auto& inv = static_cast<const QualRefExpr&>(*q.targets[1]);
+  EXPECT_TRUE(inv.elements[1].inverse);
+}
+
+TEST(DmlParserTest, AggregatesQuantifiersTransitive) {
+  auto stmt = ParseDml(
+      "From course Retrieve count distinct (transitive(prerequisite)) "
+      "Where title = \"Quantum Chromodynamics\"");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& q = static_cast<const RetrieveStmt&>(**stmt);
+  const auto& agg = static_cast<const AggregateExpr&>(*q.targets[0]);
+  EXPECT_EQ(agg.func, AggFunc::kCount);
+  EXPECT_TRUE(agg.distinct);
+  const auto& arg = static_cast<const QualRefExpr&>(*agg.arg);
+  EXPECT_TRUE(arg.elements[0].transitive);
+
+  stmt = ParseDml(
+      "From Department Retrieve AVG(Salary of Instructors-employed) of "
+      "Department");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& q2 = static_cast<const RetrieveStmt&>(**stmt);
+  const auto& avg = static_cast<const AggregateExpr&>(*q2.targets[0]);
+  EXPECT_EQ(avg.func, AggFunc::kAvg);
+  ASSERT_EQ(avg.outer.size(), 1u);
+  EXPECT_EQ(avg.outer[0].name, "Department");
+
+  stmt = ParseDml(
+      "From instructor Retrieve name Where assigned-department neq "
+      "some(major-department of advisees)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(DmlParserTest, UpdateStatements) {
+  auto stmt = ParseDml(
+      "Insert student(name := \"John Doe\", soc-sec-no := 456887766, "
+      "courses-enrolled := course with (title = \"Algebra I\"))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& ins = static_cast<const InsertStmt&>(**stmt);
+  EXPECT_EQ(ins.class_name, "student");
+  ASSERT_EQ(ins.assignments.size(), 3u);
+  EXPECT_FALSE(ins.assignments[0].is_selector);
+  EXPECT_TRUE(ins.assignments[2].is_selector);
+  EXPECT_EQ(ins.assignments[2].with_object, "course");
+
+  stmt = ParseDml(
+      "Insert instructor From person Where name = \"John Doe\" "
+      "(employee-nbr := 1729)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& ext = static_cast<const InsertStmt&>(**stmt);
+  EXPECT_EQ(ext.from_class, "person");
+  ASSERT_NE(ext.from_where, nullptr);
+
+  stmt = ParseDml(
+      "Modify student ("
+      "courses-enrolled := exclude courses-enrolled with (title = \"X\"), "
+      "advisor := instructor with (name = \"Joe Bloke\")) "
+      "Where name of student = \"John Doe\"");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& mod = static_cast<const ModifyStmt&>(**stmt);
+  ASSERT_EQ(mod.assignments.size(), 2u);
+  EXPECT_EQ(mod.assignments[0].mode, Assignment::Mode::kExclude);
+  EXPECT_EQ(mod.assignments[1].mode, Assignment::Mode::kSet);
+
+  stmt = ParseDml("Delete person Where name = \"X\"");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, StmtKind::kDelete);
+}
+
+TEST(DmlParserTest, AssignmentWithColonSpaceEquals) {
+  // The paper's typesetting sometimes splits ':=' into ': ='.
+  auto stmt = ParseDml("Insert person (soc-sec-no : = 1)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(DmlParserTest, ScriptParsesMultipleStatements) {
+  auto script = DmlParser::ParseScript(
+      "Insert person (soc-sec-no := 1). Insert person (soc-sec-no := 2).");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 2u);
+}
+
+TEST(DmlParserTest, Errors) {
+  EXPECT_FALSE(ParseDml("Retrieve").ok());
+  EXPECT_FALSE(ParseDml("From Retrieve x").ok());
+  EXPECT_FALSE(ParseDml("Modify c (x := ) Where y = 1").ok());
+  EXPECT_FALSE(ParseDml("Insert c (x = 1)").ok());  // '=' not ':='
+  EXPECT_FALSE(ParseDml("From c Retrieve x Where (a = 1").ok());
+  EXPECT_FALSE(ParseDml("From c Retrieve x extra junk =").ok());
+}
+
+TEST(DmlParserTest, ExpressionPrecedence) {
+  auto expr = DmlParser::ParseExpressionText("a + b * c < 10 and not d = 1");
+  ASSERT_TRUE(expr.ok());
+  // ((a + (b*c)) < 10) and (not (d = 1))
+  EXPECT_EQ((*expr)->ToText(),
+            "(((a + (b * c)) < 10) and (not (d = 1)))");
+}
+
+}  // namespace
+}  // namespace sim

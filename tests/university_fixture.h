@@ -1,0 +1,167 @@
+#ifndef SIMDB_TESTS_UNIVERSITY_FIXTURE_H_
+#define SIMDB_TESTS_UNIVERSITY_FIXTURE_H_
+
+// The UNIVERSITY schema of paper §7 (Figure 2) plus a small, fully
+// deterministic data set shared by tests, examples and benches.
+
+#include <memory>
+#include <string>
+
+#include "api/database.h"
+#include "common/status.h"
+
+namespace sim::testing {
+
+// §7 schema, verbatim modulo typesetting (the VERIFY declarations are
+// separate so tests can opt in; V1/V2 reject most small data sets).
+inline constexpr const char* kUniversityDdl = R"ddl(
+(* The UNIVERSITY database schema, paper section 7 / Figure 2. *)
+Type degree = symbolic (BS, MBA, MS, PHD);
+Type id-number = integer (1001..39999, 60001..99999);
+
+Class Person (
+  name: string[30];
+  soc-sec-no: integer, unique, required;
+  birthdate: date;
+  spouse: person inverse is spouse;
+  profession: subrole (student, instructor) mv );
+
+Subclass Student of Person (
+  student-nbr: id-number;
+  advisor: instructor inverse is advisees;
+  instructor-status: subrole(teaching-assistant);
+  courses-enrolled: course inverse is students-enrolled mv (distinct);
+  major-department: department );
+
+Subclass Instructor of Person (
+  employee-nbr: id-number unique required;
+  salary: number[9,2];
+  bonus: number[9,2];
+  student-status: subrole(teaching-assistant);
+  advisees: student inverse is advisor mv (max 10);
+  courses-taught: course inverse is teachers mv (max 3, distinct);
+  assigned-department: department inverse is instructors-employed );
+
+Subclass Teaching-Assistant of Student and Instructor (
+  teaching-load: integer (1..20) );
+
+Class Course (
+  course-no: integer (1..9999) unique required;
+  title: string[30] required;
+  credits: integer (1..15) required;
+  students-enrolled: student inverse is courses-enrolled mv;
+  teachers: instructor inverse is courses-taught mv (max 7);
+  prerequisites: course inverse is prerequisite-of mv;
+  prerequisite-of: course inverse is prerequisites mv );
+
+Class Department (
+  dept-nbr: integer(100..999) required unique;
+  name: string[30] required;
+  instructors-employed: instructor inverse is assigned-department mv;
+  courses-offered: course mv );
+)ddl";
+
+// §7 VERIFY declarations.
+inline constexpr const char* kUniversityVerifies = R"ddl(
+Verify v1 on Student
+  assert sum(credits of courses-enrolled) >= 12
+  else "student is taking too few credits";
+Verify v2 on Instructor
+  assert salary + bonus < 100000
+  else "instructor makes too much money";
+)ddl";
+
+// Deterministic sample data:
+//  Departments: Physics(100), Mathematics(101), Computer-Science(102)
+//  Courses: Algebra I(101,4cr) -> Calculus I(102,4) -> Calculus II(103,4)
+//           Physics I(201,6); Quantum Chromodynamics(202,8) with
+//           prerequisites {Calculus II, Physics I}; Databases(301,12)
+//  Instructors: Alan Turing(CS,50000), Emmy Noether(Math,60000),
+//               Richard Feynman(Physics,70000+20000 bonus)
+//  Students: John Doe(Algebra I + Databases, advisor Noether, major CS),
+//            Jane Roe(Physics I + Quantum Chromodynamics, advisor Feynman,
+//                     major Physics, spouse of John Doe)
+//  Teaching assistant: Tom Jones (student + instructor roles, load 4,
+//                      teaches Algebra I, enrolled in Databases).
+inline constexpr const char* kUniversityData = R"dml(
+Insert department (dept-nbr := 100, name := "Physics").
+Insert department (dept-nbr := 101, name := "Mathematics").
+Insert department (dept-nbr := 102, name := "Computer-Science").
+
+Insert course (course-no := 101, title := "Algebra I", credits := 4).
+Insert course (course-no := 102, title := "Calculus I", credits := 4,
+               prerequisites := course with (title = "Algebra I")).
+Insert course (course-no := 103, title := "Calculus II", credits := 4,
+               prerequisites := course with (title = "Calculus I")).
+Insert course (course-no := 201, title := "Physics I", credits := 6).
+Insert course (course-no := 202, title := "Quantum Chromodynamics",
+               credits := 8,
+               prerequisites := course with (title = "Calculus II" or
+                                             title = "Physics I")).
+Insert course (course-no := 301, title := "Databases", credits := 12).
+
+Insert instructor (name := "Alan Turing", soc-sec-no := 900000001,
+                   birthdate := "1912-06-23", employee-nbr := 1001,
+                   salary := 50000,
+                   assigned-department := department with
+                     (name = "Computer-Science"),
+                   courses-taught := course with (title = "Databases")).
+Insert instructor (name := "Emmy Noether", soc-sec-no := 900000002,
+                   birthdate := "1882-03-23", employee-nbr := 1002,
+                   salary := 60000,
+                   assigned-department := department with
+                     (name = "Mathematics"),
+                   courses-taught := course with (title = "Calculus I" or
+                                                  title = "Calculus II")).
+Insert instructor (name := "Richard Feynman", soc-sec-no := 900000003,
+                   birthdate := "1918-05-11", employee-nbr := 1003,
+                   salary := 70000, bonus := 20000,
+                   assigned-department := department with (name = "Physics"),
+                   courses-taught := course with
+                     (title = "Physics I" or
+                      title = "Quantum Chromodynamics")).
+
+Insert student (name := "John Doe", soc-sec-no := 456887766,
+                birthdate := "1960-01-15", student-nbr := 2001,
+                advisor := instructor with (name = "Emmy Noether"),
+                major-department := department with
+                  (name = "Computer-Science"),
+                courses-enrolled := course with (title = "Algebra I" or
+                                                 title = "Databases")).
+Insert student (name := "Jane Roe", soc-sec-no := 456887767,
+                birthdate := "1905-03-20", student-nbr := 2002,
+                advisor := instructor with (name = "Richard Feynman"),
+                major-department := department with (name = "Physics"),
+                courses-enrolled := course with
+                  (title = "Physics I" or
+                   title = "Quantum Chromodynamics"),
+                spouse := person with (name = "John Doe")).
+
+Insert student (name := "Tom Jones", soc-sec-no := 456887768,
+                birthdate := "1958-07-04", student-nbr := 2003,
+                major-department := department with (name = "Mathematics"),
+                courses-enrolled := course with (title = "Databases")).
+Insert teaching-assistant
+  From person Where name = "Tom Jones"
+  (employee-nbr := 1101, salary := 15000, teaching-load := 4,
+   courses-taught := course with (title = "Algebra I"),
+   assigned-department := department with (name = "Mathematics")).
+)dml";
+
+inline Result<std::unique_ptr<Database>> OpenUniversity(
+    DatabaseOptions options = DatabaseOptions(), bool with_data = true,
+    bool with_verifies = false) {
+  SIM_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open(options));
+  SIM_RETURN_IF_ERROR(db->ExecuteDdl(kUniversityDdl));
+  if (with_verifies) {
+    SIM_RETURN_IF_ERROR(db->ExecuteDdl(kUniversityVerifies));
+  }
+  if (with_data) {
+    SIM_RETURN_IF_ERROR(db->ExecuteScript(kUniversityData));
+  }
+  return db;
+}
+
+}  // namespace sim::testing
+
+#endif  // SIMDB_TESTS_UNIVERSITY_FIXTURE_H_

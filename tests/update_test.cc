@@ -1,0 +1,215 @@
+// Update-statement semantics (§4.8): insert with role chains, modify with
+// include/exclude and EVA selectors, delete cascades, statement-level
+// rollback on constraint violations.
+
+#include <gtest/gtest.h>
+
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sim::testing::OpenUniversity();
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  int64_t Count(const std::string& cls) {
+    auto rs = db_->ExecuteQuery("Retrieve count(" + cls + ")");
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs->rows[0].values[0].int_value();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(UpdateTest, InsertRejectsMissingRequired) {
+  // course-no, title and credits are REQUIRED.
+  auto n = db_->ExecuteUpdate("Insert course (title := \"Incomplete\")");
+  EXPECT_EQ(n.status().code(), StatusCode::kConstraintViolation);
+  // Statement rolled back: no partial course remains.
+  EXPECT_EQ(Count("course"), 6);
+}
+
+TEST_F(UpdateTest, InsertRejectsUniqueViolationAtomically) {
+  auto n = db_->ExecuteUpdate(
+      "Insert course (course-no := 101, title := \"Clone\", credits := 4)");
+  EXPECT_EQ(n.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(Count("course"), 6);
+}
+
+TEST_F(UpdateTest, InsertRejectsOutOfRangeValue) {
+  auto n = db_->ExecuteUpdate(
+      "Insert course (course-no := 999999, title := \"X\", credits := 4)");
+  EXPECT_EQ(n.status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Count("course"), 6);
+}
+
+TEST_F(UpdateTest, InsertFromRequiresProperAncestor) {
+  auto n = db_->ExecuteUpdate(
+      "Insert person From student Where name = \"John Doe\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+  n = db_->ExecuteUpdate(
+      "Insert instructor From person Where name = \"No Such Person\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(UpdateTest, ModifyAllEntitiesWithoutWhere) {
+  auto n = db_->ExecuteUpdate("Modify course (credits := 5)");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 6);
+  auto rs = db_->ExecuteQuery("Retrieve Table Distinct credits of course");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST_F(UpdateTest, ModifyInheritedAttributeThroughSubclass) {
+  // §4.8: "All immediate and inherited attributes ... can be modified in
+  // one statement."
+  auto n = db_->ExecuteUpdate(
+      "Modify student (name := \"J. Doe\", student-nbr := 2100) "
+      "Where soc-sec-no = 456887766");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  auto rs = db_->ExecuteQuery(
+      "From Person Retrieve name Where soc-sec-no = 456887766");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "J. Doe");
+}
+
+TEST_F(UpdateTest, EvaSetToNullClears) {
+  auto n = db_->ExecuteUpdate(
+      "Modify student (advisor := null) Where name = \"John Doe\"");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  auto rs = db_->ExecuteQuery(
+      "From Student Retrieve Name of Advisor Where Name = \"John Doe\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows[0].values[0].is_null());
+}
+
+TEST_F(UpdateTest, IncludeOnSingleValuedEvaRejected) {
+  auto n = db_->ExecuteUpdate(
+      "Modify student (advisor := include instructor with "
+      "(name = \"Alan Turing\")) Where name = \"John Doe\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(UpdateTest, SelectorMustNameRangeClass) {
+  auto n = db_->ExecuteUpdate(
+      "Modify student (advisor := department with (name = \"Physics\")) "
+      "Where name = \"John Doe\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, SingleEvaSelectorMustPickOneEntity) {
+  auto n = db_->ExecuteUpdate(
+      "Modify student (advisor := instructor with (salary > 0)) "
+      "Where name = \"John Doe\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(UpdateTest, ExcludeMustNameTheEvaItself) {
+  auto n = db_->ExecuteUpdate(
+      "Modify student (courses-enrolled := exclude course with "
+      "(title = \"Algebra I\")) Where name = \"John Doe\"");
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, DeleteStudentKeepsPerson) {
+  auto n = db_->ExecuteUpdate("Delete student Where name = \"Jane Roe\"");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(Count("student"), 2);
+  EXPECT_EQ(Count("person"), 6);
+  // Her enrollments are gone: QCD has no students now.
+  auto rs = db_->ExecuteQuery(
+      "From Course Retrieve count(students-enrolled) of Course "
+      "Where title = \"Quantum Chromodynamics\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 0);
+  // Her spouse link vanished too (spouse was on the PERSON role — it
+  // stays, since spouse belongs to Person, not Student).
+  rs = db_->ExecuteQuery(
+      "From Person Retrieve Name of Spouse Where Name = \"Jane Roe\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "John Doe");
+}
+
+TEST_F(UpdateTest, DeletePersonCascadesToAllRoles) {
+  // §4.8: "if an entity of PERSON is deleted, it will also be deleted from
+  // STUDENT, INSTRUCTOR and TEACHING-ASSISTANT classes".
+  auto n = db_->ExecuteUpdate("Delete person Where name = \"Tom Jones\"");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(Count("person"), 5);
+  EXPECT_EQ(Count("student"), 2);
+  EXPECT_EQ(Count("instructor"), 3);
+  EXPECT_EQ(Count("teaching-assistant"), 0);
+  // Algebra I lost its teacher.
+  auto rs = db_->ExecuteQuery(
+      "From Course Retrieve count(teachers) of Course "
+      "Where title = \"Algebra I\"");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 0);
+}
+
+TEST_F(UpdateTest, DeleteWithoutWhereDeletesExtent) {
+  auto n = db_->ExecuteUpdate("Delete student");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3);
+  EXPECT_EQ(Count("student"), 0);
+  EXPECT_EQ(Count("teaching-assistant"), 0);
+  EXPECT_EQ(Count("person"), 6);
+}
+
+TEST_F(UpdateTest, ExplicitTransactionGroupsStatements) {
+  ASSERT_TRUE(db_->Begin().ok());
+  ASSERT_TRUE(db_->ExecuteUpdate("Delete student Where name = \"John Doe\"")
+                  .ok());
+  ASSERT_TRUE(
+      db_->ExecuteUpdate(
+             "Insert department (dept-nbr := 200, name := \"History\")")
+          .ok());
+  EXPECT_EQ(Count("department"), 4);
+  ASSERT_TRUE(db_->Rollback().ok());
+  EXPECT_EQ(Count("student"), 3);
+  EXPECT_EQ(Count("department"), 3);
+}
+
+TEST_F(UpdateTest, FailedStatementInsideTransactionKeepsEarlierWork) {
+  ASSERT_TRUE(db_->Begin().ok());
+  ASSERT_TRUE(
+      db_->ExecuteUpdate(
+             "Insert department (dept-nbr := 200, name := \"History\")")
+          .ok());
+  // This fails (duplicate dept-nbr) and must roll back only itself.
+  auto bad = db_->ExecuteUpdate(
+      "Insert department (dept-nbr := 100, name := \"Duplicate\")");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(Count("department"), 4);
+  ASSERT_TRUE(db_->Commit().ok());
+  EXPECT_EQ(Count("department"), 4);
+}
+
+TEST_F(UpdateTest, ModifySwapsUniqueValuesViaIntermediate) {
+  // Unique enforcement is per-write: a direct swap needs an intermediate
+  // value, matching classic DBMS behaviour.
+  auto n = db_->ExecuteUpdate(
+      "Modify person (soc-sec-no := 1) Where soc-sec-no = 900000001");
+  ASSERT_TRUE(n.ok());
+  n = db_->ExecuteUpdate(
+      "Modify person (soc-sec-no := 900000001) Where soc-sec-no = 900000002");
+  ASSERT_TRUE(n.ok());
+  n = db_->ExecuteUpdate(
+      "Modify person (soc-sec-no := 900000002) Where soc-sec-no = 1");
+  ASSERT_TRUE(n.ok());
+  auto rs = db_->ExecuteQuery(
+      "From Person Retrieve name Where soc-sec-no = 900000001");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Emmy Noether");
+}
+
+}  // namespace
+}  // namespace sim

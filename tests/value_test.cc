@@ -1,0 +1,132 @@
+// Unit tests for Value, TriBool and date handling.
+
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/tribool.h"
+
+namespace sim {
+namespace {
+
+TEST(ValueTest, TypeAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_EQ(Value::Real(2.5).real_value(), 2.5);
+  EXPECT_EQ(Value::Str("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Surrogate(7).surrogate_value(), 7u);
+  EXPECT_EQ(Value::Date(0).date_value(), 0);
+}
+
+TEST(ValueTest, NumericCoercionInCompare) {
+  auto c = Value::Int(3).Compare(Value::Real(3.0));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+  c = Value::Int(3).Compare(Value::Real(3.5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+}
+
+TEST(ValueTest, CrossTypeComparisonIsTypeError) {
+  auto c = Value::Int(3).Compare(Value::Str("3"));
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kTypeError);
+  c = Value::Date(5).Compare(Value::Int(5));
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(ValueTest, EqualsIsThreeValued) {
+  auto eq = Value::Null().Equals(Value::Int(1));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, TriBool::kUnknown);
+  eq = Value::Int(1).Equals(Value::Int(1));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*eq, TriBool::kTrue);
+}
+
+TEST(ValueTest, StrictEqualsTreatsNullsEqual) {
+  EXPECT_TRUE(Value::Null().StrictEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().StrictEquals(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(3).StrictEquals(Value::Real(3.0)));
+  EXPECT_FALSE(Value::Str("a").StrictEquals(Value::Str("b")));
+  // Different non-numeric types are unequal, not errors.
+  EXPECT_FALSE(Value::Str("1").StrictEquals(Value::Int(1)));
+}
+
+TEST(ValueTest, HashConsistentWithStrictEquals) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Str("xyz").Hash(), Value::Str("xyz").Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "?");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Str("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Surrogate(9).ToString(), "#9");
+  EXPECT_EQ(Value::Date(DaysFromCivil(1988, 6, 1)).ToString(), "1988-06-01");
+}
+
+TEST(TriBoolTest, KleeneTables) {
+  using enum TriBool;
+  EXPECT_EQ(TriAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TriAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TriAnd(kTrue, kTrue), kTrue);
+  EXPECT_EQ(TriOr(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(TriOr(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(TriOr(kFalse, kFalse), kFalse);
+  EXPECT_EQ(TriNot(kUnknown), kUnknown);
+  EXPECT_EQ(TriNot(kTrue), kFalse);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, ParseFormats) {
+  auto iso = ParseDate("1988-06-01");
+  ASSERT_TRUE(iso.ok());
+  auto us = ParseDate("6/1/1988");
+  ASSERT_TRUE(us.ok());
+  EXPECT_EQ(*iso, *us);
+  EXPECT_FALSE(ParseDate("1988-02-30").ok());
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("1988-13-01").ok());
+}
+
+// Property: civil -> days -> civil round-trips across a broad sweep.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, RoundTrips) {
+  int year = GetParam();
+  static const int kDays[] = {1, 15, 28};
+  for (int month = 1; month <= 12; ++month) {
+    for (int day : kDays) {
+      int64_t days = DaysFromCivil(year, month, day);
+      int y, m, d;
+      CivilFromDays(days, &y, &m, &d);
+      EXPECT_EQ(y, year);
+      EXPECT_EQ(m, month);
+      EXPECT_EQ(d, day);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTrip,
+                         ::testing::Values(1900, 1970, 1988, 2000, 2024, 2100,
+                                           1600, 2400));
+
+TEST(DateTest, LeapYearRules) {
+  EXPECT_TRUE(IsValidCivilDate(2000, 2, 29));   // divisible by 400
+  EXPECT_FALSE(IsValidCivilDate(1900, 2, 29));  // divisible by 100 only
+  EXPECT_TRUE(IsValidCivilDate(1988, 2, 29));   // divisible by 4
+  EXPECT_FALSE(IsValidCivilDate(1989, 2, 29));
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,119 @@
+// View mechanism (§6 "work under progress includes the design of a view
+// mechanism"): predicate-defined views over a class, usable as
+// perspectives in Retrieve/Modify/Delete; the predicate is conjoined into
+// the selection.
+
+#include <gtest/gtest.h>
+
+#include "catalog/ddl_render.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->ExecuteDdl(sim::testing::kUniversityDdl).ok());
+    ASSERT_TRUE(db_->ExecuteDdl(R"(
+      View Senior-Instructor of Instructor Where salary >= 60000;
+      View Physics-Student of Student
+        Where name of major-department = "Physics";
+    )")
+                    .ok());
+    ASSERT_TRUE(db_->ExecuteScript(sim::testing::kUniversityData).ok());
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ViewTest, RetrieveThroughView) {
+  auto rs = db_->ExecuteQuery(
+      "From Senior-Instructor Retrieve Name Order By Name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);  // Noether 60000, Feynman 70000
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Emmy Noether");
+  EXPECT_EQ(rs->rows[1].values[0].ToString(), "Richard Feynman");
+}
+
+TEST_F(ViewTest, ViewPredicateWithEvaTraversal) {
+  auto rs = db_->ExecuteQuery("From Physics-Student Retrieve Name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Jane Roe");
+}
+
+TEST_F(ViewTest, ViewComposesWithUserSelection) {
+  auto rs = db_->ExecuteQuery(
+      "From Senior-Instructor Retrieve Name Where bonus > 0");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);  // only Feynman has a bonus
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Richard Feynman");
+}
+
+TEST_F(ViewTest, ViewNameQualifiesAttributes) {
+  auto rs = db_->ExecuteQuery(
+      "From Senior-Instructor Retrieve Name of Senior-Instructor, "
+      "Name of assigned-department of Senior-Instructor "
+      "Where Name of Senior-Instructor = \"Richard Feynman\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[1].ToString(), "Physics");
+}
+
+TEST_F(ViewTest, ModifyAndDeleteThroughView) {
+  auto n = db_->ExecuteUpdate(
+      "Modify Senior-Instructor (bonus := 100) Where name = \"Emmy Noether\"");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  // Turing (50000) is outside the view: modifying him through it is a
+  // no-op selection.
+  n = db_->ExecuteUpdate(
+      "Modify Senior-Instructor (bonus := 100) Where name = \"Alan Turing\"");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+  // Delete through the view removes only members (instructor role only).
+  n = db_->ExecuteUpdate("Delete Senior-Instructor");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2);
+  auto rs = db_->ExecuteQuery("Retrieve count(instructor)");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 2);  // Turing + TA remain
+}
+
+TEST_F(ViewTest, InsertThroughViewRejected) {
+  auto n = db_->ExecuteUpdate(
+      "Insert Senior-Instructor (soc-sec-no := 1, employee-nbr := 1999)");
+  EXPECT_EQ(n.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(ViewTest, ViewsRenderAndReparse) {
+  std::string ddl = RenderSchemaDdl(db_->catalog());
+  EXPECT_NE(ddl.find("View Senior-Instructor of Instructor"),
+            std::string::npos);
+  auto db2 = Database::Open();
+  ASSERT_TRUE(db2.ok());
+  ASSERT_TRUE((*db2)->ExecuteDdl(ddl).ok()) << ddl;
+  EXPECT_TRUE((*db2)->catalog().HasView("senior-instructor"));
+}
+
+TEST_F(ViewTest, ViewNameCollisionsRejected) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("Class C ( x: integer );").ok());
+  EXPECT_FALSE((*db)->ExecuteDdl("View C of C Where x > 0;").ok());
+  EXPECT_FALSE((*db)->ExecuteDdl("View V of Nowhere Where x > 0;").ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("View V of C Where x > 0;").ok());
+  EXPECT_FALSE((*db)->ExecuteDdl("Class V ( y: integer );").ok());
+}
+
+TEST_F(ViewTest, AggregateOverView) {
+  auto rs = db_->ExecuteQuery("Retrieve count(senior-instructor)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0].values[0].int_value(), 2);
+}
+
+}  // namespace
+}  // namespace sim
