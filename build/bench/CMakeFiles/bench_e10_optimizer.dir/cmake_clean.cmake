@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_optimizer.dir/bench_e10_optimizer.cc.o"
+  "CMakeFiles/bench_e10_optimizer.dir/bench_e10_optimizer.cc.o.d"
+  "bench_e10_optimizer"
+  "bench_e10_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_hierarchy_mapping.dir/bench_e4_hierarchy_mapping.cc.o"
+  "CMakeFiles/bench_e4_hierarchy_mapping.dir/bench_e4_hierarchy_mapping.cc.o.d"
+  "bench_e4_hierarchy_mapping"
+  "bench_e4_hierarchy_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_hierarchy_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_integrity.dir/bench_e7_integrity.cc.o"
+  "CMakeFiles/bench_e7_integrity.dir/bench_e7_integrity.cc.o.d"
+  "bench_e7_integrity"
+  "bench_e7_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_adds_dictionary.dir/bench_e8_adds_dictionary.cc.o"
+  "CMakeFiles/bench_e8_adds_dictionary.dir/bench_e8_adds_dictionary.cc.o.d"
+  "bench_e8_adds_dictionary"
+  "bench_e8_adds_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_adds_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

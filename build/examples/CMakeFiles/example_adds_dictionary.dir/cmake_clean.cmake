@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adds_dictionary.dir/adds_dictionary.cc.o"
+  "CMakeFiles/example_adds_dictionary.dir/adds_dictionary.cc.o.d"
+  "example_adds_dictionary"
+  "example_adds_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adds_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

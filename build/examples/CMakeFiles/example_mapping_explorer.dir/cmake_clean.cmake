@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mapping_explorer.dir/mapping_explorer.cc.o"
+  "CMakeFiles/example_mapping_explorer.dir/mapping_explorer.cc.o.d"
+  "example_mapping_explorer"
+  "example_mapping_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mapping_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

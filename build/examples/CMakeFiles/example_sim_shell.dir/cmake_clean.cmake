@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sim_shell.dir/sim_shell.cc.o"
+  "CMakeFiles/example_sim_shell.dir/sim_shell.cc.o.d"
+  "example_sim_shell"
+  "example_sim_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sim_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_university_registrar.dir/university_registrar.cc.o"
+  "CMakeFiles/example_university_registrar.dir/university_registrar.cc.o.d"
+  "example_university_registrar"
+  "example_university_registrar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_university_registrar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

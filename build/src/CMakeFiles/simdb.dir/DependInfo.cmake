@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/database.cc" "src/CMakeFiles/simdb.dir/api/database.cc.o" "gcc" "src/CMakeFiles/simdb.dir/api/database.cc.o.d"
+  "/root/repo/src/api/dump.cc" "src/CMakeFiles/simdb.dir/api/dump.cc.o" "gcc" "src/CMakeFiles/simdb.dir/api/dump.cc.o.d"
+  "/root/repo/src/catalog/ddl_render.cc" "src/CMakeFiles/simdb.dir/catalog/ddl_render.cc.o" "gcc" "src/CMakeFiles/simdb.dir/catalog/ddl_render.cc.o.d"
+  "/root/repo/src/catalog/directory.cc" "src/CMakeFiles/simdb.dir/catalog/directory.cc.o" "gcc" "src/CMakeFiles/simdb.dir/catalog/directory.cc.o.d"
+  "/root/repo/src/catalog/luc_translation.cc" "src/CMakeFiles/simdb.dir/catalog/luc_translation.cc.o" "gcc" "src/CMakeFiles/simdb.dir/catalog/luc_translation.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/simdb.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/simdb.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/types.cc" "src/CMakeFiles/simdb.dir/catalog/types.cc.o" "gcc" "src/CMakeFiles/simdb.dir/catalog/types.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/simdb.dir/common/date.cc.o" "gcc" "src/CMakeFiles/simdb.dir/common/date.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/simdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/simdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/simdb.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/simdb.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/tribool.cc" "src/CMakeFiles/simdb.dir/common/tribool.cc.o" "gcc" "src/CMakeFiles/simdb.dir/common/tribool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/simdb.dir/common/value.cc.o" "gcc" "src/CMakeFiles/simdb.dir/common/value.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/simdb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/simdb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/CMakeFiles/simdb.dir/exec/expr_eval.cc.o" "gcc" "src/CMakeFiles/simdb.dir/exec/expr_eval.cc.o.d"
+  "/root/repo/src/exec/integrity.cc" "src/CMakeFiles/simdb.dir/exec/integrity.cc.o" "gcc" "src/CMakeFiles/simdb.dir/exec/integrity.cc.o.d"
+  "/root/repo/src/exec/output.cc" "src/CMakeFiles/simdb.dir/exec/output.cc.o" "gcc" "src/CMakeFiles/simdb.dir/exec/output.cc.o.d"
+  "/root/repo/src/exec/update_exec.cc" "src/CMakeFiles/simdb.dir/exec/update_exec.cc.o" "gcc" "src/CMakeFiles/simdb.dir/exec/update_exec.cc.o.d"
+  "/root/repo/src/luc/luc.cc" "src/CMakeFiles/simdb.dir/luc/luc.cc.o" "gcc" "src/CMakeFiles/simdb.dir/luc/luc.cc.o.d"
+  "/root/repo/src/luc/mapper.cc" "src/CMakeFiles/simdb.dir/luc/mapper.cc.o" "gcc" "src/CMakeFiles/simdb.dir/luc/mapper.cc.o.d"
+  "/root/repo/src/luc/relationship.cc" "src/CMakeFiles/simdb.dir/luc/relationship.cc.o" "gcc" "src/CMakeFiles/simdb.dir/luc/relationship.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/simdb.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/simdb.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/simdb.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/simdb.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/simdb.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/simdb.dir/optimizer/stats.cc.o.d"
+  "/root/repo/src/parser/ast.cc" "src/CMakeFiles/simdb.dir/parser/ast.cc.o" "gcc" "src/CMakeFiles/simdb.dir/parser/ast.cc.o.d"
+  "/root/repo/src/parser/ddl_parser.cc" "src/CMakeFiles/simdb.dir/parser/ddl_parser.cc.o" "gcc" "src/CMakeFiles/simdb.dir/parser/ddl_parser.cc.o.d"
+  "/root/repo/src/parser/dml_parser.cc" "src/CMakeFiles/simdb.dir/parser/dml_parser.cc.o" "gcc" "src/CMakeFiles/simdb.dir/parser/dml_parser.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/simdb.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/simdb.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/token.cc" "src/CMakeFiles/simdb.dir/parser/token.cc.o" "gcc" "src/CMakeFiles/simdb.dir/parser/token.cc.o.d"
+  "/root/repo/src/semantics/binder.cc" "src/CMakeFiles/simdb.dir/semantics/binder.cc.o" "gcc" "src/CMakeFiles/simdb.dir/semantics/binder.cc.o.d"
+  "/root/repo/src/semantics/query_tree.cc" "src/CMakeFiles/simdb.dir/semantics/query_tree.cc.o" "gcc" "src/CMakeFiles/simdb.dir/semantics/query_tree.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/simdb.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/simdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/CMakeFiles/simdb.dir/storage/hash_index.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/hash_index.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/simdb.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/simdb.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/simdb.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/record_codec.cc" "src/CMakeFiles/simdb.dir/storage/record_codec.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/record_codec.cc.o.d"
+  "/root/repo/src/storage/txn.cc" "src/CMakeFiles/simdb.dir/storage/txn.cc.o" "gcc" "src/CMakeFiles/simdb.dir/storage/txn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/simdb.dir/common/tribool.cc.o: \
+ /root/repo/src/common/tribool.cc /usr/include/stdc-predef.h \
+ /root/repo/src/common/tribool.h

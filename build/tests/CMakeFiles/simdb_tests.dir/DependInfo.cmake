@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api_test.cc" "tests/CMakeFiles/simdb_tests.dir/api_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/api_test.cc.o.d"
+  "/root/repo/tests/binder_test.cc" "tests/CMakeFiles/simdb_tests.dir/binder_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/binder_test.cc.o.d"
+  "/root/repo/tests/bptree_test.cc" "tests/CMakeFiles/simdb_tests.dir/bptree_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/bptree_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/simdb_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/consistency_stress_test.cc" "tests/CMakeFiles/simdb_tests.dir/consistency_stress_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/consistency_stress_test.cc.o.d"
+  "/root/repo/tests/database_smoke_test.cc" "tests/CMakeFiles/simdb_tests.dir/database_smoke_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/database_smoke_test.cc.o.d"
+  "/root/repo/tests/derived_test.cc" "tests/CMakeFiles/simdb_tests.dir/derived_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/derived_test.cc.o.d"
+  "/root/repo/tests/dump_test.cc" "tests/CMakeFiles/simdb_tests.dir/dump_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/dump_test.cc.o.d"
+  "/root/repo/tests/executor_edge_test.cc" "tests/CMakeFiles/simdb_tests.dir/executor_edge_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/executor_edge_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/simdb_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/functions_test.cc" "tests/CMakeFiles/simdb_tests.dir/functions_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/functions_test.cc.o.d"
+  "/root/repo/tests/hash_index_test.cc" "tests/CMakeFiles/simdb_tests.dir/hash_index_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/hash_index_test.cc.o.d"
+  "/root/repo/tests/integrity_test.cc" "tests/CMakeFiles/simdb_tests.dir/integrity_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/integrity_test.cc.o.d"
+  "/root/repo/tests/luc_translation_test.cc" "tests/CMakeFiles/simdb_tests.dir/luc_translation_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/luc_translation_test.cc.o.d"
+  "/root/repo/tests/mapper_test.cc" "tests/CMakeFiles/simdb_tests.dir/mapper_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/mapper_test.cc.o.d"
+  "/root/repo/tests/mapping_claims_test.cc" "tests/CMakeFiles/simdb_tests.dir/mapping_claims_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/mapping_claims_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/simdb_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/ordering_cursor_test.cc" "tests/CMakeFiles/simdb_tests.dir/ordering_cursor_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/ordering_cursor_test.cc.o.d"
+  "/root/repo/tests/paper_examples_test.cc" "tests/CMakeFiles/simdb_tests.dir/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/paper_examples_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/simdb_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/simdb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/strings_test.cc" "tests/CMakeFiles/simdb_tests.dir/strings_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/strings_test.cc.o.d"
+  "/root/repo/tests/update_test.cc" "tests/CMakeFiles/simdb_tests.dir/update_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/update_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/simdb_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/view_test.cc" "tests/CMakeFiles/simdb_tests.dir/view_test.cc.o" "gcc" "tests/CMakeFiles/simdb_tests.dir/view_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
