@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and run the full test suite twice — a plain
+# build and an ASan+UBSan build. Usage: scripts/check.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs" "$@"
+
+echo "== sanitized build (ASan + UBSan) =="
+cmake -B build-asan -S . -DASAN=ON >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs" "$@"
+
+echo "All checks passed."

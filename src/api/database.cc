@@ -7,6 +7,17 @@ namespace sim {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
+Database::~Database() {
+  // Clean close. Skipped when a transaction is still open: its uncommitted
+  // work must not become durable. Every step is best-effort — on failure
+  // the WAL simply keeps its replay work for the next Open's recovery.
+  if (wal_ == nullptr || current_txn_ != nullptr || pool_ == nullptr) return;
+  if (!pool_->FlushAll().ok()) return;
+  if (wal_->empty()) return;
+  if (!wal_->AppendCommit().ok()) return;
+  (void)wal_->Checkpoint(io_pager());
+}
+
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   auto db = std::unique_ptr<Database>(new Database(options));
@@ -17,8 +28,34 @@ Result<std::unique_ptr<Database>> Database::Open(
                          FilePager::Open(options.file_path));
     db->pager_ = std::move(pager);
   }
-  db->pool_ = std::make_unique<BufferPool>(db->pager_.get(),
-                                           options.buffer_pool_frames);
+  if (options.fault_injector != nullptr) {
+    db->fault_pager_ = std::make_unique<FaultInjectingPager>(
+        db->pager_.get(), options.fault_injector);
+  }
+  if (!options.file_path.empty()) {
+    // WAL mode: scan the log and replay anything a previous crash left
+    // committed-but-unapplied before the first page is read.
+    SIM_ASSIGN_OR_RETURN(
+        db->wal_, WriteAheadLog::Open(options.file_path,
+                                      options.fault_injector));
+    SIM_ASSIGN_OR_RETURN(db->recovered_pages_,
+                         db->wal_->Recover(db->io_pager()));
+  }
+  db->pool_ = std::make_unique<BufferPool>(
+      db->io_pager(), options.buffer_pool_frames, db->wal_.get());
+  // Durability hook: a transaction is committed once its dirty pages and a
+  // commit record are durable in the WAL. The in-place checkpoint is an
+  // optimization and must NOT fail the commit — the data is already safe.
+  Database* raw = db.get();
+  db->txn_manager_.set_commit_hook([raw](Transaction*) -> Status {
+    if (raw->wal_ == nullptr) return Status::Ok();
+    SIM_RETURN_IF_ERROR(raw->pool_->FlushAll());
+    SIM_RETURN_IF_ERROR(raw->wal_->AppendCommit());
+    if (raw->wal_->size_bytes() > raw->options_.wal_checkpoint_bytes) {
+      (void)raw->wal_->Checkpoint(raw->io_pager());
+    }
+    return Status::Ok();
+  });
   return db;
 }
 
@@ -142,7 +179,13 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
     return result.status();
   }
   if (implicit_txn) {
-    SIM_RETURN_IF_ERROR(txn_manager_.Commit(txn));
+    Status committed = txn_manager_.Commit(txn);
+    if (!committed.ok()) {
+      // Commit could not be made durable; roll the statement back so the
+      // in-memory state matches what recovery will reconstruct.
+      (void)txn_manager_.Abort(txn);
+      return committed;
+    }
   }
   return result->entities_affected;
 }
@@ -189,7 +232,13 @@ Status Database::ExecuteScript(std::string_view dml_script) {
       }
       return result.status();
     }
-    if (implicit_txn) SIM_RETURN_IF_ERROR(txn_manager_.Commit(txn));
+    if (implicit_txn) {
+      Status committed = txn_manager_.Commit(txn);
+      if (!committed.ok()) {
+        (void)txn_manager_.Abort(txn);
+        return committed;
+      }
+    }
   }
   return Status::Ok();
 }
@@ -208,6 +257,10 @@ Status Database::Commit() {
     return Status::InvalidArgument("no active transaction");
   }
   Status s = txn_manager_.Commit(current_txn_);
+  if (!s.ok()) {
+    // Durability failed; undo the transaction so memory and disk agree.
+    (void)txn_manager_.Abort(current_txn_);
+  }
   current_txn_ = nullptr;
   return s;
 }

@@ -35,8 +35,10 @@
 #include "optimizer/optimizer.h"
 #include "semantics/binder.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault_pager.h"
 #include "storage/pager.h"
 #include "storage/txn.h"
+#include "storage/wal.h"
 
 namespace sim {
 
@@ -50,12 +52,28 @@ struct DatabaseOptions {
   bool use_optimizer = true;
   // Path of a backing database file; empty runs fully in memory.
   std::string file_path;
+  // File-backed databases run in WAL mode: committed page images are
+  // copied from the log into the database file once the log exceeds this
+  // size (and at clean close). 0 checkpoints after every commit.
+  uint64_t wal_checkpoint_bytes = 1u << 20;
+  // When set, every database-file and WAL operation consults this
+  // injector, so crash-safety tests can script deterministic fault
+  // schedules. Not owned; must outlive the Database.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class Database {
  public:
+  // Opens a database. For a file-backed database this also opens the
+  // write-ahead log and runs crash recovery: committed page images left in
+  // the log by a previous crash are replayed into the file first.
   static Result<std::unique_ptr<Database>> Open(
       const DatabaseOptions& options = DatabaseOptions());
+
+  // Clean close: flushes and checkpoints the WAL (file-backed, no open
+  // transaction). Best-effort — failures leave replay work for the next
+  // Open, never an inconsistent file.
+  ~Database();
 
   // --- schema definition ---
 
@@ -95,6 +113,10 @@ class Database {
   Result<LucMapper*> mapper();  // builds the physical layer on first use
   BufferPool& buffer_pool() { return *pool_; }
   Pager& pager() { return *pager_; }
+  // Null for in-memory databases.
+  WriteAheadLog* wal() { return wal_.get(); }
+  // Pages replayed from the WAL by recovery during Open.
+  uint64_t recovered_pages() const { return recovered_pages_; }
   const DatabaseOptions& options() const { return options_; }
   Executor::ExecStats last_exec_stats() const { return last_exec_stats_; }
   const AccessPlan& last_plan() const { return last_plan_; }
@@ -105,10 +127,19 @@ class Database {
   // Builds physical schema + mapper + integrity checker if not yet built.
   Status EnsureMapper();
 
+  // The pager all I/O goes through: the fault-injecting wrapper when one
+  // is installed, else the raw pager.
+  Pager* io_pager() {
+    return fault_pager_ != nullptr ? fault_pager_.get() : pager_.get();
+  }
+
   DatabaseOptions options_;
   DirectoryManager dir_;
   std::unique_ptr<Pager> pager_;
+  std::unique_ptr<FaultInjectingPager> fault_pager_;
+  std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<BufferPool> pool_;
+  uint64_t recovered_pages_ = 0;
   std::unique_ptr<PhysicalSchema> phys_;
   std::unique_ptr<LucMapper> mapper_;
   std::unique_ptr<IntegrityChecker> integrity_;

@@ -7,11 +7,12 @@ namespace sim {
 
 namespace {
 
-// Node layout:
+// Node layout (after the common page header at kPageDataStart):
 //   leaf:     [u8 1][u16 n][u32 next][entries: u16 klen, key, u64 value]
 //   internal: [u8 0][u16 n][u32 child0][entries: u16 klen, key, u32 child]
-constexpr size_t kLeafHeader = 1 + 2 + 4;
-constexpr size_t kInternalHeader = 1 + 2 + 4;
+constexpr size_t kNodeStart = kPageDataStart;
+constexpr size_t kLeafHeader = kNodeStart + 1 + 2 + 4;
+constexpr size_t kInternalHeader = kNodeStart + 1 + 2 + 4;
 // Leave headroom so a node can temporarily hold one oversized entry set
 // before splitting.
 constexpr size_t kNodeCapacity = kPageSize;
@@ -48,15 +49,15 @@ Result<BPlusTree> BPlusTree::Create(BufferPool* pool, std::string name) {
 }
 
 Result<bool> BPlusTree::IsLeafPage(const char* data) {
-  uint8_t kind = static_cast<uint8_t>(data[0]);
+  uint8_t kind = static_cast<uint8_t>(data[kNodeStart]);
   if (kind > 1) return Status::Internal("corrupt b+tree node tag");
   return kind == 1;
 }
 
 void BPlusTree::EncodeLeaf(const LeafNode& node, char* data) {
-  data[0] = 1;
-  PutU16At(data + 1, static_cast<uint16_t>(node.keys.size()));
-  PutU32At(data + 3, node.next);
+  data[kNodeStart] = 1;
+  PutU16At(data + kNodeStart + 1, static_cast<uint16_t>(node.keys.size()));
+  PutU32At(data + kNodeStart + 3, node.next);
   char* p = data + kLeafHeader;
   for (size_t i = 0; i < node.keys.size(); ++i) {
     PutU16At(p, static_cast<uint16_t>(node.keys[i].size()));
@@ -69,9 +70,9 @@ void BPlusTree::EncodeLeaf(const LeafNode& node, char* data) {
 }
 
 Status BPlusTree::DecodeLeaf(const char* data, LeafNode* node) {
-  if (data[0] != 1) return Status::Internal("not a leaf node");
-  uint16_t n = GetU16At(data + 1);
-  node->next = GetU32At(data + 3);
+  if (data[kNodeStart] != 1) return Status::Internal("not a leaf node");
+  uint16_t n = GetU16At(data + kNodeStart + 1);
+  node->next = GetU32At(data + kNodeStart + 3);
   node->keys.clear();
   node->values.clear();
   node->keys.reserve(n);
@@ -89,9 +90,9 @@ Status BPlusTree::DecodeLeaf(const char* data, LeafNode* node) {
 }
 
 void BPlusTree::EncodeInternal(const InternalNode& node, char* data) {
-  data[0] = 0;
-  PutU16At(data + 1, static_cast<uint16_t>(node.keys.size()));
-  PutU32At(data + 3, node.children[0]);
+  data[kNodeStart] = 0;
+  PutU16At(data + kNodeStart + 1, static_cast<uint16_t>(node.keys.size()));
+  PutU32At(data + kNodeStart + 3, node.children[0]);
   char* p = data + kInternalHeader;
   for (size_t i = 0; i < node.keys.size(); ++i) {
     PutU16At(p, static_cast<uint16_t>(node.keys[i].size()));
@@ -104,13 +105,13 @@ void BPlusTree::EncodeInternal(const InternalNode& node, char* data) {
 }
 
 Status BPlusTree::DecodeInternal(const char* data, InternalNode* node) {
-  if (data[0] != 0) return Status::Internal("not an internal node");
-  uint16_t n = GetU16At(data + 1);
+  if (data[kNodeStart] != 0) return Status::Internal("not an internal node");
+  uint16_t n = GetU16At(data + kNodeStart + 1);
   node->keys.clear();
   node->children.clear();
   node->keys.reserve(n);
   node->children.reserve(n + 1);
-  node->children.push_back(GetU32At(data + 3));
+  node->children.push_back(GetU32At(data + kNodeStart + 3));
   const char* p = data + kInternalHeader;
   for (uint16_t i = 0; i < n; ++i) {
     uint16_t klen = GetU16At(p);

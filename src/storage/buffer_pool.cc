@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "storage/wal.h"
+
 namespace sim {
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
@@ -33,11 +35,35 @@ void PageHandle::Release() {
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity_frames) : pager_(pager) {
+BufferPool::BufferPool(Pager* pager, size_t capacity_frames,
+                       WriteAheadLog* wal)
+    : pager_(pager), wal_(wal) {
   frames_.resize(capacity_frames);
   for (auto& f : frames_) {
     f.data = std::make_unique<char[]>(kPageSize);
   }
+}
+
+Status BufferPool::WriteBack(Frame& f) {
+  StampPageChecksum(f.data.get());
+  // WAL-before-data: in WAL mode the image goes to the log; the in-place
+  // write to the database file is deferred to checkpoint/recovery, which
+  // only runs on committed images.
+  if (wal_ != nullptr) return wal_->AppendPageImage(f.page_id, f.data.get());
+  return pager_->Write(f.page_id, f.data.get());
+}
+
+Status BufferPool::ReadPage(PageId id, char* out) {
+  if (wal_ != nullptr && wal_->HasImage(id)) {
+    // ReadImage verifies the checksum itself.
+    return wal_->ReadImage(id, out);
+  }
+  SIM_RETURN_IF_ERROR(pager_->Read(id, out));
+  if (!PageChecksumOk(out)) {
+    return Status::IoError("checksum mismatch on page " + std::to_string(id) +
+                           " (torn or corrupt write)");
+  }
+  return Status::Ok();
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
@@ -52,7 +78,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   ++stats_.misses;
   SIM_ASSIGN_OR_RETURN(int frame, GetVictimFrame());
   Frame& f = frames_[frame];
-  SIM_RETURN_IF_ERROR(pager_->Read(id, f.data.get()));
+  SIM_RETURN_IF_ERROR(ReadPage(id, f.data.get()));
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
@@ -78,7 +104,7 @@ Result<PageHandle> BufferPool::New() {
 Status BufferPool::FlushAll() {
   for (auto& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
-      SIM_RETURN_IF_ERROR(pager_->Write(f.page_id, f.data.get()));
+      SIM_RETURN_IF_ERROR(WriteBack(f));
       f.dirty = false;
     }
   }
@@ -90,7 +116,7 @@ Status BufferPool::InvalidateAll() {
     Frame& f = frames_[i];
     if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
     if (f.dirty) {
-      SIM_RETURN_IF_ERROR(pager_->Write(f.page_id, f.data.get()));
+      SIM_RETURN_IF_ERROR(WriteBack(f));
       ++stats_.dirty_writebacks;
     }
     page_to_frame_.erase(f.page_id);
@@ -125,7 +151,7 @@ Result<int> BufferPool::GetVictimFrame() {
   Frame& f = frames_[victim];
   if (f.page_id != kInvalidPageId) {
     if (f.dirty) {
-      SIM_RETURN_IF_ERROR(pager_->Write(f.page_id, f.data.get()));
+      SIM_RETURN_IF_ERROR(WriteBack(f));
       ++stats_.dirty_writebacks;
     }
     page_to_frame_.erase(f.page_id);

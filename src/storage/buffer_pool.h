@@ -20,6 +20,7 @@
 namespace sim {
 
 class BufferPool;
+class WriteAheadLog;
 
 // RAII pin on a buffered page. While a handle is alive the frame cannot be
 // evicted. Handles are movable but not copyable.
@@ -61,7 +62,12 @@ class BufferPool {
     uint64_t dirty_writebacks = 0;
   };
 
-  BufferPool(Pager* pager, size_t capacity_frames);
+  // When `wal` is non-null the pool runs in WAL mode: dirty pages are
+  // written back as page images APPENDED to the log (never in place — the
+  // database file is only written by WAL checkpoint/recovery), and misses
+  // on pages whose newest image lives in the log are served from it.
+  BufferPool(Pager* pager, size_t capacity_frames,
+             WriteAheadLog* wal = nullptr);
 
   // Pins page `id`, reading it from the pager on a miss.
   Result<PageHandle> Fetch(PageId id);
@@ -80,6 +86,7 @@ class BufferPool {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
   Pager* pager() { return pager_; }
+  WriteAheadLog* wal() { return wal_; }
   size_t capacity() const { return frames_.size(); }
 
  private:
@@ -96,8 +103,15 @@ class BufferPool {
   void Unpin(int frame);
   // Picks an unpinned frame to reuse, writing back if dirty.
   Result<int> GetVictimFrame();
+  // Stamps the page checksum and writes the frame to the WAL (WAL mode)
+  // or the pager.
+  Status WriteBack(Frame& f);
+  // Reads page `id` into `out` from the WAL image if one exists, else the
+  // pager, and verifies its checksum.
+  Status ReadPage(PageId id, char* out);
 
   Pager* pager_;
+  WriteAheadLog* wal_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, int> page_to_frame_;
   uint64_t tick_ = 0;

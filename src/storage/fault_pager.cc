@@ -1,0 +1,86 @@
+#include "storage/fault_pager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sim {
+
+Status FaultInjector::Check(Op op, uint64_t seen, size_t intended_bytes,
+                            size_t* allowed_bytes) {
+  if (allowed_bytes != nullptr) *allowed_bytes = 0;
+  if (dead_) {
+    return Status::IoError("injected fault: device is gone (post-crash)");
+  }
+  for (const Fault& f : faults_) {
+    if (f.op != op || f.at != seen) continue;
+    ++stats_.faults_fired;
+    if (f.fatal) dead_ = true;
+    if (op == Op::kWrite && f.torn_bytes >= 0 && allowed_bytes != nullptr) {
+      *allowed_bytes = std::min(static_cast<size_t>(f.torn_bytes),
+                                intended_bytes);
+      return Status::IoError("injected fault: torn write (" +
+                             std::to_string(*allowed_bytes) + " of " +
+                             std::to_string(intended_bytes) + " bytes)");
+    }
+    switch (op) {
+      case Op::kWrite:
+        return Status::IoError("injected fault: write failed");
+      case Op::kSync:
+        return Status::IoError("injected fault: sync failed");
+      case Op::kRead:
+        return Status::IoError("injected fault: read failed");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::BeginWrite(size_t intended_bytes,
+                                 size_t* allowed_bytes) {
+  ++stats_.writes_seen;
+  return Check(Op::kWrite, stats_.writes_seen, intended_bytes, allowed_bytes);
+}
+
+Status FaultInjector::BeginSync() {
+  ++stats_.syncs_seen;
+  return Check(Op::kSync, stats_.syncs_seen, 0, nullptr);
+}
+
+Status FaultInjector::BeginRead() {
+  ++stats_.reads_seen;
+  return Check(Op::kRead, stats_.reads_seen, 0, nullptr);
+}
+
+Status FaultInjectingPager::Read(PageId id, char* out) {
+  SIM_RETURN_IF_ERROR(injector_->BeginRead());
+  return base_->Read(id, out);
+}
+
+Status FaultInjectingPager::Write(PageId id, const char* data) {
+  size_t allowed = 0;
+  Status s = injector_->BeginWrite(kPageSize, &allowed);
+  if (s.ok()) return base_->Write(id, data);
+  if (allowed > 0 && id < base_->page_count()) {
+    // Torn write: the first `allowed` bytes of the new image land on disk,
+    // the rest of the page keeps its previous content.
+    char mixed[kPageSize];
+    if (!base_->Read(id, mixed).ok()) std::memset(mixed, 0, kPageSize);
+    std::memcpy(mixed, data, allowed);
+    (void)base_->Write(id, mixed);
+  }
+  return s;
+}
+
+Result<PageId> FaultInjectingPager::Allocate() {
+  // Extending the file is a write; a fault here models the extension
+  // never reaching the disk.
+  size_t allowed = 0;
+  SIM_RETURN_IF_ERROR(injector_->BeginWrite(kPageSize, &allowed));
+  return base_->Allocate();
+}
+
+Status FaultInjectingPager::Sync() {
+  SIM_RETURN_IF_ERROR(injector_->BeginSync());
+  return base_->Sync();
+}
+
+}  // namespace sim

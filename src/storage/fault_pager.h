@@ -1,0 +1,110 @@
+#ifndef SIMDB_STORAGE_FAULT_PAGER_H_
+#define SIMDB_STORAGE_FAULT_PAGER_H_
+
+// Deterministic fault injection for crash-safety testing. A FaultInjector
+// holds a scriptable plan ("fail the 3rd write, persisting only the first
+// 100 bytes", "fail the 2nd sync") and global operation counters. Both the
+// FaultInjectingPager decorator (database file I/O) and the write-ahead
+// log (log appends and fsyncs) consult the same injector, so one plan
+// describes a crash point anywhere in the combined I/O sequence and a test
+// can sweep "crash at operation N" without killing the process.
+//
+// A fatal fault (the default) leaves the injector "dead": every subsequent
+// operation fails, modelling the process disappearing at that point. The
+// test then discards the Database and reopens the file, which runs
+// recovery. Non-fatal faults fail a single operation and let execution
+// continue, modelling a transient I/O error.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace sim {
+
+class FaultInjector {
+ public:
+  enum class Op { kWrite, kSync, kRead };
+
+  struct Fault {
+    Op op = Op::kWrite;
+    // Fires on the Nth matching operation (1-based) counted across every
+    // consumer of this injector.
+    uint64_t at = 0;
+    // For kWrite: >= 0 persists only the first `torn_bytes` bytes of the
+    // payload before failing (a torn write); -1 persists nothing.
+    int torn_bytes = -1;
+    // Fatal faults kill the injector: all later operations fail too.
+    bool fatal = true;
+  };
+
+  struct Stats {
+    uint64_t writes_seen = 0;
+    uint64_t syncs_seen = 0;
+    uint64_t reads_seen = 0;
+    uint64_t faults_fired = 0;
+  };
+
+  void Schedule(Fault fault) { faults_.push_back(fault); }
+  // Convenience forms used by the crash sweep.
+  void FailNthWrite(uint64_t n, int torn_bytes = -1, bool fatal = true) {
+    Schedule({Op::kWrite, n, torn_bytes, fatal});
+  }
+  void FailNthSync(uint64_t n, bool fatal = true) {
+    Schedule({Op::kSync, n, -1, fatal});
+  }
+  void FailNthRead(uint64_t n, bool fatal = true) {
+    Schedule({Op::kRead, n, -1, fatal});
+  }
+
+  // Called by consumers before performing an operation. A non-OK status
+  // means the operation must fail; for writes, *allowed_bytes is set to
+  // how much of the payload to persist anyway (0 = nothing) given
+  // `intended_bytes` were going to be written.
+  Status BeginWrite(size_t intended_bytes, size_t* allowed_bytes);
+  Status BeginSync();
+  Status BeginRead();
+
+  bool dead() const { return dead_; }
+  const Stats& stats() const { return stats_; }
+
+  // Forgets the plan and revives the injector; counters keep running.
+  void Clear() {
+    faults_.clear();
+    dead_ = false;
+  }
+
+ private:
+  Status Check(Op op, uint64_t seen, size_t intended_bytes,
+               size_t* allowed_bytes);
+
+  std::vector<Fault> faults_;
+  Stats stats_;
+  bool dead_ = false;
+};
+
+// Pager decorator forwarding to `base` unless the injector vetoes the
+// operation. Torn page writes are materialized by splicing the allowed
+// prefix of the new image over the old on-disk image, exactly what a
+// power-cut mid-pwrite leaves behind.
+class FaultInjectingPager : public Pager {
+ public:
+  FaultInjectingPager(Pager* base, FaultInjector* injector)
+      : base_(base), injector_(injector) {}
+
+  Status Read(PageId id, char* out) override;
+  Status Write(PageId id, const char* data) override;
+  Result<PageId> Allocate() override;
+  uint32_t page_count() const override { return base_->page_count(); }
+  Status Sync() override;
+
+ private:
+  Pager* base_;
+  FaultInjector* injector_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_FAULT_PAGER_H_

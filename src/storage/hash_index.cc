@@ -7,8 +7,10 @@ namespace sim {
 
 namespace {
 
-// Bucket page layout: [u16 n][u32 overflow][entries: u16 klen, key, u64 val]
-constexpr size_t kBucketHeader = 2 + 4;
+// Bucket page layout, after the common page header at kPageDataStart:
+//   [u16 n][u32 overflow][entries: u16 klen, key, u64 val]
+constexpr size_t kBucketStart = kPageDataStart;
+constexpr size_t kBucketHeader = kBucketStart + 2 + 4;
 
 struct BucketPage {
   std::vector<std::string> keys;
@@ -18,8 +20,8 @@ struct BucketPage {
 
 void EncodeBucket(const BucketPage& b, char* data) {
   uint16_t n = static_cast<uint16_t>(b.keys.size());
-  std::memcpy(data, &n, 2);
-  std::memcpy(data + 2, &b.overflow, 4);
+  std::memcpy(data + kBucketStart, &n, 2);
+  std::memcpy(data + kBucketStart + 2, &b.overflow, 4);
   char* p = data + kBucketHeader;
   for (size_t i = 0; i < b.keys.size(); ++i) {
     uint16_t klen = static_cast<uint16_t>(b.keys[i].size());
@@ -34,8 +36,8 @@ void EncodeBucket(const BucketPage& b, char* data) {
 
 void DecodeBucket(const char* data, BucketPage* b) {
   uint16_t n;
-  std::memcpy(&n, data, 2);
-  std::memcpy(&b->overflow, data + 2, 4);
+  std::memcpy(&n, data + kBucketStart, 2);
+  std::memcpy(&b->overflow, data + kBucketStart + 2, 4);
   b->keys.clear();
   b->values.clear();
   const char* p = data + kBucketHeader;

@@ -1,13 +1,60 @@
 #include "storage/page.h"
 
+#include <array>
 #include <cstring>
 #include <vector>
 
 namespace sim {
 
 namespace {
+
 constexpr size_t kSlotEntrySize = 4;
+// Slotted header fields live right after the common page header.
+constexpr size_t kSlotCountPos = kPageDataStart + 0;
+constexpr size_t kFreeEndPos = kPageDataStart + 2;
+constexpr size_t kGarbagePos = kPageDataStart + 4;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
 }  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void StampPageChecksum(char* page) {
+  uint32_t crc = Crc32(page + 4, kPageSize - 4);
+  std::memcpy(page, &crc, 4);
+}
+
+bool PageChecksumOk(const char* page) {
+  uint32_t stored;
+  std::memcpy(&stored, page, 4);
+  uint32_t actual = Crc32(page + 4, kPageSize - 4);
+  if (stored == actual) return true;
+  if (stored != 0) return false;
+  // Never-stamped pages are valid only when fully zero.
+  for (size_t i = 4; i < kPageSize; ++i) {
+    if (page[i] != 0) return false;
+  }
+  return true;
+}
 
 uint16_t SlottedPage::ReadU16(size_t off) const {
   uint16_t v;
@@ -22,17 +69,17 @@ void SlottedPage::WriteU16(size_t off, uint16_t v) {
 void SlottedPage::Initialize(char* data) {
   std::memset(data, 0, kPageSize);
   SlottedPage page(data);
-  page.WriteU16(0, 0);                                   // slot_count
-  page.WriteU16(2, static_cast<uint16_t>(kPageSize));    // free_end
-  page.WriteU16(4, 0);                                   // garbage bytes
+  page.WriteU16(kSlotCountPos, 0);
+  page.WriteU16(kFreeEndPos, static_cast<uint16_t>(kPageSize));
+  page.WriteU16(kGarbagePos, 0);
 }
 
-int SlottedPage::slot_count() const { return ReadU16(0); }
+int SlottedPage::slot_count() const { return ReadU16(kSlotCountPos); }
 
 int SlottedPage::FreeSpaceForNewRecord() const {
   int slots = slot_count();
-  int free_end = ReadU16(2);
-  int garbage = ReadU16(4);
+  int free_end = ReadU16(kFreeEndPos);
+  int garbage = ReadU16(kGarbagePos);
   int directory_end = static_cast<int>(kHeaderSize + slots * kSlotEntrySize);
   int contiguous = free_end - directory_end;
   int total = contiguous + garbage;
@@ -58,20 +105,20 @@ Result<int> SlottedPage::Insert(std::string_view record) {
   bool new_slot = slot < 0;
   if (new_slot) slot = slots;
 
-  int free_end = ReadU16(2);
+  int free_end = ReadU16(kFreeEndPos);
   int directory_end = static_cast<int>(
       kHeaderSize + (slots + (new_slot ? 1 : 0)) * kSlotEntrySize);
   if (free_end - directory_end < len) {
     Compact();
-    free_end = ReadU16(2);
+    free_end = ReadU16(kFreeEndPos);
     if (free_end - directory_end < len) {
       return Status::IoError("record does not fit in page after compaction");
     }
   }
   int offset = free_end - len;
   std::memcpy(data_ + offset, record.data(), len);
-  WriteU16(2, static_cast<uint16_t>(offset));
-  if (new_slot) WriteU16(0, static_cast<uint16_t>(slots + 1));
+  WriteU16(kFreeEndPos, static_cast<uint16_t>(offset));
+  if (new_slot) WriteU16(kSlotCountPos, static_cast<uint16_t>(slots + 1));
   WriteU16(SlotOffsetPos(slot), static_cast<uint16_t>(offset));
   WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(len));
   return slot;
@@ -95,7 +142,7 @@ Status SlottedPage::Delete(int slot) {
   uint16_t len = ReadU16(SlotLengthPos(slot));
   WriteU16(SlotOffsetPos(slot), 0);
   WriteU16(SlotLengthPos(slot), 0);
-  WriteU16(4, static_cast<uint16_t>(ReadU16(4) + len));
+  WriteU16(kGarbagePos, static_cast<uint16_t>(ReadU16(kGarbagePos) + len));
   return Status::Ok();
 }
 
@@ -109,18 +156,20 @@ Status SlottedPage::Update(int slot, std::string_view record) {
   if (record.size() <= old_len) {
     std::memcpy(data_ + offset, record.data(), record.size());
     WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(record.size()));
-    WriteU16(4, static_cast<uint16_t>(ReadU16(4) + (old_len - record.size())));
+    WriteU16(kGarbagePos,
+             static_cast<uint16_t>(ReadU16(kGarbagePos) +
+                                   (old_len - record.size())));
     return Status::Ok();
   }
   // Grow: delete then re-insert into the same slot.
   SIM_RETURN_IF_ERROR(Delete(slot));
   int slots = slot_count();
-  int free_end = ReadU16(2);
+  int free_end = ReadU16(kFreeEndPos);
   int directory_end = static_cast<int>(kHeaderSize + slots * kSlotEntrySize);
   int len = static_cast<int>(record.size());
   if (free_end - directory_end < len) {
     Compact();
-    free_end = ReadU16(2);
+    free_end = ReadU16(kFreeEndPos);
     if (free_end - directory_end < len) {
       // Restore nothing: caller treats this as "move the record elsewhere".
       return Status::IoError("updated record does not fit in page");
@@ -128,7 +177,7 @@ Status SlottedPage::Update(int slot, std::string_view record) {
   }
   int new_offset = free_end - len;
   std::memcpy(data_ + new_offset, record.data(), len);
-  WriteU16(2, static_cast<uint16_t>(new_offset));
+  WriteU16(kFreeEndPos, static_cast<uint16_t>(new_offset));
   WriteU16(SlotOffsetPos(slot), static_cast<uint16_t>(new_offset));
   WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(len));
   return Status::Ok();
@@ -159,8 +208,8 @@ void SlottedPage::Compact() {
     WriteU16(SlotOffsetPos(slot), static_cast<uint16_t>(free_end));
     WriteU16(SlotLengthPos(slot), static_cast<uint16_t>(bytes.size()));
   }
-  WriteU16(2, static_cast<uint16_t>(free_end));
-  WriteU16(4, 0);
+  WriteU16(kFreeEndPos, static_cast<uint16_t>(free_end));
+  WriteU16(kGarbagePos, 0);
 }
 
 }  // namespace sim

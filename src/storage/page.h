@@ -6,6 +6,18 @@
 // slotted layout implemented here. The page is the unit of "block access"
 // accounting that the optimizer cost model and the §5.2 mapping experiments
 // observe.
+//
+// Every page reserves a common header in its first kPageHeaderSize bytes:
+//
+//   [ u32 checksum | u32 reserved ]
+//
+// The checksum is a CRC32 over bytes [4, kPageSize) stamped by the buffer
+// pool / WAL just before the page goes to durable storage, and verified
+// when a page comes back from it, so a torn in-place write is detected on
+// read instead of being interpreted as data. An all-zero page (freshly
+// allocated, never written) is also considered valid. Structure-specific
+// layouts (slotted page, B+-tree node, hash bucket) start at
+// kPageDataStart.
 
 #include <cstdint>
 #include <string_view>
@@ -19,15 +31,32 @@ inline constexpr size_t kPageSize = 4096;
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFF;
 
+// Common durable-page header: u32 CRC32 of bytes [4, kPageSize), u32
+// reserved (always zero for now).
+inline constexpr size_t kPageHeaderSize = 8;
+inline constexpr size_t kPageDataStart = kPageHeaderSize;
+
+// CRC32 (IEEE 802.3 polynomial, the zlib/PNG crc) over `len` bytes.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// Computes and stores the checksum of `page` in its header.
+void StampPageChecksum(char* page);
+
+// True when the stored checksum matches the page contents, or when the
+// whole page is zero (allocated but never written).
+bool PageChecksumOk(const char* page);
+
 // A view over one page of memory, arranged as:
 //
 //   [ u16 slot_count | u16 free_end | u16 garbage | slot directory ... ]
 //   [ ...free space... | record data grows from the page end ]
 //
+// laid out after the common page header (kPageDataStart).
+//
 // Each slot directory entry is {u16 offset, u16 length}; offset 0 marks a
-// tombstoned slot (the page header occupies offset 0, so no record can
-// legitimately start there). Slot numbers are stable across deletes, which
-// lets RecordIds remain valid for the lifetime of a record.
+// tombstoned slot (the page and slotted headers occupy the low offsets, so
+// no record can legitimately start at 0). Slot numbers are stable across
+// deletes, which lets RecordIds remain valid for the lifetime of a record.
 class SlottedPage {
  public:
   // Wraps existing page memory; does not take ownership.
@@ -69,7 +98,8 @@ class SlottedPage {
   // Rewrites all live records contiguously at the page end.
   void Compact();
 
-  static constexpr size_t kHeaderSize = 6;
+  // Common page header plus the slotted header fields.
+  static constexpr size_t kHeaderSize = kPageDataStart + 6;
 
   char* data_;
 };

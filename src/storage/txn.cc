@@ -22,9 +22,15 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (!txn->active()) {
     return Status::InvalidArgument("transaction is not active");
   }
+  if (commit_hook_) {
+    // Durability first: if the WAL commit record cannot be made durable
+    // the transaction stays active and the caller aborts it.
+    SIM_RETURN_IF_ERROR(commit_hook_(txn));
+  }
   txn->undo_log_.clear();
   txn->state_ = Transaction::State::kCommitted;
   ++committed_;
+  Forget(txn);
   return Status::Ok();
 }
 
@@ -35,7 +41,19 @@ Status TransactionManager::Abort(Transaction* txn) {
   Status result = txn->RollbackTo(0);
   txn->state_ = Transaction::State::kAborted;
   ++aborted_;
+  Forget(txn);
   return result;
+}
+
+void TransactionManager::Forget(Transaction* txn) {
+  // Committed/aborted transactions are destroyed immediately; retaining
+  // them forever leaked the whole undo history of the session.
+  for (auto it = txns_.begin(); it != txns_.end(); ++it) {
+    if (it->get() == txn) {
+      txns_.erase(it);
+      return;
+    }
+  }
 }
 
 }  // namespace sim

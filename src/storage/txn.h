@@ -51,20 +51,35 @@ class Transaction {
 
 class TransactionManager {
  public:
-  // Starts a new transaction. The manager retains ownership.
+  // Runs at the start of Commit, before the transaction is marked
+  // committed — the durability hook. The Database installs one that
+  // flushes dirty pages to the write-ahead log and fsyncs a commit
+  // record; a failure fails the commit (the transaction stays active so
+  // the caller can abort it).
+  using CommitHook = std::function<Status(Transaction*)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  // Starts a new transaction. The manager owns it until Commit/Abort,
+  // which destroys it (only the counters survive).
   Transaction* Begin();
 
-  // Discards the undo log and marks the transaction committed.
+  // Runs the commit hook, then discards the undo log and destroys the
+  // transaction. `txn` is invalid after an OK return.
   Status Commit(Transaction* txn);
 
-  // Replays the undo log in reverse and marks the transaction aborted.
+  // Replays the undo log in reverse, then destroys the transaction.
+  // `txn` is invalid after this returns.
   Status Abort(Transaction* txn);
 
   uint64_t committed_count() const { return committed_; }
   uint64_t aborted_count() const { return aborted_; }
+  size_t active_count() const { return txns_.size(); }
 
  private:
+  void Forget(Transaction* txn);
+
   std::vector<std::unique_ptr<Transaction>> txns_;
+  CommitHook commit_hook_;
   uint64_t next_id_ = 1;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;

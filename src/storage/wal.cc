@@ -1,0 +1,247 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace sim {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x53494D57;  // "SIMW"
+constexpr uint8_t kPageImageFrame = 1;
+constexpr uint8_t kCommitFrame = 2;
+// [u32 magic][u8 type][u32 page_id][u64 lsn][u32 payload_len]
+constexpr size_t kFrameHeader = 4 + 1 + 4 + 8 + 4;
+constexpr size_t kFrameTrailer = 4;  // u32 crc32 over [4, end-of-payload)
+
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& db_path, FaultInjector* injector) {
+  std::string path = db_path + ".wal";
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto wal = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(path), fd, injector));
+  SIM_RETURN_IF_ERROR(wal->Scan());
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WriteAheadLog::Scan() {
+  off_t file_size = ::lseek(fd_, 0, SEEK_END);
+  if (file_size < 0) return Status::IoError("cannot seek WAL " + path_);
+  std::string buf;
+  buf.resize(static_cast<size_t>(file_size));
+  size_t got = 0;
+  while (got < buf.size()) {
+    ssize_t n = ::pread(fd_, buf.data() + got, buf.size() - got,
+                        static_cast<off_t>(got));
+    if (n <= 0) return Status::IoError("cannot read WAL " + path_);
+    got += static_cast<size_t>(n);
+  }
+
+  std::map<PageId, uint64_t> images;
+  uint64_t commit_end = 0;
+  uint64_t max_lsn = 0;
+  size_t off = 0;
+  while (off + kFrameHeader + kFrameTrailer <= buf.size()) {
+    const char* frame = buf.data() + off;
+    if (GetU32(frame) != kWalMagic) break;
+    uint8_t type = static_cast<uint8_t>(frame[4]);
+    PageId page_id = GetU32(frame + 5);
+    uint64_t lsn = GetU64(frame + 9);
+    uint32_t payload_len = GetU32(frame + 17);
+    if (type == kPageImageFrame) {
+      if (payload_len != kPageSize) break;
+    } else if (type == kCommitFrame) {
+      if (payload_len != 0) break;
+    } else {
+      break;
+    }
+    size_t frame_len = kFrameHeader + payload_len + kFrameTrailer;
+    if (off + frame_len > buf.size()) break;  // torn tail
+    uint32_t crc = Crc32(frame + 4, kFrameHeader - 4 + payload_len);
+    if (crc != GetU32(frame + kFrameHeader + payload_len)) break;
+    if (lsn > max_lsn) max_lsn = lsn;
+    if (type == kPageImageFrame) {
+      images[page_id] = off + kFrameHeader;
+    } else {
+      committed_ = images;
+      commit_end = off + frame_len;
+    }
+    off += frame_len;
+  }
+  // Everything past the last complete commit record — torn frames and
+  // uncommitted images alike — is discarded: appends resume there.
+  append_off_ = commit_end;
+  latest_ = committed_;
+  stats_.truncated_tail_bytes +=
+      static_cast<uint64_t>(file_size) - commit_end;
+  next_lsn_ = max_lsn + 1;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::WriteFrame(uint8_t type, PageId id, const char* payload,
+                                 size_t payload_len) {
+  size_t frame_len = kFrameHeader + payload_len + kFrameTrailer;
+  std::vector<char> frame(frame_len);
+  PutU32(frame.data(), kWalMagic);
+  frame[4] = static_cast<char>(type);
+  PutU32(frame.data() + 5, id);
+  PutU64(frame.data() + 9, next_lsn_);
+  PutU32(frame.data() + 17, static_cast<uint32_t>(payload_len));
+  if (payload_len > 0) {
+    std::memcpy(frame.data() + kFrameHeader, payload, payload_len);
+  }
+  uint32_t crc = Crc32(frame.data() + 4, kFrameHeader - 4 + payload_len);
+  PutU32(frame.data() + kFrameHeader + payload_len, crc);
+
+  if (injector_ != nullptr) {
+    size_t allowed = 0;
+    Status s = injector_->BeginWrite(frame_len, &allowed);
+    if (!s.ok()) {
+      if (allowed > 0) {
+        // Torn append: a prefix of the frame reaches the disk. The frame
+        // CRC cannot match, so recovery truncates it.
+        (void)::pwrite(fd_, frame.data(), allowed,
+                       static_cast<off_t>(append_off_));
+      }
+      return s;
+    }
+  }
+  ssize_t n = ::pwrite(fd_, frame.data(), frame_len,
+                       static_cast<off_t>(append_off_));
+  if (n != static_cast<ssize_t>(frame_len)) {
+    return Status::IoError("short write on WAL " + path_);
+  }
+  append_off_ += frame_len;
+  ++next_lsn_;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendPageImage(PageId id, const char* data) {
+  char stamped[kPageSize];
+  std::memcpy(stamped, data, kPageSize);
+  StampPageChecksum(stamped);
+  uint64_t payload_off = append_off_ + kFrameHeader;
+  SIM_RETURN_IF_ERROR(WriteFrame(kPageImageFrame, id, stamped, kPageSize));
+  latest_[id] = payload_off;
+  ++stats_.pages_appended;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendCommit() {
+  SIM_RETURN_IF_ERROR(WriteFrame(kCommitFrame, 0, nullptr, 0));
+  SIM_RETURN_IF_ERROR(Sync());
+  committed_ = latest_;
+  ++stats_.commits;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync() {
+  if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
+  if (::fsync(fd_) != 0) return Status::IoError("fsync failed on " + path_);
+  return Status::Ok();
+}
+
+Status WriteAheadLog::ReadImage(PageId id, char* out) const {
+  auto it = latest_.find(id);
+  if (it == latest_.end()) {
+    return Status::NotFound("no WAL image for page " + std::to_string(id));
+  }
+  if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginRead());
+  ssize_t n = ::pread(fd_, out, kPageSize, static_cast<off_t>(it->second));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short read on WAL " + path_);
+  }
+  if (!PageChecksumOk(out)) {
+    return Status::IoError("WAL image checksum mismatch for page " +
+                           std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::ReplayImages(const std::map<PageId, uint64_t>& images,
+                                   Pager* db, uint64_t* replayed) {
+  char buf[kPageSize];
+  for (const auto& [id, off] : images) {
+    ssize_t n = ::pread(fd_, buf, kPageSize, static_cast<off_t>(off));
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError("short read on WAL " + path_);
+    }
+    if (!PageChecksumOk(buf)) {
+      return Status::IoError("WAL image checksum mismatch for page " +
+                             std::to_string(id));
+    }
+    while (db->page_count() <= id) {
+      SIM_RETURN_IF_ERROR(db->Allocate().status());
+    }
+    SIM_RETURN_IF_ERROR(db->Write(id, buf));
+    if (replayed != nullptr) ++*replayed;
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::TruncateAll() {
+  if (injector_ != nullptr) {
+    SIM_RETURN_IF_ERROR(injector_->BeginWrite(0, nullptr));
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("cannot truncate WAL " + path_);
+  }
+  SIM_RETURN_IF_ERROR(Sync());
+  append_off_ = 0;
+  latest_.clear();
+  committed_.clear();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Checkpoint(Pager* db) {
+  if (empty()) return Status::Ok();
+  SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, nullptr));
+  SIM_RETURN_IF_ERROR(db->Sync());
+  SIM_RETURN_IF_ERROR(TruncateAll());
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+Result<uint64_t> WriteAheadLog::Recover(Pager* db) {
+  uint64_t replayed = 0;
+  if (append_off_ == 0) {
+    // Nothing committed; drop any torn/uncommitted tail left on disk.
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size > 0) SIM_RETURN_IF_ERROR(TruncateAll());
+    return replayed;
+  }
+  SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, &replayed));
+  SIM_RETURN_IF_ERROR(db->Sync());
+  SIM_RETURN_IF_ERROR(TruncateAll());
+  stats_.recovered_pages += replayed;
+  return replayed;
+}
+
+}  // namespace sim

@@ -1,0 +1,128 @@
+#ifndef SIMDB_STORAGE_WAL_H_
+#define SIMDB_STORAGE_WAL_H_
+
+// Physical page-image write-ahead log. The paper's SIM delegated recovery
+// to DMSII (§5); this is our substitute, giving file-backed databases
+// crash atomicity at the page level.
+//
+// The log lives next to the database file as `<file_path>.wal` and holds
+// framed records:
+//
+//   [ u32 magic | u8 type | u32 page_id | u64 lsn | u32 payload_len |
+//     payload... | u32 crc32(frame after magic) ]
+//
+// where type is kPageImage (payload = one kPageSize page image, already
+// checksum-stamped) or kCommit (empty payload). The protocol:
+//
+//  * Dirty pages flushed by the buffer pool are APPENDED here; the
+//    database file itself is only ever written by Checkpoint/Recover, so
+//    uncommitted data never reaches it in place.
+//  * Commit appends a commit record and fsyncs the log. Everything at or
+//    before the last durable commit record is the committed state.
+//  * Reads of pages whose latest image lives in the log are served from
+//    the log (the buffer pool consults HasImage/ReadImage on a miss).
+//  * Checkpoint copies each page's newest committed image into the
+//    database file, fsyncs it, then truncates the log. A crash anywhere
+//    during checkpoint is safe: the log is only truncated after the
+//    database file is durable.
+//  * Recover (run by Database::Open) scans an existing log, stops at the
+//    first torn/corrupt frame, replays images up to the last complete
+//    commit record into the database file and truncates the log —
+//    committed statements survive, uncommitted ones vanish.
+//
+// All log I/O consults an optional FaultInjector so crash schedules are
+// deterministic and testable without killing the process.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/fault_pager.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace sim {
+
+class WriteAheadLog {
+ public:
+  struct Stats {
+    uint64_t pages_appended = 0;
+    uint64_t commits = 0;
+    uint64_t checkpoints = 0;
+    uint64_t recovered_pages = 0;
+    uint64_t truncated_tail_bytes = 0;
+  };
+
+  // Opens (creating if absent) the log for database file `db_path` and
+  // scans any existing content up to the first invalid frame. Call
+  // Recover() next to apply it.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& db_path, FaultInjector* injector = nullptr);
+  ~WriteAheadLog();
+
+  // Replays every page image at or before the last complete commit record
+  // into `db`, fsyncs it, then truncates the log. No-op on an empty or
+  // commit-free log (the log is still truncated: its content is all
+  // uncommitted). Returns the number of pages replayed.
+  Result<uint64_t> Recover(Pager* db);
+
+  // Appends one page image (stamping its checksum). Buffered until Sync.
+  Status AppendPageImage(PageId id, const char* data);
+
+  // Appends a commit record and fsyncs the log. On return the images
+  // appended so far are the durable committed state.
+  Status AppendCommit();
+
+  Status Sync();
+
+  // True when the newest version of `id` lives in the log rather than the
+  // database file.
+  bool HasImage(PageId id) const { return latest_.count(id) > 0; }
+  Status ReadImage(PageId id, char* out) const;
+
+  // Copies the newest committed image of every logged page into `db`,
+  // fsyncs it, then truncates the log. Must only be called at a commit
+  // boundary (no uncommitted images in the log).
+  Status Checkpoint(Pager* db);
+
+  // Bytes currently in the log (drives the checkpoint-threshold policy).
+  uint64_t size_bytes() const { return append_off_; }
+  bool empty() const { return append_off_ == 0; }
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  const Stats& stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, FaultInjector* injector)
+      : path_(std::move(path)), fd_(fd), injector_(injector) {}
+
+  // Scans the log from the start, rebuilding the image maps; sets
+  // append_off_ to just after the last complete commit record and records
+  // how much torn/uncommitted tail will be discarded.
+  Status Scan();
+
+  Status WriteFrame(uint8_t type, PageId id, const char* payload,
+                    size_t payload_len);
+  // Copies every image in `images` into `db`, extending it when needed.
+  Status ReplayImages(const std::map<PageId, uint64_t>& images, Pager* db,
+                      uint64_t* replayed);
+  Status TruncateAll();
+
+  std::string path_;
+  int fd_;
+  FaultInjector* injector_;
+  // Byte offset where the next frame goes (== valid log length).
+  uint64_t append_off_ = 0;
+  uint64_t next_lsn_ = 1;
+  // page id -> byte offset of the newest payload for that page.
+  std::map<PageId, uint64_t> latest_;
+  // Same, frozen at the last commit record.
+  std::map<PageId, uint64_t> committed_;
+  Stats stats_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_WAL_H_

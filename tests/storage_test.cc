@@ -143,7 +143,7 @@ TEST(BufferPoolTest, HitMissAccounting) {
   auto h = pool.New();
   ASSERT_TRUE(h.ok());
   PageId id = h->id();
-  h->data()[0] = 'z';
+  h->data()[kPageDataStart] = 'z';
   h->MarkDirty();
   h->Release();
 
@@ -152,7 +152,7 @@ TEST(BufferPoolTest, HitMissAccounting) {
   ASSERT_TRUE(h2.ok());
   EXPECT_EQ(pool.stats().logical_fetches, 1u);
   EXPECT_EQ(pool.stats().misses, 0u);
-  EXPECT_EQ(h2->data()[0], 'z');
+  EXPECT_EQ(h2->data()[kPageDataStart], 'z');
 }
 
 TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
@@ -162,7 +162,7 @@ TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
   for (int i = 0; i < 5; ++i) {
     auto h = pool.New();
     ASSERT_TRUE(h.ok());
-    h->data()[0] = static_cast<char>('A' + i);
+    h->data()[kPageDataStart] = static_cast<char>('A' + i);
     h->MarkDirty();
     ids.push_back(h->id());
   }
@@ -171,7 +171,7 @@ TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
   pool.ResetStats();
   auto h = pool.Fetch(ids[0]);
   ASSERT_TRUE(h.ok());
-  EXPECT_EQ(h->data()[0], 'A');
+  EXPECT_EQ(h->data()[kPageDataStart], 'A');
   EXPECT_EQ(pool.stats().misses, 1u);
 }
 
@@ -326,10 +326,12 @@ TEST(TxnTest, AbortRunsUndoInReverse) {
     return Status::Ok();
   });
   ASSERT_TRUE(manager.Abort(txn).ok());
+  // The transaction is destroyed on Abort; only the counters remain.
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 2);
   EXPECT_EQ(order[1], 1);
-  EXPECT_FALSE(txn->active());
+  EXPECT_EQ(manager.aborted_count(), 1u);
+  EXPECT_EQ(manager.active_count(), 0u);
 }
 
 TEST(TxnTest, CommitDiscardsUndo) {
@@ -341,8 +343,39 @@ TEST(TxnTest, CommitDiscardsUndo) {
     return Status::Ok();
   });
   ASSERT_TRUE(manager.Commit(txn).ok());
+  // The transaction is destroyed on Commit; only the counters remain.
   EXPECT_FALSE(ran);
-  EXPECT_FALSE(manager.Commit(txn).ok());  // double commit rejected
+  EXPECT_EQ(manager.committed_count(), 1u);
+  EXPECT_EQ(manager.active_count(), 0u);
+}
+
+TEST(TxnTest, CommitAndAbortFreeTheTransaction) {
+  TransactionManager manager;
+  for (int i = 0; i < 100; ++i) {
+    Transaction* txn = manager.Begin();
+    Status s = (i % 2 == 0) ? manager.Commit(txn) : manager.Abort(txn);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(manager.active_count(), 0u);  // no retained history
+  }
+  EXPECT_EQ(manager.committed_count(), 50u);
+  EXPECT_EQ(manager.aborted_count(), 50u);
+}
+
+TEST(TxnTest, CommitHookFailureKeepsTransactionActive) {
+  TransactionManager manager;
+  manager.set_commit_hook(
+      [](Transaction*) { return Status::IoError("wal unavailable"); });
+  Transaction* txn = manager.Begin();
+  bool undone = false;
+  txn->LogUndo([&]() {
+    undone = true;
+    return Status::Ok();
+  });
+  EXPECT_FALSE(manager.Commit(txn).ok());
+  EXPECT_TRUE(txn->active());  // still alive: caller decides to abort
+  EXPECT_EQ(manager.committed_count(), 0u);
+  ASSERT_TRUE(manager.Abort(txn).ok());
+  EXPECT_TRUE(undone);
 }
 
 TEST(TxnTest, RollbackToSavepoint) {
