@@ -1,0 +1,129 @@
+// E11 — Volcano pipeline: materialized vs streaming execution. The
+// physical-plan refactor made Retrieve execution demand-driven; this bench
+// measures what that buys on the E5 workload (each employee with their
+// department's budget via a schema EVA):
+//   * full drain — ExecuteQuery (materializes a ResultSet) vs a Cursor
+//     pulling every row: same work, so the streaming overhead shows up;
+//   * LIMIT 10 — the pre-refactor cost (run everything, keep 10) vs a
+//     Cursor that stops after 10 rows, where early termination pays off.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "api/database.h"
+
+namespace {
+
+std::unique_ptr<sim::Database> BuildE5(int employees, int departments) {
+  auto db_result = sim::Database::Open();
+  if (!db_result.ok()) abort();
+  auto db = std::move(*db_result);
+  sim::Status s = db->ExecuteDdl(R"(
+    Class Dept (
+      dept-code: integer unique required;
+      budget: integer );
+    Class Emp (
+      emp-name: string[20];
+      works-in: dept inverse is staff );
+  )");
+  if (!s.ok()) abort();
+  auto mapper = db->mapper();
+  if (!mapper.ok()) abort();
+  std::vector<sim::SurrogateId> depts;
+  for (int d = 0; d < departments; ++d) {
+    auto dept = (*mapper)->CreateEntity("dept", nullptr);
+    if (!dept.ok()) abort();
+    (void)(*mapper)->SetField(*dept, "dept", "dept-code", sim::Value::Int(d),
+                              nullptr);
+    (void)(*mapper)->SetField(*dept, "dept", "budget",
+                              sim::Value::Int(1000 * d), nullptr);
+    depts.push_back(*dept);
+  }
+  for (int e = 0; e < employees; ++e) {
+    auto emp = (*mapper)->CreateEntity("emp", nullptr);
+    if (!emp.ok()) abort();
+    (void)(*mapper)->SetField(*emp, "emp", "emp-name",
+                              sim::Value::Str("e" + std::to_string(e)),
+                              nullptr);
+    (void)(*mapper)->AddEvaPair("emp", "works-in", *emp, depts[e % departments],
+                                nullptr);
+  }
+  return db;
+}
+
+constexpr const char* kQuery = "From Emp Retrieve emp-name, budget of works-in";
+
+void BM_FullDrainMaterialized(benchmark::State& state) {
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(kQuery);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs->rows.size();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel("ExecuteQuery, all rows");
+}
+BENCHMARK(BM_FullDrainMaterialized)->Arg(100)->Arg(400)->Arg(1600)
+    ->ArgName("emps");
+
+void BM_FullDrainStreaming(benchmark::State& state) {
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto cur = db->OpenCursor(kQuery);
+    if (!cur.ok()) state.SkipWithError(cur.status().ToString().c_str());
+    sim::Row row;
+    rows = 0;
+    while (true) {
+      auto has = cur->Next(&row);
+      if (!has.ok()) state.SkipWithError(has.status().ToString().c_str());
+      if (!has.ok() || !*has) break;
+      ++rows;
+      benchmark::DoNotOptimize(row);
+    }
+    (void)cur->Close();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel("Cursor, all rows");
+}
+BENCHMARK(BM_FullDrainStreaming)->Arg(100)->Arg(400)->Arg(1600)
+    ->ArgName("emps");
+
+void BM_Limit10Materialized(benchmark::State& state) {
+  // Pre-refactor cost of a FIRST-10 request: run the whole query, keep 10.
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(kQuery);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rs->rows.resize(std::min<size_t>(rs->rows.size(), 10));
+    rows = rs->rows.size();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel("ExecuteQuery, truncate to 10");
+}
+BENCHMARK(BM_Limit10Materialized)->Arg(100)->Arg(400)->Arg(1600)
+    ->ArgName("emps");
+
+void BM_Limit10Streaming(benchmark::State& state) {
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10);
+  uint64_t combos = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(std::string(kQuery) + " Limit 10");
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    benchmark::DoNotOptimize(rs);
+    combos = db->last_exec_stats().combinations_examined;
+  }
+  state.counters["combinations"] = static_cast<double>(combos);
+  state.SetLabel("pipeline LIMIT 10, early stop");
+}
+BENCHMARK(BM_Limit10Streaming)->Arg(100)->Arg(400)->Arg(1600)
+    ->ArgName("emps");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build and run the full test suite twice — a plain
-# build and an ASan+UBSan build. Usage: scripts/check.sh [extra ctest args]
+# Tier-1 verification: build and run the full test suite three times — a
+# plain build, an ASan+UBSan build, and a standalone UBSan build that traps
+# on the first finding. Usage: scripts/check.sh [extra ctest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,10 @@ echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DASAN=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" "$@"
+
+echo "== sanitized build (UBSan only, trap on first finding) =="
+cmake -B build-ubsan -S . -DUBSAN=ON >/dev/null
+cmake --build build-ubsan -j "$jobs"
+ctest --test-dir build-ubsan --output-on-failure -j "$jobs" "$@"
 
 echo "All checks passed."

@@ -1,5 +1,6 @@
 #include "api/database.h"
 
+#include "exec/physical_plan.h"
 #include "parser/ddl_parser.h"
 #include "parser/dml_parser.h"
 
@@ -94,6 +95,7 @@ Status Database::EnsureMapper() {
                        LucMapper::Create(&dir_, phys_.get(), pool_.get()));
   integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
   SIM_RETURN_IF_ERROR(integrity_->Prepare());
+  optimizer_ = std::make_unique<Optimizer>(mapper_.get());
   return Status::Ok();
 }
 
@@ -115,8 +117,7 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
   Executor exec(mapper_.get());
   Result<ResultSet> rs = Status::Internal("query not dispatched");
   if (options_.use_optimizer) {
-    Optimizer optimizer(mapper_.get());
-    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer.Optimize(qt));
+    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
     rs = exec.Run(qt, &last_plan_);
   } else {
     last_plan_ = AccessPlan();
@@ -124,6 +125,87 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
   }
   last_exec_stats_ = exec.last_stats();
   return rs;
+}
+
+struct Database::Cursor::Impl {
+  // `qt` owns the nodes and bound expressions the operator tree references
+  // (by node id and by stable heap pointer), so the three members must
+  // stay together and `qt` must be populated before `cx` is built.
+  QueryTree qt;
+  PhysicalPlan plan;
+  std::unique_ptr<ExecContext> cx;
+  bool open = false;
+  bool done = false;
+};
+
+Database::Cursor::Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Database::Cursor::Cursor(Cursor&&) noexcept = default;
+Database::Cursor& Database::Cursor::operator=(Cursor&&) noexcept = default;
+
+Database::Cursor::~Cursor() {
+  if (impl_ != nullptr) (void)Close();
+}
+
+const std::vector<std::string>& Database::Cursor::columns() const {
+  return impl_->qt.target_labels;
+}
+
+bool Database::Cursor::structured() const {
+  return impl_->qt.mode == OutputMode::kStructure;
+}
+
+Result<bool> Database::Cursor::Next(Row* row) {
+  Impl* im = impl_.get();
+  if (im == nullptr || !im->open || im->done) return false;
+  Result<bool> has = im->plan.root->Next(*im->cx, row);
+  if (!has.ok()) {
+    (void)Close();
+    return has.status();
+  }
+  if (*has) {
+    ++im->cx->stats.rows_emitted;
+  } else {
+    im->done = true;
+  }
+  return *has;
+}
+
+Status Database::Cursor::Close() {
+  Impl* im = impl_.get();
+  if (im == nullptr || !im->open) return Status::Ok();
+  im->open = false;
+  return im->plan.root->Close(*im->cx);
+}
+
+ExecStats Database::Cursor::stats() const {
+  return impl_ != nullptr && impl_->cx != nullptr ? impl_->cx->stats
+                                                  : ExecStats();
+}
+
+Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  if (stmt->kind != StmtKind::kRetrieve) {
+    return Status::InvalidArgument("OpenCursor expects a Retrieve statement");
+  }
+  const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
+  Binder binder(&dir_);
+  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
+  auto impl = std::make_unique<Cursor::Impl>();
+  if (options_.use_optimizer) {
+    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+    SIM_ASSIGN_OR_RETURN(impl->plan,
+                         PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
+  } else {
+    last_plan_ = AccessPlan();
+    SIM_ASSIGN_OR_RETURN(impl->plan,
+                         PhysicalPlan::Build(qt, nullptr, mapper_.get()));
+  }
+  impl->qt = std::move(qt);
+  impl->cx = std::make_unique<ExecContext>(&impl->qt, mapper_.get());
+  SIM_RETURN_IF_ERROR(impl->plan.root->Open(*impl->cx));
+  impl->open = true;
+  return Cursor(std::move(impl));
 }
 
 Result<std::string> Database::Explain(std::string_view dml) {
@@ -135,9 +217,42 @@ Result<std::string> Database::Explain(std::string_view dml) {
   const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
   Binder binder(&dir_);
   SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
-  Optimizer optimizer(mapper_.get());
-  SIM_ASSIGN_OR_RETURN(AccessPlan plan, optimizer.Optimize(qt));
-  return qt.DebugString() + plan.Describe();
+  SIM_ASSIGN_OR_RETURN(AccessPlan plan, optimizer_->Optimize(qt));
+  SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
+                       PhysicalPlan::Build(qt, &plan, mapper_.get()));
+  return qt.DebugString() + plan.Describe() + "\n" + pplan.Describe(false);
+}
+
+Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  if (stmt->kind != StmtKind::kRetrieve) {
+    return Status::InvalidArgument(
+        "ExplainAnalyze expects a Retrieve statement");
+  }
+  const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
+  Binder binder(&dir_);
+  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
+  SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+  SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
+                       PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
+  // Drain the pipeline so every operator has an actual row count.
+  ExecContext cx(&qt, mapper_.get());
+  SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
+  Row row;
+  while (true) {
+    Result<bool> has = pplan.root->Next(cx, &row);
+    if (!has.ok()) {
+      (void)pplan.root->Close(cx);
+      return has.status();
+    }
+    if (!*has) break;
+    ++cx.stats.rows_emitted;
+  }
+  SIM_RETURN_IF_ERROR(pplan.root->Close(cx));
+  last_exec_stats_ = cx.stats;
+  return qt.DebugString() + last_plan_.Describe() + "\n" +
+         pplan.Describe(true);
 }
 
 Result<int> Database::ExecuteUpdate(std::string_view dml) {

@@ -86,6 +86,39 @@ class Database {
   // Runs one Retrieve statement.
   Result<ResultSet> ExecuteQuery(std::string_view dml);
 
+  // Streaming query handle: rows are produced on demand by the Volcano
+  // operator pipeline, so consuming a prefix (or closing early) does only
+  // the work needed for the rows actually pulled. Must not outlive the
+  // Database. Closed automatically on destruction.
+  class Cursor {
+   public:
+    Cursor(Cursor&&) noexcept;
+    Cursor& operator=(Cursor&&) noexcept;
+    ~Cursor();
+
+    // Display headers / output shape of the underlying Retrieve.
+    const std::vector<std::string>& columns() const;
+    bool structured() const;
+
+    // Pulls the next row; false when the stream is exhausted.
+    Result<bool> Next(Row* row);
+
+    // Releases operator state. Safe to call mid-stream or repeatedly.
+    Status Close();
+
+    // Pipeline counters so far (combinations examined, rows emitted).
+    ExecStats stats() const;
+
+   private:
+    friend class Database;
+    struct Impl;
+    explicit Cursor(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+  };
+
+  // Plans one Retrieve statement and returns an open streaming cursor.
+  Result<Cursor> OpenCursor(std::string_view dml);
+
   // Runs one Insert / Modify / Delete; returns the number of entities
   // affected. Statement-atomic: any constraint or VERIFY violation rolls
   // the statement back.
@@ -94,8 +127,13 @@ class Database {
   // Runs a sequence of update statements, each statement-atomic.
   Status ExecuteScript(std::string_view dml_script);
 
-  // The chosen access plan for a Retrieve, as text.
+  // The chosen access plan for a Retrieve: query tree, root strategy and
+  // the compiled physical operator tree with estimated rows, as text.
   Result<std::string> Explain(std::string_view dml);
+
+  // Explain, then actually run the query: the operator tree is printed
+  // with estimated AND actual row counts per operator.
+  Result<std::string> ExplainAnalyze(std::string_view dml);
 
   // --- explicit transactions ---
 
@@ -143,6 +181,8 @@ class Database {
   std::unique_ptr<PhysicalSchema> phys_;
   std::unique_ptr<LucMapper> mapper_;
   std::unique_ptr<IntegrityChecker> integrity_;
+  // Long-lived: statistics auto-refresh via the mapper mutation counter.
+  std::unique_ptr<Optimizer> optimizer_;
   TransactionManager txn_manager_;
   Transaction* current_txn_ = nullptr;
   Executor::ExecStats last_exec_stats_;

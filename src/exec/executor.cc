@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "exec/physical_plan.h"
+
 namespace sim {
 
 namespace {
@@ -62,19 +64,36 @@ struct RowKeyEq {
   }
 };
 
-// Null-first three-way comparison for ORDER BY / restore sorts.
-int CompareForSort(const Value& a, const Value& b) {
-  if (a.is_null() && b.is_null()) return 0;
-  if (a.is_null()) return -1;
-  if (b.is_null()) return 1;
-  Result<int> c = a.Compare(b);
-  if (!c.ok()) return 0;  // incomparable values keep their order
-  return *c;
-}
-
 }  // namespace
 
 Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
+  stats_ = ExecStats();
+  ResultSet rs;
+  rs.columns = qt.target_labels;
+  rs.structured = qt.mode == OutputMode::kStructure;
+
+  SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
+                       PhysicalPlan::Build(qt, plan, mapper_));
+  ExecContext cx(&qt, mapper_);
+  SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
+  Row row;
+  while (true) {
+    Result<bool> has = pplan.root->Next(cx, &row);
+    if (!has.ok()) {
+      (void)pplan.root->Close(cx);
+      return has.status();
+    }
+    if (!*has) break;
+    rs.rows.push_back(std::move(row));
+  }
+  SIM_RETURN_IF_ERROR(pplan.root->Close(cx));
+  cx.stats.rows_emitted = rs.rows.size();
+  stats_ = cx.stats;
+  return rs;
+}
+
+Result<ResultSet> Executor::RunReference(const QueryTree& qt,
+                                         const AccessPlan* plan) {
   stats_ = ExecStats();
   ResultSet rs;
   rs.columns = qt.target_labels;
@@ -169,6 +188,11 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
       if (seen.insert(r.values).second) unique.push_back(std::move(r));
     }
     rs.rows = std::move(unique);
+  }
+  // RETRIEVE FIRST n: the reference interpreter truncates after the fact
+  // (only the pipeline terminates the scans early).
+  if (qt.limit >= 0 && rs.rows.size() > static_cast<size_t>(qt.limit)) {
+    rs.rows.resize(static_cast<size_t>(qt.limit));
   }
   stats_.rows_emitted = rs.rows.size();
   return rs;

@@ -10,11 +10,17 @@
 // follow an Optimizer AccessPlan for root access paths and iteration
 // order (restoring perspective order with an explicit sort when the plan
 // is not order-preserving).
+//
+// Run() compiles the tree into a Volcano operator pipeline (see
+// exec/physical_plan.h) and drains it. RunReference() is the original
+// recursive interpreter, kept as the independent semantics oracle for the
+// pipeline parity tests.
 
 #include <vector>
 
 #include "common/status.h"
 #include "exec/expr_eval.h"
+#include "exec/operators.h"
 #include "exec/output.h"
 #include "luc/mapper.h"
 #include "optimizer/optimizer.h"
@@ -26,14 +32,19 @@ class Executor {
  public:
   explicit Executor(LucMapper* mapper) : mapper_(mapper) {}
 
-  struct ExecStats {
-    uint64_t combinations_examined = 0;
-    uint64_t rows_emitted = 0;
-    bool sorted_for_order = false;
-  };
+  // The shared definition lives in exec/operators.h; the alias keeps the
+  // historical Executor::ExecStats spelling working.
+  using ExecStats = sim::ExecStats;
 
-  // Runs a Retrieve query tree, optionally following `plan`.
+  // Runs a Retrieve query tree, optionally following `plan`: builds the
+  // physical operator pipeline and drains it into a ResultSet.
   Result<ResultSet> Run(const QueryTree& qt, const AccessPlan* plan = nullptr);
+
+  // The original recursive §4.5 interpreter (materializes every node
+  // domain). Produces bit-identical ResultSets to Run; kept as the
+  // reference implementation for parity testing.
+  Result<ResultSet> RunReference(const QueryTree& qt,
+                                 const AccessPlan* plan = nullptr);
 
   const ExecStats& last_stats() const { return stats_; }
 

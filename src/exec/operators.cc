@@ -1,0 +1,610 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace sim {
+
+int CompareForSort(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return -1;
+  if (b.is_null()) return 1;
+  Result<int> c = a.Compare(b);
+  if (!c.ok()) return 0;  // incomparable values keep their order
+  return *c;
+}
+
+// ----- BindingSource -----
+
+Result<bool> BindingSource::AcceptBinding(ExecContext& cx, NodeBinding b) {
+  const QtNode& node = cx.qt().nodes[node_];
+  cx.bindings().binding(node_) = std::move(b);
+  if (node.domain_filter == nullptr) return true;
+  SIM_ASSIGN_OR_RETURN(TriBool pass,
+                       cx.evaluator().EvalPredicate(*node.domain_filter));
+  return pass == TriBool::kTrue;
+}
+
+// ----- ExtentScan -----
+
+std::string ExtentScan::Describe() const {
+  return "ExtentScan(X" + std::to_string(node_) + " " + class_name_ + ")";
+}
+
+Status ExtentScan::Open(ExecContext& cx) {
+  streaming_ = false;
+  cursor_.reset();
+  ids_.clear();
+  next_ = 0;
+  LucMapper* m = cx.mapper();
+  Result<const ClassDef*> def = m->dir().FindClass(class_name_);
+  bool attr_ordered = def.ok() && !(*def)->order_by_attr.empty();
+  if (!attr_ordered) {
+    SIM_ASSIGN_OR_RETURN(bool phys_ordered,
+                         m->ExtentScanInSurrogateOrder(class_name_));
+    if (phys_ordered) {
+      // Physical scan order is provably surrogate order — stream straight
+      // off the unit without materializing the extent.
+      SIM_ASSIGN_OR_RETURN(LucMapper::ExtentCursor cur,
+                           m->OpenExtentCursor(class_name_));
+      cursor_ = std::make_unique<LucMapper::ExtentCursor>(std::move(cur));
+      streaming_ = true;
+      return Status::Ok();
+    }
+  }
+  // Fallback: surrogate ids only, in perspective order — surrogate order
+  // unless the class declares a system-maintained ordering.
+  SIM_ASSIGN_OR_RETURN(ids_, m->ExtentOf(class_name_));
+  if (!attr_ordered) std::sort(ids_.begin(), ids_.end());
+  return Status::Ok();
+}
+
+Result<bool> ExtentScan::DoNext(ExecContext& cx, Row* /*out*/) {
+  while (true) {
+    NodeBinding b;
+    b.bound = true;
+    if (streaming_) {
+      if (!cursor_->Valid()) {
+        SIM_RETURN_IF_ERROR(cursor_->status());
+        return false;
+      }
+      b.entity = cursor_->surrogate();
+      SIM_RETURN_IF_ERROR(cursor_->Next());
+    } else {
+      if (next_ >= ids_.size()) return false;
+      b.entity = ids_[next_++];
+    }
+    SIM_ASSIGN_OR_RETURN(bool ok, AcceptBinding(cx, std::move(b)));
+    if (ok) return true;
+  }
+}
+
+Status ExtentScan::Close(ExecContext& cx) {
+  cursor_.reset();
+  ids_.clear();
+  ClearBinding(cx);
+  return Status::Ok();
+}
+
+// ----- IndexProbe -----
+
+std::string IndexProbe::Describe() const {
+  return "IndexProbe(X" + std::to_string(node_) + " " + index_class_ + "." +
+         index_attr_ + "=" + eq_value_.ToString() + ")";
+}
+
+Status IndexProbe::Open(ExecContext& cx) {
+  pending_ = false;
+  found_ = kInvalidSurrogate;
+  SIM_ASSIGN_OR_RETURN(
+      std::optional<SurrogateId> found,
+      cx.mapper()->LookupByIndex(index_class_, index_attr_, eq_value_));
+  if (found.has_value()) {
+    // The index covers the declaring class; the perspective may be a
+    // subclass — verify the role.
+    SIM_ASSIGN_OR_RETURN(
+        bool has,
+        cx.mapper()->HasRole(*found, cx.qt().nodes[node_].class_name));
+    if (has) {
+      pending_ = true;
+      found_ = *found;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<bool> IndexProbe::DoNext(ExecContext& cx, Row* /*out*/) {
+  if (!pending_) return false;
+  pending_ = false;
+  // Root index probes bypass the domain filter, exactly like the legacy
+  // RootDomain path.
+  NodeBinding b;
+  b.bound = true;
+  b.entity = found_;
+  cx.bindings().binding(node_) = std::move(b);
+  return true;
+}
+
+Status IndexProbe::Close(ExecContext& cx) {
+  pending_ = false;
+  ClearBinding(cx);
+  return Status::Ok();
+}
+
+// ----- EvaTraverse -----
+
+std::string EvaTraverse::Describe() const {
+  return "EvaTraverse(" + label_ + ")";
+}
+
+Status EvaTraverse::Open(ExecContext& cx) {
+  empty_parent_ = false;
+  cursor_.reset();
+  role_filter_ = false;
+  values_.clear();
+  next_value_ = 0;
+  expand_.clear();
+  ready_.clear();
+  seen_.clear();
+
+  const QtNode& node = cx.qt().nodes[node_];
+  const NodeBinding& parent = cx.bindings().binding(node.parent);
+  if (!parent.bound || parent.dummy || parent.entity == kInvalidSurrogate) {
+    empty_parent_ = true;
+    return Status::Ok();
+  }
+  switch (node.derivation) {
+    case NodeDerivation::kEva: {
+      SIM_ASSIGN_OR_RETURN(
+          LucMapper::TargetCursor cur,
+          cx.mapper()->OpenEvaCursor(node.via_owner->name, node.via_attr->name,
+                                     parent.entity));
+      cursor_ = std::make_unique<LucMapper::TargetCursor>(std::move(cur));
+      // Role conversion: keep only entities holding the converted role.
+      role_filter_ = !NameEq(node.class_name, node.via_attr->range_class);
+      return Status::Ok();
+    }
+    case NodeDerivation::kMvDva: {
+      SIM_ASSIGN_OR_RETURN(
+          values_, cx.mapper()->GetMvValues(parent.entity, node.via_owner->name,
+                                            node.via_attr->name));
+      return Status::Ok();
+    }
+    case NodeDerivation::kTransitiveEva: {
+      // Incremental BFS (§4.7): the start entity seeds the expansion queue
+      // and is excluded from the output unless reachable through a cycle.
+      expand_.emplace_back(parent.entity, 0);
+      return Status::Ok();
+    }
+    case NodeDerivation::kPerspective:
+      break;
+  }
+  return Status::Internal("EvaTraverse opened on a perspective node");
+}
+
+Result<bool> EvaTraverse::DoNext(ExecContext& cx, Row* /*out*/) {
+  if (empty_parent_) return false;
+  const QtNode& node = cx.qt().nodes[node_];
+  while (true) {
+    NodeBinding b;
+    switch (node.derivation) {
+      case NodeDerivation::kEva: {
+        if (!cursor_->Valid()) return false;
+        SurrogateId t = cursor_->target();
+        cursor_->Next();
+        if (role_filter_) {
+          SIM_ASSIGN_OR_RETURN(bool has,
+                               cx.mapper()->HasRole(t, node.class_name));
+          if (!has) continue;
+        }
+        b.bound = true;
+        b.entity = t;
+        b.level = 1;
+        break;
+      }
+      case NodeDerivation::kMvDva:
+        if (next_value_ >= values_.size()) return false;
+        b.bound = true;
+        b.value = std::move(values_[next_value_++]);
+        break;
+      case NodeDerivation::kTransitiveEva: {
+        // FIFO expansion delivers entities in exactly the breadth-first
+        // discovery order of the materializing implementation.
+        while (ready_.empty() && !expand_.empty()) {
+          auto [s, level] = expand_.front();
+          expand_.pop_front();
+          SIM_ASSIGN_OR_RETURN(
+              std::vector<SurrogateId> targets,
+              cx.mapper()->GetEvaTargets(node.via_owner->name,
+                                         node.via_attr->name, s));
+          for (SurrogateId t : targets) {
+            if (!seen_.insert(t).second) continue;
+            NodeBinding nb;
+            nb.bound = true;
+            nb.entity = t;
+            nb.level = level + 1;
+            ready_.push_back(std::move(nb));
+            expand_.emplace_back(t, level + 1);
+          }
+        }
+        if (ready_.empty()) return false;
+        b = std::move(ready_.front());
+        ready_.pop_front();
+        break;
+      }
+      case NodeDerivation::kPerspective:
+        return Status::Internal("EvaTraverse on a perspective node");
+    }
+    SIM_ASSIGN_OR_RETURN(bool ok, AcceptBinding(cx, std::move(b)));
+    if (ok) return true;
+  }
+}
+
+Status EvaTraverse::Close(ExecContext& cx) {
+  cursor_.reset();
+  values_.clear();
+  expand_.clear();
+  ready_.clear();
+  seen_.clear();
+  ClearBinding(cx);
+  return Status::Ok();
+}
+
+// ----- NestedLoop / OuterJoinLoop -----
+
+std::string NestedLoop::Describe() const {
+  return "NestedLoop(X" + std::to_string(inner_->node()) + ")";
+}
+
+std::string OuterJoinLoop::Describe() const {
+  return "OuterJoinLoop(X" + std::to_string(inner_->node()) + ")";
+}
+
+std::vector<const PhysicalOperator*> NestedLoop::Children() const {
+  std::vector<const PhysicalOperator*> kids;
+  if (outer_ != nullptr) kids.push_back(outer_.get());
+  kids.push_back(inner_.get());
+  return kids;
+}
+
+Status NestedLoop::Open(ExecContext& cx) {
+  if (outer_ != nullptr) SIM_RETURN_IF_ERROR(outer_->Open(cx));
+  inner_open_ = false;
+  once_done_ = false;
+  inner_yielded_ = false;
+  return Status::Ok();
+}
+
+Result<bool> NestedLoop::DoNext(ExecContext& cx, Row* /*out*/) {
+  while (true) {
+    if (inner_open_) {
+      SIM_ASSIGN_OR_RETURN(bool has, inner_->Next(cx, nullptr));
+      if (has) {
+        inner_yielded_ = true;
+        return true;
+      }
+      SIM_RETURN_IF_ERROR(inner_->Close(cx));
+      inner_open_ = false;
+      SIM_ASSIGN_OR_RETURN(bool dummy, OnInnerExhausted(cx));
+      if (dummy) return true;
+    }
+    if (outer_ != nullptr) {
+      SIM_ASSIGN_OR_RETURN(bool has, outer_->Next(cx, nullptr));
+      if (!has) return false;
+    } else {
+      if (once_done_) return false;
+      once_done_ = true;
+    }
+    SIM_RETURN_IF_ERROR(inner_->Open(cx));
+    inner_open_ = true;
+    inner_yielded_ = false;
+  }
+}
+
+Result<bool> NestedLoop::OnInnerExhausted(ExecContext& /*cx*/) {
+  return false;
+}
+
+Result<bool> OuterJoinLoop::OnInnerExhausted(ExecContext& cx) {
+  if (inner_yielded_) return false;
+  // Directed outer join: one dummy all-null instance (§4.5).
+  NodeBinding dummy;
+  dummy.bound = true;
+  dummy.dummy = true;
+  cx.bindings().binding(inner_->node()) = dummy;
+  return true;
+}
+
+Status NestedLoop::Close(ExecContext& cx) {
+  if (inner_open_) {
+    SIM_RETURN_IF_ERROR(inner_->Close(cx));
+    inner_open_ = false;
+  }
+  if (outer_ != nullptr) SIM_RETURN_IF_ERROR(outer_->Close(cx));
+  return Status::Ok();
+}
+
+// ----- OnceOp -----
+
+Status OnceOp::Open(ExecContext& /*cx*/) {
+  done_ = false;
+  return Status::Ok();
+}
+
+Result<bool> OnceOp::DoNext(ExecContext& /*cx*/, Row* /*out*/) {
+  if (done_) return false;
+  done_ = true;
+  return true;
+}
+
+Status OnceOp::Close(ExecContext& /*cx*/) { return Status::Ok(); }
+
+// ----- Filter / Type2Exists -----
+
+std::string Filter::Describe() const {
+  return where_ == nullptr ? "Filter(pass)" : "Filter(selection)";
+}
+
+std::string Type2Exists::Describe() const {
+  return "Type2Exists(" + std::to_string(type2_nodes_.size()) + " vars)";
+}
+
+std::vector<const PhysicalOperator*> Filter::Children() const {
+  return {input_.get()};
+}
+
+Status Filter::Open(ExecContext& cx) { return input_->Open(cx); }
+
+Result<bool> Filter::DoNext(ExecContext& cx, Row* out) {
+  while (true) {
+    SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
+    if (!has) return false;
+    ++cx.stats.combinations_examined;
+    SIM_ASSIGN_OR_RETURN(TriBool pass, EvaluateSelection(cx));
+    if (pass == TriBool::kTrue) return true;
+  }
+}
+
+Result<TriBool> Filter::EvaluateSelection(ExecContext& cx) {
+  if (where_ == nullptr) return TriBool::kTrue;
+  return cx.evaluator().EvalPredicate(*where_);
+}
+
+Result<TriBool> Type2Exists::EvaluateSelection(ExecContext& cx) {
+  // "for some X_{m+1} ... X_n ... if <selection> is true" — existential
+  // iteration of the TYPE 2 variables.
+  bool found = false;
+  Status s = cx.evaluator().ForEachCombination(
+      type2_nodes_, [&]() -> Result<bool> {
+        SIM_ASSIGN_OR_RETURN(TriBool t, cx.evaluator().EvalPredicate(*where_));
+        if (t == TriBool::kTrue) {
+          found = true;
+          return false;  // stop early
+        }
+        return true;
+      });
+  SIM_RETURN_IF_ERROR(s);
+  return MakeTriBool(found);
+}
+
+Status Filter::Close(ExecContext& cx) { return input_->Close(cx); }
+
+// ----- Project -----
+
+std::string Project::Describe() const {
+  return options_.structured ? "Project(structured)" : "Project(tabular)";
+}
+
+std::vector<const PhysicalOperator*> Project::Children() const {
+  return {input_.get()};
+}
+
+Status Project::Open(ExecContext& cx) {
+  last_emitted_.assign(cx.qt().nodes.size(), NodeBinding());
+  pending_.clear();
+  return input_->Open(cx);
+}
+
+Result<bool> Project::DoNext(ExecContext& cx, Row* out) {
+  return options_.structured ? NextStructured(cx, out) : NextTabular(cx, out);
+}
+
+Result<bool> Project::NextTabular(ExecContext& cx, Row* out) {
+  SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, nullptr));
+  if (!has) return false;
+  const QueryTree& qt = cx.qt();
+  out->values.clear();
+  out->format_node = -1;
+  out->level = 0;
+  out->values.reserve(qt.targets.size());
+  for (const auto& t : qt.targets) {
+    SIM_ASSIGN_OR_RETURN(Value v, cx.evaluator().Eval(*t));
+    out->values.push_back(std::move(v));
+  }
+  if (options_.make_sort_keys) {
+    // Sort keys: ORDER BY expressions first, then root surrogates in
+    // declaration order (restores perspective order after plan reordering).
+    std::vector<Value> keys;
+    for (const auto& o : qt.order_by) {
+      SIM_ASSIGN_OR_RETURN(Value v, cx.evaluator().Eval(*o.expr));
+      keys.push_back(std::move(v));
+    }
+    if (options_.restore_root_keys) {
+      for (int r : qt.roots) {
+        const NodeBinding& b = cx.bindings().binding(r);
+        keys.push_back(b.bound && !b.dummy ? Value::Surrogate(b.entity)
+                                           : Value::Null());
+      }
+    }
+    cx.current_sort_keys = std::move(keys);
+  }
+  return true;
+}
+
+Result<bool> Project::NextStructured(ExecContext& cx, Row* out) {
+  const QueryTree& qt = cx.qt();
+  while (pending_.empty()) {
+    SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, nullptr));
+    if (!has) return false;
+    // Emit a record for every TYPE1/3 node whose binding changed, plus all
+    // deeper ones — the fully structured multi-format output.
+    size_t first_changed = options_.loop_nodes.size();
+    for (size_t i = 0; i < options_.loop_nodes.size(); ++i) {
+      int node = options_.loop_nodes[i];
+      const NodeBinding& cur = cx.bindings().binding(node);
+      const NodeBinding& last = last_emitted_[node];
+      bool same = last.bound && cur.bound && last.dummy == cur.dummy &&
+                  last.entity == cur.entity &&
+                  last.value.StrictEquals(cur.value);
+      if (!same) {
+        first_changed = i;
+        break;
+      }
+    }
+    for (size_t i = first_changed; i < options_.loop_nodes.size(); ++i) {
+      int node = options_.loop_nodes[i];
+      Row row;
+      row.format_node = node;
+      const NodeBinding& b = cx.bindings().binding(node);
+      row.level = options_.node_depth[node] + (b.level > 1 ? b.level - 1 : 0);
+      for (size_t t = 0; t < qt.targets.size(); ++t) {
+        if (options_.home_node[t] != node) continue;
+        SIM_ASSIGN_OR_RETURN(Value v, cx.evaluator().Eval(*qt.targets[t]));
+        row.values.push_back(std::move(v));
+      }
+      last_emitted_[node] = b;
+      pending_.push_back(std::move(row));
+    }
+  }
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+Status Project::Close(ExecContext& cx) {
+  pending_.clear();
+  return input_->Close(cx);
+}
+
+// ----- SortOp -----
+
+std::string SortOp::Describe() const { return "Sort"; }
+
+std::vector<const PhysicalOperator*> SortOp::Children() const {
+  return {input_.get()};
+}
+
+Status SortOp::Open(ExecContext& cx) {
+  sorted_ = false;
+  rows_.clear();
+  keys_.clear();
+  order_.clear();
+  next_ = 0;
+  return input_->Open(cx);
+}
+
+Result<bool> SortOp::DoNext(ExecContext& cx, Row* out) {
+  if (!sorted_) {
+    Row row;
+    while (true) {
+      SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, &row));
+      if (!has) break;
+      rows_.push_back(std::move(row));
+      keys_.push_back(std::move(cx.current_sort_keys));
+      cx.current_sort_keys.clear();
+    }
+    order_.resize(rows_.size());
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+      const auto& ka = keys_[a];
+      const auto& kb = keys_[b];
+      for (size_t i = 0; i < ka.size() && i < kb.size(); ++i) {
+        int c = CompareForSort(ka[i], kb[i]);
+        bool desc = i < descending_.size() && descending_[i];
+        if (c != 0) return desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    sorted_ = true;
+    cx.stats.sorted_for_order = true;
+  }
+  if (next_ >= order_.size()) return false;
+  *out = std::move(rows_[order_[next_++]]);
+  return true;
+}
+
+Status SortOp::Close(ExecContext& cx) {
+  rows_.clear();
+  keys_.clear();
+  order_.clear();
+  return input_->Close(cx);
+}
+
+// ----- Distinct -----
+
+size_t Distinct::RowKeyHash::operator()(const std::vector<Value>& vs) const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : vs) h = h * 1099511628211ULL ^ v.Hash();
+  return h;
+}
+
+bool Distinct::RowKeyEq::operator()(const std::vector<Value>& a,
+                                    const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].StrictEquals(b[i])) return false;
+  }
+  return true;
+}
+
+std::string Distinct::Describe() const { return "Distinct"; }
+
+std::vector<const PhysicalOperator*> Distinct::Children() const {
+  return {input_.get()};
+}
+
+Status Distinct::Open(ExecContext& cx) {
+  seen_.clear();
+  return input_->Open(cx);
+}
+
+Result<bool> Distinct::DoNext(ExecContext& cx, Row* out) {
+  while (true) {
+    SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
+    if (!has) return false;
+    if (seen_.insert(out->values).second) return true;
+  }
+}
+
+Status Distinct::Close(ExecContext& cx) {
+  seen_.clear();
+  return input_->Close(cx);
+}
+
+// ----- LimitOp -----
+
+std::string LimitOp::Describe() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+std::vector<const PhysicalOperator*> LimitOp::Children() const {
+  return {input_.get()};
+}
+
+Status LimitOp::Open(ExecContext& cx) {
+  delivered_ = 0;
+  return input_->Open(cx);
+}
+
+Result<bool> LimitOp::DoNext(ExecContext& cx, Row* out) {
+  if (delivered_ >= limit_) return false;
+  SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
+  if (has) ++delivered_;
+  return has;
+}
+
+Status LimitOp::Close(ExecContext& cx) { return input_->Close(cx); }
+
+}  // namespace sim

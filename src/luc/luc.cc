@@ -53,7 +53,40 @@ Result<RecordId> UnitStore::Insert(SurrogateId s,
     SIM_ASSIGN_OR_RETURN(rid, file_.Insert(encoded));
   }
   SIM_RETURN_IF_ERROR(primary_->Add(0, s, PackRecordId(rid)));
+  NoteInsert(s, rid);
   return rid;
+}
+
+void UnitStore::NoteInsert(SurrogateId s, RecordId rid) {
+  if (!scan_ordered_) return;
+  // Scan position: index of the page in the heap file's page list, then
+  // slot. First-fit inserts and adopted clustered pages can place a record
+  // before existing ones — that breaks the surrogate-order guarantee.
+  size_t page_index = 0;
+  bool found = false;
+  const std::vector<PageId>& pages = file_.pages();
+  for (size_t i = pages.size(); i-- > 0;) {
+    if (pages[i] == rid.page) {
+      page_index = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    scan_ordered_ = false;
+    return;
+  }
+  bool later_pos = !any_records_ || page_index > max_page_index_ ||
+                   (page_index == max_page_index_ && rid.slot > max_slot_);
+  bool later_surrogate = !any_records_ || s > max_surrogate_;
+  if (!later_pos || !later_surrogate) {
+    scan_ordered_ = false;
+    return;
+  }
+  any_records_ = true;
+  max_page_index_ = page_index;
+  max_slot_ = rid.slot;
+  max_surrogate_ = s;
 }
 
 Result<bool> UnitStore::Has(SurrogateId s) {
@@ -102,6 +135,7 @@ Status UnitStore::Update(SurrogateId s, const std::set<uint16_t>& roles,
   if (!(new_rid == rid)) {
     SIM_RETURN_IF_ERROR(primary_->Remove(0, s, PackRecordId(rid)));
     SIM_RETURN_IF_ERROR(primary_->Add(0, s, PackRecordId(new_rid)));
+    scan_ordered_ = false;  // the record moved out of its scan position
   }
   return Status::Ok();
 }
@@ -120,6 +154,7 @@ Result<PageId> UnitStore::PageOf(SurrogateId s) {
 Status UnitStore::MoveNear(SurrogateId s, PageId hint) {
   SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
   if (rid.page == hint) return Status::Ok();
+  scan_ordered_ = false;  // relocation breaks scan-position order
   std::string data;
   SIM_RETURN_IF_ERROR(file_.Get(rid, &data));
   SIM_RETURN_IF_ERROR(file_.Delete(rid));

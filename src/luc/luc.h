@@ -37,6 +37,13 @@ class UnitStore {
 
   const UnitPhys& phys() const { return *phys_; }
   uint64_t record_count() const { return file_.record_count(); }
+
+  // True while the heap-file scan order provably equals surrogate order:
+  // every insert so far landed past all earlier records (in scan position)
+  // with a larger surrogate, and no record has been relocated. Streaming
+  // extent scans can then skip the materialize-and-sort step. Conservative:
+  // once broken the flag stays false.
+  bool scan_in_surrogate_order() const { return scan_ordered_; }
   // Per-page insert headroom for clustered mappings (see HeapFile).
   void set_reserve_bytes(int bytes) { file_.set_reserve_bytes(bytes); }
 
@@ -99,10 +106,22 @@ class UnitStore {
 
   Result<RecordId> FindRid(SurrogateId s);
 
+  // Scan-order bookkeeping for scan_in_surrogate_order().
+  void NoteInsert(SurrogateId s, RecordId rid);
+
   const UnitPhys* phys_;
   uint16_t unit_code_;
   HeapFile file_;
   std::unique_ptr<RelKeyedStore> primary_;  // surrogate -> packed RecordId
+
+  bool scan_ordered_ = true;
+  bool any_records_ = false;
+  // Scan position (pages() index, slot) and surrogate of the maximal
+  // record inserted so far. Deletes may leave these stale-high, which only
+  // makes the flag conservatively break earlier.
+  size_t max_page_index_ = 0;
+  uint16_t max_slot_ = 0;
+  SurrogateId max_surrogate_ = 0;
 };
 
 // Encodes / decodes an embedded multi-valued DVA array (stored as one

@@ -118,6 +118,7 @@ Result<SurrogateId> LucMapper::CreateEntity(const std::string& cls,
                                             Transaction* txn,
                                             SurrogateId cluster_near,
                                             const std::string& cluster_near_cls) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
   SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
                        dir_->AncestorsOf(cls));
@@ -209,6 +210,7 @@ Status LucMapper::UpdateRolesEverywhere(SurrogateId s,
 
 Status LucMapper::AddRole(SurrogateId s, const std::string& cls,
                           Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(std::set<uint16_t> old_roles, RolesOf(s, cls));
   SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
   SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
@@ -288,6 +290,7 @@ Status LucMapper::StripRoleData(SurrogateId s, const std::string& cls,
 
 Status LucMapper::DeleteRole(SurrogateId s, const std::string& cls,
                              Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(std::set<uint16_t> old_roles, RolesOf(s, cls));
   SIM_ASSIGN_OR_RETURN(uint16_t cls_code, phys_->ClassCode(cls));
   if (old_roles.count(cls_code) == 0) {
@@ -378,6 +381,7 @@ Status LucMapper::DeleteRole(SurrogateId s, const std::string& cls,
 
 Status LucMapper::ClusterNear(SurrogateId s, const std::string& cls,
                               SurrogateId near, const std::string& near_cls) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(int unit, phys_->UnitOf(cls));
   SIM_ASSIGN_OR_RETURN(int near_unit, phys_->UnitOf(near_cls));
   SIM_ASSIGN_OR_RETURN(PageId hint, units_[near_unit]->PageOf(near));
@@ -421,6 +425,7 @@ Status LucMapper::UpdateSecIndex(const FieldRef& ref, SurrogateId s,
 Status LucMapper::SetField(SurrogateId s, const std::string& cls,
                            const std::string& attr, const Value& v,
                            Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
   if (ref.attr->is_eva()) {
     return Status::InvalidArgument("'" + attr +
@@ -537,6 +542,7 @@ Result<std::vector<Value>> LucMapper::GetMvValues(SurrogateId s,
 Status LucMapper::AddMvValue(SurrogateId s, const std::string& cls,
                              const std::string& attr, const Value& v,
                              Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
   if (!ref.attr->is_dva() || !ref.attr->mv || ref.attr->is_subrole) {
     return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
@@ -588,6 +594,7 @@ Status LucMapper::AddMvValue(SurrogateId s, const std::string& cls,
 Status LucMapper::RemoveMvValue(SurrogateId s, const std::string& cls,
                                 const std::string& attr, const Value& v,
                                 Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
   if (!ref.attr->is_dva() || !ref.attr->mv || ref.attr->is_subrole) {
     return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
@@ -813,6 +820,7 @@ Result<std::vector<SurrogateId>> LucMapper::GetEvaTargetsUnordered(
 Status LucMapper::AddEvaPair(const std::string& cls, const std::string& attr,
                              SurrogateId owner, SurrogateId target,
                              Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
   const EvaPhys& eva = *side.eva;
   const std::string& owner_class = side.owner_is_a ? eva.class_a : eva.class_b;
@@ -879,6 +887,7 @@ Status LucMapper::AddEvaPair(const std::string& cls, const std::string& attr,
 Status LucMapper::RemoveEvaPair(const std::string& cls,
                                 const std::string& attr, SurrogateId owner,
                                 SurrogateId target, Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
   SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> current,
                        GetEvaTargets(cls, attr, owner));
@@ -898,6 +907,7 @@ Status LucMapper::RemoveEvaPair(const std::string& cls,
 Status LucMapper::RemoveAllEvaPairs(const std::string& cls,
                                     const std::string& attr,
                                     SurrogateId owner, Transaction* txn) {
+  ++mutation_count_;
   SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
                        GetEvaTargets(cls, attr, owner));
   for (SurrogateId t : targets) {
@@ -1021,6 +1031,12 @@ Status LucMapper::ExtentCursor::Next() {
 Result<uint64_t> LucMapper::ExtentCount(const std::string& cls) const {
   SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
   return extent_counts_[code];
+}
+
+Result<bool> LucMapper::ExtentScanInSurrogateOrder(
+    const std::string& cls) const {
+  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(cls));
+  return units_[u]->scan_in_surrogate_order();
 }
 
 Status LucMapper::CheckRequired(SurrogateId s, const std::string& cls) {

@@ -184,6 +184,15 @@ class LucMapper {
   Result<std::vector<SurrogateId>> ExtentOf(const std::string& cls);
   // Maintained count of the extent (no scan).
   Result<uint64_t> ExtentCount(const std::string& cls) const;
+  // True while an extent cursor over `cls` is guaranteed to deliver
+  // entities in surrogate order (the unit's physical scan order has not
+  // diverged from insertion/surrogate order).
+  Result<bool> ExtentScanInSurrogateOrder(const std::string& cls) const;
+
+  // Monotonic counter bumped by every data mutation (entity lifecycle,
+  // field/MV writes, EVA instance changes, reclustering). Lets the
+  // optimizer detect stale statistics without scanning.
+  uint64_t mutation_count() const { return mutation_count_; }
 
   // --- integrity support ---
 
@@ -294,6 +303,7 @@ class LucMapper {
   std::vector<uint64_t> eva_pair_counts_;
 
   SurrogateId next_surrogate_ = 1;
+  uint64_t mutation_count_ = 0;
 };
 
 }  // namespace sim

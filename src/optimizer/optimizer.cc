@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "exec/physical_plan.h"
 
 namespace sim {
 
@@ -29,6 +30,7 @@ std::string AccessPlan::Describe() const {
 void Optimizer::RefreshStats() {
   stats_ = StatsSnapshot::Collect(mapper_);
   cost_model_ = CostModel(&mapper_->phys(), &stats_);
+  stats_mutation_count_ = mapper_->mutation_count();
 }
 
 void Optimizer::CollectIndexCandidates(const QueryTree& qt, const BExpr* expr,
@@ -136,7 +138,17 @@ double Optimizer::CostStrategy(
   return cost;
 }
 
+Result<PhysicalPlan> Optimizer::Plan(const QueryTree& qt) {
+  SIM_ASSIGN_OR_RETURN(AccessPlan access, Optimize(qt));
+  return PhysicalPlan::Build(qt, &access, mapper_);
+}
+
 Result<AccessPlan> Optimizer::Optimize(const QueryTree& qt) {
+  // Data has changed since the statistics snapshot: re-collect before
+  // costing, so cardinalities and fanouts reflect the current extents.
+  if (mapper_->mutation_count() != stats_mutation_count_) {
+    RefreshStats();
+  }
   std::vector<IndexCandidate> candidates;
   CollectIndexCandidates(qt, qt.where.get(), &candidates);
 

@@ -21,6 +21,8 @@
 
 namespace sim {
 
+struct PhysicalPlan;  // exec/physical_plan.h
+
 struct AccessPlan {
   enum class RootMethod { kScan, kIndexEq };
 
@@ -50,12 +52,21 @@ class Optimizer {
   explicit Optimizer(LucMapper* mapper)
       : mapper_(mapper),
         stats_(StatsSnapshot::Collect(mapper)),
-        cost_model_(&mapper->phys(), &stats_) {}
+        cost_model_(&mapper->phys(), &stats_),
+        stats_mutation_count_(mapper->mutation_count()) {}
 
   // Re-reads statistics from the mapper.
   void RefreshStats();
 
+  // Chooses the cheapest root-access strategy. Statistics are refreshed
+  // automatically when the mapper's mutation counter has advanced since
+  // they were collected, so a long-lived Optimizer never plans on stale
+  // cardinalities.
   Result<AccessPlan> Optimize(const QueryTree& qt);
+
+  // Full physical planning: Optimize + compile the winning strategy into
+  // a Volcano operator tree.
+  Result<PhysicalPlan> Plan(const QueryTree& qt);
 
   const CostModel& cost_model() const { return cost_model_; }
   const StatsSnapshot& stats() const { return stats_; }
@@ -81,6 +92,8 @@ class Optimizer {
   LucMapper* mapper_;
   StatsSnapshot stats_;
   CostModel cost_model_;
+  // Mapper mutation count at the time stats_ was collected.
+  uint64_t stats_mutation_count_ = 0;
 };
 
 }  // namespace sim

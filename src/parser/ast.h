@@ -178,6 +178,8 @@ struct RetrieveStmt : Stmt {
   std::vector<ExprPtr> targets;
   std::vector<OrderItem> order_by;
   ExprPtr where;  // may be null
+  // RETRIEVE FIRST n / trailing LIMIT n; -1 = no limit.
+  int64_t limit = -1;
 };
 
 // One assignment inside INSERT or MODIFY (§4.8):

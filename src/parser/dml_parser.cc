@@ -84,13 +84,28 @@ Result<StmtPtr> DmlParser::ParseRetrieve() {
   } else if (MatchKeyword("structure")) {
     stmt->mode = OutputMode::kStructure;
   }
+  // RETRIEVE FIRST n — only when followed by an integer, so an attribute
+  // named FIRST still parses as a target.
+  if (Peek().Is("first") && Peek(1).type == TokenType::kInt) {
+    Advance();
+    stmt->limit = Advance().int_value;
+    if (stmt->limit < 0) return ErrorHere("FIRST requires a count >= 0");
+  }
   for (;;) {
     SIM_RETURN_IF_ERROR(ParseTargetItems(&stmt->targets));
     if (!Match(TokenType::kComma)) break;
   }
   // The paper's grammar is [ORDER BY ...] [WHERE ...]; we accept the two
-  // clauses in either order (each at most once).
-  while (Peek().Is("order") || Peek().Is("where")) {
+  // clauses in either order (each at most once), plus a trailing LIMIT n.
+  while (Peek().Is("order") || Peek().Is("where") ||
+         (Peek().Is("limit") && Peek(1).type == TokenType::kInt)) {
+    if (Peek().Is("limit")) {
+      if (stmt->limit >= 0) return ErrorHere("duplicate LIMIT / FIRST");
+      Advance();
+      stmt->limit = Advance().int_value;
+      if (stmt->limit < 0) return ErrorHere("LIMIT requires a count >= 0");
+      continue;
+    }
     if (MatchKeyword("order")) {
       if (!stmt->order_by.empty()) {
         return ErrorHere("duplicate ORDER BY clause");

@@ -85,6 +85,7 @@ Status Binder::ApplyViewConditions(QueryTree* qt) {
 Result<QueryTree> Binder::BindRetrieve(const RetrieveStmt& stmt) {
   QueryTree qt;
   qt.mode = stmt.mode;
+  qt.limit = stmt.limit;
   node_keys_.clear();
   next_scope_ = 0;
   pending_view_conditions_.clear();

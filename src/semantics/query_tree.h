@@ -172,6 +172,8 @@ struct QueryTree {
   std::vector<std::string> target_labels;  // display headers
   std::vector<BoundOrderItem> order_by;
   BExprPtr where;  // null = no selection
+  // RETRIEVE FIRST n / LIMIT n: stop after n output rows (-1 = no limit).
+  int64_t limit = -1;
 
   // Main-query child nodes of `node` (excludes aggregate-local scopes).
   std::vector<int> MainChildren(int node) const;
