@@ -42,7 +42,8 @@ void RunStatement(sim::Database* db, const std::string& text) {
   size_t j = text.find_first_of(" \t\r\n", i);
   std::string word =
       text.substr(i, j == std::string::npos ? std::string::npos : j - i);
-  if (sim::NameEq(word, "from") || sim::NameEq(word, "retrieve")) {
+  if (sim::NameEq(word, "from") || sim::NameEq(word, "retrieve") ||
+      sim::NameEq(word, "check")) {
     auto rs = db->ExecuteQuery(text);
     if (!rs.ok()) {
       std::printf("%s\n", rs.status().ToString().c_str());

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build and run the full test suite three times — a
-# plain build, an ASan+UBSan build, and a standalone UBSan build that traps
-# on the first finding. Usage: scripts/check.sh [extra ctest args]
+# Tier-1 verification: build and run the full test suite four times — a
+# plain build, an ASan+UBSan build, a standalone UBSan build that traps on
+# the first finding, and a hardened STRICT build (-Werror) that also runs
+# clang-tidy (when installed) and the simdb_check invariant audit.
+# Usage: scripts/check.sh [extra ctest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +23,22 @@ echo "== sanitized build (UBSan only, trap on first finding) =="
 cmake -B build-ubsan -S . -DUBSAN=ON >/dev/null
 cmake --build build-ubsan -j "$jobs"
 ctest --test-dir build-ubsan --output-on-failure -j "$jobs" "$@"
+
+echo "== hardened build (STRICT=ON: warnings are errors) =="
+cmake -B build-strict -S . -DSTRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  >/dev/null
+cmake --build build-strict -j "$jobs"
+ctest --test-dir build-strict --output-on-failure -j "$jobs" "$@"
+
+echo "== simdb_check invariant audit (UNIVERSITY fixture) =="
+./build-strict/tools/simdb_check
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (profile: .clang-tidy) =="
+  find src -name '*.cc' -print0 |
+    xargs -0 clang-tidy -p build-strict --quiet
+else
+  echo "== clang-tidy not installed; skipping static analysis =="
+fi
 
 echo "All checks passed."

@@ -1,5 +1,6 @@
 #include "api/database.h"
 
+#include "check/plan_check.h"
 #include "exec/physical_plan.h"
 #include "parser/ddl_parser.h"
 #include "parser/dml_parser.h"
@@ -104,9 +105,33 @@ Result<LucMapper*> Database::mapper() {
   return mapper_.get();
 }
 
+Result<CheckReport> Database::Audit() {
+  // Deliberately no EnsureMapper(): auditing must never change the
+  // database, and a reopened file-backed database without a rebuilt
+  // physical layer still gets the catalog + page-checksum layers.
+  InvariantChecker checker(&dir_, mapper_.get(), pool_.get(), io_pager());
+  return checker.AuditAll();
+}
+
 Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
   SIM_RETURN_IF_ERROR(EnsureMapper());
   SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  if (stmt->kind == StmtKind::kCheck) {
+    SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
+    ResultSet rs;
+    rs.columns = {"layer", "invariant", "object", "surrogate", "message"};
+    for (const CheckError& e : report.errors) {
+      Row row;
+      row.values = {Value::Str(CheckLayerName(e.layer)),
+                    Value::Str(e.invariant), Value::Str(e.object),
+                    e.surrogate == kInvalidSurrogate
+                        ? Value::Null()
+                        : Value::Surrogate(e.surrogate),
+                    Value::Str(e.message)};
+      rs.rows.push_back(std::move(row));
+    }
+    return rs;
+  }
   if (stmt->kind != StmtKind::kRetrieve) {
     return Status::InvalidArgument(
         "ExecuteQuery expects a Retrieve statement; use ExecuteUpdate");
@@ -201,7 +226,12 @@ Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
     SIM_ASSIGN_OR_RETURN(impl->plan,
                          PhysicalPlan::Build(qt, nullptr, mapper_.get()));
   }
+  SIM_RETURN_IF_ERROR(ValidatePlanOrError(impl->plan, qt));
   impl->qt = std::move(qt);
+  if (options_.paranoid_checks) {
+    impl->plan.root =
+        std::make_unique<ProtocolCheck>(std::move(impl->plan.root));
+  }
   impl->cx = std::make_unique<ExecContext>(&impl->qt, mapper_.get());
   SIM_RETURN_IF_ERROR(impl->plan.root->Open(*impl->cx));
   impl->open = true;
@@ -236,6 +266,7 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
   SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
   SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
                        PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
+  SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
   // Drain the pipeline so every operator has an actual row count.
   ExecContext cx(&qt, mapper_.get());
   SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
@@ -280,6 +311,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
                                     txn);
       break;
     case StmtKind::kRetrieve:
+    case StmtKind::kCheck:
       if (implicit_txn) SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
       return Status::InvalidArgument(
           "ExecuteUpdate expects Insert/Modify/Delete; use ExecuteQuery");
@@ -302,6 +334,13 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
       return committed;
     }
   }
+  if (options_.paranoid_checks) {
+    SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
+    if (!report.clean()) {
+      return Status::Internal("paranoid audit after update statement: " +
+                              report.errors.front().ToString());
+    }
+  }
   return result->entities_affected;
 }
 
@@ -309,7 +348,7 @@ Status Database::ExecuteScript(std::string_view dml_script) {
   SIM_ASSIGN_OR_RETURN(std::vector<StmtPtr> statements,
                        DmlParser::ParseScript(dml_script));
   for (const StmtPtr& stmt : statements) {
-    if (stmt->kind == StmtKind::kRetrieve) {
+    if (stmt->kind == StmtKind::kRetrieve || stmt->kind == StmtKind::kCheck) {
       return Status::InvalidArgument(
           "ExecuteScript accepts update statements only");
     }

@@ -26,6 +26,7 @@
 
 #include "catalog/directory.h"
 #include "catalog/luc_translation.h"
+#include "check/check.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "exec/integrity.h"
@@ -60,6 +61,10 @@ struct DatabaseOptions {
   // injector, so crash-safety tests can script deterministic fault
   // schedules. Not owned; must outlive the Database.
   FaultInjector* fault_injector = nullptr;
+  // Debug mode for tests: run the full invariant audit after every update
+  // statement (failing the statement's result on any finding) and wrap
+  // streaming-cursor plans in the iterator-protocol checker.
+  bool paranoid_checks = false;
 };
 
 class Database {
@@ -126,6 +131,13 @@ class Database {
 
   // Runs a sequence of update statements, each statement-atomic.
   Status ExecuteScript(std::string_view dml_script);
+
+  // Runs the simcheck invariant audit over whatever is available: the
+  // catalog always, storage + pages when the physical layer exists. Never
+  // builds the mapper itself, so a freshly reopened (post-recovery)
+  // database gets the degraded catalog + page-checksum audit. Violations
+  // are findings in the report, not a non-OK status.
+  Result<CheckReport> Audit();
 
   // The chosen access plan for a Retrieve: query tree, root strategy and
   // the compiled physical operator tree with estimated rows, as text.

@@ -5,16 +5,16 @@
 namespace sim {
 
 const AttributeDef* ClassDef::FindImmediateAttribute(
-    const std::string& name) const {
+    const std::string& attr_name) const {
   for (const auto& a : attributes) {
-    if (NameEq(a.name, name)) return &a;
+    if (NameEq(a.name, attr_name)) return &a;
   }
   return nullptr;
 }
 
-AttributeDef* ClassDef::FindImmediateAttribute(const std::string& name) {
+AttributeDef* ClassDef::FindImmediateAttribute(const std::string& attr_name) {
   for (auto& a : attributes) {
-    if (NameEq(a.name, name)) return &a;
+    if (NameEq(a.name, attr_name)) return &a;
   }
   return nullptr;
 }

@@ -1,0 +1,861 @@
+#include "check/check.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "catalog/luc_translation.h"
+#include "common/strings.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/record_codec.h"
+
+namespace sim {
+
+const char* CheckLayerName(CheckLayer layer) {
+  switch (layer) {
+    case CheckLayer::kCatalog:
+      return "catalog";
+    case CheckLayer::kStorage:
+      return "storage";
+    case CheckLayer::kPlan:
+      return "plan";
+  }
+  return "unknown";
+}
+
+std::string CheckError::ToString() const {
+  std::string out = "[";
+  out += CheckLayerName(layer);
+  out += "] ";
+  out += invariant;
+  if (!object.empty()) {
+    out += " ";
+    out += object;
+  }
+  if (surrogate != kInvalidSurrogate) {
+    out += " s=" + std::to_string(surrogate);
+  }
+  out += ": " + message;
+  return out;
+}
+
+bool CheckReport::HasInvariant(const std::string& code) const {
+  return std::any_of(errors.begin(), errors.end(),
+                     [&code](const CheckError& e) { return e.invariant == code; });
+}
+
+size_t CheckReport::CountLayer(CheckLayer layer) const {
+  return static_cast<size_t>(
+      std::count_if(errors.begin(), errors.end(),
+                    [layer](const CheckError& e) { return e.layer == layer; }));
+}
+
+std::string CheckReport::ToString() const {
+  std::string out;
+  for (const CheckError& e : errors) {
+    out += e.ToString();
+    out += "\n";
+  }
+  out += "audit: " + std::to_string(errors.size()) + " finding(s); checked " +
+         std::to_string(entities_checked) + " entities, " +
+         std::to_string(records_checked) + " records, " +
+         std::to_string(eva_pairs_checked) + " EVA pairs, " +
+         std::to_string(index_entries_checked) + " index entries, " +
+         std::to_string(pages_checked) + " pages\n";
+  return out;
+}
+
+void InvariantChecker::AddError(CheckReport* report, CheckLayer layer,
+                                std::string invariant, std::string object,
+                                SurrogateId surrogate, std::string message) {
+  std::string key = std::string(CheckLayerName(layer)) + "|" + invariant +
+                    "|" + object + "|" + std::to_string(surrogate);
+  if (!reported_.insert(std::move(key)).second) return;
+  report->errors.push_back(CheckError{layer, std::move(invariant),
+                                      std::move(object), surrogate,
+                                      std::move(message)});
+}
+
+Result<CheckReport> InvariantChecker::AuditAll() {
+  CheckReport report;
+  reported_.clear();
+  SIM_RETURN_IF_ERROR(AuditCatalog(&report));
+  SIM_RETURN_IF_ERROR(AuditStorage(&report));
+  SIM_RETURN_IF_ERROR(AuditPages(&report));
+  return report;
+}
+
+// --------------------------------------------------------------------------
+// Layer 1: the catalog alone. The Directory Manager validates these rules
+// at DDL time; the auditor re-derives them independently so drift in a
+// persisted or hand-built catalog is caught rather than trusted.
+// --------------------------------------------------------------------------
+
+Status InvariantChecker::AuditCatalog(CheckReport* report) {
+  CheckClassGraph(report);
+  CheckInverseSymmetry(report);
+  CheckOptionWellFormedness(report);
+  return Status::Ok();
+}
+
+void InvariantChecker::CheckClassGraph(CheckReport* report) {
+  // §3.1: "the class interrelationships must form a directed acyclic
+  // graph" and every class family has exactly one base class.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+
+  // Iterative DFS with an explicit stack (second visit pops to black).
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& name) {
+        std::vector<std::pair<std::string, bool>> stack = {{name, false}};
+        while (!stack.empty()) {
+          auto [cur, expanded] = stack.back();
+          stack.pop_back();
+          std::string lc = AsciiLower(cur);
+          if (expanded) {
+            color[lc] = Color::kBlack;
+            continue;
+          }
+          if (color[lc] == Color::kBlack) continue;
+          if (color[lc] == Color::kGray) {
+            AddError(report, CheckLayer::kCatalog, "class-dag-cycle", cur,
+                     kInvalidSurrogate,
+                     "class participates in a superclass cycle");
+            continue;
+          }
+          color[lc] = Color::kGray;
+          stack.emplace_back(cur, true);
+          Result<const ClassDef*> def = dir_->FindClass(cur);
+          if (!def.ok()) continue;
+          for (const std::string& super : (*def)->superclasses) {
+            if (!dir_->HasClass(super)) {
+              AddError(report, CheckLayer::kCatalog, "superclass-missing", cur,
+                       kInvalidSurrogate,
+                       "superclass '" + super + "' is not defined");
+              continue;
+            }
+            std::string slc = AsciiLower(super);
+            if (color[slc] == Color::kGray) {
+              AddError(report, CheckLayer::kCatalog, "class-dag-cycle", cur,
+                       kInvalidSurrogate,
+                       "superclass edge to '" + super + "' closes a cycle");
+              continue;
+            }
+            if (color[slc] == Color::kWhite) stack.emplace_back(super, false);
+          }
+        }
+      };
+
+  for (const std::string& name : dir_->class_names()) visit(name);
+
+  // Single base-class ancestor, re-derived by a transitive walk over the
+  // raw superclass edges (not via BaseOf, which assumes the rule holds).
+  for (const std::string& name : dir_->class_names()) {
+    std::set<std::string> bases;
+    std::set<std::string> seen;
+    std::vector<std::string> work = {AsciiLower(name)};
+    while (!work.empty()) {
+      std::string cur = work.back();
+      work.pop_back();
+      if (!seen.insert(cur).second) continue;
+      Result<const ClassDef*> def = dir_->FindClass(cur);
+      if (!def.ok()) continue;
+      if ((*def)->is_base()) {
+        bases.insert(AsciiLower((*def)->name));
+        continue;
+      }
+      for (const std::string& super : (*def)->superclasses) {
+        work.push_back(AsciiLower(super));
+      }
+    }
+    if (bases.size() > 1) {
+      AddError(report, CheckLayer::kCatalog, "multiple-base-ancestors", name,
+               kInvalidSurrogate,
+               "class reaches " + std::to_string(bases.size()) +
+                   " distinct base classes (§3.1 allows one)");
+    } else if (bases.empty()) {
+      AddError(report, CheckLayer::kCatalog, "multiple-base-ancestors", name,
+               kInvalidSurrogate, "class reaches no base class");
+    }
+  }
+}
+
+void InvariantChecker::CheckInverseSymmetry(CheckReport* report) {
+  // §3.2: every EVA has a system-maintained inverse; the pair must point
+  // at each other and the inverse's range must cover the declaring class.
+  for (const std::string& name : dir_->class_names()) {
+    Result<const ClassDef*> def = dir_->FindClass(name);
+    if (!def.ok()) continue;
+    for (const AttributeDef& attr : (*def)->attributes) {
+      if (!attr.is_eva()) continue;
+      std::string qual = (*def)->name + "." + attr.name;
+      if (!dir_->HasClass(attr.range_class)) {
+        AddError(report, CheckLayer::kCatalog, "eva-range-missing", qual,
+                 kInvalidSurrogate,
+                 "range class '" + attr.range_class + "' is not defined");
+        continue;
+      }
+      if (attr.inverse_name.empty()) {
+        AddError(report, CheckLayer::kCatalog, "eva-inverse-missing", qual,
+                 kInvalidSurrogate, "EVA has no inverse attribute recorded");
+        continue;
+      }
+      Result<DirectoryManager::ResolvedAttr> inv = dir_->FindInverse(attr);
+      if (!inv.ok()) {
+        AddError(report, CheckLayer::kCatalog, "eva-inverse-missing", qual,
+                 kInvalidSurrogate,
+                 "inverse '" + attr.inverse_name + "' does not resolve: " +
+                     inv.status().message());
+        continue;
+      }
+      const AttributeDef& back = *inv->attr;
+      if (!back.is_eva() ||
+          AsciiLower(back.inverse_name) != AsciiLower(attr.name)) {
+        AddError(report, CheckLayer::kCatalog, "eva-inverse-asymmetric", qual,
+                 kInvalidSurrogate,
+                 "inverse '" + attr.inverse_name +
+                     "' does not point back at this EVA");
+      }
+      Result<bool> covers = dir_->IsSubclassOrSame((*def)->name,
+                                                   back.range_class);
+      if (!covers.ok() || !*covers) {
+        AddError(report, CheckLayer::kCatalog, "eva-inverse-asymmetric", qual,
+                 kInvalidSurrogate,
+                 "inverse range '" + back.range_class +
+                     "' does not cover declaring class '" + (*def)->name +
+                     "'");
+      }
+      if (!attr.order_by_attr.empty() &&
+          !dir_->ResolveAttribute(attr.range_class, attr.order_by_attr).ok()) {
+        AddError(report, CheckLayer::kCatalog, "eva-order-attr-missing", qual,
+                 kInvalidSurrogate,
+                 "ordering attribute '" + attr.order_by_attr +
+                     "' not found on range class");
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckOptionWellFormedness(CheckReport* report) {
+  // §3.2.1 attribute options: DISTINCT and MAX qualify multi-valued
+  // attributes; subrole value sets name immediate subclasses; symbolic
+  // types need a value set; derived attributes need their expression.
+  for (const std::string& name : dir_->class_names()) {
+    Result<const ClassDef*> def = dir_->FindClass(name);
+    if (!def.ok()) continue;
+    Result<std::vector<std::string>> subs =
+        dir_->ImmediateSubclassesOf((*def)->name);
+    for (const AttributeDef& attr : (*def)->attributes) {
+      std::string qual = (*def)->name + "." + attr.name;
+      if (attr.distinct && !attr.mv) {
+        AddError(report, CheckLayer::kCatalog, "option-distinct-without-mv",
+                 qual, kInvalidSurrogate,
+                 "DISTINCT requires a multi-valued attribute");
+      }
+      if (attr.max_count >= 0 && !attr.mv) {
+        AddError(report, CheckLayer::kCatalog, "option-max-without-mv", qual,
+                 kInvalidSurrogate,
+                 "MAX requires a multi-valued attribute");
+      }
+      if (attr.mv && attr.max_count == 0) {
+        AddError(report, CheckLayer::kCatalog, "option-max-invalid", qual,
+                 kInvalidSurrogate, "MAX 0 forbids every value");
+      }
+      if (attr.unique && attr.mv) {
+        AddError(report, CheckLayer::kCatalog, "option-unique-on-mv", qual,
+                 kInvalidSurrogate,
+                 "UNIQUE on a multi-valued attribute is not meaningful");
+      }
+      if (attr.is_derived && attr.derived_text.empty()) {
+        AddError(report, CheckLayer::kCatalog, "derived-without-text", qual,
+                 kInvalidSurrogate, "derived attribute has no expression");
+      }
+      if (attr.is_dva() && (attr.type.kind == DataTypeKind::kSymbolic ||
+                            attr.type.kind == DataTypeKind::kSubrole) &&
+          attr.type.symbols.empty()) {
+        AddError(report, CheckLayer::kCatalog, "symbolic-empty", qual,
+                 kInvalidSurrogate, "enumerated type has an empty value set");
+      }
+      if (attr.is_subrole && subs.ok()) {
+        for (const std::string& sym : attr.type.symbols) {
+          bool found = std::any_of(subs->begin(), subs->end(),
+                                   [&sym](const std::string& s) {
+                                     return AsciiLower(s) == AsciiLower(sym);
+                                   });
+          if (!found) {
+            AddError(report, CheckLayer::kCatalog, "subrole-value-not-subclass",
+                     qual, kInvalidSurrogate,
+                     "subrole value '" + sym +
+                         "' is not an immediate subclass of '" +
+                         (*def)->name + "'");
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Layer 2: stored data against the catalog, through the mapper's own
+// structures but re-deriving every derived fact (indexes, inverses,
+// counters) from the base records.
+// --------------------------------------------------------------------------
+
+Status InvariantChecker::AuditStorage(CheckReport* report) {
+  if (mapper_ == nullptr) return Status::Ok();  // degraded audit
+  indexed_value_counts_.assign(mapper_->phys_->indexes().size(), 0);
+  unique_values_.clear();
+  SIM_RETURN_IF_ERROR(AuditUnits(report));
+  SIM_RETURN_IF_ERROR(AuditSecondaryIndexes(report));
+  SIM_RETURN_IF_ERROR(AuditMvFile(report));
+  return Status::Ok();
+}
+
+Status InvariantChecker::AuditUnits(CheckReport* report) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  std::vector<uint64_t> counted_extents(dir_->class_names().size(), 0);
+
+  for (size_t u = 0; u < mapper_->units_.size(); ++u) {
+    UnitStore* unit = mapper_->units_[u].get();
+    const std::string& unit_name = unit->phys_->name;
+    uint64_t own_records = 0;
+    std::set<SurrogateId> seen_in_unit;
+
+    // Iterate the heap directly (not the decoding cursor) so one
+    // undecodable record is reported and skipped instead of ending the
+    // scan — a byte-flipped record must not hide its neighbours.
+    for (HeapFile::Iterator it = unit->file_.Begin(); it.Valid(); it.Next()) {
+      ++report->records_checked;
+      Result<uint16_t> tag = PeekRecordType(it.record());
+      if (!tag.ok()) {
+        AddError(report, CheckLayer::kStorage, "record-decode", unit_name,
+                 kInvalidSurrogate,
+                 "record " + it.rid().ToString() +
+                     " has no readable type tag: " + tag.status().message());
+        continue;
+      }
+      if (*tag != unit->unit_code_) {
+        // A clustered record of another unit sharing this page.
+        if (*tag >= phys.units().size()) {
+          AddError(report, CheckLayer::kStorage, "record-foreign-to-unit",
+                   unit_name, kInvalidSurrogate,
+                   "record " + it.rid().ToString() + " carries unit tag " +
+                       std::to_string(*tag) + " which names no storage unit");
+        }
+        continue;
+      }
+      uint16_t rt = 0;
+      std::vector<Value> all;
+      Status decoded = DecodeRecord(it.record(), &rt, &all);
+      if (!decoded.ok() || all.size() != unit->phys_->fields.size() + 2 ||
+          all[0].type() != ValueType::kSurrogate ||
+          all[1].type() != ValueType::kString) {
+        AddError(report, CheckLayer::kStorage, "record-decode", unit_name,
+                 kInvalidSurrogate,
+                 "record " + it.rid().ToString() + " does not decode as [" +
+                     "surrogate, roles, fields...]: " +
+                     (decoded.ok() ? "wrong shape" : decoded.message()));
+        continue;
+      }
+      ++own_records;
+      SurrogateId s = all[0].surrogate_value();
+
+      // §3.1: surrogates are system-assigned, unique and immutable.
+      if (s == kInvalidSurrogate || s >= mapper_->next_surrogate_) {
+        AddError(report, CheckLayer::kStorage, "surrogate-invalid", unit_name,
+                 s, "surrogate outside the allocated range");
+      }
+      if (!seen_in_unit.insert(s).second) {
+        AddError(report, CheckLayer::kStorage, "surrogate-duplicate",
+                 unit_name, s, "surrogate appears twice in one storage unit");
+      }
+
+      std::set<uint16_t> roles = DecodeRoles(all[1].string_value());
+      if (roles.empty()) {
+        AddError(report, CheckLayer::kStorage, "roles-empty", unit_name, s,
+                 "record carries no role set");
+        continue;
+      }
+
+      // Role codes resolve; role sets are closed under ancestors (§3.1:
+      // membership in a subclass implies membership in its superclasses).
+      bool belongs_here = false;
+      std::string first_class;
+      for (uint16_t code : roles) {
+        Result<std::string> cls = phys.ClassForCode(code);
+        if (!cls.ok()) {
+          AddError(report, CheckLayer::kStorage, "role-code-invalid",
+                   unit_name, s,
+                   "role code " + std::to_string(code) + " names no class");
+          continue;
+        }
+        if (first_class.empty()) first_class = *cls;
+        Result<int> cu = phys.UnitOf(*cls);
+        if (cu.ok() && *cu == static_cast<int>(u)) belongs_here = true;
+        Result<std::vector<std::string>> ancestors = dir_->AncestorsOf(*cls);
+        if (ancestors.ok()) {
+          for (const std::string& anc : *ancestors) {
+            Result<uint16_t> anc_code = phys.ClassCode(anc);
+            if (anc_code.ok() && roles.count(*anc_code) == 0) {
+              AddError(report, CheckLayer::kStorage,
+                       "roles-not-ancestor-closed", *cls, s,
+                       "role '" + *cls + "' held without ancestor role '" +
+                           anc + "'");
+            }
+          }
+        }
+      }
+      if (!belongs_here) {
+        AddError(report, CheckLayer::kStorage, "record-foreign-to-unit",
+                 unit_name, s,
+                 "no role of this record maps to this storage unit");
+      }
+
+      // Primary (surrogate -> RecordId) index agreement: the §5.2 key
+      // organization, whatever its form, must locate exactly this record.
+      SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> rids,
+                           unit->primary_->Get(0, s));
+      uint64_t packed = PackRecordId(it.rid());
+      if (rids.empty()) {
+        AddError(report, CheckLayer::kStorage, "primary-index-missing",
+                 unit_name, s, "record has no primary-index entry");
+      } else if (std::find(rids.begin(), rids.end(), packed) == rids.end()) {
+        AddError(report, CheckLayer::kStorage, "primary-index-mismatch",
+                 unit_name, s,
+                 "primary index locates a different record than the heap "
+                 "holds");
+      } else if (rids.size() > 1) {
+        AddError(report, CheckLayer::kStorage, "primary-index-mismatch",
+                 unit_name, s, "surrogate has multiple primary-index entries");
+      }
+
+      // Cross-unit closure (§3.1 / §5.2): the entity must have a record,
+      // with an identical role set, in the unit of every role it holds —
+      // this is the "subclass extent ⊆ base extent" containment when
+      // hierarchies are split across units.
+      for (uint16_t code : roles) {
+        Result<std::string> cls = phys.ClassForCode(code);
+        if (!cls.ok()) continue;
+        Result<int> cu = phys.UnitOf(*cls);
+        if (!cu.ok() || *cu == static_cast<int>(u)) continue;
+        std::set<uint16_t> other_roles;
+        Status read = mapper_->units_[*cu]->Read(s, &other_roles, nullptr);
+        if (read.code() == StatusCode::kNotFound) {
+          AddError(report, CheckLayer::kStorage, "subclass-extent-orphan",
+                   *cls, s,
+                   "entity holds role '" + *cls + "' but has no record in "
+                   "unit '" + mapper_->units_[*cu]->phys_->name + "'");
+        } else if (!read.ok()) {
+          AddError(report, CheckLayer::kStorage, "record-decode",
+                   mapper_->units_[*cu]->phys_->name, s, read.message());
+        } else if (other_roles != roles) {
+          AddError(report, CheckLayer::kStorage, "closure-roles-disagree",
+                   *cls, s,
+                   "role sets disagree between units of the same entity");
+        }
+      }
+
+      // Entity-level checks run once per entity, from its base-unit record.
+      Result<std::string> base = dir_->BaseOf(first_class);
+      if (base.ok()) {
+        Result<int> base_unit = phys.UnitOf(*base);
+        if (base_unit.ok() && *base_unit == static_cast<int>(u)) {
+          ++report->entities_checked;
+          for (uint16_t code : roles) {
+            if (code < counted_extents.size()) ++counted_extents[code];
+          }
+          SIM_RETURN_IF_ERROR(AuditEntity(s, roles, report));
+        }
+      }
+    }
+
+    if (own_records != unit->file_.record_count()) {
+      AddError(report, CheckLayer::kStorage, "record-count-mismatch",
+               unit_name, kInvalidSurrogate,
+               "heap reports " + std::to_string(unit->file_.record_count()) +
+                   " records but the scan found " +
+                   std::to_string(own_records));
+    }
+    if (unit->primary_->entry_count() != own_records) {
+      AddError(report, CheckLayer::kStorage, "primary-index-mismatch",
+               unit_name, kInvalidSurrogate,
+               "primary index holds " +
+                   std::to_string(unit->primary_->entry_count()) +
+                   " entries for " + std::to_string(own_records) + " records");
+    }
+
+    // Free-list sanity: the cached estimates must stay parallel to the
+    // page list and inside physical bounds.
+    const std::vector<PageId>& pages = unit->file_.pages();
+    const std::vector<int>& free = unit->file_.free_estimates();
+    if (free.size() != pages.size()) {
+      AddError(report, CheckLayer::kStorage, "heap-freelist-desync", unit_name,
+               kInvalidSurrogate,
+               "free-space estimates out of step with the page list");
+    }
+    for (size_t i = 0; i < free.size() && i < pages.size(); ++i) {
+      bool bad_page =
+          pager_ != nullptr && pages[i] >= pager_->page_count();
+      if (bad_page || free[i] < 0 || free[i] > static_cast<int>(kPageSize)) {
+        AddError(report, CheckLayer::kStorage, "heap-freelist-desync",
+                 unit_name, kInvalidSurrogate,
+                 "page entry " + std::to_string(i) +
+                     " is out of bounds (page " + std::to_string(pages[i]) +
+                     ", free " + std::to_string(free[i]) + ")");
+      }
+    }
+  }
+
+  // Maintained extent counters vs the extents just counted.
+  for (const std::string& cls : dir_->class_names()) {
+    Result<uint16_t> code = phys.ClassCode(cls);
+    if (!code.ok() || *code >= mapper_->extent_counts_.size()) continue;
+    uint64_t counted =
+        *code < counted_extents.size() ? counted_extents[*code] : 0;
+    if (mapper_->extent_counts_[*code] != counted) {
+      AddError(report, CheckLayer::kStorage, "extent-count-mismatch", cls,
+               kInvalidSurrogate,
+               "maintained extent count " +
+                   std::to_string(mapper_->extent_counts_[*code]) +
+                   " != counted " + std::to_string(counted));
+    }
+  }
+
+  // Maintained EVA pair counters vs the forward structures. Symmetric
+  // EVAs store both directions in the forward structure, so their counter
+  // does not equal a one-sided sum; they are fully covered by the
+  // record-for-record inverse agreement instead.
+  for (size_t e = 0;
+       e < phys.evas().size() && e < mapper_->eva_pair_counts_.size(); ++e) {
+    const EvaPhys& eva = phys.evas()[e];
+    if (eva.symmetric) continue;
+    Result<std::vector<SurrogateId>> owners = mapper_->ExtentOf(eva.class_a);
+    if (!owners.ok()) continue;
+    uint64_t pairs = 0;
+    for (SurrogateId owner : *owners) {
+      Result<std::vector<SurrogateId>> targets =
+          mapper_->GetEvaTargetsUnordered(eva.class_a, eva.attr_a, owner);
+      if (targets.ok()) pairs += targets->size();
+    }
+    if (pairs != mapper_->eva_pair_counts_[e]) {
+      AddError(report, CheckLayer::kStorage, "eva-pair-count-mismatch",
+               eva.class_a + "." + eva.attr_a, kInvalidSurrogate,
+               "maintained pair count " +
+                   std::to_string(mapper_->eva_pair_counts_[e]) +
+                   " != stored " + std::to_string(pairs));
+    }
+  }
+  return Status::Ok();
+}
+
+Status InvariantChecker::AuditEntity(SurrogateId s,
+                                     const std::set<uint16_t>& roles,
+                                     CheckReport* report) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  for (uint16_t code : roles) {
+    Result<std::string> cls_name = phys.ClassForCode(code);
+    if (!cls_name.ok()) continue;
+    Result<const ClassDef*> cls = dir_->FindClass(*cls_name);
+    if (!cls.ok()) continue;
+    for (const AttributeDef& attr : (*cls)->attributes) {
+      std::string qual = (*cls)->name + "." + attr.name;
+      if (attr.is_derived || attr.is_subrole) continue;
+      if (attr.is_eva()) {
+        SIM_RETURN_IF_ERROR(AuditEvaSide(s, (*cls)->name, attr, report));
+        continue;
+      }
+      if (attr.mv) {
+        Result<std::vector<Value>> values =
+            mapper_->GetMvValues(s, (*cls)->name, attr.name);
+        if (!values.ok()) {
+          AddError(report, CheckLayer::kStorage, "mv-decode", qual, s,
+                   values.status().message());
+          continue;
+        }
+        if (attr.required && values->empty()) {
+          AddError(report, CheckLayer::kStorage, "required-missing", qual, s,
+                   "REQUIRED multi-valued attribute has no values");
+        }
+        if (attr.max_count >= 0 &&
+            static_cast<int>(values->size()) > attr.max_count) {
+          AddError(report, CheckLayer::kStorage, "mv-max-exceeded", qual, s,
+                   std::to_string(values->size()) + " values exceed MAX " +
+                       std::to_string(attr.max_count));
+        }
+        for (size_t i = 0; i < values->size(); ++i) {
+          const Value& v = (*values)[i];
+          if (v.is_null()) {
+            AddError(report, CheckLayer::kStorage, "mv-value-type-invalid",
+                     qual, s, "null stored as a multi-value member");
+            continue;
+          }
+          Status type_ok = attr.type.ValidateValue(v);
+          if (!type_ok.ok()) {
+            AddError(report, CheckLayer::kStorage, "mv-value-type-invalid",
+                     qual, s, type_ok.message());
+          }
+          if (attr.distinct) {
+            for (size_t j = i + 1; j < values->size(); ++j) {
+              if (v.StrictEquals((*values)[j])) {
+                AddError(report, CheckLayer::kStorage, "mv-distinct-duplicate",
+                         qual, s,
+                         "DISTINCT multi-value holds duplicate " +
+                             v.ToString());
+              }
+            }
+          }
+        }
+        continue;
+      }
+
+      // Single-valued stored DVA.
+      Result<Value> v = mapper_->GetField(s, (*cls)->name, attr.name);
+      if (!v.ok()) {
+        AddError(report, CheckLayer::kStorage, "record-decode", qual, s,
+                 v.status().message());
+        continue;
+      }
+      if (attr.required && v->is_null()) {
+        AddError(report, CheckLayer::kStorage, "required-missing", qual, s,
+                 "REQUIRED attribute is null");
+      }
+      if (v->is_null()) continue;
+      Status type_ok = attr.type.ValidateValue(*v);
+      if (!type_ok.ok()) {
+        AddError(report, CheckLayer::kStorage, "field-type-invalid", qual, s,
+                 type_ok.message());
+      }
+      Result<std::string> key = EncodeIndexKey(*v);
+      if (!key.ok()) continue;
+      if (attr.unique) {
+        auto [it, inserted] =
+            unique_values_[AsciiLower(qual)].emplace(*key, s);
+        if (!inserted) {
+          AddError(report, CheckLayer::kStorage, "unique-duplicate", qual, s,
+                   "value " + v->ToString() + " already held by entity " +
+                       std::to_string(it->second) + " (§3.2.1 UNIQUE)");
+        }
+      }
+      int idx = phys.IndexOf((*cls)->name, attr.name);
+      if (idx >= 0) {
+        ++indexed_value_counts_[idx];
+        SIM_ASSIGN_OR_RETURN(std::vector<uint64_t> held,
+                             mapper_->sec_indexes_[idx]->GetAll(*key));
+        if (std::find(held.begin(), held.end(), s) == held.end()) {
+          AddError(report, CheckLayer::kStorage, "sec-index-missing-entry",
+                   qual, s,
+                   "stored value " + v->ToString() +
+                       " has no matching index entry");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status InvariantChecker::AuditEvaSide(SurrogateId s, const std::string& cls,
+                                      const AttributeDef& attr,
+                                      CheckReport* report) {
+  std::string qual = cls + "." + attr.name;
+  Result<std::vector<SurrogateId>> targets =
+      mapper_->GetEvaTargetsUnordered(cls, attr.name, s);
+  if (!targets.ok()) {
+    AddError(report, CheckLayer::kStorage, "eva-target-unresolved", qual, s,
+             targets.status().message());
+    return Status::Ok();
+  }
+  if (attr.required && targets->empty()) {
+    AddError(report, CheckLayer::kStorage, "required-missing", qual, s,
+             "REQUIRED EVA has no target");
+  }
+  if (!attr.mv && targets->size() > 1) {
+    AddError(report, CheckLayer::kStorage, "eva-single-valued-multiple", qual,
+             s, "single-valued EVA holds " + std::to_string(targets->size()) +
+                    " targets");
+  }
+  if (attr.max_count >= 0 &&
+      static_cast<int>(targets->size()) > attr.max_count) {
+    AddError(report, CheckLayer::kStorage, "eva-max-exceeded", qual, s,
+             std::to_string(targets->size()) + " targets exceed MAX " +
+                 std::to_string(attr.max_count));
+  }
+  if (attr.distinct) {
+    std::set<SurrogateId> uniq(targets->begin(), targets->end());
+    if (uniq.size() != targets->size()) {
+      AddError(report, CheckLayer::kStorage, "eva-distinct-duplicate", qual, s,
+               "DISTINCT EVA holds a duplicate target");
+    }
+  }
+  Result<DirectoryManager::ResolvedAttr> inv = dir_->FindInverse(attr);
+  for (SurrogateId t : *targets) {
+    ++report->eva_pairs_checked;
+    Result<bool> in_range = mapper_->HasRole(t, attr.range_class);
+    if (!in_range.ok() || !*in_range) {
+      AddError(report, CheckLayer::kStorage, "eva-target-unresolved", qual, s,
+               "target " + std::to_string(t) +
+                   " does not hold range role '" + attr.range_class + "'");
+      continue;
+    }
+    if (!inv.ok()) continue;  // reported by the catalog layer
+    // §3.2: the inverse is visible the moment the EVA is set — the pair
+    // must exist record-for-record in the opposite direction.
+    Result<std::vector<SurrogateId>> back = mapper_->GetEvaTargetsUnordered(
+        attr.range_class, inv->attr->name, t);
+    if (!back.ok()) {
+      AddError(report, CheckLayer::kStorage, "eva-inverse-record-missing",
+               qual, s, back.status().message());
+      continue;
+    }
+    auto forward_count = std::count(targets->begin(), targets->end(), t);
+    auto inverse_count = std::count(back->begin(), back->end(), s);
+    if (inverse_count < forward_count) {
+      AddError(report, CheckLayer::kStorage, "eva-inverse-record-missing",
+               qual, s,
+               "pair with " + std::to_string(t) + " has no inverse record "
+               "on '" + attr.range_class + "." + inv->attr->name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status InvariantChecker::AuditSecondaryIndexes(CheckReport* report) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  for (size_t i = 0; i < phys.indexes().size(); ++i) {
+    const IndexPhys& idx = phys.indexes()[i];
+    std::string name = idx.class_name + "." + idx.attr_name;
+    BPlusTree* tree = mapper_->sec_indexes_[i].get();
+    uint64_t walked = 0;
+    std::string prev_key;
+    bool have_prev = false;
+    SIM_ASSIGN_OR_RETURN(BPlusTree::Iterator it, tree->Begin());
+    while (it.Valid()) {
+      ++walked;
+      ++report->index_entries_checked;
+      const std::string key = it.key();
+      SurrogateId s = it.value();
+      Result<bool> has_role = mapper_->HasRole(s, idx.class_name);
+      Result<Value> v = Status::NotFound("unchecked");
+      if (has_role.ok() && *has_role) {
+        v = mapper_->GetField(s, idx.class_name, idx.attr_name);
+      }
+      if (!has_role.ok() || !*has_role || !v.ok() || v->is_null()) {
+        AddError(report, CheckLayer::kStorage, "sec-index-orphan", name, s,
+                 "index entry has no matching stored value");
+      } else {
+        Result<std::string> enc = EncodeIndexKey(*v);
+        if (!enc.ok() || *enc != key) {
+          AddError(report, CheckLayer::kStorage, "sec-index-orphan", name, s,
+                   "index key disagrees with the stored value " +
+                       v->ToString());
+        }
+      }
+      if (idx.unique && have_prev && key == prev_key) {
+        AddError(report, CheckLayer::kStorage, "unique-duplicate", name, s,
+                 "unique index holds a duplicate key");
+      }
+      prev_key = key;
+      have_prev = true;
+      SIM_RETURN_IF_ERROR(it.Next());
+    }
+    if (walked != tree->entry_count() ||
+        walked != indexed_value_counts_[i]) {
+      AddError(report, CheckLayer::kStorage, "sec-index-count-mismatch", name,
+               kInvalidSurrogate,
+               "index walk found " + std::to_string(walked) +
+                   " entries; counter says " +
+                   std::to_string(tree->entry_count()) +
+                   ", heap holds " +
+                   std::to_string(indexed_value_counts_[i]) +
+                   " indexed values");
+    }
+  }
+  return Status::Ok();
+}
+
+Status InvariantChecker::AuditMvFile(CheckReport* report) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  uint64_t records = 0;
+  for (HeapFile::Iterator it = mapper_->mv_file_->Begin(); it.Valid();
+       it.Next()) {
+    ++records;
+    ++report->records_checked;
+    uint16_t rt = 0;
+    std::vector<Value> rec;
+    Status decoded = DecodeRecord(it.record(), &rt, &rec);
+    if (!decoded.ok() || rec.size() != 2 ||
+        rec[0].type() != ValueType::kSurrogate) {
+      AddError(report, CheckLayer::kStorage, "record-decode", "mvdva$records",
+               kInvalidSurrogate,
+               "MV DVA record " + it.rid().ToString() + " does not decode");
+      continue;
+    }
+    const MvDvaPhys* mv = nullptr;
+    for (const MvDvaPhys& cand : phys.mvdvas()) {
+      if (cand.id == rt && !cand.embedded) mv = &cand;
+    }
+    SurrogateId owner = rec[0].surrogate_value();
+    if (mv == nullptr) {
+      AddError(report, CheckLayer::kStorage, "mv-record-orphan",
+               "mvdva$records", owner,
+               "record tagged for unknown MV DVA id " + std::to_string(rt));
+      continue;
+    }
+    std::string qual = mv->class_name + "." + mv->attr_name;
+    Result<bool> has_role = mapper_->HasRole(owner, mv->class_name);
+    if (!has_role.ok() || !*has_role) {
+      AddError(report, CheckLayer::kStorage, "mv-record-orphan", qual, owner,
+               "owner entity does not hold role '" + mv->class_name + "'");
+    }
+    Result<bool> indexed =
+        mapper_->mv_index_->Contains(mv->id, owner, PackRecordId(it.rid()));
+    if (!indexed.ok() || !*indexed) {
+      AddError(report, CheckLayer::kStorage, "mv-record-orphan", qual, owner,
+               "MV DVA record is not reachable through the owner index");
+    }
+  }
+  if (records != mapper_->mv_file_->record_count() ||
+      mapper_->mv_index_->entry_count() != records) {
+    AddError(report, CheckLayer::kStorage, "record-count-mismatch",
+             "mvdva$records", kInvalidSurrogate,
+             "MV DVA heap/index counters disagree with the scan (" +
+                 std::to_string(records) + " scanned, " +
+                 std::to_string(mapper_->mv_file_->record_count()) +
+                 " counted, " +
+                 std::to_string(mapper_->mv_index_->entry_count()) +
+                 " indexed)");
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// Page-level audit: every durable page carries a CRC32 stamped on write
+// (PR 1); a torn or bit-flipped page must be detected, not interpreted.
+// --------------------------------------------------------------------------
+
+Status InvariantChecker::AuditPages(CheckReport* report) {
+  if (pager_ == nullptr) return Status::Ok();
+  if (pool_ != nullptr) {
+    // Push dirty frames out so the durable images are current.
+    SIM_RETURN_IF_ERROR(pool_->FlushAll());
+  }
+  std::vector<char> buf(kPageSize);
+  for (PageId id = 0; id < pager_->page_count(); ++id) {
+    ++report->pages_checked;
+    Status read = pager_->Read(id, buf.data());
+    if (!read.ok()) {
+      AddError(report, CheckLayer::kStorage, "page-unreadable",
+               "page " + std::to_string(id), kInvalidSurrogate,
+               read.message());
+      continue;
+    }
+    if (!PageChecksumOk(buf.data())) {
+      AddError(report, CheckLayer::kStorage, "page-checksum",
+               "page " + std::to_string(id), kInvalidSurrogate,
+               "stored CRC32 does not match page contents");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sim

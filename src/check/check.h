@@ -1,0 +1,142 @@
+#ifndef SIMDB_CHECK_CHECK_H_
+#define SIMDB_CHECK_CHECK_H_
+
+// simcheck: the semantic-invariant audit subsystem. SIM's proposition is
+// that the system, not the application, maintains semantic integrity
+// (paper §3): surrogates identify entities immutably (§3.1), every EVA has
+// a system-maintained inverse (§3.2), subclass membership implies
+// base-class membership (§3.1), and attribute options constrain stored
+// data (§3.2.1). The derived structures the LUC mapper maintains to make
+// that fast — inverse relationship records, subclass-unit links, secondary
+// indexes, extent counters — can silently drift from the base data after a
+// bug or a partial write. The InvariantChecker re-derives every invariant
+// from first principles and reports each violation as a structured
+// CheckError, layered so callers can audit whatever is available:
+//
+//   Layer 1 (catalog)  — the schema graph alone: class DAG acyclicity and
+//                        single base-class ancestry (§3.1), inverse-EVA
+//                        pairing symmetry (§3.2), option well-formedness
+//                        (§3.2.1).
+//   Layer 2 (storage)  — stored data against the catalog through the LUC
+//                        mapper's structures (§5.1/§5.2): surrogate
+//                        uniqueness, extent containment, record-for-record
+//                        inverse agreement, option conformance, index ↔
+//                        heap agreement, page checksums.
+//   Layer 3 (plan)     — physical operator trees before execution; see
+//                        check/plan_check.h.
+//
+// Entry points: Database::Audit(), the CHECK DATABASE statement, and the
+// simdb_check CLI. Tests also run audits after every update statement
+// (DatabaseOptions::paranoid_checks).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/directory.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "luc/mapper.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace sim {
+
+enum class CheckLayer { kCatalog, kStorage, kPlan };
+
+// "catalog" / "storage" / "plan".
+const char* CheckLayerName(CheckLayer layer);
+
+// One audit finding. `invariant` is a stable kebab-case code tests assert
+// on; `object` names the schema object or storage structure (class, LUC,
+// index, page); `surrogate` is the entity involved (kInvalidSurrogate when
+// the finding is not entity-specific).
+struct CheckError {
+  CheckLayer layer = CheckLayer::kCatalog;
+  std::string invariant;
+  std::string object;
+  SurrogateId surrogate = kInvalidSurrogate;
+  std::string message;
+
+  // "[storage] eva-inverse-record-missing student.advisor s=7: ...".
+  std::string ToString() const;
+};
+
+struct CheckReport {
+  std::vector<CheckError> errors;
+
+  // Work counters (what a clean audit actually looked at).
+  uint64_t entities_checked = 0;
+  uint64_t records_checked = 0;
+  uint64_t eva_pairs_checked = 0;
+  uint64_t index_entries_checked = 0;
+  uint64_t pages_checked = 0;
+
+  bool clean() const { return errors.empty(); }
+  bool HasInvariant(const std::string& code) const;
+  // Findings of one layer.
+  size_t CountLayer(CheckLayer layer) const;
+  // Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+// Audits a database bottom-up. The catalog is always available; the
+// storage layers need a live LUC mapper (a file-backed database reopened
+// after a crash has recovered pages but no rebuilt mapper — the audit then
+// degrades to the catalog and page-checksum layers). All parameters are
+// borrowed and may be null except `dir`.
+class InvariantChecker {
+ public:
+  InvariantChecker(const DirectoryManager* dir, LucMapper* mapper,
+                   BufferPool* pool, Pager* pager)
+      : dir_(dir), mapper_(mapper), pool_(pool), pager_(pager) {}
+
+  // Runs every applicable layer and returns the combined report. Only
+  // infrastructure failures (I/O errors while auditing) surface as a
+  // non-OK status; invariant violations are reported as findings.
+  Result<CheckReport> AuditAll();
+
+  // Individual layers, for targeted tests.
+  Status AuditCatalog(CheckReport* report);
+  Status AuditStorage(CheckReport* report);
+  Status AuditPages(CheckReport* report);
+
+ private:
+  // --- layer 1 ---
+  void CheckClassGraph(CheckReport* report);
+  void CheckInverseSymmetry(CheckReport* report);
+  void CheckOptionWellFormedness(CheckReport* report);
+
+  // --- layer 2 ---
+  Status AuditUnits(CheckReport* report);
+  Status AuditEntity(SurrogateId s, const std::set<uint16_t>& roles,
+                     CheckReport* report);
+  Status AuditEvaSide(SurrogateId s, const std::string& cls,
+                      const AttributeDef& attr, CheckReport* report);
+  Status AuditSecondaryIndexes(CheckReport* report);
+  Status AuditMvFile(CheckReport* report);
+
+  void AddError(CheckReport* report, CheckLayer layer, std::string invariant,
+                std::string object, SurrogateId surrogate, std::string message);
+
+  const DirectoryManager* dir_;
+  LucMapper* mapper_;
+  BufferPool* pool_;
+  Pager* pager_;
+
+  // Deduplication: closure checks run from every unit record of an entity
+  // and would otherwise repeat findings.
+  std::set<std::string> reported_;
+  // Non-null stored values per secondary index, counted during the unit
+  // scans and reconciled against the index walk.
+  std::vector<uint64_t> indexed_value_counts_;
+  // UNIQUE attribute (lower-cased "class.attr") -> encoded value -> first
+  // entity seen holding it, for duplicate detection across the extent.
+  std::map<std::string, std::map<std::string, SurrogateId>> unique_values_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CHECK_CHECK_H_

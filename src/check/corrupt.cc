@@ -1,0 +1,120 @@
+#include "check/corrupt.h"
+
+#include "luc/luc.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/record_codec.h"
+
+namespace sim {
+
+Status CorruptionInjector::FlipRecordByte(const std::string& cls,
+                                          SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(int u, mapper_->phys_->UnitOf(cls));
+  UnitStore* unit = mapper_->units_[u].get();
+  SIM_ASSIGN_OR_RETURN(RecordId rid, unit->FindRid(s));
+  SIM_ASSIGN_OR_RETURN(PageHandle h, mapper_->pool_->Fetch(rid.page));
+  SlottedPage page(h.data());
+  std::string_view record;
+  if (!page.Get(rid.slot, &record)) {
+    return Status::Internal("record slot not found for corruption");
+  }
+  // Byte 4 of the wire format is the value-type tag of the first field
+  // (u16 record_type | u16 field_count | u8 tag ...); flipping it makes
+  // the record undecodable while PeekRecordType still succeeds.
+  if (record.size() < 5) return Status::Internal("record too short to flip");
+  size_t offset = static_cast<size_t>(record.data() - h.data());
+  h.data()[offset + 4] ^= 0x7F;
+  h.MarkDirty();
+  return Status::Ok();
+}
+
+Status CorruptionInjector::DropInverseSide(const std::string& cls,
+                                           const std::string& attr,
+                                           SurrogateId owner,
+                                           SurrogateId target) {
+  SIM_ASSIGN_OR_RETURN(LucMapper::EvaSide side, mapper_->ResolveEva(cls, attr));
+  const EvaPhys& eva = *side.eva;
+  SurrogateId a = side.owner_is_a ? owner : target;
+  SurrogateId b = side.owner_is_a ? target : owner;
+  switch (eva.mapping) {
+    case EvaMapping::kCommonStructure:
+    case EvaMapping::kPrivateStructure: {
+      RelKeyedStore* fwd = mapper_->common_fwd_.get();
+      RelKeyedStore* inv = mapper_->common_inv_.get();
+      if (eva.mapping == EvaMapping::kPrivateStructure) {
+        auto& pair = mapper_->private_structs_.at(side.eva_idx);
+        fwd = pair.first.get();
+        inv = pair.second.get();
+      }
+      if (eva.symmetric) {
+        if (a == b) return Status::Internal("self-pair has no second record");
+        return fwd->Remove(eva.rel_id, b, a);
+      }
+      return inv->Remove(eva.rel_id, b, a);
+    }
+    case EvaMapping::kForeignKey: {
+      if (eva.b_mv) return mapper_->fk_inv_->Remove(eva.rel_id, b, a);
+      if (eva.symmetric && a != b) {
+        SIM_ASSIGN_OR_RETURN(
+            LucMapper::FieldRef ref,
+            mapper_->Resolve(eva.class_a, eva.attr_a, true));
+        return mapper_->WriteUnitField(ref.unit, b, ref.field, Value::Null(),
+                                       nullptr);
+      }
+      SIM_ASSIGN_OR_RETURN(LucMapper::FieldRef ref,
+                           mapper_->Resolve(eva.class_b, eva.attr_b, true));
+      return mapper_->WriteUnitField(ref.unit, b, ref.field, Value::Null(),
+                                     nullptr);
+    }
+  }
+  return Status::Internal("unhandled EVA mapping");
+}
+
+Status CorruptionInjector::DeleteUnitRecord(const std::string& cls,
+                                            SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(int u, mapper_->phys_->UnitOf(cls));
+  return mapper_->units_[u]->Delete(s);
+}
+
+Status CorruptionInjector::RawWriteField(const std::string& cls,
+                                         const std::string& attr,
+                                         SurrogateId s, const Value& v) {
+  SIM_ASSIGN_OR_RETURN(LucMapper::FieldRef ref,
+                       mapper_->Resolve(cls, attr, true));
+  return mapper_->WriteUnitField(ref.unit, s, ref.field, v, nullptr);
+}
+
+Status CorruptionInjector::DesyncPrimaryIndex(const std::string& cls,
+                                              SurrogateId s) {
+  SIM_ASSIGN_OR_RETURN(int u, mapper_->phys_->UnitOf(cls));
+  UnitStore* unit = mapper_->units_[u].get();
+  SIM_ASSIGN_OR_RETURN(RecordId rid, unit->FindRid(s));
+  uint64_t packed = PackRecordId(rid);
+  SIM_RETURN_IF_ERROR(unit->primary_->Remove(0, s, packed));
+  return unit->primary_->Add(0, s, packed + 1);
+}
+
+Status CorruptionInjector::RawAppendMvValue(const std::string& cls,
+                                            const std::string& attr,
+                                            SurrogateId s, const Value& v) {
+  SIM_ASSIGN_OR_RETURN(LucMapper::FieldRef ref,
+                       mapper_->Resolve(cls, attr, false));
+  SIM_ASSIGN_OR_RETURN(int mv_idx,
+                       mapper_->phys_->MvDvaOf(ref.owner->name,
+                                               ref.attr->name));
+  const MvDvaPhys& mv = mapper_->phys_->mvdvas()[mv_idx];
+  if (mv.embedded) {
+    SIM_ASSIGN_OR_RETURN(std::vector<Value> current,
+                         mapper_->GetMvValues(s, cls, attr));
+    current.push_back(v);
+    return mapper_->WriteUnitField(ref.unit, s, ref.field,
+                                   Value::Str(EncodeEmbeddedMv(current)),
+                                   nullptr);
+  }
+  std::string rec = EncodeRecord(static_cast<uint16_t>(mv.id),
+                                 {Value::Surrogate(s), v});
+  SIM_ASSIGN_OR_RETURN(RecordId rid, mapper_->mv_file_->Insert(rec));
+  return mapper_->mv_index_->Add(mv.id, s, PackRecordId(rid));
+}
+
+}  // namespace sim

@@ -1,0 +1,54 @@
+#ifndef SIMDB_CHECK_CORRUPT_H_
+#define SIMDB_CHECK_CORRUPT_H_
+
+// Test-only corruption injector. Each primitive plants one inconsistency
+// underneath the LUC mapper's invariant-preserving API — the exact classes
+// of drift the InvariantChecker exists to detect. Lives in src/check so
+// it can be a friend of the storage classes; production code never calls
+// it.
+
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "luc/mapper.h"
+
+namespace sim {
+
+class CorruptionInjector {
+ public:
+  explicit CorruptionInjector(LucMapper* mapper) : mapper_(mapper) {}
+
+  // Flips the value-type tag of the first field in the heap record of `s`
+  // (unit of `cls`), making the record undecodable in place.
+  Status FlipRecordByte(const std::string& cls, SurrogateId s);
+
+  // Removes only the inverse direction of the stored EVA pair
+  // (owner --attr--> target), leaving the forward direction behind.
+  Status DropInverseSide(const std::string& cls, const std::string& attr,
+                         SurrogateId owner, SurrogateId target);
+
+  // Deletes the unit record of role `cls` of `s` without touching the
+  // other units' records or role sets — an orphaned subclass/base row.
+  Status DeleteUnitRecord(const std::string& cls, SurrogateId s);
+
+  // Writes a stored field directly, bypassing type/UNIQUE enforcement and
+  // secondary-index maintenance.
+  Status RawWriteField(const std::string& cls, const std::string& attr,
+                       SurrogateId s, const Value& v);
+
+  // Re-points the primary (surrogate -> RecordId) index entry of `s` at a
+  // neighbouring slot.
+  Status DesyncPrimaryIndex(const std::string& cls, SurrogateId s);
+
+  // Appends a multi-valued DVA member bypassing MAX/DISTINCT enforcement.
+  Status RawAppendMvValue(const std::string& cls, const std::string& attr,
+                          SurrogateId s, const Value& v);
+
+ private:
+  LucMapper* mapper_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CHECK_CORRUPT_H_

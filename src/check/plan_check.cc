@@ -1,0 +1,208 @@
+#include "check/plan_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim {
+
+namespace {
+
+void AddPlanError(CheckReport* report, std::string invariant,
+                  std::string object, std::string message) {
+  report->errors.push_back(CheckError{CheckLayer::kPlan, std::move(invariant),
+                                      std::move(object), kInvalidSurrogate,
+                                      std::move(message)});
+}
+
+// Collects every operator (depth-first, children before self is not
+// required) and the binding-source node ids in iteration order (outer
+// chains are emitted before the inner source they feed).
+void Walk(const PhysicalOperator* op, std::vector<const PhysicalOperator*>* all,
+          std::vector<int>* source_nodes, CheckReport* report) {
+  all->push_back(op);
+  std::vector<const PhysicalOperator*> kids = op->Children();
+  for (const PhysicalOperator* kid : kids) {
+    if (kid == nullptr) {
+      AddPlanError(report, "plan-missing-operator", op->Describe(),
+                   "operator reports a null child");
+      continue;
+    }
+    Walk(kid, all, source_nodes, report);
+  }
+  if (const auto* src = dynamic_cast<const BindingSource*>(op)) {
+    source_nodes->push_back(src->node());
+  }
+}
+
+bool IsLoopOperator(const PhysicalOperator* op) {
+  return dynamic_cast<const NestedLoop*>(op) != nullptr ||
+         dynamic_cast<const BindingSource*>(op) != nullptr ||
+         dynamic_cast<const OnceOp*>(op) != nullptr;
+}
+
+}  // namespace
+
+void ValidatePlan(const PhysicalPlan& plan, const QueryTree& qt,
+                  CheckReport* report) {
+  if (plan.root == nullptr) {
+    AddPlanError(report, "plan-missing-operator", "root",
+                 "physical plan has no root operator");
+    return;
+  }
+
+  std::vector<const PhysicalOperator*> all;
+  std::vector<int> source_nodes;
+  Walk(plan.root.get(), &all, &source_nodes, report);
+
+  // Estimates must be sane numbers everywhere before shape analysis — the
+  // optimizer compares them, EXPLAIN prints them.
+  for (const PhysicalOperator* op : all) {
+    if (!std::isfinite(op->est_rows) || op->est_rows < 0) {
+      AddPlanError(report, "plan-estimate-invalid", op->Describe(),
+                   "estimated rows is negative or not finite");
+    }
+  }
+
+  // Row-operator stack: optional Limit, Distinct, Sort — in that order,
+  // each at most once — then exactly one Project over exactly one
+  // Filter/Type2Exists over the loop chain.
+  const PhysicalOperator* op = plan.root.get();
+  int stage = 0;  // 0: above Limit, 1: above Distinct, 2: above Sort
+  while (true) {
+    int this_stage;
+    if (dynamic_cast<const LimitOp*>(op) != nullptr) {
+      this_stage = 1;
+    } else if (dynamic_cast<const Distinct*>(op) != nullptr) {
+      this_stage = 2;
+    } else if (dynamic_cast<const SortOp*>(op) != nullptr) {
+      this_stage = 3;
+    } else {
+      break;
+    }
+    if (this_stage < stage + 1) {
+      AddPlanError(report, "plan-shape-invalid", op->Describe(),
+                   "row operators out of [Limit][Distinct][Sort] order");
+    }
+    stage = this_stage;
+    std::vector<const PhysicalOperator*> kids = op->Children();
+    if (kids.size() != 1 || kids[0] == nullptr) return;  // already reported
+    op = kids[0];
+  }
+
+  const auto* project = dynamic_cast<const Project*>(op);
+  if (project == nullptr) {
+    AddPlanError(report, "plan-shape-invalid", op->Describe(),
+                 "expected Project under the row-operator stack");
+    return;
+  }
+  size_t projects =
+      static_cast<size_t>(std::count_if(all.begin(), all.end(),
+                                        [](const PhysicalOperator* o) {
+                                          return dynamic_cast<const Project*>(
+                                                     o) != nullptr;
+                                        }));
+  if (projects != 1) {
+    AddPlanError(report, "plan-shape-invalid", "Project",
+                 "plan holds " + std::to_string(projects) +
+                     " Project operators; exactly one expected");
+  }
+
+  std::vector<const PhysicalOperator*> kids = project->Children();
+  if (kids.size() != 1 || kids[0] == nullptr) return;
+  const auto* filter = dynamic_cast<const Filter*>(kids[0]);
+  if (filter == nullptr) {
+    AddPlanError(report, "plan-shape-invalid", kids[0]->Describe(),
+                 "expected Filter/Type2Exists under Project");
+    return;
+  }
+
+  // Below the filter: only loop-nest operators.
+  kids = filter->Children();
+  if (kids.size() != 1 || kids[0] == nullptr) return;
+  std::vector<const PhysicalOperator*> loop_ops;
+  std::vector<int> dummy;
+  Walk(kids[0], &loop_ops, &dummy, report);
+  for (const PhysicalOperator* lop : loop_ops) {
+    if (!IsLoopOperator(lop)) {
+      AddPlanError(report, "plan-shape-invalid", lop->Describe(),
+                   "row operator inside the loop nest");
+    }
+  }
+
+  // Binding sources: valid node ids, no node bound twice, iteration order
+  // agreeing with the plan's declared loop_nodes.
+  std::set<int> seen_nodes;
+  for (int node : source_nodes) {
+    if (node < 0 || static_cast<size_t>(node) >= qt.nodes.size()) {
+      AddPlanError(report, "plan-node-invalid", "node " + std::to_string(node),
+                   "binding source names no QueryTree node");
+    } else if (!seen_nodes.insert(node).second) {
+      AddPlanError(report, "plan-node-duplicate",
+                   "node " + std::to_string(node),
+                   "two binding sources bind the same QueryTree node");
+    }
+  }
+  if (source_nodes != plan.loop_nodes) {
+    std::string got;
+    for (int node : source_nodes) {
+      if (!got.empty()) got += ",";
+      got += std::to_string(node);
+    }
+    std::string want;
+    for (int node : plan.loop_nodes) {
+      if (!want.empty()) want += ",";
+      want += std::to_string(node);
+    }
+    AddPlanError(report, "plan-loop-order-mismatch", "loop nest",
+                 "binding sources iterate [" + got +
+                     "] but the plan declares [" + want + "]");
+  }
+}
+
+Status ValidatePlanOrError(const PhysicalPlan& plan, const QueryTree& qt) {
+  CheckReport report;
+  ValidatePlan(plan, qt, &report);
+  if (report.clean()) return Status::Ok();
+  return Status::Internal("physical plan failed validation: " +
+                          report.errors.front().ToString());
+}
+
+Status ProtocolCheck::Open(ExecContext& cx) {
+  if (state_ == State::kOpen) {
+    return Status::Internal("iterator protocol: Open on an operator that is "
+                            "already open");
+  }
+  if (input_ == nullptr) {
+    return Status::Internal("iterator protocol: no wrapped operator");
+  }
+  SIM_RETURN_IF_ERROR(input_->Open(cx));
+  state_ = State::kOpen;
+  return Status::Ok();
+}
+
+Result<bool> ProtocolCheck::DoNext(ExecContext& cx, Row* out) {
+  if (state_ == State::kClosed) {
+    return Status::Internal("iterator protocol: Next before Open");
+  }
+  if (state_ == State::kExhausted) {
+    return Status::Internal("iterator protocol: Next after exhaustion");
+  }
+  SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
+  if (!has) state_ = State::kExhausted;
+  return has;
+}
+
+Status ProtocolCheck::Close(ExecContext& cx) {
+  if (state_ == State::kClosed) {
+    return Status::Internal("iterator protocol: Close on an operator that is "
+                            "not open");
+  }
+  state_ = State::kClosed;
+  return input_->Close(cx);
+}
+
+std::vector<const PhysicalOperator*> ProtocolCheck::Children() const {
+  return {input_.get()};
+}
+
+}  // namespace sim

@@ -1,0 +1,62 @@
+#ifndef SIMDB_CHECK_PLAN_CHECK_H_
+#define SIMDB_CHECK_PLAN_CHECK_H_
+
+// Layer 3 of simcheck: static validation of physical plans before they
+// run, plus a debug wrapper enforcing the Volcano iterator protocol at
+// runtime. PhysicalPlan::Build composes the operator tree from many small
+// decisions (root order, access path, row-operator stack); a bug there
+// produces a tree that executes but answers the wrong query. ValidatePlan
+// re-checks the structural contract the executor assumes:
+//
+//   [Limit] [Distinct] [Sort] Project Filter|Type2Exists <loop chain>
+//
+// with every binding source naming a valid, distinct QueryTree node, the
+// source order agreeing with the plan's declared loop_nodes, and every
+// operator carrying a sane cardinality estimate.
+
+#include "check/check.h"
+#include "exec/operators.h"
+#include "exec/physical_plan.h"
+#include "semantics/query_tree.h"
+
+namespace sim {
+
+// Structural validation; every violation is appended to `report` as a
+// kPlan finding (invariant codes: "plan-missing-operator",
+// "plan-shape-invalid", "plan-node-invalid", "plan-node-duplicate",
+// "plan-loop-order-mismatch", "plan-estimate-invalid").
+void ValidatePlan(const PhysicalPlan& plan, const QueryTree& qt,
+                  CheckReport* report);
+
+// Convenience for the executor: Internal status naming the first finding
+// when the plan is malformed, OK otherwise.
+Status ValidatePlanOrError(const PhysicalPlan& plan, const QueryTree& qt);
+
+// Debug wrapper enforcing the Open -> Next* -> Close state machine on the
+// operator it wraps (fail-fast Internal status on a protocol violation:
+// Open while open, Next while closed, Next after exhaustion, Close while
+// closed). Installed around the plan root when
+// DatabaseOptions::paranoid_checks is set.
+class ProtocolCheck : public PhysicalOperator {
+ public:
+  explicit ProtocolCheck(OperatorPtr input) : input_(std::move(input)) {
+    est_rows = input_ != nullptr ? input_->est_rows : 0;
+  }
+
+  std::string Describe() const override { return "ProtocolCheck"; }
+  Status Open(ExecContext& cx) override;
+  Status Close(ExecContext& cx) override;
+  std::vector<const PhysicalOperator*> Children() const override;
+
+ protected:
+  Result<bool> DoNext(ExecContext& cx, Row* out) override;
+
+ private:
+  enum class State { kClosed, kOpen, kExhausted };
+  OperatorPtr input_;
+  State state_ = State::kClosed;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CHECK_PLAN_CHECK_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "check/plan_check.h"
 #include "exec/physical_plan.h"
 
 namespace sim {
@@ -43,6 +44,11 @@ void CollectNodes(const BExpr& expr, std::vector<int>* out) {
     case BExprKind::kIsa:
       CollectNodes(*static_cast<const BIsa&>(expr).entity, out);
       return;
+    case BExprKind::kFunction:
+      for (const auto& arg : static_cast<const BFunction&>(expr).args) {
+        CollectNodes(*arg, out);
+      }
+      return;
   }
 }
 
@@ -74,6 +80,8 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
 
   SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
                        PhysicalPlan::Build(qt, plan, mapper_));
+  // Layer-3 audit: refuse to run a structurally malformed operator tree.
+  SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
   ExecContext cx(&qt, mapper_);
   SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
   Row row;

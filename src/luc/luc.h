@@ -101,6 +101,13 @@ class UnitStore {
   Cursor Scan() const;
 
  private:
+  // The auditor iterates the heap directly (so one undecodable record is
+  // reported and skipped rather than ending the scan) and reconciles it
+  // against the primary index; the corruption injector (tests) mutates
+  // both behind the public API's back.
+  friend class InvariantChecker;
+  friend class CorruptionInjector;
+
   UnitStore(BufferPool* pool, const UnitPhys* phys, uint16_t unit_code)
       : phys_(phys), unit_code_(unit_code), file_(pool, phys->name) {}
 

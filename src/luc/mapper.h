@@ -208,6 +208,13 @@ class LucMapper {
   uint64_t EvaPairCount(int eva_idx) const;
 
  private:
+  // The offline auditor re-derives every maintained structure from base
+  // records; the corruption injector (tests) plants inconsistencies for it
+  // to find. Both need the raw structures, not the invariant-preserving
+  // API.
+  friend class InvariantChecker;
+  friend class CorruptionInjector;
+
   LucMapper(const DirectoryManager* dir, const PhysicalSchema* phys,
             BufferPool* pool)
       : dir_(dir), phys_(phys), pool_(pool) {}

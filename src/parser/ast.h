@@ -149,7 +149,7 @@ struct IsaExpr : Expr {
 
 // ----- DML statements -----
 
-enum class StmtKind { kRetrieve, kInsert, kModify, kDelete };
+enum class StmtKind { kRetrieve, kInsert, kModify, kDelete, kCheck };
 
 struct Stmt {
   explicit Stmt(StmtKind k) : kind(k) {}
@@ -218,6 +218,12 @@ struct DeleteStmt : Stmt {
   DeleteStmt() : Stmt(StmtKind::kDelete) {}
   std::string class_name;
   ExprPtr where;
+};
+
+// CHECK DATABASE — run the invariant audit and deliver the findings as a
+// result set (simcheck extension; not part of the paper's DML).
+struct CheckStmt : Stmt {
+  CheckStmt() : Stmt(StmtKind::kCheck) {}
 };
 
 // ----- DDL statements -----

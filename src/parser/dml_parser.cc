@@ -52,7 +52,7 @@ Result<ExprPtr> DmlParser::ParseExpressionTokens(std::vector<Token> tokens) {
 bool DmlParser::AtStatementBoundary() const {
   const Token& t = Peek();
   return t.type == TokenType::kEnd || t.Is("from") || t.Is("retrieve") ||
-         t.Is("insert") || t.Is("modify") || t.Is("delete");
+         t.Is("insert") || t.Is("modify") || t.Is("delete") || t.Is("check");
 }
 
 Result<StmtPtr> DmlParser::ParseOne() {
@@ -60,7 +60,11 @@ Result<StmtPtr> DmlParser::ParseOne() {
   if (MatchKeyword("insert")) return ParseInsert();
   if (MatchKeyword("modify")) return ParseModify();
   if (MatchKeyword("delete")) return ParseDelete();
-  return ErrorHere("expected FROM, RETRIEVE, INSERT, MODIFY or DELETE");
+  if (MatchKeyword("check")) {
+    SIM_RETURN_IF_ERROR(ExpectKeyword("database", "after CHECK"));
+    return StmtPtr(std::make_unique<CheckStmt>());
+  }
+  return ErrorHere("expected FROM, RETRIEVE, INSERT, MODIFY, DELETE or CHECK");
 }
 
 Result<StmtPtr> DmlParser::ParseRetrieve() {

@@ -63,6 +63,9 @@ class HeapFile {
 
   uint64_t record_count() const { return record_count_; }
   const std::vector<PageId>& pages() const { return pages_; }
+  // Cached per-page free-space estimates, parallel to pages(); exposed so
+  // the invariant auditor can sanity-check them against physical bounds.
+  const std::vector<int>& free_estimates() const { return free_estimate_; }
 
   // Reserve this many bytes per page during ordinary inserts (clustered
   // mappings' PCTFREE-style headroom). InsertNear ignores the reserve.

@@ -184,6 +184,11 @@ void CheckCrashPoint(const std::string& path, FaultInjector* injector,
     options.file_path = path;
     auto db = Database::Open(options);
     ASSERT_TRUE(db.ok()) << "recovery failed: " << db.status().ToString();
+    // Recovered databases must audit clean (degraded catalog + page-checksum
+    // audit; the LUC mapper is not rebuilt on reopen).
+    auto report = (*db)->Audit();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->clean()) << report->ToString();
   }
 
   std::string recovered = ReadAll(path);
@@ -578,6 +583,10 @@ TEST(CrashRecoveryTest, CleanCloseLeavesNothingToRecover) {
   auto db = Database::Open(options);
   ASSERT_TRUE(db.ok());
   EXPECT_EQ((*db)->recovered_pages(), 0u);
+  auto report = (*db)->Audit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  EXPECT_GT(report->pages_checked, 0u);
   db->reset();
   Nuke(path);
 }

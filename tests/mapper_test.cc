@@ -365,8 +365,9 @@ TEST_P(MapperTest, MvDvaSeparateUnit) {
 
 INSTANTIATE_TEST_SUITE_P(MappingPolicies, MapperTest,
                          ::testing::Values(true, false),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Colocated" : "LucPerClass";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "Colocated"
+                                                   : "LucPerClass";
                          });
 
 }  // namespace

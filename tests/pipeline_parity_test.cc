@@ -149,6 +149,14 @@ class PipelineParity : public ::testing::Test {
     ASSERT_TRUE(db.ok()) << db.status().ToString();
     db_ = std::move(*db);
   }
+  // Query pipelines must never leave the stored database dirty: every test
+  // ends with a full simcheck audit.
+  void TearDown() override {
+    if (db_ == nullptr) return;
+    auto report = db_->Audit();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->clean()) << report->ToString();
+  }
   std::unique_ptr<Database> db_;
 };
 
