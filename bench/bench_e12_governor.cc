@@ -1,0 +1,121 @@
+// E12 — resource-governor overhead and abort latency. The governor puts a
+// cooperative check in every operator Next() and a charge on every
+// combination / delivered row, so the question is what an ordinary query
+// pays for it. Measured on the E5 workload (each employee with their
+// department's budget via a schema EVA):
+//   * full drain, ungoverned — no limits set: the fast path skips all
+//     charging (QueryContext::limited() is false);
+//   * full drain, governed — generous deadline + combination / row / byte
+//     budgets active, so every check and charge actually runs;
+//   * abort latency — a deadline of 0 against a cross join whose full
+//     enumeration would examine millions of combinations: the time
+//     reported is how quickly an in-flight statement dies.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace {
+
+std::unique_ptr<sim::Database> BuildE5(int employees, int departments,
+                                       sim::QueryContext::Limits governor) {
+  sim::DatabaseOptions options;
+  options.governor = governor;
+  auto db_result = sim::Database::Open(options);
+  if (!db_result.ok()) abort();
+  auto db = std::move(*db_result);
+  sim::Status s = db->ExecuteDdl(R"(
+    Class Dept (
+      dept-code: integer unique required;
+      budget: integer );
+    Class Emp (
+      emp-name: string[20];
+      works-in: dept inverse is staff );
+  )");
+  if (!s.ok()) abort();
+  auto mapper = db->mapper();
+  if (!mapper.ok()) abort();
+  std::vector<sim::SurrogateId> depts;
+  for (int d = 0; d < departments; ++d) {
+    auto dept = (*mapper)->CreateEntity("dept", nullptr);
+    if (!dept.ok()) abort();
+    (void)(*mapper)->SetField(*dept, "dept", "dept-code", sim::Value::Int(d),
+                              nullptr);
+    (void)(*mapper)->SetField(*dept, "dept", "budget",
+                              sim::Value::Int(1000 * d), nullptr);
+    depts.push_back(*dept);
+  }
+  for (int e = 0; e < employees; ++e) {
+    auto emp = (*mapper)->CreateEntity("emp", nullptr);
+    if (!emp.ok()) abort();
+    (void)(*mapper)->SetField(*emp, "emp", "emp-name",
+                              sim::Value::Str("e" + std::to_string(e)),
+                              nullptr);
+    (void)(*mapper)->AddEvaPair("emp", "works-in", *emp, depts[e % departments],
+                                nullptr);
+  }
+  return db;
+}
+
+sim::QueryContext::Limits GenerousLimits() {
+  sim::QueryContext::Limits limits;
+  limits.deadline_ms = 60000;
+  limits.max_combinations = 1ull << 40;
+  limits.max_rows = 1ull << 30;
+  limits.max_bytes = 1ull << 40;
+  return limits;
+}
+
+constexpr const char* kQuery = "From Emp Retrieve emp-name, budget of works-in";
+
+void Drain(benchmark::State& state, sim::Database* db) {
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(kQuery);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs->rows.size();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_DrainUngoverned(benchmark::State& state) {
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10,
+                    sim::QueryContext::Limits());
+  Drain(state, db.get());
+  state.SetLabel("no limits: charging fast-path skipped");
+}
+BENCHMARK(BM_DrainUngoverned)->Arg(100)->Arg(400)->Arg(1600)->ArgName("emps");
+
+void BM_DrainGoverned(benchmark::State& state) {
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10, GenerousLimits());
+  Drain(state, db.get());
+  state.SetLabel("deadline + budgets active on every check");
+}
+BENCHMARK(BM_DrainGoverned)->Arg(100)->Arg(400)->Arg(1600)->ArgName("emps");
+
+void BM_DeadlineAbortLatency(benchmark::State& state) {
+  // The cross join over `emps` employees would examine range^2 combinations
+  // ungoverned; with deadline 0 each iteration measures how long a doomed
+  // statement takes to die (parse + bind + plan + first governor check).
+  sim::QueryContext::Limits limits;
+  limits.deadline_ms = 0;
+  auto db = BuildE5(static_cast<int>(state.range(0)), 10, limits);
+  const std::string cross =
+      "From Emp a, Emp b Retrieve emp-name of a Where "
+      "budget of works-in of b < 0";
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(cross);
+    if (rs.ok()) state.SkipWithError("expected kDeadlineExceeded");
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetLabel("deadline 0 kills the cross join");
+}
+BENCHMARK(BM_DeadlineAbortLatency)->Arg(1600)->ArgName("emps");
+
+}  // namespace
+
+BENCHMARK_MAIN();

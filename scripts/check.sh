@@ -2,7 +2,8 @@
 # Tier-1 verification: build and run the full test suite four times — a
 # plain build, an ASan+UBSan build, a standalone UBSan build that traps on
 # the first finding, and a hardened STRICT build (-Werror) that also runs
-# clang-tidy (when installed) and the simdb_check invariant audit.
+# clang-tidy (when installed) and the simdb_check invariant audit, followed
+# by the injected-fault / resource-governor sweep.
 # Usage: scripts/check.sh [extra ctest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +33,21 @@ ctest --test-dir build-strict --output-on-failure -j "$jobs" "$@"
 
 echo "== simdb_check invariant audit (UNIVERSITY fixture) =="
 ./build-strict/tools/simdb_check
+
+echo "== fault-model sweep (injected I/O faults + resource governor) =="
+./build-strict/tests/simdb_tests \
+  --gtest_filter='FaultModelTest.*:IoRetryTest.*:GovernorTest.*'
+# Governed audit: a generous deadline passes, a zero deadline must abort
+# cleanly with the setup/infrastructure exit code (2), not hang or crash.
+./build-strict/tools/simdb_check --deadline 60000
+set +e
+./build-strict/tools/simdb_check --deadline 0 >/dev/null 2>&1
+deadline_rc=$?
+set -e
+if [ "$deadline_rc" -ne 2 ]; then
+  echo "expected --deadline 0 audit to abort with exit 2, got $deadline_rc"
+  exit 1
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (profile: .clang-tidy) =="

@@ -34,12 +34,21 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->fault_pager_ = std::make_unique<FaultInjectingPager>(
         db->pager_.get(), options.fault_injector);
   }
+  // Retry layer on top of the (possibly fault-injecting) pager: transient
+  // failures are absorbed up to the policy's attempt budget before they
+  // surface to the buffer pool.
+  db->resilient_pager_ = std::make_unique<ResilientPager>(
+      db->fault_pager_ != nullptr
+          ? static_cast<Pager*>(db->fault_pager_.get())
+          : db->pager_.get(),
+      options.io_retry);
   if (!options.file_path.empty()) {
     // WAL mode: scan the log and replay anything a previous crash left
     // committed-but-unapplied before the first page is read.
     SIM_ASSIGN_OR_RETURN(
         db->wal_, WriteAheadLog::Open(options.file_path,
-                                      options.fault_injector));
+                                      options.fault_injector,
+                                      options.io_retry));
     SIM_ASSIGN_OR_RETURN(db->recovered_pages_,
                          db->wal_->Recover(db->io_pager()));
   }
@@ -109,7 +118,9 @@ Result<CheckReport> Database::Audit() {
   // Deliberately no EnsureMapper(): auditing must never change the
   // database, and a reopened file-backed database without a rebuilt
   // physical layer still gets the catalog + page-checksum layers.
+  QueryContext qctx(options_.governor);
   InvariantChecker checker(&dir_, mapper_.get(), pool_.get(), io_pager());
+  checker.set_query_context(&qctx);
   return checker.AuditAll();
 }
 
@@ -140,13 +151,14 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
   Binder binder(&dir_);
   SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
   Executor exec(mapper_.get());
+  QueryContext qctx(options_.governor);
   Result<ResultSet> rs = Status::Internal("query not dispatched");
   if (options_.use_optimizer) {
     SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
-    rs = exec.Run(qt, &last_plan_);
+    rs = exec.Run(qt, &last_plan_, &qctx);
   } else {
     last_plan_ = AccessPlan();
-    rs = exec.Run(qt, nullptr);
+    rs = exec.Run(qt, nullptr, &qctx);
   }
   last_exec_stats_ = exec.last_stats();
   return rs;
@@ -154,13 +166,18 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
 
 struct Database::Cursor::Impl {
   // `qt` owns the nodes and bound expressions the operator tree references
-  // (by node id and by stable heap pointer), so the three members must
-  // stay together and `qt` must be populated before `cx` is built.
+  // (by node id and by stable heap pointer), so the members must stay
+  // together and `qt` (and `qctx`, which `cx` points at) must be populated
+  // before `cx` is built.
   QueryTree qt;
   PhysicalPlan plan;
+  std::unique_ptr<QueryContext> qctx;
   std::unique_ptr<ExecContext> cx;
   bool open = false;
   bool done = false;
+  // Sticky terminal status: once Next fails, every further Next returns
+  // the same status without re-entering the operator tree.
+  Status terminal = Status::Ok();
 };
 
 Database::Cursor::Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -181,11 +198,18 @@ bool Database::Cursor::structured() const {
 
 Result<bool> Database::Cursor::Next(Row* row) {
   Impl* im = impl_.get();
-  if (im == nullptr || !im->open || im->done) return false;
+  if (im == nullptr) return false;
+  if (!im->terminal.ok()) return im->terminal;
+  if (!im->open || im->done) return false;
   Result<bool> has = im->plan.root->Next(*im->cx, row);
+  if (has.ok() && *has && im->qctx != nullptr) {
+    Status charged = im->qctx->ChargeRows();
+    if (!charged.ok()) has = charged;
+  }
   if (!has.ok()) {
+    im->terminal = has.status();
     (void)Close();
-    return has.status();
+    return im->terminal;
   }
   if (*has) {
     ++im->cx->stats.rows_emitted;
@@ -193,6 +217,12 @@ Result<bool> Database::Cursor::Next(Row* row) {
     im->done = true;
   }
   return *has;
+}
+
+void Database::Cursor::Cancel() {
+  if (impl_ != nullptr && impl_->qctx != nullptr) {
+    impl_->qctx->RequestCancel();
+  }
 }
 
 Status Database::Cursor::Close() {
@@ -205,6 +235,11 @@ Status Database::Cursor::Close() {
 ExecStats Database::Cursor::stats() const {
   return impl_ != nullptr && impl_->cx != nullptr ? impl_->cx->stats
                                                   : ExecStats();
+}
+
+QueryContext::Stats Database::Cursor::governor_stats() const {
+  return impl_ != nullptr && impl_->qctx != nullptr ? impl_->qctx->stats()
+                                                    : QueryContext::Stats();
 }
 
 Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
@@ -232,7 +267,9 @@ Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
     impl->plan.root =
         std::make_unique<ProtocolCheck>(std::move(impl->plan.root));
   }
-  impl->cx = std::make_unique<ExecContext>(&impl->qt, mapper_.get());
+  impl->qctx = std::make_unique<QueryContext>(options_.governor);
+  impl->cx = std::make_unique<ExecContext>(&impl->qt, mapper_.get(),
+                                           impl->qctx.get());
   SIM_RETURN_IF_ERROR(impl->plan.root->Open(*impl->cx));
   impl->open = true;
   return Cursor(std::move(impl));
@@ -268,7 +305,8 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
                        PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
   SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
   // Drain the pipeline so every operator has an actual row count.
-  ExecContext cx(&qt, mapper_.get());
+  QueryContext qctx(options_.governor);
+  ExecContext cx(&qt, mapper_.get(), &qctx);
   SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
   Row row;
   while (true) {
@@ -287,6 +325,7 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
 }
 
 Result<int> Database::ExecuteUpdate(std::string_view dml) {
+  if (read_only_) return ReadOnlyError();
   SIM_RETURN_IF_ERROR(EnsureMapper());
   SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
 
@@ -318,6 +357,9 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
   }
   if (!result.ok()) {
     // Statement-level rollback; the enclosing user transaction survives.
+    // ENOSPC anywhere in the statement degrades the database to
+    // read-only mode once the rollback has restored in-memory state.
+    NoteIoStatus(result.status());
     if (implicit_txn) {
       SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
     } else {
@@ -330,6 +372,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
     if (!committed.ok()) {
       // Commit could not be made durable; roll the statement back so the
       // in-memory state matches what recovery will reconstruct.
+      NoteIoStatus(committed);
       (void)txn_manager_.Abort(txn);
       return committed;
     }
@@ -345,6 +388,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
 }
 
 Status Database::ExecuteScript(std::string_view dml_script) {
+  if (read_only_) return ReadOnlyError();
   SIM_ASSIGN_OR_RETURN(std::vector<StmtPtr> statements,
                        DmlParser::ParseScript(dml_script));
   for (const StmtPtr& stmt : statements) {
@@ -379,6 +423,7 @@ Status Database::ExecuteScript(std::string_view dml_script) {
         break;
     }
     if (!result.ok()) {
+      NoteIoStatus(result.status());
       if (implicit_txn) {
         SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
       } else {
@@ -389,6 +434,7 @@ Status Database::ExecuteScript(std::string_view dml_script) {
     if (implicit_txn) {
       Status committed = txn_manager_.Commit(txn);
       if (!committed.ok()) {
+        NoteIoStatus(committed);
         (void)txn_manager_.Abort(txn);
         return committed;
       }
@@ -398,6 +444,7 @@ Status Database::ExecuteScript(std::string_view dml_script) {
 }
 
 Status Database::Begin() {
+  if (read_only_) return ReadOnlyError();
   if (current_txn_ != nullptr) {
     return Status::InvalidArgument("a transaction is already active");
   }
@@ -413,6 +460,7 @@ Status Database::Commit() {
   Status s = txn_manager_.Commit(current_txn_);
   if (!s.ok()) {
     // Durability failed; undo the transaction so memory and disk agree.
+    NoteIoStatus(s);
     (void)txn_manager_.Abort(current_txn_);
   }
   current_txn_ = nullptr;

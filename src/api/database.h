@@ -27,6 +27,7 @@
 #include "catalog/directory.h"
 #include "catalog/luc_translation.h"
 #include "check/check.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "exec/integrity.h"
@@ -65,6 +66,16 @@ struct DatabaseOptions {
   // statement (failing the statement's result on any finding) and wrap
   // streaming-cursor plans in the iterator-protocol checker.
   bool paranoid_checks = false;
+  // Resource governor applied to every statement: deadline_ms (-1 =
+  // unlimited, 0 = cancel at the first check), max_combinations, max_rows,
+  // max_bytes and an optional shared cancel flag. A fresh QueryContext is
+  // built from these limits per statement.
+  QueryContext::Limits governor;
+  // Retry policy for transient (kUnavailable) I/O failures on the
+  // database file and the WAL: bounded exponential backoff with
+  // deterministic jitter. Permanent failures (kIoError) and disk-full
+  // (kDiskFull) are never retried.
+  RetryPolicy io_retry;
 };
 
 class Database {
@@ -105,14 +116,24 @@ class Database {
     const std::vector<std::string>& columns() const;
     bool structured() const;
 
-    // Pulls the next row; false when the stream is exhausted.
+    // Pulls the next row; false when the stream is exhausted. After a
+    // non-OK return the cursor is terminally failed: every further Next
+    // returns the same status without re-entering the operator tree.
     Result<bool> Next(Row* row);
+
+    // Requests cooperative cancellation: the next governor check inside
+    // the pipeline fails with kCancelled. Safe to call at any time,
+    // including from another thread.
+    void Cancel();
 
     // Releases operator state. Safe to call mid-stream or repeatedly.
     Status Close();
 
     // Pipeline counters so far (combinations examined, rows emitted).
     ExecStats stats() const;
+
+    // Governor counters (checks, combinations, rows, bytes charged).
+    QueryContext::Stats governor_stats() const;
 
    private:
     friend class Database;
@@ -165,6 +186,14 @@ class Database {
   Pager& pager() { return *pager_; }
   // Null for in-memory databases.
   WriteAheadLog* wal() { return wal_.get(); }
+  // True once a disk-full error degraded the database to read-only mode:
+  // updates and Begin() fail with kReadOnly, retrieval and Audit() still
+  // work. Reopening the database (after freeing space) clears the mode.
+  bool read_only() const { return read_only_; }
+  // Transient-I/O retry counters for the database-file pager.
+  const RetryStats& io_retry_stats() const {
+    return resilient_pager_->retry_stats();
+  }
   // Pages replayed from the WAL by recovery during Open.
   uint64_t recovered_pages() const { return recovered_pages_; }
   const DatabaseOptions& options() const { return options_; }
@@ -177,16 +206,31 @@ class Database {
   // Builds physical schema + mapper + integrity checker if not yet built.
   Status EnsureMapper();
 
-  // The pager all I/O goes through: the fault-injecting wrapper when one
-  // is installed, else the raw pager.
+  // The pager all I/O goes through. Decorator chain, bottom up: raw
+  // Mem/FilePager -> FaultInjectingPager (when an injector is installed)
+  // -> ResilientPager (transient-failure retry). The retry layer sits
+  // ABOVE the injector so injected transient faults exercise it.
   Pager* io_pager() {
+    if (resilient_pager_ != nullptr) return resilient_pager_.get();
     return fault_pager_ != nullptr ? fault_pager_.get() : pager_.get();
+  }
+
+  // Flips to read-only mode when an update/commit path surfaced ENOSPC.
+  void NoteIoStatus(const Status& s) {
+    if (s.code() == StatusCode::kDiskFull) read_only_ = true;
+  }
+  Status ReadOnlyError() const {
+    return Status::ReadOnly(
+        "database is read-only after a disk-full error; retrieval and CHECK "
+        "DATABASE remain available (reopen after freeing space to resume "
+        "updates)");
   }
 
   DatabaseOptions options_;
   DirectoryManager dir_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<FaultInjectingPager> fault_pager_;
+  std::unique_ptr<ResilientPager> resilient_pager_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<BufferPool> pool_;
   uint64_t recovered_pages_ = 0;
@@ -197,6 +241,7 @@ class Database {
   std::unique_ptr<Optimizer> optimizer_;
   TransactionManager txn_manager_;
   Transaction* current_txn_ = nullptr;
+  bool read_only_ = false;
   Executor::ExecStats last_exec_stats_;
   AccessPlan last_plan_;
 };

@@ -326,6 +326,7 @@ Status InvariantChecker::AuditUnits(CheckReport* report) {
     // undecodable record is reported and skipped instead of ending the
     // scan — a byte-flipped record must not hide its neighbours.
     for (HeapFile::Iterator it = unit->file_.Begin(); it.Valid(); it.Next()) {
+      SIM_RETURN_IF_ERROR(CheckGovernor());
       ++report->records_checked;
       Result<uint16_t> tag = PeekRecordType(it.record());
       if (!tag.ok()) {
@@ -730,6 +731,7 @@ Status InvariantChecker::AuditSecondaryIndexes(CheckReport* report) {
     bool have_prev = false;
     SIM_ASSIGN_OR_RETURN(BPlusTree::Iterator it, tree->Begin());
     while (it.Valid()) {
+      SIM_RETURN_IF_ERROR(CheckGovernor());
       ++walked;
       ++report->index_entries_checked;
       const std::string key = it.key();
@@ -778,6 +780,7 @@ Status InvariantChecker::AuditMvFile(CheckReport* report) {
   uint64_t records = 0;
   for (HeapFile::Iterator it = mapper_->mv_file_->Begin(); it.Valid();
        it.Next()) {
+    SIM_RETURN_IF_ERROR(CheckGovernor());
     ++records;
     ++report->records_checked;
     uint16_t rt = 0;
@@ -836,11 +839,18 @@ Status InvariantChecker::AuditMvFile(CheckReport* report) {
 Status InvariantChecker::AuditPages(CheckReport* report) {
   if (pager_ == nullptr) return Status::Ok();
   if (pool_ != nullptr) {
-    // Push dirty frames out so the durable images are current.
-    SIM_RETURN_IF_ERROR(pool_->FlushAll());
+    // Push dirty frames out so the durable images are current. On a full
+    // device the flush cannot succeed, but the durable images are still
+    // self-consistent (committed WAL state) — audit them as-is instead of
+    // making CHECK DATABASE itself unavailable in read-only mode.
+    Status flushed = pool_->FlushAll();
+    if (!flushed.ok() && flushed.code() != StatusCode::kDiskFull) {
+      return flushed;
+    }
   }
   std::vector<char> buf(kPageSize);
   for (PageId id = 0; id < pager_->page_count(); ++id) {
+    SIM_RETURN_IF_ERROR(CheckGovernor());
     ++report->pages_checked;
     Status read = pager_->Read(id, buf.data());
     if (!read.ok()) {

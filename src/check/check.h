@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "catalog/directory.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "luc/mapper.h"
@@ -93,9 +94,16 @@ class InvariantChecker {
                    BufferPool* pool, Pager* pager)
       : dir_(dir), mapper_(mapper), pool_(pool), pager_(pager) {}
 
+  // Optional resource governor: the entity / index / page scan loops
+  // check it, so a deadline or cancellation aborts a long audit with
+  // kDeadlineExceeded / kCancelled (an infrastructure status, not a
+  // finding). Borrowed; may be null.
+  void set_query_context(QueryContext* qctx) { qctx_ = qctx; }
+
   // Runs every applicable layer and returns the combined report. Only
-  // infrastructure failures (I/O errors while auditing) surface as a
-  // non-OK status; invariant violations are reported as findings.
+  // infrastructure failures (I/O errors while auditing, a tripped
+  // governor) surface as a non-OK status; invariant violations are
+  // reported as findings.
   Result<CheckReport> AuditAll();
 
   // Individual layers, for targeted tests.
@@ -121,10 +129,16 @@ class InvariantChecker {
   void AddError(CheckReport* report, CheckLayer layer, std::string invariant,
                 std::string object, SurrogateId surrogate, std::string message);
 
+  // Governor check for the scan loops; OK when no governor is installed.
+  Status CheckGovernor() {
+    return qctx_ != nullptr ? qctx_->Check() : Status::Ok();
+  }
+
   const DirectoryManager* dir_;
   LucMapper* mapper_;
   BufferPool* pool_;
   Pager* pager_;
+  QueryContext* qctx_ = nullptr;
 
   // Deduplication: closure checks run from every unit record of an entity
   // and would otherwise repeat findings.

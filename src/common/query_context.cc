@@ -1,0 +1,56 @@
+#include "common/query_context.h"
+
+#include <string>
+
+namespace sim {
+
+QueryContext::QueryContext(const Limits& limits) : limits_(limits) {
+  has_deadline_ = limits_.deadline_ms >= 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+  limited_ = has_deadline_ || limits_.max_combinations > 0 ||
+             limits_.max_rows > 0 || limits_.max_bytes > 0 ||
+             limits_.cancel_flag != nullptr;
+}
+
+bool QueryContext::cancel_requested() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return limits_.cancel_flag != nullptr &&
+         limits_.cancel_flag->load(std::memory_order_relaxed);
+}
+
+Status QueryContext::Trip(Status s) {
+  terminal_ = std::move(s);
+  return terminal_;
+}
+
+Status QueryContext::TripCancelled() {
+  return Trip(Status::Cancelled("statement cancelled by caller"));
+}
+
+Status QueryContext::TripBudget(const char* what, uint64_t budget,
+                                const char* suffix) {
+  if (!terminal_.ok()) return terminal_;
+  return Trip(Status::ResourceExhausted(std::string(what) +
+                                        std::to_string(budget) + suffix));
+}
+
+Status QueryContext::CheckSlow() {
+  if (limits_.cancel_flag != nullptr &&
+      limits_.cancel_flag->load(std::memory_order_relaxed)) {
+    return TripCancelled();
+  }
+  if (has_deadline_) {
+    ++stats_.clock_reads;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      return Trip(Status::DeadlineExceeded(
+          "statement deadline of " + std::to_string(limits_.deadline_ms) +
+          " ms exceeded"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sim

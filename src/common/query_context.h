@@ -1,0 +1,148 @@
+#ifndef SIMDB_COMMON_QUERY_CONTEXT_H_
+#define SIMDB_COMMON_QUERY_CONTEXT_H_
+
+// Per-statement resource governor. SIM ran as a shared InfoExec service
+// whose host (DMSII) absorbed runaway queries; our reproduction must own
+// that itself. A QueryContext is created per statement and threaded
+// through the execution stack; every Volcano operator Next(), every
+// existential/aggregate combination and the transitive-closure BFS call
+// Check()/ChargeCombinations() cooperatively, so a pathological query dies
+// with a clean kDeadlineExceeded / kCancelled / kResourceExhausted status
+// instead of running away.
+//
+// The governor enforces four independent limits:
+//  * deadline      — wall-clock budget (steady clock, amortized reads);
+//  * cancellation  — a flag flippable from another thread (Cursor::Cancel)
+//                    or shared externally through DatabaseOptions;
+//  * combinations  — §4.5 combinations examined, INCLUDING the existential
+//                    inner loops of TYPE 2 variables, aggregates and
+//                    quantifiers (which never show up as output rows);
+//  * rows / bytes  — delivered rows and the approximate memory held by
+//                    materializing operators (Sort, Distinct, ResultSet).
+//
+// A tripped limit is sticky: once Check() has returned a terminal status,
+// every later call returns the same status, so a pipeline unwinding
+// through many operators reports one coherent error.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace sim {
+
+class QueryContext {
+ public:
+  struct Limits {
+    // Wall-clock budget in milliseconds; < 0 means no deadline, 0 means
+    // "already expired" (cancels any in-flight work at the next check).
+    int64_t deadline_ms = -1;
+    // 0 = unlimited for the three budgets below.
+    uint64_t max_combinations = 0;
+    uint64_t max_rows = 0;
+    uint64_t max_bytes = 0;
+    // Optional externally-owned cancel flag (e.g. shared across threads);
+    // the context also has its own internal flag set by RequestCancel().
+    std::shared_ptr<const std::atomic<bool>> cancel_flag;
+  };
+
+  struct Stats {
+    uint64_t checks = 0;         // cooperative check calls
+    uint64_t clock_reads = 0;    // amortized deadline clock reads
+    uint64_t combinations = 0;   // combinations charged (incl. existential)
+    uint64_t rows = 0;           // rows charged
+    uint64_t bytes = 0;          // materialized bytes charged
+  };
+
+  QueryContext() : QueryContext(Limits()) {}
+  explicit QueryContext(const Limits& limits);
+
+  // Requests cooperative cancellation. Safe to call from another thread
+  // while the statement is executing.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const;
+
+  // Cooperative checkpoint, inlined for per-combination use. The fast
+  // path is a handful of integer ops: no governor → return; tripped →
+  // sticky terminal; internal cancel flag (one relaxed load) every call.
+  // The expensive sources — the externally shared cancel flag and the
+  // deadline clock — are consulted every kClockStride calls and on the
+  // first, which bounds how late they can fire at kClockStride
+  // combination-steps.
+  Status Check() {
+    ++stats_.checks;
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      if (!terminal_.ok()) return terminal_;
+      return TripCancelled();
+    }
+    if (!limited_) return Status::Ok();
+    if (!terminal_.ok()) return terminal_;
+    if ((ticks_++ % kClockStride) != 0) return Status::Ok();
+    return CheckSlow();
+  }
+
+  // Budget charges; each also performs Check(). Stats are counted
+  // unconditionally (governor_stats() reports them even without limits);
+  // budget comparisons are exact (every call), only the clock/flag
+  // sampling is amortized.
+  Status ChargeCombinations(uint64_t n = 1) {
+    stats_.combinations += n;
+    if (limits_.max_combinations > 0 &&
+        stats_.combinations > limits_.max_combinations) {
+      return TripBudget("combination budget of ", limits_.max_combinations,
+                        " exceeded");
+    }
+    return Check();
+  }
+  Status ChargeRows(uint64_t n = 1) {
+    stats_.rows += n;
+    if (limits_.max_rows > 0 && stats_.rows > limits_.max_rows) {
+      return TripBudget("row budget of ", limits_.max_rows, " exceeded");
+    }
+    return Check();
+  }
+  Status ChargeBytes(uint64_t bytes) {
+    stats_.bytes += bytes;
+    if (limits_.max_bytes > 0 && stats_.bytes > limits_.max_bytes) {
+      return TripBudget("memory budget of ", limits_.max_bytes,
+                        " bytes exceeded");
+    }
+    return Check();
+  }
+
+  // True when any limit or cancel source is active; callers may skip
+  // charging entirely when false (the fast path does so internally too).
+  bool limited() const { return limited_; }
+
+  const Stats& stats() const { return stats_; }
+  const Status& terminal() const { return terminal_; }
+
+ private:
+  // How many Check() calls share one clock read / external-flag sample.
+  // Bounds how late a deadline or shared-flag cancel can fire: at most
+  // kClockStride combination-steps.
+  static constexpr uint64_t kClockStride = 256;
+
+  // Slow path of Check(): external cancel flag + deadline clock.
+  Status CheckSlow();
+  // Latches a terminal status; out of line so the inline fast paths stay
+  // small (the message strings are only built when a limit actually trips).
+  Status Trip(Status s);
+  Status TripCancelled();
+  Status TripBudget(const char* what, uint64_t budget, const char* suffix);
+
+  Limits limits_;
+  bool limited_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<bool> cancelled_{false};
+  uint64_t ticks_ = 0;
+  Status terminal_;  // sticky; OK until a limit trips
+  Stats stats_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_QUERY_CONTEXT_H_

@@ -28,6 +28,18 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDiskFull:
+      return "DiskFull";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
   }
   return "Unknown";
 }

@@ -21,10 +21,20 @@ enum class StatusCode {
   kBindError,            // qualification/binding failed (unknown attribute,
                          // ambiguous qualification, bad role conversion, ...)
   kTypeError,            // value incompatible with attribute type
-  kIoError,              // storage layer failure
+  kIoError,              // storage layer failure (permanent)
   kNotSupported,         // valid SIM construct outside the implemented subset
   kAborted,              // transaction aborted (e.g., by a VERIFY condition)
   kInternal,             // invariant violation inside the library
+  // Resource-governor / resilience taxonomy. Transient vs permanent vs
+  // fatal is encoded in the code itself: kUnavailable is the only code the
+  // I/O retry layer considers retryable; kIoError is permanent; kDiskFull
+  // degrades the database to read-only.
+  kCancelled,            // statement cancelled by the caller
+  kDeadlineExceeded,     // statement ran past its deadline
+  kResourceExhausted,    // row/combination/memory budget exceeded
+  kUnavailable,          // transient I/O failure; a retry may succeed
+  kDiskFull,             // ENOSPC/EDQUOT: no space to write
+  kReadOnly,             // database degraded to read-only mode
 };
 
 // Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -71,6 +81,24 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DiskFull(std::string m) {
+    return Status(StatusCode::kDiskFull, std::move(m));
+  }
+  static Status ReadOnly(std::string m) {
+    return Status(StatusCode::kReadOnly, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

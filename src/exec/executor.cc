@@ -72,7 +72,8 @@ struct RowKeyEq {
 
 }  // namespace
 
-Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
+Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan,
+                                QueryContext* qctx) {
   stats_ = ExecStats();
   ResultSet rs;
   rs.columns = qt.target_labels;
@@ -82,7 +83,7 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
                        PhysicalPlan::Build(qt, plan, mapper_));
   // Layer-3 audit: refuse to run a structurally malformed operator tree.
   SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
-  ExecContext cx(&qt, mapper_);
+  ExecContext cx(&qt, mapper_, qctx);
   SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
   Row row;
   while (true) {
@@ -92,6 +93,13 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
       return has.status();
     }
     if (!*has) break;
+    if (qctx != nullptr) {
+      Status charged = qctx->ChargeRows();
+      if (!charged.ok()) {
+        (void)pplan.root->Close(cx);
+        return charged;
+      }
+    }
     rs.rows.push_back(std::move(row));
   }
   SIM_RETURN_IF_ERROR(pplan.root->Close(cx));
@@ -101,13 +109,15 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan) {
 }
 
 Result<ResultSet> Executor::RunReference(const QueryTree& qt,
-                                         const AccessPlan* plan) {
+                                         const AccessPlan* plan,
+                                         QueryContext* qctx) {
   stats_ = ExecStats();
   ResultSet rs;
   rs.columns = qt.target_labels;
   rs.structured = qt.mode == OutputMode::kStructure;
 
   EvalContext ctx(&qt, mapper_);
+  ctx.set_query_context(qctx);
   ExprEvaluator ev(&ctx);
 
   RunState st;
@@ -290,6 +300,9 @@ Result<TriBool> Executor::EvaluateSelection(RunState* st) {
 
 Status Executor::EmitIfSelected(RunState* st) {
   ++stats_.combinations_examined;
+  if (QueryContext* qctx = st->ctx->query_context()) {
+    SIM_RETURN_IF_ERROR(qctx->ChargeCombinations());
+  }
   SIM_ASSIGN_OR_RETURN(TriBool pass, EvaluateSelection(st));
   if (pass != TriBool::kTrue) return Status::Ok();
 
@@ -323,6 +336,9 @@ Status Executor::EmitIfSelected(RunState* st) {
         row.values.push_back(std::move(v));
       }
       st->last_emitted[node] = b;
+      if (QueryContext* qctx = st->ctx->query_context()) {
+        SIM_RETURN_IF_ERROR(qctx->ChargeRows());
+      }
       st->rs->rows.push_back(std::move(row));
     }
     return Status::Ok();
@@ -349,15 +365,20 @@ Status Executor::EmitIfSelected(RunState* st) {
     }
   }
   st->sort_keys.push_back(std::move(keys));
+  if (QueryContext* qctx = st->ctx->query_context()) {
+    SIM_RETURN_IF_ERROR(qctx->ChargeRows());
+  }
   st->rs->rows.push_back(std::move(row));
   return Status::Ok();
 }
 
-Result<bool> Executor::EntitySatisfies(const QueryTree& qt, SurrogateId s) {
+Result<bool> Executor::EntitySatisfies(const QueryTree& qt, SurrogateId s,
+                                       QueryContext* qctx) {
   if (qt.roots.size() != 1) {
     return Status::Internal("EntitySatisfies requires a single-root tree");
   }
   EvalContext ctx(&qt, mapper_);
+  ctx.set_query_context(qctx);
   ExprEvaluator ev(&ctx);
   NodeBinding b;
   b.bound = true;

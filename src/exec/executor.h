@@ -37,21 +37,26 @@ class Executor {
   using ExecStats = sim::ExecStats;
 
   // Runs a Retrieve query tree, optionally following `plan`: builds the
-  // physical operator pipeline and drains it into a ResultSet.
-  Result<ResultSet> Run(const QueryTree& qt, const AccessPlan* plan = nullptr);
+  // physical operator pipeline and drains it into a ResultSet. When `qctx`
+  // is given, every operator Next / enumerated combination / emitted row
+  // is charged against it (deadline, cancellation, budgets).
+  Result<ResultSet> Run(const QueryTree& qt, const AccessPlan* plan = nullptr,
+                        QueryContext* qctx = nullptr);
 
   // The original recursive §4.5 interpreter (materializes every node
   // domain). Produces bit-identical ResultSets to Run; kept as the
-  // reference implementation for parity testing.
+  // reference implementation for parity testing. Honors the same governor.
   Result<ResultSet> RunReference(const QueryTree& qt,
-                                 const AccessPlan* plan = nullptr);
+                                 const AccessPlan* plan = nullptr,
+                                 QueryContext* qctx = nullptr);
 
   const ExecStats& last_stats() const { return stats_; }
 
   // True when entity `s`, bound to the (single) root, satisfies the
   // tree's selection (TYPE 2 nodes evaluated existentially). Used for
   // update WHERE clauses and VERIFY conditions.
-  Result<bool> EntitySatisfies(const QueryTree& qt, SurrogateId s);
+  Result<bool> EntitySatisfies(const QueryTree& qt, SurrogateId s,
+                               QueryContext* qctx = nullptr);
 
   // Evaluates the tree's single target for entity `s` bound to the root.
   // Non-root TYPE1/3 nodes are bound to their first instance (dummy when

@@ -416,6 +416,9 @@ Result<std::vector<NodeBinding>> ExprEvaluator::ComputeDomainUnfiltered(
       while (!frontier.empty()) {
         std::vector<std::pair<SurrogateId, int>> next;
         for (const auto& [s, level] : frontier) {
+          if (ctx_->query_context() != nullptr) {
+            SIM_RETURN_IF_ERROR(ctx_->query_context()->Check());
+          }
           SIM_ASSIGN_OR_RETURN(
               std::vector<SurrogateId> targets,
               ctx_->mapper()->GetEvaTargets(node.via_owner->name,
@@ -442,9 +445,13 @@ Status ExprEvaluator::ForEachCombination(
     const std::vector<int>& loop_nodes,
     const std::function<Result<bool>()>& body) {
   // Recursive nested loops over loop_nodes[i...].
+  QueryContext* qctx = ctx_->query_context();
   std::function<Result<bool>(size_t)> recurse =
       [&](size_t i) -> Result<bool> {
-    if (i == loop_nodes.size()) return body();
+    if (i == loop_nodes.size()) {
+      if (qctx != nullptr) SIM_RETURN_IF_ERROR(qctx->ChargeCombinations());
+      return body();
+    }
     int node = loop_nodes[i];
     SIM_ASSIGN_OR_RETURN(std::vector<NodeBinding> domain, ComputeDomain(node));
     for (NodeBinding& b : domain) {

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/tribool.h"
 #include "common/value.h"
@@ -39,9 +40,17 @@ class EvalContext {
   NodeBinding& binding(int node) { return bindings_[node]; }
   const NodeBinding& binding(int node) const { return bindings_[node]; }
 
+  // Optional resource governor. When set, every enumerated combination
+  // (including the existential inner loops of aggregates and quantifiers)
+  // and every closure-BFS expansion is charged against it, so deadlines
+  // and cancellation reach the places where Type-2 queries burn time.
+  void set_query_context(QueryContext* qctx) { qctx_ = qctx; }
+  QueryContext* query_context() const { return qctx_; }
+
  private:
   const QueryTree* qt_;
   LucMapper* mapper_;
+  QueryContext* qctx_ = nullptr;
   std::vector<NodeBinding> bindings_;
 };
 

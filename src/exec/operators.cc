@@ -7,6 +7,21 @@
 
 namespace sim {
 
+namespace {
+
+// Footprint estimate for the memory budget: materializing operators
+// charge this per retained row / key vector.
+uint64_t ApproxValueBytes(const std::vector<Value>& values) {
+  uint64_t n = sizeof(Row);
+  for (const Value& v : values) {
+    n += sizeof(Value);
+    if (v.type() == ValueType::kString) n += v.string_value().size();
+  }
+  return n;
+}
+
+}  // namespace
+
 int CompareForSort(const Value& a, const Value& b) {
   if (a.is_null() && b.is_null()) return 0;
   if (a.is_null()) return -1;
@@ -213,6 +228,9 @@ Result<bool> EvaTraverse::DoNext(ExecContext& cx, Row* /*out*/) {
         // FIFO expansion delivers entities in exactly the breadth-first
         // discovery order of the materializing implementation.
         while (ready_.empty() && !expand_.empty()) {
+          if (QueryContext* qctx = cx.query_context()) {
+            SIM_RETURN_IF_ERROR(qctx->Check());
+          }
           auto [s, level] = expand_.front();
           expand_.pop_front();
           SIM_ASSIGN_OR_RETURN(
@@ -362,6 +380,9 @@ Result<bool> Filter::DoNext(ExecContext& cx, Row* out) {
     SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
     if (!has) return false;
     ++cx.stats.combinations_examined;
+    if (QueryContext* qctx = cx.query_context()) {
+      SIM_RETURN_IF_ERROR(qctx->ChargeCombinations());
+    }
     SIM_ASSIGN_OR_RETURN(TriBool pass, EvaluateSelection(cx));
     if (pass == TriBool::kTrue) return true;
   }
@@ -511,6 +532,11 @@ Result<bool> SortOp::DoNext(ExecContext& cx, Row* out) {
     while (true) {
       SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, &row));
       if (!has) break;
+      if (QueryContext* qctx = cx.query_context()) {
+        SIM_RETURN_IF_ERROR(qctx->ChargeBytes(
+            ApproxValueBytes(row.values) +
+            ApproxValueBytes(cx.current_sort_keys)));
+      }
       rows_.push_back(std::move(row));
       keys_.push_back(std::move(cx.current_sort_keys));
       cx.current_sort_keys.clear();
@@ -574,7 +600,12 @@ Result<bool> Distinct::DoNext(ExecContext& cx, Row* out) {
   while (true) {
     SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
     if (!has) return false;
-    if (seen_.insert(out->values).second) return true;
+    if (seen_.insert(out->values).second) {
+      if (QueryContext* qctx = cx.query_context()) {
+        SIM_RETURN_IF_ERROR(qctx->ChargeBytes(ApproxValueBytes(out->values)));
+      }
+      return true;
+    }
   }
 }
 

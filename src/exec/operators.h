@@ -54,16 +54,20 @@ struct ExecStats {
 
 // Everything a running pipeline shares: the bindings (EvalContext), the
 // expression evaluator, and the counters. The QueryTree must outlive the
-// context.
+// context; the optional QueryContext (resource governor) must too.
 class ExecContext {
  public:
-  ExecContext(const QueryTree* qt, LucMapper* mapper)
-      : eval_(qt, mapper), evaluator_(&eval_) {}
+  ExecContext(const QueryTree* qt, LucMapper* mapper,
+              QueryContext* qctx = nullptr)
+      : eval_(qt, mapper), evaluator_(&eval_) {
+    eval_.set_query_context(qctx);
+  }
 
   const QueryTree& qt() const { return eval_.qt(); }
   LucMapper* mapper() { return eval_.mapper(); }
   EvalContext& bindings() { return eval_; }
   ExprEvaluator& evaluator() { return evaluator_; }
+  QueryContext* query_context() const { return eval_.query_context(); }
 
   ExecStats stats;
   // Side channel from Project to Sort: the sort key of the row Project
@@ -86,8 +90,14 @@ class PhysicalOperator {
   virtual Status Open(ExecContext& cx) = 0;
   // Delivers the next unit: binding operators advance the combination
   // (out is ignored and may be null); row operators write *out. Returns
-  // false when exhausted.
+  // false when exhausted. This non-virtual wrapper is the pipeline's
+  // cooperative cancellation point: every Next anywhere in the tree
+  // consults the governor, so deadlines and cancellation stop a scan
+  // within one delivered unit.
   Result<bool> Next(ExecContext& cx, Row* out) {
+    if (QueryContext* qctx = cx.query_context()) {
+      SIM_RETURN_IF_ERROR(qctx->Check());
+    }
     SIM_ASSIGN_OR_RETURN(bool has, DoNext(cx, out));
     if (has) ++actual_rows_;
     return has;

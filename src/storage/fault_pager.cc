@@ -12,23 +12,61 @@ Status FaultInjector::Check(Op op, uint64_t seen, size_t intended_bytes,
     return Status::IoError("injected fault: device is gone (post-crash)");
   }
   for (const Fault& f : faults_) {
-    if (f.op != op || f.at != seen) continue;
-    ++stats_.faults_fired;
-    if (f.fatal) dead_ = true;
-    if (op == Op::kWrite && f.torn_bytes >= 0 && allowed_bytes != nullptr) {
-      *allowed_bytes = std::min(static_cast<size_t>(f.torn_bytes),
-                                intended_bytes);
-      return Status::IoError("injected fault: torn write (" +
-                             std::to_string(*allowed_bytes) + " of " +
-                             std::to_string(intended_bytes) + " bytes)");
+    if (f.op != op) continue;
+    // Which operation numbers this fault covers depends on its mode.
+    bool hit = false;
+    switch (f.mode) {
+      case Mode::kCrash:
+        hit = f.at == seen;
+        break;
+      case Mode::kTransient:
+      case Mode::kShortIo:
+        hit = seen >= f.at && seen < f.at + f.times;
+        break;
+      case Mode::kPermanent:
+      case Mode::kDiskFull:
+        hit = seen >= f.at;
+        break;
     }
-    switch (op) {
-      case Op::kWrite:
-        return Status::IoError("injected fault: write failed");
-      case Op::kSync:
-        return Status::IoError("injected fault: sync failed");
-      case Op::kRead:
-        return Status::IoError("injected fault: read failed");
+    if (!hit) continue;
+    ++stats_.faults_fired;
+    switch (f.mode) {
+      case Mode::kCrash:
+        if (f.fatal) dead_ = true;
+        if (op == Op::kWrite && f.torn_bytes >= 0 &&
+            allowed_bytes != nullptr) {
+          *allowed_bytes = std::min(static_cast<size_t>(f.torn_bytes),
+                                    intended_bytes);
+          return Status::IoError("injected fault: torn write (" +
+                                 std::to_string(*allowed_bytes) + " of " +
+                                 std::to_string(intended_bytes) + " bytes)");
+        }
+        switch (op) {
+          case Op::kWrite:
+            return Status::IoError("injected fault: write failed");
+          case Op::kSync:
+            return Status::IoError("injected fault: sync failed");
+          case Op::kRead:
+            return Status::IoError("injected fault: read failed");
+        }
+        break;
+      case Mode::kTransient:
+        return Status::Unavailable("injected fault: transient failure (op " +
+                                   std::to_string(seen) + ")");
+      case Mode::kPermanent:
+        return Status::IoError("injected fault: permanent device failure");
+      case Mode::kDiskFull:
+        return Status::DiskFull("injected fault: no space left on device");
+      case Mode::kShortIo:
+        if (op == Op::kWrite && f.torn_bytes >= 0 &&
+            allowed_bytes != nullptr) {
+          *allowed_bytes = std::min(static_cast<size_t>(f.torn_bytes),
+                                    intended_bytes);
+        }
+        return Status::Unavailable(
+            "injected fault: short write (" +
+            std::to_string(allowed_bytes != nullptr ? *allowed_bytes : 0) +
+            " of " + std::to_string(intended_bytes) + " bytes)");
     }
   }
   return Status::Ok();

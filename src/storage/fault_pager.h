@@ -14,6 +14,22 @@
 // test then discards the Database and reopens the file, which runs
 // recovery. Non-fatal faults fail a single operation and let execution
 // continue, modelling a transient I/O error.
+//
+// Beyond the original crash faults, the injector carries a fault MODEL
+// distinguishing how real devices fail (the resource-governor PR's error
+// taxonomy):
+//  * kTransient  — the next `times` matching operations fail with
+//                  kUnavailable; the retry layer above should absorb them
+//                  when `times` < its attempt budget.
+//  * kPermanent  — every matching operation from `at` onwards fails with
+//                  kIoError (a dead sector / pulled cable; other operation
+//                  kinds still work).
+//  * kDiskFull   — every write from `at` onwards fails with kDiskFull
+//                  (ENOSPC-after-K-writes); reads and syncs are unaffected,
+//                  so the database can degrade to read-only mode.
+//  * kShortIo    — the next `times` matching writes transfer only a prefix
+//                  (torn) and fail with kUnavailable; a full-page retry
+//                  repairs them.
 
 #include <cstdint>
 #include <string>
@@ -28,16 +44,26 @@ class FaultInjector {
  public:
   enum class Op { kWrite, kSync, kRead };
 
+  // How the fault behaves once its operation number comes up.
+  enum class Mode { kCrash, kTransient, kPermanent, kDiskFull, kShortIo };
+
   struct Fault {
     Op op = Op::kWrite;
     // Fires on the Nth matching operation (1-based) counted across every
-    // consumer of this injector.
+    // consumer of this injector. Range modes (kTransient/kShortIo) cover
+    // operations [at, at + times); kPermanent and kDiskFull cover every
+    // operation >= at.
     uint64_t at = 0;
     // For kWrite: >= 0 persists only the first `torn_bytes` bytes of the
     // payload before failing (a torn write); -1 persists nothing.
     int torn_bytes = -1;
     // Fatal faults kill the injector: all later operations fail too.
+    // Only meaningful for kCrash.
     bool fatal = true;
+    Mode mode = Mode::kCrash;
+    // kTransient / kShortIo: number of consecutive matching operations
+    // that fail before the device "recovers".
+    uint64_t times = 1;
   };
 
   struct Stats {
@@ -57,6 +83,25 @@ class FaultInjector {
   }
   void FailNthRead(uint64_t n, bool fatal = true) {
     Schedule({Op::kRead, n, -1, fatal});
+  }
+  // Fault-model forms (see the Mode comment above).
+  void TransientWrites(uint64_t at, uint64_t times = 1) {
+    Schedule({Op::kWrite, at, -1, false, Mode::kTransient, times});
+  }
+  void TransientReads(uint64_t at, uint64_t times = 1) {
+    Schedule({Op::kRead, at, -1, false, Mode::kTransient, times});
+  }
+  void TransientSyncs(uint64_t at, uint64_t times = 1) {
+    Schedule({Op::kSync, at, -1, false, Mode::kTransient, times});
+  }
+  void PermanentWritesFrom(uint64_t at) {
+    Schedule({Op::kWrite, at, -1, false, Mode::kPermanent, 1});
+  }
+  void DiskFullFromWrite(uint64_t at) {
+    Schedule({Op::kWrite, at, -1, false, Mode::kDiskFull, 1});
+  }
+  void ShortWrites(uint64_t at, int bytes, uint64_t times = 1) {
+    Schedule({Op::kWrite, at, bytes, false, Mode::kShortIo, times});
   }
 
   // Called by consumers before performing an operation. A non-OK status

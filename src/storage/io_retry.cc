@@ -1,0 +1,108 @@
+#include "storage/io_retry.h"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace sim {
+
+Status StatusFromIoErrno(const std::string& what, int err) {
+  std::string msg = what + ": " + std::strerror(err);
+  switch (err) {
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:
+    case ENOMEM:
+      return Status::Unavailable(msg);
+    case ENOSPC:
+    case EDQUOT:
+    case EFBIG:
+      return Status::DiskFull(msg);
+    default:
+      return Status::IoError(msg);
+  }
+}
+
+Status FullPread(int fd, char* buf, size_t n, off_t off,
+                 const std::string& what, const IoSyscalls& sys) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = sys.pread(fd, buf + done, n - done,
+                            off + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return StatusFromIoErrno(what, errno);
+    }
+    if (got == 0) {
+      return Status::IoError(what + ": unexpected end of file (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status FullPwrite(int fd, const char* buf, size_t n, off_t off,
+                  const std::string& what, const IoSyscalls& sys) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t put = sys.pwrite(fd, buf + done, n - done,
+                             off + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return StatusFromIoErrno(what, errno);
+    }
+    if (put == 0) {
+      // A zero-byte pwrite with n > 0 makes no progress; treat as ENOSPC
+      // would be a guess — surface it as a permanent short write.
+      return Status::IoError(what + ": pwrite made no progress (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::Ok();
+}
+
+uint64_t RetryPolicy::BackoffUs(int retry_index, uint64_t salt) const {
+  if (retry_index < 1) retry_index = 1;
+  uint64_t base = base_backoff_us;
+  uint64_t delay = base << (retry_index - 1);
+  if (delay > max_backoff_us) delay = max_backoff_us;
+  // Deterministic jitter in [0, delay/4): decorrelates retry storms while
+  // keeping tests reproducible (no wall-clock or RNG involved).
+  uint64_t quarter = delay / 4;
+  if (quarter > 0) {
+    uint64_t h = (salt * 0x9e3779b97f4a7c15ULL) >> 33;
+    delay += h % quarter;
+  }
+  return delay;
+}
+
+Status RetryTransient(const RetryPolicy& policy, RetryStats* stats,
+                      const std::function<Status()>& op) {
+  int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (stats != nullptr) ++stats->attempts;
+    last = op();
+    if (!IsTransientIo(last)) return last;
+    if (attempt == max_attempts) break;
+    uint64_t delay_us = policy.BackoffUs(
+        attempt, stats != nullptr ? stats->attempts : attempt);
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->backoff_us_total += delay_us;
+    }
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+  if (stats != nullptr) ++stats->giveups;
+  return last;
+}
+
+}  // namespace sim

@@ -1,0 +1,84 @@
+#ifndef SIMDB_STORAGE_IO_RETRY_H_
+#define SIMDB_STORAGE_IO_RETRY_H_
+
+// I/O resilience primitives shared by the pager and the write-ahead log.
+//
+// Three layers, from innermost out:
+//  * Full-transfer loops (FullPread / FullPwrite): POSIX allows pread and
+//    pwrite to transfer fewer bytes than requested and to fail with EINTR
+//    on a signal; both are routine on NFS and with profilers attached.
+//    Treating either as a hard failure is a correctness bug — these
+//    helpers loop until the whole transfer completes or a real error
+//    occurs. The syscalls are injectable so tests can script short
+//    transfers and EINTR without a real signal.
+//  * Errno classification (StatusFromIoErrno): maps an errno to the error
+//    taxonomy — kUnavailable (transient: EAGAIN et al.), kDiskFull
+//    (ENOSPC/EDQUOT/EFBIG), kIoError (permanent: everything else).
+//  * RetryTransient: bounded exponential backoff with deterministic
+//    jitter around an operation, retrying only statuses classified
+//    transient (kUnavailable). Everything else surfaces immediately.
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace sim {
+
+// Injectable syscalls for testing short transfers and EINTR.
+struct IoSyscalls {
+  ssize_t (*pread)(int fd, void* buf, size_t n, off_t off) = ::pread;
+  ssize_t (*pwrite)(int fd, const void* buf, size_t n, off_t off) = ::pwrite;
+};
+
+// Classifies `err` (an errno value) for operation description `what`.
+Status StatusFromIoErrno(const std::string& what, int err);
+
+// True when `s` is worth retrying (transient I/O failure).
+inline bool IsTransientIo(const Status& s) {
+  return s.code() == StatusCode::kUnavailable;
+}
+
+// Reads/writes exactly `n` bytes at `off`, looping over short transfers
+// and EINTR. A pread hitting end-of-file is a permanent kIoError (the
+// bytes do not exist); every other failure is classified by errno.
+Status FullPread(int fd, char* buf, size_t n, off_t off,
+                 const std::string& what, const IoSyscalls& sys = IoSyscalls());
+Status FullPwrite(int fd, const char* buf, size_t n, off_t off,
+                  const std::string& what,
+                  const IoSyscalls& sys = IoSyscalls());
+
+// Backoff policy for transient faults. Deterministic: the delay for
+// attempt k is min(max, base << k) plus a jitter derived from a counter,
+// so tests are reproducible and a fleet of retries decorrelates.
+struct RetryPolicy {
+  // Total tries per logical operation (first attempt + retries). 1
+  // disables retrying.
+  int max_attempts = 4;
+  // Backoff before retry k (1-based) is min(max, base << (k-1)) ± jitter.
+  uint32_t base_backoff_us = 100;
+  uint32_t max_backoff_us = 5000;
+
+  uint64_t BackoffUs(int retry_index, uint64_t salt) const;
+};
+
+struct RetryStats {
+  uint64_t attempts = 0;        // operations attempted (incl. first tries)
+  uint64_t retries = 0;         // re-attempts after a transient failure
+  uint64_t giveups = 0;         // transient failures that outlasted budget
+  uint64_t backoff_us_total = 0;
+};
+
+// Runs `op` until it returns a non-transient status or the attempt budget
+// is exhausted, sleeping the policy's backoff between attempts. Returns
+// the last status (kUnavailable when the budget ran out).
+Status RetryTransient(const RetryPolicy& policy, RetryStats* stats,
+                      const std::function<Status()>& op);
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_IO_RETRY_H_

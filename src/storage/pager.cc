@@ -50,41 +50,62 @@ FilePager::~FilePager() {
 Status FilePager::Read(PageId id, char* out) {
   if (id >= page_count_) return Status::IoError("read past end of pager");
   ++stats_.physical_reads;
-  ssize_t n = ::pread(fd_, out, kPageSize,
-                      static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short read on page " + std::to_string(id));
-  }
-  return Status::Ok();
+  return FullPread(fd_, out, kPageSize, static_cast<off_t>(id) * kPageSize,
+                   "read of page " + std::to_string(id));
 }
 
 Status FilePager::Write(PageId id, const char* data) {
   if (id >= page_count_) return Status::IoError("write past end of pager");
   ++stats_.physical_writes;
-  ssize_t n = ::pwrite(fd_, data, kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short write on page " + std::to_string(id));
-  }
-  return Status::Ok();
+  return FullPwrite(fd_, data, kPageSize, static_cast<off_t>(id) * kPageSize,
+                    "write of page " + std::to_string(id));
 }
 
 Result<PageId> FilePager::Allocate() {
   char zero[kPageSize];
   std::memset(zero, 0, kPageSize);
   PageId id = page_count_;
-  ssize_t n = ::pwrite(fd_, zero, kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("cannot extend database file");
-  }
+  SIM_RETURN_IF_ERROR(FullPwrite(fd_, zero, kPageSize,
+                                 static_cast<off_t>(id) * kPageSize,
+                                 "extension of database file"));
   ++page_count_;
   return id;
 }
 
 Status FilePager::Sync() {
-  if (::fsync(fd_) != 0) return Status::IoError("fsync failed");
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return StatusFromIoErrno("fsync of database file", errno);
+  }
   return Status::Ok();
+}
+
+// ----- ResilientPager -----
+
+Status ResilientPager::Read(PageId id, char* out) {
+  return RetryTransient(policy_, &retry_stats_,
+                        [&] { return base_->Read(id, out); });
+}
+
+Status ResilientPager::Write(PageId id, const char* data) {
+  return RetryTransient(policy_, &retry_stats_,
+                        [&] { return base_->Write(id, data); });
+}
+
+Result<PageId> ResilientPager::Allocate() {
+  // Allocate is idempotent only if a failed attempt did not extend the
+  // address space; both implementations bump page_count after the write
+  // succeeds, so re-running is safe.
+  Result<PageId> out = Status::Internal("allocate not attempted");
+  SIM_RETURN_IF_ERROR(RetryTransient(policy_, &retry_stats_, [&] {
+    out = base_->Allocate();
+    return out.status();
+  }));
+  return out;
+}
+
+Status ResilientPager::Sync() {
+  return RetryTransient(policy_, &retry_stats_, [&] { return base_->Sync(); });
 }
 
 }  // namespace sim

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/io_retry.h"
 #include "storage/page.h"
 
 namespace sim {
@@ -56,7 +57,11 @@ class MemPager : public Pager {
   std::vector<std::unique_ptr<char[]>> pages_;
 };
 
-// File-backed pages using pread/pwrite on a single database file.
+// File-backed pages using pread/pwrite on a single database file. All
+// transfers go through the full-transfer loops in storage/io_retry.h, so
+// EINTR and short reads/writes (signals, NFS) never surface as failures;
+// real errors are classified into the transient / disk-full / permanent
+// taxonomy by errno.
 class FilePager : public Pager {
  public:
   static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
@@ -73,6 +78,33 @@ class FilePager : public Pager {
 
   int fd_;
   uint32_t page_count_;
+};
+
+// Retry decorator: forwards to `base`, re-attempting operations that fail
+// with a transient status (kUnavailable) under a bounded exponential
+// backoff with jitter. Page operations are idempotent (whole-page writes,
+// reads into a caller buffer), so re-running a failed attempt is always
+// safe — including after a torn/short transfer, which the full rewrite
+// repairs. Permanent (kIoError) and disk-full (kDiskFull) statuses pass
+// straight through. Sits ABOVE the fault-injecting pager in the stack, so
+// injected transient faults exercise exactly this path.
+class ResilientPager : public Pager {
+ public:
+  ResilientPager(Pager* base, RetryPolicy policy)
+      : base_(base), policy_(policy) {}
+
+  Status Read(PageId id, char* out) override;
+  Status Write(PageId id, const char* data) override;
+  Result<PageId> Allocate() override;
+  uint32_t page_count() const override { return base_->page_count(); }
+  Status Sync() override;
+
+  const RetryStats& retry_stats() const { return retry_stats_; }
+
+ private:
+  Pager* base_;
+  RetryPolicy policy_;
+  RetryStats retry_stats_;
 };
 
 }  // namespace sim

@@ -34,7 +34,7 @@ uint64_t GetU64(const char* p) {
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    const std::string& db_path, FaultInjector* injector) {
+    const std::string& db_path, FaultInjector* injector, RetryPolicy retry) {
   std::string path = db_path + ".wal";
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
@@ -42,7 +42,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
                            std::strerror(errno));
   }
   auto wal = std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(std::move(path), fd, injector));
+      new WriteAheadLog(std::move(path), fd, injector, retry));
   SIM_RETURN_IF_ERROR(wal->Scan());
   return wal;
 }
@@ -56,12 +56,9 @@ Status WriteAheadLog::Scan() {
   if (file_size < 0) return Status::IoError("cannot seek WAL " + path_);
   std::string buf;
   buf.resize(static_cast<size_t>(file_size));
-  size_t got = 0;
-  while (got < buf.size()) {
-    ssize_t n = ::pread(fd_, buf.data() + got, buf.size() - got,
-                        static_cast<off_t>(got));
-    if (n <= 0) return Status::IoError("cannot read WAL " + path_);
-    got += static_cast<size_t>(n);
+  if (!buf.empty()) {
+    SIM_RETURN_IF_ERROR(
+        FullPread(fd_, buf.data(), buf.size(), 0, "scan of WAL " + path_));
   }
 
   std::map<PageId, uint64_t> images;
@@ -120,24 +117,27 @@ Status WriteAheadLog::WriteFrame(uint8_t type, PageId id, const char* payload,
   uint32_t crc = Crc32(frame.data() + 4, kFrameHeader - 4 + payload_len);
   PutU32(frame.data() + kFrameHeader + payload_len, crc);
 
-  if (injector_ != nullptr) {
-    size_t allowed = 0;
-    Status s = injector_->BeginWrite(frame_len, &allowed);
-    if (!s.ok()) {
-      if (allowed > 0) {
-        // Torn append: a prefix of the frame reaches the disk. The frame
-        // CRC cannot match, so recovery truncates it.
-        (void)::pwrite(fd_, frame.data(), allowed,
-                       static_cast<off_t>(append_off_));
+  // The append is idempotent: the offset only advances on success, so a
+  // retried attempt (after a transient fault or a torn/short prefix)
+  // simply overwrites the same log tail with the full frame.
+  SIM_RETURN_IF_ERROR(RetryTransient(retry_, &retry_stats_, [&]() -> Status {
+    if (injector_ != nullptr) {
+      size_t allowed = 0;
+      Status s = injector_->BeginWrite(frame_len, &allowed);
+      if (!s.ok()) {
+        if (allowed > 0) {
+          // Torn append: a prefix of the frame reaches the disk. The frame
+          // CRC cannot match, so recovery truncates it.
+          (void)::pwrite(fd_, frame.data(), allowed,
+                         static_cast<off_t>(append_off_));
+        }
+        return s;
       }
-      return s;
     }
-  }
-  ssize_t n = ::pwrite(fd_, frame.data(), frame_len,
-                       static_cast<off_t>(append_off_));
-  if (n != static_cast<ssize_t>(frame_len)) {
-    return Status::IoError("short write on WAL " + path_);
-  }
+    return FullPwrite(fd_, frame.data(), frame_len,
+                      static_cast<off_t>(append_off_),
+                      "append to WAL " + path_);
+  }));
   append_off_ += frame_len;
   ++next_lsn_;
   return Status::Ok();
@@ -163,9 +163,14 @@ Status WriteAheadLog::AppendCommit() {
 }
 
 Status WriteAheadLog::Sync() {
-  if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
-  if (::fsync(fd_) != 0) return Status::IoError("fsync failed on " + path_);
-  return Status::Ok();
+  return RetryTransient(retry_, &retry_stats_, [&]() -> Status {
+    if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
+    while (::fsync(fd_) != 0) {
+      if (errno == EINTR) continue;
+      return StatusFromIoErrno("fsync of WAL " + path_, errno);
+    }
+    return Status::Ok();
+  });
 }
 
 Status WriteAheadLog::ReadImage(PageId id, char* out) const {
@@ -173,11 +178,14 @@ Status WriteAheadLog::ReadImage(PageId id, char* out) const {
   if (it == latest_.end()) {
     return Status::NotFound("no WAL image for page " + std::to_string(id));
   }
-  if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginRead());
-  ssize_t n = ::pread(fd_, out, kPageSize, static_cast<off_t>(it->second));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short read on WAL " + path_);
-  }
+  SIM_RETURN_IF_ERROR(RetryTransient(retry_, nullptr, [&]() -> Status {
+    if (injector_ != nullptr) {
+      Status injected = injector_->BeginRead();
+      if (!injected.ok()) return injected;
+    }
+    return FullPread(fd_, out, kPageSize, static_cast<off_t>(it->second),
+                     "image read from WAL " + path_);
+  }));
   if (!PageChecksumOk(out)) {
     return Status::IoError("WAL image checksum mismatch for page " +
                            std::to_string(id));
@@ -189,10 +197,9 @@ Status WriteAheadLog::ReplayImages(const std::map<PageId, uint64_t>& images,
                                    Pager* db, uint64_t* replayed) {
   char buf[kPageSize];
   for (const auto& [id, off] : images) {
-    ssize_t n = ::pread(fd_, buf, kPageSize, static_cast<off_t>(off));
-    if (n != static_cast<ssize_t>(kPageSize)) {
-      return Status::IoError("short read on WAL " + path_);
-    }
+    SIM_RETURN_IF_ERROR(FullPread(fd_, buf, kPageSize,
+                                  static_cast<off_t>(off),
+                                  "replay read from WAL " + path_));
     if (!PageChecksumOk(buf)) {
       return Status::IoError("WAL image checksum mismatch for page " +
                              std::to_string(id));

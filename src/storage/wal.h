@@ -40,6 +40,7 @@
 
 #include "common/status.h"
 #include "storage/fault_pager.h"
+#include "storage/io_retry.h"
 #include "storage/page.h"
 #include "storage/pager.h"
 
@@ -57,9 +58,11 @@ class WriteAheadLog {
 
   // Opens (creating if absent) the log for database file `db_path` and
   // scans any existing content up to the first invalid frame. Call
-  // Recover() next to apply it.
+  // Recover() next to apply it. Log I/O retries transient failures under
+  // `retry` (appends are idempotent: the offset only advances on success).
   static Result<std::unique_ptr<WriteAheadLog>> Open(
-      const std::string& db_path, FaultInjector* injector = nullptr);
+      const std::string& db_path, FaultInjector* injector = nullptr,
+      RetryPolicy retry = RetryPolicy());
   ~WriteAheadLog();
 
   // Replays every page image at or before the last complete commit record
@@ -92,11 +95,13 @@ class WriteAheadLog {
   bool empty() const { return append_off_ == 0; }
   uint64_t last_lsn() const { return next_lsn_ - 1; }
   const Stats& stats() const { return stats_; }
+  const RetryStats& retry_stats() const { return retry_stats_; }
   const std::string& path() const { return path_; }
 
  private:
-  WriteAheadLog(std::string path, int fd, FaultInjector* injector)
-      : path_(std::move(path)), fd_(fd), injector_(injector) {}
+  WriteAheadLog(std::string path, int fd, FaultInjector* injector,
+                RetryPolicy retry)
+      : path_(std::move(path)), fd_(fd), injector_(injector), retry_(retry) {}
 
   // Scans the log from the start, rebuilding the image maps; sets
   // append_off_ to just after the last complete commit record and records
@@ -113,6 +118,8 @@ class WriteAheadLog {
   std::string path_;
   int fd_;
   FaultInjector* injector_;
+  RetryPolicy retry_;
+  RetryStats retry_stats_;
   // Byte offset where the next frame goes (== valid log length).
   uint64_t append_off_ = 0;
   uint64_t next_lsn_ = 1;

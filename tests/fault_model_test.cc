@@ -1,0 +1,568 @@
+// Fault-model sweep: every class of injected I/O fault must either be
+// absorbed by the retry layer (transient, short write) or fail the
+// statement cleanly (permanent, disk-full, exhausted retry budget) with
+// the transaction rolled back and the invariant audit clean. Disk-full
+// additionally degrades the database to read-only mode: retrieval and
+// CHECK DATABASE keep working, updates fail with kReadOnly, and the WAL
+// stays consistent for recovery on the next open.
+//
+// Also holds the unit tests for the I/O resilience primitives themselves:
+// FullPread / FullPwrite (EINTR + short-transfer loops, scripted through
+// the injectable syscall table) and transient-errno classification.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/status.h"
+#include "storage/fault_pager.h"
+#include "storage/io_retry.h"
+#include "storage/wal.h"
+
+namespace sim {
+namespace {
+
+constexpr const char* kDdl = R"ddl(
+Class Person (
+  name: string[16] required;
+  age: integer );
+)ddl";
+
+const std::vector<std::string>& Statements() {
+  static const std::vector<std::string> kStatements = {
+      "Insert person (name := \"ada\", age := 36)",
+      "Insert person (name := \"grace\", age := 45)",
+      "Insert person (name := \"alan\", age := 41)",
+      "Insert person (name := \"edsger\", age := 72)",
+      "Modify person (age := 37) Where name = \"ada\"",
+      "Insert person (name := \"barbara\", age := 68)",
+      "Delete person Where name = \"alan\"",
+      "Modify person (age := 46) Where name = \"grace\"",
+      "Insert person (name := \"john\", age := 77)",
+      "Insert person (name := \"donald\", age := 85)",
+  };
+  return kStatements;
+}
+
+std::string TestPath(const std::string& stem) {
+  return ::testing::TempDir() + "/simdb_" + stem + ".db";
+}
+
+void Nuke(const std::string& path) {
+  ::remove(path.c_str());
+  ::remove((path + ".wal").c_str());
+}
+
+// Opens a file-backed Person database and runs the DDL.
+Result<std::unique_ptr<Database>> OpenPersons(const std::string& path,
+                                              FaultInjector* injector,
+                                              size_t frames = 512) {
+  DatabaseOptions options;
+  options.file_path = path;
+  options.fault_injector = injector;
+  options.buffer_pool_frames = frames;
+  SIM_ASSIGN_OR_RETURN(auto db, Database::Open(options));
+  SIM_RETURN_IF_ERROR(db->ExecuteDdl(kDdl));
+  return db;
+}
+
+// Total transient retries absorbed across the pager and the WAL.
+uint64_t TotalRetries(Database* db) {
+  uint64_t n = db->io_retry_stats().retries;
+  if (db->wal() != nullptr) n += db->wal()->retry_stats().retries;
+  return n;
+}
+
+// Runs every workload statement, recording each status.
+std::vector<Status> RunStatements(Database* db) {
+  std::vector<Status> out;
+  for (const auto& s : Statements()) out.push_back(db->ExecuteUpdate(s).status());
+  return out;
+}
+
+void ExpectAuditClean(Database* db) {
+  auto report = db->Audit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+// Counts the write operations a fault-free run of the full workload
+// performs (DDL + statements + audit), for positioning injected faults.
+uint64_t ProfileWrites(const std::string& stem) {
+  std::string path = TestPath(stem);
+  Nuke(path);
+  FaultInjector profile;
+  auto db = OpenPersons(path, &profile);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  for (const Status& s : RunStatements(db->get())) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  db->reset();
+  Nuke(path);
+  return profile.stats().writes_seen;
+}
+
+TEST(FaultModelTest, TransientWriteAbsorbedByRetry) {
+  uint64_t writes = ProfileWrites("fm_profile_tw");
+  ASSERT_GT(writes, 4u);
+  std::string path = TestPath("fm_transient_write");
+  Nuke(path);
+  FaultInjector inj;
+  // Two consecutive failures mid-workload: under the default 4-attempt
+  // budget the retry layer must absorb both invisibly.
+  inj.TransientWrites(writes / 2, 2);
+  auto db = OpenPersons(path, &inj);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (const Status& s : RunStatements(db->get())) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  EXPECT_GE(inj.stats().faults_fired, 2u);
+  EXPECT_GE(TotalRetries(db->get()), 2u);
+  ExpectAuditClean(db->get());
+  db->reset();
+  Nuke(path);
+}
+
+TEST(FaultModelTest, TransientSyncAbsorbedByRetry) {
+  std::string path = TestPath("fm_transient_sync");
+  Nuke(path);
+  FaultInjector inj;
+  inj.TransientSyncs(1, 2);
+  auto db = OpenPersons(path, &inj);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (const Status& s : RunStatements(db->get())) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  EXPECT_GE(inj.stats().faults_fired, 2u);
+  ExpectAuditClean(db->get());
+  db->reset();
+  Nuke(path);
+}
+
+TEST(FaultModelTest, TransientReadAbsorbedByRetry) {
+  std::string path = TestPath("fm_transient_read");
+  Nuke(path);
+  {
+    auto db = OpenPersons(path, nullptr);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (const Status& s : RunStatements(db->get())) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  }
+  // Reopen: recovery and the page-checksum audit read from the file; the
+  // first two reads fail transiently and must be retried.
+  FaultInjector inj;
+  inj.TransientReads(1, 2);
+  DatabaseOptions options;
+  options.file_path = path;
+  options.fault_injector = &inj;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ExpectAuditClean(db->get());
+  EXPECT_GE(inj.stats().faults_fired, 2u);
+  db->reset();
+  Nuke(path);
+}
+
+TEST(FaultModelTest, TransientBeyondBudgetFailsStatementCleanly) {
+  uint64_t writes = ProfileWrites("fm_profile_tb");
+  std::string path = TestPath("fm_transient_exhaust");
+  Nuke(path);
+  FaultInjector inj;
+  // Six consecutive failures: the first affected statement burns its whole
+  // 4-attempt budget and fails with kUnavailable; the remaining two
+  // failures are absorbed by a later statement's retries.
+  inj.TransientWrites(writes / 2, 6);
+  auto db = OpenPersons(path, &inj);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::vector<Status> statuses = RunStatements(db->get());
+  int failed = 0;
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+      ++failed;
+    }
+  }
+  EXPECT_GE(failed, 1);
+  EXPECT_LE(failed, 2);
+  // The failed statement rolled back; the device has recovered, so the
+  // audit (which flushes) must pass and find a consistent database.
+  EXPECT_GE(db->get()->io_retry_stats().giveups +
+                db->get()->wal()->retry_stats().giveups,
+            1u);
+  ExpectAuditClean(db->get());
+  db->reset();
+
+  // Recovery on reopen must also come up clean.
+  DatabaseOptions options;
+  options.file_path = path;
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  ExpectAuditClean(re->get());
+  re->reset();
+  Nuke(path);
+}
+
+TEST(FaultModelTest, PermanentWriteFailsWithoutRetryStorm) {
+  uint64_t writes = ProfileWrites("fm_profile_pw");
+  std::string path = TestPath("fm_permanent");
+  Nuke(path);
+  FaultInjector inj;
+  inj.PermanentWritesFrom(writes / 2);
+  auto db = OpenPersons(path, &inj);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::vector<Status> statuses = RunStatements(db->get());
+  bool saw_io_error = false;
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kIoError) << s.ToString();
+      saw_io_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_io_error);
+  // Permanent failures are never retried: each fired fault is a distinct
+  // intended operation, not a backoff loop hammering a dead device.
+  EXPECT_EQ(TotalRetries(db->get()), 0u);
+  db->reset();
+
+  // The device "heals" (injector gone); recovery must produce a clean,
+  // checksum-valid database from the WAL.
+  DatabaseOptions options;
+  options.file_path = path;
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  ExpectAuditClean(re->get());
+  re->reset();
+  Nuke(path);
+}
+
+TEST(FaultModelTest, DiskFullDegradesToReadOnly) {
+  std::string path = TestPath("fm_diskfull");
+  Nuke(path);
+  FaultInjector inj;
+  auto opened = OpenPersons(path, &inj);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Database* db = opened->get();
+  const auto& stmts = Statements();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db->ExecuteUpdate(stmts[i]).ok());
+  }
+  // The device fills up: every write from here on returns ENOSPC.
+  inj.DiskFullFromWrite(1);
+  auto failed = db->ExecuteUpdate(stmts[5]);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDiskFull)
+      << failed.status().ToString();
+  EXPECT_TRUE(db->read_only());
+
+  // Degraded mode: updates and transactions refuse immediately...
+  auto update = db->ExecuteUpdate(stmts[6]);
+  ASSERT_FALSE(update.ok());
+  EXPECT_EQ(update.status().code(), StatusCode::kReadOnly);
+  EXPECT_EQ(db->Begin().code(), StatusCode::kReadOnly);
+  // ...but retrieval and CHECK DATABASE still work. The failed statement
+  // rolled back, so exactly the four committed persons are visible.
+  auto rs = db->ExecuteQuery("From person Retrieve name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 4u);
+  ExpectAuditClean(db);
+  opened->reset();  // best-effort close on a full disk must not crash
+
+  // "Space freed" (injector dropped): recovery replays the WAL and the
+  // database resumes normal, writable operation.
+  DatabaseOptions options;
+  options.file_path = path;
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  EXPECT_FALSE(re->get()->read_only());
+  ExpectAuditClean(re->get());
+  re->reset();
+  Nuke(path);
+}
+
+TEST(FaultModelTest, ShortWriteRepairedByRetry) {
+  uint64_t writes = ProfileWrites("fm_profile_sw");
+  std::string path = TestPath("fm_short_write");
+  Nuke(path);
+  FaultInjector inj;
+  // A torn 100-byte prefix lands, the operation reports kUnavailable, and
+  // the full-frame retry overwrites the torn bytes.
+  inj.ShortWrites(writes / 2, 100, 1);
+  auto db = OpenPersons(path, &inj);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (const Status& s : RunStatements(db->get())) {
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  EXPECT_GE(inj.stats().faults_fired, 1u);
+  EXPECT_GE(TotalRetries(db->get()), 1u);
+  ExpectAuditClean(db->get());
+  db->reset();
+
+  DatabaseOptions options;
+  options.file_path = path;
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  ExpectAuditClean(re->get());
+  re->reset();
+  Nuke(path);
+}
+
+// The sweep: a single transient write fault at ANY position in the
+// combined database/WAL operation sequence must be invisible — every
+// statement succeeds, the audit is clean, and recovery on reopen agrees.
+TEST(FaultModelTest, SweepTransientWriteAtEveryPosition) {
+  uint64_t writes = ProfileWrites("fm_profile_sweep");
+  ASSERT_GT(writes, 0u);
+  uint64_t stride = std::max<uint64_t>(1, writes / 16);
+  std::string path = TestPath("fm_sweep");
+  for (uint64_t n = 1; n <= writes; n += stride) {
+    SCOPED_TRACE("transient fault at write " + std::to_string(n) + " of " +
+                 std::to_string(writes));
+    Nuke(path);
+    FaultInjector inj;
+    inj.TransientWrites(n, 1);
+    auto db = OpenPersons(path, &inj);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (const Status& s : RunStatements(db->get())) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    ExpectAuditClean(db->get());
+    db->reset();
+    DatabaseOptions options;
+    options.file_path = path;
+    auto re = Database::Open(options);
+    ASSERT_TRUE(re.ok()) << re.status().ToString();
+    ExpectAuditClean(re->get());
+    re->reset();
+  }
+  Nuke(path);
+}
+
+// Satellite: explicit transactions under mid-statement faults. A tiny
+// buffer pool forces evictions (and hence WAL appends) in the middle of
+// statements; an exhausted retry budget fails one statement, which must
+// roll back to its savepoint while the surrounding transaction stays
+// usable — and a full Rollback() restores the pre-transaction state.
+TEST(FaultModelTest, ExplicitTransactionSurvivesMidStatementFault) {
+  std::string path = TestPath("fm_txn_fault");
+  Nuke(path);
+  FaultInjector inj;
+  auto opened = OpenPersons(path, &inj, /*frames=*/8);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Database* db = opened->get();
+  const auto& stmts = Statements();
+  ASSERT_TRUE(db->ExecuteUpdate(stmts[0]).ok());  // committed baseline: ada
+
+  ASSERT_TRUE(db->Begin().ok());
+  ASSERT_TRUE(db->ExecuteUpdate(stmts[1]).ok());  // grace, inside the txn
+  // Every write from now on fails transiently, outlasting any retry
+  // budget, until the plan is cleared. Inside an explicit transaction
+  // nothing commits per statement, so the device is only touched when the
+  // tiny pool must evict a dirty page mid-statement — keep inserting until
+  // that happens.
+  inj.TransientWrites(inj.stats().writes_seen + 1, 1u << 20);
+  Status fault_status;
+  int attempts = 0;
+  for (; attempts < 2000; ++attempts) {
+    auto r = db->ExecuteUpdate("Insert person (name := \"p" +
+                               std::to_string(attempts) + "\", age := 1)");
+    if (!r.ok()) {
+      fault_status = r.status();
+      break;
+    }
+  }
+  ASSERT_LT(attempts, 2000) << "no mid-statement eviction ever hit the device";
+  EXPECT_EQ(fault_status.code(), StatusCode::kUnavailable)
+      << fault_status.ToString();
+  EXPECT_TRUE(db->in_transaction());
+  inj.Clear();
+
+  // The failed statement rolled back to its savepoint; the transaction
+  // continues: alan goes in, then the whole transaction is abandoned.
+  ASSERT_TRUE(db->ExecuteUpdate(stmts[2]).ok());
+  ASSERT_TRUE(db->Rollback().ok());
+  auto rs = db->ExecuteQuery("From person Retrieve name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "ada");
+  ExpectAuditClean(db);
+  opened->reset();
+
+  DatabaseOptions options;
+  options.file_path = path;
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  ExpectAuditClean(re->get());
+  re->reset();
+  Nuke(path);
+}
+
+// --------------------------------------------------------------------------
+// Unit tests for the resilience primitives.
+// --------------------------------------------------------------------------
+
+// Scripted syscalls (IoSyscalls carries plain function pointers, so the
+// script state is file-static).
+int g_eintr_budget = 0;      // fail this many calls with EINTR first
+size_t g_max_transfer = 0;   // then transfer at most this many bytes
+
+ssize_t ScriptedPread(int fd, void* buf, size_t n, off_t off) {
+  if (g_eintr_budget > 0) {
+    --g_eintr_budget;
+    errno = EINTR;
+    return -1;
+  }
+  return ::pread(fd, buf, std::min(n, g_max_transfer), off);
+}
+
+ssize_t ScriptedPwrite(int fd, const void* buf, size_t n, off_t off) {
+  if (g_eintr_budget > 0) {
+    --g_eintr_budget;
+    errno = EINTR;
+    return -1;
+  }
+  return ::pwrite(fd, buf, std::min(n, g_max_transfer), off);
+}
+
+class ScratchFile {
+ public:
+  ScratchFile() {
+    path_ = TestPath("fm_scratch");
+    ::remove(path_.c_str());
+    fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  }
+  ~ScratchFile() {
+    if (fd_ >= 0) ::close(fd_);
+    ::remove(path_.c_str());
+  }
+  int fd() const { return fd_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+TEST(IoRetryTest, FullPwriteLoopsOverEintrAndShortTransfers) {
+  ScratchFile f;
+  ASSERT_GE(f.fd(), 0);
+  g_eintr_budget = 3;
+  g_max_transfer = 5;  // 5-byte chunks: many short transfers per call
+  IoSyscalls sys;
+  sys.pwrite = ScriptedPwrite;
+  std::string payload(64, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = char('a' + i % 26);
+  Status s = FullPwrite(f.fd(), payload.data(), payload.size(), 0,
+                        "scripted write", sys);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::string back(payload.size(), '\0');
+  ASSERT_EQ(::pread(f.fd(), back.data(), back.size(), 0),
+            static_cast<ssize_t>(back.size()));
+  EXPECT_EQ(back, payload);
+}
+
+TEST(IoRetryTest, FullPreadLoopsOverEintrAndShortTransfers) {
+  ScratchFile f;
+  ASSERT_GE(f.fd(), 0);
+  std::string payload(48, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = char('A' + i % 26);
+  ASSERT_EQ(::pwrite(f.fd(), payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  g_eintr_budget = 2;
+  g_max_transfer = 7;
+  IoSyscalls sys;
+  sys.pread = ScriptedPread;
+  std::string back(payload.size(), '\0');
+  Status s = FullPread(f.fd(), back.data(), back.size(), 0, "scripted read",
+                       sys);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(back, payload);
+}
+
+TEST(IoRetryTest, FullPreadPastEndOfFileIsPermanent) {
+  ScratchFile f;
+  ASSERT_GE(f.fd(), 0);
+  ASSERT_EQ(::pwrite(f.fd(), "abc", 3, 0), 3);
+  char buf[16];
+  Status s = FullPread(f.fd(), buf, sizeof buf, 0, "eof read");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("end of file"), std::string::npos);
+}
+
+TEST(IoRetryTest, ErrnoClassification) {
+  EXPECT_EQ(StatusFromIoErrno("x", EAGAIN).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusFromIoErrno("x", ENOMEM).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusFromIoErrno("x", ENOSPC).code(), StatusCode::kDiskFull);
+  EXPECT_EQ(StatusFromIoErrno("x", EDQUOT).code(), StatusCode::kDiskFull);
+  EXPECT_EQ(StatusFromIoErrno("x", EIO).code(), StatusCode::kIoError);
+  EXPECT_TRUE(IsTransientIo(StatusFromIoErrno("x", EAGAIN)));
+  EXPECT_FALSE(IsTransientIo(StatusFromIoErrno("x", ENOSPC)));
+  EXPECT_FALSE(IsTransientIo(StatusFromIoErrno("x", EIO)));
+}
+
+TEST(IoRetryTest, BackoffIsBoundedAndGrows) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 5000;
+  uint64_t prev = 0;
+  for (int k = 1; k <= 10; ++k) {
+    uint64_t d = policy.BackoffUs(k, /*salt=*/k);
+    // Jitter adds at most delay/4, so the hard ceiling is max * 1.25.
+    EXPECT_LE(d, 5000u + 5000u / 4);
+    if (k <= 3) {
+      EXPECT_GE(d, prev / 2);  // roughly nondecreasing early on
+    }
+    prev = d;
+  }
+}
+
+TEST(IoRetryTest, RetryTransientStopsAtBudgetAndCountsStats) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_us = 0;  // no sleeping in unit tests
+  policy.max_backoff_us = 0;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, [&] {
+    ++calls;
+    return Status::Unavailable("still flaky");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.giveups, 1u);
+
+  // Success on the second attempt: one retry, no giveup.
+  RetryStats stats2;
+  calls = 0;
+  Status s2 = RetryTransient(policy, &stats2, [&] {
+    ++calls;
+    return calls < 2 ? Status::Unavailable("blip") : Status::Ok();
+  });
+  EXPECT_TRUE(s2.ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(stats2.retries, 1u);
+  EXPECT_EQ(stats2.giveups, 0u);
+
+  // Permanent failures surface immediately.
+  calls = 0;
+  Status s3 = RetryTransient(policy, nullptr, [&] {
+    ++calls;
+    return Status::IoError("dead sector");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(s3.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,266 @@
+// Resource-governor tests: query deadlines, cooperative cancellation,
+// combination / row / memory budgets, cursor terminal-status idempotence
+// and governed audits.
+//
+// The workhorse schema is a single `item` class with 200 entities; a
+// three-variable query where two variables appear only in the selection
+// makes those variables TYPE 2, so the 200 x 200 x 200 = 8M combinations
+// are enumerated by the existential inner loops of Type2Exists — the
+// acceptance criterion is that a deadline of 0 kills that enumeration in
+// bounded time even though it emits no rows at all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "api/database.h"
+#include "common/query_context.h"
+#include "common/status.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+constexpr int kItems = 200;
+
+// Opens an in-memory database with `kItems` item entities. The governor
+// limits are applied to every statement of the returned database; updates
+// are not governed, so loading works even with deadline_ms = 0.
+std::unique_ptr<Database> OpenItems(QueryContext::Limits governor) {
+  DatabaseOptions options;
+  options.governor = governor;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  Status ddl = (*db)->ExecuteDdl("Class Item ( tag: integer );");
+  EXPECT_TRUE(ddl.ok()) << ddl.ToString();
+  std::ostringstream script;
+  for (int i = 0; i < kItems; ++i) {
+    script << "Insert item (tag := " << i << ")\n";
+  }
+  Status load = (*db)->ExecuteScript(script.str());
+  EXPECT_TRUE(load.ok()) << load.ToString();
+  return std::move(*db);
+}
+
+// TYPE 2 enumeration: b and c appear only in the selection, so they are
+// evaluated existentially per binding of a. No combination satisfies the
+// predicate, so an ungoverned run must walk all 8M combinations.
+constexpr const char* kType2Query =
+    "From item a, item b, item c Retrieve tag of a "
+    "Where tag of b + tag of c = -1";
+
+TEST(GovernorTest, DeadlineZeroCancelsType2QueryInBoundedTime) {
+  QueryContext::Limits limits;
+  limits.deadline_ms = 0;
+  auto db = OpenItems(limits);
+  auto start = std::chrono::steady_clock::now();
+  auto rs = db->ExecuteQuery(kType2Query);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded)
+      << rs.status().ToString();
+  // 8M combinations take seconds; the governor must fire at the very first
+  // cooperative check. Allow generous CI slack while still proving the
+  // enumeration did not run to completion.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST(GovernorTest, CombinationBudgetTripsInsideExistentialLoops) {
+  // One outer binding of `a` needs 40,000 existential combinations; a
+  // budget of 5,000 can therefore only trip if the TYPE 2 inner loops
+  // charge the governor (no row is ever delivered).
+  QueryContext::Limits limits;
+  limits.max_combinations = 5000;
+  auto db = OpenItems(limits);
+  auto rs = db->ExecuteQuery(kType2Query);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted)
+      << rs.status().ToString();
+}
+
+TEST(GovernorTest, RowBudgetTripsOnDeliveredRows) {
+  QueryContext::Limits limits;
+  limits.max_rows = 10;
+  auto db = OpenItems(limits);
+  auto rs = db->ExecuteQuery("From item Retrieve tag");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted)
+      << rs.status().ToString();
+}
+
+TEST(GovernorTest, MemoryBudgetTripsOnMaterializingSort) {
+  // The cross join emits 40,000 rows into the Sort operator; a 4 KiB
+  // budget trips long before the sort's input is complete.
+  QueryContext::Limits limits;
+  limits.max_bytes = 4096;
+  auto db = OpenItems(limits);
+  auto rs = db->ExecuteQuery(
+      "From item a, item b Retrieve Table tag of a, tag of b "
+      "Order By tag of a");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted)
+      << rs.status().ToString();
+}
+
+TEST(GovernorTest, ExternalCancelFlagCancelsStatement) {
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  QueryContext::Limits limits;
+  limits.cancel_flag = flag;
+  auto db = OpenItems(limits);
+  // Not yet cancelled: statements run normally.
+  auto ok_rs = db->ExecuteQuery("From item Retrieve tag Where tag = 7");
+  ASSERT_TRUE(ok_rs.ok()) << ok_rs.status().ToString();
+  EXPECT_EQ(ok_rs->rows.size(), 1u);
+  flag->store(true);
+  auto rs = db->ExecuteQuery(kType2Query);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled)
+      << rs.status().ToString();
+}
+
+TEST(GovernorTest, UnlimitedGovernorLeavesQueriesUntouched) {
+  auto db = OpenItems(QueryContext::Limits());
+  auto rs = db->ExecuteQuery("From item Retrieve tag Where tag < 5");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 5u);
+}
+
+TEST(GovernorTest, CursorCancelStopsStreamMidFlight) {
+  auto db = OpenItems(QueryContext::Limits());
+  auto cursor = db->OpenCursor("From item a, item b Retrieve tag of a");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  Row row;
+  for (int i = 0; i < 3; ++i) {
+    auto has = cursor->Next(&row);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    ASSERT_TRUE(*has);
+  }
+  cursor->Cancel();
+  auto has = cursor->Next(&row);
+  ASSERT_FALSE(has.ok());
+  EXPECT_EQ(has.status().code(), StatusCode::kCancelled)
+      << has.status().ToString();
+  EXPECT_GE(cursor->governor_stats().rows, 3u);
+}
+
+TEST(GovernorTest, CursorTerminalStatusIsSticky) {
+  // Satellite regression: after a non-OK Next every further Next must
+  // return the same terminal status without re-entering the operator
+  // tree, and Close must stay safe.
+  QueryContext::Limits limits;
+  limits.max_rows = 2;
+  auto db = OpenItems(limits);
+  auto cursor = db->OpenCursor("From item Retrieve tag");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  Row row;
+  Status first;
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto has = cursor->Next(&row);
+    if (!has.ok()) {
+      first = has.status();
+      break;
+    }
+    ASSERT_TRUE(*has);
+    ++delivered;
+  }
+  ASSERT_EQ(first.code(), StatusCode::kResourceExhausted) << first.ToString();
+  EXPECT_LE(delivered, 2);
+  for (int i = 0; i < 3; ++i) {
+    auto again = cursor->Next(&row);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.status().code(), first.code());
+    EXPECT_EQ(again.status().message(), first.message());
+  }
+  EXPECT_TRUE(cursor->Close().ok());
+  // Still terminal after Close.
+  auto after_close = cursor->Next(&row);
+  ASSERT_FALSE(after_close.ok());
+  EXPECT_EQ(after_close.status().code(), first.code());
+}
+
+TEST(GovernorTest, CursorGovernorStatsCountWork) {
+  auto db = OpenItems(QueryContext::Limits());
+  auto cursor = db->OpenCursor("From item Retrieve tag Where tag >= 0");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  Row row;
+  int rows = 0;
+  while (true) {
+    auto has = cursor->Next(&row);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    if (!*has) break;
+    ++rows;
+  }
+  EXPECT_EQ(rows, kItems);
+  QueryContext::Stats stats = cursor->governor_stats();
+  EXPECT_EQ(stats.rows, static_cast<uint64_t>(kItems));
+  EXPECT_GE(stats.combinations, static_cast<uint64_t>(kItems));
+  EXPECT_GE(stats.checks, static_cast<uint64_t>(kItems));
+}
+
+TEST(GovernorTest, TransitiveClosureRespectsDeadline) {
+  // A transitive EVA expansion runs a BFS that never passes through the
+  // operator Next() wrapper; the BFS itself must check the governor.
+  DatabaseOptions options;
+  options.governor.deadline_ms = 0;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)
+                  ->ExecuteDdl(
+                      "Class Node ( tag: integer; "
+                      "next: node inverse is prev );")
+                  .ok());
+  std::ostringstream script;
+  for (int i = 0; i < 50; ++i) {
+    script << "Insert node (tag := " << i << ")\n";
+  }
+  for (int i = 0; i + 1 < 50; ++i) {
+    script << "Modify node (next := node with (tag = " << i + 1
+           << ")) Where tag = " << i << "\n";
+  }
+  Status load = (*db)->ExecuteScript(script.str());
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  auto rs = (*db)->ExecuteQuery(
+      "From node Retrieve tag of Transitive(next) Where tag = 0");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded)
+      << rs.status().ToString();
+}
+
+TEST(GovernorTest, AuditHonorsDeadline) {
+  DatabaseOptions options;
+  options.governor.deadline_ms = 0;
+  auto db = sim::testing::OpenUniversity(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto report = (*db)->Audit();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded)
+      << report.status().ToString();
+}
+
+TEST(GovernorTest, UniversityQueriesRunUnderGenerousLimits) {
+  // Sanity: realistic limits do not disturb ordinary statements.
+  DatabaseOptions options;
+  options.governor.deadline_ms = 60000;
+  options.governor.max_combinations = 1u << 20;
+  options.governor.max_rows = 10000;
+  options.governor.max_bytes = 1u << 26;
+  auto db = sim::testing::OpenUniversity(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto rs = (*db)->ExecuteQuery(
+      "From Instructor Retrieve Name Where student-nbr of advisees > 0");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_FALSE(rs->rows.empty());
+  auto report = (*db)->Audit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+}  // namespace
+}  // namespace sim

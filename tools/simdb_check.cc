@@ -1,18 +1,28 @@
 // simdb_check — offline invariant audit driver (simcheck layer 1 + 2 + 3).
 //
 // Usage:
-//   simdb_check                 audit the in-memory UNIVERSITY fixture
-//   simdb_check DDL [DML]       build a database from the given schema
-//                               script (and optional data script), audit it
+//   simdb_check [--deadline MS]           audit the in-memory UNIVERSITY
+//                                         fixture
+//   simdb_check [--deadline MS] DDL [DML] build a database from the given
+//                                         schema script (and optional data
+//                                         script), audit it
+//
+// --deadline MS bounds the audit itself through the resource governor: a
+// scan that exceeds the wall-clock budget aborts with kDeadlineExceeded
+// (exit 2) instead of running away on a huge database. 0 trips at the
+// first cooperative check; useful for exercising the cancellation path.
 //
 // Exit status: 0 when the audit reports no findings, 1 when findings exist,
-// 2 on setup failure (unreadable script, DDL/DML error).
+// 2 on setup failure (unreadable script, DDL/DML error, tripped deadline).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/database.h"
 #include "check/check.h"
@@ -32,11 +42,32 @@ sim::Result<std::string> ReadFile(const std::string& path) {
 }
 
 int Run(int argc, char** argv) {
+  sim::DatabaseOptions options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deadline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "simdb_check: --deadline needs a value (ms)\n");
+        return 2;
+      }
+      options.governor.deadline_ms = std::atoll(argv[++i]);
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      options.governor.deadline_ms =
+          std::atoll(arg.c_str() + std::strlen("--deadline="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "simdb_check: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
   std::unique_ptr<sim::Database> db;
-  if (argc <= 1) {
+  if (positional.empty()) {
     std::fprintf(stderr, "simdb_check: auditing built-in UNIVERSITY fixture\n");
     sim::Result<std::unique_ptr<sim::Database>> opened =
-        sim::testing::OpenUniversity();
+        sim::testing::OpenUniversity(options);
     if (!opened.ok()) {
       std::fprintf(stderr, "simdb_check: fixture setup failed: %s\n",
                    opened.status().ToString().c_str());
@@ -44,14 +75,15 @@ int Run(int argc, char** argv) {
     }
     db = std::move(*opened);
   } else {
-    sim::Result<std::unique_ptr<sim::Database>> opened = sim::Database::Open();
+    sim::Result<std::unique_ptr<sim::Database>> opened =
+        sim::Database::Open(options);
     if (!opened.ok()) {
       std::fprintf(stderr, "simdb_check: open failed: %s\n",
                    opened.status().ToString().c_str());
       return 2;
     }
     db = std::move(*opened);
-    sim::Result<std::string> ddl = ReadFile(argv[1]);
+    sim::Result<std::string> ddl = ReadFile(positional[0]);
     if (!ddl.ok()) {
       std::fprintf(stderr, "simdb_check: %s\n",
                    ddl.status().ToString().c_str());
@@ -63,8 +95,8 @@ int Run(int argc, char** argv) {
                    st.ToString().c_str());
       return 2;
     }
-    if (argc > 2) {
-      sim::Result<std::string> dml = ReadFile(argv[2]);
+    if (positional.size() > 1) {
+      sim::Result<std::string> dml = ReadFile(positional[1]);
       if (!dml.ok()) {
         std::fprintf(stderr, "simdb_check: %s\n",
                      dml.status().ToString().c_str());
