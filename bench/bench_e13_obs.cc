@@ -1,0 +1,104 @@
+// E13 — observability overhead. The obs layer promises a <1% tax on the
+// hot path: statement counters and trace spans are per-statement (a few
+// relaxed-atomic adds and two clock reads), never per-row, and the pool
+// counters were already maintained before the layer existed. This bench
+// re-runs the E11 pipeline workload three ways:
+//   * obs off      — ObsOptions::enabled = false: no trace log, no
+//                    statement counters, spans compile to pointer tests;
+//   * obs on       — the default: spans + counters + latency histogram;
+//   * obs on+sink  — NDJSON sink attached, the worst case (one formatted
+//                    line per span, flushed).
+// Compare obs_on against obs_off at the same row count for the headline
+// overhead number (EXPERIMENTS.md E13).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace {
+
+std::unique_ptr<sim::Database> BuildE5(const sim::DatabaseOptions& options,
+                                       int employees, int departments) {
+  auto db_result = sim::Database::Open(options);
+  if (!db_result.ok()) abort();
+  auto db = std::move(*db_result);
+  sim::Status s = db->ExecuteDdl(R"(
+    Class Dept (
+      dept-code: integer unique required;
+      budget: integer );
+    Class Emp (
+      emp-name: string[20];
+      works-in: dept inverse is staff );
+  )");
+  if (!s.ok()) abort();
+  auto mapper = db->mapper();
+  if (!mapper.ok()) abort();
+  std::vector<sim::SurrogateId> depts;
+  for (int d = 0; d < departments; ++d) {
+    auto dept = (*mapper)->CreateEntity("dept", nullptr);
+    if (!dept.ok()) abort();
+    (void)(*mapper)->SetField(*dept, "dept", "dept-code", sim::Value::Int(d),
+                              nullptr);
+    (void)(*mapper)->SetField(*dept, "dept", "budget",
+                              sim::Value::Int(1000 * d), nullptr);
+    depts.push_back(*dept);
+  }
+  for (int e = 0; e < employees; ++e) {
+    auto emp = (*mapper)->CreateEntity("emp", nullptr);
+    if (!emp.ok()) abort();
+    (void)(*mapper)->SetField(*emp, "emp", "emp-name",
+                              sim::Value::Str("e" + std::to_string(e)),
+                              nullptr);
+    (void)(*mapper)->AddEvaPair("emp", "works-in", *emp, depts[e % departments],
+                                nullptr);
+  }
+  return db;
+}
+
+constexpr const char* kQuery = "From Emp Retrieve emp-name, budget of works-in";
+
+void RunWorkload(benchmark::State& state, const sim::DatabaseOptions& options,
+                 const char* label) {
+  auto db = BuildE5(options, static_cast<int>(state.range(0)), 10);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = db->ExecuteQuery(kQuery);
+    if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+    rows = rs->rows.size();
+    benchmark::DoNotOptimize(rs);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel(label);
+}
+
+void BM_PipelineObsOff(benchmark::State& state) {
+  sim::DatabaseOptions options;
+  options.obs.enabled = false;
+  RunWorkload(state, options, "obs off");
+}
+BENCHMARK(BM_PipelineObsOff)->Arg(100)->Arg(400)->Arg(1600)->ArgName("emps");
+
+void BM_PipelineObsOn(benchmark::State& state) {
+  sim::DatabaseOptions options;  // obs.enabled defaults to true
+  RunWorkload(state, options, "obs on");
+}
+BENCHMARK(BM_PipelineObsOn)->Arg(100)->Arg(400)->Arg(1600)->ArgName("emps");
+
+void BM_PipelineObsOnWithSink(benchmark::State& state) {
+  sim::DatabaseOptions options;
+  options.obs.trace_ndjson_path = "/tmp/simdb_bench_e13_trace.ndjson";
+  RunWorkload(state, options, "obs on + NDJSON sink");
+}
+BENCHMARK(BM_PipelineObsOnWithSink)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->ArgName("emps");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -43,7 +43,7 @@ void RunStatement(sim::Database* db, const std::string& text) {
   std::string word =
       text.substr(i, j == std::string::npos ? std::string::npos : j - i);
   if (sim::NameEq(word, "from") || sim::NameEq(word, "retrieve") ||
-      sim::NameEq(word, "check")) {
+      sim::NameEq(word, "check") || sim::NameEq(word, "show")) {
     auto rs = db->ExecuteQuery(text);
     if (!rs.ok()) {
       std::printf("%s\n", rs.status().ToString().c_str());

@@ -3,7 +3,8 @@
 # plain build, an ASan+UBSan build, a standalone UBSan build that traps on
 # the first finding, and a hardened STRICT build (-Werror) that also runs
 # clang-tidy (when installed) and the simdb_check invariant audit, followed
-# by the injected-fault / resource-governor sweep.
+# by the injected-fault / resource-governor sweep and the observability
+# smoke check (metrics exposition scrape).
 # Usage: scripts/check.sh [extra ctest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +49,32 @@ if [ "$deadline_rc" -ne 2 ]; then
   echo "expected --deadline 0 audit to abort with exit 2, got $deadline_rc"
   exit 1
 fi
+
+echo "== observability smoke (SHOW METRICS + exposition scrape) =="
+# Run a workload through the shell-facing surfaces, then scrape the
+# Prometheus exposition and assert (a) the core counters moved and (b)
+# every non-comment line parses as `name value`.
+# The audit report precedes the exposition; scrape from the first
+# HELP header onward.
+metrics_out=$(./build-strict/tools/simdb_check --metrics |
+  sed -n '/^# HELP/,$p')
+fetches=$(printf '%s\n' "$metrics_out" |
+  awk '$1 == "simdb_pool_logical_fetches" { print $2 }')
+if [ -z "$fetches" ] || [ "$fetches" -le 0 ]; then
+  echo "expected simdb_pool_logical_fetches > 0 in --metrics output"
+  exit 1
+fi
+stmts=$(printf '%s\n' "$metrics_out" |
+  awk '$1 == "simdb_stmt_total" { print $2 }')
+if [ -z "$stmts" ] || [ "$stmts" -le 0 ]; then
+  echo "expected simdb_stmt_total > 0 in --metrics output"
+  exit 1
+fi
+printf '%s\n' "$metrics_out" | awk '
+  /^#/ { next }                      # HELP / TYPE comments
+  /^simdb/ && NF == 2 && $2 ~ /^[0-9]+$/ { ok++; next }
+  NF > 0 { print "unparseable exposition line: " $0; bad++ }
+  END { if (bad > 0 || ok == 0) exit 1 }'
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (profile: .clang-tidy) =="

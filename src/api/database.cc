@@ -1,5 +1,7 @@
 #include "api/database.h"
 
+#include <functional>
+
 #include "check/plan_check.h"
 #include "exec/physical_plan.h"
 #include "parser/ddl_parser.h"
@@ -8,6 +10,184 @@
 namespace sim {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+// RAII per-statement instrumentation. Constructed at the top of each
+// Execute* entry point: allocates the statement id, opens the top-level
+// "statement" span (recorded on destruction), and on destruction bumps
+// the statement counters and latency histogram. Failure is the default —
+// call MarkOk() on the success path.
+class Database::StmtObs {
+ public:
+  StmtObs(Database* db, obs::Counter* kind_counter, std::string_view text)
+      : db_(db),
+        kind_counter_(kind_counter),
+        stmt_(db->trace_ != nullptr ? db->trace_->BeginStatement() : 0),
+        span_(db->trace_.get(), stmt_, "statement") {
+    span_.SetDetail(std::string(text));
+  }
+  StmtObs(const StmtObs&) = delete;
+  StmtObs& operator=(const StmtObs&) = delete;
+  ~StmtObs() {
+    if (!db_->options_.obs.enabled) return;
+    db_->m_stmt_total_->Increment();
+    kind_counter_->Increment();
+    if (!ok_) db_->m_stmt_errors_->Increment();
+    db_->m_stmt_latency_us_->Observe(span_.ElapsedUs());
+  }
+
+  uint64_t stmt() const { return stmt_; }
+  obs::TraceLog* log() const { return db_->trace_.get(); }
+  void MarkOk() {
+    ok_ = true;
+    span_.MarkOk();
+  }
+
+ private:
+  Database* db_;
+  obs::Counter* kind_counter_;
+  uint64_t stmt_;
+  obs::Span span_;
+  bool ok_ = false;
+};
+
+void Database::RegisterMetrics() {
+  const BufferPool::Counters& pc = pool_->counters();
+  metrics_.RegisterCounterView("simdb_pool_logical_fetches",
+                               "Buffer pool fetches of existing pages "
+                               "(hits + misses).",
+                               &pc.logical_fetches);
+  metrics_.RegisterCounterView("simdb_pool_misses",
+                               "Buffer pool fetches served by the pager.",
+                               &pc.misses);
+  metrics_.RegisterCounterView("simdb_pool_evictions",
+                               "Frames reclaimed from resident pages.",
+                               &pc.evictions);
+  metrics_.RegisterCounterView("simdb_pool_dirty_writebacks",
+                               "Dirty frames written back (eviction, "
+                               "FlushAll and InvalidateAll).",
+                               &pc.dirty_writebacks);
+  metrics_.RegisterCounterView("simdb_pool_allocations",
+                               "Pages born in the pool via New.",
+                               &pc.allocations);
+  m_stmt_total_ =
+      metrics_.GetCounter("simdb_stmt_total", "Statements executed.");
+  m_stmt_errors_ = metrics_.GetCounter("simdb_stmt_errors_total",
+                                       "Statements that returned an error.");
+  m_stmt_queries_ = metrics_.GetCounter("simdb_stmt_queries_total",
+                                        "Retrieve / CHECK / SHOW statements.");
+  m_stmt_updates_ = metrics_.GetCounter(
+      "simdb_stmt_updates_total", "Insert / Modify / Delete statements.");
+  m_stmt_ddl_ =
+      metrics_.GetCounter("simdb_stmt_ddl_total", "DDL batches installed.");
+  m_stmt_latency_us_ = metrics_.GetHistogram(
+      "simdb_stmt_latency_us", "Statement wall time in microseconds.",
+      obs::Histogram::DefaultLatencyBoundsUs());
+  m_exec_combinations_ =
+      metrics_.GetCounter("simdb_exec_combinations_total",
+                          "Combinations examined by the query driver.");
+  m_exec_rows_ = metrics_.GetCounter("simdb_exec_rows_total",
+                                     "Rows delivered by the query driver.");
+  m_gov_checks_ = metrics_.GetCounter(
+      "simdb_governor_checks_total", "Cooperative governor checkpoints.");
+  m_gov_trips_ = metrics_.GetCounter(
+      "simdb_governor_trips_total",
+      "Statements stopped by a governor limit or cancellation.");
+  // Plain-struct component stats (RetryStats, WAL Stats) are sampled
+  // through callbacks at scrape time; the structs stay the source of
+  // truth for their historical accessors.
+  auto retry_field = [this](uint64_t RetryStats::*field) {
+    return [this, field]() {
+      uint64_t n = resilient_pager_->retry_stats().*field;
+      if (wal_ != nullptr) n += wal_->retry_stats().*field;
+      return n;
+    };
+  };
+  metrics_.RegisterCallback("simdb_io_retry_attempts_total",
+                            "I/O operations attempted (pager + WAL).",
+                            retry_field(&RetryStats::attempts));
+  metrics_.RegisterCallback("simdb_io_retry_retries_total",
+                            "Re-attempts after transient I/O failures.",
+                            retry_field(&RetryStats::retries));
+  metrics_.RegisterCallback("simdb_io_retry_giveups_total",
+                            "Transient failures that outlasted the budget.",
+                            retry_field(&RetryStats::giveups));
+  metrics_.RegisterCallback("simdb_io_retry_backoff_us_total",
+                            "Total backoff slept before retries, in "
+                            "microseconds.",
+                            retry_field(&RetryStats::backoff_us_total));
+  auto wal_field = [this](uint64_t WriteAheadLog::Stats::*field) {
+    return [this, field]() {
+      return wal_ != nullptr ? wal_->stats().*field : 0;
+    };
+  };
+  metrics_.RegisterCallback("simdb_wal_pages_appended_total",
+                            "Page images appended to the WAL.",
+                            wal_field(&WriteAheadLog::Stats::pages_appended));
+  metrics_.RegisterCallback("simdb_wal_commits_total",
+                            "Commit records appended to the WAL.",
+                            wal_field(&WriteAheadLog::Stats::commits));
+  metrics_.RegisterCallback("simdb_wal_checkpoints_total",
+                            "WAL checkpoints into the database file.",
+                            wal_field(&WriteAheadLog::Stats::checkpoints));
+  metrics_.RegisterCallback("simdb_wal_recovered_pages_total",
+                            "Pages replayed from the WAL by recovery.",
+                            wal_field(&WriteAheadLog::Stats::recovered_pages));
+  metrics_.RegisterCallback("simdb_wal_size_bytes",
+                            "Current WAL length in bytes.", [this]() {
+                              return wal_ != nullptr ? wal_->size_bytes() : 0;
+                            });
+  // LUC mapper update-path work and optimizer planning activity. Both
+  // components are built lazily (EnsureMapper), so the callbacks must
+  // tolerate sampling a database that has run no data statement yet.
+  auto luc_field = [this](uint64_t LucMapper::Stats::*field) {
+    return [this, field]() {
+      return mapper_ != nullptr ? mapper_->stats().*field : 0;
+    };
+  };
+  metrics_.RegisterCallback("simdb_luc_entities_created_total",
+                            "Entities created through the LUC mapper.",
+                            luc_field(&LucMapper::Stats::entities_created));
+  metrics_.RegisterCallback("simdb_luc_fields_set_total",
+                            "Single-valued DVA writes.",
+                            luc_field(&LucMapper::Stats::fields_set));
+  metrics_.RegisterCallback("simdb_luc_mv_changes_total",
+                            "Multi-valued DVA adds and removes.",
+                            luc_field(&LucMapper::Stats::mv_changes));
+  metrics_.RegisterCallback("simdb_luc_eva_changes_total",
+                            "EVA relationship instance adds and removes.",
+                            luc_field(&LucMapper::Stats::eva_changes));
+  metrics_.RegisterCallback("simdb_luc_mutations_total",
+                            "All data mutations (the optimizer's "
+                            "staleness signal).",
+                            [this]() {
+                              return mapper_ != nullptr
+                                         ? mapper_->mutation_count()
+                                         : 0;
+                            });
+  metrics_.RegisterCallback("simdb_opt_plans_total",
+                            "Access plans produced by the optimizer.",
+                            [this]() {
+                              return optimizer_ != nullptr
+                                         ? optimizer_->plans_made()
+                                         : 0;
+                            });
+  metrics_.RegisterCallback("simdb_opt_stats_refreshes_total",
+                            "Statistics snapshots re-collected for "
+                            "planning.",
+                            [this]() {
+                              return optimizer_ != nullptr
+                                         ? optimizer_->stats_refreshes()
+                                         : 0;
+                            });
+}
+
+void Database::ObserveExec(const ExecStats& stats, const QueryContext& qctx) {
+  if (!options_.obs.enabled) return;
+  m_exec_combinations_->Add(stats.combinations_examined);
+  m_exec_rows_->Add(stats.rows_emitted);
+  m_gov_checks_->Add(qctx.stats().checks);
+  if (!qctx.terminal().ok()) m_gov_trips_->Increment();
+}
 
 Database::~Database() {
   // Clean close. Skipped when a transaction is still open: its uncommitted
@@ -54,6 +234,10 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
   db->pool_ = std::make_unique<BufferPool>(
       db->io_pager(), options.buffer_pool_frames, db->wal_.get());
+  if (options.obs.enabled) {
+    db->trace_ = std::make_unique<obs::TraceLog>(options.obs);
+  }
+  db->RegisterMetrics();
   // Durability hook: a transaction is committed once its dirty pages and a
   // commit record are durable in the WAL. The in-place checkpoint is an
   // optimization and must NOT fail the commit — the data is already safe.
@@ -76,8 +260,13 @@ Status Database::ExecuteDdl(std::string_view ddl_text) {
         "schema changes after data operations are not supported; define the "
         "full schema first");
   }
-  SIM_ASSIGN_OR_RETURN(std::vector<DdlStatement> statements,
-                       DdlParser::Parse(ddl_text, &dir_));
+  StmtObs sobs(this, m_stmt_ddl_, ddl_text);
+  std::vector<DdlStatement> statements;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "parse");
+    SIM_ASSIGN_OR_RETURN(statements, DdlParser::Parse(ddl_text, &dir_));
+    span.MarkOk();
+  }
   for (DdlStatement& s : statements) {
     if (s.type_decl != nullptr) {
       SIM_RETURN_IF_ERROR(
@@ -90,7 +279,9 @@ Status Database::ExecuteDdl(std::string_view ddl_text) {
       SIM_RETURN_IF_ERROR(dir_.AddView(std::move(*s.view_decl)));
     }
   }
-  return dir_.Finalize();
+  SIM_RETURN_IF_ERROR(dir_.Finalize());
+  sobs.MarkOk();
+  return Status::Ok();
 }
 
 Status Database::EnsureMapper() {
@@ -121,13 +312,37 @@ Result<CheckReport> Database::Audit() {
   QueryContext qctx(options_.governor);
   InvariantChecker checker(&dir_, mapper_.get(), pool_.get(), io_pager());
   checker.set_query_context(&qctx);
+  // Per-layer audit spans; stmt 0 = not tied to a DML statement (the
+  // CHECK DATABASE path additionally wraps this in its own spans).
+  checker.set_trace(trace_.get(), 0);
   return checker.AuditAll();
 }
 
 Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
+  StmtObs sobs(this, m_stmt_queries_, dml);
+  StmtPtr stmt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "parse");
+    SIM_ASSIGN_OR_RETURN(stmt, DmlParser::ParseStatement(dml));
+    span.MarkOk();
+  }
+  if (stmt->kind == StmtKind::kShowMetrics) {
+    // Deliberately before EnsureMapper(): the metrics surface must work on
+    // a schemaless or degraded (post-recovery) database.
+    ResultSet rs;
+    rs.columns = {"metric", "value"};
+    for (const obs::Sample& s : metrics_.Samples()) {
+      Row row;
+      row.values = {Value::Str(s.name),
+                    Value::Int(static_cast<int64_t>(s.value))};
+      rs.rows.push_back(std::move(row));
+    }
+    sobs.MarkOk();
+    return rs;
+  }
   SIM_RETURN_IF_ERROR(EnsureMapper());
-  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
   if (stmt->kind == StmtKind::kCheck) {
+    obs::Span span(sobs.log(), sobs.stmt(), "execute");
     SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
     ResultSet rs;
     rs.columns = {"layer", "invariant", "object", "surrogate", "message"};
@@ -141,6 +356,9 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
                     Value::Str(e.message)};
       rs.rows.push_back(std::move(row));
     }
+    span.AddAttr("findings", report.errors.size());
+    span.MarkOk();
+    sobs.MarkOk();
     return rs;
   }
   if (stmt->kind != StmtKind::kRetrieve) {
@@ -149,18 +367,34 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
   }
   const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
   Binder binder(&dir_);
-  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
+  QueryTree qt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "bind");
+    SIM_ASSIGN_OR_RETURN(qt, binder.BindRetrieve(retrieve));
+    span.MarkOk();
+  }
   Executor exec(mapper_.get());
+  exec.set_trace(sobs.log(), sobs.stmt());
   QueryContext qctx(options_.governor);
   Result<ResultSet> rs = Status::Internal("query not dispatched");
   if (options_.use_optimizer) {
-    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+    {
+      obs::Span span(sobs.log(), sobs.stmt(), "optimize");
+      SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+      span.AddAttr("strategies",
+                   static_cast<uint64_t>(last_plan_.strategies_considered));
+      span.AddAttr("est_cost_blocks",
+                   static_cast<uint64_t>(last_plan_.est_cost));
+      span.MarkOk();
+    }
     rs = exec.Run(qt, &last_plan_, &qctx);
   } else {
     last_plan_ = AccessPlan();
     rs = exec.Run(qt, nullptr, &qctx);
   }
   last_exec_stats_ = exec.last_stats();
+  ObserveExec(last_exec_stats_, qctx);
+  if (rs.ok()) sobs.MarkOk();
   return rs;
 }
 
@@ -178,6 +412,11 @@ struct Database::Cursor::Impl {
   // Sticky terminal status: once Next fails, every further Next returns
   // the same status without re-entering the operator tree.
   Status terminal = Status::Ok();
+  // Trace context: the cursor's "execute" span runs from OpenCursor to
+  // the first Close, when the event is recorded with the final counts.
+  Database* db = nullptr;
+  uint64_t stmt_id = 0;
+  uint64_t open_us = 0;
 };
 
 Database::Cursor::Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -229,7 +468,23 @@ Status Database::Cursor::Close() {
   Impl* im = impl_.get();
   if (im == nullptr || !im->open) return Status::Ok();
   im->open = false;
-  return im->plan.root->Close(*im->cx);
+  Status s = im->plan.root->Close(*im->cx);
+  if (im->db != nullptr) {
+    im->db->ObserveExec(im->cx->stats, *im->qctx);
+    if (obs::TraceLog* log = im->db->trace_.get()) {
+      obs::TraceEvent e;
+      e.stmt = im->stmt_id;
+      e.span = "execute";
+      e.start_us = im->open_us;
+      e.dur_us = log->NowUs() - im->open_us;
+      e.ok = im->terminal.ok() && s.ok();
+      e.attrs.emplace_back("rows", im->cx->stats.rows_emitted);
+      e.attrs.emplace_back("combinations",
+                           im->cx->stats.combinations_examined);
+      log->Record(std::move(e));
+    }
+  }
+  return s;
 }
 
 ExecStats Database::Cursor::stats() const {
@@ -243,25 +498,45 @@ QueryContext::Stats Database::Cursor::governor_stats() const {
 }
 
 Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
+  StmtObs sobs(this, m_stmt_queries_, dml);
   SIM_RETURN_IF_ERROR(EnsureMapper());
-  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  StmtPtr stmt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "parse");
+    SIM_ASSIGN_OR_RETURN(stmt, DmlParser::ParseStatement(dml));
+    span.MarkOk();
+  }
   if (stmt->kind != StmtKind::kRetrieve) {
     return Status::InvalidArgument("OpenCursor expects a Retrieve statement");
   }
   const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
   Binder binder(&dir_);
-  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
-  auto impl = std::make_unique<Cursor::Impl>();
-  if (options_.use_optimizer) {
-    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
-    SIM_ASSIGN_OR_RETURN(impl->plan,
-                         PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
-  } else {
-    last_plan_ = AccessPlan();
-    SIM_ASSIGN_OR_RETURN(impl->plan,
-                         PhysicalPlan::Build(qt, nullptr, mapper_.get()));
+  QueryTree qt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "bind");
+    SIM_ASSIGN_OR_RETURN(qt, binder.BindRetrieve(retrieve));
+    span.MarkOk();
   }
-  SIM_RETURN_IF_ERROR(ValidatePlanOrError(impl->plan, qt));
+  auto impl = std::make_unique<Cursor::Impl>();
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "optimize");
+    if (options_.use_optimizer) {
+      SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+    } else {
+      last_plan_ = AccessPlan();
+    }
+    span.MarkOk();
+  }
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "map");
+    SIM_ASSIGN_OR_RETURN(
+        impl->plan,
+        PhysicalPlan::Build(
+            qt, options_.use_optimizer ? &last_plan_ : nullptr,
+            mapper_.get()));
+    SIM_RETURN_IF_ERROR(ValidatePlanOrError(impl->plan, qt));
+    span.MarkOk();
+  }
   impl->qt = std::move(qt);
   if (options_.paranoid_checks) {
     impl->plan.root =
@@ -272,6 +547,10 @@ Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
                                            impl->qctx.get());
   SIM_RETURN_IF_ERROR(impl->plan.root->Open(*impl->cx));
   impl->open = true;
+  impl->db = this;
+  impl->stmt_id = sobs.stmt();
+  if (trace_ != nullptr) impl->open_us = trace_->NowUs();
+  sobs.MarkOk();
   return Cursor(std::move(impl));
 }
 
@@ -291,22 +570,45 @@ Result<std::string> Database::Explain(std::string_view dml) {
 }
 
 Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
+  StmtObs sobs(this, m_stmt_queries_, dml);
   SIM_RETURN_IF_ERROR(EnsureMapper());
-  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  StmtPtr stmt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "parse");
+    SIM_ASSIGN_OR_RETURN(stmt, DmlParser::ParseStatement(dml));
+    span.MarkOk();
+  }
   if (stmt->kind != StmtKind::kRetrieve) {
     return Status::InvalidArgument(
         "ExplainAnalyze expects a Retrieve statement");
   }
   const auto& retrieve = static_cast<const RetrieveStmt&>(*stmt);
   Binder binder(&dir_);
-  SIM_ASSIGN_OR_RETURN(QueryTree qt, binder.BindRetrieve(retrieve));
-  SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
-  SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
-                       PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
-  SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
-  // Drain the pipeline so every operator has an actual row count.
+  QueryTree qt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "bind");
+    SIM_ASSIGN_OR_RETURN(qt, binder.BindRetrieve(retrieve));
+    span.MarkOk();
+  }
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "optimize");
+    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+    span.MarkOk();
+  }
+  PhysicalPlan pplan;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "map");
+    SIM_ASSIGN_OR_RETURN(pplan,
+                         PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
+    SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
+    span.MarkOk();
+  }
+  // Drain the pipeline so every operator has actual row counts, per-Next
+  // wall time and buffer-pool deltas.
   QueryContext qctx(options_.governor);
   ExecContext cx(&qt, mapper_.get(), &qctx);
+  cx.time_operators = true;
+  obs::Span exec_span(sobs.log(), sobs.stmt(), "execute");
   SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
   Row row;
   while (true) {
@@ -320,14 +622,45 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
   }
   SIM_RETURN_IF_ERROR(pplan.root->Close(cx));
   last_exec_stats_ = cx.stats;
+  exec_span.AddAttr("rows", cx.stats.rows_emitted);
+  exec_span.AddAttr("combinations", cx.stats.combinations_examined);
+  exec_span.MarkOk();
+  ObserveExec(last_exec_stats_, qctx);
+  // One "op" event per operator, so the NDJSON log carries the same
+  // per-operator timings the rendered tree prints.
+  if (obs::TraceLog* log = trace_.get()) {
+    uint64_t now = log->NowUs();
+    std::function<void(const PhysicalOperator*)> emit =
+        [&](const PhysicalOperator* op) {
+          obs::TraceEvent e;
+          e.stmt = sobs.stmt();
+          e.span = "op";
+          e.start_us = now;
+          e.dur_us = op->time_us();
+          e.detail = op->Describe();
+          e.attrs.emplace_back("actual_rows", op->actual_rows());
+          e.attrs.emplace_back("pool_hits", op->pool_hits());
+          e.attrs.emplace_back("pool_misses", op->pool_misses());
+          log->Record(std::move(e));
+          for (const PhysicalOperator* child : op->Children()) emit(child);
+        };
+    emit(pplan.root.get());
+  }
+  sobs.MarkOk();
   return qt.DebugString() + last_plan_.Describe() + "\n" +
          pplan.Describe(true);
 }
 
 Result<int> Database::ExecuteUpdate(std::string_view dml) {
   if (read_only_) return ReadOnlyError();
+  StmtObs sobs(this, m_stmt_updates_, dml);
   SIM_RETURN_IF_ERROR(EnsureMapper());
-  SIM_ASSIGN_OR_RETURN(StmtPtr stmt, DmlParser::ParseStatement(dml));
+  StmtPtr stmt;
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "parse");
+    SIM_ASSIGN_OR_RETURN(stmt, DmlParser::ParseStatement(dml));
+    span.MarkOk();
+  }
 
   bool implicit_txn = current_txn_ == nullptr;
   Transaction* txn =
@@ -335,6 +668,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
   size_t savepoint = txn->undo_depth();
 
   UpdateExecutor update(mapper_.get(), integrity_.get());
+  obs::Span exec_span(sobs.log(), sobs.stmt(), "execute");
   Result<UpdateExecutor::UpdateResult> result = Status::Internal("statement not dispatched");
   switch (stmt->kind) {
     case StmtKind::kInsert:
@@ -351,6 +685,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
       break;
     case StmtKind::kRetrieve:
     case StmtKind::kCheck:
+    case StmtKind::kShowMetrics:
       if (implicit_txn) SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
       return Status::InvalidArgument(
           "ExecuteUpdate expects Insert/Modify/Delete; use ExecuteQuery");
@@ -384,6 +719,10 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
                               report.errors.front().ToString());
     }
   }
+  exec_span.AddAttr("entities",
+                    static_cast<uint64_t>(result->entities_affected));
+  exec_span.MarkOk();
+  sobs.MarkOk();
   return result->entities_affected;
 }
 
@@ -392,7 +731,8 @@ Status Database::ExecuteScript(std::string_view dml_script) {
   SIM_ASSIGN_OR_RETURN(std::vector<StmtPtr> statements,
                        DmlParser::ParseScript(dml_script));
   for (const StmtPtr& stmt : statements) {
-    if (stmt->kind == StmtKind::kRetrieve || stmt->kind == StmtKind::kCheck) {
+    if (stmt->kind != StmtKind::kInsert && stmt->kind != StmtKind::kModify &&
+        stmt->kind != StmtKind::kDelete) {
       return Status::InvalidArgument(
           "ExecuteScript accepts update statements only");
     }
@@ -401,6 +741,11 @@ Status Database::ExecuteScript(std::string_view dml_script) {
   // atomicity; statements were already validated to parse.
   SIM_RETURN_IF_ERROR(EnsureMapper());
   for (const StmtPtr& stmt : statements) {
+    const char* kind_name = stmt->kind == StmtKind::kInsert   ? "Insert"
+                            : stmt->kind == StmtKind::kModify ? "Modify"
+                                                              : "Delete";
+    StmtObs sobs(this, m_stmt_updates_, std::string("script: ") + kind_name);
+    obs::Span exec_span(sobs.log(), sobs.stmt(), "execute");
     bool implicit_txn = current_txn_ == nullptr;
     Transaction* txn = implicit_txn ? txn_manager_.Begin() : current_txn_;
     size_t savepoint = txn->undo_depth();
@@ -431,6 +776,9 @@ Status Database::ExecuteScript(std::string_view dml_script) {
       }
       return result.status();
     }
+    exec_span.AddAttr("entities",
+                      static_cast<uint64_t>(result->entities_affected));
+    exec_span.MarkOk();
     if (implicit_txn) {
       Status committed = txn_manager_.Commit(txn);
       if (!committed.ok()) {
@@ -439,6 +787,7 @@ Status Database::ExecuteScript(std::string_view dml_script) {
         return committed;
       }
     }
+    sobs.MarkOk();
   }
   return Status::Ok();
 }

@@ -34,6 +34,8 @@
 #include "exec/output.h"
 #include "exec/update_exec.h"
 #include "luc/mapper.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "semantics/binder.h"
 #include "storage/buffer_pool.h"
@@ -76,6 +78,11 @@ struct DatabaseOptions {
   // deterministic jitter. Permanent failures (kIoError) and disk-full
   // (kDiskFull) are never retried.
   RetryPolicy io_retry;
+  // Observability: per-statement trace spans (parse → bind → optimize →
+  // map → execute), statement counters and latency histograms, and an
+  // optional NDJSON event-log sink. Component counters (buffer pool, WAL,
+  // I/O retry) are maintained and scrapeable regardless of `obs.enabled`.
+  obs::ObsOptions obs;
 };
 
 class Database {
@@ -200,8 +207,37 @@ class Database {
   Executor::ExecStats last_exec_stats() const { return last_exec_stats_; }
   const AccessPlan& last_plan() const { return last_plan_; }
 
+  // --- observability ---
+
+  // The metrics registry (buffer pool, WAL, I/O retry, statement and
+  // executor counters). Components update their cells lock-free; the
+  // registry reads them at scrape time.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Prometheus-style text exposition of every registered metric — the
+  // same data `SHOW METRICS` delivers as a result set.
+  std::string MetricsText() const { return metrics_.TextExposition(); }
+  // The in-memory trace ring as NDJSON (one finished span per line).
+  // Empty when `options.obs.enabled` is false.
+  std::string TraceNdjson() const {
+    return trace_ != nullptr ? trace_->Ndjson() : std::string();
+  }
+  // Null when tracing is disabled.
+  obs::TraceLog* trace_log() { return trace_.get(); }
+
  private:
   explicit Database(DatabaseOptions options);
+
+  // RAII per-statement instrumentation (statement span + counters +
+  // latency histogram); defined in database.cc.
+  class StmtObs;
+
+  // Registers the component views/callbacks and creates the statement
+  // counters. Called once by Open after the storage stack exists.
+  void RegisterMetrics();
+
+  // Folds one finished statement's executor + governor stats into the
+  // registry (no-op when obs is disabled).
+  void ObserveExec(const ExecStats& stats, const QueryContext& qctx);
 
   // Builds physical schema + mapper + integrity checker if not yet built.
   Status EnsureMapper();
@@ -227,6 +263,23 @@ class Database {
   }
 
   DatabaseOptions options_;
+  // Declared before the storage stack: registered views point into
+  // component-owned counter cells, so the registry must outlive nothing —
+  // but the statement counters live here and the members below may be
+  // registered, so keep the registry first (destroyed last).
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceLog> trace_;  // non-null iff options_.obs.enabled
+  // Registry-owned statement/executor counters, cached at registration.
+  obs::Counter* m_stmt_total_ = nullptr;
+  obs::Counter* m_stmt_errors_ = nullptr;
+  obs::Counter* m_stmt_queries_ = nullptr;
+  obs::Counter* m_stmt_updates_ = nullptr;
+  obs::Counter* m_stmt_ddl_ = nullptr;
+  obs::Histogram* m_stmt_latency_us_ = nullptr;
+  obs::Counter* m_exec_combinations_ = nullptr;
+  obs::Counter* m_exec_rows_ = nullptr;
+  obs::Counter* m_gov_checks_ = nullptr;
+  obs::Counter* m_gov_trips_ = nullptr;
   DirectoryManager dir_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<FaultInjectingPager> fault_pager_;

@@ -80,9 +80,23 @@ void InvariantChecker::AddError(CheckReport* report, CheckLayer layer,
 Result<CheckReport> InvariantChecker::AuditAll() {
   CheckReport report;
   reported_.clear();
-  SIM_RETURN_IF_ERROR(AuditCatalog(&report));
-  SIM_RETURN_IF_ERROR(AuditStorage(&report));
-  SIM_RETURN_IF_ERROR(AuditPages(&report));
+  struct LayerStage {
+    const char* span;
+    Status (InvariantChecker::*run)(CheckReport*);
+  };
+  static constexpr LayerStage kLayers[] = {
+      {"audit:catalog", &InvariantChecker::AuditCatalog},
+      {"audit:storage", &InvariantChecker::AuditStorage},
+      {"audit:pages", &InvariantChecker::AuditPages},
+  };
+  for (const LayerStage& layer : kLayers) {
+    obs::Span span(trace_, trace_stmt_, layer.span);
+    size_t before = report.errors.size();
+    SIM_RETURN_IF_ERROR((this->*layer.run)(&report));
+    span.AddAttr("findings",
+                 static_cast<uint64_t>(report.errors.size() - before));
+    span.MarkOk();
+  }
   return report;
 }
 

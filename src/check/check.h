@@ -40,6 +40,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "luc/mapper.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 
@@ -100,6 +101,14 @@ class InvariantChecker {
   // finding). Borrowed; may be null.
   void set_query_context(QueryContext* qctx) { qctx_ = qctx; }
 
+  // Optional trace log: AuditAll then records one span per layer
+  // (audit:catalog / audit:storage / audit:pages) with its finding
+  // count, under statement `stmt`. Borrowed; may be null.
+  void set_trace(obs::TraceLog* trace, uint64_t stmt) {
+    trace_ = trace;
+    trace_stmt_ = stmt;
+  }
+
   // Runs every applicable layer and returns the combined report. Only
   // infrastructure failures (I/O errors while auditing, a tripped
   // governor) surface as a non-OK status; invariant violations are
@@ -139,6 +148,8 @@ class InvariantChecker {
   BufferPool* pool_;
   Pager* pager_;
   QueryContext* qctx_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
+  uint64_t trace_stmt_ = 0;
 
   // Deduplication: closure checks run from every unit record of an entity
   // and would otherwise repeat findings.

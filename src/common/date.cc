@@ -49,12 +49,19 @@ bool IsValidCivilDate(int year, int month, int day) {
 }
 
 Result<int64_t> ParseDate(const std::string& text) {
+  // %n records how far the scan got: anything short of the full string is
+  // trailing garbage ("2026-08-06xyz"), which sscanf alone accepts.
+  const int len = static_cast<int>(text.size());
   int y = 0, m = 0, d = 0;
-  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) == 3) {
-    // ISO order.
-  } else if (std::sscanf(text.c_str(), "%d/%d/%d", &m, &d, &y) == 3) {
-    // US order.
-  } else {
+  int n = -1;
+  bool parsed =  // ISO order.
+      std::sscanf(text.c_str(), "%d-%d-%d%n", &y, &m, &d, &n) == 3 && n == len;
+  if (!parsed) {  // US order.
+    n = -1;
+    parsed = std::sscanf(text.c_str(), "%d/%d/%d%n", &m, &d, &y, &n) == 3 &&
+             n == len;
+  }
+  if (!parsed) {
     return Status::TypeError("cannot parse date: '" + text + "'");
   }
   if (!IsValidCivilDate(y, m, d)) {

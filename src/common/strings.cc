@@ -26,6 +26,8 @@ bool NameEq(std::string_view a, std::string_view b) {
 
 bool LikeMatch(std::string_view text, std::string_view pattern) {
   // Iterative two-pointer matcher with backtracking over the last '%'.
+  // '\' escapes the next pattern character, so '\%' and '\_' match the
+  // literal characters; a trailing lone '\' matches itself.
   size_t t = 0, p = 0;
   size_t star_p = std::string_view::npos, star_t = 0;
   auto eq = [](char a, char b) {
@@ -33,8 +35,18 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
            std::tolower(static_cast<unsigned char>(b));
   };
   while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || eq(pattern[p], text[t]))) {
+    if (p + 1 < pattern.size() && pattern[p] == '\\') {
+      if (eq(pattern[p + 1], text[t])) {
+        ++t;
+        p += 2;
+      } else if (star_p != std::string_view::npos) {
+        p = star_p + 1;
+        t = ++star_t;
+      } else {
+        return false;
+      }
+    } else if (p < pattern.size() &&
+               (pattern[p] == '_' || eq(pattern[p], text[t]))) {
       ++t;
       ++p;
     } else if (p < pattern.size() && pattern[p] == '%') {

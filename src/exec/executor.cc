@@ -79,11 +79,16 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan,
   rs.columns = qt.target_labels;
   rs.structured = qt.mode == OutputMode::kStructure;
 
-  SIM_ASSIGN_OR_RETURN(PhysicalPlan pplan,
-                       PhysicalPlan::Build(qt, plan, mapper_));
-  // Layer-3 audit: refuse to run a structurally malformed operator tree.
-  SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
+  PhysicalPlan pplan;
+  {
+    obs::Span span(trace_, trace_stmt_, "map");
+    SIM_ASSIGN_OR_RETURN(pplan, PhysicalPlan::Build(qt, plan, mapper_));
+    // Layer-3 audit: refuse to run a structurally malformed operator tree.
+    SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
+    span.MarkOk();
+  }
   ExecContext cx(&qt, mapper_, qctx);
+  obs::Span span(trace_, trace_stmt_, "execute");
   SIM_RETURN_IF_ERROR(pplan.root->Open(cx));
   Row row;
   while (true) {
@@ -105,6 +110,9 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan,
   SIM_RETURN_IF_ERROR(pplan.root->Close(cx));
   cx.stats.rows_emitted = rs.rows.size();
   stats_ = cx.stats;
+  span.AddAttr("rows", stats_.rows_emitted);
+  span.AddAttr("combinations", stats_.combinations_examined);
+  span.MarkOk();
   return rs;
 }
 

@@ -23,6 +23,7 @@
 #include "exec/operators.h"
 #include "exec/output.h"
 #include "luc/mapper.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "semantics/query_tree.h"
 
@@ -31,6 +32,14 @@ namespace sim {
 class Executor {
  public:
   explicit Executor(LucMapper* mapper) : mapper_(mapper) {}
+
+  // Attaches a trace sink: Run emits "map" (plan build + audit) and
+  // "execute" (pipeline drain) spans under the given statement id. A null
+  // log disables the spans entirely.
+  void set_trace(obs::TraceLog* log, uint64_t stmt_id) {
+    trace_ = log;
+    trace_stmt_ = stmt_id;
+  }
 
   // The shared definition lives in exec/operators.h; the alias keeps the
   // historical Executor::ExecStats spelling working.
@@ -87,6 +96,8 @@ class Executor {
 
   LucMapper* mapper_;
   ExecStats stats_;
+  obs::TraceLog* trace_ = nullptr;
+  uint64_t trace_stmt_ = 0;
 };
 
 }  // namespace sim

@@ -1,11 +1,40 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/strings.h"
+#include "storage/buffer_pool.h"
 
 namespace sim {
+
+// Instrumented Next: wall time plus buffer-pool fetch/miss deltas around
+// DoNext. The measurement is inclusive of children — a child's Next runs
+// inside its parent's DoNext — which is what EXPLAIN ANALYZE reports.
+Result<bool> PhysicalOperator::TimedNext(ExecContext& cx, Row* out) {
+  const BufferPool* pool =
+      cx.mapper() != nullptr ? cx.mapper()->pool() : nullptr;
+  uint64_t fetches0 = 0;
+  uint64_t misses0 = 0;
+  if (pool != nullptr) {
+    fetches0 = pool->counters().logical_fetches.value();
+    misses0 = pool->counters().misses.value();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<bool> has = DoNext(cx, out);
+  time_ns_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (pool != nullptr) {
+    pool_fetches_ += pool->counters().logical_fetches.value() - fetches0;
+    pool_misses_ += pool->counters().misses.value() - misses0;
+  }
+  if (!has.ok()) return has.status();
+  if (*has) ++actual_rows_;
+  return has;
+}
 
 namespace {
 

@@ -70,6 +70,11 @@ class ExecContext {
   QueryContext* query_context() const { return eval_.query_context(); }
 
   ExecStats stats;
+  // When set, every operator's Next measures wall time and buffer-pool
+  // fetch/miss deltas (inclusive of its children). Off by default — the
+  // per-Next clock reads are too expensive for ordinary execution — and
+  // forced on by EXPLAIN ANALYZE.
+  bool time_operators = false;
   // Side channel from Project to Sort: the sort key of the row Project
   // just delivered (ORDER BY expressions, then root surrogates when the
   // plan reordered roots).
@@ -98,6 +103,7 @@ class PhysicalOperator {
     if (QueryContext* qctx = cx.query_context()) {
       SIM_RETURN_IF_ERROR(qctx->Check());
     }
+    if (cx.time_operators) return TimedNext(cx, out);
     SIM_ASSIGN_OR_RETURN(bool has, DoNext(cx, out));
     if (has) ++actual_rows_;
     return has;
@@ -108,12 +114,24 @@ class PhysicalOperator {
 
   double est_rows = 0;  // planner estimate of total rows delivered
   uint64_t actual_rows() const { return actual_rows_; }
+  // Accumulated wall time and buffer-pool deltas across all Next calls,
+  // INCLUSIVE of children (a child's Next runs inside its parent's).
+  // Only populated when ExecContext::time_operators is set.
+  uint64_t time_us() const { return time_ns_ / 1000; }
+  uint64_t pool_fetches() const { return pool_fetches_; }
+  uint64_t pool_misses() const { return pool_misses_; }
+  uint64_t pool_hits() const { return pool_fetches_ - pool_misses_; }
 
  protected:
   virtual Result<bool> DoNext(ExecContext& cx, Row* out) = 0;
 
  private:
+  Result<bool> TimedNext(ExecContext& cx, Row* out);
+
   uint64_t actual_rows_ = 0;
+  uint64_t time_ns_ = 0;
+  uint64_t pool_fetches_ = 0;
+  uint64_t pool_misses_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

@@ -230,6 +230,9 @@ std::string PhysicalPlan::Describe(bool analyze) const {
                    std::llround(std::max(0.0, op->est_rows))));
         if (analyze) {
           out += " actual_rows=" + std::to_string(op->actual_rows());
+          out += " time_us=" + std::to_string(op->time_us());
+          out += " pool_hits=" + std::to_string(op->pool_hits());
+          out += " pool_misses=" + std::to_string(op->pool_misses());
         }
         out += ")\n";
         for (const PhysicalOperator* child : op->Children()) {

@@ -119,6 +119,7 @@ Result<SurrogateId> LucMapper::CreateEntity(const std::string& cls,
                                             SurrogateId cluster_near,
                                             const std::string& cluster_near_cls) {
   ++mutation_count_;
+  ++stats_.entities_created;
   SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
   SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
                        dir_->AncestorsOf(cls));
@@ -211,6 +212,7 @@ Status LucMapper::UpdateRolesEverywhere(SurrogateId s,
 Status LucMapper::AddRole(SurrogateId s, const std::string& cls,
                           Transaction* txn) {
   ++mutation_count_;
+  ++stats_.role_changes;
   SIM_ASSIGN_OR_RETURN(std::set<uint16_t> old_roles, RolesOf(s, cls));
   SIM_ASSIGN_OR_RETURN(const ClassDef* def, dir_->FindClass(cls));
   SIM_ASSIGN_OR_RETURN(std::vector<std::string> ancestors,
@@ -291,6 +293,7 @@ Status LucMapper::StripRoleData(SurrogateId s, const std::string& cls,
 Status LucMapper::DeleteRole(SurrogateId s, const std::string& cls,
                              Transaction* txn) {
   ++mutation_count_;
+  ++stats_.role_changes;
   SIM_ASSIGN_OR_RETURN(std::set<uint16_t> old_roles, RolesOf(s, cls));
   SIM_ASSIGN_OR_RETURN(uint16_t cls_code, phys_->ClassCode(cls));
   if (old_roles.count(cls_code) == 0) {
@@ -382,6 +385,7 @@ Status LucMapper::DeleteRole(SurrogateId s, const std::string& cls,
 Status LucMapper::ClusterNear(SurrogateId s, const std::string& cls,
                               SurrogateId near, const std::string& near_cls) {
   ++mutation_count_;
+  ++stats_.role_changes;
   SIM_ASSIGN_OR_RETURN(int unit, phys_->UnitOf(cls));
   SIM_ASSIGN_OR_RETURN(int near_unit, phys_->UnitOf(near_cls));
   SIM_ASSIGN_OR_RETURN(PageId hint, units_[near_unit]->PageOf(near));
@@ -426,6 +430,7 @@ Status LucMapper::SetField(SurrogateId s, const std::string& cls,
                            const std::string& attr, const Value& v,
                            Transaction* txn) {
   ++mutation_count_;
+  ++stats_.fields_set;
   SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
   if (ref.attr->is_eva()) {
     return Status::InvalidArgument("'" + attr +
@@ -543,6 +548,7 @@ Status LucMapper::AddMvValue(SurrogateId s, const std::string& cls,
                              const std::string& attr, const Value& v,
                              Transaction* txn) {
   ++mutation_count_;
+  ++stats_.mv_changes;
   SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
   if (!ref.attr->is_dva() || !ref.attr->mv || ref.attr->is_subrole) {
     return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
@@ -595,6 +601,7 @@ Status LucMapper::RemoveMvValue(SurrogateId s, const std::string& cls,
                                 const std::string& attr, const Value& v,
                                 Transaction* txn) {
   ++mutation_count_;
+  ++stats_.mv_changes;
   SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(cls, attr, false));
   if (!ref.attr->is_dva() || !ref.attr->mv || ref.attr->is_subrole) {
     return Status::InvalidArgument("'" + attr + "' is not a multi-valued DVA");
@@ -821,6 +828,7 @@ Status LucMapper::AddEvaPair(const std::string& cls, const std::string& attr,
                              SurrogateId owner, SurrogateId target,
                              Transaction* txn) {
   ++mutation_count_;
+  ++stats_.eva_changes;
   SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
   const EvaPhys& eva = *side.eva;
   const std::string& owner_class = side.owner_is_a ? eva.class_a : eva.class_b;
@@ -888,6 +896,7 @@ Status LucMapper::RemoveEvaPair(const std::string& cls,
                                 const std::string& attr, SurrogateId owner,
                                 SurrogateId target, Transaction* txn) {
   ++mutation_count_;
+  ++stats_.eva_changes;
   SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
   SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> current,
                        GetEvaTargets(cls, attr, owner));
@@ -908,6 +917,7 @@ Status LucMapper::RemoveAllEvaPairs(const std::string& cls,
                                     const std::string& attr,
                                     SurrogateId owner, Transaction* txn) {
   ++mutation_count_;
+  ++stats_.eva_changes;
   SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
                        GetEvaTargets(cls, attr, owner));
   for (SurrogateId t : targets) {

@@ -194,6 +194,18 @@ class LucMapper {
   // optimizer detect stale statistics without scanning.
   uint64_t mutation_count() const { return mutation_count_; }
 
+  // Mutation counts by category — the update-path mirror of the
+  // executor's read-side ExecStats. Sampled by the Database's metrics
+  // registry at scrape time (simdb_luc_*).
+  struct Stats {
+    uint64_t entities_created = 0;
+    uint64_t role_changes = 0;    // AddRole / DeleteRole / ClusterNear
+    uint64_t fields_set = 0;      // single-valued DVA writes
+    uint64_t mv_changes = 0;      // multi-valued DVA adds / removes
+    uint64_t eva_changes = 0;     // EVA instance adds / removes
+  };
+  const Stats& stats() const { return stats_; }
+
   // --- integrity support ---
 
   // Verifies every REQUIRED attribute applicable to role `cls` of `s` is
@@ -311,6 +323,7 @@ class LucMapper {
 
   SurrogateId next_surrogate_ = 1;
   uint64_t mutation_count_ = 0;
+  Stats stats_;
 };
 
 }  // namespace sim

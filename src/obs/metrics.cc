@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+namespace sim {
+namespace obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+std::vector<uint64_t> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<uint64_t> bounds;
+  for (uint64_t decade = 1; decade <= 1000000; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  bounds.push_back(10000000);  // 10 s
+  return bounds;
+}
+
+void Histogram::Observe(uint64_t v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Register(const std::string& name,
+                                                  const std::string& help,
+                                                  Kind kind) {
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.name = name;
+  e.help = help;
+  e.kind = kind;
+  return e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name)) return &e->counter;
+  return &Register(name, help, Kind::kCounter).counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name)) return &e->gauge;
+  return &Register(name, help, Kind::kGauge).gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name)) return e->histogram.get();
+  Entry& e = Register(name, help, Kind::kHistogram);
+  if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
+  e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return e.histogram.get();
+}
+
+void MetricsRegistry::RegisterCounterView(const std::string& name,
+                                          const std::string& help,
+                                          const Counter* cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(name) != nullptr) return;
+  Register(name, help, Kind::kCounterView).view = cell;
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const std::string& help,
+                                       std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(name) != nullptr) return;
+  Register(name, help, Kind::kCallback).fn = std::move(fn);
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Entry& e : entries_) {
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    const char* type = "counter";
+    if (e.kind == Kind::kGauge) type = "gauge";
+    if (e.kind == Kind::kHistogram) type = "histogram";
+    out += "# TYPE " + e.name + " " + type + "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += e.name + " " + std::to_string(e.counter.value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += e.name + " " + std::to_string(e.gauge.value()) + "\n";
+        break;
+      case Kind::kCounterView:
+        out += e.name + " " + std::to_string(e.view->value()) + "\n";
+        break;
+      case Kind::kCallback:
+        out += e.name + " " + std::to_string(e.fn()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket(i);
+          out += e.name + "_bucket{le=\"" + std::to_string(h.bounds()[i]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.bucket(h.bounds().size());
+        out += e.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += e.name + "_sum " + std::to_string(h.sum()) + "\n";
+        out += e.name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Sample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.push_back({e.name, e.counter.value()});
+        break;
+      case Kind::kGauge:
+        out.push_back({e.name, static_cast<uint64_t>(e.gauge.value())});
+        break;
+      case Kind::kCounterView:
+        out.push_back({e.name, e.view->value()});
+        break;
+      case Kind::kCallback:
+        out.push_back({e.name, e.fn()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket(i);
+          out.push_back({e.name + "_bucket{le=\"" +
+                             std::to_string(h.bounds()[i]) + "\"}",
+                         cumulative});
+        }
+        cumulative += h.bucket(h.bounds().size());
+        out.push_back({e.name + "_bucket{le=\"+Inf\"}", cumulative});
+        out.push_back({e.name + "_sum", h.sum()});
+        out.push_back({e.name + "_count", h.count()});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sim

@@ -1,0 +1,152 @@
+#ifndef SIMDB_OBS_METRICS_H_
+#define SIMDB_OBS_METRICS_H_
+
+// Engine-wide metrics registry. SIM's architecture (§5, Figure 1) is a
+// pipeline — Query Driver → Parser/Optimizer → Directory Manager → LUC
+// Mapper → data source — and before this layer each stage kept its own
+// ad-hoc stats struct (ExecStats, BufferPool::Stats, RetryStats,
+// QueryContext::Stats) with no unified surface. The registry is that
+// surface: one namespace of named monotonic counters, gauges and
+// fixed-bucket latency histograms, exposed as a Prometheus-style text
+// exposition (Database::MetricsText, `SHOW METRICS`, simdb_check
+// --metrics).
+//
+// Cost discipline (same as the PR 4 governor): the hot path is one
+// relaxed-atomic add per update — no locks, no strings, no branches.
+// Registration and exposition take a mutex, but both happen per
+// database / per scrape, never per row. Components keep their historical
+// stats structs; those are now views over obs::Counter cells that the
+// registry exposes by reference (RegisterCounterView) or samples through
+// a callback at scrape time (RegisterCallback), so every pre-existing
+// accessor keeps working.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sim {
+namespace obs {
+
+// Monotonic counter. Relaxed ordering is deliberate: counters are
+// statistics, not synchronization; torn cross-counter snapshots are
+// acceptable and each individual load is still atomic.
+class Counter {
+ public:
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Instantaneous value (may go down): WAL size, open cursors, ...
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed-bucket histogram (cumulative bucket semantics, like Prometheus):
+// bucket i counts observations <= bounds[i], plus an implicit +Inf
+// bucket. Bounds are fixed at construction so Observe is a linear probe
+// over a small array plus three relaxed adds — no allocation ever.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  // 1 µs .. 10 s in a 1-2-5 progression; the default for latencies.
+  static std::vector<uint64_t> DefaultLatencyBoundsUs();
+
+  void Observe(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // Non-cumulative count of bucket `i` (i == bounds().size() is +Inf).
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::deque<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+// One flattened metric value, as delivered to SHOW METRICS. Histograms
+// flatten to name_bucket{le="..."} / name_sum / name_count rows.
+struct Sample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Creates (or returns the existing) registry-owned metric. The pointer
+  // stays valid for the registry's lifetime; callers cache it and update
+  // lock-free.
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<uint64_t> bounds = {});
+
+  // Exposes an externally-owned counter cell (e.g. BufferPool's): the
+  // component keeps updating its own Counter, the registry reads it at
+  // scrape time. `cell` must outlive the registry.
+  void RegisterCounterView(const std::string& name, const std::string& help,
+                           const Counter* cell);
+
+  // Exposes a value computed at scrape time (legacy plain-struct stats:
+  // RetryStats, WAL counters). `fn` must stay callable for the registry's
+  // lifetime and is invoked under the registry mutex.
+  void RegisterCallback(const std::string& name, const std::string& help,
+                        std::function<uint64_t()> fn);
+
+  // Prometheus text exposition: # HELP / # TYPE headers followed by
+  // name value lines, histograms expanded to _bucket/_sum/_count series.
+  std::string TextExposition() const;
+
+  // The same data flattened for SHOW METRICS, in registration order.
+  std::vector<Sample> Samples() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCounterView, kCallback };
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    Counter counter;                 // kCounter
+    Gauge gauge;                     // kGauge
+    std::unique_ptr<Histogram> histogram;  // kHistogram
+    const Counter* view = nullptr;   // kCounterView
+    std::function<uint64_t()> fn;    // kCallback
+  };
+
+  Entry* Find(const std::string& name);
+  Entry& Register(const std::string& name, const std::string& help, Kind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  // deque: stable pointers across registration
+};
+
+}  // namespace obs
+}  // namespace sim
+
+#endif  // SIMDB_OBS_METRICS_H_

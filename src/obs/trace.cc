@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace sim {
+namespace obs {
+
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes and control bytes.
+// Statement text and operator descriptions are ASCII in practice, but a
+// string literal inside a traced statement can contain anything.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TraceEvent::ToNdjson() const {
+  std::string out = "{\"stmt\":" + std::to_string(stmt) + ",\"span\":";
+  AppendJsonString(&out, span);
+  out += ",\"start_us\":" + std::to_string(start_us) +
+         ",\"dur_us\":" + std::to_string(dur_us) +
+         ",\"ok\":" + (ok ? "true" : "false");
+  for (const auto& [key, value] : attrs) {
+    out += ",";
+    AppendJsonString(&out, key);
+    out += ":" + std::to_string(value);
+  }
+  if (!detail.empty()) {
+    out += ",\"detail\":";
+    AppendJsonString(&out, detail);
+  }
+  out += "}";
+  return out;
+}
+
+TraceLog::TraceLog(const ObsOptions& options)
+    : capacity_(options.trace_capacity_events == 0
+                    ? 1
+                    : options.trace_capacity_events),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!options.trace_ndjson_path.empty()) {
+    sink_.open(options.trace_ndjson_path, std::ios::app);
+  }
+}
+
+uint64_t TraceLog::BeginStatement() {
+  return next_stmt_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TraceLog::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceLog::Record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) {
+    sink_ << e.ToNdjson() << "\n";
+    sink_.flush();
+  }
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
+}
+
+std::string TraceLog::Ndjson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TraceEvent& e : ring_) {
+    out += e.ToNdjson();
+    out += "\n";
+  }
+  return out;
+}
+
+Span::Span(TraceLog* log, uint64_t stmt, const char* name) : log_(log) {
+  if (log_ == nullptr) return;
+  event_.stmt = stmt;
+  event_.span = name;
+  event_.start_us = log_->NowUs();
+  event_.ok = false;  // stages that early-return on error never MarkOk
+}
+
+Span::~Span() {
+  if (log_ == nullptr) return;
+  event_.dur_us = log_->NowUs() - event_.start_us;
+  log_->Record(std::move(event_));
+}
+
+void Span::AddAttr(const char* key, uint64_t value) {
+  if (log_ == nullptr) return;
+  event_.attrs.emplace_back(key, value);
+}
+
+void Span::SetDetail(std::string detail) {
+  if (log_ == nullptr) return;
+  event_.detail = std::move(detail);
+}
+
+uint64_t Span::ElapsedUs() const {
+  if (log_ == nullptr) return 0;
+  return log_->NowUs() - event_.start_us;
+}
+
+}  // namespace obs
+}  // namespace sim

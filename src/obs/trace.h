@@ -1,0 +1,109 @@
+#ifndef SIMDB_OBS_TRACE_H_
+#define SIMDB_OBS_TRACE_H_
+
+// Per-statement tracing. Every statement the Database executes gets a
+// statement id and a chain of spans — parse → bind → optimize → map →
+// execute — each an RAII Span recording wall time on a steady clock plus
+// a handful of numeric attributes (rows, combinations, buffer-pool and
+// WAL deltas). Finished spans land in a bounded in-memory ring
+// (Database::TraceNdjson renders it) and, when a sink path is
+// configured, are appended to an NDJSON event log: one JSON object per
+// line, so the log is greppable and tail -f-able without a parser.
+//
+// A null TraceLog* disables everything: Span's constructor does not even
+// read the clock, so the instrumented code paths cost two pointer tests
+// per stage when observability is off.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sim {
+namespace obs {
+
+// Observability configuration, carried in DatabaseOptions.
+struct ObsOptions {
+  // Master switch for per-statement instrumentation (trace spans +
+  // statement counters/latency histograms). The component counters that
+  // back the historical stats structs are maintained regardless.
+  bool enabled = true;
+  // Finished trace events kept in memory (oldest evicted first).
+  size_t trace_capacity_events = 2048;
+  // When non-empty, every finished event is also appended to this file
+  // as NDJSON. Failures to open or write are ignored (observability must
+  // never fail a statement).
+  std::string trace_ndjson_path;
+};
+
+// One finished span.
+struct TraceEvent {
+  uint64_t stmt = 0;         // statement id (chains spans together)
+  std::string span;          // "statement", "parse", "bind", ..., "op"
+  uint64_t start_us = 0;     // steady-clock offset from the log's epoch
+  uint64_t dur_us = 0;
+  bool ok = true;
+  std::string detail;        // statement text / operator description
+  std::vector<std::pair<std::string, uint64_t>> attrs;
+
+  std::string ToNdjson() const;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(const ObsOptions& options);
+
+  // Allocates the next statement id (relaxed atomic; ids only need to be
+  // unique, not dense across threads).
+  uint64_t BeginStatement();
+
+  void Record(TraceEvent e);
+
+  // Microseconds since the log's epoch (span start stamps).
+  uint64_t NowUs() const;
+
+  // Ring snapshot, oldest first.
+  std::vector<TraceEvent> Events() const;
+  // The ring rendered as NDJSON, one event per line.
+  std::string Ndjson() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_stmt_{1};
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> ring_;
+  std::ofstream sink_;  // open iff a sink path was configured
+};
+
+// RAII span. Constructed against a TraceLog (null = fully disabled) and
+// a statement id; records one TraceEvent on destruction. Failure is the
+// default for instrumented stages that can return early — call MarkOk()
+// on the success path.
+class Span {
+ public:
+  Span(TraceLog* log, uint64_t stmt, const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void MarkOk() { event_.ok = true; }
+  void Mark(bool ok) { event_.ok = ok; }
+  void AddAttr(const char* key, uint64_t value);
+  void SetDetail(std::string detail);
+  uint64_t ElapsedUs() const;
+
+ private:
+  TraceLog* log_;  // null = every member function is a no-op
+  TraceEvent event_;
+};
+
+}  // namespace obs
+}  // namespace sim
+
+#endif  // SIMDB_OBS_TRACE_H_

@@ -28,6 +28,7 @@ std::string AccessPlan::Describe() const {
 }
 
 void Optimizer::RefreshStats() {
+  ++stats_refreshes_;
   stats_ = StatsSnapshot::Collect(mapper_);
   cost_model_ = CostModel(&mapper_->phys(), &stats_);
   stats_mutation_count_ = mapper_->mutation_count();
@@ -144,6 +145,7 @@ Result<PhysicalPlan> Optimizer::Plan(const QueryTree& qt) {
 }
 
 Result<AccessPlan> Optimizer::Optimize(const QueryTree& qt) {
+  ++plans_made_;
   // Data has changed since the statistics snapshot: re-collect before
   // costing, so cardinalities and fanouts reflect the current extents.
   if (mapper_->mutation_count() != stats_mutation_count_) {

@@ -71,6 +71,14 @@ class Optimizer {
   const CostModel& cost_model() const { return cost_model_; }
   const StatsSnapshot& stats() const { return stats_; }
 
+  // Cumulative work counts, sampled by the Database's metrics registry
+  // (simdb_opt_plans_total / simdb_opt_stats_refreshes_total). A refresh
+  // rate approaching the plan rate means every statement pays a
+  // statistics scan — the signal the mutation-counter coupling exists to
+  // keep low.
+  uint64_t plans_made() const { return plans_made_; }
+  uint64_t stats_refreshes() const { return stats_refreshes_; }
+
  private:
   struct IndexCandidate {
     int root = -1;
@@ -94,6 +102,8 @@ class Optimizer {
   CostModel cost_model_;
   // Mapper mutation count at the time stats_ was collected.
   uint64_t stats_mutation_count_ = 0;
+  uint64_t plans_made_ = 0;
+  uint64_t stats_refreshes_ = 0;
 };
 
 }  // namespace sim

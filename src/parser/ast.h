@@ -149,7 +149,14 @@ struct IsaExpr : Expr {
 
 // ----- DML statements -----
 
-enum class StmtKind { kRetrieve, kInsert, kModify, kDelete, kCheck };
+enum class StmtKind {
+  kRetrieve,
+  kInsert,
+  kModify,
+  kDelete,
+  kCheck,
+  kShowMetrics,
+};
 
 struct Stmt {
   explicit Stmt(StmtKind k) : kind(k) {}
@@ -224,6 +231,12 @@ struct DeleteStmt : Stmt {
 // result set (simcheck extension; not part of the paper's DML).
 struct CheckStmt : Stmt {
   CheckStmt() : Stmt(StmtKind::kCheck) {}
+};
+
+// SHOW METRICS — dump the metrics registry as a (name, value) result set
+// (obs extension; not part of the paper's DML).
+struct ShowMetricsStmt : Stmt {
+  ShowMetricsStmt() : Stmt(StmtKind::kShowMetrics) {}
 };
 
 // ----- DDL statements -----

@@ -52,7 +52,8 @@ Result<ExprPtr> DmlParser::ParseExpressionTokens(std::vector<Token> tokens) {
 bool DmlParser::AtStatementBoundary() const {
   const Token& t = Peek();
   return t.type == TokenType::kEnd || t.Is("from") || t.Is("retrieve") ||
-         t.Is("insert") || t.Is("modify") || t.Is("delete") || t.Is("check");
+         t.Is("insert") || t.Is("modify") || t.Is("delete") || t.Is("check") ||
+         t.Is("show");
 }
 
 Result<StmtPtr> DmlParser::ParseOne() {
@@ -64,7 +65,12 @@ Result<StmtPtr> DmlParser::ParseOne() {
     SIM_RETURN_IF_ERROR(ExpectKeyword("database", "after CHECK"));
     return StmtPtr(std::make_unique<CheckStmt>());
   }
-  return ErrorHere("expected FROM, RETRIEVE, INSERT, MODIFY, DELETE or CHECK");
+  if (MatchKeyword("show")) {
+    SIM_RETURN_IF_ERROR(ExpectKeyword("metrics", "after SHOW"));
+    return StmtPtr(std::make_unique<ShowMetricsStmt>());
+  }
+  return ErrorHere(
+      "expected FROM, RETRIEVE, INSERT, MODIFY, DELETE, CHECK or SHOW");
 }
 
 Result<StmtPtr> DmlParser::ParseRetrieve() {

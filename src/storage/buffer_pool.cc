@@ -46,6 +46,7 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_frames,
 
 Status BufferPool::WriteBack(Frame& f) {
   StampPageChecksum(f.data.get());
+  counters_.dirty_writebacks.Increment();
   // WAL-before-data: in WAL mode the image goes to the log; the in-place
   // write to the database file is deferred to checkpoint/recovery, which
   // only runs on committed images.
@@ -67,7 +68,7 @@ Status BufferPool::ReadPage(PageId id, char* out) {
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  ++stats_.logical_fetches;
+  counters_.logical_fetches.Increment();
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     Frame& f = frames_[it->second];
@@ -75,7 +76,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     f.lru_tick = ++tick_;
     return PageHandle(this, it->second, id);
   }
-  ++stats_.misses;
+  counters_.misses.Increment();
   SIM_ASSIGN_OR_RETURN(int frame, GetVictimFrame());
   Frame& f = frames_[frame];
   SIM_RETURN_IF_ERROR(ReadPage(id, f.data.get()));
@@ -89,7 +90,10 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 
 Result<PageHandle> BufferPool::New() {
   SIM_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
-  ++stats_.logical_fetches;
+  // An allocation is neither a hit nor a miss: counting it as a fetch
+  // inflated the hit rate (the page is born in the pool and can never
+  // miss), so it gets its own counter.
+  counters_.allocations.Increment();
   SIM_ASSIGN_OR_RETURN(int frame, GetVictimFrame());
   Frame& f = frames_[frame];
   std::memset(f.data.get(), 0, kPageSize);
@@ -102,6 +106,9 @@ Result<PageHandle> BufferPool::New() {
 }
 
 Status BufferPool::FlushAll() {
+  // Writeback counting lives in WriteBack(): FlushAll historically did
+  // not count its writebacks, under-reporting against InvalidateAll and
+  // eviction, which did.
   for (auto& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
       SIM_RETURN_IF_ERROR(WriteBack(f));
@@ -117,7 +124,6 @@ Status BufferPool::InvalidateAll() {
     if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
     if (f.dirty) {
       SIM_RETURN_IF_ERROR(WriteBack(f));
-      ++stats_.dirty_writebacks;
     }
     page_to_frame_.erase(f.page_id);
     f.page_id = kInvalidPageId;
@@ -152,10 +158,9 @@ Result<int> BufferPool::GetVictimFrame() {
   if (f.page_id != kInvalidPageId) {
     if (f.dirty) {
       SIM_RETURN_IF_ERROR(WriteBack(f));
-      ++stats_.dirty_writebacks;
     }
     page_to_frame_.erase(f.page_id);
-    ++stats_.evictions;
+    counters_.evictions.Increment();
     f.page_id = kInvalidPageId;
   }
   return victim;

@@ -3,9 +3,14 @@
 
 // LRU buffer pool. All page access in the system flows through Fetch/New,
 // so the pool's counters are the system's definition of "block accesses":
-//  * logical_fetches — every page touch (what a clustered mapping saves),
-//  * misses          — touches that had to go to the pager (cold/evicted).
-// The §5.2 experiments read these counters directly.
+//  * logical_fetches — every Fetch of an existing page (what a clustered
+//    mapping saves); hits = logical_fetches - misses,
+//  * misses          — fetches that had to go to the pager (cold/evicted),
+//  * allocations     — pages born in the pool via New (never a hit or a
+//    miss, so they are counted separately and keep the hit rate honest).
+// The §5.2 experiments read these counters directly; the obs layer
+// exports them (the counters are obs::Counter cells, registered with the
+// Database's MetricsRegistry as views).
 
 #include <cstdint>
 #include <list>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/pager.h"
 
@@ -55,11 +61,24 @@ class PageHandle {
 
 class BufferPool {
  public:
+  // Snapshot view of the pool's counters (the cells themselves are
+  // relaxed-atomic obs::Counters; see counters()).
   struct Stats {
     uint64_t logical_fetches = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t dirty_writebacks = 0;
+    uint64_t allocations = 0;
+  };
+
+  // The live counter cells, exposed so the Database can register them
+  // with its metrics registry as zero-copy views.
+  struct Counters {
+    obs::Counter logical_fetches;
+    obs::Counter misses;
+    obs::Counter evictions;
+    obs::Counter dirty_writebacks;
+    obs::Counter allocations;
   };
 
   // When `wal` is non-null the pool runs in WAL mode: dirty pages are
@@ -83,8 +102,24 @@ class BufferPool {
   // experiments that want a cold cache.
   Status InvalidateAll();
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  // Snapshot of the counter cells; historical accessor, kept working.
+  Stats stats() const {
+    Stats s;
+    s.logical_fetches = counters_.logical_fetches.value();
+    s.misses = counters_.misses.value();
+    s.evictions = counters_.evictions.value();
+    s.dirty_writebacks = counters_.dirty_writebacks.value();
+    s.allocations = counters_.allocations.value();
+    return s;
+  }
+  const Counters& counters() const { return counters_; }
+  void ResetStats() {
+    counters_.logical_fetches.Reset();
+    counters_.misses.Reset();
+    counters_.evictions.Reset();
+    counters_.dirty_writebacks.Reset();
+    counters_.allocations.Reset();
+  }
   Pager* pager() { return pager_; }
   WriteAheadLog* wal() { return wal_; }
   size_t capacity() const { return frames_.size(); }
@@ -104,7 +139,8 @@ class BufferPool {
   // Picks an unpinned frame to reuse, writing back if dirty.
   Result<int> GetVictimFrame();
   // Stamps the page checksum and writes the frame to the WAL (WAL mode)
-  // or the pager.
+  // or the pager. The single writeback-counting site for all three
+  // callers (eviction, FlushAll, InvalidateAll).
   Status WriteBack(Frame& f);
   // Reads page `id` into `out` from the WAL image if one exists, else the
   // pager, and verifies its checksum.
@@ -115,7 +151,7 @@ class BufferPool {
   std::vector<Frame> frames_;
   std::unordered_map<PageId, int> page_to_frame_;
   uint64_t tick_ = 0;
-  Stats stats_;
+  Counters counters_;
 };
 
 }  // namespace sim

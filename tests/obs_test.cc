@@ -1,0 +1,471 @@
+// Tests for the observability layer: the metrics registry, trace
+// spans, the buffer-pool counter invariants they export, and the
+// end-to-end surfaces (SHOW METRICS, Database::MetricsText, NDJSON
+// trace log, EXPLAIN ANALYZE operator timings).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistryTest, CounterAndGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("simdb_test_total", "a counter");
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name returns the same cell, not a fresh one.
+  EXPECT_EQ(reg.GetCounter("simdb_test_total", "a counter"), c);
+
+  obs::Gauge* g = reg.GetGauge("simdb_test_gauge", "a gauge");
+  g->Set(7);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 4);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketSemantics) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h =
+      reg.GetHistogram("simdb_test_us", "latency", {10, 100, 1000});
+  h->Observe(5);     // <= 10
+  h->Observe(10);    // boundary counts in its bucket
+  h->Observe(500);   // <= 1000
+  h->Observe(5000);  // +Inf
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 5515u);
+  ASSERT_EQ(h->bounds().size(), 3u);
+  EXPECT_EQ(h->bucket(0), 2u);  // 5, 10
+  EXPECT_EQ(h->bucket(1), 0u);
+  EXPECT_EQ(h->bucket(2), 1u);  // 500
+  EXPECT_EQ(h->bucket(3), 1u);  // +Inf
+}
+
+TEST(MetricsRegistryTest, DefaultLatencyBoundsAreSorted) {
+  std::vector<uint64_t> bounds = obs::Histogram::DefaultLatencyBoundsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, CounterViewAndCallback) {
+  obs::MetricsRegistry reg;
+  obs::Counter cell;  // externally owned, e.g. a BufferPool counter
+  reg.RegisterCounterView("simdb_view_total", "view over a cell", &cell);
+  uint64_t legacy = 0;  // e.g. a RetryStats field sampled at scrape time
+  reg.RegisterCallback("simdb_cb_total", "scrape-time callback",
+                       [&legacy] { return legacy; });
+  cell.Add(3);
+  legacy = 9;
+  uint64_t view_v = 0, cb_v = 0;
+  for (const obs::Sample& s : reg.Samples()) {
+    if (s.name == "simdb_view_total") view_v = s.value;
+    if (s.name == "simdb_cb_total") cb_v = s.value;
+  }
+  EXPECT_EQ(view_v, 3u);
+  EXPECT_EQ(cb_v, 9u);
+}
+
+// Every non-comment exposition line must be `name value`; this is the
+// same contract the CI smoke check scrapes.
+void ExpectExpositionParses(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int metrics = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP", 0) == 0 || line.rfind("# TYPE", 0) == 0)
+          << line;
+      continue;
+    }
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    ASSERT_LT(sp + 1, line.size()) << line;
+    for (size_t i = sp + 1; i < line.size(); ++i) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+    }
+    ++metrics;
+  }
+  EXPECT_GT(metrics, 0);
+}
+
+TEST(MetricsRegistryTest, TextExpositionParses) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("simdb_a_total", "counter a")->Add(2);
+  reg.GetGauge("simdb_b", "gauge b")->Set(5);
+  obs::Histogram* h = reg.GetHistogram("simdb_lat_us", "latency", {10, 100});
+  h->Observe(7);
+  h->Observe(70);
+  std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("# HELP simdb_a_total counter a"), std::string::npos);
+  EXPECT_NE(text.find("simdb_a_total 2"), std::string::npos);
+  EXPECT_NE(text.find("simdb_lat_us_bucket{le=\"10\"}"), std::string::npos);
+  EXPECT_NE(text.find("simdb_lat_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("simdb_lat_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("simdb_lat_us_sum 77"), std::string::npos);
+  ExpectExpositionParses(text);
+}
+
+// ---------------------------------------------------------------------------
+// Trace log and spans.
+
+TEST(TraceTest, NullLogIsCompletelyInert) {
+  obs::Span span(nullptr, 1, "parse");
+  span.AddAttr("rows", 3);
+  span.SetDetail("ignored");
+  span.MarkOk();
+  EXPECT_EQ(span.ElapsedUs(), 0u);
+  // Destruction records nothing (there is nothing to record into).
+}
+
+TEST(TraceTest, SpanRecordsEventWithAttrs) {
+  obs::ObsOptions opts;
+  obs::TraceLog log(opts);
+  uint64_t stmt = log.BeginStatement();
+  EXPECT_NE(stmt, log.BeginStatement());  // ids are unique
+  {
+    obs::Span span(&log, stmt, "execute");
+    span.AddAttr("rows", 12);
+    span.SetDetail("From Student Retrieve Name");
+    span.MarkOk();
+  }
+  {
+    obs::Span span(&log, stmt, "parse");
+    // No MarkOk: failure is the default for early-returning stages.
+  }
+  std::vector<obs::TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].stmt, stmt);
+  EXPECT_EQ(events[0].span, "execute");
+  EXPECT_TRUE(events[0].ok);
+  ASSERT_EQ(events[0].attrs.size(), 1u);
+  EXPECT_EQ(events[0].attrs[0].first, "rows");
+  EXPECT_EQ(events[0].attrs[0].second, 12u);
+  EXPECT_FALSE(events[1].ok);
+
+  std::string json = events[0].ToNdjson();
+  EXPECT_NE(json.find("\"span\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":12"), std::string::npos);
+}
+
+TEST(TraceTest, RingEvictsOldestFirst) {
+  obs::ObsOptions opts;
+  opts.trace_capacity_events = 3;
+  obs::TraceLog log(opts);
+  for (int i = 0; i < 5; ++i) {
+    obs::TraceEvent e;
+    e.stmt = static_cast<uint64_t>(i);
+    e.span = "s";
+    log.Record(std::move(e));
+  }
+  std::vector<obs::TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().stmt, 2u);
+  EXPECT_EQ(events.back().stmt, 4u);
+}
+
+TEST(TraceTest, NdjsonEscapesQuotesInDetail) {
+  obs::TraceEvent e;
+  e.span = "statement";
+  e.detail = "title = \"Algebra I\"\n";
+  std::string json = e.ToNdjson();
+  EXPECT_NE(json.find("\\\"Algebra I\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-pool counter invariants (the satellite fixes: FlushAll counts
+// its writebacks; New counts allocations, not fetches).
+
+TEST(BufferPoolStatsTest, AllocationsAreNeitherHitsNorMisses) {
+  MemPager pager;
+  BufferPool pool(&pager, 4);
+  PageId a, b;
+  {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    a = h->id();
+  }
+  {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    b = h->id();
+  }
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  EXPECT_EQ(pool.stats().logical_fetches, 0u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+
+  // Warm fetches: hits, no misses.
+  { auto h = pool.Fetch(a); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(b); ASSERT_TRUE(h.ok()); }
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.logical_fetches, 2u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // Cold fetches after invalidation: every fetch is a miss. The hit-rate
+  // identity hits == logical_fetches - misses holds throughout.
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+  { auto h = pool.Fetch(a); ASSERT_TRUE(h.ok()); }
+  s = pool.stats();
+  EXPECT_EQ(s.logical_fetches, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_LE(s.misses, s.logical_fetches);
+  EXPECT_EQ(s.allocations, 2u);  // unchanged by fetches
+}
+
+TEST(BufferPoolStatsTest, FlushAllCountsDirtyWritebacks) {
+  MemPager pager;
+  BufferPool pool(&pager, 4);
+  for (int i = 0; i < 3; ++i) {
+    auto h = pool.New();  // New marks the frame dirty
+    ASSERT_TRUE(h.ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().dirty_writebacks, 3u);
+  // A second flush finds nothing dirty: no double counting.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().dirty_writebacks, 3u);
+  // InvalidateAll after a clean flush writes nothing back either.
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+  EXPECT_EQ(pool.stats().dirty_writebacks, 3u);
+}
+
+TEST(BufferPoolStatsTest, AllThreeWritebackSitesCount) {
+  MemPager pager;
+  BufferPool pool(&pager, 2);
+  // Three dirty pages through a 2-frame pool: the third New evicts one
+  // dirty frame (site 1: eviction).
+  for (int i = 0; i < 3; ++i) {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+  }
+  BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.dirty_writebacks, 1u);
+  // Site 2: InvalidateAll writes back the two remaining dirty frames.
+  ASSERT_TRUE(pool.InvalidateAll().ok());
+  EXPECT_EQ(pool.stats().dirty_writebacks, 3u);
+  // Site 3: FlushAll, after re-dirtying a fetched page.
+  {
+    auto h = pool.Fetch(0);
+    ASSERT_TRUE(h.ok());
+    h->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().dirty_writebacks, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end through the Database.
+
+TEST(ObsEndToEndTest, EveryStatementProducesASpanChain) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  const char* query = "From Student Retrieve Name Where name = \"John Doe\"";
+  auto rs = (*db)->ExecuteQuery(query);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+
+  obs::TraceLog* log = (*db)->trace_log();
+  ASSERT_NE(log, nullptr);
+  // Find the statement id of our query (the fixture's DDL/DML produced
+  // earlier chains), then assert the full parse → bind → optimize → map →
+  // execute chain landed, all ok, all under the one id.
+  uint64_t stmt = 0;
+  for (const obs::TraceEvent& e : log->Events()) {
+    if (e.span == "statement" && e.detail == query) stmt = e.stmt;
+  }
+  ASSERT_NE(stmt, 0u) << "no statement span for the query";
+  std::vector<std::string> want = {"parse", "bind", "optimize", "map",
+                                   "execute"};
+  for (const std::string& name : want) {
+    bool found = false;
+    for (const obs::TraceEvent& e : log->Events()) {
+      if (e.stmt == stmt && e.span == name) {
+        EXPECT_TRUE(e.ok) << name;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "missing span: " << name;
+  }
+  // The execute span carries the row count.
+  for (const obs::TraceEvent& e : log->Events()) {
+    if (e.stmt == stmt && e.span == "execute") {
+      bool has_rows = false;
+      for (const auto& [k, v] : e.attrs) {
+        if (k == "rows") {
+          has_rows = true;
+          EXPECT_EQ(v, 1u);
+        }
+      }
+      EXPECT_TRUE(has_rows);
+    }
+  }
+  // The in-memory ring renders as NDJSON.
+  std::string ndjson = (*db)->TraceNdjson();
+  EXPECT_NE(ndjson.find("\"span\":\"optimize\""), std::string::npos);
+}
+
+TEST(ObsEndToEndTest, ShowMetricsStatement) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("Show Metrics");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->columns.size(), 2u);
+  EXPECT_EQ(rs->columns[0], "metric");
+  EXPECT_EQ(rs->columns[1], "value");
+  ASSERT_GT(rs->rows.size(), 0u);
+  auto value_of = [&](const std::string& name) -> int64_t {
+    for (const Row& row : rs->rows) {
+      if (row.values[0].string_value() == name) {
+        return row.values[1].int_value();
+      }
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return -1;
+  };
+  // The fixture ran DDL + ~15 inserts before this query.
+  EXPECT_GT(value_of("simdb_stmt_total"), 0);
+  EXPECT_GT(value_of("simdb_stmt_updates_total"), 0);
+  EXPECT_GT(value_of("simdb_pool_logical_fetches"), 0);
+  EXPECT_EQ(value_of("simdb_stmt_errors_total"), 0);
+  // SHOW METRICS is itself a statement and routes through ExecuteQuery.
+  auto rs2 = (*db)->ExecuteQuery("show metrics");
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_GE(rs2->rows.size(), rs->rows.size());
+}
+
+TEST(ObsEndToEndTest, MetricsTextExposition) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("From Course Retrieve Title");
+  ASSERT_TRUE(rs.ok());
+  std::string text = (*db)->MetricsText();
+  EXPECT_NE(text.find("simdb_stmt_total"), std::string::npos);
+  EXPECT_NE(text.find("simdb_pool_logical_fetches"), std::string::npos);
+  EXPECT_NE(text.find("simdb_stmt_latency_us_bucket"), std::string::npos);
+  EXPECT_NE(text.find("simdb_wal_size_bytes"), std::string::npos);
+  ExpectExpositionParses(text);
+}
+
+TEST(ObsEndToEndTest, ExplainAnalyzeReportsOperatorTimings) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto text = (*db)->ExplainAnalyze("From Student Retrieve Name");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("actual_rows"), std::string::npos);
+  EXPECT_NE(text->find("time_us="), std::string::npos);
+  EXPECT_NE(text->find("pool_hits="), std::string::npos);
+  // Per-operator "op" events mirror the printed tree.
+  obs::TraceLog* log = (*db)->trace_log();
+  ASSERT_NE(log, nullptr);
+  bool found_op = false;
+  for (const obs::TraceEvent& e : log->Events()) {
+    if (e.span == "op") {
+      found_op = true;
+      EXPECT_FALSE(e.detail.empty());
+    }
+  }
+  EXPECT_TRUE(found_op);
+}
+
+TEST(ObsEndToEndTest, AuditProducesPerLayerSpans) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("Check Database");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(rs->rows.empty());  // fixture is clean
+  obs::TraceLog* log = (*db)->trace_log();
+  ASSERT_NE(log, nullptr);
+  for (const char* layer :
+       {"audit:catalog", "audit:storage", "audit:pages"}) {
+    bool found = false;
+    for (const obs::TraceEvent& e : log->Events()) {
+      if (e.span == layer) {
+        found = true;
+        EXPECT_TRUE(e.ok);
+        ASSERT_EQ(e.attrs.size(), 1u);
+        EXPECT_EQ(e.attrs[0].first, "findings");
+        EXPECT_EQ(e.attrs[0].second, 0u);
+      }
+    }
+    EXPECT_TRUE(found) << "missing span: " << layer;
+  }
+}
+
+TEST(ObsEndToEndTest, NdjsonSinkAppendsOneEventPerLine) {
+  std::string path = ::testing::TempDir() + "/simdb_obs_trace.ndjson";
+  std::remove(path.c_str());
+  DatabaseOptions options;
+  options.obs.trace_ndjson_path = path;
+  {
+    auto db = sim::testing::OpenUniversity(options);
+    ASSERT_TRUE(db.ok());
+    auto rs = (*db)->ExecuteQuery("From Department Retrieve Name");
+    ASSERT_TRUE(rs.ok());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  bool saw_execute = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"span\":\"execute\"") != std::string::npos) {
+      saw_execute = true;
+    }
+    ++lines;
+  }
+  EXPECT_GT(lines, 0);
+  EXPECT_TRUE(saw_execute);
+  std::remove(path.c_str());
+}
+
+TEST(ObsEndToEndTest, DisabledObsKeepsStatementsWorking) {
+  DatabaseOptions options;
+  options.obs.enabled = false;
+  auto db = sim::testing::OpenUniversity(options);
+  ASSERT_TRUE(db.ok());
+  auto rs = (*db)->ExecuteQuery("From Student Retrieve Name");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+  // No trace ring, no statement counters...
+  EXPECT_EQ((*db)->trace_log(), nullptr);
+  EXPECT_TRUE((*db)->TraceNdjson().empty());
+  auto metrics = (*db)->ExecuteQuery("Show Metrics");
+  ASSERT_TRUE(metrics.ok());
+  for (const Row& row : metrics->rows) {
+    if (row.values[0].string_value() == "simdb_stmt_total") {
+      EXPECT_EQ(row.values[1].int_value(), 0);
+    }
+    // ...but the component counters (pool, WAL, retry views) are
+    // maintained regardless, as documented.
+    if (row.values[0].string_value() == "simdb_pool_logical_fetches") {
+      EXPECT_GT(row.values[1].int_value(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sim

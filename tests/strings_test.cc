@@ -57,7 +57,18 @@ INSTANTIATE_TEST_SUITE_P(
         LikeCase{"aXbXc", "a%b%c", true},
         LikeCase{"mississippi", "%iss%ppi", true},
         LikeCase{"mississippi", "%isx%ppi", false},
-        LikeCase{"a%b", "a%b", true}));  // '%' in text matched by wildcard
+        LikeCase{"a%b", "a%b", true},  // '%' in text matched by wildcard
+        // Backslash escapes: '\%' and '\_' match the literal characters.
+        LikeCase{"100%", "100\\%", true},
+        LikeCase{"100x", "100\\%", false},
+        LikeCase{"100", "100\\%", false},
+        LikeCase{"a_b", "a\\_b", true},
+        LikeCase{"axb", "a\\_b", false},
+        LikeCase{"a\\b", "a\\\\b", true},   // escaped backslash
+        LikeCase{"50% off", "%\\%%", true},  // literal '%' between wildcards
+        LikeCase{"half off", "%\\%%", false},
+        LikeCase{"a\\", "a\\", true},  // trailing lone '\' is literal
+        LikeCase{"A%B", "a\\%b", true}));  // escapes stay case-insensitive
 
 }  // namespace
 }  // namespace sim

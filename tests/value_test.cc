@@ -99,6 +99,26 @@ TEST(DateTest, ParseFormats) {
   EXPECT_FALSE(ParseDate("1988-13-01").ok());
 }
 
+// Dates with trailing garbage must be rejected: the parser requires the
+// format to consume the entire string, not just a valid prefix.
+TEST(DateTest, RejectsTrailingGarbage) {
+  static const char* kBad[] = {
+      "1988-06-01xyz",    // letters after ISO date
+      "1988-06-01 ",      // trailing space
+      "6/1/1988extra",    // letters after US date
+      "6/1/1988 09:00",   // time suffix
+      "1988-06-01-02",    // second separator run
+      "1988-06",          // incomplete
+      "",                 // empty
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseDate(text).ok()) << "'" << text << "'";
+  }
+  // Sanity: the exact-length forms still parse.
+  EXPECT_TRUE(ParseDate("1988-06-01").ok());
+  EXPECT_TRUE(ParseDate("6/1/1988").ok());
+}
+
 // Property: civil -> days -> civil round-trips across a broad sweep.
 class DateRoundTrip : public ::testing::TestWithParam<int> {};
 

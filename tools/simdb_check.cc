@@ -12,6 +12,9 @@
 // (exit 2) instead of running away on a huge database. 0 trips at the
 // first cooperative check; useful for exercising the cancellation path.
 //
+// --metrics dumps the Prometheus-style metrics exposition to stdout after
+// the audit (scrapeable by the CI smoke check and external collectors).
+//
 // Exit status: 0 when the audit reports no findings, 1 when findings exist,
 // 2 on setup failure (unreadable script, DDL/DML error, tripped deadline).
 
@@ -44,9 +47,12 @@ sim::Result<std::string> ReadFile(const std::string& path) {
 int Run(int argc, char** argv) {
   sim::DatabaseOptions options;
   std::vector<std::string> positional;
+  bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--deadline") {
+    if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--deadline") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "simdb_check: --deadline needs a value (ms)\n");
         return 2;
@@ -127,6 +133,9 @@ int Run(int argc, char** argv) {
     return 2;
   }
   std::printf("%s", report->ToString().c_str());
+  if (dump_metrics) {
+    std::printf("%s", db->MetricsText().c_str());
+  }
   return report->clean() ? 0 : 1;
 }
 
