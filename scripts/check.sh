@@ -3,8 +3,10 @@
 # plain build, an ASan+UBSan build, a standalone UBSan build that traps on
 # the first finding, and a hardened STRICT build (-Werror) that also runs
 # clang-tidy (when installed) and the simdb_check invariant audit, followed
-# by the injected-fault / resource-governor sweep and the observability
-# smoke check (metrics exposition scrape).
+# by the injected-fault / resource-governor sweep, the observability
+# smoke check (metrics exposition scrape), sanitized crash-recovery
+# sweeps, and the crash-safety smoke (offline WAL inspection + recovery
+# metrics after reopen).
 # Usage: scripts/check.sh [extra ctest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,10 +23,18 @@ cmake -B build-asan -S . -DASAN=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" "$@"
 
+echo "== crash-recovery sweep under ASan + UBSan =="
+# The sweep kills the WAL at every write/sync position and reopens; running
+# it sanitized catches any recovery-path memory error the plain run misses.
+./build-asan/tests/simdb_tests --gtest_filter='CrashRecoveryTest.*'
+
 echo "== sanitized build (UBSan only, trap on first finding) =="
 cmake -B build-ubsan -S . -DUBSAN=ON >/dev/null
 cmake --build build-ubsan -j "$jobs"
 ctest --test-dir build-ubsan --output-on-failure -j "$jobs" "$@"
+
+echo "== crash-recovery sweep under UBSan =="
+./build-ubsan/tests/simdb_tests --gtest_filter='CrashRecoveryTest.*'
 
 echo "== hardened build (STRICT=ON: warnings are errors) =="
 cmake -B build-strict -S . -DSTRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
@@ -75,6 +85,39 @@ printf '%s\n' "$metrics_out" | awk '
   /^simdb/ && NF == 2 && $2 ~ /^[0-9]+$/ { ok++; next }
   NF > 0 { print "unparseable exposition line: " $0; bad++ }
   END { if (bad > 0 || ok == 0) exit 1 }'
+
+echo "== crash-safety smoke (WAL inspection + recovery metrics) =="
+# Build a small file-backed database, inspect its WAL offline (a cleanly
+# closed log must be a sealed metadata baseline), then reopen it — the
+# recovery path replays the logged metadata — and assert the recovery
+# metrics moved and the audit is clean.
+waldir=$(mktemp -d)
+trap 'rm -rf "$waldir"' EXIT
+cat > "$waldir/schema.ddl" <<'EOF'
+Class Person (
+  name: string[30] required;
+  age: integer );
+EOF
+cat > "$waldir/data.dml" <<'EOF'
+Insert person (name := "ada", age := 36).
+Insert person (name := "grace", age := 45).
+EOF
+./build-strict/tools/simdb_check --file "$waldir/smoke.db" \
+  "$waldir/schema.ddl" "$waldir/data.dml"
+wal_out=$(./build-strict/tools/simdb_check --wal "$waldir/smoke.db.wal")
+printf '%s\n' "$wal_out"
+printf '%s\n' "$wal_out" | grep -q 'tail: clean' || {
+  echo "expected a clean WAL tail after clean close"; exit 1; }
+printf '%s\n' "$wal_out" | grep -q 'meta-ddl' || {
+  echo "expected metadata frames in the sealed baseline"; exit 1; }
+recovery_out=$(./build-strict/tools/simdb_check --file "$waldir/smoke.db" \
+  --metrics | sed -n '/^# HELP/,$p')
+meta_records=$(printf '%s\n' "$recovery_out" |
+  awk '$1 == "simdb_recovery_meta_records" { print $2 }')
+if [ -z "$meta_records" ] || [ "$meta_records" -le 0 ]; then
+  echo "expected simdb_recovery_meta_records > 0 after reopen"
+  exit 1
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (profile: .clang-tidy) =="

@@ -1,9 +1,11 @@
 #include "api/database.h"
 
+#include <chrono>
 #include <functional>
 
 #include "check/plan_check.h"
 #include "exec/physical_plan.h"
+#include "luc/rehydrate.h"
 #include "parser/ddl_parser.h"
 #include "parser/dml_parser.h"
 
@@ -136,6 +138,25 @@ void Database::RegisterMetrics() {
                             "Current WAL length in bytes.", [this]() {
                               return wal_ != nullptr ? wal_->size_bytes() : 0;
                             });
+  // Crash-recovery outcome of this Open, sampled from plain members at
+  // scrape time (recovery itself runs after metric registration).
+  metrics_.RegisterCallback("simdb_recovery_pages_replayed",
+                            "Pages replayed from the WAL by this Open's "
+                            "recovery.",
+                            [this]() { return recovered_pages_; });
+  metrics_.RegisterCallback("simdb_recovery_meta_records",
+                            "Committed metadata records (DDL + snapshot) "
+                            "replayed by this Open's recovery.",
+                            [this]() { return recovered_meta_records_; });
+  metrics_.RegisterCallback("simdb_recovery_us",
+                            "Wall time this Open spent in crash recovery, "
+                            "in microseconds.",
+                            [this]() { return recovery_us_; });
+  m_group_batch_ = metrics_.GetHistogram(
+      "simdb_group_commit_batch_size",
+      "Commit tickets coalesced into one WAL fsync by the group-commit "
+      "durability thread.",
+      {1, 2, 4, 8, 16, 32, 64});
   // LUC mapper update-path work and optimizer planning activity. Both
   // components are built lazily (EnsureMapper), so the callbacks must
   // tolerate sampling a database that has run no data statement yet.
@@ -195,9 +216,23 @@ Database::~Database() {
   // the WAL simply keeps its replay work for the next Open's recovery.
   if (wal_ == nullptr || current_txn_ != nullptr || pool_ == nullptr) return;
   if (!pool_->FlushAll().ok()) return;
+  std::string snapshot;
+  if (mapper_ != nullptr) {
+    Result<std::string> snap = MapperRehydrator::Snapshot(*mapper_);
+    if (!snap.ok()) return;
+    snapshot = std::move(*snap);
+    if (!wal_->AppendMetaSnapshot(snapshot).ok()) return;
+  }
   if (wal_->empty()) return;
   if (!wal_->AppendCommit().ok()) return;
-  (void)wal_->Checkpoint(io_pager());
+  // Checkpoint down to the metadata baseline: the database file absorbs
+  // the committed pages and the log keeps only what the next Open needs
+  // to rebuild catalog + mapper.
+  if (!ddl_history_.empty()) {
+    (void)wal_->Checkpoint(io_pager(), ddl_history_, snapshot);
+  } else {
+    (void)wal_->Checkpoint(io_pager());
+  }
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -225,12 +260,17 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (!options.file_path.empty()) {
     // WAL mode: scan the log and replay anything a previous crash left
     // committed-but-unapplied before the first page is read.
+    auto t0 = std::chrono::steady_clock::now();
     SIM_ASSIGN_OR_RETURN(
         db->wal_, WriteAheadLog::Open(options.file_path,
                                       options.fault_injector,
                                       options.io_retry));
     SIM_ASSIGN_OR_RETURN(db->recovered_pages_,
                          db->wal_->Recover(db->io_pager()));
+    db->recovery_us_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   }
   db->pool_ = std::make_unique<BufferPool>(
       db->io_pager(), options.buffer_pool_frames, db->wal_.get());
@@ -238,35 +278,48 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->trace_ = std::make_unique<obs::TraceLog>(options.obs);
   }
   db->RegisterMetrics();
-  // Durability hook: a transaction is committed once its dirty pages and a
-  // commit record are durable in the WAL. The in-place checkpoint is an
-  // optimization and must NOT fail the commit — the data is already safe.
+  if (db->wal_ != nullptr) {
+    // Self-contained crash recovery, phase 2: reinstall the catalog from
+    // the logged DDL and rehydrate the mapper from the logged snapshot,
+    // so the reopened database is queryable without re-running anything.
+    SIM_RETURN_IF_ERROR(db->RecoverMetadata());
+    if (options.group_commit) {
+      db->wal_->StartGroupCommit(db->m_group_batch_);
+    }
+  }
+  // Durability hook: a transaction is committed once its dirty pages, a
+  // fresh mapper bootstrap snapshot and a commit record are durable in the
+  // WAL. The in-place checkpoint is an optimization and must NOT fail the
+  // commit — the data is already safe.
   Database* raw = db.get();
   db->txn_manager_.set_commit_hook([raw](Transaction*) -> Status {
     if (raw->wal_ == nullptr) return Status::Ok();
     SIM_RETURN_IF_ERROR(raw->pool_->FlushAll());
+    std::string snapshot;
+    if (raw->mapper_ != nullptr) {
+      // The bootstrap state (heap page lists, index roots, next
+      // surrogate) drifts with every commit; each commit record must be
+      // preceded by the snapshot that matches it.
+      SIM_ASSIGN_OR_RETURN(snapshot, MapperRehydrator::Snapshot(*raw->mapper_));
+      SIM_RETURN_IF_ERROR(raw->wal_->AppendMetaSnapshot(snapshot));
+    }
     SIM_RETURN_IF_ERROR(raw->wal_->AppendCommit());
     if (raw->wal_->size_bytes() > raw->options_.wal_checkpoint_bytes) {
-      (void)raw->wal_->Checkpoint(raw->io_pager());
+      if (!raw->ddl_history_.empty()) {
+        (void)raw->wal_->Checkpoint(raw->io_pager(), raw->ddl_history_,
+                                    snapshot);
+      } else {
+        (void)raw->wal_->Checkpoint(raw->io_pager());
+      }
     }
     return Status::Ok();
   });
   return db;
 }
 
-Status Database::ExecuteDdl(std::string_view ddl_text) {
-  if (mapper_ != nullptr) {
-    return Status::NotSupported(
-        "schema changes after data operations are not supported; define the "
-        "full schema first");
-  }
-  StmtObs sobs(this, m_stmt_ddl_, ddl_text);
-  std::vector<DdlStatement> statements;
-  {
-    obs::Span span(sobs.log(), sobs.stmt(), "parse");
-    SIM_ASSIGN_OR_RETURN(statements, DdlParser::Parse(ddl_text, &dir_));
-    span.MarkOk();
-  }
+Status Database::InstallDdl(std::string_view ddl_text) {
+  SIM_ASSIGN_OR_RETURN(std::vector<DdlStatement> statements,
+                       DdlParser::Parse(ddl_text, &dir_));
   for (DdlStatement& s : statements) {
     if (s.type_decl != nullptr) {
       SIM_RETURN_IF_ERROR(
@@ -279,8 +332,84 @@ Status Database::ExecuteDdl(std::string_view ddl_text) {
       SIM_RETURN_IF_ERROR(dir_.AddView(std::move(*s.view_decl)));
     }
   }
-  SIM_RETURN_IF_ERROR(dir_.Finalize());
+  return dir_.Finalize();
+}
+
+Status Database::ExecuteDdl(std::string_view ddl_text) {
+  if (mapper_ != nullptr) {
+    return Status::NotSupported(
+        "schema changes after data operations are not supported; define the "
+        "full schema first");
+  }
+  StmtObs sobs(this, m_stmt_ddl_, ddl_text);
+  {
+    obs::Span span(sobs.log(), sobs.stmt(), "parse");
+    SIM_RETURN_IF_ERROR(InstallDdl(ddl_text));
+    span.MarkOk();
+  }
+  ddl_history_.emplace_back(ddl_text);
+  if (wal_ != nullptr) {
+    // The catalog is durable only through the log: append the batch
+    // verbatim and commit, so a crash one instruction later already
+    // reopens with this schema. Verbatim matters — replaying the same
+    // text reproduces the same class codes the record bytes are tagged
+    // with.
+    Status logged = wal_->AppendMetaDdl(ddl_text);
+    if (logged.ok()) logged = wal_->AppendCommit();
+    if (!logged.ok()) {
+      NoteIoStatus(logged);
+      return logged;
+    }
+  }
   sobs.MarkOk();
+  return Status::Ok();
+}
+
+Status Database::RecoverMetadata() {
+  recovered_meta_records_ = wal_->stats().recovered_meta_records;
+  const std::vector<std::string>& ddl = wal_->recovered_ddl();
+  const std::string& snapshot = wal_->recovered_snapshot();
+  if (ddl.empty() && snapshot.empty()) return Status::Ok();
+  if (ddl.empty()) {
+    return Status::Internal(
+        "WAL carries a mapper snapshot but no DDL; the log is inconsistent");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& text : ddl) {
+    Status s = InstallDdl(text);
+    if (!s.ok()) {
+      return Status::Internal("recovery failed replaying logged DDL: " +
+                              s.ToString());
+    }
+  }
+  ddl_history_ = ddl;
+  if (!snapshot.empty()) {
+    SIM_ASSIGN_OR_RETURN(PhysicalSchema phys,
+                         PhysicalSchema::Build(dir_, options_.mapping));
+    phys_ = std::make_unique<PhysicalSchema>(std::move(phys));
+    SIM_ASSIGN_OR_RETURN(mapper_,
+                         MapperRehydrator::Rehydrate(&dir_, phys_.get(),
+                                                     pool_.get(), snapshot));
+    integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
+    SIM_RETURN_IF_ERROR(integrity_->Prepare());
+    optimizer_ = std::make_unique<Optimizer>(mapper_.get());
+  }
+  // Seal the log: one atomic rewrite leaves exactly the reinstalled
+  // metadata as the new baseline. Until this succeeds the old log stays
+  // on disk, so a crash mid-recovery just replays the same state again.
+  SIM_RETURN_IF_ERROR(wal_->ResetWithBaseline(ddl_history_, snapshot));
+  if (options_.recovery_audit && mapper_ != nullptr) {
+    SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
+    if (!report.clean()) {
+      return Status::Internal(
+          "post-recovery audit found an inconsistency: " +
+          report.errors.front().ToString());
+    }
+  }
+  recovery_us_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   return Status::Ok();
 }
 

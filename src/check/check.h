@@ -85,9 +85,10 @@ struct CheckReport {
 };
 
 // Audits a database bottom-up. The catalog is always available; the
-// storage layers need a live LUC mapper (a file-backed database reopened
-// after a crash has recovered pages but no rebuilt mapper — the audit then
-// degrades to the catalog and page-checksum layers). All parameters are
+// storage layers need a live LUC mapper. Crash recovery rehydrates the
+// mapper from the logged snapshot (DESIGN.md §7), so a reopened database
+// audits at full depth; only a database that never created a mapper (no
+// data operations yet) degrades to the catalog layer. All parameters are
 // borrowed and may be null except `dir`.
 class InvariantChecker {
  public:

@@ -107,6 +107,7 @@ class UnitStore {
   // both behind the public API's back.
   friend class InvariantChecker;
   friend class CorruptionInjector;
+  friend class MapperRehydrator;
 
   UnitStore(BufferPool* pool, const UnitPhys* phys, uint16_t unit_code)
       : phys_(phys), unit_code_(unit_code), file_(pool, phys->name) {}

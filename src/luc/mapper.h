@@ -226,6 +226,8 @@ class LucMapper {
   // API.
   friend class InvariantChecker;
   friend class CorruptionInjector;
+  // Snapshots/rebuilds the raw structures for crash recovery.
+  friend class MapperRehydrator;
 
   LucMapper(const DirectoryManager* dir, const PhysicalSchema* phys,
             BufferPool* pool)

@@ -1,0 +1,412 @@
+#include "luc/rehydrate.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "luc/luc.h"
+#include "luc/relationship.h"
+#include "storage/record_codec.h"
+
+namespace sim {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x53494D53;  // "SIMS"
+constexpr uint32_t kSnapshotVersion = 1;
+
+// --- little-endian primitive codec -----------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    SIM_RETURN_IF_ERROR(Need(1));
+    return static_cast<uint8_t>(data_[off_++]);
+  }
+  Result<uint32_t> U32() {
+    SIM_RETURN_IF_ERROR(Need(4));
+    uint32_t v;
+    std::memcpy(&v, data_.data() + off_, 4);
+    off_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    SIM_RETURN_IF_ERROR(Need(8));
+    uint64_t v;
+    std::memcpy(&v, data_.data() + off_, 8);
+    off_ += 8;
+    return v;
+  }
+  bool exhausted() const { return off_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (off_ + n > data_.size()) {
+      return Status::Internal("mapper snapshot truncated at byte " +
+                              std::to_string(off_));
+    }
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  size_t off_ = 0;
+};
+
+Status ShapeError(const std::string& what) {
+  return Status::Internal("mapper snapshot does not match the schema (" +
+                          what + "); was the database written under a "
+                          "different mapping policy?");
+}
+
+// --- heap files ------------------------------------------------------------
+
+void EncodeHeap(const HeapFile& file, std::string* out) {
+  PutU64(out, file.pages().size());
+  for (PageId id : file.pages()) PutU32(out, id);
+  PutU64(out, file.record_count());
+}
+
+Status DecodeHeap(Reader* r, HeapFile* file) {
+  SIM_ASSIGN_OR_RETURN(uint64_t n_pages, r->U64());
+  std::vector<PageId> pages;
+  pages.reserve(n_pages);
+  for (uint64_t i = 0; i < n_pages; ++i) {
+    SIM_ASSIGN_OR_RETURN(PageId id, r->U32());
+    pages.push_back(id);
+  }
+  SIM_ASSIGN_OR_RETURN(uint64_t record_count, r->U64());
+  return file->Attach(std::move(pages), record_count);
+}
+
+}  // namespace
+
+// --- keyed relationship stores ---------------------------------------------
+
+// Serializes a RelKeyedStore: its organization tag, its entry count, then
+// the backend state — a sorted triple dump for the page-less kDirect
+// organization, structure roots for the page-based ones. `dump_direct`
+// false elides the kDirect contents for stores the decoder rebuilds by
+// scanning (unit primaries). A named struct (friended by RelKeyedStore)
+// rather than free functions: anonymous-namespace helpers cannot be
+// granted friendship.
+struct RelStoreCodec {
+  static void Encode(const RelKeyedStore& store, bool dump_direct,
+                     std::string* out);
+  static Result<std::unique_ptr<RelKeyedStore>> Decode(
+      Reader* r, BufferPool* pool, const std::string& name,
+      KeyOrganization expected_org, bool dump_direct);
+};
+
+void RelStoreCodec::Encode(const RelKeyedStore& store, bool dump_direct,
+                           std::string* out) {
+  PutU8(out, static_cast<uint8_t>(store.organization()));
+  PutU64(out, store.entry_count());
+  switch (store.organization()) {
+    case KeyOrganization::kDirect: {
+      if (!dump_direct) break;
+      std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> entries;
+      entries.reserve(store.direct_.size());
+      for (const auto& [key, value] : store.direct_) {
+        entries.emplace_back(key.first, key.second, value);
+      }
+      std::sort(entries.begin(), entries.end());
+      PutU64(out, entries.size());
+      for (const auto& [rel, key, value] : entries) {
+        PutU64(out, rel);
+        PutU64(out, key);
+        PutU64(out, value);
+      }
+      break;
+    }
+    case KeyOrganization::kHashed: {
+      const HashIndex& idx = *store.hashed_;
+      PutU64(out, idx.entry_count());
+      PutU32(out, static_cast<uint32_t>(idx.buckets().size()));
+      for (PageId id : idx.buckets()) PutU32(out, id);
+      break;
+    }
+    case KeyOrganization::kIndexSequential: {
+      const BPlusTree& tree = *store.tree_;
+      PutU64(out, tree.entry_count());
+      PutU32(out, tree.root());
+      PutU32(out, static_cast<uint32_t>(tree.height()));
+      break;
+    }
+  }
+}
+
+Result<std::unique_ptr<RelKeyedStore>> RelStoreCodec::Decode(
+    Reader* r, BufferPool* pool, const std::string& name,
+    KeyOrganization expected_org, bool dump_direct) {
+  SIM_ASSIGN_OR_RETURN(uint8_t org_tag, r->U8());
+  if (org_tag != static_cast<uint8_t>(expected_org)) {
+    return ShapeError("store " + name + " has organization tag " +
+                      std::to_string(org_tag));
+  }
+  SIM_ASSIGN_OR_RETURN(uint64_t entry_count, r->U64());
+  auto store = std::unique_ptr<RelKeyedStore>(
+      new RelKeyedStore(name, expected_org));
+  switch (expected_org) {
+    case KeyOrganization::kDirect: {
+      if (!dump_direct) break;  // the caller rebuilds the contents
+      SIM_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+      for (uint64_t i = 0; i < n; ++i) {
+        SIM_ASSIGN_OR_RETURN(uint64_t rel, r->U64());
+        SIM_ASSIGN_OR_RETURN(uint64_t key, r->U64());
+        SIM_ASSIGN_OR_RETURN(uint64_t value, r->U64());
+        store->direct_.emplace(std::make_pair(rel, key), value);
+      }
+      break;
+    }
+    case KeyOrganization::kHashed: {
+      SIM_ASSIGN_OR_RETURN(uint64_t backend_count, r->U64());
+      SIM_ASSIGN_OR_RETURN(uint32_t n_buckets, r->U32());
+      if (n_buckets == 0) {
+        return ShapeError("hash store " + name + " with zero buckets");
+      }
+      std::vector<PageId> buckets;
+      buckets.reserve(n_buckets);
+      for (uint32_t i = 0; i < n_buckets; ++i) {
+        SIM_ASSIGN_OR_RETURN(PageId id, r->U32());
+        buckets.push_back(id);
+      }
+      store->hashed_.emplace(
+          HashIndex::Attach(pool, name, std::move(buckets), backend_count));
+      break;
+    }
+    case KeyOrganization::kIndexSequential: {
+      SIM_ASSIGN_OR_RETURN(uint64_t backend_count, r->U64());
+      SIM_ASSIGN_OR_RETURN(PageId root, r->U32());
+      SIM_ASSIGN_OR_RETURN(uint32_t height, r->U32());
+      store->tree_.emplace(BPlusTree::Attach(
+          pool, name, root, static_cast<int>(height), backend_count));
+      break;
+    }
+  }
+  // A non-dumped kDirect store is rebuilt through Add(), which counts its
+  // own entries; pre-seeding the count would double it.
+  if (expected_org != KeyOrganization::kDirect || dump_direct) {
+    store->entry_count_ = entry_count;
+  }
+  return store;
+}
+
+Result<std::string> MapperRehydrator::Snapshot(const LucMapper& m) {
+  std::string out;
+  PutU32(&out, kSnapshotMagic);
+  PutU32(&out, kSnapshotVersion);
+  PutU64(&out, m.next_surrogate_);
+
+  PutU64(&out, m.units_.size());
+  for (const auto& unit : m.units_) {
+    EncodeHeap(unit->file_, &out);
+    RelStoreCodec::Encode(*unit->primary_, /*dump_direct=*/false, &out);
+    PutU8(&out, unit->scan_ordered_ ? 1 : 0);
+    PutU8(&out, unit->any_records_ ? 1 : 0);
+    PutU64(&out, unit->max_page_index_);
+    PutU32(&out, unit->max_slot_);
+    PutU64(&out, unit->max_surrogate_);
+  }
+
+  RelStoreCodec::Encode(*m.common_fwd_, /*dump_direct=*/true, &out);
+  RelStoreCodec::Encode(*m.common_inv_, /*dump_direct=*/true, &out);
+  RelStoreCodec::Encode(*m.fk_inv_, /*dump_direct=*/true, &out);
+
+  PutU64(&out, m.private_structs_.size());
+  for (const auto& [eva_idx, pair] : m.private_structs_) {
+    PutU32(&out, static_cast<uint32_t>(eva_idx));
+    RelStoreCodec::Encode(*pair.first, /*dump_direct=*/true, &out);
+    RelStoreCodec::Encode(*pair.second, /*dump_direct=*/true, &out);
+  }
+
+  EncodeHeap(*m.mv_file_, &out);
+  RelStoreCodec::Encode(*m.mv_index_, /*dump_direct=*/true, &out);
+
+  PutU64(&out, m.sec_indexes_.size());
+  for (const auto& tree : m.sec_indexes_) {
+    PutU32(&out, tree->root());
+    PutU32(&out, static_cast<uint32_t>(tree->height()));
+    PutU64(&out, tree->entry_count());
+  }
+
+  PutU64(&out, m.extent_counts_.size());
+  for (uint64_t c : m.extent_counts_) PutU64(&out, c);
+  PutU64(&out, m.eva_pair_counts_.size());
+  for (uint64_t c : m.eva_pair_counts_) PutU64(&out, c);
+  return out;
+}
+
+Result<std::unique_ptr<LucMapper>> MapperRehydrator::Rehydrate(
+    const DirectoryManager* dir, const PhysicalSchema* phys, BufferPool* pool,
+    std::string_view blob) {
+  Reader r(blob);
+  SIM_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kSnapshotMagic) {
+    return Status::Internal("mapper snapshot has bad magic");
+  }
+  SIM_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kSnapshotVersion) {
+    return Status::Internal("mapper snapshot version " +
+                            std::to_string(version) + " not supported");
+  }
+
+  const MappingPolicy& policy = phys->policy();
+  auto m = std::unique_ptr<LucMapper>(new LucMapper(dir, phys, pool));
+  SIM_ASSIGN_OR_RETURN(m->next_surrogate_, r.U64());
+
+  SIM_ASSIGN_OR_RETURN(uint64_t n_units, r.U64());
+  if (n_units != phys->units().size()) {
+    return ShapeError("snapshot has " + std::to_string(n_units) +
+                      " units, schema has " +
+                      std::to_string(phys->units().size()));
+  }
+  for (size_t i = 0; i < phys->units().size(); ++i) {
+    const UnitPhys* up = &phys->units()[i];
+    auto unit = std::unique_ptr<UnitStore>(
+        new UnitStore(pool, up, static_cast<uint16_t>(i)));
+    unit->set_reserve_bytes(policy.cluster_reserve_bytes);
+    SIM_RETURN_IF_ERROR(DecodeHeap(&r, &unit->file_));
+    SIM_ASSIGN_OR_RETURN(unit->primary_,
+                         RelStoreCodec::Decode(&r, pool, up->name + "$primary",
+                                        policy.surrogate_org,
+                                        /*dump_direct=*/false));
+    SIM_ASSIGN_OR_RETURN(uint8_t ordered, r.U8());
+    SIM_ASSIGN_OR_RETURN(uint8_t any, r.U8());
+    unit->scan_ordered_ = ordered != 0;
+    unit->any_records_ = any != 0;
+    SIM_ASSIGN_OR_RETURN(unit->max_page_index_, r.U64());
+    SIM_ASSIGN_OR_RETURN(uint32_t max_slot, r.U32());
+    unit->max_slot_ = static_cast<uint16_t>(max_slot);
+    SIM_ASSIGN_OR_RETURN(unit->max_surrogate_, r.U64());
+    if (policy.surrogate_org == KeyOrganization::kDirect) {
+      // The in-memory primary index is not dumped: rebuild it by scanning
+      // the unit's own pages (skipping clustered foreign records).
+      uint64_t rebuilt = 0;
+      HeapFile::Iterator it = unit->file_.Begin();
+      for (; it.Valid(); it.Next()) {
+        SIM_ASSIGN_OR_RETURN(uint16_t tag, PeekRecordType(it.record()));
+        if (tag != static_cast<uint16_t>(i)) continue;
+        uint16_t record_type;
+        std::vector<Value> values;
+        SIM_RETURN_IF_ERROR(DecodeRecord(it.record(), &record_type, &values));
+        if (values.empty()) {
+          return Status::Internal("empty record rebuilding primary of unit " +
+                                  up->name);
+        }
+        SIM_RETURN_IF_ERROR(unit->primary_->Add(
+            0, values[0].surrogate_value(), PackRecordId(it.rid())));
+        ++rebuilt;
+      }
+      SIM_RETURN_IF_ERROR(it.status());
+      if (rebuilt != unit->file_.record_count()) {
+        return ShapeError("unit " + up->name + " primary rebuild found " +
+                          std::to_string(rebuilt) + " records, heap claims " +
+                          std::to_string(unit->file_.record_count()));
+      }
+    }
+    m->units_.push_back(std::move(unit));
+  }
+
+  SIM_ASSIGN_OR_RETURN(
+      m->common_fwd_,
+      RelStoreCodec::Decode(&r, pool, "common_eva$fwd", policy.eva_structure_org,
+                     /*dump_direct=*/true));
+  SIM_ASSIGN_OR_RETURN(
+      m->common_inv_,
+      RelStoreCodec::Decode(&r, pool, "common_eva$inv", policy.eva_structure_org,
+                     /*dump_direct=*/true));
+  SIM_ASSIGN_OR_RETURN(
+      m->fk_inv_, RelStoreCodec::Decode(&r, pool, "fk$inv", policy.eva_structure_org,
+                                 /*dump_direct=*/true));
+
+  SIM_ASSIGN_OR_RETURN(uint64_t n_private, r.U64());
+  for (uint64_t p = 0; p < n_private; ++p) {
+    SIM_ASSIGN_OR_RETURN(uint32_t eva_idx, r.U32());
+    if (eva_idx >= phys->evas().size() ||
+        phys->evas()[eva_idx].mapping != EvaMapping::kPrivateStructure) {
+      return ShapeError("private structure for eva index " +
+                        std::to_string(eva_idx));
+    }
+    const EvaPhys& eva = phys->evas()[eva_idx];
+    std::string base = "eva$" + std::to_string(eva.rel_id);
+    SIM_ASSIGN_OR_RETURN(std::unique_ptr<RelKeyedStore> fwd,
+                         RelStoreCodec::Decode(&r, pool, base + "$fwd", eva.org,
+                                        /*dump_direct=*/true));
+    SIM_ASSIGN_OR_RETURN(std::unique_ptr<RelKeyedStore> inv,
+                         RelStoreCodec::Decode(&r, pool, base + "$inv", eva.org,
+                                        /*dump_direct=*/true));
+    m->private_structs_[static_cast<int>(eva_idx)] = {std::move(fwd),
+                                                      std::move(inv)};
+  }
+  // Every kPrivateStructure EVA must have arrived (Init creates them all).
+  for (size_t i = 0; i < phys->evas().size(); ++i) {
+    if (phys->evas()[i].mapping == EvaMapping::kPrivateStructure &&
+        m->private_structs_.count(static_cast<int>(i)) == 0) {
+      return ShapeError("missing private structure for eva index " +
+                        std::to_string(i));
+    }
+  }
+
+  m->mv_file_ = std::make_unique<HeapFile>(pool, "mvdva$records");
+  SIM_RETURN_IF_ERROR(DecodeHeap(&r, m->mv_file_.get()));
+  SIM_ASSIGN_OR_RETURN(
+      m->mv_index_,
+      RelStoreCodec::Decode(&r, pool, "mvdva$index", policy.eva_structure_org,
+                     /*dump_direct=*/true));
+
+  SIM_ASSIGN_OR_RETURN(uint64_t n_indexes, r.U64());
+  if (n_indexes != phys->indexes().size()) {
+    return ShapeError("snapshot has " + std::to_string(n_indexes) +
+                      " secondary indexes, schema has " +
+                      std::to_string(phys->indexes().size()));
+  }
+  for (const IndexPhys& idx : phys->indexes()) {
+    SIM_ASSIGN_OR_RETURN(PageId root, r.U32());
+    SIM_ASSIGN_OR_RETURN(uint32_t height, r.U32());
+    SIM_ASSIGN_OR_RETURN(uint64_t entry_count, r.U64());
+    m->sec_indexes_.push_back(std::make_unique<BPlusTree>(BPlusTree::Attach(
+        pool, "index$" + idx.class_name + "$" + idx.attr_name, root,
+        static_cast<int>(height), entry_count)));
+  }
+
+  SIM_ASSIGN_OR_RETURN(uint64_t n_extents, r.U64());
+  if (n_extents != dir->class_names().size()) {
+    return ShapeError("snapshot has " + std::to_string(n_extents) +
+                      " extent counters, catalog has " +
+                      std::to_string(dir->class_names().size()) + " classes");
+  }
+  m->extent_counts_.resize(n_extents);
+  for (uint64_t i = 0; i < n_extents; ++i) {
+    SIM_ASSIGN_OR_RETURN(m->extent_counts_[i], r.U64());
+  }
+  SIM_ASSIGN_OR_RETURN(uint64_t n_eva_counts, r.U64());
+  if (n_eva_counts != phys->evas().size()) {
+    return ShapeError("snapshot has " + std::to_string(n_eva_counts) +
+                      " eva counters, schema has " +
+                      std::to_string(phys->evas().size()) + " evas");
+  }
+  m->eva_pair_counts_.resize(n_eva_counts);
+  for (uint64_t i = 0; i < n_eva_counts; ++i) {
+    SIM_ASSIGN_OR_RETURN(m->eva_pair_counts_[i], r.U64());
+  }
+
+  if (!r.exhausted()) {
+    return Status::Internal("mapper snapshot has trailing bytes");
+  }
+  return m;
+}
+
+}  // namespace sim

@@ -50,6 +50,10 @@ class RelKeyedStore {
   Result<uint64_t> CountFor(uint32_t rel_id, SurrogateId key);
 
  private:
+  // Snapshot/rehydrate (luc/rehydrate.cc) serializes the backend state and
+  // reconstructs stores through the private constructor.
+  friend struct RelStoreCodec;
+
   RelKeyedStore(std::string name, KeyOrganization org)
       : name_(std::move(name)), org_(org) {}
 

@@ -30,6 +30,16 @@ class BPlusTree {
   // Creates a new empty tree (allocates the root leaf).
   static Result<BPlusTree> Create(BufferPool* pool, std::string name);
 
+  // Reattaches to an existing tree whose pages are already durable; the
+  // root/height/entry_count triple comes from a recovered snapshot.
+  static BPlusTree Attach(BufferPool* pool, std::string name, PageId root,
+                          int height, uint64_t entry_count) {
+    BPlusTree tree(pool, std::move(name), root);
+    tree.height_ = height;
+    tree.entry_count_ = entry_count;
+    return tree;
+  }
+
   const std::string& name() const { return name_; }
   PageId root() const { return root_; }
   int height() const { return height_; }

@@ -23,8 +23,20 @@ class HashIndex {
   static Result<HashIndex> Create(BufferPool* pool, std::string name,
                                   size_t num_buckets);
 
+  // Reattaches to an existing index whose bucket chains are already
+  // durable; the directory and entry count come from a recovered snapshot.
+  static HashIndex Attach(BufferPool* pool, std::string name,
+                          std::vector<PageId> buckets, uint64_t entry_count) {
+    HashIndex idx(pool, std::move(name), buckets.size());
+    idx.buckets_ = std::move(buckets);
+    idx.entry_count_ = entry_count;
+    return idx;
+  }
+
   const std::string& name() const { return name_; }
   uint64_t entry_count() const { return entry_count_; }
+  // Bucket directory (head page per chain); snapshot/rehydration input.
+  const std::vector<PageId>& buckets() const { return buckets_; }
 
   Status Insert(std::string_view key, uint64_t value);
   Status Delete(std::string_view key, uint64_t value);

@@ -114,6 +114,19 @@ Status HeapFile::Delete(RecordId rid) {
   return Status::Ok();
 }
 
+Status HeapFile::Attach(std::vector<PageId> pages, uint64_t record_count) {
+  pages_ = std::move(pages);
+  free_estimate_.clear();
+  free_estimate_.reserve(pages_.size());
+  for (PageId id : pages_) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+    SlottedPage page(h.data());
+    free_estimate_.push_back(page.FreeSpaceForNewRecord());
+  }
+  record_count_ = record_count;
+  return Status::Ok();
+}
+
 HeapFile::Iterator::Iterator(const HeapFile* file) : file_(file) {
   Advance(/*first=*/true);
 }

@@ -72,6 +72,12 @@ class HeapFile {
   void set_reserve_bytes(int bytes) { reserve_bytes_ = bytes; }
   int reserve_bytes() const { return reserve_bytes_; }
 
+  // Re-adopts a page list recovered from a durable snapshot, refreshing the
+  // free-space estimates from the pages themselves. `record_count` must be
+  // passed in (not recomputed) because clustered units share pages: a scan
+  // of an adopted page sees foreign records too.
+  Status Attach(std::vector<PageId> pages, uint64_t record_count);
+
   // Forward scan over all live records. Usage:
   //   for (auto it = file.Begin(); it.Valid(); it.Next()) ...
   // Any Status error during iteration stops the scan and is exposed via

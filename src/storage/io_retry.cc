@@ -67,6 +67,22 @@ Status FullPwrite(int fd, const char* buf, size_t n, off_t off,
   return Status::Ok();
 }
 
+Status FullFsync(int fd, const std::string& what) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return StatusFromIoErrno(what, errno);
+  }
+  return Status::Ok();
+}
+
+Status FullFdatasync(int fd, const std::string& what) {
+  while (::fdatasync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return StatusFromIoErrno(what, errno);
+  }
+  return Status::Ok();
+}
+
 uint64_t RetryPolicy::BackoffUs(int retry_index, uint64_t salt) const {
   if (retry_index < 1) retry_index = 1;
   uint64_t base = base_backoff_us;

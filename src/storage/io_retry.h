@@ -52,6 +52,19 @@ Status FullPwrite(int fd, const char* buf, size_t n, off_t off,
                   const std::string& what,
                   const IoSyscalls& sys = IoSyscalls());
 
+// Fsyncs `fd`, looping only on EINTR; every other failure is classified by
+// errno, so a permanent device error surfaces as kIoError (and ENOSPC as
+// kDiskFull) instead of being spun on. Note POSIX makes retrying a failed
+// fsync unreliable (dirty pages may have been dropped), which is exactly
+// why the classification must reach the caller.
+Status FullFsync(int fd, const std::string& what);
+
+// fdatasync under the same EINTR/errno discipline. Durability-equivalent
+// for file data plus the metadata needed to retrieve it (the kernel still
+// journals size/extent changes when present); callers that pre-zero their
+// write region use it to make steady-state syncs metadata-free.
+Status FullFdatasync(int fd, const std::string& what);
+
 // Backoff policy for transient faults. Deterministic: the delay for
 // attempt k is min(max, base << k) plus a jitter derived from a counter,
 // so tests are reproducible and a fleet of retries decorrelates.

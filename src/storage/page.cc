@@ -14,26 +14,54 @@ constexpr size_t kSlotCountPos = kPageDataStart + 0;
 constexpr size_t kFreeEndPos = kPageDataStart + 2;
 constexpr size_t kGarbagePos = kPageDataStart + 4;
 
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8: eight derived tables let the hot loop fold 8 input bytes
+// per iteration instead of 1. Same polynomial (0xEDB88320, reflected) and
+// identical results as the classic byte-at-a-time form — page stamps and
+// WAL frame CRCs are on the commit path, where two 4 KiB passes per page
+// append are pure per-commit CPU cost.
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int j = 1; j < 8; ++j) {
+      t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFFu];
+    }
+  }
+  return t;
 }
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
-  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  static const std::array<std::array<uint32_t, 256>, 8> tables =
+      BuildCrcTables();
   uint32_t c = seed ^ 0xFFFFFFFFu;
   const unsigned char* p = static_cast<const unsigned char*>(data);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The word-folding formulation assumes little-endian loads; big-endian
+  // builds fall through to the byte loop below.
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+        tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+        tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+        tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+#endif
   for (size_t i = 0; i < len; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = tables[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

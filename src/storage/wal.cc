@@ -4,7 +4,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <vector>
 
 namespace sim {
@@ -12,8 +14,6 @@ namespace sim {
 namespace {
 
 constexpr uint32_t kWalMagic = 0x53494D57;  // "SIMW"
-constexpr uint8_t kPageImageFrame = 1;
-constexpr uint8_t kCommitFrame = 2;
 // [u32 magic][u8 type][u32 page_id][u64 lsn][u32 payload_len]
 constexpr size_t kFrameHeader = 4 + 1 + 4 + 8 + 4;
 constexpr size_t kFrameTrailer = 4;  // u32 crc32 over [4, end-of-payload)
@@ -31,11 +31,45 @@ uint64_t GetU64(const char* p) {
   return v;
 }
 
+bool PayloadLenValidFor(uint8_t type, uint32_t payload_len) {
+  switch (type) {
+    case kWalFramePageImage:
+      return payload_len == kPageSize;
+    case kWalFrameCommit:
+      return payload_len == 0;
+    case kWalFrameMetaDdl:
+    case kWalFrameMetaSnapshot:
+      // Logical records are variable-length; the frame-fits-in-file and CRC
+      // checks below do the real validation.
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+const char* WalFrameTypeName(uint8_t type) {
+  switch (type) {
+    case kWalFramePageImage:
+      return "page-image";
+    case kWalFrameCommit:
+      return "commit";
+    case kWalFrameMetaDdl:
+      return "meta-ddl";
+    case kWalFrameMetaSnapshot:
+      return "meta-snapshot";
+    default:
+      return "unknown";
+  }
+}
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& db_path, FaultInjector* injector, RetryPolicy retry) {
   std::string path = db_path + ".wal";
+  // A crash during ResetWithBaseline can strand the temp file it was
+  // staging; it is garbage by construction (the rename never happened).
+  (void)::unlink((path + ".tmp").c_str());
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IoError("cannot open WAL " + path + ": " +
@@ -48,6 +82,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 }
 
 WriteAheadLog::~WriteAheadLog() {
+  StopGroupCommit();
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -62,6 +97,11 @@ Status WriteAheadLog::Scan() {
   }
 
   std::map<PageId, uint64_t> images;
+  // Metadata frames, like page images, only count once a commit record
+  // seals them; a torn tail must not leak half-written DDL into recovery.
+  std::vector<std::string> pending_ddl;
+  std::string pending_snapshot;
+  bool have_pending_snapshot = false;
   uint64_t commit_end = 0;
   uint64_t max_lsn = 0;
   size_t off = 0;
@@ -72,29 +112,52 @@ Status WriteAheadLog::Scan() {
     PageId page_id = GetU32(frame + 5);
     uint64_t lsn = GetU64(frame + 9);
     uint32_t payload_len = GetU32(frame + 17);
-    if (type == kPageImageFrame) {
-      if (payload_len != kPageSize) break;
-    } else if (type == kCommitFrame) {
-      if (payload_len != 0) break;
-    } else {
-      break;
-    }
+    if (!PayloadLenValidFor(type, payload_len)) break;
     size_t frame_len = kFrameHeader + payload_len + kFrameTrailer;
     if (off + frame_len > buf.size()) break;  // torn tail
     uint32_t crc = Crc32(frame + 4, kFrameHeader - 4 + payload_len);
     if (crc != GetU32(frame + kFrameHeader + payload_len)) break;
-    if (lsn > max_lsn) max_lsn = lsn;
-    if (type == kPageImageFrame) {
-      images[page_id] = off + kFrameHeader;
-    } else {
-      committed_ = images;
-      commit_end = off + frame_len;
+    // LSNs are strictly increasing within one log generation. A stale
+    // frame left over from before a log rewrite carries a LOWER lsn than
+    // its predecessors (next_lsn_ never rewinds), so this check stops the
+    // scan from aliasing old content as a valid continuation.
+    if (lsn <= max_lsn) break;
+    max_lsn = lsn;
+    switch (type) {
+      case kWalFramePageImage:
+        images[page_id] = off + kFrameHeader;
+        break;
+      case kWalFrameMetaDdl:
+        pending_ddl.emplace_back(frame + kFrameHeader, payload_len);
+        break;
+      case kWalFrameMetaSnapshot:
+        pending_snapshot.assign(frame + kFrameHeader, payload_len);
+        have_pending_snapshot = true;
+        break;
+      case kWalFrameCommit:
+        committed_ = images;
+        commit_end = off + frame_len;
+        for (std::string& d : pending_ddl) {
+          recovered_ddl_.push_back(std::move(d));
+          ++stats_.recovered_meta_records;
+        }
+        pending_ddl.clear();
+        if (have_pending_snapshot) {
+          recovered_snapshot_ = std::move(pending_snapshot);
+          pending_snapshot.clear();
+          have_pending_snapshot = false;
+          ++stats_.recovered_meta_records;
+        }
+        break;
+      default:
+        break;
     }
     off += frame_len;
   }
   // Everything past the last complete commit record — torn frames and
   // uncommitted images alike — is discarded: appends resume there.
   append_off_ = commit_end;
+  flushed_off_ = commit_end;
   latest_ = committed_;
   stats_.truncated_tail_bytes +=
       static_cast<uint64_t>(file_size) - commit_end;
@@ -102,81 +165,281 @@ Status WriteAheadLog::Scan() {
   return Status::Ok();
 }
 
-Status WriteAheadLog::WriteFrame(uint8_t type, PageId id, const char* payload,
-                                 size_t payload_len) {
+void WriteAheadLog::BuildFrame(uint8_t type, PageId id, const char* payload,
+                               size_t payload_len, std::string* out,
+                               bool stamp_page_checksum) {
   size_t frame_len = kFrameHeader + payload_len + kFrameTrailer;
-  std::vector<char> frame(frame_len);
-  PutU32(frame.data(), kWalMagic);
+  size_t base = out->size();
+  out->resize(base + frame_len);
+  char* frame = out->data() + base;
+  PutU32(frame, kWalMagic);
   frame[4] = static_cast<char>(type);
-  PutU32(frame.data() + 5, id);
-  PutU64(frame.data() + 9, next_lsn_);
-  PutU32(frame.data() + 17, static_cast<uint32_t>(payload_len));
+  PutU32(frame + 5, id);
+  PutU64(frame + 9, next_lsn_);
+  PutU32(frame + 17, static_cast<uint32_t>(payload_len));
   if (payload_len > 0) {
-    std::memcpy(frame.data() + kFrameHeader, payload, payload_len);
+    std::memcpy(frame + kFrameHeader, payload, payload_len);
   }
-  uint32_t crc = Crc32(frame.data() + 4, kFrameHeader - 4 + payload_len);
-  PutU32(frame.data() + kFrameHeader + payload_len, crc);
+  if (stamp_page_checksum) StampPageChecksum(frame + kFrameHeader);
+  uint32_t crc = Crc32(frame + 4, kFrameHeader - 4 + payload_len);
+  PutU32(frame + kFrameHeader + payload_len, crc);
+  ++next_lsn_;
+}
 
-  // The append is idempotent: the offset only advances on success, so a
+Status WriteAheadLog::WriteFrame(uint8_t type, PageId id, const char* payload,
+                                 size_t payload_len,
+                                 bool stamp_page_checksum) {
+  // Frames accumulate in pending_ and reach the file in one pwrite at the
+  // next FlushPendingLocked (commit/sync path): a committer's append costs
+  // no syscall, and a whole group-commit batch is written with a single
+  // write. Durability is unchanged — nothing in pending_ is ever part of
+  // the committed state until a flush + fsync has covered it.
+  BuildFrame(type, id, payload, payload_len, &pending_, stamp_page_checksum);
+  append_off_ += kFrameHeader + payload_len + kFrameTrailer;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::FlushPendingLocked() {
+  if (pending_.empty()) return Status::Ok();
+  // The flush is idempotent: flushed_off_ only advances on success, so a
   // retried attempt (after a transient fault or a torn/short prefix)
-  // simply overwrites the same log tail with the full frame.
+  // simply overwrites the same log tail with the full accumulation.
   SIM_RETURN_IF_ERROR(RetryTransient(retry_, &retry_stats_, [&]() -> Status {
     if (injector_ != nullptr) {
       size_t allowed = 0;
-      Status s = injector_->BeginWrite(frame_len, &allowed);
+      Status s = injector_->BeginWrite(pending_.size(), &allowed);
       if (!s.ok()) {
         if (allowed > 0) {
-          // Torn append: a prefix of the frame reaches the disk. The frame
-          // CRC cannot match, so recovery truncates it.
-          (void)::pwrite(fd_, frame.data(), allowed,
-                         static_cast<off_t>(append_off_));
+          // Torn flush: a prefix reaches the disk. The first cut-off
+          // frame's CRC cannot match, so recovery truncates there.
+          (void)::pwrite(fd_, pending_.data(), allowed,
+                         static_cast<off_t>(flushed_off_));
         }
         return s;
       }
     }
-    return FullPwrite(fd_, frame.data(), frame_len,
-                      static_cast<off_t>(append_off_),
-                      "append to WAL " + path_);
+    return FullPwrite(fd_, pending_.data(), pending_.size(),
+                      static_cast<off_t>(flushed_off_),
+                      "append flush to WAL " + path_);
   }));
-  append_off_ += frame_len;
-  ++next_lsn_;
+  flushed_off_ += pending_.size();
+  pending_.clear();
   return Status::Ok();
 }
 
 Status WriteAheadLog::AppendPageImage(PageId id, const char* data) {
-  char stamped[kPageSize];
-  std::memcpy(stamped, data, kPageSize);
-  StampPageChecksum(stamped);
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t payload_off = append_off_ + kFrameHeader;
-  SIM_RETURN_IF_ERROR(WriteFrame(kPageImageFrame, id, stamped, kPageSize));
+  SIM_RETURN_IF_ERROR(WriteFrame(kWalFramePageImage, id, data, kPageSize,
+                                 /*stamp_page_checksum=*/true));
   latest_[id] = payload_off;
   ++stats_.pages_appended;
   return Status::Ok();
 }
 
-Status WriteAheadLog::AppendCommit() {
-  SIM_RETURN_IF_ERROR(WriteFrame(kCommitFrame, 0, nullptr, 0));
-  SIM_RETURN_IF_ERROR(Sync());
+Status WriteAheadLog::AppendMetaLocked(uint8_t type, std::string_view payload) {
+  SIM_RETURN_IF_ERROR(
+      WriteFrame(type, 0, payload.data(), payload.size()));
+  ++stats_.meta_frames_appended;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendMetaDdl(std::string_view ddl_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendMetaLocked(kWalFrameMetaDdl, ddl_text);
+}
+
+Status WriteAheadLog::AppendMetaSnapshot(std::string_view snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendMetaLocked(kWalFrameMetaSnapshot, snapshot);
+}
+
+Status WriteAheadLog::CommitLocked() {
+  SIM_RETURN_IF_ERROR(WriteFrame(kWalFrameCommit, 0, nullptr, 0));
+  SIM_RETURN_IF_ERROR(FlushPendingLocked());
+  SIM_RETURN_IF_ERROR(SyncLocked());
   committed_ = latest_;
   ++stats_.commits;
   return Status::Ok();
 }
 
-Status WriteAheadLog::Sync() {
+Status WriteAheadLog::AppendCommit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!gc_worker_.joinable()) return CommitLocked();
+  }
+  // Group commit: take a ticket and wait for the durability thread to
+  // cover it. Several waiters' tickets ride the same commit frame + fsync.
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  uint64_t ticket = ++gc_issued_;
+  // Wake the worker only on the ticket that completes the expected batch;
+  // intermediate tickets cost two context switches apiece to deliver,
+  // which on one core rivals the fsync being amortized. When the expected
+  // batch never fills (committers went away), the worker's timed wait
+  // notices the stragglers on its own.
+  uint64_t pending = gc_issued_ - gc_resolved_;
+  if (pending >= gc_expected_batch_) {
+    gc_work_cv_.notify_one();
+  }
+  gc_done_cv_.wait(lock, [&] { return gc_resolved_ >= ticket; });
+  return gc_batch_status_;
+}
+
+Status WriteAheadLog::SyncLocked() {
   return RetryTransient(retry_, &retry_stats_, [&]() -> Status {
     if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
-    while (::fsync(fd_) != 0) {
-      if (errno == EINTR) continue;
-      return StatusFromIoErrno("fsync of WAL " + path_, errno);
-    }
-    return Status::Ok();
+    return FullFsync(fd_, "fsync of WAL " + path_);
   });
 }
 
+Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIM_RETURN_IF_ERROR(FlushPendingLocked());
+  return SyncLocked();
+}
+
+void WriteAheadLog::StartGroupCommit(obs::Histogram* batch_size_hist) {
+  if (gc_worker_.joinable()) return;
+  gc_stop_ = false;
+  gc_batch_hist_ = batch_size_hist;
+  gc_worker_ = std::thread([this] { GroupCommitLoop(); });
+}
+
+void WriteAheadLog::StopGroupCommit() {
+  if (!gc_worker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    gc_stop_ = true;
+  }
+  gc_work_cv_.notify_all();
+  gc_worker_.join();
+}
+
+void WriteAheadLog::GroupCommitLoop() {
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  for (;;) {
+    // Committers only signal the ticket that completes the expected batch,
+    // so when fewer committers than expected remain, their tickets arrive
+    // silently: poll for them on a timeout. If a full timeout passes with
+    // no tickets at all, the load is gone — drop back to per-ticket
+    // wakeups (expected batch 1) so the idle worker can sleep indefinitely
+    // instead of polling.
+    while (!(gc_stop_ || gc_issued_ > gc_resolved_)) {
+      if (gc_expected_batch_ > 1) {
+        if (gc_work_cv_.wait_for(lock, std::chrono::microseconds(500)) ==
+                std::cv_status::timeout &&
+            gc_issued_ == gc_resolved_) {
+          gc_expected_batch_ = 1;
+        }
+      } else {
+        gc_work_cv_.wait(lock);
+      }
+    }
+    if (gc_issued_ == gc_resolved_) {
+      if (gc_stop_) return;
+      continue;
+    }
+    // Adaptive batch window: committers resolved by the previous batch
+    // re-enter within microseconds of being woken, but cutting the batch
+    // the instant the first ticket appears would miss them — batches then
+    // alternate between halves of the committer population. Expect about
+    // as many tickets as the last batch carried and give them a bounded
+    // window to arrive. A lone committer (expected batch 1) never waits.
+    if (gc_issued_ - gc_resolved_ < gc_expected_batch_) {
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+      gc_work_cv_.wait_until(lock, deadline, [&] {
+        return gc_stop_ || gc_issued_ - gc_resolved_ >= gc_expected_batch_;
+      });
+    }
+    // Everything issued by now rides one commit record. New tickets that
+    // arrive while this batch fsyncs form the next batch.
+    uint64_t batch_end = gc_issued_;
+    uint64_t batch_begin = gc_resolved_ + 1;
+    lock.unlock();
+    // Write the commit frame under mu_, but fsync OUTSIDE it (guarded by
+    // sync_mu_ so the fd cannot be swapped away mid-sync): committers keep
+    // appending while the barrier is in flight, which is what lets the next
+    // batch grow — the whole point of group commit. The latest_ map is
+    // snapshotted at the frame write; promoting the live map after the
+    // fsync would claim images the barrier never covered.
+    Status s;
+    std::map<PageId, uint64_t> snapshot;
+    uint64_t epoch = 0;
+    int fd = -1;
+    std::unique_lock<std::mutex> sync_lock(sync_mu_, std::defer_lock);
+    {
+      std::lock_guard<std::mutex> wal_lock(mu_);
+      s = WriteFrame(kWalFrameCommit, 0, nullptr, 0);
+      // One pwrite covers every frame the batch's committers buffered —
+      // this is where batching pays twice: one write AND one fsync.
+      if (s.ok()) s = FlushPendingLocked();
+      if (s.ok()) {
+        snapshot = latest_;
+        epoch = reset_epoch_;
+        fd = fd_;
+        sync_lock.lock();
+      }
+    }
+    if (s.ok()) {
+      // Local retry stats: concurrent appenders update retry_stats_ under
+      // mu_, which we no longer hold here.
+      RetryStats local;
+      s = RetryTransient(retry_, &local, [&]() -> Status {
+        if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
+        return FullFsync(fd, "fsync of WAL " + path_);
+      });
+      sync_lock.unlock();
+      std::lock_guard<std::mutex> wal_lock(mu_);
+      retry_stats_.attempts += local.attempts;
+      retry_stats_.retries += local.retries;
+      retry_stats_.giveups += local.giveups;
+      // A truncate/baseline reset during the fsync already invalidated the
+      // image maps; promoting a stale snapshot would resurrect them.
+      if (s.ok() && epoch == reset_epoch_) {
+        committed_ = std::move(snapshot);
+        ++stats_.commits;
+      }
+      ++stats_.group_commit_batches;
+    } else {
+      std::lock_guard<std::mutex> wal_lock(mu_);
+      ++stats_.group_commit_batches;
+    }
+    if (gc_batch_hist_ != nullptr) {
+      gc_batch_hist_->Observe(batch_end - batch_begin + 1);
+    }
+    lock.lock();
+    gc_expected_batch_ = batch_end - batch_begin + 1;
+    // One status covers the whole batch (they shared one frame + fsync).
+    // A committer from an older batch that reads a NEWER batch's status is
+    // still sound: a later successful fsync durably covers every earlier
+    // frame, and a later failure is merely conservative.
+    gc_batch_status_ = s;
+    gc_resolved_ = batch_end;
+    // Notify with gc_mu_ released so the first woken committer does not
+    // immediately block on the mutex this thread still holds.
+    lock.unlock();
+    gc_done_cv_.notify_all();
+    lock.lock();
+  }
+}
+
 Status WriteAheadLog::ReadImage(PageId id, char* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = latest_.find(id);
   if (it == latest_.end()) {
     return Status::NotFound("no WAL image for page " + std::to_string(id));
+  }
+  if (it->second >= flushed_off_) {
+    // The image is still in the userspace append buffer; serve it from
+    // memory (no injector — there is no I/O to fault).
+    std::memcpy(out, pending_.data() + (it->second - flushed_off_),
+                kPageSize);
+    if (!PageChecksumOk(out)) {
+      return Status::IoError("WAL image checksum mismatch for page " +
+                             std::to_string(id));
+    }
+    return Status::Ok();
   }
   SIM_RETURN_IF_ERROR(RetryTransient(retry_, nullptr, [&]() -> Status {
     if (injector_ != nullptr) {
@@ -213,42 +476,218 @@ Status WriteAheadLog::ReplayImages(const std::map<PageId, uint64_t>& images,
   return Status::Ok();
 }
 
-Status WriteAheadLog::TruncateAll() {
+Status WriteAheadLog::TruncateAllLocked() {
   if (injector_ != nullptr) {
     SIM_RETURN_IF_ERROR(injector_->BeginWrite(0, nullptr));
   }
   if (::ftruncate(fd_, 0) != 0) {
     return Status::IoError("cannot truncate WAL " + path_);
   }
-  SIM_RETURN_IF_ERROR(Sync());
+  SIM_RETURN_IF_ERROR(SyncLocked());
   append_off_ = 0;
+  flushed_off_ = 0;
+  pending_.clear();
   latest_.clear();
   committed_.clear();
+  ++reset_epoch_;
   return Status::Ok();
 }
 
+Status WriteAheadLog::ResetWithBaselineLocked(
+    const std::vector<std::string>& ddl, const std::string& snapshot) {
+  // Build the whole baseline image in memory: every DDL batch in order,
+  // the mapper snapshot, one commit record sealing them.
+  std::string content;
+  for (const std::string& d : ddl) {
+    BuildFrame(kWalFrameMetaDdl, 0, d.data(), d.size(), &content);
+  }
+  if (!snapshot.empty()) {
+    BuildFrame(kWalFrameMetaSnapshot, 0, snapshot.data(), snapshot.size(),
+               &content);
+  }
+  BuildFrame(kWalFrameCommit, 0, nullptr, 0, &content);
+
+  // Stage it in a sibling temp file and rename over the log. rename(2) is
+  // atomic, so a crash at ANY point leaves either the previous log (whose
+  // metadata recovery already replays idempotently) or the complete new
+  // baseline — never a log whose catalog has been truncated away while the
+  // data pages live on in the database file.
+  std::string tmp_path = path_ + ".tmp";
+  int tmp_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IoError("cannot open WAL staging file " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  Status st = RetryTransient(retry_, &retry_stats_, [&]() -> Status {
+    if (injector_ != nullptr) {
+      size_t allowed = 0;
+      Status s = injector_->BeginWrite(content.size(), &allowed);
+      if (!s.ok()) {
+        if (allowed > 0) {
+          (void)::pwrite(tmp_fd, content.data(), allowed, 0);
+        }
+        return s;
+      }
+    }
+    return FullPwrite(tmp_fd, content.data(), content.size(), 0,
+                      "baseline write to " + tmp_path);
+  });
+  if (st.ok()) {
+    st = RetryTransient(retry_, &retry_stats_, [&]() -> Status {
+      if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
+      return FullFsync(tmp_fd, "fsync of WAL staging file " + tmp_path);
+    });
+  }
+  if (st.ok()) {
+    st = RetryTransient(retry_, &retry_stats_, [&]() -> Status {
+      if (injector_ != nullptr) {
+        SIM_RETURN_IF_ERROR(injector_->BeginWrite(0, nullptr));
+      }
+      if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+        return StatusFromIoErrno("rename of WAL baseline " + tmp_path, errno);
+      }
+      return Status::Ok();
+    });
+  }
+  if (!st.ok()) {
+    ::close(tmp_fd);
+    (void)::unlink(tmp_path.c_str());
+    return st;
+  }
+  // The staged file IS the log now; retire the old descriptor (its inode
+  // is unlinked) and adopt the new one. sync_mu_ keeps the swap out from
+  // under a group-commit fsync that targets the old descriptor.
+  {
+    std::lock_guard<std::mutex> sync_lock(sync_mu_);
+    ::close(fd_);
+    fd_ = tmp_fd;
+  }
+  append_off_ = content.size();
+  flushed_off_ = content.size();
+  pending_.clear();
+  latest_.clear();
+  committed_.clear();
+  ++reset_epoch_;
+  ++stats_.commits;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::ResetWithBaseline(const std::vector<std::string>& ddl,
+                                        const std::string& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResetWithBaselineLocked(ddl, snapshot);
+}
+
 Status WriteAheadLog::Checkpoint(Pager* db) {
-  if (empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (append_off_ == 0) return Status::Ok();
   SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, nullptr));
   SIM_RETURN_IF_ERROR(db->Sync());
-  SIM_RETURN_IF_ERROR(TruncateAll());
+  SIM_RETURN_IF_ERROR(TruncateAllLocked());
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Checkpoint(Pager* db,
+                                 const std::vector<std::string>& ddl,
+                                 const std::string& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, nullptr));
+  SIM_RETURN_IF_ERROR(db->Sync());
+  SIM_RETURN_IF_ERROR(ResetWithBaselineLocked(ddl, snapshot));
   ++stats_.checkpoints;
   return Status::Ok();
 }
 
 Result<uint64_t> WriteAheadLog::Recover(Pager* db) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t replayed = 0;
   if (append_off_ == 0) {
     // Nothing committed; drop any torn/uncommitted tail left on disk.
     off_t size = ::lseek(fd_, 0, SEEK_END);
-    if (size > 0) SIM_RETURN_IF_ERROR(TruncateAll());
+    if (size > 0) SIM_RETURN_IF_ERROR(TruncateAllLocked());
     return replayed;
   }
   SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, &replayed));
   SIM_RETURN_IF_ERROR(db->Sync());
-  SIM_RETURN_IF_ERROR(TruncateAll());
+  if (recovered_ddl_.empty() && recovered_snapshot_.empty()) {
+    // A metadata-free log (pre-metadata files, WAL unit tests) has nothing
+    // left worth keeping once its images are in the database file.
+    SIM_RETURN_IF_ERROR(TruncateAllLocked());
+  }
+  // Otherwise the log stays intact: the caller reinstalls catalog + mapper
+  // from recovered_ddl()/recovered_snapshot() and seals the log with
+  // ResetWithBaseline(). If a crash intervenes before that, the next open
+  // replays the very same state — recovery is idempotent.
   stats_.recovered_pages += replayed;
   return replayed;
+}
+
+Result<WalInspection> InspectWal(const std::string& wal_path) {
+  std::ifstream in(wal_path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open WAL " + wal_path);
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  WalInspection out;
+  out.file_bytes = buf.size();
+  uint64_t max_lsn = 0;
+  size_t off = 0;
+  size_t last_commit_frame = 0;  // frames.size() at the last commit record
+  while (true) {
+    if (off == buf.size()) break;
+    if (off + kFrameHeader + kFrameTrailer > buf.size()) {
+      out.stop_reason = "truncated frame header (torn tail)";
+      break;
+    }
+    const char* frame = buf.data() + off;
+    if (GetU32(frame) != kWalMagic) {
+      out.stop_reason = "bad frame magic";
+      break;
+    }
+    WalFrameInfo info;
+    info.offset = off;
+    info.type = static_cast<uint8_t>(frame[4]);
+    info.page_id = GetU32(frame + 5);
+    info.lsn = GetU64(frame + 9);
+    info.payload_len = GetU32(frame + 17);
+    if (!PayloadLenValidFor(info.type, info.payload_len)) {
+      out.stop_reason = "invalid frame type or payload length";
+      break;
+    }
+    size_t frame_len = kFrameHeader + info.payload_len + kFrameTrailer;
+    if (off + frame_len > buf.size()) {
+      out.stop_reason = "truncated frame payload (torn tail)";
+      break;
+    }
+    uint32_t crc = Crc32(frame + 4, kFrameHeader - 4 + info.payload_len);
+    if (crc != GetU32(frame + kFrameHeader + info.payload_len)) {
+      out.stop_reason = "frame crc mismatch";
+      break;
+    }
+    if (info.lsn <= max_lsn) {
+      out.stop_reason = "lsn not strictly increasing (stale frame)";
+      break;
+    }
+    max_lsn = info.lsn;
+    off += frame_len;
+    out.valid_bytes = off;
+    if (info.type == kWalFramePageImage) ++out.page_frames;
+    if (info.type == kWalFrameMetaDdl || info.type == kWalFrameMetaSnapshot) {
+      ++out.meta_frames;
+    }
+    out.frames.push_back(info);
+    if (info.type == kWalFrameCommit) {
+      ++out.commits;
+      out.committed_bytes = off;
+      last_commit_frame = out.frames.size();
+    }
+  }
+  for (size_t i = 0; i < last_commit_frame; ++i) {
+    out.frames[i].committed = true;
+  }
+  return out;
 }
 
 }  // namespace sim

@@ -1,9 +1,12 @@
 #ifndef SIMDB_STORAGE_WAL_H_
 #define SIMDB_STORAGE_WAL_H_
 
-// Physical page-image write-ahead log. The paper's SIM delegated recovery
-// to DMSII (§5); this is our substitute, giving file-backed databases
-// crash atomicity at the page level.
+// Physical page-image write-ahead log with logical metadata records. The
+// paper's SIM delegated recovery to DMSII (§5); this is our substitute,
+// giving file-backed databases crash atomicity at the page level AND
+// self-contained metadata recovery: the log is the single durable home of
+// the schema DDL and the mapper bootstrap state, so Database::Open on a
+// crashed file yields a fully queryable database with zero external input.
 //
 // The log lives next to the database file as `<file_path>.wal` and holds
 // framed records:
@@ -12,39 +15,69 @@
 //     payload... | u32 crc32(frame after magic) ]
 //
 // where type is kPageImage (payload = one kPageSize page image, already
-// checksum-stamped) or kCommit (empty payload). The protocol:
+// checksum-stamped), kCommit (empty payload), kMetaDdl (payload = one
+// verbatim DDL batch text) or kMetaSnapshot (payload = an encoded mapper
+// bootstrap snapshot, see luc/rehydrate.h). The protocol:
 //
 //  * Dirty pages flushed by the buffer pool are APPENDED here; the
 //    database file itself is only ever written by Checkpoint/Recover, so
 //    uncommitted data never reaches it in place.
+//  * Metadata frames are appended by the database: each executed DDL batch
+//    verbatim (replaying the same text reproduces the same class codes the
+//    durable record bytes were tagged with), and a fresh mapper snapshot
+//    immediately before every commit record (the bootstrap state drifts
+//    with every commit: heap page lists, index roots, next surrogate).
 //  * Commit appends a commit record and fsyncs the log. Everything at or
-//    before the last durable commit record is the committed state.
+//    before the last durable commit record is the committed state; the
+//    newest committed snapshot and the committed DDL texts in order are
+//    what recovery rehydrates from.
 //  * Reads of pages whose latest image lives in the log are served from
 //    the log (the buffer pool consults HasImage/ReadImage on a miss).
 //  * Checkpoint copies each page's newest committed image into the
-//    database file, fsyncs it, then truncates the log. A crash anywhere
-//    during checkpoint is safe: the log is only truncated after the
-//    database file is durable.
+//    database file, fsyncs it, then atomically replaces the log with a
+//    metadata-only baseline (DDL + snapshot + commit) via write-new-file +
+//    rename. A crash anywhere during checkpoint is safe: either the old
+//    log survives intact (recovery replays again) or the new baseline is
+//    fully in place — the metadata is never lost in between.
 //  * Recover (run by Database::Open) scans an existing log, stops at the
-//    first torn/corrupt frame, replays images up to the last complete
-//    commit record into the database file and truncates the log —
-//    committed statements survive, uncommitted ones vanish.
+//    first torn/corrupt frame (torn-tail scanner), replays images up to
+//    the last complete commit record into the database file. When the log
+//    carried metadata the caller reinstalls it and then seals the log with
+//    ResetWithBaseline; a metadata-free log (unit tests, pre-metadata
+//    files) is truncated as before.
+//
+// Group commit: StartGroupCommit launches a background durability thread.
+// AppendCommit then enqueues a ticket and blocks; the worker coalesces
+// every ticket pending at wakeup into ONE commit frame + fsync and
+// resolves the whole batch, so N concurrent committers cost one fsync.
 //
 // All log I/O consults an optional FaultInjector so crash schedules are
 // deterministic and testable without killing the process.
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/fault_pager.h"
 #include "storage/io_retry.h"
 #include "storage/page.h"
 #include "storage/pager.h"
 
 namespace sim {
+
+// Frame type tags (public so the inspector's report is interpretable).
+constexpr uint8_t kWalFramePageImage = 1;
+constexpr uint8_t kWalFrameCommit = 2;
+constexpr uint8_t kWalFrameMetaDdl = 3;
+constexpr uint8_t kWalFrameMetaSnapshot = 4;
 
 class WriteAheadLog {
  public:
@@ -54,6 +87,10 @@ class WriteAheadLog {
     uint64_t checkpoints = 0;
     uint64_t recovered_pages = 0;
     uint64_t truncated_tail_bytes = 0;
+    // Committed metadata frames (DDL + snapshot) seen by the opening scan.
+    uint64_t recovered_meta_records = 0;
+    uint64_t meta_frames_appended = 0;
+    uint64_t group_commit_batches = 0;
   };
 
   // Opens (creating if absent) the log for database file `db_path` and
@@ -66,29 +103,69 @@ class WriteAheadLog {
   ~WriteAheadLog();
 
   // Replays every page image at or before the last complete commit record
-  // into `db`, fsyncs it, then truncates the log. No-op on an empty or
-  // commit-free log (the log is still truncated: its content is all
-  // uncommitted). Returns the number of pages replayed.
+  // into `db` and fsyncs it. A log without metadata frames is then
+  // truncated (nothing in it is worth keeping); a log carrying metadata is
+  // left intact — the caller reinstalls catalog + mapper from
+  // recovered_ddl()/recovered_snapshot() and calls ResetWithBaseline(),
+  // which replaces the log atomically. Returns the pages replayed.
   Result<uint64_t> Recover(Pager* db);
+
+  // Committed metadata captured by the opening scan: every committed DDL
+  // batch in execution order, and the newest committed mapper snapshot
+  // (empty when none was logged).
+  const std::vector<std::string>& recovered_ddl() const {
+    return recovered_ddl_;
+  }
+  const std::string& recovered_snapshot() const { return recovered_snapshot_; }
 
   // Appends one page image (stamping its checksum). Buffered until Sync.
   Status AppendPageImage(PageId id, const char* data);
 
-  // Appends a commit record and fsyncs the log. On return the images
-  // appended so far are the durable committed state.
+  // Appends one metadata frame. Like page images these only become part of
+  // the committed state once a commit record follows.
+  Status AppendMetaDdl(std::string_view ddl_text);
+  Status AppendMetaSnapshot(std::string_view snapshot);
+
+  // Appends a commit record and fsyncs the log. On return the images and
+  // metadata appended so far are the durable committed state. With group
+  // commit running this enqueues a ticket and blocks until the durability
+  // thread has covered it with a (possibly shared) commit frame + fsync.
   Status AppendCommit();
 
   Status Sync();
 
+  // Launches the background durability thread. `batch_size_hist`, when
+  // non-null, records the number of commit tickets each fsync covered.
+  // Idempotent; StopGroupCommit (or destruction) drains and joins.
+  void StartGroupCommit(obs::Histogram* batch_size_hist);
+  void StopGroupCommit();
+  bool group_commit_running() const { return gc_worker_.joinable(); }
+
   // True when the newest version of `id` lives in the log rather than the
   // database file.
-  bool HasImage(PageId id) const { return latest_.count(id) > 0; }
+  bool HasImage(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_.count(id) > 0;
+  }
   Status ReadImage(PageId id, char* out) const;
 
   // Copies the newest committed image of every logged page into `db`,
   // fsyncs it, then truncates the log. Must only be called at a commit
-  // boundary (no uncommitted images in the log).
+  // boundary (no uncommitted images in the log). The metadata-preserving
+  // form seals the truncated log with a fresh baseline (ResetWithBaseline)
+  // instead of leaving it empty.
   Status Checkpoint(Pager* db);
+  Status Checkpoint(Pager* db, const std::vector<std::string>& ddl,
+                    const std::string& snapshot);
+
+  // Atomically replaces the log's content with a metadata baseline: one
+  // kMetaDdl frame per DDL batch, one kMetaSnapshot frame when `snapshot`
+  // is non-empty, sealed by a commit record. Implemented as write-to-temp
+  // + fsync + rename, so a crash leaves either the old log or the complete
+  // new baseline — never a metadata-free gap. Drops any page images still
+  // tracked (callers ensure they are durable in the database file first).
+  Status ResetWithBaseline(const std::vector<std::string>& ddl,
+                           const std::string& snapshot);
 
   // Bytes currently in the log (drives the checkpoint-threshold policy).
   uint64_t size_bytes() const { return append_off_; }
@@ -103,32 +180,129 @@ class WriteAheadLog {
                 RetryPolicy retry)
       : path_(std::move(path)), fd_(fd), injector_(injector), retry_(retry) {}
 
-  // Scans the log from the start, rebuilding the image maps; sets
-  // append_off_ to just after the last complete commit record and records
-  // how much torn/uncommitted tail will be discarded.
+  // Scans the log from the start, rebuilding the image maps and the
+  // committed metadata; sets append_off_ to just after the last complete
+  // commit record and records how much torn/uncommitted tail will be
+  // discarded.
   Status Scan();
 
+  // Serializes one frame (header + payload + crc) at the next LSN into
+  // `out` and advances next_lsn_. With `stamp_page_checksum`, the payload
+  // is a page image whose checksum is stamped in place after the copy —
+  // callers then need no intermediate stamped buffer.
+  void BuildFrame(uint8_t type, PageId id, const char* payload,
+                  size_t payload_len, std::string* out,
+                  bool stamp_page_checksum = false);
+  // Buffers one frame in pending_ (no file I/O); FlushPendingLocked
+  // writes the whole accumulation with a single pwrite. Committers
+  // therefore pay no syscall per append — the flush rides the commit
+  // path, where one batch-sized write amortizes across every frame.
   Status WriteFrame(uint8_t type, PageId id, const char* payload,
-                    size_t payload_len);
+                    size_t payload_len, bool stamp_page_checksum = false);
+  Status FlushPendingLocked();
+  Status AppendMetaLocked(uint8_t type, std::string_view payload);
+  // Commit frame + fsync + promote latest_ to committed_. Callers hold mu_.
+  Status CommitLocked();
+  Status SyncLocked();
   // Copies every image in `images` into `db`, extending it when needed.
   Status ReplayImages(const std::map<PageId, uint64_t>& images, Pager* db,
                       uint64_t* replayed);
-  Status TruncateAll();
+  Status TruncateAllLocked();
+  Status ResetWithBaselineLocked(const std::vector<std::string>& ddl,
+                                 const std::string& snapshot);
+  void GroupCommitLoop();
 
   std::string path_;
   int fd_;
   FaultInjector* injector_;
   RetryPolicy retry_;
   RetryStats retry_stats_;
-  // Byte offset where the next frame goes (== valid log length).
+  // Guards the append path, the image maps and the fd swap. The group
+  // durability thread does NOT hold it across its fsync (appends proceed
+  // while a batch syncs); it snapshots latest_ at the commit frame so the
+  // batch's coverage stays exact.
+  mutable std::mutex mu_;
+  // Held (after mu_, released before it) around any fsync issued without
+  // mu_, and by the fd-swapping baseline rewrite: the descriptor can never
+  // be closed while a sync is in flight. Lock order: mu_ then sync_mu_.
+  std::mutex sync_mu_;
+  // Bumped whenever the image maps are wholesale invalidated (truncate,
+  // baseline rewrite); a group batch only promotes its snapshot if no
+  // invalidation happened while it was fsyncing.
+  uint64_t reset_epoch_ = 0;
+  // Byte offset where the next frame goes (== valid LOGICAL log length,
+  // including frames still buffered in pending_).
   uint64_t append_off_ = 0;
+  // Frames built but not yet written to the file; always flushed (and
+  // fsynced) before a commit record is considered durable, so committed_
+  // offsets are always backed by the file while latest_ offsets may still
+  // point into this buffer.
+  std::string pending_;
+  // File bytes [0, flushed_off_) hold the flushed logical prefix.
+  uint64_t flushed_off_ = 0;
   uint64_t next_lsn_ = 1;
   // page id -> byte offset of the newest payload for that page.
   std::map<PageId, uint64_t> latest_;
   // Same, frozen at the last commit record.
   std::map<PageId, uint64_t> committed_;
+  // Committed metadata from the opening scan (recovery input).
+  std::vector<std::string> recovered_ddl_;
+  std::string recovered_snapshot_;
   Stats stats_;
+
+  // Group-commit state. Tickets are sequence numbers: a committer takes
+  // ++gc_issued_ and waits until a batch result covering it appears.
+  std::thread gc_worker_;
+  std::mutex gc_mu_;
+  // Two condition variables so a ticket enqueue wakes ONLY the worker and
+  // a batch resolution wakes ONLY the committers: with one shared cv every
+  // enqueue would wake the whole blocked population (O(P^2) futex wakes
+  // per batch), which dominates on a single core.
+  std::condition_variable gc_work_cv_;
+  std::condition_variable gc_done_cv_;
+  bool gc_stop_ = false;
+  uint64_t gc_issued_ = 0;
+  uint64_t gc_resolved_ = 0;
+  // Size of the last batch; the worker waits (briefly) for about this many
+  // tickets before cutting the next batch, so a steady committer
+  // population rides one fsync together instead of alternating halves.
+  uint64_t gc_expected_batch_ = 1;
+  // Status of the most recent batch. A committer whose ticket is covered
+  // reads this; if it was descheduled long enough for a LATER batch to
+  // resolve first, it reads that batch's status instead — safe in both
+  // directions, because a later successful fsync covers every earlier
+  // frame, and a later failure is merely a conservative error report.
+  Status gc_batch_status_ = Status::Ok();
+  obs::Histogram* gc_batch_hist_ = nullptr;
 };
+
+// Offline WAL inspection (`simdb_check --wal`): parses the frame chain the
+// way the recovery scan does and reports every frame plus the torn-tail
+// verdict, without touching the database.
+struct WalFrameInfo {
+  uint64_t offset = 0;
+  uint8_t type = 0;
+  PageId page_id = 0;
+  uint64_t lsn = 0;
+  uint32_t payload_len = 0;
+  bool committed = false;  // at or before the last complete commit record
+};
+
+struct WalInspection {
+  std::vector<WalFrameInfo> frames;
+  uint64_t file_bytes = 0;
+  uint64_t valid_bytes = 0;      // end of the last complete, CRC-clean frame
+  uint64_t committed_bytes = 0;  // end of the last commit record
+  uint64_t commits = 0;
+  uint64_t page_frames = 0;
+  uint64_t meta_frames = 0;
+  // Why the scan stopped before end-of-file ("" when it reached the end).
+  std::string stop_reason;
+  bool tail_clean() const { return valid_bytes == file_bytes; }
+};
+
+const char* WalFrameTypeName(uint8_t type);
+Result<WalInspection> InspectWal(const std::string& wal_path);
 
 }  // namespace sim
 

@@ -76,7 +76,10 @@ TEST(ApiTest, TransactionStateErrors) {
 
 TEST(ApiTest, FileBackedDatabase) {
   std::string path = ::testing::TempDir() + "/simdb_api_test.db";
+  // The WAL durably carries the catalog: a stale log would replay its DDL
+  // into the "fresh" database, so both files must go.
   ::remove(path.c_str());
+  ::remove((path + ".wal").c_str());
   DatabaseOptions options;
   options.file_path = path;
   auto db = sim::testing::OpenUniversity(options);
@@ -86,6 +89,7 @@ TEST(ApiTest, FileBackedDatabase) {
   EXPECT_EQ(rs->rows.size(), 3u);
   EXPECT_GT((*db)->pager().page_count(), 0u);
   ::remove(path.c_str());
+  ::remove((path + ".wal").c_str());
 }
 
 TEST(ApiTest, ResultSetFormatting) {

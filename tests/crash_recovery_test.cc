@@ -8,14 +8,17 @@
 // statement prefix whose commits were acknowledged. When the injected fault
 // hits the commit fsync itself the outcome is legitimately ambiguous (the
 // commit record may or may not have become durable), so the oracle accepts
-// the next prefix as well. In every case, all pages must checksum-verify
-// and the WAL must be empty after recovery.
+// the next prefix as well. In every case, all pages must checksum-verify,
+// the recovered database must answer RETRIEVE over the committed prefix
+// without the DDL being re-run (the log carries it), and the WAL left
+// behind holds only the metadata baseline — no page frames, no torn tail.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,6 +55,20 @@ const std::vector<std::string>& Statements() {
   return kStatements;
 }
 
+// Names visible after the first k workload statements committed.
+std::set<std::string> ExpectedNames(int k) {
+  std::set<std::string> names;
+  if (k >= 1) names.insert("ada");
+  if (k >= 2) names.insert("grace");
+  if (k >= 3) names.insert("alan");
+  if (k >= 4) names.insert("edsger");
+  if (k >= 6) names.insert("barbara");
+  if (k >= 7) names.erase("alan");
+  if (k >= 9) names.insert("john");
+  if (k >= 10) names.insert("donald");
+  return names;
+}
+
 constexpr uint64_t kNoCheckpoints = ~uint64_t{0};
 
 std::string TestPath(const std::string& stem) {
@@ -81,12 +98,14 @@ struct WorkloadResult {
 // destructor performs the clean close (flush + commit + checkpoint) — or
 // fails silently when the injector is dead, exactly like a crash.
 WorkloadResult RunWorkload(const std::string& path, FaultInjector* injector,
-                           uint64_t checkpoint_bytes, int max_statements) {
+                           uint64_t checkpoint_bytes, int max_statements,
+                           bool group_commit = false) {
   WorkloadResult r;
   DatabaseOptions options;
   options.file_path = path;
   options.wal_checkpoint_bytes = checkpoint_bytes;
   options.fault_injector = injector;
+  options.group_commit = group_commit;
   auto db = Database::Open(options);
   if (!db.ok()) {
     r.clean = false;
@@ -170,31 +189,65 @@ const std::vector<std::string>& Goldens() {
 // checks the recovered file against the golden prefix. Returns false (with
 // a test failure recorded) when any invariant is violated.
 void CheckCrashPoint(const std::string& path, FaultInjector* injector,
-                     uint64_t checkpoint_bytes) {
+                     uint64_t checkpoint_bytes, bool group_commit = false) {
   int total = static_cast<int>(Statements().size());
   Nuke(path);
-  WorkloadResult r = RunWorkload(path, injector, checkpoint_bytes, total);
+  WorkloadResult r =
+      RunWorkload(path, injector, checkpoint_bytes, total, group_commit);
   ASSERT_GE(injector->stats().faults_fired, 1u)
       << "scheduled fault never fired";
   int k = r.committed;
 
-  // "Reboot": reopen with no faults; Database::Open runs recovery.
+  // "Reboot": reopen with no faults; Database::Open runs recovery —
+  // physical page replay, then catalog + mapper rehydration from the
+  // logged metadata. No DDL is re-run here.
+  std::string recovered;
+  Result<WalInspection> wal_left = Status::Internal("not inspected");
   {
     DatabaseOptions options;
     options.file_path = path;
     auto db = Database::Open(options);
     ASSERT_TRUE(db.ok()) << "recovery failed: " << db.status().ToString();
-    // Recovered databases must audit clean (degraded catalog + page-checksum
-    // audit; the LUC mapper is not rebuilt on reopen).
+    // Capture the on-disk state recovery produced before running any
+    // statements: a first query against a database whose snapshot never
+    // became durable legitimately creates a fresh mapper (allocating
+    // structure pages), which would skew the byte-level oracle below.
+    recovered = ReadAll(path);
+    wal_left = InspectWal(path + ".wal");
+    // Recovered databases must audit clean at full depth (the rehydrated
+    // mapper re-enables the storage layers).
     auto report = (*db)->Audit();
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report->clean()) << report->ToString();
+    // The recovered database must answer RETRIEVE over the committed
+    // prefix. A fault on a commit fsync leaves that commit's durability
+    // ambiguous, so k and k+1 are both acceptable. Only when the very
+    // first DDL commit never became durable may the class be missing.
+    auto rs = (*db)->ExecuteQuery("From Person Retrieve name");
+    if (!rs.ok()) {
+      EXPECT_EQ(k, 0) << "query failed after recovery with " << k
+                      << " committed statements: " << rs.status().ToString();
+    } else {
+      std::set<std::string> names;
+      for (const auto& row : rs->rows) {
+        ASSERT_FALSE(row.values.empty());
+        names.insert(row.values[0].ToString());
+      }
+      EXPECT_TRUE(names == ExpectedNames(k) ||
+                  (k + 1 <= total && names == ExpectedNames(k + 1)))
+          << "recovered names match neither prefix " << k << " nor "
+          << (k + 1);
+    }
   }
 
-  std::string recovered = ReadAll(path);
-  std::string wal_left = ReadAll(path + ".wal");
-  EXPECT_TRUE(wal_left.empty())
-      << "WAL not truncated after recovery (" << wal_left.size() << " bytes)";
+  // The WAL right after recovery is the metadata baseline: zero page
+  // frames (all either checkpointed or discarded), no torn tail. A
+  // database whose DDL never became durable leaves an empty log instead.
+  ASSERT_TRUE(wal_left.ok()) << wal_left.status().ToString();
+  EXPECT_EQ(wal_left->page_frames, 0u)
+      << "page frames left in the WAL after recovery";
+  EXPECT_TRUE(wal_left->tail_clean())
+      << "WAL tail not clean after recovery: " << wal_left->stop_reason;
   std::string why;
   EXPECT_TRUE(AllPagesChecksumOk(recovered, &why)) << why;
 
@@ -214,13 +267,14 @@ void CheckCrashPoint(const std::string& path, FaultInjector* injector,
 // Sweeps fatal faults over every write and sync position observed in a
 // fault-free profiling run of the same configuration. Torn writes of
 // varying lengths are mixed in for every third position.
-void SweepCrashPoints(const std::string& stem, uint64_t checkpoint_bytes) {
+void SweepCrashPoints(const std::string& stem, uint64_t checkpoint_bytes,
+                      bool group_commit = false) {
   std::string path = TestPath(stem);
   Nuke(path);
   FaultInjector profile;
   WorkloadResult base =
       RunWorkload(path, &profile, checkpoint_bytes,
-                  static_cast<int>(Statements().size()));
+                  static_cast<int>(Statements().size()), group_commit);
   ASSERT_TRUE(base.clean);
   Nuke(path);
   uint64_t writes = profile.stats().writes_seen;
@@ -237,7 +291,7 @@ void SweepCrashPoints(const std::string& stem, uint64_t checkpoint_bytes) {
     // Every third point is a torn write: a prefix of the payload lands.
     int torn = (n % 3 == 0) ? 64 : (n % 3 == 1 ? -1 : 1337);
     inj.FailNthWrite(n, torn);
-    CheckCrashPoint(path, &inj, checkpoint_bytes);
+    CheckCrashPoint(path, &inj, checkpoint_bytes, group_commit);
     ++points;
   }
   uint64_t sync_stride = std::max<uint64_t>(1, syncs / 12);
@@ -246,7 +300,7 @@ void SweepCrashPoints(const std::string& stem, uint64_t checkpoint_bytes) {
                  std::to_string(syncs));
     FaultInjector inj;
     inj.FailNthSync(n);
-    CheckCrashPoint(path, &inj, checkpoint_bytes);
+    CheckCrashPoint(path, &inj, checkpoint_bytes, group_commit);
     ++points;
   }
   EXPECT_GE(points, 20) << "sweep covered too few crash points";
@@ -259,9 +313,19 @@ TEST(CrashRecoveryTest, SweepWithWalOnly) {
 }
 
 // Config B: checkpoint after every commit, so faults also land on in-place
-// database writes, database fsyncs and WAL truncation.
+// database writes, database fsyncs, and the metadata-baseline rewrite
+// (tmp write, tmp fsync, rename) that seals every checkpoint — i.e. kills
+// mid-metadata-checkpoint.
 TEST(CrashRecoveryTest, SweepWithCheckpointEveryCommit) {
   SweepCrashPoints("sweep_ckpt", 0);
+}
+
+// Config C: commits are routed through the group-commit durability thread,
+// so faults land on the background thread's batched commit+fsync — i.e.
+// kills mid-group-commit. Single-threaded callers produce batches of one,
+// keeping the injected operation sequence deterministic.
+TEST(CrashRecoveryTest, SweepWithGroupCommit) {
+  SweepCrashPoints("sweep_group", kNoCheckpoints, /*group_commit=*/true);
 }
 
 // A fault during recovery itself must fail the Open; a later clean reopen
@@ -539,6 +603,104 @@ TEST(WalTest, TornCommitFrameTruncatesToPreviousCommit) {
   Nuke(path);
 }
 
+// Checkpointing an empty WAL is a harmless no-op (the close path invokes
+// it unconditionally), and the baseline form still seals the log.
+TEST(WalTest, EmptyWalCheckpointIsNoOp) {
+  std::string path = TestPath("wal_empty_ckpt");
+  Nuke(path);
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  MemPager mem;
+  ASSERT_TRUE((*wal)->Checkpoint(&mem).ok());
+  EXPECT_TRUE((*wal)->empty());
+  EXPECT_EQ(mem.page_count(), 0u);
+  // Baseline form on an empty log: the log afterwards holds exactly the
+  // metadata baseline.
+  ASSERT_TRUE((*wal)->Checkpoint(&mem, {"Class C ( x: integer );"}, "").ok());
+  EXPECT_EQ(mem.page_count(), 0u);
+  auto inspect = InspectWal(path + ".wal");
+  ASSERT_TRUE(inspect.ok());
+  EXPECT_EQ(inspect->page_frames, 0u);
+  EXPECT_EQ(inspect->meta_frames, 1u);
+  EXPECT_TRUE(inspect->tail_clean()) << inspect->stop_reason;
+  Nuke(path);
+}
+
+// A second checkpoint without intervening commits must not rewrite pages
+// or disturb the database file.
+TEST(WalTest, DoubleCheckpointWithoutNewCommitsIsIdempotent) {
+  std::string path = TestPath("wal_double_ckpt");
+  Nuke(path);
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  MemPager mem;
+  ASSERT_TRUE(mem.Allocate().ok());
+  char page[kPageSize] = {};
+  std::memset(page + kPageDataStart, 0x42, 32);
+  ASSERT_TRUE((*wal)->AppendPageImage(0, page).ok());
+  ASSERT_TRUE((*wal)->AppendCommit().ok());
+  ASSERT_TRUE((*wal)->Checkpoint(&mem).ok());
+  char after_first[kPageSize];
+  ASSERT_TRUE(mem.Read(0, after_first).ok());
+  uint64_t ckpts = (*wal)->stats().checkpoints;
+
+  ASSERT_TRUE((*wal)->Checkpoint(&mem).ok());
+  EXPECT_TRUE((*wal)->empty());
+  char after_second[kPageSize];
+  ASSERT_TRUE(mem.Read(0, after_second).ok());
+  EXPECT_EQ(std::memcmp(after_first, after_second, kPageSize), 0);
+  EXPECT_GE((*wal)->stats().checkpoints, ckpts);
+  Nuke(path);
+}
+
+// The commit hook's size trigger is strictly greater-than: a WAL sitting
+// exactly at the threshold is not checkpointed; one byte lower is.
+// Deterministic execution makes the measured size reproducible.
+TEST(CrashRecoveryTest, CheckpointThresholdIsStrictlyExceeded) {
+  // Measure the WAL size after DDL + one committed statement.
+  std::string probe = TestPath("ckpt_probe");
+  Nuke(probe);
+  uint64_t size_after_one = 0;
+  {
+    DatabaseOptions options;
+    options.file_path = probe;
+    options.wal_checkpoint_bytes = kNoCheckpoints;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->ExecuteDdl(kDdl).ok());
+    ASSERT_TRUE((*db)->ExecuteUpdate(Statements()[0]).ok());
+    std::ifstream in(probe + ".wal", std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+    size_after_one = static_cast<uint64_t>(in.tellg());
+    ASSERT_GT(size_after_one, 0u);
+    db->reset();
+    Nuke(probe);
+  }
+
+  // Exactly at the threshold: no checkpoint, page frames stay in the log.
+  auto run_with_threshold = [&](uint64_t threshold) -> uint64_t {
+    std::string path = TestPath("ckpt_exact");
+    Nuke(path);
+    DatabaseOptions options;
+    options.file_path = path;
+    options.wal_checkpoint_bytes = threshold;
+    auto db = Database::Open(options);
+    EXPECT_TRUE(db.ok());
+    EXPECT_TRUE((*db)->ExecuteDdl(kDdl).ok());
+    EXPECT_TRUE((*db)->ExecuteUpdate(Statements()[0]).ok());
+    auto inspect = InspectWal(path + ".wal");
+    EXPECT_TRUE(inspect.ok());
+    uint64_t page_frames = inspect->page_frames;
+    db->reset();
+    Nuke(path);
+    return page_frames;
+  };
+  EXPECT_GT(run_with_threshold(size_after_one), 0u)
+      << "WAL exactly at the threshold must not checkpoint";
+  EXPECT_EQ(run_with_threshold(size_after_one - 1), 0u)
+      << "WAL one byte over the threshold must checkpoint";
+}
+
 // Satellite: FilePager round-trips contents and page_count across reopen.
 TEST(FilePagerTest, PersistsAcrossReopen) {
   std::string path = TestPath("filepager_persist");
@@ -567,15 +729,21 @@ TEST(FilePagerTest, PersistsAcrossReopen) {
   Nuke(path);
 }
 
-// End-to-end: a file-backed database reopened after a clean close has an
-// empty WAL, checksum-valid pages, and recovery reports nothing to replay.
+// End-to-end: after a clean close the WAL holds only the metadata baseline
+// (the logged DDL and mapper snapshot — no page frames, clean tail), pages
+// checksum-verify, and a reopen replays no pages yet answers queries
+// without the DDL being re-run.
 TEST(CrashRecoveryTest, CleanCloseLeavesNothingToRecover) {
   std::string path = TestPath("clean_close");
   Nuke(path);
-  WorkloadResult r = RunWorkload(path, nullptr, kNoCheckpoints,
-                                 static_cast<int>(Statements().size()));
+  int total = static_cast<int>(Statements().size());
+  WorkloadResult r = RunWorkload(path, nullptr, kNoCheckpoints, total);
   ASSERT_TRUE(r.clean);
-  EXPECT_EQ(ReadAll(path + ".wal").size(), 0u);
+  auto wal = InspectWal(path + ".wal");
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal->page_frames, 0u);
+  EXPECT_GT(wal->meta_frames, 0u) << "clean close must leave the baseline";
+  EXPECT_TRUE(wal->tail_clean()) << wal->stop_reason;
   std::string why;
   EXPECT_TRUE(AllPagesChecksumOk(ReadAll(path), &why)) << why;
   DatabaseOptions options;
@@ -583,6 +751,12 @@ TEST(CrashRecoveryTest, CleanCloseLeavesNothingToRecover) {
   auto db = Database::Open(options);
   ASSERT_TRUE(db.ok());
   EXPECT_EQ((*db)->recovered_pages(), 0u);
+  EXPECT_GT((*db)->recovered_meta_records(), 0u);
+  auto rs = (*db)->ExecuteQuery("From Person Retrieve name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  std::set<std::string> names;
+  for (const auto& row : rs->rows) names.insert(row.values[0].ToString());
+  EXPECT_EQ(names, ExpectedNames(total));
   auto report = (*db)->Audit();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->clean()) << report->ToString();

@@ -289,6 +289,58 @@ TEST(FaultModelTest, DiskFullDegradesToReadOnly) {
   Nuke(path);
 }
 
+// Combined fault: the disk fills (read-only degradation), then the process
+// dies before space is ever freed — the degraded close can persist nothing.
+// The reopen must replay the WAL to the last pre-ENOSPC commit, come back
+// writable, answer RETRIEVE without the DDL being re-run, and audit clean.
+TEST(FaultModelTest, DiskFullThenCrashRecoversCommittedPrefix) {
+  std::string path = TestPath("fm_diskfull_crash");
+  Nuke(path);
+  {
+    FaultInjector inj;
+    auto opened = OpenPersons(path, &inj);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    Database* db = opened->get();
+    const auto& stmts = Statements();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db->ExecuteUpdate(stmts[i]).ok());
+    }
+    inj.DiskFullFromWrite(1);
+    auto failed = db->ExecuteUpdate(stmts[5]);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kDiskFull);
+    ASSERT_TRUE(db->read_only());
+    // "Crash": the destructor runs with the device still full, so the
+    // close-time snapshot, commit and checkpoint all fail — nothing new
+    // becomes durable, exactly as if the process had been killed.
+  }
+
+  // Space freed; reboot. Recovery replays the five committed statements
+  // and rehydrates the catalog + mapper from the log.
+  DatabaseOptions options;
+  options.file_path = path;
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  Database* db = re->get();
+  EXPECT_FALSE(db->read_only());
+  auto rs = db->ExecuteQuery("From person Retrieve name, age");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 4u);
+  bool ada_modified = false;
+  for (const auto& row : rs->rows) {
+    if (row.values[0].ToString() == "ada") {
+      ada_modified = row.values[1].int_value() == 37;
+    }
+  }
+  EXPECT_TRUE(ada_modified) << "statement 5 (Modify ada) was committed "
+                               "before ENOSPC and must survive";
+  // The recovered database is fully writable again.
+  ASSERT_TRUE(db->ExecuteUpdate(Statements()[5]).ok());
+  ExpectAuditClean(db);
+  re->reset();
+  Nuke(path);
+}
+
 TEST(FaultModelTest, ShortWriteRepairedByRetry) {
   uint64_t writes = ProfileWrites("fm_profile_sw");
   std::string path = TestPath("fm_short_write");

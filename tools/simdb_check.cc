@@ -15,6 +15,15 @@
 // --metrics dumps the Prometheus-style metrics exposition to stdout after
 // the audit (scrapeable by the CI smoke check and external collectors).
 //
+// --file PATH opens (or creates) a file-backed database instead of an
+// in-memory one; combined with no scripts this audits an existing database
+// after crash recovery.
+//
+// --wal PATH switches to WAL inspection mode: dump every frame of the log
+// at PATH (offset, type, LSN, payload length, committed flag) plus a tail
+// verdict, without opening a database. Exit 0 when the tail is clean,
+// 1 when the log ends in a torn or corrupt tail.
+//
 // Exit status: 0 when the audit reports no findings, 1 when findings exist,
 // 2 on setup failure (unreadable script, DDL/DML error, tripped deadline).
 
@@ -30,6 +39,7 @@
 #include "api/database.h"
 #include "check/check.h"
 #include "common/status.h"
+#include "storage/wal.h"
 #include "university_fixture.h"
 
 namespace {
@@ -44,14 +54,67 @@ sim::Result<std::string> ReadFile(const std::string& path) {
   return out.str();
 }
 
+// WAL inspection mode: prints one line per frame and a tail verdict.
+int InspectWalFile(const std::string& path) {
+  sim::Result<sim::WalInspection> inspection = sim::InspectWal(path);
+  if (!inspection.ok()) {
+    std::fprintf(stderr, "simdb_check: %s\n",
+                 inspection.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("WAL %s: %llu bytes, %llu valid, %llu committed\n",
+              path.c_str(),
+              static_cast<unsigned long long>(inspection->file_bytes),
+              static_cast<unsigned long long>(inspection->valid_bytes),
+              static_cast<unsigned long long>(inspection->committed_bytes));
+  for (const sim::WalFrameInfo& f : inspection->frames) {
+    std::printf("  @%-8llu %-13s lsn=%-6llu len=%-6u %s\n",
+                static_cast<unsigned long long>(f.offset),
+                sim::WalFrameTypeName(f.type),
+                static_cast<unsigned long long>(f.lsn), f.payload_len,
+                f.committed ? "committed" : "uncommitted");
+  }
+  std::printf("frames: %zu (%llu page, %llu meta), commits: %llu\n",
+              inspection->frames.size(),
+              static_cast<unsigned long long>(inspection->page_frames),
+              static_cast<unsigned long long>(inspection->meta_frames),
+              static_cast<unsigned long long>(inspection->commits));
+  if (inspection->tail_clean()) {
+    std::printf("tail: clean\n");
+    return 0;
+  }
+  std::printf("tail: NOT clean (%s); recovery discards %llu trailing bytes\n",
+              inspection->stop_reason.c_str(),
+              static_cast<unsigned long long>(inspection->file_bytes -
+                                              inspection->committed_bytes));
+  return 1;
+}
+
 int Run(int argc, char** argv) {
   sim::DatabaseOptions options;
   std::vector<std::string> positional;
+  std::string wal_path;
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "simdb_check: --file needs a path\n");
+        return 2;
+      }
+      options.file_path = argv[++i];
+    } else if (arg.rfind("--file=", 0) == 0) {
+      options.file_path = arg.substr(std::strlen("--file="));
+    } else if (arg == "--wal") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "simdb_check: --wal needs a path\n");
+        return 2;
+      }
+      wal_path = argv[++i];
+    } else if (arg.rfind("--wal=", 0) == 0) {
+      wal_path = arg.substr(std::strlen("--wal="));
     } else if (arg == "--deadline") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "simdb_check: --deadline needs a value (ms)\n");
@@ -69,8 +132,23 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (!wal_path.empty()) {
+    return InspectWalFile(wal_path);
+  }
+
   std::unique_ptr<sim::Database> db;
-  if (positional.empty()) {
+  if (positional.empty() && !options.file_path.empty()) {
+    // Audit an existing file-backed database: recovery (page replay +
+    // catalog/mapper rehydration) runs inside Open; no scripts needed.
+    sim::Result<std::unique_ptr<sim::Database>> opened =
+        sim::Database::Open(options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "simdb_check: open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 2;
+    }
+    db = std::move(*opened);
+  } else if (positional.empty()) {
     std::fprintf(stderr, "simdb_check: auditing built-in UNIVERSITY fixture\n");
     sim::Result<std::unique_ptr<sim::Database>> opened =
         sim::testing::OpenUniversity(options);
