@@ -1,0 +1,203 @@
+// E15 — heap allocations per row on the E11 full-drain workload.
+//
+// Unlike the timing benches this binary counts *allocations*, not
+// nanoseconds: a global operator new/delete hook increments an atomic
+// counter while a measurement window is open. The workload is the E11/E5
+// fixture (employees with their department's budget through a schema EVA)
+// drained two ways: streaming through a Cursor and materialized through
+// ExecuteQuery. Build and warm-up are excluded from the window, so the
+// numbers are steady-state per-row costs.
+//
+// Usage:
+//   bench_e15_alloc [--emps=N] [--assert-streaming-max=A]
+// With --assert-streaming-max the process exits non-zero when the
+// streaming allocations-per-row exceed A; scripts/check.sh uses this to
+// pin the regression ceiling recorded in BENCH_e15.json.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "api/database.h"
+
+// --- allocation counting hook ----------------------------------------------
+
+static std::atomic<uint64_t> g_alloc_count{0};
+static std::atomic<uint64_t> g_alloc_bytes{0};
+static std::atomic<bool> g_counting{false};
+
+static void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size ? size : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+struct Window {
+  Window() {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_alloc_bytes.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~Window() { g_counting.store(false, std::memory_order_relaxed); }
+  uint64_t count() const {
+    return g_alloc_count.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes() const {
+    return g_alloc_bytes.load(std::memory_order_relaxed);
+  }
+};
+
+// Same fixture as bench_e11_pipeline.cc.
+std::unique_ptr<sim::Database> BuildE5(int employees, int departments) {
+  auto db_result = sim::Database::Open();
+  if (!db_result.ok()) abort();
+  auto db = std::move(*db_result);
+  sim::Status s = db->ExecuteDdl(R"(
+    Class Dept (
+      dept-code: integer unique required;
+      budget: integer );
+    Class Emp (
+      emp-name: string[20];
+      works-in: dept inverse is staff );
+  )");
+  if (!s.ok()) abort();
+  auto mapper = db->mapper();
+  if (!mapper.ok()) abort();
+  std::vector<sim::SurrogateId> depts;
+  for (int d = 0; d < departments; ++d) {
+    auto dept = (*mapper)->CreateEntity("dept", nullptr);
+    if (!dept.ok()) abort();
+    (void)(*mapper)->SetField(*dept, "dept", "dept-code", sim::Value::Int(d),
+                              nullptr);
+    (void)(*mapper)->SetField(*dept, "dept", "budget",
+                              sim::Value::Int(1000 * d), nullptr);
+    depts.push_back(*dept);
+  }
+  for (int e = 0; e < employees; ++e) {
+    auto emp = (*mapper)->CreateEntity("emp", nullptr);
+    if (!emp.ok()) abort();
+    (void)(*mapper)->SetField(*emp, "emp", "emp-name",
+                              sim::Value::Str("e" + std::to_string(e)),
+                              nullptr);
+    (void)(*mapper)->AddEvaPair("emp", "works-in", *emp, depts[e % departments],
+                                nullptr);
+  }
+  return db;
+}
+
+constexpr const char* kQuery = "From Emp Retrieve emp-name, budget of works-in";
+
+uint64_t DrainCursor(sim::Database* db) {
+  auto cur = db->OpenCursor(kQuery);
+  if (!cur.ok()) abort();
+  sim::Row row;
+  uint64_t rows = 0;
+  while (true) {
+    auto has = cur->Next(&row);
+    if (!has.ok()) abort();
+    if (!*has) break;
+    ++rows;
+  }
+  (void)cur->Close();
+  return rows;
+}
+
+uint64_t DrainMaterialized(sim::Database* db) {
+  auto rs = db->ExecuteQuery(kQuery);
+  if (!rs.ok()) abort();
+  return rs->rows.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int emps = 2000;
+  double assert_streaming_max = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emps=", 7) == 0) {
+      emps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--assert-streaming-max=", 23) == 0) {
+      assert_streaming_max = std::atof(argv[i] + 23);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto db = BuildE5(emps, 10);
+
+  // Warm up: buffer pool residency, lazily-built plan/stat state, string
+  // capacities in reused buffers. Two drains each so steady state is real.
+  for (int i = 0; i < 2; ++i) {
+    if (DrainCursor(db.get()) != static_cast<uint64_t>(emps)) abort();
+    if (DrainMaterialized(db.get()) != static_cast<uint64_t>(emps)) abort();
+  }
+
+  uint64_t streaming_allocs, streaming_bytes, rows;
+  {
+    Window w;
+    rows = DrainCursor(db.get());
+    streaming_allocs = w.count();
+    streaming_bytes = w.bytes();
+  }
+  uint64_t mat_allocs, mat_bytes;
+  {
+    Window w;
+    if (DrainMaterialized(db.get()) != rows) abort();
+    mat_allocs = w.count();
+    mat_bytes = w.bytes();
+  }
+
+  double streaming_per_row = static_cast<double>(streaming_allocs) /
+                             static_cast<double>(rows);
+  double mat_per_row =
+      static_cast<double>(mat_allocs) / static_cast<double>(rows);
+
+  std::printf("rows=%llu\n", static_cast<unsigned long long>(rows));
+  std::printf("streaming_allocs=%llu streaming_bytes=%llu\n",
+              static_cast<unsigned long long>(streaming_allocs),
+              static_cast<unsigned long long>(streaming_bytes));
+  std::printf("streaming_allocs_per_row=%.3f\n", streaming_per_row);
+  std::printf("materialized_allocs=%llu materialized_bytes=%llu\n",
+              static_cast<unsigned long long>(mat_allocs),
+              static_cast<unsigned long long>(mat_bytes));
+  std::printf("materialized_allocs_per_row=%.3f\n", mat_per_row);
+
+  if (assert_streaming_max >= 0 && streaming_per_row > assert_streaming_max) {
+    std::fprintf(stderr,
+                 "FAIL: streaming allocs/row %.3f exceeds ceiling %.3f\n",
+                 streaming_per_row, assert_streaming_max);
+    return 1;
+  }
+  return 0;
+}

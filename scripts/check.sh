@@ -18,6 +18,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs" "$@"
 
+echo "== allocation ceiling (bench_e15_alloc) =="
+# E15 regression gate: the streaming pipeline must stay under one heap
+# allocation per delivered row on the E11 drain workload (measured
+# 0.06/row; 17.1/row before the allocation-lean row representation).
+# BENCH_e15.json records the methodology behind the ceiling.
+./build/bench/bench_e15_alloc --emps=2000 --assert-streaming-max=1.0
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DASAN=ON >/dev/null
 cmake --build build-asan -j "$jobs"

@@ -1,6 +1,7 @@
 #include "catalog/luc_translation.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/strings.h"
 
@@ -23,19 +24,31 @@ std::string EncodeRoles(const std::set<uint16_t>& roles) {
   return out;
 }
 
-std::set<uint16_t> DecodeRoles(const std::string& encoded) {
+std::set<uint16_t> DecodeRoles(std::string_view encoded) {
   std::set<uint16_t> roles;
   size_t pos = 1;
   while (pos < encoded.size()) {
     size_t next = encoded.find('|', pos);
-    if (next == std::string::npos) break;
+    if (next == std::string_view::npos) break;
     if (next > pos) {
-      roles.insert(static_cast<uint16_t>(std::stoul(
-          encoded.substr(pos, next - pos))));
+      unsigned v = 0;
+      for (size_t i = pos; i < next; ++i) {
+        char c = encoded[i];
+        if (c < '0' || c > '9') break;
+        v = v * 10 + static_cast<unsigned>(c - '0');
+      }
+      roles.insert(static_cast<uint16_t>(v));
     }
     pos = next + 1;
   }
   return roles;
+}
+
+bool RolesContain(std::string_view encoded, uint16_t code) {
+  char buf[10];
+  int n = std::snprintf(buf, sizeof(buf), "|%u|", code);
+  return encoded.find(std::string_view(buf, static_cast<size_t>(n))) !=
+         std::string_view::npos;
 }
 
 Result<PhysicalSchema> PhysicalSchema::Build(const DirectoryManager& dir,

@@ -26,6 +26,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/directory.h"
@@ -171,7 +172,10 @@ class PhysicalSchema {
 // Helpers shared with the mapper: the roles field encodes the set of class
 // codes an entity currently has, as a sorted "|c1|c2|" string.
 std::string EncodeRoles(const std::set<uint16_t>& roles);
-std::set<uint16_t> DecodeRoles(const std::string& encoded);
+std::set<uint16_t> DecodeRoles(std::string_view encoded);
+// Membership test straight on the encoded form — the hot read path asks
+// "does this entity hold role X?" far more often than it needs the set.
+bool RolesContain(std::string_view encoded, uint16_t code);
 
 }  // namespace sim
 

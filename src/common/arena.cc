@@ -1,0 +1,79 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+namespace sim {
+
+Arena::Arena(size_t first_block_bytes)
+    : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
+  size_t pad = static_cast<size_t>(aligned - p);
+  if (ptr_ != nullptr && bytes + pad <= static_cast<size_t>(limit_ - ptr_)) {
+    char* out = ptr_ + pad;
+    ptr_ = out + bytes;
+    bytes_used_ += bytes + pad;
+    return out;
+  }
+  return AllocateSlow(bytes, align);
+}
+
+char* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // A fresh block from operator new[] is maximally aligned, so only
+  // requests larger than the standard alignment could need padding; give
+  // them a little headroom.
+  size_t need = bytes + (align > alignof(std::max_align_t) ? align : 0);
+  size_t block_bytes = next_block_bytes_;
+  if (need > block_bytes) {
+    // Oversized request: dedicated block, growth schedule unchanged.
+    Block b;
+    b.data = std::make_unique<char[]>(need);
+    b.size = need;
+    bytes_reserved_ += need;
+    uintptr_t p = reinterpret_cast<uintptr_t>(b.data.get());
+    uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
+    bytes_used_ += bytes;
+    // Keep the current bump block as-is; park the oversized one behind it.
+    blocks_.insert(blocks_.empty() ? blocks_.begin() : blocks_.end() - 1,
+                   std::move(b));
+    return reinterpret_cast<char*>(aligned);
+  }
+  Block b;
+  b.data = std::make_unique<char[]>(block_bytes);
+  b.size = block_bytes;
+  bytes_reserved_ += block_bytes;
+  ptr_ = b.data.get();
+  limit_ = ptr_ + block_bytes;
+  blocks_.push_back(std::move(b));
+  if (next_block_bytes_ < (size_t{1} << 20)) next_block_bytes_ *= 2;
+  char* out = ptr_;
+  ptr_ += bytes;
+  bytes_used_ += bytes;
+  return out;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  char* dst = static_cast<char*>(Allocate(s.size() ? s.size() : 1, 1));
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) {
+    bytes_used_ = 0;
+    return;
+  }
+  // Keep the first block only; it is the steady-state working set.
+  Block first = std::move(blocks_.front());
+  bytes_reserved_ = first.size;
+  blocks_.clear();
+  ptr_ = first.data.get();
+  limit_ = ptr_ + first.size;
+  blocks_.push_back(std::move(first));
+  bytes_used_ = 0;
+}
+
+}  // namespace sim

@@ -1,0 +1,64 @@
+#ifndef SIMDB_COMMON_ARENA_H_
+#define SIMDB_COMMON_ARENA_H_
+
+// Bump-pointer arena for per-statement transient storage. A QueryContext
+// owns one Arena; operators and the LUC mapper place short-lived row
+// material (DISTINCT keys, scratch encodings) in it and the whole thing is
+// released in O(1) when the statement ends. Reset() keeps the first block
+// so a statement executed through a reused context reaches steady state
+// with zero allocations.
+//
+// Lifetime rule (DESIGN.md §11): memory returned by Allocate/CopyString is
+// valid until Reset() or destruction of the Arena — i.e. until the end of
+// the statement. Nothing handed to the user may point into an arena.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace sim {
+
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = 4096);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Aligned bump allocation. Never returns null (grows by doubling blocks;
+  // oversized requests get a dedicated block).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  // Copies `s` into the arena and returns a view of the copy.
+  std::string_view CopyString(std::string_view s);
+
+  // Drops every block but the first and rewinds the bump pointer. Views
+  // and pointers previously returned become invalid.
+  void Reset();
+
+  // Bytes handed out since construction / last Reset().
+  size_t bytes_used() const { return bytes_used_; }
+  // Total block capacity currently held (survives Reset for the first
+  // block).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  char* AllocateSlow(size_t bytes, size_t align);
+
+  std::vector<Block> blocks_;
+  char* ptr_ = nullptr;    // bump pointer within the current block
+  char* limit_ = nullptr;  // end of the current block
+  size_t next_block_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_ARENA_H_

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/arena.h"
 #include "common/status.h"
 
 namespace sim {
@@ -116,6 +117,12 @@ class QueryContext {
   // charging entirely when false (the fast path does so internally too).
   bool limited() const { return limited_; }
 
+  // Per-statement scratch arena for transient row storage (encoded
+  // duplicate-elimination keys, operator scratch). Everything allocated
+  // from it dies with the statement; nothing handed to the user may point
+  // into it.
+  Arena& arena() { return arena_; }
+
   const Stats& stats() const { return stats_; }
   const Status& terminal() const { return terminal_; }
 
@@ -141,6 +148,7 @@ class QueryContext {
   uint64_t ticks_ = 0;
   Status terminal_;  // sticky; OK until a limit trips
   Stats stats_;
+  Arena arena_;
 };
 
 }  // namespace sim

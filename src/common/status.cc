@@ -40,6 +40,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DiskFull";
     case StatusCode::kReadOnly:
       return "ReadOnly";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

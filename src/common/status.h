@@ -35,6 +35,8 @@ enum class StatusCode {
   kUnavailable,          // transient I/O failure; a retry may succeed
   kDiskFull,             // ENOSPC/EDQUOT: no space to write
   kReadOnly,             // database degraded to read-only mode
+  kCorruption,           // stored bytes failed validation (truncated or
+                         // hostile record; never caused by caller input)
 };
 
 // Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -99,6 +101,9 @@ class Status {
   }
   static Status ReadOnly(std::string m) {
     return Status(StatusCode::kReadOnly, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

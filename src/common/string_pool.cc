@@ -1,0 +1,22 @@
+#include "common/string_pool.h"
+
+namespace sim {
+
+StringHandle StringPool::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return StringHandle(it->second);
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  bytes_ += s.size();
+  // Key the index by a view into the deque-owned copy (stable address).
+  index_.emplace(std::string_view(strings_.back()), id);
+  return StringHandle(id);
+}
+
+StringHandle StringPool::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return StringHandle();
+  return StringHandle(it->second);
+}
+
+}  // namespace sim

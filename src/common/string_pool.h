@@ -1,0 +1,88 @@
+#ifndef SIMDB_COMMON_STRING_POOL_H_
+#define SIMDB_COMMON_STRING_POOL_H_
+
+// Per-database interned string storage. Interning maps each distinct byte
+// sequence to a stable 32-bit StringHandle; equality of handles from the
+// same pool is equality of strings, and the pooled bytes are stored once
+// for the lifetime of the pool. Values with the pooled-string
+// representation (common/value.h) carry {pool, handle} and never copy
+// bytes when the Value is copied.
+//
+// Storage uses a deque of std::string so the backing bytes never move:
+// `str()` / `view()` references stay valid for the pool's lifetime.
+// Interning is append-only; the pool is meant for low-cardinality,
+// schema-derived strings (symbol-type values, encoded role sets), not for
+// unbounded user data.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sim {
+
+class StringHandle {
+ public:
+  StringHandle() = default;
+  explicit StringHandle(uint32_t id) : id_(id) {}
+
+  static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  bool valid() const { return id_ != kInvalidId; }
+  uint32_t id() const { return id_; }
+
+  friend bool operator==(StringHandle a, StringHandle b) {
+    return a.id_ == b.id_;
+  }
+  friend bool operator!=(StringHandle a, StringHandle b) {
+    return a.id_ != b.id_;
+  }
+
+ private:
+  uint32_t id_ = kInvalidId;
+};
+
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  // Returns the handle for `s`, interning it on first sight. Interning the
+  // same bytes twice returns the same handle (O(1) expected).
+  StringHandle Intern(std::string_view s);
+
+  // Lookup without interning; invalid handle when absent.
+  StringHandle Find(std::string_view s) const;
+
+  std::string_view view(StringHandle h) const {
+    return strings_[h.id()];
+  }
+  const std::string& str(StringHandle h) const { return strings_[h.id()]; }
+
+  size_t size() const { return strings_.size(); }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::deque<std::string> strings_;  // stable addresses, indexed by handle
+  std::unordered_map<std::string_view, uint32_t, SvHash, SvEq> index_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_STRING_POOL_H_

@@ -59,7 +59,7 @@ Result<int> Value::Compare(const Value& other) const {
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case ValueType::kString: {
-      int c = string_value().compare(other.string_value());
+      int c = string_view_value().compare(other.string_view_value());
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
     default:
@@ -90,8 +90,13 @@ bool Value::StrictEquals(const Value& other) const {
       return date_value() == other.date_value();
     case ValueType::kSurrogate:
       return surrogate_value() == other.surrogate_value();
-    case ValueType::kString:
-      return string_value() == other.string_value();
+    case ValueType::kString: {
+      // Same pool + same handle is byte equality without touching bytes.
+      const Pooled* pa = std::get_if<Pooled>(&rep_);
+      const Pooled* pb = std::get_if<Pooled>(&other.rep_);
+      if (pa && pb && pa->pool == pb->pool) return pa->id == pb->id;
+      return string_view_value() == other.string_view_value();
+    }
     default:
       return false;
   }
@@ -118,7 +123,9 @@ size_t Value::Hash() const {
     case ValueType::kSurrogate:
       return std::hash<int64_t>()(std::get<int64_t>(rep_)) ^ 0x5a5a;
     case ValueType::kString:
-      return std::hash<std::string>()(string_value());
+      // hash<string_view> is defined to agree with hash<string>, so pooled
+      // and owned strings with the same bytes collide.
+      return std::hash<std::string_view>()(string_view_value());
   }
   return 0;
 }
@@ -141,7 +148,7 @@ std::string Value::ToString() const {
       return buf;
     }
     case ValueType::kString:
-      return string_value();
+      return std::string(string_view_value());
     case ValueType::kDate:
       return FormatDate(date_value());
     case ValueType::kSurrogate:

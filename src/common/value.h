@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/status.h"
+#include "common/string_pool.h"
 #include "common/tribool.h"
 
 namespace sim {
@@ -44,6 +46,12 @@ class Value {
   static Value Str(std::string s) {
     return Value(ValueType::kString, std::move(s));
   }
+  // Pooled string: type() is still kString, but the Value holds only a
+  // {pool, handle} pair — copying it never copies bytes. The pool must
+  // outlive every Value referencing it (DESIGN.md §11).
+  static Value PooledStr(const StringPool* pool, StringHandle h) {
+    return Value(ValueType::kString, Pooled{pool, h.id()});
+  }
   static Value Date(int64_t days) { return Value(ValueType::kDate, days); }
   static Value Surrogate(SurrogateId s) {
     return Value(ValueType::kSurrogate, static_cast<int64_t>(s));
@@ -56,7 +64,22 @@ class Value {
   bool bool_value() const { return std::get<int64_t>(rep_) != 0; }
   int64_t int_value() const { return std::get<int64_t>(rep_); }
   double real_value() const { return std::get<double>(rep_); }
-  const std::string& string_value() const { return std::get<std::string>(rep_); }
+  const std::string& string_value() const {
+    if (const Pooled* p = std::get_if<Pooled>(&rep_)) {
+      return p->pool->str(StringHandle(p->id));
+    }
+    return std::get<std::string>(rep_);
+  }
+  // Zero-copy access for either string representation.
+  std::string_view string_view_value() const {
+    if (const Pooled* p = std::get_if<Pooled>(&rep_)) {
+      return p->pool->view(StringHandle(p->id));
+    }
+    return std::get<std::string>(rep_);
+  }
+  bool is_pooled_string() const {
+    return std::holds_alternative<Pooled>(rep_);
+  }
   int64_t date_value() const { return std::get<int64_t>(rep_); }
   SurrogateId surrogate_value() const {
     return static_cast<SurrogateId>(std::get<int64_t>(rep_));
@@ -92,12 +115,18 @@ class Value {
   std::string ToString() const;
 
  private:
+  struct Pooled {
+    const StringPool* pool;
+    uint32_t id;
+  };
+
   Value(ValueType t, int64_t i) : type_(t), rep_(i) {}
   Value(ValueType t, double d) : type_(t), rep_(d) {}
   Value(ValueType t, std::string s) : type_(t), rep_(std::move(s)) {}
+  Value(ValueType t, Pooled p) : type_(t), rep_(p) {}
 
   ValueType type_;
-  std::variant<int64_t, double, std::string> rep_;
+  std::variant<int64_t, double, std::string, Pooled> rep_;
 };
 
 }  // namespace sim

@@ -1,10 +1,14 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 #include <unordered_set>
 
 #include "check/plan_check.h"
+#include "common/arena.h"
 #include "exec/physical_plan.h"
+#include "storage/record_codec.h"
 
 namespace sim {
 
@@ -51,24 +55,6 @@ void CollectNodes(const BExpr& expr, std::vector<int>* out) {
       return;
   }
 }
-
-struct RowKeyHash {
-  size_t operator()(const std::vector<Value>& vs) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : vs) h = h * 1099511628211ULL ^ v.Hash();
-    return h;
-  }
-};
-struct RowKeyEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!a[i].StrictEquals(b[i])) return false;
-    }
-    return true;
-  }
-};
 
 }  // namespace
 
@@ -208,10 +194,20 @@ Result<ResultSet> Executor::RunReference(const QueryTree& qt,
     stats_.sorted_for_order = true;
   }
   if (qt.mode == OutputMode::kTableDistinct) {
-    std::unordered_set<std::vector<Value>, RowKeyHash, RowKeyEq> seen;
+    // Same encoded-key dedupe as the pipeline's Distinct operator (parity):
+    // one memcmp-comparable AppendRowKey buffer per row, keys parked in a
+    // statement-local arena.
+    Arena arena;
+    std::unordered_set<std::string_view> seen;
+    std::string key_buf;
     std::vector<Row> unique;
     for (Row& r : rs.rows) {
-      if (seen.insert(r.values).second) unique.push_back(std::move(r));
+      key_buf.clear();
+      for (const Value& v : r.values) AppendRowKey(v, &key_buf);
+      if (seen.find(std::string_view(key_buf)) == seen.end()) {
+        seen.insert(arena.CopyString(key_buf));
+        unique.push_back(std::move(r));
+      }
     }
     rs.rows = std::move(unique);
   }

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "storage/buffer_pool.h"
+#include "storage/record_codec.h"
 
 namespace sim {
 
@@ -185,7 +186,7 @@ std::string EvaTraverse::Describe() const {
 
 Status EvaTraverse::Open(ExecContext& cx) {
   empty_parent_ = false;
-  cursor_.reset();
+  cursor_active_ = false;
   role_filter_ = false;
   values_.clear();
   next_value_ = 0;
@@ -201,11 +202,11 @@ Status EvaTraverse::Open(ExecContext& cx) {
   }
   switch (node.derivation) {
     case NodeDerivation::kEva: {
-      SIM_ASSIGN_OR_RETURN(
-          LucMapper::TargetCursor cur,
-          cx.mapper()->OpenEvaCursor(node.via_owner->name, node.via_attr->name,
-                                     parent.entity));
-      cursor_ = std::make_unique<LucMapper::TargetCursor>(std::move(cur));
+      // Re-open the cursor in place: its target buffer is reused across
+      // outer rows, so steady-state traversal allocates nothing.
+      SIM_RETURN_IF_ERROR(cx.mapper()->ReopenEvaCursor(
+          node.via_owner->name, node.via_attr->name, parent.entity, &cursor_));
+      cursor_active_ = true;
       // Role conversion: keep only entities holding the converted role.
       role_filter_ = !NameEq(node.class_name, node.via_attr->range_class);
       return Status::Ok();
@@ -235,9 +236,9 @@ Result<bool> EvaTraverse::DoNext(ExecContext& cx, Row* /*out*/) {
     NodeBinding b;
     switch (node.derivation) {
       case NodeDerivation::kEva: {
-        if (!cursor_->Valid()) return false;
-        SurrogateId t = cursor_->target();
-        cursor_->Next();
+        if (!cursor_active_ || !cursor_.Valid()) return false;
+        SurrogateId t = cursor_.target();
+        cursor_.Next();
         if (role_filter_) {
           SIM_ASSIGN_OR_RETURN(bool has,
                                cx.mapper()->HasRole(t, node.class_name));
@@ -290,7 +291,7 @@ Result<bool> EvaTraverse::DoNext(ExecContext& cx, Row* /*out*/) {
 }
 
 Status EvaTraverse::Close(ExecContext& cx) {
-  cursor_.reset();
+  cursor_active_ = false;
   values_.clear();
   expand_.clear();
   ready_.clear();
@@ -599,21 +600,6 @@ Status SortOp::Close(ExecContext& cx) {
 
 // ----- Distinct -----
 
-size_t Distinct::RowKeyHash::operator()(const std::vector<Value>& vs) const {
-  size_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : vs) h = h * 1099511628211ULL ^ v.Hash();
-  return h;
-}
-
-bool Distinct::RowKeyEq::operator()(const std::vector<Value>& a,
-                                    const std::vector<Value>& b) const {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!a[i].StrictEquals(b[i])) return false;
-  }
-  return true;
-}
-
 std::string Distinct::Describe() const { return "Distinct"; }
 
 std::vector<const PhysicalOperator*> Distinct::Children() const {
@@ -629,7 +615,10 @@ Result<bool> Distinct::DoNext(ExecContext& cx, Row* out) {
   while (true) {
     SIM_ASSIGN_OR_RETURN(bool has, input_->Next(cx, out));
     if (!has) return false;
-    if (seen_.insert(out->values).second) {
+    key_buf_.clear();
+    for (const Value& v : out->values) AppendRowKey(v, &key_buf_);
+    if (seen_.find(std::string_view(key_buf_)) == seen_.end()) {
+      seen_.insert(cx.arena().CopyString(key_buf_));
       if (QueryContext* qctx = cx.query_context()) {
         SIM_RETURN_IF_ERROR(qctx->ChargeBytes(ApproxValueBytes(out->values)));
       }

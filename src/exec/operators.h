@@ -33,9 +33,11 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "exec/expr_eval.h"
 #include "exec/output.h"
@@ -69,6 +71,14 @@ class ExecContext {
   ExprEvaluator& evaluator() { return evaluator_; }
   QueryContext* query_context() const { return eval_.query_context(); }
 
+  // Per-statement scratch arena: the governor's when one is attached
+  // (reset at statement end by its owner), else a context-owned one that
+  // dies with the pipeline. Views into it are valid for the statement.
+  Arena& arena() {
+    if (QueryContext* qctx = query_context()) return qctx->arena();
+    return local_arena_;
+  }
+
   ExecStats stats;
   // When set, every operator's Next measures wall time and buffer-pool
   // fetch/miss deltas (inclusive of its children). Off by default — the
@@ -83,6 +93,7 @@ class ExecContext {
  private:
   EvalContext eval_;
   ExprEvaluator evaluator_;
+  Arena local_arena_;
 };
 
 class PhysicalOperator {
@@ -230,8 +241,10 @@ class EvaTraverse : public BindingSource {
  private:
   std::string label_;
   bool empty_parent_ = false;
-  // kEva
-  std::unique_ptr<LucMapper::TargetCursor> cursor_;
+  // kEva. Held by value and re-opened in place so the target buffer's
+  // capacity is reused across outer rows.
+  LucMapper::TargetCursor cursor_;
+  bool cursor_active_ = false;
   bool role_filter_ = false;
   // kMvDva
   std::vector<Value> values_;
@@ -411,16 +424,13 @@ class Distinct : public PhysicalOperator {
   Result<bool> DoNext(ExecContext& cx, Row* out) override;
 
  private:
-  struct RowKeyHash {
-    size_t operator()(const std::vector<Value>& vs) const;
-  };
-  struct RowKeyEq {
-    bool operator()(const std::vector<Value>& a,
-                    const std::vector<Value>& b) const;
-  };
-
   OperatorPtr input_;
-  std::unordered_set<std::vector<Value>, RowKeyHash, RowKeyEq> seen_;
+  // Rows dedupe on a single encoded key (AppendRowKey: same bytes iff
+  // StrictEquals row-wise), built in a reused buffer and copied into the
+  // per-statement arena on first sight. The set holds views into the
+  // arena; Close() clears it before the arena rewinds.
+  std::string key_buf_;
+  std::unordered_set<std::string_view> seen_;
 };
 
 // Stops the pipeline after n delivered rows (RETRIEVE FIRST n). Because

@@ -16,20 +16,15 @@ Result<std::unique_ptr<UnitStore>> UnitStore::Create(BufferPool* pool,
   return unit;
 }
 
-namespace {
-
-std::vector<Value> AssembleRecord(SurrogateId s,
-                                  const std::set<uint16_t>& roles,
-                                  const std::vector<Value>& fields) {
-  std::vector<Value> all;
-  all.reserve(fields.size() + 2);
-  all.push_back(Value::Surrogate(s));
-  all.push_back(Value::Str(EncodeRoles(roles)));
-  all.insert(all.end(), fields.begin(), fields.end());
-  return all;
+void UnitStore::EncodeInto(SurrogateId s, const std::set<uint16_t>& roles,
+                           const std::vector<Value>& fields) {
+  encode_buf_.clear();
+  RecordWriter w(&encode_buf_, unit_code_);
+  w.AddSurrogate(s);
+  w.AddString(EncodeRoles(roles));
+  for (const Value& v : fields) w.Add(v);
+  w.Finish();
 }
-
-}  // namespace
 
 Result<RecordId> UnitStore::Insert(SurrogateId s,
                                    const std::set<uint16_t>& roles,
@@ -44,13 +39,12 @@ Result<RecordId> UnitStore::Insert(SurrogateId s,
     return Status::AlreadyExists("surrogate already present in unit " +
                                  phys_->name);
   }
-  std::string encoded =
-      EncodeRecord(unit_code_, AssembleRecord(s, roles, fields));
+  EncodeInto(s, roles, fields);
   RecordId rid;
   if (hint != kInvalidPageId) {
-    SIM_ASSIGN_OR_RETURN(rid, file_.InsertNear(hint, encoded));
+    SIM_ASSIGN_OR_RETURN(rid, file_.InsertNear(hint, encode_buf_));
   } else {
-    SIM_ASSIGN_OR_RETURN(rid, file_.Insert(encoded));
+    SIM_ASSIGN_OR_RETURN(rid, file_.Insert(encode_buf_));
   }
   SIM_RETURN_IF_ERROR(primary_->Add(0, s, PackRecordId(rid)));
   NoteInsert(s, rid);
@@ -90,36 +84,53 @@ void UnitStore::NoteInsert(SurrogateId s, RecordId rid) {
 }
 
 Result<bool> UnitStore::Has(SurrogateId s) {
-  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> rids, primary_->Get(0, s));
-  return !rids.empty();
+  SIM_ASSIGN_OR_RETURN(std::optional<SurrogateId> packed,
+                       primary_->GetFirst(0, s));
+  return packed.has_value();
 }
 
 Result<RecordId> UnitStore::FindRid(SurrogateId s) {
-  SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> rids, primary_->Get(0, s));
-  if (rids.empty()) {
+  SIM_ASSIGN_OR_RETURN(std::optional<SurrogateId> packed,
+                       primary_->GetFirst(0, s));
+  if (!packed) {
     return Status::NotFound("no record for surrogate " + std::to_string(s) +
                             " in unit " + phys_->name);
   }
-  return UnpackRecordId(rids.front());
+  return UnpackRecordId(*packed);
+}
+
+Status UnitStore::ReadRaw(SurrogateId s, RecordView* view) {
+  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
+  SIM_RETURN_IF_ERROR(file_.Get(rid, &read_buf_));
+  SIM_ASSIGN_OR_RETURN(*view, RecordView::Open(read_buf_));
+  if (view->field_count() != phys_->fields.size() + 2) {
+    return Status::Corruption("corrupt record in unit " + phys_->name);
+  }
+  return Status::Ok();
 }
 
 Status UnitStore::Read(SurrogateId s, std::set<uint16_t>* roles,
                        std::vector<Value>* fields) {
-  SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
-  std::string data;
-  SIM_RETURN_IF_ERROR(file_.Get(rid, &data));
-  uint16_t record_type;
-  std::vector<Value> all;
-  SIM_RETURN_IF_ERROR(DecodeRecord(data, &record_type, &all));
-  if (all.size() != phys_->fields.size() + 2) {
-    return Status::Internal("corrupt record in unit " + phys_->name);
-  }
-  if (roles != nullptr) *roles = DecodeRoles(all[1].string_value());
-  if (fields != nullptr) {
-    fields->assign(std::make_move_iterator(all.begin() + 2),
-                   std::make_move_iterator(all.end()));
-  }
+  RecordView view;
+  SIM_RETURN_IF_ERROR(ReadRaw(s, &view));
+  if (roles != nullptr) *roles = DecodeRoles(view.StringField(1));
+  if (fields != nullptr) view.DecodeFieldsFrom(2, fields);
   return Status::Ok();
+}
+
+Status UnitStore::ReadField(SurrogateId s, int field_idx, Value* out) {
+  RecordView view;
+  SIM_RETURN_IF_ERROR(ReadRaw(s, &view));
+  *out = view.DecodeField(static_cast<uint16_t>(field_idx + 2));
+  return Status::Ok();
+}
+
+Result<bool> UnitStore::HasRoleCode(SurrogateId s, uint16_t code) {
+  RecordView view;
+  Status st = ReadRaw(s, &view);
+  if (st.code() == StatusCode::kNotFound) return false;
+  SIM_RETURN_IF_ERROR(st);
+  return RolesContain(view.StringField(1), code);
 }
 
 Status UnitStore::Update(SurrogateId s, const std::set<uint16_t>& roles,
@@ -129,9 +140,8 @@ Status UnitStore::Update(SurrogateId s, const std::set<uint16_t>& roles,
                             phys_->name);
   }
   SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
-  std::string encoded =
-      EncodeRecord(unit_code_, AssembleRecord(s, roles, fields));
-  SIM_ASSIGN_OR_RETURN(RecordId new_rid, file_.Update(rid, encoded));
+  EncodeInto(s, roles, fields);
+  SIM_ASSIGN_OR_RETURN(RecordId new_rid, file_.Update(rid, encode_buf_));
   if (!(new_rid == rid)) {
     SIM_RETURN_IF_ERROR(primary_->Remove(0, s, PackRecordId(rid)));
     SIM_RETURN_IF_ERROR(primary_->Add(0, s, PackRecordId(new_rid)));
@@ -191,15 +201,35 @@ Status UnitStore::Cursor::Next() {
 }
 
 Status UnitStore::Cursor::DecodeCurrent() {
-  uint16_t record_type;
-  std::vector<Value> all;
-  SIM_RETURN_IF_ERROR(DecodeRecord(it_.record(), &record_type, &all));
-  if (all.size() < 2) return Status::Internal("corrupt unit record");
-  surrogate_ = all[0].surrogate_value();
-  roles_ = DecodeRoles(all[1].string_value());
-  fields_.assign(std::make_move_iterator(all.begin() + 2),
-                 std::make_move_iterator(all.end()));
+  roles_cached_ = false;
+  fields_cached_ = false;
+  SIM_ASSIGN_OR_RETURN(view_, RecordView::Open(it_.record()));
+  if (view_.field_count() < 2) {
+    return Status::Corruption("unit record missing surrogate/roles");
+  }
+  Value s = view_.DecodeField(0);
+  if (s.type() != ValueType::kSurrogate) {
+    return Status::Corruption("unit record surrogate field has wrong type");
+  }
+  surrogate_ = s.surrogate_value();
+  roles_view_ = view_.StringField(1);
   return Status::Ok();
+}
+
+const std::set<uint16_t>& UnitStore::Cursor::roles() const {
+  if (!roles_cached_) {
+    roles_ = DecodeRoles(roles_view_);
+    roles_cached_ = true;
+  }
+  return roles_;
+}
+
+const std::vector<Value>& UnitStore::Cursor::fields() const {
+  if (!fields_cached_) {
+    view_.DecodeFieldsFrom(2, &fields_);
+    fields_cached_ = true;
+  }
+  return fields_;
 }
 
 UnitStore::Cursor UnitStore::Scan() const { return Cursor(&file_, unit_code_); }
@@ -213,7 +243,7 @@ Result<std::vector<Value>> DecodeEmbeddedMv(const Value& field) {
   uint16_t record_type;
   std::vector<Value> values;
   SIM_RETURN_IF_ERROR(
-      DecodeRecord(field.string_value(), &record_type, &values));
+      DecodeRecord(field.string_view_value(), &record_type, &values));
   return values;
 }
 

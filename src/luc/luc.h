@@ -12,10 +12,18 @@
 // and reads never need a second unit). A surrogate-keyed primary index
 // (direct / hashed / index-sequential per the mapping policy) locates
 // records.
+//
+// Read paths are allocation-lean: records decode through RecordView
+// (storage/record_codec.h), so point reads land in a reusable buffer and
+// only the requested fields become Values, and the scan cursor defers
+// field/role materialization until someone actually asks. The reusable
+// buffers make a UnitStore single-threaded for reads, which matches the
+// per-statement execution model.
 
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/luc_translation.h"
@@ -23,6 +31,7 @@
 #include "common/value.h"
 #include "luc/relationship.h"
 #include "storage/heap_file.h"
+#include "storage/record_codec.h"
 
 namespace sim {
 
@@ -60,6 +69,15 @@ class UnitStore {
   Status Read(SurrogateId s, std::set<uint16_t>* roles,
               std::vector<Value>* fields);
 
+  // Reads only declared field `field_idx` (index into phys().fields) —
+  // the point lookup of the projection hot path: one buffer reuse, one
+  // Value, nothing else materialized.
+  Status ReadField(SurrogateId s, int field_idx, Value* out);
+
+  // Role-membership test straight off the encoded record (no set build).
+  // Missing records report false, matching the mapper's HasRole contract.
+  Result<bool> HasRoleCode(SurrogateId s, uint16_t code);
+
   // Rewrites the record for `s`.
   Status Update(SurrogateId s, const std::set<uint16_t>& roles,
                 const std::vector<Value>& fields);
@@ -73,13 +91,20 @@ class UnitStore {
   // reorganization step clustered mappings use after a record has grown.
   Status MoveNear(SurrogateId s, PageId hint);
 
-  // Full scan, decoding each record.
+  // Full scan. Each position validates the record once; the surrogate is
+  // decoded eagerly (every caller needs it), while roles() and fields()
+  // materialize lazily and HasRoleCode() answers without materializing
+  // anything. References returned by roles()/fields() — and the record
+  // view underneath — are valid only until the next Next() call.
   class Cursor {
    public:
     bool Valid() const { return it_.Valid(); }
     SurrogateId surrogate() const { return surrogate_; }
-    const std::set<uint16_t>& roles() const { return roles_; }
-    const std::vector<Value>& fields() const { return fields_; }
+    bool HasRoleCode(uint16_t code) const {
+      return RolesContain(roles_view_, code);
+    }
+    const std::set<uint16_t>& roles() const;
+    const std::vector<Value>& fields() const;
     Status Next();
     const Status& status() const { return status_; }
 
@@ -93,8 +118,12 @@ class UnitStore {
     uint16_t unit_code_;
     HeapFile::Iterator it_;
     SurrogateId surrogate_ = kInvalidSurrogate;
-    std::set<uint16_t> roles_;
-    std::vector<Value> fields_;
+    RecordView view_;              // borrows the iterator's record bytes
+    std::string_view roles_view_;  // encoded roles field of the current row
+    mutable bool roles_cached_ = false;
+    mutable bool fields_cached_ = false;
+    mutable std::set<uint16_t> roles_;
+    mutable std::vector<Value> fields_;
     Status status_;
   };
 
@@ -114,6 +143,15 @@ class UnitStore {
 
   Result<RecordId> FindRid(SurrogateId s);
 
+  // Fetches the record of `s` into read_buf_ and opens a validated view
+  // over it. The view is valid until the next ReadRaw/Read*/HasRoleCode
+  // call on this store.
+  Status ReadRaw(SurrogateId s, RecordView* view);
+
+  // Encodes [surrogate, roles, fields...] into encode_buf_.
+  void EncodeInto(SurrogateId s, const std::set<uint16_t>& roles,
+                  const std::vector<Value>& fields);
+
   // Scan-order bookkeeping for scan_in_surrogate_order().
   void NoteInsert(SurrogateId s, RecordId rid);
 
@@ -121,6 +159,11 @@ class UnitStore {
   uint16_t unit_code_;
   HeapFile file_;
   std::unique_ptr<RelKeyedStore> primary_;  // surrogate -> packed RecordId
+
+  // Reused scratch for point reads / record encoding (capacity survives
+  // across calls, so steady-state reads and writes allocate nothing).
+  std::string read_buf_;
+  std::string encode_buf_;
 
   bool scan_ordered_ = true;
   bool any_records_ = false;

@@ -13,6 +13,16 @@ std::string QualKey(const std::string& cls, const std::string& attr) {
   return AsciiLower(cls) + "." + AsciiLower(attr);
 }
 
+char LowerChar(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// Builds the lowercased cache key into `buf` (no allocation once the
+// buffer has grown to steady state).
+void LowerInto(std::string_view s, std::string* buf) {
+  for (char c : s) buf->push_back(LowerChar(c));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<LucMapper>> LucMapper::Create(
@@ -76,20 +86,44 @@ Status LucMapper::Init() {
 Result<LucMapper::FieldRef> LucMapper::Resolve(const std::string& cls,
                                                const std::string& attr,
                                                bool want_field) const {
-  SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
-                       dir_->ResolveAttribute(cls, attr));
+  key_buf_.clear();
+  LowerInto(cls, &key_buf_);
+  key_buf_.push_back('.');
+  LowerInto(attr, &key_buf_);
   FieldRef ref;
-  ref.owner = ra.owner;
-  ref.attr = ra.attr;
-  SIM_ASSIGN_OR_RETURN(ref.unit, phys_->UnitOf(ra.owner->name));
-  const UnitPhys& unit = phys_->units()[ref.unit];
-  auto it = unit.field_index.find(QualKey(ra.owner->name, ra.attr->name));
-  ref.field = it == unit.field_index.end() ? -1 : it->second;
+  auto cached = resolve_cache_.find(std::string_view(key_buf_));
+  if (cached != resolve_cache_.end()) {
+    ref = cached->second;
+  } else {
+    SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
+                         dir_->ResolveAttribute(cls, attr));
+    ref.owner = ra.owner;
+    ref.attr = ra.attr;
+    SIM_ASSIGN_OR_RETURN(ref.unit, phys_->UnitOf(ra.owner->name));
+    const UnitPhys& unit = phys_->units()[ref.unit];
+    auto it = unit.field_index.find(QualKey(ra.owner->name, ra.attr->name));
+    ref.field = it == unit.field_index.end() ? -1 : it->second;
+    resolve_cache_.emplace(key_buf_, ref);
+  }
   if (want_field && ref.field < 0) {
     return Status::Internal("attribute '" + cls + "." + attr +
                             "' has no stored field");
   }
   return ref;
+}
+
+Result<LucMapper::ClassInfo> LucMapper::ClassInfoOf(
+    const std::string& cls) const {
+  key_buf_.clear();
+  LowerInto(cls, &key_buf_);
+  auto cached = class_cache_.find(std::string_view(key_buf_));
+  if (cached != class_cache_.end()) return cached->second;
+  ClassInfo info;
+  SIM_ASSIGN_OR_RETURN(info.code, phys_->ClassCode(cls));
+  SIM_ASSIGN_OR_RETURN(std::string base, dir_->BaseOf(cls));
+  SIM_ASSIGN_OR_RETURN(info.base_unit, phys_->UnitOf(base));
+  class_cache_.emplace(key_buf_, info);
+  return info;
 }
 
 Status LucMapper::ReadUnitRecord(int u, SurrogateId s,
@@ -165,22 +199,15 @@ Result<SurrogateId> LucMapper::CreateEntity(const std::string& cls,
 
 Result<std::set<uint16_t>> LucMapper::RolesOf(SurrogateId s,
                                               const std::string& cls) {
-  SIM_ASSIGN_OR_RETURN(std::string base, dir_->BaseOf(cls));
-  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(base));
+  SIM_ASSIGN_OR_RETURN(ClassInfo info, ClassInfoOf(cls));
   std::set<uint16_t> roles;
-  SIM_RETURN_IF_ERROR(units_[u]->Read(s, &roles, nullptr));
+  SIM_RETURN_IF_ERROR(units_[info.base_unit]->Read(s, &roles, nullptr));
   return roles;
 }
 
 Result<bool> LucMapper::HasRole(SurrogateId s, const std::string& cls) {
-  SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
-  SIM_ASSIGN_OR_RETURN(std::string base, dir_->BaseOf(cls));
-  SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(base));
-  std::set<uint16_t> roles;
-  Status st = units_[u]->Read(s, &roles, nullptr);
-  if (st.code() == StatusCode::kNotFound) return false;
-  SIM_RETURN_IF_ERROR(st);
-  return roles.count(code) > 0;
+  SIM_ASSIGN_OR_RETURN(ClassInfo info, ClassInfoOf(cls));
+  return units_[info.base_unit]->HasRoleCode(s, info.code);
 }
 
 Status LucMapper::UpdateRolesEverywhere(SurrogateId s,
@@ -479,7 +506,9 @@ Result<Value> LucMapper::GetField(SurrogateId s, const std::string& cls,
     SIM_ASSIGN_OR_RETURN(std::set<uint16_t> roles, RolesOf(s, cls));
     for (const auto& sym : ref.attr->type.symbols) {
       SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(sym));
-      if (roles.count(code)) return Value::Str(sym);
+      if (roles.count(code)) {
+        return Value::PooledStr(&strings_, strings_.Intern(sym));
+      }
     }
     return Value::Null();
   }
@@ -490,9 +519,9 @@ Result<Value> LucMapper::GetField(SurrogateId s, const std::string& cls,
   if (ref.field < 0) {
     return Status::Internal("no stored field for '" + attr + "'");
   }
-  std::vector<Value> fields;
-  SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(s, nullptr, &fields));
-  return fields[ref.field];
+  Value out;
+  SIM_RETURN_IF_ERROR(units_[ref.unit]->ReadField(s, ref.field, &out));
+  return out;
 }
 
 Result<std::vector<Value>> LucMapper::GetMvValues(SurrogateId s,
@@ -506,7 +535,9 @@ Result<std::vector<Value>> LucMapper::GetMvValues(SurrogateId s,
       std::vector<Value> out;
       for (const auto& sym : ref.attr->type.symbols) {
         SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(sym));
-        if (roles.count(code)) out.push_back(Value::Str(sym));
+        if (roles.count(code)) {
+          out.push_back(Value::PooledStr(&strings_, strings_.Intern(sym)));
+        }
       }
       return out;
     }
@@ -517,7 +548,9 @@ Result<std::vector<Value>> LucMapper::GetMvValues(SurrogateId s,
     std::vector<Value> out;
     for (const auto& sym : ref.attr->type.symbols) {
       SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(sym));
-      if (roles.count(code)) out.push_back(Value::Str(sym));
+      if (roles.count(code)) {
+        out.push_back(Value::PooledStr(&strings_, strings_.Intern(sym)));
+      }
     }
     return out;
   }
@@ -774,21 +807,37 @@ Status LucMapper::StructRemovePair(const EvaSide& side, SurrogateId owner,
 
 Result<std::vector<SurrogateId>> LucMapper::GetEvaTargets(
     const std::string& cls, const std::string& attr, SurrogateId owner) {
+  std::vector<SurrogateId> targets;
+  SIM_RETURN_IF_ERROR(GetEvaTargetsInto(cls, attr, owner, &targets));
+  return targets;
+}
+
+Status LucMapper::GetEvaTargetsInto(const std::string& cls,
+                                    const std::string& attr,
+                                    SurrogateId owner,
+                                    std::vector<SurrogateId>* out) {
   SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr queried,
                        dir_->ResolveAttribute(cls, attr));
+  SIM_RETURN_IF_ERROR(GetEvaTargetsUnorderedInto(cls, attr, owner, out));
   if (!queried.attr->order_by_attr.empty()) {
-    SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> targets,
-                         GetEvaTargetsUnordered(cls, attr, owner));
-    SIM_RETURN_IF_ERROR(SortByAttribute(&targets, queried.attr->range_class,
+    SIM_RETURN_IF_ERROR(SortByAttribute(out, queried.attr->range_class,
                                         queried.attr->order_by_attr,
                                         queried.attr->order_desc));
-    return targets;
   }
-  return GetEvaTargetsUnordered(cls, attr, owner);
+  return Status::Ok();
 }
 
 Result<std::vector<SurrogateId>> LucMapper::GetEvaTargetsUnordered(
     const std::string& cls, const std::string& attr, SurrogateId owner) {
+  std::vector<SurrogateId> out;
+  SIM_RETURN_IF_ERROR(GetEvaTargetsUnorderedInto(cls, attr, owner, &out));
+  return out;
+}
+
+Status LucMapper::GetEvaTargetsUnorderedInto(const std::string& cls,
+                                             const std::string& attr,
+                                             SurrogateId owner,
+                                             std::vector<SurrogateId>* out) {
   SIM_ASSIGN_OR_RETURN(EvaSide side, ResolveEva(cls, attr));
   const EvaPhys& eva = *side.eva;
   switch (eva.mapping) {
@@ -802,9 +851,9 @@ Result<std::vector<SurrogateId>> LucMapper::GetEvaTargetsUnordered(
         inv = pair.second.get();
       }
       if (eva.symmetric || side.owner_is_a) {
-        return fwd->Get(eva.rel_id, owner);
+        return fwd->GetInto(eva.rel_id, owner, out);
       }
-      return inv->Get(eva.rel_id, owner);
+      return inv->GetInto(eva.rel_id, owner, out);
     }
     case EvaMapping::kForeignKey: {
       bool owner_single = side.owner_is_a ? !eva.a_mv : !eva.b_mv;
@@ -812,13 +861,13 @@ Result<std::vector<SurrogateId>> LucMapper::GetEvaTargetsUnordered(
         const std::string& c = side.owner_is_a ? eva.class_a : eva.class_b;
         const std::string& at = side.owner_is_a ? eva.attr_a : eva.attr_b;
         SIM_ASSIGN_OR_RETURN(FieldRef ref, Resolve(c, at, true));
-        std::vector<Value> fields;
-        SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(owner, nullptr, &fields));
-        const Value& v = fields[ref.field];
-        if (v.is_null()) return std::vector<SurrogateId>();
-        return std::vector<SurrogateId>{v.surrogate_value()};
+        Value v;
+        SIM_RETURN_IF_ERROR(units_[ref.unit]->ReadField(owner, ref.field, &v));
+        out->clear();
+        if (!v.is_null()) out->push_back(v.surrogate_value());
+        return Status::Ok();
       }
-      return fk_inv_->Get(eva.rel_id, owner);
+      return fk_inv_->GetInto(eva.rel_id, owner, out);
     }
   }
   return Status::Internal("unhandled EVA mapping");
@@ -957,7 +1006,7 @@ Result<std::vector<SurrogateId>> LucMapper::ExtentOf(const std::string& cls) {
   std::vector<SurrogateId> out;
   for (UnitStore::Cursor cur = units_[u]->Scan(); cur.Valid();) {
     SIM_RETURN_IF_ERROR(cur.status());
-    if (cur.roles().count(code)) out.push_back(cur.surrogate());
+    if (cur.HasRoleCode(code)) out.push_back(cur.surrogate());
     SIM_RETURN_IF_ERROR(cur.Next());
   }
   // System-maintained class ordering (§6 extension).
@@ -997,16 +1046,23 @@ Status LucMapper::SortByAttribute(std::vector<SurrogateId>* ids,
 
 Result<LucMapper::TargetCursor> LucMapper::OpenEvaCursor(
     const std::string& cls, const std::string& attr, SurrogateId owner) {
+  TargetCursor cursor;
+  SIM_RETURN_IF_ERROR(ReopenEvaCursor(cls, attr, owner, &cursor));
+  return cursor;
+}
+
+Status LucMapper::ReopenEvaCursor(const std::string& cls,
+                                  const std::string& attr, SurrogateId owner,
+                                  TargetCursor* cursor) {
   SIM_ASSIGN_OR_RETURN(DirectoryManager::ResolvedAttr ra,
                        dir_->ResolveAttribute(cls, attr));
   if (!ra.attr->is_eva()) {
     return Status::InvalidArgument("'" + attr + "' is not an EVA");
   }
-  TargetCursor cursor;
-  cursor.mapper_ = this;
-  cursor.range_class_ = ra.attr->range_class;
-  SIM_ASSIGN_OR_RETURN(cursor.targets_, GetEvaTargets(cls, attr, owner));
-  return cursor;
+  cursor->mapper_ = this;
+  cursor->range_class_ = ra.attr->range_class;
+  cursor->index_ = 0;
+  return GetEvaTargetsInto(cls, attr, owner, &cursor->targets_);
 }
 
 Result<std::vector<Value>> LucMapper::TargetCursor::ReadRecord() {
@@ -1027,7 +1083,7 @@ Result<LucMapper::ExtentCursor> LucMapper::OpenExtentCursor(
 }
 
 void LucMapper::ExtentCursor::SkipNonMembers() {
-  while (cursor_.Valid() && cursor_.roles().count(code_) == 0) {
+  while (cursor_.Valid() && !cursor_.HasRoleCode(code_)) {
     if (!cursor_.Next().ok()) return;
   }
 }

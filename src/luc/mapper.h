@@ -30,11 +30,14 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/directory.h"
 #include "catalog/luc_translation.h"
 #include "common/status.h"
+#include "common/string_pool.h"
 #include "common/value.h"
 #include "luc/luc.h"
 #include "luc/relationship.h"
@@ -122,6 +125,10 @@ class LucMapper {
   Result<std::vector<SurrogateId>> GetEvaTargets(const std::string& cls,
                                                  const std::string& attr,
                                                  SurrogateId owner);
+  // Same, into a caller-owned buffer (cleared first); per-row traversals
+  // reuse the buffer so steady-state probes allocate nothing.
+  Status GetEvaTargetsInto(const std::string& cls, const std::string& attr,
+                           SurrogateId owner, std::vector<SurrogateId>* out);
 
   // --- cursors (§5.1: "A cursor can be opened on a LUC or on a
   // relationship and it delivers one record of the LUC at a time") ---
@@ -148,6 +155,11 @@ class LucMapper {
   Result<TargetCursor> OpenEvaCursor(const std::string& cls,
                                      const std::string& attr,
                                      SurrogateId owner);
+  // Repositions an existing cursor over a new owner's instance set,
+  // reusing its target buffer. Operators that re-open a relationship
+  // cursor per outer row use this to stay allocation-free.
+  Status ReopenEvaCursor(const std::string& cls, const std::string& attr,
+                         SurrogateId owner, TargetCursor* cursor);
 
   // Class (LUC) cursor: streams the extent of `cls` including subclass
   // members, one entity at a time, without materializing it.
@@ -245,6 +257,13 @@ class LucMapper {
   Result<FieldRef> Resolve(const std::string& cls, const std::string& attr,
                            bool want_field) const;
 
+  // Class code + base-class unit of `cls`, memoized (see the caches below).
+  struct ClassInfo {
+    uint16_t code = 0;
+    int base_unit = -1;
+  };
+  Result<ClassInfo> ClassInfoOf(const std::string& cls) const;
+
   // Reads the record of `s` in unit `u`.
   Status ReadUnitRecord(int u, SurrogateId s, std::set<uint16_t>* roles,
                         std::vector<Value>* fields);
@@ -272,6 +291,9 @@ class LucMapper {
 
   Result<std::vector<SurrogateId>> GetEvaTargetsUnordered(
       const std::string& cls, const std::string& attr, SurrogateId owner);
+  Status GetEvaTargetsUnorderedInto(const std::string& cls,
+                                    const std::string& attr, SurrogateId owner,
+                                    std::vector<SurrogateId>* out);
 
   // Structure-level pair maintenance (no option checks).
   Status StructAddPair(const EvaSide& side, SurrogateId owner,
@@ -326,6 +348,33 @@ class LucMapper {
   SurrogateId next_surrogate_ = 1;
   uint64_t mutation_count_ = 0;
   Stats stats_;
+
+  // Memoized name resolution. The catalog and physical schema are frozen
+  // while the mapper exists (see Create), so resolutions never go stale.
+  // Keys are lowercased "cls.attr" / "cls" built into key_buf_; the
+  // transparent hash makes cache hits allocation-free.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  mutable std::unordered_map<std::string, FieldRef, SvHash, SvEq>
+      resolve_cache_;
+  mutable std::unordered_map<std::string, ClassInfo, SvHash, SvEq>
+      class_cache_;
+  mutable std::string key_buf_;
+
+  // Interned strings for Values the mapper hands out repeatedly (subrole
+  // class names). Pooled Values stay valid as long as the mapper — i.e.
+  // the database — is open.
+  mutable StringPool strings_;
 };
 
 }  // namespace sim

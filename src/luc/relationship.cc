@@ -73,26 +73,56 @@ Status RelKeyedStore::Remove(uint32_t rel_id, SurrogateId key,
 
 Result<std::vector<SurrogateId>> RelKeyedStore::Get(uint32_t rel_id,
                                                     SurrogateId key) {
+  std::vector<SurrogateId> out;
+  SIM_RETURN_IF_ERROR(GetInto(rel_id, key, &out));
+  return out;
+}
+
+Status RelKeyedStore::GetInto(uint32_t rel_id, SurrogateId key,
+                              std::vector<SurrogateId>* out) {
   switch (org_) {
     case KeyOrganization::kDirect: {
-      std::vector<SurrogateId> out;
+      out->clear();
       auto range = direct_.equal_range(std::make_pair(rel_id, key));
       for (auto it = range.first; it != range.second; ++it) {
-        out.push_back(it->second);
+        out->push_back(it->second);
       }
-      std::sort(out.begin(), out.end());
-      return out;
+      std::sort(out->begin(), out->end());
+      return Status::Ok();
     }
     case KeyOrganization::kHashed: {
-      SIM_ASSIGN_OR_RETURN(std::vector<uint64_t> vals,
-                           hashed_->GetAll(EncodeRelKey(rel_id, key)));
-      std::sort(vals.begin(), vals.end());
-      return std::vector<SurrogateId>(vals.begin(), vals.end());
+      SIM_RETURN_IF_ERROR(hashed_->GetAllInto(EncodeRelKey(rel_id, key), out));
+      std::sort(out->begin(), out->end());
+      return Status::Ok();
+    }
+    case KeyOrganization::kIndexSequential:
+      return tree_->GetAllInto(EncodeRelKey(rel_id, key), out);
+  }
+  return Status::Internal("unhandled key organization");
+}
+
+Result<std::optional<SurrogateId>> RelKeyedStore::GetFirst(uint32_t rel_id,
+                                                           SurrogateId key) {
+  switch (org_) {
+    case KeyOrganization::kDirect: {
+      std::optional<SurrogateId> best;
+      auto range = direct_.equal_range(std::make_pair(rel_id, key));
+      for (auto it = range.first; it != range.second; ++it) {
+        if (!best || it->second < *best) best = it->second;
+      }
+      return best;
+    }
+    case KeyOrganization::kHashed: {
+      SIM_ASSIGN_OR_RETURN(std::optional<uint64_t> v,
+                           hashed_->GetFirst(EncodeRelKey(rel_id, key)));
+      if (!v) return std::optional<SurrogateId>();
+      return std::optional<SurrogateId>(*v);
     }
     case KeyOrganization::kIndexSequential: {
-      SIM_ASSIGN_OR_RETURN(std::vector<uint64_t> vals,
-                           tree_->GetAll(EncodeRelKey(rel_id, key)));
-      return std::vector<SurrogateId>(vals.begin(), vals.end());
+      SIM_ASSIGN_OR_RETURN(std::optional<uint64_t> v,
+                           tree_->GetFirst(EncodeRelKey(rel_id, key)));
+      if (!v) return std::optional<SurrogateId>();
+      return std::optional<SurrogateId>(*v);
     }
   }
   return Status::Internal("unhandled key organization");

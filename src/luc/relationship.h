@@ -46,6 +46,14 @@ class RelKeyedStore {
   // Values associated with (rel_id, key), in insertion-independent order
   // (sorted for the tree organization).
   Result<std::vector<SurrogateId>> Get(uint32_t rel_id, SurrogateId key);
+  // Same, into a caller-owned buffer (cleared first) whose capacity is
+  // reused across probes — the per-row traversal hot path.
+  Status GetInto(uint32_t rel_id, SurrogateId key,
+                 std::vector<SurrogateId>* out);
+  // First (smallest) value under (rel_id, key) without materializing the
+  // vector — the single-result hot path (primary index probes).
+  Result<std::optional<SurrogateId>> GetFirst(uint32_t rel_id,
+                                              SurrogateId key);
   Result<bool> Contains(uint32_t rel_id, SurrogateId key, SurrogateId value);
   Result<uint64_t> CountFor(uint32_t rel_id, SurrogateId key);
 

@@ -241,13 +241,22 @@ Result<PageId> BPlusTree::FindLeaf(std::string_view key) {
     SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
     SIM_ASSIGN_OR_RETURN(bool is_leaf, IsLeafPage(h.data()));
     if (is_leaf) return page;
-    InternalNode node;
-    SIM_RETURN_IF_ERROR(DecodeInternal(h.data(), &node));
-    // Descend to the leftmost child that can contain `key` so iteration
-    // over duplicates starts at the first occurrence.
-    auto pos = std::lower_bound(node.keys.begin(), node.keys.end(), key);
-    size_t idx = static_cast<size_t>(pos - node.keys.begin());
-    page = node.children[idx];
+    // Walk the encoded entries in place (entries are variable-length, so
+    // this is a linear lower_bound) and descend to the leftmost child that
+    // can contain `key`, so iteration over duplicates starts at the first
+    // occurrence.
+    const char* data = h.data();
+    uint16_t n = GetU16At(data + kNodeStart + 1);
+    PageId child = GetU32At(data + kNodeStart + 3);
+    const char* p = data + kInternalHeader;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t klen = GetU16At(p);
+      std::string_view entry_key(p + 2, klen);
+      if (entry_key >= key) break;
+      child = GetU32At(p + 2 + klen);
+      p += 2 + klen + 4;
+    }
+    page = child;
   }
 }
 
@@ -297,18 +306,52 @@ Result<bool> BPlusTree::Contains(std::string_view key) {
 
 Result<std::vector<uint64_t>> BPlusTree::GetAll(std::string_view key) {
   std::vector<uint64_t> out;
-  SIM_ASSIGN_OR_RETURN(Iterator it, Seek(key));
-  while (it.Valid() && it.key() == key) {
-    out.push_back(it.value());
-    SIM_RETURN_IF_ERROR(it.Next());
-  }
+  SIM_RETURN_IF_ERROR(GetAllInto(key, &out));
   return out;
 }
 
+Status BPlusTree::GetAllInto(std::string_view key,
+                             std::vector<uint64_t>* out) {
+  out->clear();
+  SIM_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
+  while (leaf != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(leaf));
+    const char* data = h.data();
+    if (data[kNodeStart] != 1) return Status::Internal("not a leaf node");
+    uint16_t n = GetU16At(data + kNodeStart + 1);
+    PageId next = GetU32At(data + kNodeStart + 3);
+    const char* p = data + kLeafHeader;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t klen = GetU16At(p);
+      std::string_view entry_key(p + 2, klen);
+      if (entry_key > key) return Status::Ok();
+      if (entry_key == key) out->push_back(GetU64At(p + 2 + klen));
+      p += 2 + klen + 8;
+    }
+    leaf = next;  // duplicates may continue in (or empty leaves precede) it
+  }
+  return Status::Ok();
+}
+
 Result<std::optional<uint64_t>> BPlusTree::GetFirst(std::string_view key) {
-  SIM_ASSIGN_OR_RETURN(Iterator it, Seek(key));
-  if (it.Valid() && it.key() == key) {
-    return std::optional<uint64_t>(it.value());
+  SIM_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
+  while (leaf != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(leaf));
+    const char* data = h.data();
+    if (data[kNodeStart] != 1) return Status::Internal("not a leaf node");
+    uint16_t n = GetU16At(data + kNodeStart + 1);
+    PageId next = GetU32At(data + kNodeStart + 3);
+    const char* p = data + kLeafHeader;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t klen = GetU16At(p);
+      std::string_view entry_key(p + 2, klen);
+      if (entry_key > key) return std::optional<uint64_t>();
+      if (entry_key == key) {
+        return std::optional<uint64_t>(GetU64At(p + 2 + klen));
+      }
+      p += 2 + klen + 8;
+    }
+    leaf = next;
   }
   return std::optional<uint64_t>();
 }

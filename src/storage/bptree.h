@@ -61,6 +61,11 @@ class BPlusTree {
   // All values stored under `key`.
   Result<std::vector<uint64_t>> GetAll(std::string_view key);
 
+  // Same, appending into a caller-owned buffer (cleared first). Probes the
+  // encoded pages directly — no node materialization — so repeated lookups
+  // reuse the buffer's capacity and allocate nothing.
+  Status GetAllInto(std::string_view key, std::vector<uint64_t>* out);
+
   // First value under `key`, if any.
   Result<std::optional<uint64_t>> GetFirst(std::string_view key);
 

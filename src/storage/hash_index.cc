@@ -137,17 +137,62 @@ Status HashIndex::Delete(std::string_view key, uint64_t value) {
 
 Result<std::vector<uint64_t>> HashIndex::GetAll(std::string_view key) {
   std::vector<uint64_t> out;
+  SIM_RETURN_IF_ERROR(GetAllInto(key, &out));
+  return out;
+}
+
+Status HashIndex::GetAllInto(std::string_view key,
+                             std::vector<uint64_t>* out) {
+  out->clear();
   PageId page = buckets_[BucketOf(key)];
   while (page != kInvalidPageId) {
     SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
-    BucketPage b;
-    DecodeBucket(h.data(), &b);
-    for (size_t i = 0; i < b.keys.size(); ++i) {
-      if (b.keys[i] == key) out.push_back(b.values[i]);
+    // Walk the encoded entries in place; no bucket materialization.
+    const char* data = h.data();
+    uint16_t n;
+    std::memcpy(&n, data + kBucketStart, 2);
+    PageId overflow;
+    std::memcpy(&overflow, data + kBucketStart + 2, 4);
+    const char* p = data + kBucketHeader;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t klen;
+      std::memcpy(&klen, p, 2);
+      if (std::string_view(p + 2, klen) == key) {
+        uint64_t v;
+        std::memcpy(&v, p + 2 + klen, 8);
+        out->push_back(v);
+      }
+      p += 2 + klen + 8;
     }
-    page = b.overflow;
+    page = overflow;
   }
-  return out;
+  return Status::Ok();
+}
+
+Result<std::optional<uint64_t>> HashIndex::GetFirst(std::string_view key) {
+  std::optional<uint64_t> best;
+  PageId page = buckets_[BucketOf(key)];
+  while (page != kInvalidPageId) {
+    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    const char* data = h.data();
+    uint16_t n;
+    std::memcpy(&n, data + kBucketStart, 2);
+    PageId overflow;
+    std::memcpy(&overflow, data + kBucketStart + 2, 4);
+    const char* p = data + kBucketHeader;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t klen;
+      std::memcpy(&klen, p, 2);
+      if (std::string_view(p + 2, klen) == key) {
+        uint64_t v;
+        std::memcpy(&v, p + 2 + klen, 8);
+        if (!best || v < *best) best = v;
+      }
+      p += 2 + klen + 8;
+    }
+    page = overflow;
+  }
+  return best;
 }
 
 Result<bool> HashIndex::Contains(std::string_view key) {

@@ -7,6 +7,7 @@
 // access per chain page probed; well-sized tables probe exactly one.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,12 @@ class HashIndex {
   Status Insert(std::string_view key, uint64_t value);
   Status Delete(std::string_view key, uint64_t value);
   Result<std::vector<uint64_t>> GetAll(std::string_view key);
+  // Same, appending into a caller-owned buffer (cleared first). Walks the
+  // encoded chain pages directly, so repeated probes allocate nothing once
+  // the buffer has grown.
+  Status GetAllInto(std::string_view key, std::vector<uint64_t>* out);
+  // Smallest value under `key` (matching GetAll's sorted-front), or empty.
+  Result<std::optional<uint64_t>> GetFirst(std::string_view key);
   Result<bool> Contains(std::string_view key);
 
  private:

@@ -22,34 +22,6 @@ void PutDouble(std::string* out, double v) {
   out->append(reinterpret_cast<const char*>(&v), 8);
 }
 
-bool GetU16(std::string_view* in, uint16_t* v) {
-  if (in->size() < 2) return false;
-  std::memcpy(v, in->data(), 2);
-  in->remove_prefix(2);
-  return true;
-}
-
-bool GetU32(std::string_view* in, uint32_t* v) {
-  if (in->size() < 4) return false;
-  std::memcpy(v, in->data(), 4);
-  in->remove_prefix(4);
-  return true;
-}
-
-bool GetI64(std::string_view* in, int64_t* v) {
-  if (in->size() < 8) return false;
-  std::memcpy(v, in->data(), 8);
-  in->remove_prefix(8);
-  return true;
-}
-
-bool GetDouble(std::string_view* in, double* v) {
-  if (in->size() < 8) return false;
-  std::memcpy(v, in->data(), 8);
-  in->remove_prefix(8);
-  return true;
-}
-
 void PutBigEndian64(std::string* out, uint64_t v) {
   char buf[8];
   for (int i = 7; i >= 0; --i) {
@@ -59,114 +31,321 @@ void PutBigEndian64(std::string* out, uint64_t v) {
   out->append(buf, 8);
 }
 
+// Payload size of a field body given its tag; string payloads are length
+// prefixed, so only the fixed part is returned and kString is handled
+// separately. Returns -1 for unknown tags.
+int FixedPayloadSize(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDate:
+    case ValueType::kSurrogate:
+    case ValueType::kReal:
+      return 8;
+    case ValueType::kString:
+      return 4;  // the length prefix
+  }
+  return -1;
+}
+
+// Advances `r` past one field body (tag already consumed). Returns false
+// on truncation / unknown tag.
+bool SkipFieldBody(RecordReader* r, ValueType t) {
+  int fixed = FixedPayloadSize(t);
+  if (fixed < 0) return false;
+  if (t == ValueType::kString) {
+    uint32_t len;
+    if (!r->TryReadU32(&len)) return false;
+    return r->TrySkip(len);
+  }
+  return r->TrySkip(static_cast<size_t>(fixed));
+}
+
+// Decodes one field body (tag already consumed). Bounds must have been
+// validated (RecordView::Open); decode failures are impossible then.
+Value DecodeFieldBody(RecordReader* r, ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      uint8_t b = 0;
+      r->TryReadU8(&b);
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt: {
+      int64_t v = 0;
+      r->TryReadI64(&v);
+      return Value::Int(v);
+    }
+    case ValueType::kDate: {
+      int64_t v = 0;
+      r->TryReadI64(&v);
+      return Value::Date(v);
+    }
+    case ValueType::kSurrogate: {
+      int64_t v = 0;
+      r->TryReadI64(&v);
+      return Value::Surrogate(static_cast<SurrogateId>(v));
+    }
+    case ValueType::kReal: {
+      double v = 0;
+      r->TryReadDouble(&v);
+      return Value::Real(v);
+    }
+    case ValueType::kString: {
+      uint32_t len = 0;
+      r->TryReadU32(&len);
+      std::string_view bytes;
+      r->TryReadBytes(len, &bytes);
+      return Value::Str(std::string(bytes));
+    }
+  }
+  return Value::Null();
+}
+
 }  // namespace
+
+// ----- RecordReader -----
+
+bool RecordReader::TryReadU8(uint8_t* v) {
+  if (data_.empty()) return false;
+  *v = static_cast<uint8_t>(data_[0]);
+  data_.remove_prefix(1);
+  return true;
+}
+
+bool RecordReader::TryReadU16(uint16_t* v) {
+  if (data_.size() < 2) return false;
+  std::memcpy(v, data_.data(), 2);
+  data_.remove_prefix(2);
+  return true;
+}
+
+bool RecordReader::TryReadU32(uint32_t* v) {
+  if (data_.size() < 4) return false;
+  std::memcpy(v, data_.data(), 4);
+  data_.remove_prefix(4);
+  return true;
+}
+
+bool RecordReader::TryReadI64(int64_t* v) {
+  if (data_.size() < 8) return false;
+  std::memcpy(v, data_.data(), 8);
+  data_.remove_prefix(8);
+  return true;
+}
+
+bool RecordReader::TryReadDouble(double* v) {
+  if (data_.size() < 8) return false;
+  std::memcpy(v, data_.data(), 8);
+  data_.remove_prefix(8);
+  return true;
+}
+
+bool RecordReader::TryReadBytes(size_t n, std::string_view* out) {
+  if (data_.size() < n) return false;
+  *out = data_.substr(0, n);
+  data_.remove_prefix(n);
+  return true;
+}
+
+bool RecordReader::TrySkip(size_t n) {
+  if (data_.size() < n) return false;
+  data_.remove_prefix(n);
+  return true;
+}
+
+// ----- RecordWriter -----
+
+RecordWriter::RecordWriter(std::string* out, uint16_t record_type)
+    : out_(out) {
+  PutU16(out_, record_type);
+  count_pos_ = out_->size();
+  PutU16(out_, 0);  // patched by Finish()
+}
+
+void RecordWriter::AddNull() {
+  out_->push_back(static_cast<char>(ValueType::kNull));
+  ++count_;
+}
+
+void RecordWriter::AddBool(bool b) {
+  out_->push_back(static_cast<char>(ValueType::kBool));
+  out_->push_back(b ? 1 : 0);
+  ++count_;
+}
+
+void RecordWriter::AddInt(int64_t v) {
+  out_->push_back(static_cast<char>(ValueType::kInt));
+  PutI64(out_, v);
+  ++count_;
+}
+
+void RecordWriter::AddDate(int64_t days) {
+  out_->push_back(static_cast<char>(ValueType::kDate));
+  PutI64(out_, days);
+  ++count_;
+}
+
+void RecordWriter::AddSurrogate(SurrogateId s) {
+  out_->push_back(static_cast<char>(ValueType::kSurrogate));
+  PutI64(out_, static_cast<int64_t>(s));
+  ++count_;
+}
+
+void RecordWriter::AddReal(double d) {
+  out_->push_back(static_cast<char>(ValueType::kReal));
+  PutDouble(out_, d);
+  ++count_;
+}
+
+void RecordWriter::AddString(std::string_view s) {
+  out_->push_back(static_cast<char>(ValueType::kString));
+  PutU32(out_, static_cast<uint32_t>(s.size()));
+  out_->append(s);
+  ++count_;
+}
+
+void RecordWriter::Add(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      AddNull();
+      return;
+    case ValueType::kBool:
+      AddBool(v.bool_value());
+      return;
+    case ValueType::kInt:
+      AddInt(v.int_value());
+      return;
+    case ValueType::kDate:
+      AddDate(v.date_value());
+      return;
+    case ValueType::kSurrogate:
+      AddSurrogate(v.surrogate_value());
+      return;
+    case ValueType::kReal:
+      AddReal(v.real_value());
+      return;
+    case ValueType::kString:
+      AddString(v.string_view_value());
+      return;
+  }
+}
+
+void RecordWriter::Finish() {
+  std::memcpy(&(*out_)[count_pos_], &count_, 2);
+}
+
+// ----- RecordView -----
+
+Result<RecordView> RecordView::Open(std::string_view data) {
+  RecordReader r(data);
+  RecordView view;
+  if (!r.TryReadU16(&view.record_type_) || !r.TryReadU16(&view.count_)) {
+    return Status::Corruption("truncated record header");
+  }
+  view.body_ = data.substr(4);
+  // One validation walk: every tag known, every length within bounds. The
+  // lazy accessors below rely on this and skip re-checking.
+  RecordReader check(view.body_);
+  for (uint16_t i = 0; i < view.count_; ++i) {
+    uint8_t tag;
+    if (!check.TryReadU8(&tag)) {
+      return Status::Corruption("truncated record field");
+    }
+    if (FixedPayloadSize(static_cast<ValueType>(tag)) < 0) {
+      return Status::Corruption("unknown value tag in record");
+    }
+    if (!SkipFieldBody(&check, static_cast<ValueType>(tag))) {
+      return Status::Corruption("record field exceeds record bounds");
+    }
+  }
+  return view;
+}
+
+RecordReader RecordView::SeekTo(uint16_t i) const {
+  RecordReader r(body_);
+  for (uint16_t k = 0; k < i; ++k) {
+    uint8_t tag = 0;
+    r.TryReadU8(&tag);
+    SkipFieldBody(&r, static_cast<ValueType>(tag));
+  }
+  return r;
+}
+
+Value RecordView::DecodeField(uint16_t i) const {
+  RecordReader r = SeekTo(i);
+  uint8_t tag = 0;
+  r.TryReadU8(&tag);
+  return DecodeFieldBody(&r, static_cast<ValueType>(tag));
+}
+
+std::string_view RecordView::StringField(uint16_t i) const {
+  RecordReader r = SeekTo(i);
+  uint8_t tag = 0;
+  r.TryReadU8(&tag);
+  if (static_cast<ValueType>(tag) != ValueType::kString) {
+    return std::string_view();
+  }
+  uint32_t len = 0;
+  r.TryReadU32(&len);
+  std::string_view bytes;
+  r.TryReadBytes(len, &bytes);
+  return bytes;
+}
+
+void RecordView::DecodeFieldsFrom(uint16_t first,
+                                  std::vector<Value>* out) const {
+  out->clear();
+  if (first >= count_) return;
+  out->reserve(count_ - first);
+  RecordReader r = SeekTo(first);
+  for (uint16_t i = first; i < count_; ++i) {
+    uint8_t tag = 0;
+    r.TryReadU8(&tag);
+    out->push_back(DecodeFieldBody(&r, static_cast<ValueType>(tag)));
+  }
+}
+
+// ----- whole-record conversion -----
+
+void EncodeRecordTo(uint16_t record_type, const std::vector<Value>& values,
+                    std::string* out) {
+  out->clear();
+  RecordWriter w(out, record_type);
+  for (const Value& v : values) w.Add(v);
+  w.Finish();
+}
 
 std::string EncodeRecord(uint16_t record_type,
                          const std::vector<Value>& values) {
   std::string out;
   out.reserve(16 + values.size() * 9);
-  PutU16(&out, record_type);
-  PutU16(&out, static_cast<uint16_t>(values.size()));
-  for (const Value& v : values) {
-    out.push_back(static_cast<char>(v.type()));
-    switch (v.type()) {
-      case ValueType::kNull:
-        break;
-      case ValueType::kBool:
-        out.push_back(v.bool_value() ? 1 : 0);
-        break;
-      case ValueType::kInt:
-        PutI64(&out, v.int_value());
-        break;
-      case ValueType::kDate:
-        PutI64(&out, v.date_value());
-        break;
-      case ValueType::kSurrogate:
-        PutI64(&out, static_cast<int64_t>(v.surrogate_value()));
-        break;
-      case ValueType::kReal:
-        PutDouble(&out, v.real_value());
-        break;
-      case ValueType::kString: {
-        const std::string& s = v.string_value();
-        PutU32(&out, static_cast<uint32_t>(s.size()));
-        out.append(s);
-        break;
-      }
-    }
-  }
+  EncodeRecordTo(record_type, values, &out);
   return out;
 }
 
 Status DecodeRecord(std::string_view data, uint16_t* record_type,
                     std::vector<Value>* values) {
-  uint16_t count;
-  if (!GetU16(&data, record_type) || !GetU16(&data, &count)) {
-    return Status::Internal("truncated record header");
-  }
-  values->clear();
-  values->reserve(count);
-  for (uint16_t i = 0; i < count; ++i) {
-    if (data.empty()) return Status::Internal("truncated record field");
-    auto type = static_cast<ValueType>(data[0]);
-    data.remove_prefix(1);
-    switch (type) {
-      case ValueType::kNull:
-        values->push_back(Value::Null());
-        break;
-      case ValueType::kBool: {
-        if (data.empty()) return Status::Internal("truncated bool");
-        values->push_back(Value::Bool(data[0] != 0));
-        data.remove_prefix(1);
-        break;
-      }
-      case ValueType::kInt: {
-        int64_t v;
-        if (!GetI64(&data, &v)) return Status::Internal("truncated int");
-        values->push_back(Value::Int(v));
-        break;
-      }
-      case ValueType::kDate: {
-        int64_t v;
-        if (!GetI64(&data, &v)) return Status::Internal("truncated date");
-        values->push_back(Value::Date(v));
-        break;
-      }
-      case ValueType::kSurrogate: {
-        int64_t v;
-        if (!GetI64(&data, &v)) return Status::Internal("truncated surrogate");
-        values->push_back(Value::Surrogate(static_cast<SurrogateId>(v)));
-        break;
-      }
-      case ValueType::kReal: {
-        double v;
-        if (!GetDouble(&data, &v)) return Status::Internal("truncated real");
-        values->push_back(Value::Real(v));
-        break;
-      }
-      case ValueType::kString: {
-        uint32_t len;
-        if (!GetU32(&data, &len) || data.size() < len) {
-          return Status::Internal("truncated string");
-        }
-        values->push_back(Value::Str(std::string(data.substr(0, len))));
-        data.remove_prefix(len);
-        break;
-      }
-      default:
-        return Status::Internal("unknown value tag in record");
-    }
-  }
+  SIM_ASSIGN_OR_RETURN(RecordView view, RecordView::Open(data));
+  *record_type = view.record_type();
+  view.DecodeFieldsFrom(0, values);
   return Status::Ok();
 }
 
 Result<uint16_t> PeekRecordType(std::string_view data) {
   uint16_t record_type;
-  if (!GetU16(&data, &record_type)) {
-    return Status::Internal("truncated record header");
+  RecordReader r(data);
+  if (!r.TryReadU16(&record_type)) {
+    return Status::Corruption("truncated record header");
   }
   return record_type;
 }
+
+// ----- key encodings -----
 
 Status AppendIndexKey(const Value& v, std::string* out) {
   switch (v.type()) {
@@ -206,11 +385,78 @@ Status AppendIndexKey(const Value& v, std::string* out) {
     }
     case ValueType::kString: {
       out->push_back(4);
-      out->append(v.string_value());
+      out->append(v.string_view_value());
       return Status::Ok();
     }
   }
   return Status::Internal("unhandled type in AppendIndexKey");
+}
+
+namespace {
+
+// Shared numeric canonicalization for AppendRowKey: the sort-order double
+// transform with -0.0 folded into 0.0, mirroring Value::Hash's
+// widened-double equality.
+void AppendCanonicalDouble(double d, std::string* out) {
+  if (d == 0) d = 0;  // -0.0 == 0.0 under StrictEquals
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  if (bits >> 63) {
+    bits = ~bits;
+  } else {
+    bits |= (uint64_t{1} << 63);
+  }
+  out->push_back(2);
+  PutBigEndian64(out, bits);
+}
+
+}  // namespace
+
+void AppendRowKey(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back(0);
+      return;
+    case ValueType::kBool:
+      out->push_back(1);
+      out->push_back(v.bool_value() ? 1 : 0);
+      return;
+    case ValueType::kInt: {
+      // Canonicalize through double when exact so Int(3) == Real(3.0),
+      // matching StrictEquals/Hash. Ints beyond double's exact range keep
+      // an exact integer encoding (class 5) so distinct huge ints never
+      // collapse.
+      int64_t i = v.int_value();
+      double d = static_cast<double>(i);
+      // Range check first: casting a double >= 2^63 back to int64 is UB
+      // (INT64_MAX rounds up to exactly 2^63).
+      if (d < 9223372036854775808.0 && static_cast<int64_t>(d) == i) {
+        AppendCanonicalDouble(d, out);
+        return;
+      }
+      out->push_back(5);
+      PutBigEndian64(out, static_cast<uint64_t>(i) ^ (uint64_t{1} << 63));
+      return;
+    }
+    case ValueType::kReal:
+      AppendCanonicalDouble(v.real_value(), out);
+      return;
+    case ValueType::kDate:
+      out->push_back(6);
+      PutBigEndian64(out, static_cast<uint64_t>(v.date_value()));
+      return;
+    case ValueType::kSurrogate:
+      out->push_back(3);
+      PutBigEndian64(out, v.surrogate_value());
+      return;
+    case ValueType::kString: {
+      std::string_view s = v.string_view_value();
+      out->push_back(4);
+      PutU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      return;
+    }
+  }
 }
 
 Result<std::string> EncodeIndexKey(const Value& v) {

@@ -18,6 +18,21 @@
 // a storage unit (paper §5.2: hierarchies map to one unit with one record
 // type per class).
 //
+// Three access layers:
+//  * RecordReader / RecordWriter — bounds-checked primitive cursors over a
+//    flat byte buffer (every read checks remaining bytes; a hostile length
+//    can never over-read or drive an over-allocation).
+//  * RecordView — zero-copy field access over one encoded record. Open()
+//    validates the whole record once (O(fields), no allocation); after
+//    that, individual fields decode lazily, so a scan that projects two of
+//    ten fields never materializes the other eight. A view BORROWS the
+//    underlying buffer: it is valid only while those bytes are (for a heap
+//    record, until the owning buffer is overwritten by the next read — see
+//    DESIGN.md §11 for who may hold a view across Next()).
+//  * EncodeRecord / DecodeRecord — eager whole-record conversion, built on
+//    the above. EncodeRecordTo appends into a caller-reused buffer so the
+//    steady-state write path allocates nothing.
+//
 // Index key format (memcmp-ordered):
 //   u8 type class | payload
 //     ints/dates/surrogates -> 8-byte big-endian with the sign bit flipped
@@ -35,11 +50,100 @@
 
 namespace sim {
 
+// Bounds-checked primitive reads over a byte buffer. Each TryRead*
+// advances past what it consumed and returns false (without advancing)
+// when fewer bytes remain than requested.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size(); }
+
+  bool TryReadU8(uint8_t* v);
+  bool TryReadU16(uint16_t* v);
+  bool TryReadU32(uint32_t* v);
+  bool TryReadI64(int64_t* v);
+  bool TryReadDouble(double* v);
+  // Views `n` bytes of the buffer (no copy).
+  bool TryReadBytes(size_t n, std::string_view* out);
+  bool TrySkip(size_t n);
+
+ private:
+  std::string_view data_;
+};
+
+// Appends records to a caller-owned buffer. The field count is patched
+// into the header by Finish(), so callers can emit fields as they go.
+class RecordWriter {
+ public:
+  RecordWriter(std::string* out, uint16_t record_type);
+
+  void Add(const Value& v);
+  void AddNull();
+  void AddBool(bool b);
+  void AddInt(int64_t v);
+  void AddDate(int64_t days);
+  void AddSurrogate(SurrogateId s);
+  void AddReal(double d);
+  void AddString(std::string_view s);
+
+  uint16_t field_count() const { return count_; }
+  // Patches the field count into the header. Must be called exactly once;
+  // no Add* afterwards.
+  void Finish();
+
+ private:
+  std::string* out_;
+  size_t count_pos_;
+  uint16_t count_ = 0;
+};
+
+// Zero-copy view over one encoded record.
+class RecordView {
+ public:
+  RecordView() = default;
+
+  // Validates the whole record: header, every field tag, every length
+  // against the remaining bytes. O(field count), allocation-free. Returns
+  // Corruption on truncated or hostile input. After Open succeeds, the
+  // per-field accessors below cannot fail on bounds.
+  static Result<RecordView> Open(std::string_view data);
+
+  uint16_t record_type() const { return record_type_; }
+  uint16_t field_count() const { return count_; }
+
+  // Decodes field `i` (O(i) skip over the preceding fields, but only the
+  // requested field becomes a Value). `i` must be < field_count().
+  Value DecodeField(uint16_t i) const;
+  // Zero-copy payload of a string field (the field must be kString; check
+  // with DecodeField or the caller's schema knowledge). Returns an empty
+  // view for non-string fields.
+  std::string_view StringField(uint16_t i) const;
+
+  // Decodes fields [first, field_count()) into *out (cleared first).
+  void DecodeFieldsFrom(uint16_t first, std::vector<Value>* out) const;
+
+ private:
+  // Positions a reader at field `i`; returns the reader.
+  RecordReader SeekTo(uint16_t i) const;
+
+  std::string_view body_;  // the fields area (header stripped)
+  uint16_t record_type_ = 0;
+  uint16_t count_ = 0;
+};
+
 // Encodes `values` with the given record type tag.
 std::string EncodeRecord(uint16_t record_type,
                          const std::vector<Value>& values);
 
-// Decodes a record; on success fills record_type and values.
+// Same, appending to *out (cleared first) so callers can reuse a buffer's
+// capacity across rows.
+void EncodeRecordTo(uint16_t record_type, const std::vector<Value>& values,
+                    std::string* out);
+
+// Decodes a record; on success fills record_type and values. Truncated or
+// hostile input (a string length exceeding the remaining bytes, an unknown
+// tag) returns Corruption and never over-reads or over-allocates.
 Status DecodeRecord(std::string_view data, uint16_t* record_type,
                     std::vector<Value>* values);
 
@@ -49,6 +153,20 @@ Result<uint16_t> PeekRecordType(std::string_view data);
 // Order-preserving key encoding for a single value. Appends to *out.
 // Returns TypeError for nulls (callers must not index nulls).
 Status AppendIndexKey(const Value& v, std::string* out);
+
+// Equality-preserving row-key encoding used by DISTINCT: two Values
+// produce the same bytes iff Value::StrictEquals holds (so keys from whole
+// rows can be compared with one memcmp instead of per-Value virtual
+// dispatch). Differences from AppendIndexKey: nulls are allowed (their own
+// marker), numerics are canonicalized through the widened double exactly
+// like Value::Hash (Int(3) and Real(3.0) encode identically; -0.0
+// normalizes to 0.0), dates and surrogates get distinct type classes, and
+// strings are length-prefixed so adjacent values cannot alias. One
+// deliberate refinement over StrictEquals: ints outside double's exact
+// range keep an exact integer encoding, so distinct huge ints never
+// collapse — there (and only there) keys are strictly finer than
+// StrictEquals, which is not transitive in that corner anyway.
+void AppendRowKey(const Value& v, std::string* out);
 
 // Convenience: key for one value.
 Result<std::string> EncodeIndexKey(const Value& v);

@@ -1,0 +1,105 @@
+// Unit tests for the per-statement bump arena (common/arena.h): alignment,
+// growth, string copies, and the Reset() steady-state contract (first block
+// retained, no allocation churn across reuse).
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sim {
+namespace {
+
+TEST(ArenaTest, AllocateReturnsAlignedWritableMemory) {
+  Arena arena;
+  void* a = arena.Allocate(13);
+  void* b = arena.Allocate(7);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(std::max_align_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(std::max_align_t), 0u);
+  // Both regions must be independently writable.
+  std::memset(a, 0xAB, 13);
+  std::memset(b, 0xCD, 7);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[12], 0xAB);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[6], 0xCD);
+}
+
+TEST(ArenaTest, RespectsExplicitAlignment) {
+  Arena arena;
+  arena.Allocate(1, 1);  // deliberately misalign the bump pointer
+  void* p = arena.Allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+TEST(ArenaTest, GrowsPastFirstBlock) {
+  Arena arena(64);
+  std::vector<char*> chunks;
+  for (int i = 0; i < 100; ++i) {
+    char* p = static_cast<char*>(arena.Allocate(32));
+    std::memset(p, i, 32);
+    chunks.push_back(p);
+  }
+  // Earlier chunks must survive later growth (blocks never move).
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(chunks[i][0]),
+              static_cast<unsigned char>(i));
+    EXPECT_EQ(static_cast<unsigned char>(chunks[i][31]),
+              static_cast<unsigned char>(i));
+  }
+  EXPECT_GE(arena.bytes_used(), 100u * 32u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(64);
+  char* big = static_cast<char*>(arena.Allocate(1 << 20));
+  std::memset(big, 0x5A, 1 << 20);
+  // Small allocations still work after an oversized one.
+  char* small = static_cast<char*>(arena.Allocate(16));
+  std::memset(small, 0x11, 16);
+  EXPECT_EQ(static_cast<unsigned char>(big[(1 << 20) - 1]), 0x5A);
+}
+
+TEST(ArenaTest, CopyStringPreservesBytes) {
+  Arena arena;
+  std::string s = std::string("hello") + '\0' + "world";  // embedded NUL
+  std::string_view copy = arena.CopyString(s);
+  EXPECT_EQ(copy, std::string_view(s));
+  EXPECT_NE(copy.data(), s.data());
+  std::string_view empty = arena.CopyString("");
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(ArenaTest, ResetRewindsAndKeepsFirstBlockCapacity) {
+  Arena arena(4096);
+  for (int i = 0; i < 10; ++i) arena.Allocate(100);
+  size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  // Steady state: a second identical pass must fit in the retained block
+  // without growing the reservation.
+  size_t after_reset = arena.bytes_reserved();
+  for (int i = 0; i < 10; ++i) arena.Allocate(100);
+  EXPECT_EQ(arena.bytes_reserved(), after_reset);
+}
+
+TEST(ArenaTest, ResetDropsOverflowBlocks) {
+  Arena arena(64);
+  for (int i = 0; i < 1000; ++i) arena.Allocate(64);
+  size_t grown = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_LT(arena.bytes_reserved(), grown);
+  // And the arena is still usable.
+  void* p = arena.Allocate(32);
+  std::memset(p, 0, 32);
+}
+
+}  // namespace
+}  // namespace sim

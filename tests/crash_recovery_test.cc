@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -72,7 +74,11 @@ std::set<std::string> ExpectedNames(int k) {
 constexpr uint64_t kNoCheckpoints = ~uint64_t{0};
 
 std::string TestPath(const std::string& stem) {
-  return ::testing::TempDir() + "/simdb_" + stem + ".db";
+  // Process-unique paths: parallel ctest runs each TEST in its own process,
+  // and the golden images are (re)built per process under the same stems —
+  // shared paths would let concurrent sweeps corrupt each other's goldens.
+  return ::testing::TempDir() + "/simdb_" + std::to_string(::getpid()) +
+         "_" + stem + ".db";
 }
 
 void Nuke(const std::string& path) {

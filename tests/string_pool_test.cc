@@ -1,0 +1,107 @@
+// Unit tests for the interned string pool (common/string_pool.h) and the
+// pooled-string Value representation: handle identity, lookup without
+// interning, reference stability across growth, and O(1) pooled equality.
+
+#include "common/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sim {
+namespace {
+
+TEST(StringPoolTest, InterningIsIdempotent) {
+  StringPool pool;
+  StringHandle a = pool.Intern("manager");
+  StringHandle b = pool.Intern("manager");
+  StringHandle c = pool.Intern("engineer");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.view(a), "manager");
+  EXPECT_EQ(pool.str(c), "engineer");
+}
+
+TEST(StringPoolTest, FindDoesNotIntern) {
+  StringPool pool;
+  EXPECT_FALSE(pool.Find("absent").valid());
+  EXPECT_EQ(pool.size(), 0u);
+  StringHandle h = pool.Intern("present");
+  EXPECT_EQ(pool.Find("present"), h);
+  EXPECT_FALSE(pool.Find("absent").valid());
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, DefaultHandleIsInvalid) {
+  StringHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_EQ(h.id(), StringHandle::kInvalidId);
+}
+
+TEST(StringPoolTest, ViewsStayValidAcrossGrowth) {
+  StringPool pool;
+  StringHandle first = pool.Intern("anchor");
+  std::string_view anchor = pool.view(first);
+  const char* anchor_data = anchor.data();
+  // Force heavy growth of the index and backing deque.
+  for (int i = 0; i < 10000; ++i) {
+    pool.Intern("sym-" + std::to_string(i));
+  }
+  // The original view must still reference the same stable bytes.
+  EXPECT_EQ(pool.view(first).data(), anchor_data);
+  EXPECT_EQ(pool.view(first), "anchor");
+  EXPECT_EQ(pool.size(), 10001u);
+  EXPECT_GT(pool.bytes(), 0u);
+}
+
+TEST(StringPoolTest, EmptyStringInterns) {
+  StringPool pool;
+  StringHandle e = pool.Intern("");
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(pool.view(e), "");
+  EXPECT_EQ(pool.Intern(""), e);
+}
+
+TEST(StringPoolTest, PooledValueBehavesLikeOwnedString) {
+  StringPool pool;
+  Value pooled = Value::PooledStr(&pool, pool.Intern("Manager"));
+  Value owned = Value::Str("Manager");
+  EXPECT_TRUE(pooled.is_pooled_string());
+  EXPECT_FALSE(owned.is_pooled_string());
+  EXPECT_EQ(pooled.type(), ValueType::kString);
+  EXPECT_EQ(pooled.string_view_value(), "Manager");
+  EXPECT_TRUE(pooled.StrictEquals(owned));
+  EXPECT_TRUE(owned.StrictEquals(pooled));
+  EXPECT_EQ(pooled.Hash(), owned.Hash());
+  auto cmp = pooled.Compare(owned);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(*cmp, 0);
+}
+
+TEST(StringPoolTest, PooledValueCopiesShareBytes) {
+  StringPool pool;
+  Value v = Value::PooledStr(&pool, pool.Intern("shared"));
+  Value copy = v;  // copying a pooled Value must not copy bytes
+  EXPECT_EQ(copy.string_view_value().data(), v.string_view_value().data());
+  EXPECT_TRUE(copy.StrictEquals(v));
+}
+
+TEST(StringPoolTest, SamePoolSameHandleEqualityShortCircuit) {
+  StringPool pool;
+  StringHandle h = pool.Intern("x");
+  Value a = Value::PooledStr(&pool, h);
+  Value b = Value::PooledStr(&pool, h);
+  EXPECT_TRUE(a.StrictEquals(b));
+  // Different pools with equal bytes still compare equal (byte fallback).
+  StringPool other;
+  Value c = Value::PooledStr(&other, other.Intern("x"));
+  EXPECT_TRUE(a.StrictEquals(c));
+}
+
+}  // namespace
+}  // namespace sim
