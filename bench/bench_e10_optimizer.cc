@@ -75,7 +75,7 @@ void BM_OptimizeOnly(benchmark::State& state) {
       "From department, person Retrieve name of department, name of person "
       "Where soc-sec-no of person = 100000007";
   // Warm mapper.
-  (void)db->ExecuteQuery(query);
+  if (!db->ExecuteQuery(query).ok()) abort();
   for (auto _ : state) {
     auto text = db->Explain(query);
     if (!text.ok()) state.SkipWithError(text.status().ToString().c_str());

@@ -84,7 +84,7 @@ void BM_FullDrainStreaming(benchmark::State& state) {
       ++rows;
       benchmark::DoNotOptimize(row);
     }
-    (void)cur->Close();
+    if (!cur->Close().ok()) state.SkipWithError("cursor close failed");
   }
   state.counters["rows"] = static_cast<double>(rows);
   state.SetLabel("Cursor, all rows");

@@ -128,7 +128,7 @@ uint64_t DrainCursor(sim::Database* db) {
     if (!*has) break;
     ++rows;
   }
-  (void)cur->Close();
+  if (!cur->Close().ok()) abort();
   return rows;
 }
 

@@ -87,7 +87,7 @@ void BM_AdviseeTraversal(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    (void)pool.InvalidateAll();
+    if (!pool.InvalidateAll().ok()) abort();
     pool.ResetStats();
     state.ResumeTiming();
     sim::SurrogateId inst = (*instructors)[i++ % instructors->size()];

@@ -69,7 +69,8 @@ void BM_ReadAllInheritedAttributes(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    (void)pool.InvalidateAll();  // cold cache: distinct pages show as misses
+    // Cold cache: distinct pages show as misses.
+    if (!pool.InvalidateAll().ok()) abort();
     pool.ResetStats();
     state.ResumeTiming();
     sim::SurrogateId s = (*extent)[i++ % extent->size()];

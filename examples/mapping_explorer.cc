@@ -40,12 +40,14 @@ void Run(const Scenario& scenario) {
       // Many:many traversal both directions.
       "From Course Retrieve title, name of students-enrolled",
   };
-  for (const char* q : kQueries) (void)db->ExecuteQuery(q);
+  for (const char* q : kQueries) {
+    if (!db->ExecuteQuery(q).ok()) abort();  // warm-up must succeed
+  }
 
   sim::BufferPool& pool = db->buffer_pool();
   std::printf("%-34s %16s %8s\n", scenario.name, "logical-fetches", "misses");
   for (const char* q : kQueries) {
-    (void)pool.InvalidateAll();  // cold cache per query
+    if (!pool.InvalidateAll().ok()) abort();  // cold cache per query
     pool.ResetStats();
     auto rs = db->ExecuteQuery(q);
     if (!rs.ok()) {

@@ -13,6 +13,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+echo "== project invariants (lint_invariants.sh) =="
+# Sub-second greppable rules (no naked std::mutex, no naked new in hot
+# paths, annotated locks, [[nodiscard]] Status) — run first so a
+# violation fails before anything compiles.
+scripts/lint_invariants.sh
+
 echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
@@ -42,6 +48,17 @@ ctest --test-dir build-ubsan --output-on-failure -j "$jobs" "$@"
 
 echo "== crash-recovery sweep under UBSan =="
 ./build-ubsan/tests/simdb_tests --gtest_filter='CrashRecoveryTest.*'
+
+echo "== sanitized build (TSan) + concurrency stress suite =="
+# ThreadSanitizer watches the surfaces the thread-safety annotations
+# promise are safe: the group-commit pipeline, Cursor::Cancel vs drain,
+# metrics scrapes racing statement execution, and the trace sink.
+# halt_on_error makes the first report fail the run immediately.
+cmake -B build-tsan -S . -DTSAN=ON >/dev/null
+cmake --build build-tsan -j "$jobs"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ./build-tsan/tests/simdb_tests \
+  --gtest_filter='ConcurrencyStressTest.*:GroupCommitInterleavingTest.*'
 
 echo "== hardened build (STRICT=ON: warnings are errors) =="
 cmake -B build-strict -S . -DSTRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \

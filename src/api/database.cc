@@ -97,10 +97,10 @@ void Database::RegisterMetrics() {
   // Plain-struct component stats (RetryStats, WAL Stats) are sampled
   // through callbacks at scrape time; the structs stay the source of
   // truth for their historical accessors.
-  auto retry_field = [this](uint64_t RetryStats::*field) {
+  auto retry_field = [this](RelaxedCounter RetryStats::*field) {
     return [this, field]() {
-      uint64_t n = resilient_pager_->retry_stats().*field;
-      if (wal_ != nullptr) n += wal_->retry_stats().*field;
+      uint64_t n = (resilient_pager_->retry_stats().*field).value();
+      if (wal_ != nullptr) n += (wal_->retry_stats().*field).value();
       return n;
     };
   };
@@ -160,9 +160,13 @@ void Database::RegisterMetrics() {
   // LUC mapper update-path work and optimizer planning activity. Both
   // components are built lazily (EnsureMapper), so the callbacks must
   // tolerate sampling a database that has run no data statement yet.
-  auto luc_field = [this](uint64_t LucMapper::Stats::*field) {
-    return [this, field]() {
-      return mapper_ != nullptr ? mapper_->stats().*field : 0;
+  // Scrape callbacks must not read mapper_/optimizer_ (unique_ptrs the
+  // execution thread assigns lazily); they read the scrape_* pointers,
+  // which are release-published only once the engine is constructed.
+  auto luc_field = [this](RelaxedCounter LucMapper::Stats::*field) {
+    return [this, field]() -> uint64_t {
+      const LucMapper* m = scrape_mapper_.load(std::memory_order_acquire);
+      return m != nullptr ? (m->stats().*field).value() : 0;
     };
   };
   metrics_.RegisterCallback("simdb_luc_entities_created_total",
@@ -180,25 +184,25 @@ void Database::RegisterMetrics() {
   metrics_.RegisterCallback("simdb_luc_mutations_total",
                             "All data mutations (the optimizer's "
                             "staleness signal).",
-                            [this]() {
-                              return mapper_ != nullptr
-                                         ? mapper_->mutation_count()
-                                         : 0;
+                            [this]() -> uint64_t {
+                              const LucMapper* m = scrape_mapper_.load(
+                                  std::memory_order_acquire);
+                              return m != nullptr ? m->mutation_count() : 0;
                             });
   metrics_.RegisterCallback("simdb_opt_plans_total",
                             "Access plans produced by the optimizer.",
-                            [this]() {
-                              return optimizer_ != nullptr
-                                         ? optimizer_->plans_made()
-                                         : 0;
+                            [this]() -> uint64_t {
+                              const Optimizer* o = scrape_optimizer_.load(
+                                  std::memory_order_acquire);
+                              return o != nullptr ? o->plans_made() : 0;
                             });
   metrics_.RegisterCallback("simdb_opt_stats_refreshes_total",
                             "Statistics snapshots re-collected for "
                             "planning.",
-                            [this]() {
-                              return optimizer_ != nullptr
-                                         ? optimizer_->stats_refreshes()
-                                         : 0;
+                            [this]() -> uint64_t {
+                              const Optimizer* o = scrape_optimizer_.load(
+                                  std::memory_order_acquire);
+                              return o != nullptr ? o->stats_refreshes() : 0;
                             });
 }
 
@@ -228,11 +232,13 @@ Database::~Database() {
   // Checkpoint down to the metadata baseline: the database file absorbs
   // the committed pages and the log keeps only what the next Open needs
   // to rebuild catalog + mapper.
-  if (!ddl_history_.empty()) {
-    (void)wal_->Checkpoint(io_pager(), ddl_history_, snapshot);
-  } else {
-    (void)wal_->Checkpoint(io_pager());
-  }
+  // Close is best-effort, but a disk-full checkpoint failure must still
+  // flip the read-only latch so a racing reader of read_only() agrees
+  // with what the next Open will see.
+  Status cp = ddl_history_.empty()
+                  ? wal_->Checkpoint(io_pager())
+                  : wal_->Checkpoint(io_pager(), ddl_history_, snapshot);
+  NoteIoStatus(cp);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -305,12 +311,13 @@ Result<std::unique_ptr<Database>> Database::Open(
     }
     SIM_RETURN_IF_ERROR(raw->wal_->AppendCommit());
     if (raw->wal_->size_bytes() > raw->options_.wal_checkpoint_bytes) {
-      if (!raw->ddl_history_.empty()) {
-        (void)raw->wal_->Checkpoint(raw->io_pager(), raw->ddl_history_,
-                                    snapshot);
-      } else {
-        (void)raw->wal_->Checkpoint(raw->io_pager());
-      }
+      // A failed threshold checkpoint is retried at the next commit (the
+      // log simply stays large), but disk-full must degrade to read-only.
+      Status cp = raw->ddl_history_.empty()
+                      ? raw->wal_->Checkpoint(raw->io_pager())
+                      : raw->wal_->Checkpoint(raw->io_pager(),
+                                              raw->ddl_history_, snapshot);
+      raw->NoteIoStatus(cp);
     }
     return Status::Ok();
   });
@@ -393,6 +400,10 @@ Status Database::RecoverMetadata() {
     integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
     SIM_RETURN_IF_ERROR(integrity_->Prepare());
     optimizer_ = std::make_unique<Optimizer>(mapper_.get());
+    // Recovery runs inside Open (no scrapers exist yet), but keep the
+    // invariant that scrape_* tracks mapper_/optimizer_ whenever set.
+    scrape_mapper_.store(mapper_.get(), std::memory_order_release);
+    scrape_optimizer_.store(optimizer_.get(), std::memory_order_release);
   }
   // Seal the log: one atomic rewrite leaves exactly the reinstalled
   // metadata as the new baseline. Until this succeeds the old log stays
@@ -426,6 +437,11 @@ Status Database::EnsureMapper() {
   integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
   SIM_RETURN_IF_ERROR(integrity_->Prepare());
   optimizer_ = std::make_unique<Optimizer>(mapper_.get());
+  // Publish for concurrent metrics scrapes only now that both engines are
+  // fully constructed: the release stores pair with the acquire loads in
+  // the scrape callbacks registered by RegisterMetrics.
+  scrape_mapper_.store(mapper_.get(), std::memory_order_release);
+  scrape_optimizer_.store(optimizer_.get(), std::memory_order_release);
   return Status::Ok();
 }
 
@@ -553,6 +569,8 @@ Database::Cursor::Cursor(Cursor&&) noexcept = default;
 Database::Cursor& Database::Cursor::operator=(Cursor&&) noexcept = default;
 
 Database::Cursor::~Cursor() {
+  // A destructor cannot propagate failure; Close is best-effort here and
+  // callers who care about teardown errors call Close() themselves.
   if (impl_ != nullptr) (void)Close();
 }
 
@@ -576,7 +594,7 @@ Result<bool> Database::Cursor::Next(Row* row) {
   }
   if (!has.ok()) {
     im->terminal = has.status();
-    (void)Close();
+    im->terminal.Update(Close());
     return im->terminal;
   }
   if (*has) {
@@ -743,8 +761,9 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
   while (true) {
     Result<bool> has = pplan.root->Next(cx, &row);
     if (!has.ok()) {
-      (void)pplan.root->Close(cx);
-      return has.status();
+      Status fail = has.status();
+      fail.Update(pplan.root->Close(cx));
+      return fail;
     }
     if (!*has) break;
     ++cx.stats.rows_emitted;
@@ -837,7 +856,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
       // Commit could not be made durable; roll the statement back so the
       // in-memory state matches what recovery will reconstruct.
       NoteIoStatus(committed);
-      (void)txn_manager_.Abort(txn);
+      committed.Update(txn_manager_.Abort(txn));
       return committed;
     }
   }
@@ -912,7 +931,7 @@ Status Database::ExecuteScript(std::string_view dml_script) {
       Status committed = txn_manager_.Commit(txn);
       if (!committed.ok()) {
         NoteIoStatus(committed);
-        (void)txn_manager_.Abort(txn);
+        committed.Update(txn_manager_.Abort(txn));
         return committed;
       }
     }
@@ -939,7 +958,7 @@ Status Database::Commit() {
   if (!s.ok()) {
     // Durability failed; undo the transaction so memory and disk agree.
     NoteIoStatus(s);
-    (void)txn_manager_.Abort(current_txn_);
+    s.Update(txn_manager_.Abort(current_txn_));
   }
   current_txn_ = nullptr;
   return s;

@@ -20,6 +20,7 @@
 // mapping is frozen when the mapper is built); schema evolution requires a
 // new database.
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -328,6 +329,14 @@ class Database {
   std::unique_ptr<IntegrityChecker> integrity_;
   // Long-lived: statistics auto-refresh via the mapper mutation counter.
   std::unique_ptr<Optimizer> optimizer_;
+  // Mapper/optimizer pointers as seen by concurrent metrics scrapes. The
+  // engines are built lazily on the execution thread (EnsureMapper), so a
+  // scrape callback reading mapper_/optimizer_ directly would race the
+  // unique_ptr assignment. These are published with a release store only
+  // after the object is fully constructed; scrape callbacks acquire-load
+  // them (the stats they then read are RelaxedCounter cells).
+  std::atomic<LucMapper*> scrape_mapper_{nullptr};
+  std::atomic<Optimizer*> scrape_optimizer_{nullptr};
   TransactionManager txn_manager_;
   Transaction* current_txn_ = nullptr;
   bool read_only_ = false;

@@ -1,0 +1,105 @@
+#ifndef SIMDB_COMMON_MUTEX_H_
+#define SIMDB_COMMON_MUTEX_H_
+
+// Annotated synchronization primitives. Every mutex in src/ is a
+// sim::Mutex (scripts/lint_invariants.sh rejects naked std::mutex /
+// std::lock_guard / std::condition_variable), so every lock acquisition
+// is visible to Clang's thread-safety analysis: fields carry
+// SIM_GUARDED_BY(mu_), lock-holding private helpers carry
+// SIM_REQUIRES(mu_), and the STRICT build promotes any violation to an
+// error. See DESIGN.md §12 for the lock hierarchy and the annotation
+// conventions.
+//
+// The wrappers add no state and no behavior over the std primitives —
+// Mutex is exactly a std::mutex, MutexLock exactly a lock_guard, CondVar
+// exactly a condition_variable whose waits take the MutexLock by
+// reference (which is what lets the analysis know the capability is held
+// across the wait).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace sim {
+
+class CondVar;
+
+class SIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() SIM_RELEASE() { mu_.unlock(); }
+  bool TryLock() SIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock. Scoped acquisition is the only idiom the codebase uses for
+// public entry points; functions that must hold a lock across a call
+// boundary take SIM_REQUIRES(mu) instead and are named *Locked.
+class SIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SIM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SIM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+// Condition variable bound to sim::Mutex through MutexLock. Waits adopt
+// the already-held native mutex for the duration of the underlying
+// std::condition_variable wait and release it back to the MutexLock
+// before returning, so from the analysis's (correct) point of view the
+// capability is held continuously around the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_for(native, dur);
+    native.release();
+    return st;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_until(native, deadline);
+    native.release();
+    return st;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_MUTEX_H_

@@ -1,0 +1,61 @@
+#ifndef SIMDB_COMMON_RELAXED_COUNTER_H_
+#define SIMDB_COMMON_RELAXED_COUNTER_H_
+
+// A monotonic uint64 statistic cell that may be read by a concurrent
+// metrics scrape while the owning component mutates it.
+//
+// Components keep plain stats structs (RetryStats, LucMapper::Stats) whose
+// fields are bumped on the single execution thread, but Database's metrics
+// callbacks sample those fields from arbitrary scraper threads
+// (MetricsText() is documented thread-safe against statement execution).
+// A plain uint64_t there is a data race — ThreadSanitizer flags it and the
+// C++ memory model gives it no meaning. RelaxedCounter makes each field an
+// atomic cell with relaxed ordering: increments stay a single uncontended
+// RMW on the hot path, scrapes read a torn-free value, and — unlike
+// std::atomic — the type is copyable, so stats structs can still be
+// snapshotted, merged and reset by value exactly as before.
+//
+// Relaxed ordering is sufficient because each cell is an independent
+// monotonic count; nothing orders against it. Anything that must be
+// observed consistently with other state belongs under a sim::Mutex
+// instead (see common/mutex.h and DESIGN.md §12).
+
+#include <atomic>
+#include <cstdint>
+
+namespace sim {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t v) : v_(v) {}  // NOLINT: implicit by design
+
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return value(); }  // NOLINT: implicit by design
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t n) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_COMMON_RELAXED_COUNTER_H_

@@ -44,7 +44,13 @@ const char* StatusCodeName(StatusCode code);
 
 // A Status is either OK or carries a code plus a message describing what
 // went wrong. Statuses are cheap to copy in the OK case.
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status is how I/O errors, constraint
+// violations and governor trips get lost — the compiler rejects it
+// tree-wide (-Werror in the STRICT build). Call sites that genuinely
+// cannot act on a failure (best-effort cleanup in destructors) must say
+// so explicitly with a (void) cast and a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -110,6 +116,14 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // First-error-wins accumulator for cleanup/unwind paths: keeps *this
+  // when already failed (the primary error), otherwise adopts `other`.
+  // Makes "the primary error outranks a secondary cleanup failure" an
+  // explicit, greppable policy instead of a silently discarded result.
+  void Update(Status other) {
+    if (ok()) *this = std::move(other);
+  }
+
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -118,9 +132,10 @@ class Status {
   std::string message_;
 };
 
-// Result<T> is a Status plus, when OK, a value of type T.
+// Result<T> is a Status plus, when OK, a value of type T. [[nodiscard]]
+// for the same reason as Status: an ignored Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : status_(), value_(std::move(value)) {}

@@ -1,0 +1,68 @@
+#ifndef SIMDB_COMMON_THREAD_ANNOTATIONS_H_
+#define SIMDB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (the GUARDED_BY family).
+// The annotations turn the locking discipline documented in comments into
+// machine-checked contracts: `-Wthread-safety` (enabled as an error in the
+// STRICT build whenever the compiler supports it — CMake probes the flag)
+// rejects any access to a SIM_GUARDED_BY field without its mutex held and
+// any call to a SIM_REQUIRES function without the stated capability.
+//
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so the annotated code is portable; the analysis simply runs on
+// clang builds only. Follows the naming of the canonical Abseil/LLVM
+// macros with a SIM_ prefix to keep the global namespace clean.
+
+#if defined(__clang__) && !defined(SIM_NO_THREAD_SAFETY_ANALYSIS)
+#define SIM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SIM_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Declares a type to be a lockable capability ("mutex").
+#define SIM_CAPABILITY(x) SIM_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII type that acquires a capability at construction and
+// releases it at destruction (MutexLock).
+#define SIM_SCOPED_CAPABILITY SIM_THREAD_ANNOTATION_(scoped_lockable)
+
+// Declares that a field may only be read/written with the given mutex
+// held. This is the workhorse annotation: every shared field in the WAL,
+// the trace ring and the metrics registry carries one.
+#define SIM_GUARDED_BY(x) SIM_THREAD_ANNOTATION_(guarded_by(x))
+
+// Like SIM_GUARDED_BY, for pointers: the POINTED-TO data is guarded (the
+// pointer itself may be read freely).
+#define SIM_PT_GUARDED_BY(x) SIM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function-level contracts: the caller must hold (REQUIRES) or must NOT
+// hold (EXCLUDES) the listed capabilities across the call.
+#define SIM_REQUIRES(...) \
+  SIM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SIM_EXCLUDES(...) SIM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// The function acquires/releases the capability itself (Mutex::Lock /
+// Unlock and the MutexLock constructor/destructor).
+#define SIM_ACQUIRE(...) \
+  SIM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SIM_RELEASE(...) \
+  SIM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SIM_TRY_ACQUIRE(...) \
+  SIM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Lock-ordering declaration: this mutex must be acquired after `x`.
+#define SIM_ACQUIRED_AFTER(...) \
+  SIM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define SIM_ACQUIRED_BEFORE(...) \
+  SIM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+// The function returns a reference to a mutex-guarded object without
+// taking the lock (accessors handing out cells for lock-free update).
+#define SIM_LOCK_RETURNED(x) SIM_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (CondVar's adopt/
+// release dance over the native handle). Use sparingly, with a comment.
+#define SIM_NO_THREAD_SAFETY_ANALYSIS \
+  SIM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SIMDB_COMMON_THREAD_ANNOTATIONS_H_

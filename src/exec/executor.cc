@@ -80,14 +80,17 @@ Result<ResultSet> Executor::Run(const QueryTree& qt, const AccessPlan* plan,
   while (true) {
     Result<bool> has = pplan.root->Next(cx, &row);
     if (!has.ok()) {
-      (void)pplan.root->Close(cx);
-      return has.status();
+      // The Next failure is the primary error; a Close failure on the
+      // unwind path rides along only if Next somehow succeeded.
+      Status fail = has.status();
+      fail.Update(pplan.root->Close(cx));
+      return fail;
     }
     if (!*has) break;
     if (qctx != nullptr) {
       Status charged = qctx->ChargeRows();
       if (!charged.ok()) {
-        (void)pplan.root->Close(cx);
+        charged.Update(pplan.root->Close(cx));
         return charged;
       }
     }

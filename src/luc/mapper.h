@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "catalog/directory.h"
+#include "common/relaxed_counter.h"
 #include "catalog/luc_translation.h"
 #include "common/status.h"
 #include "common/string_pool.h"
@@ -208,13 +209,14 @@ class LucMapper {
 
   // Mutation counts by category — the update-path mirror of the
   // executor's read-side ExecStats. Sampled by the Database's metrics
-  // registry at scrape time (simdb_luc_*).
+  // registry at scrape time (simdb_luc_*) from scraper threads while the
+  // execution thread mutates, hence RelaxedCounter fields.
   struct Stats {
-    uint64_t entities_created = 0;
-    uint64_t role_changes = 0;    // AddRole / DeleteRole / ClusterNear
-    uint64_t fields_set = 0;      // single-valued DVA writes
-    uint64_t mv_changes = 0;      // multi-valued DVA adds / removes
-    uint64_t eva_changes = 0;     // EVA instance adds / removes
+    RelaxedCounter entities_created;
+    RelaxedCounter role_changes;  // AddRole / DeleteRole / ClusterNear
+    RelaxedCounter fields_set;    // single-valued DVA writes
+    RelaxedCounter mv_changes;    // multi-valued DVA adds / removes
+    RelaxedCounter eva_changes;   // EVA instance adds / removes
   };
   const Stats& stats() const { return stats_; }
 
@@ -346,7 +348,7 @@ class LucMapper {
   std::vector<uint64_t> eva_pair_counts_;
 
   SurrogateId next_surrogate_ = 1;
-  uint64_t mutation_count_ = 0;
+  RelaxedCounter mutation_count_;
   Stats stats_;
 
   // Memoized name resolution. The catalog and physical schema are frozen

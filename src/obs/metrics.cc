@@ -45,14 +45,14 @@ MetricsRegistry::Entry& MetricsRegistry::Register(const std::string& name,
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = Find(name)) return &e->counter;
   return &Register(name, help, Kind::kCounter).counter;
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = Find(name)) return &e->gauge;
   return &Register(name, help, Kind::kGauge).gauge;
 }
@@ -60,7 +60,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<uint64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Entry* e = Find(name)) return e->histogram.get();
   Entry& e = Register(name, help, Kind::kHistogram);
   if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
@@ -71,7 +71,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 void MetricsRegistry::RegisterCounterView(const std::string& name,
                                           const std::string& help,
                                           const Counter* cell) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Find(name) != nullptr) return;
   Register(name, help, Kind::kCounterView).view = cell;
 }
@@ -79,13 +79,13 @@ void MetricsRegistry::RegisterCounterView(const std::string& name,
 void MetricsRegistry::RegisterCallback(const std::string& name,
                                        const std::string& help,
                                        std::function<uint64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Find(name) != nullptr) return;
   Register(name, help, Kind::kCallback).fn = std::move(fn);
 }
 
 std::string MetricsRegistry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const Entry& e : entries_) {
     out += "# HELP " + e.name + " " + e.help + "\n";
@@ -127,7 +127,7 @@ std::string MetricsRegistry::TextExposition() const {
 }
 
 std::vector<Sample> MetricsRegistry::Samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Sample> out;
   for (const Entry& e : entries_) {
     switch (e.kind) {

@@ -25,9 +25,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sim {
 namespace obs {
@@ -101,29 +103,32 @@ class MetricsRegistry {
   // Creates (or returns the existing) registry-owned metric. The pointer
   // stays valid for the registry's lifetime; callers cache it and update
   // lock-free.
-  Counter* GetCounter(const std::string& name, const std::string& help);
-  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Counter* GetCounter(const std::string& name, const std::string& help)
+      SIM_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help)
+      SIM_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, const std::string& help,
-                          std::vector<uint64_t> bounds = {});
+                          std::vector<uint64_t> bounds = {})
+      SIM_EXCLUDES(mu_);
 
   // Exposes an externally-owned counter cell (e.g. BufferPool's): the
   // component keeps updating its own Counter, the registry reads it at
   // scrape time. `cell` must outlive the registry.
   void RegisterCounterView(const std::string& name, const std::string& help,
-                           const Counter* cell);
+                           const Counter* cell) SIM_EXCLUDES(mu_);
 
   // Exposes a value computed at scrape time (legacy plain-struct stats:
   // RetryStats, WAL counters). `fn` must stay callable for the registry's
   // lifetime and is invoked under the registry mutex.
   void RegisterCallback(const std::string& name, const std::string& help,
-                        std::function<uint64_t()> fn);
+                        std::function<uint64_t()> fn) SIM_EXCLUDES(mu_);
 
   // Prometheus text exposition: # HELP / # TYPE headers followed by
   // name value lines, histograms expanded to _bucket/_sum/_count series.
-  std::string TextExposition() const;
+  std::string TextExposition() const SIM_EXCLUDES(mu_);
 
   // The same data flattened for SHOW METRICS, in registration order.
-  std::vector<Sample> Samples() const;
+  std::vector<Sample> Samples() const SIM_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCounterView, kCallback };
@@ -139,11 +144,16 @@ class MetricsRegistry {
     std::function<uint64_t()> fn;    // kCallback
   };
 
-  Entry* Find(const std::string& name);
-  Entry& Register(const std::string& name, const std::string& help, Kind kind);
+  Entry* Find(const std::string& name) SIM_REQUIRES(mu_);
+  Entry& Register(const std::string& name, const std::string& help, Kind kind)
+      SIM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;  // deque: stable pointers across registration
+  // Guards registration and scrape. The metric cells themselves are
+  // relaxed atomics updated lock-free; only the entry list (and the
+  // scrape-time callback invocations) need the lock.
+  mutable Mutex mu_;
+  std::deque<Entry> entries_
+      SIM_GUARDED_BY(mu_);  // deque: stable pointers across registration
 };
 
 }  // namespace obs

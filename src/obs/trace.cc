@@ -85,7 +85,7 @@ uint64_t TraceLog::NowUs() const {
 }
 
 void TraceLog::Record(TraceEvent e) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sink_.is_open()) {
     sink_ << e.ToNdjson() << "\n";
     sink_.flush();
@@ -95,12 +95,12 @@ void TraceLog::Record(TraceEvent e) {
 }
 
 std::vector<TraceEvent> TraceLog::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<TraceEvent>(ring_.begin(), ring_.end());
 }
 
 std::string TraceLog::Ndjson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const TraceEvent& e : ring_) {
     out += e.ToNdjson();

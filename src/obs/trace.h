@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sim {
 namespace obs {
@@ -62,23 +64,28 @@ class TraceLog {
   // unique, not dense across threads).
   uint64_t BeginStatement();
 
-  void Record(TraceEvent e);
+  void Record(TraceEvent e) SIM_EXCLUDES(mu_);
 
   // Microseconds since the log's epoch (span start stamps).
   uint64_t NowUs() const;
 
   // Ring snapshot, oldest first.
-  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events() const SIM_EXCLUDES(mu_);
   // The ring rendered as NDJSON, one event per line.
-  std::string Ndjson() const;
+  std::string Ndjson() const SIM_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<uint64_t> next_stmt_{1};
-  mutable std::mutex mu_;
-  std::deque<TraceEvent> ring_;
-  std::ofstream sink_;  // open iff a sink path was configured
+  // One lock covers the ring and the sink: Record appends to both, and
+  // interleaving two statements' lines in the NDJSON file would corrupt
+  // the one-object-per-line framing.
+  mutable Mutex mu_;
+  std::deque<TraceEvent> ring_ SIM_GUARDED_BY(mu_);
+  // Open iff a sink path was configured (the open itself happens in the
+  // constructor, before the log is shared).
+  std::ofstream sink_ SIM_GUARDED_BY(mu_);
 };
 
 // RAII span. Constructed against a TraceLog (null = fully disabled) and

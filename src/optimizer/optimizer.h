@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/relaxed_counter.h"
 #include "luc/mapper.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/stats.h"
@@ -102,8 +103,10 @@ class Optimizer {
   CostModel cost_model_;
   // Mapper mutation count at the time stats_ was collected.
   uint64_t stats_mutation_count_ = 0;
-  uint64_t plans_made_ = 0;
-  uint64_t stats_refreshes_ = 0;
+  // Sampled by metrics scrapes concurrent with planning; see
+  // common/relaxed_counter.h.
+  RelaxedCounter plans_made_;
+  RelaxedCounter stats_refreshes_;
 };
 
 }  // namespace sim

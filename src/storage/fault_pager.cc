@@ -103,7 +103,9 @@ Status FaultInjectingPager::Write(PageId id, const char* data) {
     char mixed[kPageSize];
     if (!base_->Read(id, mixed).ok()) std::memset(mixed, 0, kPageSize);
     std::memcpy(mixed, data, allowed);
-    (void)base_->Write(id, mixed);
+    // The injected fault `s` is the outcome under test; the torn image is
+    // scenery, and a failure writing it only makes the tear shorter.
+    s.Update(base_->Write(id, mixed));
   }
   return s;
 }

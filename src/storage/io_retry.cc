@@ -107,8 +107,9 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats,
     last = op();
     if (!IsTransientIo(last)) return last;
     if (attempt == max_attempts) break;
-    uint64_t delay_us = policy.BackoffUs(
-        attempt, stats != nullptr ? stats->attempts : attempt);
+    uint64_t salt = stats != nullptr ? stats->attempts.value()
+                                     : static_cast<uint64_t>(attempt);
+    uint64_t delay_us = policy.BackoffUs(attempt, salt);
     if (stats != nullptr) {
       ++stats->retries;
       stats->backoff_us_total += delay_us;

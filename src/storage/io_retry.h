@@ -25,6 +25,7 @@
 #include <functional>
 #include <string>
 
+#include "common/relaxed_counter.h"
 #include "common/status.h"
 
 namespace sim {
@@ -79,11 +80,16 @@ struct RetryPolicy {
   uint64_t BackoffUs(int retry_index, uint64_t salt) const;
 };
 
+// Fields are RelaxedCounter (copyable relaxed atomics) because
+// Database's metrics callbacks sample a live RetryStats from scraper
+// threads while the execution thread is inside RetryTransient; see
+// common/relaxed_counter.h. The struct itself stays copyable, so
+// "snapshot into a local, merge under a lock" call sites are unchanged.
 struct RetryStats {
-  uint64_t attempts = 0;        // operations attempted (incl. first tries)
-  uint64_t retries = 0;         // re-attempts after a transient failure
-  uint64_t giveups = 0;         // transient failures that outlasted budget
-  uint64_t backoff_us_total = 0;
+  RelaxedCounter attempts;  // operations attempted (incl. first tries)
+  RelaxedCounter retries;   // re-attempts after a transient failure
+  RelaxedCounter giveups;   // transient failures that outlasted budget
+  RelaxedCounter backoff_us_total;
 };
 
 // Runs `op` until it returns a non-transient status or the attempt budget

@@ -83,10 +83,14 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 
 WriteAheadLog::~WriteAheadLog() {
   StopGroupCommit();
+  MutexLock lock(mu_);
   if (fd_ >= 0) ::close(fd_);
 }
 
 Status WriteAheadLog::Scan() {
+  // Runs inside Open, before the log is shared; the lock is for the
+  // analysis (every guarded field it writes), not for contention.
+  MutexLock lock(mu_);
   off_t file_size = ::lseek(fd_, 0, SEEK_END);
   if (file_size < 0) return Status::IoError("cannot seek WAL " + path_);
   std::string buf;
@@ -228,7 +232,7 @@ Status WriteAheadLog::FlushPendingLocked() {
 }
 
 Status WriteAheadLog::AppendPageImage(PageId id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t payload_off = append_off_ + kFrameHeader;
   SIM_RETURN_IF_ERROR(WriteFrame(kWalFramePageImage, id, data, kPageSize,
                                  /*stamp_page_checksum=*/true));
@@ -245,12 +249,12 @@ Status WriteAheadLog::AppendMetaLocked(uint8_t type, std::string_view payload) {
 }
 
 Status WriteAheadLog::AppendMetaDdl(std::string_view ddl_text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendMetaLocked(kWalFrameMetaDdl, ddl_text);
 }
 
 Status WriteAheadLog::AppendMetaSnapshot(std::string_view snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendMetaLocked(kWalFrameMetaSnapshot, snapshot);
 }
 
@@ -264,25 +268,32 @@ Status WriteAheadLog::CommitLocked() {
 }
 
 Status WriteAheadLog::AppendCommit() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!gc_worker_.joinable()) return CommitLocked();
-  }
   // Group commit: take a ticket and wait for the durability thread to
   // cover it. Several waiters' tickets ride the same commit frame + fsync.
-  std::unique_lock<std::mutex> lock(gc_mu_);
-  uint64_t ticket = ++gc_issued_;
-  // Wake the worker only on the ticket that completes the expected batch;
-  // intermediate tickets cost two context switches apiece to deliver,
-  // which on one core rivals the fsync being amortized. When the expected
-  // batch never fills (committers went away), the worker's timed wait
-  // notices the stragglers on its own.
-  uint64_t pending = gc_issued_ - gc_resolved_;
-  if (pending >= gc_expected_batch_) {
-    gc_work_cv_.notify_one();
+  // The worker resolves every ticket issued before gc_stop_ is set (it
+  // drains until issued == resolved before exiting), and the gc_stop_
+  // check below keeps a committer racing StopGroupCommit from enqueueing
+  // a ticket the departed worker would never resolve — that committer
+  // falls through to the direct single-fsync path instead.
+  if (gc_running_.load(std::memory_order_acquire)) {
+    MutexLock lock(gc_mu_);
+    if (!gc_stop_) {
+      uint64_t ticket = ++gc_issued_;
+      // Wake the worker only on the ticket that completes the expected
+      // batch; intermediate tickets cost two context switches apiece to
+      // deliver, which on one core rivals the fsync being amortized. When
+      // the expected batch never fills (committers went away), the
+      // worker's timed wait notices the stragglers on its own.
+      uint64_t pending = gc_issued_ - gc_resolved_;
+      if (pending >= gc_expected_batch_) {
+        gc_work_cv_.NotifyOne();
+      }
+      while (gc_resolved_ < ticket) gc_done_cv_.Wait(lock);
+      return gc_batch_status_;
+    }
   }
-  gc_done_cv_.wait(lock, [&] { return gc_resolved_ >= ticket; });
-  return gc_batch_status_;
+  MutexLock lock(mu_);
+  return CommitLocked();
 }
 
 Status WriteAheadLog::SyncLocked() {
@@ -293,139 +304,153 @@ Status WriteAheadLog::SyncLocked() {
 }
 
 Status WriteAheadLog::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SIM_RETURN_IF_ERROR(FlushPendingLocked());
   return SyncLocked();
 }
 
 void WriteAheadLog::StartGroupCommit(obs::Histogram* batch_size_hist) {
   if (gc_worker_.joinable()) return;
-  gc_stop_ = false;
+  {
+    MutexLock lock(gc_mu_);
+    gc_stop_ = false;
+  }
   gc_batch_hist_ = batch_size_hist;
   gc_worker_ = std::thread([this] { GroupCommitLoop(); });
+  gc_running_.store(true, std::memory_order_release);
 }
 
 void WriteAheadLog::StopGroupCommit() {
   if (!gc_worker_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(gc_mu_);
+    MutexLock lock(gc_mu_);
     gc_stop_ = true;
   }
-  gc_work_cv_.notify_all();
+  gc_work_cv_.NotifyAll();
   gc_worker_.join();
+  gc_running_.store(false, std::memory_order_release);
 }
 
 void WriteAheadLog::GroupCommitLoop() {
-  std::unique_lock<std::mutex> lock(gc_mu_);
   for (;;) {
-    // Committers only signal the ticket that completes the expected batch,
-    // so when fewer committers than expected remain, their tickets arrive
-    // silently: poll for them on a timeout. If a full timeout passes with
-    // no tickets at all, the load is gone — drop back to per-ticket
-    // wakeups (expected batch 1) so the idle worker can sleep indefinitely
-    // instead of polling.
-    while (!(gc_stop_ || gc_issued_ > gc_resolved_)) {
-      if (gc_expected_batch_ > 1) {
-        if (gc_work_cv_.wait_for(lock, std::chrono::microseconds(500)) ==
-                std::cv_status::timeout &&
-            gc_issued_ == gc_resolved_) {
-          gc_expected_batch_ = 1;
-        }
-      } else {
-        gc_work_cv_.wait(lock);
-      }
-    }
-    if (gc_issued_ == gc_resolved_) {
-      if (gc_stop_) return;
-      continue;
-    }
-    // Adaptive batch window: committers resolved by the previous batch
-    // re-enter within microseconds of being woken, but cutting the batch
-    // the instant the first ticket appears would miss them — batches then
-    // alternate between halves of the committer population. Expect about
-    // as many tickets as the last batch carried and give them a bounded
-    // window to arrive. A lone committer (expected batch 1) never waits.
-    if (gc_issued_ - gc_resolved_ < gc_expected_batch_) {
-      auto deadline =
-          std::chrono::steady_clock::now() + std::chrono::microseconds(200);
-      gc_work_cv_.wait_until(lock, deadline, [&] {
-        return gc_stop_ || gc_issued_ - gc_resolved_ >= gc_expected_batch_;
-      });
-    }
-    // Everything issued by now rides one commit record. New tickets that
-    // arrive while this batch fsyncs form the next batch.
-    uint64_t batch_end = gc_issued_;
-    uint64_t batch_begin = gc_resolved_ + 1;
-    lock.unlock();
-    // Write the commit frame under mu_, but fsync OUTSIDE it (guarded by
-    // sync_mu_ so the fd cannot be swapped away mid-sync): committers keep
-    // appending while the barrier is in flight, which is what lets the next
-    // batch grow — the whole point of group commit. The latest_ map is
-    // snapshotted at the frame write; promoting the live map after the
-    // fsync would claim images the barrier never covered.
-    Status s;
-    std::map<PageId, uint64_t> snapshot;
-    uint64_t epoch = 0;
-    int fd = -1;
-    std::unique_lock<std::mutex> sync_lock(sync_mu_, std::defer_lock);
+    uint64_t batch_begin = 0;
+    uint64_t batch_end = 0;
     {
-      std::lock_guard<std::mutex> wal_lock(mu_);
-      s = WriteFrame(kWalFrameCommit, 0, nullptr, 0);
-      // One pwrite covers every frame the batch's committers buffered —
-      // this is where batching pays twice: one write AND one fsync.
-      if (s.ok()) s = FlushPendingLocked();
-      if (s.ok()) {
-        snapshot = latest_;
-        epoch = reset_epoch_;
-        fd = fd_;
-        sync_lock.lock();
+      MutexLock lock(gc_mu_);
+      // Committers only signal the ticket that completes the expected
+      // batch, so when fewer committers than expected remain, their
+      // tickets arrive silently: poll for them on a timeout. If a full
+      // timeout passes with no tickets at all, the load is gone — drop
+      // back to per-ticket wakeups (expected batch 1) so the idle worker
+      // can sleep indefinitely instead of polling.
+      while (!(gc_stop_ || gc_issued_ > gc_resolved_)) {
+        if (gc_expected_batch_ > 1) {
+          if (gc_work_cv_.WaitFor(lock, std::chrono::microseconds(500)) ==
+                  std::cv_status::timeout &&
+              gc_issued_ == gc_resolved_) {
+            gc_expected_batch_ = 1;
+          }
+        } else {
+          gc_work_cv_.Wait(lock);
+        }
       }
-    }
-    if (s.ok()) {
-      // Local retry stats: concurrent appenders update retry_stats_ under
-      // mu_, which we no longer hold here.
-      RetryStats local;
-      s = RetryTransient(retry_, &local, [&]() -> Status {
-        if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
-        return FullFsync(fd, "fsync of WAL " + path_);
-      });
-      sync_lock.unlock();
-      std::lock_guard<std::mutex> wal_lock(mu_);
-      retry_stats_.attempts += local.attempts;
-      retry_stats_.retries += local.retries;
-      retry_stats_.giveups += local.giveups;
-      // A truncate/baseline reset during the fsync already invalidated the
-      // image maps; promoting a stale snapshot would resurrect them.
-      if (s.ok() && epoch == reset_epoch_) {
-        committed_ = std::move(snapshot);
-        ++stats_.commits;
+      if (gc_issued_ == gc_resolved_) {
+        if (gc_stop_) return;
+        continue;
       }
-      ++stats_.group_commit_batches;
-    } else {
-      std::lock_guard<std::mutex> wal_lock(mu_);
-      ++stats_.group_commit_batches;
+      // Adaptive batch window: committers resolved by the previous batch
+      // re-enter within microseconds of being woken, but cutting the batch
+      // the instant the first ticket appears would miss them — batches
+      // then alternate between halves of the committer population. Expect
+      // about as many tickets as the last batch carried and give them a
+      // bounded window to arrive. A lone committer (expected batch 1)
+      // never waits.
+      if (gc_issued_ - gc_resolved_ < gc_expected_batch_) {
+        auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+        while (!(gc_stop_ ||
+                 gc_issued_ - gc_resolved_ >= gc_expected_batch_)) {
+          if (gc_work_cv_.WaitUntil(lock, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      // Everything issued by now rides one commit record. New tickets that
+      // arrive while this batch fsyncs form the next batch.
+      batch_end = gc_issued_;
+      batch_begin = gc_resolved_ + 1;
     }
+    Status s = GroupCommitBarrier();
     if (gc_batch_hist_ != nullptr) {
       gc_batch_hist_->Observe(batch_end - batch_begin + 1);
     }
-    lock.lock();
-    gc_expected_batch_ = batch_end - batch_begin + 1;
-    // One status covers the whole batch (they shared one frame + fsync).
-    // A committer from an older batch that reads a NEWER batch's status is
-    // still sound: a later successful fsync durably covers every earlier
-    // frame, and a later failure is merely conservative.
-    gc_batch_status_ = s;
-    gc_resolved_ = batch_end;
+    {
+      MutexLock lock(gc_mu_);
+      gc_expected_batch_ = batch_end - batch_begin + 1;
+      // One status covers the whole batch (they shared one frame + fsync).
+      // A committer from an older batch that reads a NEWER batch's status
+      // is still sound: a later successful fsync durably covers every
+      // earlier frame, and a later failure is merely conservative.
+      gc_batch_status_ = s;
+      gc_resolved_ = batch_end;
+    }
     // Notify with gc_mu_ released so the first woken committer does not
     // immediately block on the mutex this thread still holds.
-    lock.unlock();
-    gc_done_cv_.notify_all();
-    lock.lock();
+    gc_done_cv_.NotifyAll();
   }
 }
 
+Status WriteAheadLog::GroupCommitBarrier() {
+  // Write the commit frame under mu_, but fsync OUTSIDE it (guarded by
+  // sync_mu_ so the fd cannot be swapped away mid-sync): committers keep
+  // appending while the barrier is in flight, which is what lets the next
+  // batch grow — the whole point of group commit. The latest_ map is
+  // snapshotted at the frame write; promoting the live map after the
+  // fsync would claim images the barrier never covered.
+  Status s;
+  std::map<PageId, uint64_t> snapshot;
+  uint64_t epoch = 0;
+  int fd = -1;
+  {
+    MutexLock lock(mu_);
+    s = WriteFrame(kWalFrameCommit, 0, nullptr, 0);
+    // One pwrite covers every frame the batch's committers buffered —
+    // this is where batching pays twice: one write AND one fsync.
+    if (s.ok()) s = FlushPendingLocked();
+    if (!s.ok()) {
+      ++stats_.group_commit_batches;
+      return s;
+    }
+    snapshot = latest_;
+    epoch = reset_epoch_;
+    fd = fd_;
+    sync_mu_.Lock();  // released after the fsync below; order: mu_ first
+  }
+  // Local retry stats: concurrent appenders update retry_stats_ under
+  // mu_, which we no longer hold here.
+  RetryStats local;
+  s = RetryTransient(retry_, &local, [&]() -> Status {
+    if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
+    return FullFsync(fd, "fsync of WAL " + path_);
+  });
+  sync_mu_.Unlock();
+  MutexLock lock(mu_);
+  retry_stats_.attempts += local.attempts;
+  retry_stats_.retries += local.retries;
+  retry_stats_.giveups += local.giveups;
+  // A truncate/baseline reset during the fsync already invalidated the
+  // image maps; promoting a stale snapshot would resurrect them.
+  if (s.ok() && epoch == reset_epoch_) {
+    committed_ = std::move(snapshot);
+    ++stats_.commits;
+  }
+  ++stats_.group_commit_batches;
+  return s;
+}
+
 Status WriteAheadLog::ReadImage(PageId id, char* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = latest_.find(id);
   if (it == latest_.end()) {
     return Status::NotFound("no WAL image for page " + std::to_string(id));
@@ -558,7 +583,7 @@ Status WriteAheadLog::ResetWithBaselineLocked(
   // is unlinked) and adopt the new one. sync_mu_ keeps the swap out from
   // under a group-commit fsync that targets the old descriptor.
   {
-    std::lock_guard<std::mutex> sync_lock(sync_mu_);
+    MutexLock sync_lock(sync_mu_);
     ::close(fd_);
     fd_ = tmp_fd;
   }
@@ -574,12 +599,12 @@ Status WriteAheadLog::ResetWithBaselineLocked(
 
 Status WriteAheadLog::ResetWithBaseline(const std::vector<std::string>& ddl,
                                         const std::string& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ResetWithBaselineLocked(ddl, snapshot);
 }
 
 Status WriteAheadLog::Checkpoint(Pager* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (append_off_ == 0) return Status::Ok();
   SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, nullptr));
   SIM_RETURN_IF_ERROR(db->Sync());
@@ -591,7 +616,7 @@ Status WriteAheadLog::Checkpoint(Pager* db) {
 Status WriteAheadLog::Checkpoint(Pager* db,
                                  const std::vector<std::string>& ddl,
                                  const std::string& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, nullptr));
   SIM_RETURN_IF_ERROR(db->Sync());
   SIM_RETURN_IF_ERROR(ResetWithBaselineLocked(ddl, snapshot));
@@ -600,7 +625,7 @@ Status WriteAheadLog::Checkpoint(Pager* db,
 }
 
 Result<uint64_t> WriteAheadLog::Recover(Pager* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t replayed = 0;
   if (append_off_ == 0) {
     // Nothing committed; drop any torn/uncommitted tail left on disk.

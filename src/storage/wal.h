@@ -54,17 +54,18 @@
 // All log I/O consults an optional FaultInjector so crash schedules are
 // deterministic and testable without killing the process.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/fault_pager.h"
 #include "storage/io_retry.h"
@@ -108,7 +109,7 @@ class WriteAheadLog {
   // left intact — the caller reinstalls catalog + mapper from
   // recovered_ddl()/recovered_snapshot() and calls ResetWithBaseline(),
   // which replaces the log atomically. Returns the pages replayed.
-  Result<uint64_t> Recover(Pager* db);
+  Result<uint64_t> Recover(Pager* db) SIM_EXCLUDES(mu_);
 
   // Committed metadata captured by the opening scan: every committed DDL
   // batch in execution order, and the newest committed mapper snapshot
@@ -119,44 +120,46 @@ class WriteAheadLog {
   const std::string& recovered_snapshot() const { return recovered_snapshot_; }
 
   // Appends one page image (stamping its checksum). Buffered until Sync.
-  Status AppendPageImage(PageId id, const char* data);
+  Status AppendPageImage(PageId id, const char* data) SIM_EXCLUDES(mu_);
 
   // Appends one metadata frame. Like page images these only become part of
   // the committed state once a commit record follows.
-  Status AppendMetaDdl(std::string_view ddl_text);
-  Status AppendMetaSnapshot(std::string_view snapshot);
+  Status AppendMetaDdl(std::string_view ddl_text) SIM_EXCLUDES(mu_);
+  Status AppendMetaSnapshot(std::string_view snapshot) SIM_EXCLUDES(mu_);
 
   // Appends a commit record and fsyncs the log. On return the images and
   // metadata appended so far are the durable committed state. With group
   // commit running this enqueues a ticket and blocks until the durability
   // thread has covered it with a (possibly shared) commit frame + fsync.
-  Status AppendCommit();
+  Status AppendCommit() SIM_EXCLUDES(mu_, gc_mu_);
 
-  Status Sync();
+  Status Sync() SIM_EXCLUDES(mu_);
 
   // Launches the background durability thread. `batch_size_hist`, when
   // non-null, records the number of commit tickets each fsync covered.
   // Idempotent; StopGroupCommit (or destruction) drains and joins.
   void StartGroupCommit(obs::Histogram* batch_size_hist);
   void StopGroupCommit();
-  bool group_commit_running() const { return gc_worker_.joinable(); }
+  bool group_commit_running() const {
+    return gc_running_.load(std::memory_order_acquire);
+  }
 
   // True when the newest version of `id` lives in the log rather than the
   // database file.
-  bool HasImage(PageId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool HasImage(PageId id) const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return latest_.count(id) > 0;
   }
-  Status ReadImage(PageId id, char* out) const;
+  Status ReadImage(PageId id, char* out) const SIM_EXCLUDES(mu_);
 
   // Copies the newest committed image of every logged page into `db`,
   // fsyncs it, then truncates the log. Must only be called at a commit
   // boundary (no uncommitted images in the log). The metadata-preserving
   // form seals the truncated log with a fresh baseline (ResetWithBaseline)
   // instead of leaving it empty.
-  Status Checkpoint(Pager* db);
+  Status Checkpoint(Pager* db) SIM_EXCLUDES(mu_);
   Status Checkpoint(Pager* db, const std::vector<std::string>& ddl,
-                    const std::string& snapshot);
+                    const std::string& snapshot) SIM_EXCLUDES(mu_);
 
   // Atomically replaces the log's content with a metadata baseline: one
   // kMetaDdl frame per DDL batch, one kMetaSnapshot frame when `snapshot`
@@ -165,14 +168,32 @@ class WriteAheadLog {
   // new baseline — never a metadata-free gap. Drops any page images still
   // tracked (callers ensure they are durable in the database file first).
   Status ResetWithBaseline(const std::vector<std::string>& ddl,
-                           const std::string& snapshot);
+                           const std::string& snapshot) SIM_EXCLUDES(mu_);
 
   // Bytes currently in the log (drives the checkpoint-threshold policy).
-  uint64_t size_bytes() const { return append_off_; }
-  bool empty() const { return append_off_ == 0; }
-  uint64_t last_lsn() const { return next_lsn_ - 1; }
-  const Stats& stats() const { return stats_; }
-  const RetryStats& retry_stats() const { return retry_stats_; }
+  // Copies under mu_: with group commit running, the durability thread
+  // mutates these concurrently with the owner's policy reads — the
+  // pre-annotation unlocked accessors were data races (found by TSan).
+  uint64_t size_bytes() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return append_off_;
+  }
+  bool empty() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return append_off_ == 0;
+  }
+  uint64_t last_lsn() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return next_lsn_ - 1;
+  }
+  Stats stats() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+  RetryStats retry_stats() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return retry_stats_;
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -184,7 +205,7 @@ class WriteAheadLog {
   // committed metadata; sets append_off_ to just after the last complete
   // commit record and records how much torn/uncommitted tail will be
   // discarded.
-  Status Scan();
+  Status Scan() SIM_EXCLUDES(mu_);
 
   // Serializes one frame (header + payload + crc) at the next LSN into
   // `out` and advances next_lsn_. With `stamp_page_checksum`, the payload
@@ -192,87 +213,103 @@ class WriteAheadLog {
   // callers then need no intermediate stamped buffer.
   void BuildFrame(uint8_t type, PageId id, const char* payload,
                   size_t payload_len, std::string* out,
-                  bool stamp_page_checksum = false);
+                  bool stamp_page_checksum = false) SIM_REQUIRES(mu_);
   // Buffers one frame in pending_ (no file I/O); FlushPendingLocked
   // writes the whole accumulation with a single pwrite. Committers
   // therefore pay no syscall per append — the flush rides the commit
   // path, where one batch-sized write amortizes across every frame.
   Status WriteFrame(uint8_t type, PageId id, const char* payload,
-                    size_t payload_len, bool stamp_page_checksum = false);
-  Status FlushPendingLocked();
-  Status AppendMetaLocked(uint8_t type, std::string_view payload);
+                    size_t payload_len,
+                    bool stamp_page_checksum = false) SIM_REQUIRES(mu_);
+  Status FlushPendingLocked() SIM_REQUIRES(mu_);
+  Status AppendMetaLocked(uint8_t type, std::string_view payload)
+      SIM_REQUIRES(mu_);
   // Commit frame + fsync + promote latest_ to committed_. Callers hold mu_.
-  Status CommitLocked();
-  Status SyncLocked();
+  Status CommitLocked() SIM_REQUIRES(mu_);
+  Status SyncLocked() SIM_REQUIRES(mu_);
   // Copies every image in `images` into `db`, extending it when needed.
   Status ReplayImages(const std::map<PageId, uint64_t>& images, Pager* db,
-                      uint64_t* replayed);
-  Status TruncateAllLocked();
+                      uint64_t* replayed) SIM_REQUIRES(mu_);
+  Status TruncateAllLocked() SIM_REQUIRES(mu_);
   Status ResetWithBaselineLocked(const std::vector<std::string>& ddl,
-                                 const std::string& snapshot);
+                                 const std::string& snapshot)
+      SIM_REQUIRES(mu_);
   void GroupCommitLoop();
+  // One group-commit barrier: commit frame + flush under mu_, fsync under
+  // sync_mu_ only (appends proceed), promotion back under mu_.
+  Status GroupCommitBarrier() SIM_EXCLUDES(mu_);
 
   std::string path_;
-  int fd_;
-  FaultInjector* injector_;
-  RetryPolicy retry_;
-  RetryStats retry_stats_;
+  // Swapped by the baseline rewrite under mu_ AND sync_mu_; the barrier
+  // copies it under mu_ before fsyncing outside the lock.
+  int fd_ SIM_GUARDED_BY(mu_);
+  FaultInjector* const injector_;
+  const RetryPolicy retry_;
+  RetryStats retry_stats_ SIM_GUARDED_BY(mu_);
   // Guards the append path, the image maps and the fd swap. The group
   // durability thread does NOT hold it across its fsync (appends proceed
   // while a batch syncs); it snapshots latest_ at the commit frame so the
   // batch's coverage stays exact.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Held (after mu_, released before it) around any fsync issued without
   // mu_, and by the fd-swapping baseline rewrite: the descriptor can never
   // be closed while a sync is in flight. Lock order: mu_ then sync_mu_.
-  std::mutex sync_mu_;
+  Mutex sync_mu_ SIM_ACQUIRED_AFTER(mu_);
   // Bumped whenever the image maps are wholesale invalidated (truncate,
   // baseline rewrite); a group batch only promotes its snapshot if no
   // invalidation happened while it was fsyncing.
-  uint64_t reset_epoch_ = 0;
+  uint64_t reset_epoch_ SIM_GUARDED_BY(mu_) = 0;
   // Byte offset where the next frame goes (== valid LOGICAL log length,
   // including frames still buffered in pending_).
-  uint64_t append_off_ = 0;
+  uint64_t append_off_ SIM_GUARDED_BY(mu_) = 0;
   // Frames built but not yet written to the file; always flushed (and
   // fsynced) before a commit record is considered durable, so committed_
   // offsets are always backed by the file while latest_ offsets may still
   // point into this buffer.
-  std::string pending_;
+  std::string pending_ SIM_GUARDED_BY(mu_);
   // File bytes [0, flushed_off_) hold the flushed logical prefix.
-  uint64_t flushed_off_ = 0;
-  uint64_t next_lsn_ = 1;
+  uint64_t flushed_off_ SIM_GUARDED_BY(mu_) = 0;
+  uint64_t next_lsn_ SIM_GUARDED_BY(mu_) = 1;
   // page id -> byte offset of the newest payload for that page.
-  std::map<PageId, uint64_t> latest_;
+  std::map<PageId, uint64_t> latest_ SIM_GUARDED_BY(mu_);
   // Same, frozen at the last commit record.
-  std::map<PageId, uint64_t> committed_;
-  // Committed metadata from the opening scan (recovery input).
+  std::map<PageId, uint64_t> committed_ SIM_GUARDED_BY(mu_);
+  // Committed metadata from the opening scan (recovery input). Written
+  // only by Scan() during Open, immutable afterwards, so the const&
+  // accessors above need no lock.
   std::vector<std::string> recovered_ddl_;
   std::string recovered_snapshot_;
-  Stats stats_;
+  Stats stats_ SIM_GUARDED_BY(mu_);
 
   // Group-commit state. Tickets are sequence numbers: a committer takes
   // ++gc_issued_ and waits until a batch result covering it appears.
+  // gc_worker_ itself is touched only by the owner thread (Start/Stop/
+  // destructor); committers consult gc_running_ instead so they never
+  // race the join.
   std::thread gc_worker_;
-  std::mutex gc_mu_;
+  std::atomic<bool> gc_running_{false};
+  Mutex gc_mu_;
   // Two condition variables so a ticket enqueue wakes ONLY the worker and
   // a batch resolution wakes ONLY the committers: with one shared cv every
   // enqueue would wake the whole blocked population (O(P^2) futex wakes
   // per batch), which dominates on a single core.
-  std::condition_variable gc_work_cv_;
-  std::condition_variable gc_done_cv_;
-  bool gc_stop_ = false;
-  uint64_t gc_issued_ = 0;
-  uint64_t gc_resolved_ = 0;
+  CondVar gc_work_cv_;
+  CondVar gc_done_cv_;
+  bool gc_stop_ SIM_GUARDED_BY(gc_mu_) = false;
+  uint64_t gc_issued_ SIM_GUARDED_BY(gc_mu_) = 0;
+  uint64_t gc_resolved_ SIM_GUARDED_BY(gc_mu_) = 0;
   // Size of the last batch; the worker waits (briefly) for about this many
   // tickets before cutting the next batch, so a steady committer
   // population rides one fsync together instead of alternating halves.
-  uint64_t gc_expected_batch_ = 1;
+  uint64_t gc_expected_batch_ SIM_GUARDED_BY(gc_mu_) = 1;
   // Status of the most recent batch. A committer whose ticket is covered
   // reads this; if it was descheduled long enough for a LATER batch to
   // resolve first, it reads that batch's status instead — safe in both
   // directions, because a later successful fsync covers every earlier
   // frame, and a later failure is merely a conservative error report.
-  Status gc_batch_status_ = Status::Ok();
+  Status gc_batch_status_ SIM_GUARDED_BY(gc_mu_) = Status::Ok();
+  // Set by StartGroupCommit before the worker exists; immutable while it
+  // runs (the spawn/join are the synchronization points).
   obs::Histogram* gc_batch_hist_ = nullptr;
 };
 
