@@ -143,6 +143,45 @@ if [ -z "$meta_records" ] || [ "$meta_records" -le 0 ]; then
   exit 1
 fi
 
+echo "== corruption containment & repair (bit rot under ASan) =="
+# Plant durable bit rot on a heap page, then drive the full detect →
+# contain → repair lifecycle through simdb_check's exit taxonomy:
+#   1 degraded-but-serving after the scrub quarantines the page,
+#   3 repaired after REPAIR DATABASE salvages and re-audits clean,
+#   0 clean on the final plain audit.
+./build-asan/tools/simdb_check --file "$waldir/rot.db" \
+  "$waldir/schema.ddl" "$waldir/data.dml" || {
+    echo "expected exit 0 building the rot fixture"; exit 1; }
+# The last page of the file is the single unit's heap page (relationship
+# structures allocate first); smash its middle without restamping the CRC.
+rot_size=$(stat -c%s "$waldir/rot.db" 2>/dev/null ||
+           stat -f%z "$waldir/rot.db")
+rot_off=$(( (rot_size / 4096 - 1) * 4096 + 2048 ))
+dd if=/dev/zero bs=1 count=64 2>/dev/null | tr '\0' '\377' |
+  dd of="$waldir/rot.db" bs=1 seek="$rot_off" conv=notrunc 2>/dev/null
+scrub_rc=0
+scrub_out=$(./build-asan/tools/simdb_check --scrub --metrics \
+  --file "$waldir/rot.db") || scrub_rc=$?
+printf '%s\n' "$scrub_out"
+if [ "$scrub_rc" -ne 1 ]; then
+  echo "expected exit 1 (degraded but serving) from --scrub, got $scrub_rc"
+  exit 1
+fi
+printf '%s\n' "$scrub_out" | grep -q 'simdb_degraded 1' || {
+  echo "expected simdb_degraded 1 while quarantined"; exit 1; }
+repair_rc=0
+repair_out=$(./build-asan/tools/simdb_check --repair \
+  --file "$waldir/rot.db") || repair_rc=$?
+printf '%s\n' "$repair_out"
+if [ "$repair_rc" -ne 3 ]; then
+  echo "expected exit 3 (repaired) from --repair, got $repair_rc"
+  exit 1
+fi
+printf '%s\n' "$repair_out" | grep -q 'post-repair audit: clean' || {
+  echo "expected a clean post-repair audit"; exit 1; }
+./build-asan/tools/simdb_check --file "$waldir/rot.db" || {
+  echo "expected exit 0 (clean) auditing the repaired database"; exit 1; }
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (profile: .clang-tidy) =="
   find src -name '*.cc' -print0 |

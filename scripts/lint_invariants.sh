@@ -24,6 +24,14 @@
 #      cannot propagate failure; the policy comment lives in
 #      src/common/status.h). `(void)` on libc calls (unlink in cleanup
 #      paths) and on unused parameters is not a Status suppression.
+#   6. kDataLoss is never silently swallowed. A quarantined page may be
+#      tolerated (degraded service, DESIGN.md §13) but every tolerance
+#      site must leave a trace: within the next few lines it either
+#      counts the loss (++skipped, counter increment), neutralizes the
+#      page (free-estimate assignment), or redirects (return). A bare
+#      `continue;` after the code check would make records vanish with
+#      no record of the vanishing — the exact failure mode the typed
+#      kDataLoss code exists to prevent.
 #
 # Usage: scripts/lint_invariants.sh   (exits non-zero on any violation)
 set -uo pipefail
@@ -101,6 +109,25 @@ unexpected=$(printf '%s\n' "$suppressions" | grep -vE "$allowed" | grep -v '^$')
 if [ -n "$unexpected" ]; then
   report "new (void) suppression of a Status result (propagate it or Status::Update into the primary error):" \
     "$unexpected"
+fi
+
+# --- 6. kDataLoss never silently swallowed ------------------------------
+# Every comparison against StatusCode::kDataLoss in src/ must be followed
+# (within 5 lines) by an accounting action: an increment, an assignment
+# that retargets future work, a counter, or a return that propagates.
+dataloss_silent=$(awk '
+  /StatusCode::kDataLoss/ && FILENAME ~ /\.cc$/ {
+    found = 0
+    for (i = 0; i <= 5 && (getline line) > 0; ++i) {
+      if (line ~ /\+\+|[^=!<>]= |return|Increment|push_back/) { found = 1; break }
+    }
+    if (!found)
+      printf "%s:%d: %s\n", FILENAME, FNR, $0
+  }
+' $(find src -name '*.cc'))
+if [ -n "$dataloss_silent" ]; then
+  report "kDataLoss tolerated with no accounting (count the loss, retarget, or propagate — never silently skip):" \
+    "$dataloss_silent"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -28,6 +28,7 @@
 #include "catalog/directory.h"
 #include "catalog/luc_translation.h"
 #include "check/check.h"
+#include "check/repair.h"
 #include "common/query_context.h"
 #include "common/status.h"
 #include "exec/executor.h"
@@ -42,6 +43,8 @@
 #include "storage/buffer_pool.h"
 #include "storage/fault_pager.h"
 #include "storage/pager.h"
+#include "storage/quarantine.h"
+#include "storage/scrub.h"
 #include "storage/txn.h"
 #include "storage/wal.h"
 
@@ -93,6 +96,14 @@ struct DatabaseOptions {
   // optional NDJSON event-log sink. Component counters (buffer pool, WAL,
   // I/O retry) are maintained and scrapeable regardless of `obs.enabled`.
   obs::ObsOptions obs;
+  // Online scrubber (DESIGN.md §13): when enabled on a file-backed
+  // database a paced background thread walks the durable pages verifying
+  // checksums and quarantining rot before a query ever touches it. SCRUB
+  // DATABASE / simdb_check --scrub run a full synchronous pass regardless
+  // of this flag.
+  bool background_scrub = false;
+  uint64_t scrub_interval_ms = 50;
+  uint64_t scrub_pages_per_tick = 64;
 };
 
 class Database {
@@ -174,6 +185,32 @@ class Database {
 
   // Runs a sequence of update statements, each statement-atomic.
   Status ExecuteScript(std::string_view dml_script);
+
+  // --- corruption containment & repair (DESIGN.md §13) ---
+
+  // SCRUB DATABASE: a full synchronous detection pass over the durable
+  // pages — every CRC verified, every heap record decoded through
+  // RecordView. Rotted pages are quarantined (and the registry logged);
+  // the report carries what was found. Works while degraded or read-only.
+  Result<Scrubber::Report> Scrub();
+
+  // REPAIR DATABASE: detection sweep, then salvage (check/repair.h), then
+  // the durability epilogue — flush, persist the now-empty quarantine,
+  // snapshot, commit, checkpoint — then a full re-audit. Rejected inside
+  // an explicit transaction and in read-only (disk-full) mode.
+  struct RepairResult {
+    Repairer::Report report;
+    Scrubber::Report scrub;       // the pre-repair detection sweep
+    uint64_t audit_findings = 0;  // findings in the post-repair audit
+  };
+  Result<RepairResult> Repair();
+
+  // Bad-page registry: reads touching these pages fail with kDataLoss
+  // while everything else keeps serving (degraded service).
+  const QuarantineRegistry& quarantine() const { return quarantine_; }
+  // True while service is degraded: read-only after disk-full, or at
+  // least one page quarantined. Mirrors the simdb_degraded gauge.
+  bool degraded() const { return read_only_ || !quarantine_.empty(); }
 
   // Runs the simcheck invariant audit over whatever is available: the
   // catalog always, storage + pages when the physical layer exists. Never
@@ -311,11 +348,17 @@ class Database {
   obs::Counter* m_gov_trips_ = nullptr;
   obs::Histogram* m_group_batch_ = nullptr;
   DirectoryManager dir_;
+  // Declared before the storage stack: the buffer pool and the scrubber
+  // hold pointers into the registry, so it must be destroyed after them.
+  QuarantineRegistry quarantine_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<FaultInjectingPager> fault_pager_;
   std::unique_ptr<ResilientPager> resilient_pager_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<BufferPool> pool_;
+  // Declared after wal_/pool_ so it is destroyed (joined) first; the
+  // destructor also stops it explicitly before the clean-close sequence.
+  std::unique_ptr<Scrubber> scrubber_;
   uint64_t recovered_pages_ = 0;
   uint64_t recovered_meta_records_ = 0;
   uint64_t recovery_us_ = 0;
@@ -339,7 +382,9 @@ class Database {
   std::atomic<Optimizer*> scrape_optimizer_{nullptr};
   TransactionManager txn_manager_;
   Transaction* current_txn_ = nullptr;
-  bool read_only_ = false;
+  // Atomic: flipped on the execution thread, read by metrics scrape
+  // threads (the simdb_degraded gauge).
+  std::atomic<bool> read_only_{false};
   Executor::ExecStats last_exec_stats_;
   AccessPlan last_plan_;
 };

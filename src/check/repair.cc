@@ -1,0 +1,1006 @@
+#include "check/repair.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "catalog/directory.h"
+#include "common/strings.h"
+#include "luc/luc.h"
+#include "luc/relationship.h"
+#include "storage/bptree.h"
+#include "storage/page.h"
+#include "storage/record_codec.h"
+#include "storage/wal.h"
+
+namespace sim {
+
+namespace {
+
+// Normalized key for a symmetric pair (unordered under symmetry).
+std::pair<SurrogateId, SurrogateId> Norm(SurrogateId a, SurrogateId b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+std::string Repairer::Report::ToString() const {
+  std::string s = "reformatted " + std::to_string(pages_reformatted) +
+                  " pages, " + "dropped " + std::to_string(records_dropped) +
+                  " records / " + std::to_string(entities_dropped) +
+                  " entities, nulled " + std::to_string(fields_nulled) +
+                  " fields, dropped " + std::to_string(mv_values_dropped) +
+                  " mv values / " + std::to_string(eva_pairs_dropped) +
+                  " eva pairs, rebuilt " + std::to_string(structures_rebuilt) +
+                  " structures\n";
+  for (const std::string& m : manifest) s += "  salvaged-away: " + m + "\n";
+  return s;
+}
+
+void Repairer::Junk(HeapFile* file, RecordId rid) {
+  if (junk_seen_.insert(PackRecordId(rid)).second) {
+    junk_.emplace_back(file, rid);
+  }
+}
+
+void Repairer::DropEntity(SurrogateId s, const std::string& why,
+                          Report* out) {
+  if (!dropped_.insert(s).second) return;
+  eff_roles_.erase(s);
+  for (auto& unit_map : recs_) {
+    auto it = unit_map.find(s);
+    if (it != unit_map.end()) it->second.drop = true;
+  }
+  for (MvRec& m : mv_recs_) {
+    if (m.owner == s) m.drop = true;
+  }
+  ++out->entities_dropped;
+  out->manifest.push_back("entity " + std::to_string(s) + ": " + why);
+}
+
+bool Repairer::HasEffectiveRole(SurrogateId s, uint16_t code) const {
+  auto it = eff_roles_.find(s);
+  return it != eff_roles_.end() && it->second.count(code) > 0;
+}
+
+Repairer::FieldLoc Repairer::Locate(const std::string& cls,
+                                    const std::string& attr, SurrogateId s) {
+  FieldLoc loc;
+  Result<LucMapper::FieldRef> ref = mapper_->Resolve(cls, attr, true);
+  if (!ref.ok() || ref->field < 0 || ref->unit < 0) return loc;
+  auto it = recs_[ref->unit].find(s);
+  if (it == recs_[ref->unit].end() || it->second.drop) return loc;
+  loc.rec = &it->second;
+  loc.field = ref->field;
+  return loc;
+}
+
+uint64_t Repairer::PairCountFor(int e, bool side_a, SurrogateId s) const {
+  const EvaPhys& eva = mapper_->phys_->evas()[e];
+  uint64_t n = 0;
+  for (const auto& [key, count] : pairs_[e]) {
+    if (eva.symmetric) {
+      if (key.first == s || key.second == s) n += count;
+    } else if (side_a ? key.first == s : key.second == s) {
+      n += count;
+    }
+  }
+  return n;
+}
+
+Status Repairer::Run(Report* out) {
+  recs_.clear();
+  junk_.clear();
+  junk_seen_.clear();
+  mv_recs_.clear();
+  pairs_.clear();
+  eva_of_attr_.clear();
+  eff_roles_.clear();
+  dropped_.clear();
+  max_surrogate_ = 0;
+
+  SIM_RETURN_IF_ERROR(HarvestUnits(out));
+  SIM_RETURN_IF_ERROR(HarvestMvFile(out));
+  SIM_RETURN_IF_ERROR(HarvestPairs(out));
+  SIM_RETURN_IF_ERROR(ResolveEntities(out));
+  SIM_RETURN_IF_ERROR(ResolveFields(out));
+  SIM_RETURN_IF_ERROR(ResolvePairs(out));
+  SIM_RETURN_IF_ERROR(EnforceRequired(out));
+  SIM_RETURN_IF_ERROR(FkWriteBack(out));
+  return Apply(out);
+}
+
+Status Repairer::HarvestUnits(Report* out) {
+  recs_.resize(mapper_->units_.size());
+  for (size_t u = 0; u < mapper_->units_.size(); ++u) {
+    UnitStore* unit = mapper_->units_[u].get();
+    size_t nfields = unit->phys().fields.size();
+    HeapFile::Iterator it = unit->file_.Begin();
+    for (; it.Valid(); it.Next()) {
+      const std::string& rec = it.record();
+      Result<uint16_t> tag = PeekRecordType(rec);
+      if (!tag.ok()) {
+        Junk(&unit->file_, it.rid());
+        out->manifest.push_back("unit " + unit->phys().name + " record " +
+                                it.rid().ToString() + ": undecodable header");
+        continue;
+      }
+      if (*tag != u) {
+        // Foreign tag on a shared clustered page: the owning unit's own
+        // iteration decides its fate; a tag naming no unit is garbage.
+        if (*tag >= mapper_->units_.size()) {
+          Junk(&unit->file_, it.rid());
+          out->manifest.push_back("unit " + unit->phys().name + " record " +
+                                  it.rid().ToString() +
+                                  ": tag names no storage unit");
+        }
+        continue;
+      }
+      uint16_t rt = 0;
+      std::vector<Value> all;
+      if (!DecodeRecord(rec, &rt, &all).ok() || all.size() != nfields + 2 ||
+          all[0].type() != ValueType::kSurrogate ||
+          all[1].type() != ValueType::kString) {
+        Junk(&unit->file_, it.rid());
+        out->manifest.push_back("unit " + unit->phys().name + " record " +
+                                it.rid().ToString() + ": malformed record");
+        continue;
+      }
+      SurrogateId s = all[0].surrogate_value();
+      if (s == kInvalidSurrogate) {
+        Junk(&unit->file_, it.rid());
+        out->manifest.push_back("unit " + unit->phys().name + " record " +
+                                it.rid().ToString() + ": invalid surrogate");
+        continue;
+      }
+      max_surrogate_ = std::max(max_surrogate_, s);
+      auto [pos, inserted] = recs_[u].try_emplace(s);
+      if (!inserted) {
+        // Duplicate surrogate within one unit: first record encountered
+        // wins, the duplicate is dropped.
+        Junk(&unit->file_, it.rid());
+        out->manifest.push_back("unit " + unit->phys().name + " record " +
+                                it.rid().ToString() +
+                                ": duplicate surrogate " + std::to_string(s));
+        continue;
+      }
+      RecInfo& info = pos->second;
+      info.rid = it.rid();
+      info.roles = DecodeRoles(all[1].string_view_value());
+      info.fields.assign(all.begin() + 2, all.end());
+    }
+    // The iterator skips quarantined pages silently; any surviving error
+    // is real I/O trouble the repair cannot proceed past.
+    SIM_RETURN_IF_ERROR(it.status());
+  }
+  return Status::Ok();
+}
+
+Status Repairer::HarvestMvFile(Report* out) {
+  if (mapper_->mv_file_ == nullptr) return Status::Ok();
+  const PhysicalSchema& phys = *mapper_->phys_;
+  HeapFile::Iterator it = mapper_->mv_file_->Begin();
+  for (; it.Valid(); it.Next()) {
+    uint16_t rt = 0;
+    std::vector<Value> all;
+    bool ok = DecodeRecord(it.record(), &rt, &all).ok() && all.size() == 2 &&
+              all[0].type() == ValueType::kSurrogate;
+    const MvDvaPhys* mv = nullptr;
+    if (ok) {
+      for (const MvDvaPhys& cand : phys.mvdvas()) {
+        if (cand.id == rt && !cand.embedded) {
+          mv = &cand;
+          break;
+        }
+      }
+    }
+    if (mv == nullptr) {
+      Junk(mapper_->mv_file_.get(), it.rid());
+      out->manifest.push_back("mv file record " + it.rid().ToString() +
+                              ": malformed or unknown mv id");
+      continue;
+    }
+    MvRec rec;
+    rec.rid = it.rid();
+    rec.mv_id = static_cast<uint32_t>(rt);
+    rec.owner = all[0].surrogate_value();
+    rec.value = all[1];
+    mv_recs_.push_back(std::move(rec));
+  }
+  return it.status();
+}
+
+Status Repairer::HarvestPairs(Report*) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  pairs_.resize(phys.evas().size());
+
+  std::set<SurrogateId> all_s;
+  for (const auto& unit_map : recs_) {
+    for (const auto& [s, info] : unit_map) all_s.insert(s);
+  }
+
+  std::vector<SurrogateId> buf;
+  for (size_t e = 0; e < phys.evas().size(); ++e) {
+    const EvaPhys& eva = phys.evas()[e];
+    eva_of_attr_[AsciiLower(eva.class_a + "." + eva.attr_a)] = {int(e), true};
+    eva_of_attr_[AsciiLower(eva.class_b + "." + eva.attr_b)] = {int(e), false};
+    PairCounts& pc = pairs_[e];
+
+    if (eva.mapping == EvaMapping::kForeignKey) {
+      // Pairs live in the single-valued sides' stored fields (set
+      // semantics: a one:one pair appears in both endpoint records).
+      auto harvest_side = [&](const std::string& cls, const std::string& attr,
+                              bool field_holds_b) {
+        Result<LucMapper::FieldRef> ref = mapper_->Resolve(cls, attr, true);
+        if (!ref.ok() || ref->field < 0 || ref->unit < 0) return;
+        for (const auto& [s, info] : recs_[ref->unit]) {
+          const Value& v = info.fields[ref->field];
+          if (v.type() != ValueType::kSurrogate) continue;
+          SurrogateId other = v.surrogate_value();
+          auto key = eva.symmetric
+                         ? Norm(s, other)
+                         : (field_holds_b ? std::make_pair(s, other)
+                                          : std::make_pair(other, s));
+          pc[key] = 1;
+        }
+      };
+      if (!eva.a_mv) harvest_side(eva.class_a, eva.attr_a, true);
+      if (!eva.b_mv && !eva.symmetric) {
+        harvest_side(eva.class_b, eva.attr_b, false);
+      }
+      // The mv side's inverse index covers pairs whose single-valued
+      // endpoint record died with a quarantined page.
+      if (mapper_->fk_inv_ != nullptr && (eva.a_mv || eva.b_mv)) {
+        for (SurrogateId s : all_s) {
+          if (!mapper_->fk_inv_->GetInto(eva.rel_id, s, &buf).ok()) continue;
+          for (SurrogateId other : buf) {
+            auto key = eva.a_mv ? std::make_pair(s, other)
+                                : std::make_pair(other, s);
+            if (eva.symmetric) key = Norm(key.first, key.second);
+            pc[key] = 1;
+          }
+        }
+      }
+      continue;
+    }
+
+    RelKeyedStore* fwd = nullptr;
+    RelKeyedStore* inv = nullptr;
+    if (eva.mapping == EvaMapping::kCommonStructure) {
+      fwd = mapper_->common_fwd_.get();
+      inv = mapper_->common_inv_.get();
+    } else {
+      auto it = mapper_->private_structs_.find(static_cast<int>(e));
+      if (it == mapper_->private_structs_.end()) continue;
+      fwd = it->second.first.get();
+      inv = it->second.second.get();
+    }
+    if (fwd == nullptr) continue;
+
+    if (eva.symmetric) {
+      // The forward structure stores both directions; a pair survives if
+      // either endpoint's list is still readable.
+      for (SurrogateId s : all_s) {
+        if (!fwd->GetInto(eva.rel_id, s, &buf).ok()) continue;
+        std::map<SurrogateId, uint64_t> occ;
+        for (SurrogateId t : buf) ++occ[t];
+        for (const auto& [t, n] : occ) {
+          auto key = Norm(s, t);
+          pc[key] = std::max(pc[key], n);
+        }
+      }
+    } else {
+      std::set<SurrogateId> fwd_broken;
+      for (SurrogateId s : all_s) {
+        if (!fwd->GetInto(eva.rel_id, s, &buf).ok()) {
+          fwd_broken.insert(s);
+          continue;
+        }
+        for (SurrogateId t : buf) ++pc[{s, t}];
+      }
+      // §3.2's mandatory inverse direction salvages pairs whose forward
+      // list died with a quarantined page.
+      if (!fwd_broken.empty() && inv != nullptr) {
+        for (SurrogateId b : all_s) {
+          if (!inv->GetInto(eva.rel_id, b, &buf).ok()) continue;
+          for (SurrogateId a : buf) {
+            if (fwd_broken.count(a) > 0) ++pc[{a, b}];
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Repairer::ResolveEntities(Report* out) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  const DirectoryManager* dir = mapper_->dir_;
+
+  // Claimed roles per entity: the union over its surviving unit records.
+  std::map<SurrogateId, std::set<uint16_t>> claimed;
+  for (const auto& unit_map : recs_) {
+    for (const auto& [s, info] : unit_map) {
+      claimed[s].insert(info.roles.begin(), info.roles.end());
+    }
+  }
+
+  // Per-code memo: the units that must hold a record for the role to be
+  // justified (the declaring class's unit plus every ancestor's), or
+  // nothing when the code resolves to no known class.
+  std::map<uint16_t, std::vector<int>> needed_units;
+  std::map<uint16_t, std::vector<uint16_t>> closure_codes;
+  auto resolve_code = [&](uint16_t c) -> bool {
+    if (needed_units.count(c) > 0) return true;
+    if (closure_codes.count(c) > 0) return false;  // memoized failure
+    Result<std::string> cls = phys.ClassForCode(c);
+    if (!cls.ok()) {
+      closure_codes[c];  // mark failed
+      return false;
+    }
+    Result<std::vector<std::string>> anc = dir->AncestorsOf(*cls);
+    std::vector<std::string> chain = {*cls};
+    if (anc.ok()) chain.insert(chain.end(), anc->begin(), anc->end());
+    std::vector<int> units;
+    std::vector<uint16_t> codes;
+    for (const std::string& name : chain) {
+      Result<int> u = phys.UnitOf(name);
+      Result<uint16_t> code = phys.ClassCode(name);
+      if (!u.ok() || !code.ok()) {
+        closure_codes[c] = {};
+        return false;
+      }
+      units.push_back(*u);
+      codes.push_back(*code);
+    }
+    needed_units[c] = std::move(units);
+    closure_codes[c] = std::move(codes);
+    return true;
+  };
+
+  for (const auto& [s, codes] : claimed) {
+    // Ancestor-close the claimed set (unknown codes drop out here).
+    std::set<uint16_t> closed;
+    for (uint16_t c : codes) {
+      if (!resolve_code(c)) continue;
+      const std::vector<uint16_t>& cl = closure_codes[c];
+      closed.insert(cl.begin(), cl.end());
+    }
+    // A role is effective only when the entity still has a record in the
+    // declaring unit of its class and of every ancestor class.
+    std::set<uint16_t> effective;
+    for (uint16_t c : closed) {
+      if (!resolve_code(c)) continue;
+      bool justified = true;
+      for (int u : needed_units[c]) {
+        if (u < 0 || static_cast<size_t>(u) >= recs_.size() ||
+            recs_[u].count(s) == 0) {
+          justified = false;
+          break;
+        }
+      }
+      if (justified) effective.insert(c);
+    }
+    if (effective.empty()) {
+      DropEntity(s, "no intact role chain survives the lost pages", out);
+      continue;
+    }
+    eff_roles_[s] = std::move(effective);
+  }
+
+  // Records justified by no surviving role are deleted; kept records get
+  // the (identical-everywhere) effective role set.
+  for (size_t u = 0; u < recs_.size(); ++u) {
+    for (auto& [s, info] : recs_[u]) {
+      if (info.drop) continue;
+      if (dropped_.count(s) > 0) {
+        info.drop = true;
+        continue;
+      }
+      const std::set<uint16_t>& eff = eff_roles_[s];
+      bool justified = false;
+      for (uint16_t c : eff) {
+        auto it = needed_units.find(c);
+        if (it != needed_units.end() && !it->second.empty() &&
+            it->second.front() == static_cast<int>(u)) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        info.drop = true;
+        out->manifest.push_back(
+            "entity " + std::to_string(s) + ": record in unit " +
+            mapper_->units_[u]->phys().name +
+            " no longer justified by any surviving role");
+        continue;
+      }
+      if (info.roles != eff) {
+        info.roles = eff;
+        info.dirty = true;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Repairer::ResolveFields(Report* out) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  const DirectoryManager* dir = mapper_->dir_;
+
+  // Separate-unit MV records grouped by (mv id, owner), in rid order.
+  std::map<std::pair<uint32_t, SurrogateId>, std::vector<MvRec*>> by_owner;
+  for (MvRec& m : mv_recs_) {
+    if (m.drop) continue;
+    // Owners that no longer exist or lost the declaring role lose the
+    // dependent records too.
+    const MvDvaPhys* def = nullptr;
+    for (const MvDvaPhys& cand : phys.mvdvas()) {
+      if (cand.id == m.mv_id) {
+        def = &cand;
+        break;
+      }
+    }
+    if (def == nullptr) {
+      m.drop = true;
+      continue;
+    }
+    Result<uint16_t> code = phys.ClassCode(def->class_name);
+    if (!code.ok() || !HasEffectiveRole(m.owner, *code)) {
+      m.drop = true;
+      continue;
+    }
+    by_owner[{m.mv_id, m.owner}].push_back(&m);
+  }
+  for (auto& [key, vec] : by_owner) {
+    std::sort(vec.begin(), vec.end(), [](const MvRec* a, const MvRec* b) {
+      return PackRecordId(a->rid) < PackRecordId(b->rid);
+    });
+  }
+
+  // First-wins UNIQUE tracking across the whole database, per attribute.
+  std::map<std::string, std::map<std::string, SurrogateId>> unique_seen;
+
+  for (const auto& [s, codes] : eff_roles_) {
+    for (uint16_t code : codes) {
+      Result<std::string> cls_name = phys.ClassForCode(code);
+      if (!cls_name.ok()) continue;
+      Result<const ClassDef*> cls = dir->FindClass(*cls_name);
+      if (!cls.ok()) continue;
+      for (const AttributeDef& attr : (*cls)->attributes) {
+        if (attr.is_derived || attr.is_subrole || attr.is_eva()) continue;
+        std::string qual = (*cls)->name + "." + attr.name;
+        if (attr.mv) {
+          Result<int> mv_idx = phys.MvDvaOf((*cls)->name, attr.name);
+          if (!mv_idx.ok()) continue;
+          const MvDvaPhys& mv = phys.mvdvas()[*mv_idx];
+          if (mv.embedded) {
+            FieldLoc loc = Locate((*cls)->name, attr.name, s);
+            if (loc.rec == nullptr) continue;
+            Value& slot = loc.rec->fields[loc.field];
+            Result<std::vector<Value>> decoded = DecodeEmbeddedMv(slot);
+            std::vector<Value> members;
+            if (decoded.ok()) {
+              members = std::move(*decoded);
+            } else {
+              out->manifest.push_back("entity " + std::to_string(s) + " " +
+                                      qual + ": embedded mv undecodable");
+            }
+            std::vector<Value> kept;
+            for (const Value& v : members) {
+              if (v.is_null() || !attr.type.ValidateValue(v).ok()) {
+                ++out->mv_values_dropped;
+                continue;
+              }
+              if (attr.distinct) {
+                bool dup = false;
+                for (const Value& k : kept) {
+                  if (k.StrictEquals(v)) {
+                    dup = true;
+                    break;
+                  }
+                }
+                if (dup) {
+                  ++out->mv_values_dropped;
+                  continue;
+                }
+              }
+              if (attr.max_count >= 0 &&
+                  static_cast<int>(kept.size()) >= attr.max_count) {
+                ++out->mv_values_dropped;
+                continue;
+              }
+              kept.push_back(v);
+            }
+            if (!decoded.ok() || kept.size() != members.size()) {
+              slot = Value::Str(EncodeEmbeddedMv(kept));
+              loc.rec->dirty = true;
+            }
+          } else {
+            auto it = by_owner.find({mv.id, s});
+            if (it == by_owner.end()) continue;
+            std::vector<Value> kept;
+            for (MvRec* m : it->second) {
+              const Value& v = m->value;
+              bool keep = !v.is_null() && attr.type.ValidateValue(v).ok();
+              if (keep && attr.distinct) {
+                for (const Value& k : kept) {
+                  if (k.StrictEquals(v)) {
+                    keep = false;
+                    break;
+                  }
+                }
+              }
+              if (keep && attr.max_count >= 0 &&
+                  static_cast<int>(kept.size()) >= attr.max_count) {
+                keep = false;
+              }
+              if (keep) {
+                kept.push_back(v);
+              } else {
+                m->drop = true;
+                ++out->mv_values_dropped;
+              }
+            }
+          }
+          continue;
+        }
+
+        // Single-valued stored DVA.
+        FieldLoc loc = Locate((*cls)->name, attr.name, s);
+        if (loc.rec == nullptr) continue;
+        Value& slot = loc.rec->fields[loc.field];
+        if (slot.is_null()) continue;
+        if (!attr.type.ValidateValue(slot).ok()) {
+          slot = Value::Null();
+          loc.rec->dirty = true;
+          ++out->fields_nulled;
+          out->manifest.push_back("entity " + std::to_string(s) + " " + qual +
+                                  ": type-invalid value nulled");
+          continue;
+        }
+        if (attr.unique) {
+          Result<std::string> key = EncodeIndexKey(slot);
+          if (key.ok()) {
+            auto [it, inserted] =
+                unique_seen[AsciiLower(qual)].emplace(*key, s);
+            if (!inserted && it->second != s) {
+              slot = Value::Null();
+              loc.rec->dirty = true;
+              ++out->fields_nulled;
+              out->manifest.push_back("entity " + std::to_string(s) + " " +
+                                      qual + ": UNIQUE duplicate nulled");
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Repairer::ResolvePairs(Report* out) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  const DirectoryManager* dir = mapper_->dir_;
+
+  for (size_t e = 0; e < phys.evas().size(); ++e) {
+    const EvaPhys& eva = phys.evas()[e];
+    Result<uint16_t> code_a = phys.ClassCode(eva.class_a);
+    Result<uint16_t> code_b = phys.ClassCode(eva.class_b);
+    if (!code_a.ok() || !code_b.ok()) continue;
+    Result<DirectoryManager::ResolvedAttr> ra =
+        dir->ResolveAttribute(eva.class_a, eva.attr_a);
+    Result<DirectoryManager::ResolvedAttr> rb =
+        dir->ResolveAttribute(eva.class_b, eva.attr_b);
+    int max_a = eva.a_mv && ra.ok() ? ra->attr->max_count : (eva.a_mv ? -1 : 1);
+    int max_b = eva.b_mv && rb.ok() ? rb->attr->max_count : (eva.b_mv ? -1 : 1);
+    bool distinct = eva.distinct || (ra.ok() && ra->attr->distinct) ||
+                    (rb.ok() && rb->attr->distinct);
+
+    uint64_t before = 0;
+    for (const auto& [key, n] : pairs_[e]) before += n;
+
+    PairCounts kept;
+    std::map<SurrogateId, uint64_t> used_a, used_b;
+    for (const auto& [key, n] : pairs_[e]) {
+      SurrogateId a = key.first, b = key.second;
+      if (!HasEffectiveRole(a, *code_a) || !HasEffectiveRole(b, *code_b)) {
+        continue;
+      }
+      uint64_t count = distinct ? 1 : n;
+      if (eva.symmetric) {
+        // Each endpoint's target list sees the pair once (self-pairs
+        // too); cap per endpoint, greedily in sorted pair order.
+        uint64_t cap = max_a < 0 ? UINT64_MAX : static_cast<uint64_t>(max_a);
+        uint64_t room_a = cap > used_a[a] ? cap - used_a[a] : 0;
+        uint64_t room_b = a == b ? count
+                                 : (cap > used_a[b] ? cap - used_a[b] : 0);
+        count = std::min({count, room_a, room_b});
+        if (count == 0) continue;
+        used_a[a] += count;
+        if (a != b) used_a[b] += count;
+      } else {
+        uint64_t cap_a = max_a < 0 ? UINT64_MAX : static_cast<uint64_t>(max_a);
+        uint64_t cap_b = max_b < 0 ? UINT64_MAX : static_cast<uint64_t>(max_b);
+        if (used_a[a] >= cap_a || used_b[b] >= cap_b) continue;
+        count = std::min({count, cap_a - used_a[a], cap_b - used_b[b]});
+        used_a[a] += count;
+        used_b[b] += count;
+      }
+      if (count > 0) kept[key] = count;
+    }
+
+    uint64_t after = 0;
+    for (const auto& [key, n] : kept) after += n;
+    out->eva_pairs_dropped += before - after;
+    pairs_[e] = std::move(kept);
+  }
+  return Status::Ok();
+}
+
+Status Repairer::EnforceRequired(Report* out) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+  const DirectoryManager* dir = mapper_->dir_;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Prune pairs referencing entities dropped in the previous round.
+    for (auto& pc : pairs_) {
+      for (auto it = pc.begin(); it != pc.end();) {
+        if (dropped_.count(it->first.first) > 0 ||
+            dropped_.count(it->first.second) > 0) {
+          out->eva_pairs_dropped += it->second;
+          it = pc.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    std::vector<SurrogateId> snapshot;
+    snapshot.reserve(eff_roles_.size());
+    for (const auto& [s, codes] : eff_roles_) snapshot.push_back(s);
+
+    for (SurrogateId s : snapshot) {
+      if (dropped_.count(s) > 0) continue;
+      std::set<uint16_t> codes = eff_roles_[s];
+      bool entity_dropped = false;
+      for (uint16_t code : codes) {
+        if (entity_dropped) break;
+        Result<std::string> cls_name = phys.ClassForCode(code);
+        if (!cls_name.ok()) continue;
+        Result<const ClassDef*> cls = dir->FindClass(*cls_name);
+        if (!cls.ok()) continue;
+        for (const AttributeDef& attr : (*cls)->attributes) {
+          if (!attr.required || attr.is_derived || attr.is_subrole) continue;
+          std::string qual = (*cls)->name + "." + attr.name;
+          if (attr.is_eva()) {
+            auto it = eva_of_attr_.find(AsciiLower(qual));
+            if (it == eva_of_attr_.end()) continue;
+            if (PairCountFor(it->second.first, it->second.second, s) == 0) {
+              DropEntity(s,
+                         "REQUIRED EVA " + qual + " lost its last target",
+                         out);
+              entity_dropped = true;
+              changed = true;
+              break;
+            }
+            continue;
+          }
+          if (attr.mv) {
+            Result<int> mv_idx = phys.MvDvaOf((*cls)->name, attr.name);
+            if (!mv_idx.ok()) continue;
+            const MvDvaPhys& mv = phys.mvdvas()[*mv_idx];
+            uint64_t n = 0;
+            if (mv.embedded) {
+              FieldLoc loc = Locate((*cls)->name, attr.name, s);
+              if (loc.rec != nullptr) {
+                Result<std::vector<Value>> decoded =
+                    DecodeEmbeddedMv(loc.rec->fields[loc.field]);
+                if (decoded.ok()) n = decoded->size();
+              }
+            } else {
+              for (const MvRec& m : mv_recs_) {
+                if (!m.drop && m.mv_id == mv.id && m.owner == s) ++n;
+              }
+            }
+            if (n == 0) {
+              DropEntity(s, "REQUIRED MV DVA " + qual + " lost all values",
+                         out);
+              entity_dropped = true;
+              changed = true;
+              break;
+            }
+            continue;
+          }
+          FieldLoc loc = Locate((*cls)->name, attr.name, s);
+          if (loc.rec == nullptr || loc.rec->fields[loc.field].is_null()) {
+            DropEntity(s, "REQUIRED DVA " + qual + " lost its value", out);
+            entity_dropped = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Repairer::FkWriteBack(Report*) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+
+  for (size_t e = 0; e < phys.evas().size(); ++e) {
+    const EvaPhys& eva = phys.evas()[e];
+    if (eva.mapping != EvaMapping::kForeignKey) continue;
+    Result<uint16_t> code_a = phys.ClassCode(eva.class_a);
+    Result<uint16_t> code_b = phys.ClassCode(eva.class_b);
+    if (!code_a.ok() || !code_b.ok()) continue;
+
+    auto reconcile = [&](const std::string& cls, const std::string& attr,
+                         uint16_t role_code,
+                         const std::map<SurrogateId, SurrogateId>& desired) {
+      Result<LucMapper::FieldRef> ref = mapper_->Resolve(cls, attr, true);
+      if (!ref.ok() || ref->field < 0 || ref->unit < 0) return;
+      for (auto& [s, info] : recs_[ref->unit]) {
+        if (info.drop || info.roles.count(role_code) == 0) continue;
+        auto it = desired.find(s);
+        Value want = it == desired.end() ? Value::Null()
+                                         : Value::Surrogate(it->second);
+        if (!info.fields[ref->field].StrictEquals(want)) {
+          info.fields[ref->field] = std::move(want);
+          info.dirty = true;
+        }
+      }
+    };
+
+    if (eva.symmetric) {
+      if (!eva.a_mv) {
+        std::map<SurrogateId, SurrogateId> want;
+        for (const auto& [key, n] : pairs_[e]) {
+          want[key.first] = key.second;
+          want[key.second] = key.first;
+        }
+        reconcile(eva.class_a, eva.attr_a, *code_a, want);
+      }
+      continue;
+    }
+    if (!eva.a_mv) {
+      std::map<SurrogateId, SurrogateId> want;
+      for (const auto& [key, n] : pairs_[e]) want[key.first] = key.second;
+      reconcile(eva.class_a, eva.attr_a, *code_a, want);
+    }
+    if (!eva.b_mv) {
+      std::map<SurrogateId, SurrogateId> want;
+      for (const auto& [key, n] : pairs_[e]) want[key.second] = key.first;
+      reconcile(eva.class_b, eva.attr_b, *code_b, want);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Repairer::Apply(Report* out) {
+  const PhysicalSchema& phys = *mapper_->phys_;
+
+  // Every cached frame must re-read through the post-repair state, and no
+  // stale frame may mask a page we are about to reformat.
+  SIM_RETURN_IF_ERROR(pool_->FlushAll());
+  SIM_RETURN_IF_ERROR(pool_->InvalidateAll());
+
+  // 1. Reformat the quarantined pages as fresh empty slotted pages. With
+  // a WAL the new image masks the rotted durable page until the caller's
+  // checkpoint applies it; a crash before that commit discards the
+  // salvage while the committed quarantine payload keeps the database
+  // degraded — and therefore re-repairable.
+  for (PageId id : quarantine_->Pages()) {
+    char img[kPageSize];
+    std::memset(img, 0, sizeof img);
+    SlottedPage::Initialize(img);
+    StampPageChecksum(img);
+    if (wal_ != nullptr) {
+      SIM_RETURN_IF_ERROR(wal_->AppendPageImage(id, img));
+    } else {
+      SIM_RETURN_IF_ERROR(pager_->Write(id, img));
+    }
+    ++out->pages_reformatted;
+  }
+  quarantine_->Clear();
+
+  // 2. Physical record surgery on the (now fully readable) heaps.
+  for (const auto& [file, rid] : junk_) {
+    SIM_RETURN_IF_ERROR(file->Delete(rid));
+    ++out->records_dropped;
+  }
+  for (size_t u = 0; u < recs_.size(); ++u) {
+    UnitStore* unit = mapper_->units_[u].get();
+    for (auto& [s, info] : recs_[u]) {
+      if (info.drop) {
+        SIM_RETURN_IF_ERROR(unit->file_.Delete(info.rid));
+        ++out->records_dropped;
+      } else if (info.dirty) {
+        unit->EncodeInto(s, info.roles, info.fields);
+        SIM_ASSIGN_OR_RETURN(RecordId moved,
+                             unit->file_.Update(info.rid, unit->encode_buf_));
+        info.rid = moved;
+      }
+    }
+  }
+  for (const MvRec& m : mv_recs_) {
+    if (m.drop) {
+      SIM_RETURN_IF_ERROR(mapper_->mv_file_->Delete(m.rid));
+      ++out->mv_values_dropped;
+    }
+  }
+
+  // 3. Rebuild each unit's primary index and re-adopt its page list (the
+  // adopted pages recompute free-space estimates from the fresh images).
+  for (size_t u = 0; u < recs_.size(); ++u) {
+    UnitStore* unit = mapper_->units_[u].get();
+    SIM_ASSIGN_OR_RETURN(
+        std::unique_ptr<RelKeyedStore> fresh,
+        RelKeyedStore::Create(pool_, unit->primary_->name(),
+                              unit->primary_->organization()));
+    uint64_t kept = 0;
+    for (const auto& [s, info] : recs_[u]) {
+      if (info.drop) continue;
+      SIM_RETURN_IF_ERROR(fresh->Add(0, s, PackRecordId(info.rid)));
+      ++kept;
+    }
+    unit->primary_ = std::move(fresh);
+    std::vector<PageId> pages = unit->file_.pages();
+    SIM_RETURN_IF_ERROR(unit->file_.Attach(std::move(pages), kept));
+    unit->scan_ordered_ = false;
+    unit->any_records_ = kept > 0;
+    ++out->structures_rebuilt;
+  }
+
+  // 4. MV file + index.
+  if (mapper_->mv_file_ != nullptr) {
+    uint64_t kept_mv = 0;
+    for (const MvRec& m : mv_recs_) {
+      if (!m.drop) ++kept_mv;
+    }
+    std::vector<PageId> pages = mapper_->mv_file_->pages();
+    SIM_RETURN_IF_ERROR(mapper_->mv_file_->Attach(std::move(pages), kept_mv));
+    if (mapper_->mv_index_ != nullptr) {
+      SIM_ASSIGN_OR_RETURN(
+          std::unique_ptr<RelKeyedStore> fresh,
+          RelKeyedStore::Create(pool_, mapper_->mv_index_->name(),
+                                mapper_->mv_index_->organization()));
+      for (const MvRec& m : mv_recs_) {
+        if (m.drop) continue;
+        SIM_RETURN_IF_ERROR(
+            fresh->Add(m.mv_id, m.owner, PackRecordId(m.rid)));
+      }
+      mapper_->mv_index_ = std::move(fresh);
+      ++out->structures_rebuilt;
+    }
+  }
+
+  // 5. Rebuild secondary indexes from the kept records. The old trees'
+  // pages become dead (checksum-valid) space.
+  for (size_t i = 0; i < phys.indexes().size(); ++i) {
+    const IndexPhys& idx = phys.indexes()[i];
+    Result<uint16_t> code = phys.ClassCode(idx.class_name);
+    Result<LucMapper::FieldRef> ref =
+        mapper_->Resolve(idx.class_name, idx.attr_name, true);
+    if (!code.ok() || !ref.ok() || ref->field < 0 || ref->unit < 0) continue;
+    SIM_ASSIGN_OR_RETURN(
+        BPlusTree fresh,
+        BPlusTree::Create(pool_, mapper_->sec_indexes_[i]->name()));
+    for (const auto& [s, info] : recs_[ref->unit]) {
+      if (info.drop || info.roles.count(*code) == 0) continue;
+      const Value& v = info.fields[ref->field];
+      if (v.is_null()) continue;
+      Result<std::string> key = EncodeIndexKey(v);
+      if (!key.ok()) continue;
+      SIM_RETURN_IF_ERROR(fresh.Insert(*key, s));
+    }
+    *mapper_->sec_indexes_[i] = std::move(fresh);
+    ++out->structures_rebuilt;
+  }
+
+  // 6. Rebuild the EVA structures from the final pair sets.
+  std::unique_ptr<RelKeyedStore> new_fwd, new_inv, new_fk;
+  if (mapper_->common_fwd_ != nullptr) {
+    SIM_ASSIGN_OR_RETURN(
+        new_fwd, RelKeyedStore::Create(pool_, mapper_->common_fwd_->name(),
+                                       mapper_->common_fwd_->organization()));
+  }
+  if (mapper_->common_inv_ != nullptr) {
+    SIM_ASSIGN_OR_RETURN(
+        new_inv, RelKeyedStore::Create(pool_, mapper_->common_inv_->name(),
+                                       mapper_->common_inv_->organization()));
+  }
+  if (mapper_->fk_inv_ != nullptr) {
+    SIM_ASSIGN_OR_RETURN(
+        new_fk, RelKeyedStore::Create(pool_, mapper_->fk_inv_->name(),
+                                      mapper_->fk_inv_->organization()));
+  }
+  std::map<int, std::pair<std::unique_ptr<RelKeyedStore>,
+                          std::unique_ptr<RelKeyedStore>>>
+      new_private;
+  for (const auto& [e, stores] : mapper_->private_structs_) {
+    SIM_ASSIGN_OR_RETURN(
+        std::unique_ptr<RelKeyedStore> f,
+        RelKeyedStore::Create(pool_, stores.first->name(),
+                              stores.first->organization()));
+    SIM_ASSIGN_OR_RETURN(
+        std::unique_ptr<RelKeyedStore> v,
+        RelKeyedStore::Create(pool_, stores.second->name(),
+                              stores.second->organization()));
+    new_private[e] = {std::move(f), std::move(v)};
+  }
+
+  std::vector<uint64_t> pair_counts(phys.evas().size(), 0);
+  for (size_t e = 0; e < phys.evas().size(); ++e) {
+    const EvaPhys& eva = phys.evas()[e];
+    RelKeyedStore* fwd = nullptr;
+    RelKeyedStore* inv = nullptr;
+    if (eva.mapping == EvaMapping::kCommonStructure) {
+      fwd = new_fwd.get();
+      inv = new_inv.get();
+    } else if (eva.mapping == EvaMapping::kPrivateStructure) {
+      auto it = new_private.find(static_cast<int>(e));
+      if (it != new_private.end()) {
+        fwd = it->second.first.get();
+        inv = it->second.second.get();
+      }
+    }
+    for (const auto& [key, n] : pairs_[e]) {
+      pair_counts[e] += n;
+      for (uint64_t k = 0; k < n; ++k) {
+        SurrogateId a = key.first, b = key.second;
+        if (eva.mapping == EvaMapping::kForeignKey) {
+          // Fields were reconciled in memory; only the mv-side inverse
+          // index is structural.
+          if (new_fk != nullptr && eva.a_mv) {
+            SIM_RETURN_IF_ERROR(new_fk->Add(eva.rel_id, a, b));
+          }
+          if (new_fk != nullptr && eva.b_mv) {
+            SIM_RETURN_IF_ERROR(new_fk->Add(eva.rel_id, b, a));
+          }
+          continue;
+        }
+        if (fwd == nullptr) continue;
+        if (eva.symmetric) {
+          SIM_RETURN_IF_ERROR(fwd->Add(eva.rel_id, a, b));
+          if (a != b) SIM_RETURN_IF_ERROR(fwd->Add(eva.rel_id, b, a));
+        } else {
+          SIM_RETURN_IF_ERROR(fwd->Add(eva.rel_id, a, b));
+          if (inv != nullptr) {
+            SIM_RETURN_IF_ERROR(inv->Add(eva.rel_id, b, a));
+          }
+        }
+      }
+    }
+  }
+  if (new_fwd != nullptr) {
+    mapper_->common_fwd_ = std::move(new_fwd);
+    ++out->structures_rebuilt;
+  }
+  if (new_inv != nullptr) mapper_->common_inv_ = std::move(new_inv);
+  if (new_fk != nullptr) mapper_->fk_inv_ = std::move(new_fk);
+  if (!new_private.empty()) {
+    mapper_->private_structs_ = std::move(new_private);
+    ++out->structures_rebuilt;
+  }
+
+  // 7. Recount the maintained statistics from the kept state.
+  std::vector<uint64_t> extents(mapper_->extent_counts_.size(), 0);
+  for (const auto& [s, codes] : eff_roles_) {
+    for (uint16_t c : codes) {
+      if (c < extents.size()) ++extents[c];
+    }
+  }
+  mapper_->extent_counts_ = std::move(extents);
+  mapper_->eva_pair_counts_ = std::move(pair_counts);
+  mapper_->next_surrogate_ =
+      std::max(mapper_->next_surrogate_, max_surrogate_ + 1);
+  ++mapper_->mutation_count_;
+  return Status::Ok();
+}
+
+}  // namespace sim

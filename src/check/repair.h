@@ -1,0 +1,168 @@
+#ifndef SIMDB_CHECK_REPAIR_H_
+#define SIMDB_CHECK_REPAIR_H_
+
+// REPAIR DATABASE: the salvage half of the detect → contain → repair cycle
+// (DESIGN.md §13). The quarantine registry has fenced off pages whose
+// bytes are gone; everything else on disk is still good. The repairer's
+// job is to turn a degraded database back into one whose full three-layer
+// audit (check/check.h) comes back clean, losing exactly the records that
+// lived on the dead pages — never a whole extent, never the database.
+//
+// Strategy: base records are authoritative, everything else is derived.
+//
+//  1. HARVEST (while still degraded): iterate every storage unit's heap
+//     and the shared MV file — the iterators skip quarantined pages — and
+//     collect every decodable record. Undecodable or mis-shapen records on
+//     *healthy* pages (logical corruption: a record damaged before its
+//     page checksum was stamped) are scheduled for deletion. EVA pairs are
+//     harvested from the relationship structures, probing the inverse
+//     direction for owners whose forward probe died with the bad pages —
+//     §3.2's mandatory inverses are exactly what makes one-sided loss
+//     recoverable.
+//  2. RESOLVE (pure in-memory): re-derive each entity's effective role
+//     set (ancestor-closed, justified record-for-record across units);
+//     drop entities whose base record is gone; null fields that fail
+//     their type or UNIQUE constraint; prune MV values and EVA pairs that
+//     violate DISTINCT / MAX / single-valued cardinality or reference
+//     dropped entities; then cascade REQUIRED violations to a fixpoint.
+//  3. APPLY: reformat the quarantined pages as fresh empty slotted pages
+//     (via WAL page images, so a crash mid-repair discards the salvage
+//     while the committed quarantine payload keeps the database degraded
+//     and re-repairable), delete/rewrite heap records, and rebuild every
+//     derived structure — primary indexes, secondary indexes, the MV
+//     index, all EVA structures, extent and pair counters — from the kept
+//     records.
+//
+// The repairer is idempotent: run against an already-clean database it
+// changes nothing; interrupted and re-run it converges to the same state.
+// Callers (Database::Repair) are responsible for the durability epilogue:
+// flush, persist the now-empty quarantine registry, snapshot, commit and
+// checkpoint, then re-audit.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "luc/mapper.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/pager.h"
+#include "storage/quarantine.h"
+
+namespace sim {
+
+class WriteAheadLog;
+
+class Repairer {
+ public:
+  struct Report {
+    uint64_t pages_reformatted = 0;
+    uint64_t records_dropped = 0;   // physical heap records deleted
+    uint64_t entities_dropped = 0;  // entities lost with their base record
+    uint64_t fields_nulled = 0;     // constraint-violating DVA values
+    uint64_t mv_values_dropped = 0;
+    uint64_t eva_pairs_dropped = 0;
+    uint64_t structures_rebuilt = 0;  // primary/secondary/MV/EVA structures
+    // Human-readable salvage log: one line per dropped entity / record.
+    std::vector<std::string> manifest;
+    bool lossless() const {
+      return records_dropped == 0 && entities_dropped == 0 &&
+             fields_nulled == 0 && mv_values_dropped == 0 &&
+             eva_pairs_dropped == 0;
+    }
+    std::string ToString() const;
+  };
+
+  // `pager` is the database's I/O pager (used to reformat pages when no
+  // WAL is present — in-memory databases); `wal` may be null.
+  Repairer(LucMapper* mapper, BufferPool* pool, Pager* pager,
+           WriteAheadLog* wal, QuarantineRegistry* quarantine)
+      : mapper_(mapper),
+        pool_(pool),
+        pager_(pager),
+        wal_(wal),
+        quarantine_(quarantine) {}
+
+  // Runs the full salvage. Non-OK only on infrastructure failure (I/O on
+  // healthy pages, WAL append); data damage is a Report entry, never an
+  // error. On success the quarantine registry is empty and every derived
+  // structure matches the kept records.
+  Status Run(Report* out);
+
+ private:
+  struct RecInfo {
+    RecordId rid;
+    std::set<uint16_t> roles;
+    std::vector<Value> fields;
+    bool drop = false;
+    bool dirty = false;
+  };
+  struct MvRec {
+    RecordId rid;
+    uint32_t mv_id = 0;
+    SurrogateId owner = kInvalidSurrogate;
+    Value value;
+    bool drop = false;
+  };
+  // Pair multiset per EVA: normalized (min,max) for symmetric EVAs.
+  using PairCounts = std::map<std::pair<SurrogateId, SurrogateId>, uint64_t>;
+
+  Status HarvestUnits(Report* out);
+  Status HarvestMvFile(Report* out);
+  Status HarvestPairs(Report* out);
+  Status ResolveEntities(Report* out);
+  Status ResolveFields(Report* out);
+
+  Status ResolvePairs(Report* out);
+  Status EnforceRequired(Report* out);
+  // Reconciles foreign-key-mapped EVA fields (in memory) with the final
+  // pair sets, so Apply writes fields and structures that agree.
+  Status FkWriteBack(Report* out);
+  Status Apply(Report* out);
+
+  // Marks a heap record for physical deletion (deduped across the shared
+  // clustered pages two units may both iterate).
+  void Junk(HeapFile* file, RecordId rid);
+  void DropEntity(SurrogateId s, const std::string& why, Report* out);
+  // Effective-role membership test used for EVA endpoints and MV owners.
+  bool HasEffectiveRole(SurrogateId s, uint16_t code) const;
+  // In-memory location of the stored field of (cls.attr) on s; rec is
+  // null when the entity has no kept record carrying that field.
+  struct FieldLoc {
+    RecInfo* rec = nullptr;
+    int field = -1;
+  };
+  FieldLoc Locate(const std::string& cls, const std::string& attr,
+                  SurrogateId s);
+  // Total surviving pair count involving `s` on the given side of eva `e`.
+  uint64_t PairCountFor(int e, bool side_a, SurrogateId s) const;
+
+  LucMapper* const mapper_;
+  BufferPool* const pool_;
+  Pager* const pager_;
+  WriteAheadLog* const wal_;
+  QuarantineRegistry* const quarantine_;
+
+  // Harvested state. recs_[u] maps surrogate -> record info for unit u.
+  std::vector<std::map<SurrogateId, RecInfo>> recs_;
+  std::vector<std::pair<HeapFile*, RecordId>> junk_;
+  std::set<uint64_t> junk_seen_;
+  std::vector<MvRec> mv_recs_;
+  std::vector<PairCounts> pairs_;  // parallel to phys().evas()
+  // Lowercased "class.attr" -> (eva index, attr sits on side a).
+  std::map<std::string, std::pair<int, bool>> eva_of_attr_;
+  // Resolved state: effective (ancestor-closed) role sets of kept
+  // entities; entities dropped with reasons in the manifest.
+  std::map<SurrogateId, std::set<uint16_t>> eff_roles_;
+  std::set<SurrogateId> dropped_;
+  SurrogateId max_surrogate_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_CHECK_REPAIR_H_

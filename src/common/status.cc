@@ -42,6 +42,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ReadOnly";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -37,6 +37,9 @@ enum class StatusCode {
   kReadOnly,             // database degraded to read-only mode
   kCorruption,           // stored bytes failed validation (truncated or
                          // hostile record; never caused by caller input)
+  kDataLoss,             // records lost to quarantined media; the rest of
+                         // the database keeps serving (degraded mode) and
+                         // REPAIR DATABASE can salvage around the loss
 };
 
 // Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -110,6 +113,9 @@ class [[nodiscard]] Status {
   }
   static Status Corruption(std::string m) {
     return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -46,6 +46,8 @@ class UnitStore {
 
   const UnitPhys& phys() const { return *phys_; }
   uint64_t record_count() const { return file_.record_count(); }
+  // Pages of the backing heap file (the scrubber's record-validation set).
+  const std::vector<PageId>& heap_pages() const { return file_.pages(); }
 
   // True while the heap-file scan order provably equals surrogate order:
   // every insert so far landed past all earlier records (in scan position)
@@ -137,6 +139,7 @@ class UnitStore {
   friend class InvariantChecker;
   friend class CorruptionInjector;
   friend class MapperRehydrator;
+  friend class Repairer;
 
   UnitStore(BufferPool* pool, const UnitPhys* phys, uint16_t unit_code)
       : phys_(phys), unit_code_(unit_code), file_(pool, phys->name) {}

@@ -1000,6 +1000,18 @@ bool LucMapper::HasIndex(const std::string& cls,
   return phys_->IndexOf(ra->owner->name, ra->attr->name) >= 0;
 }
 
+std::vector<PageId> LucMapper::HeapPages() const {
+  std::vector<PageId> out;
+  for (const std::unique_ptr<UnitStore>& unit : units_) {
+    const std::vector<PageId>& pages = unit->heap_pages();
+    out.insert(out.end(), pages.begin(), pages.end());
+  }
+  if (mv_file_ != nullptr) {
+    out.insert(out.end(), mv_file_->pages().begin(), mv_file_->pages().end());
+  }
+  return out;
+}
+
 Result<std::vector<SurrogateId>> LucMapper::ExtentOf(const std::string& cls) {
   SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
   SIM_ASSIGN_OR_RETURN(int u, phys_->UnitOf(cls));

@@ -202,6 +202,11 @@ class LucMapper {
   // diverged from insertion/surrogate order).
   Result<bool> ExtentScanInSurrogateOrder(const std::string& cls) const;
 
+  // Every heap page currently owned by a storage unit or the shared MV
+  // file — the pages whose records SCRUB DATABASE decodes via RecordView
+  // (index pages are covered by checksum verification only).
+  std::vector<PageId> HeapPages() const;
+
   // Monotonic counter bumped by every data mutation (entity lifecycle,
   // field/MV writes, EVA instance changes, reclustering). Lets the
   // optimizer detect stale statistics without scanning.
@@ -242,6 +247,9 @@ class LucMapper {
   friend class CorruptionInjector;
   // Snapshots/rebuilds the raw structures for crash recovery.
   friend class MapperRehydrator;
+  // REPAIR DATABASE rebuilds every derived structure from the surviving
+  // base records after quarantined pages are salvaged (check/repair.h).
+  friend class Repairer;
 
   LucMapper(const DirectoryManager* dir, const PhysicalSchema* phys,
             BufferPool* pool)

@@ -311,7 +311,11 @@ Result<std::unique_ptr<LucMapper>> MapperRehydrator::Rehydrate(
         ++rebuilt;
       }
       SIM_RETURN_IF_ERROR(it.status());
-      if (rebuilt != unit->file_.record_count()) {
+      // Quarantined pages are skipped by the iterator, so their records
+      // cannot be rebuilt into the primary — a count shortfall there is
+      // contained data loss (degraded service, DESIGN.md §13), not a
+      // mapping-policy mismatch. REPAIR DATABASE recounts.
+      if (rebuilt != unit->file_.record_count() && it.pages_skipped() == 0) {
         return ShapeError("unit " + up->name + " primary rebuild found " +
                           std::to_string(rebuilt) + " records, heap claims " +
                           std::to_string(unit->file_.record_count()));

@@ -84,13 +84,23 @@ void MetricsRegistry::RegisterCallback(const std::string& name,
   Register(name, help, Kind::kCallback).fn = std::move(fn);
 }
 
+void MetricsRegistry::RegisterGaugeCallback(const std::string& name,
+                                            const std::string& help,
+                                            std::function<uint64_t()> fn) {
+  MutexLock lock(mu_);
+  if (Find(name) != nullptr) return;
+  Register(name, help, Kind::kGaugeCallback).fn = std::move(fn);
+}
+
 std::string MetricsRegistry::TextExposition() const {
   MutexLock lock(mu_);
   std::string out;
   for (const Entry& e : entries_) {
     out += "# HELP " + e.name + " " + e.help + "\n";
     const char* type = "counter";
-    if (e.kind == Kind::kGauge) type = "gauge";
+    if (e.kind == Kind::kGauge || e.kind == Kind::kGaugeCallback) {
+      type = "gauge";
+    }
     if (e.kind == Kind::kHistogram) type = "histogram";
     out += "# TYPE " + e.name + " " + type + "\n";
     switch (e.kind) {
@@ -104,6 +114,7 @@ std::string MetricsRegistry::TextExposition() const {
         out += e.name + " " + std::to_string(e.view->value()) + "\n";
         break;
       case Kind::kCallback:
+      case Kind::kGaugeCallback:
         out += e.name + " " + std::to_string(e.fn()) + "\n";
         break;
       case Kind::kHistogram: {
@@ -141,6 +152,7 @@ std::vector<Sample> MetricsRegistry::Samples() const {
         out.push_back({e.name, e.view->value()});
         break;
       case Kind::kCallback:
+      case Kind::kGaugeCallback:
         out.push_back({e.name, e.fn()});
         break;
       case Kind::kHistogram: {

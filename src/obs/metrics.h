@@ -123,6 +123,12 @@ class MetricsRegistry {
   void RegisterCallback(const std::string& name, const std::string& help,
                         std::function<uint64_t()> fn) SIM_EXCLUDES(mu_);
 
+  // Like RegisterCallback, but exposed with `# TYPE ... gauge`: for
+  // point-in-time state (degraded flag, quarantined-page count) rather
+  // than monotonic totals.
+  void RegisterGaugeCallback(const std::string& name, const std::string& help,
+                             std::function<uint64_t()> fn) SIM_EXCLUDES(mu_);
+
   // Prometheus text exposition: # HELP / # TYPE headers followed by
   // name value lines, histograms expanded to _bucket/_sum/_count series.
   std::string TextExposition() const SIM_EXCLUDES(mu_);
@@ -131,7 +137,14 @@ class MetricsRegistry {
   std::vector<Sample> Samples() const SIM_EXCLUDES(mu_);
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kCounterView, kCallback };
+  enum class Kind {
+    kCounter,
+    kGauge,
+    kHistogram,
+    kCounterView,
+    kCallback,
+    kGaugeCallback
+  };
 
   struct Entry {
     std::string name;
@@ -141,7 +154,7 @@ class MetricsRegistry {
     Gauge gauge;                     // kGauge
     std::unique_ptr<Histogram> histogram;  // kHistogram
     const Counter* view = nullptr;   // kCounterView
-    std::function<uint64_t()> fn;    // kCallback
+    std::function<uint64_t()> fn;    // kCallback / kGaugeCallback
   };
 
   Entry* Find(const std::string& name) SIM_REQUIRES(mu_);

@@ -156,6 +156,8 @@ enum class StmtKind {
   kDelete,
   kCheck,
   kShowMetrics,
+  kScrub,
+  kRepair,
 };
 
 struct Stmt {
@@ -237,6 +239,18 @@ struct CheckStmt : Stmt {
 // (obs extension; not part of the paper's DML).
 struct ShowMetricsStmt : Stmt {
   ShowMetricsStmt() : Stmt(StmtKind::kShowMetrics) {}
+};
+
+// SCRUB DATABASE — synchronous media-verification pass: every page's CRC,
+// every heap record's codec; quarantines rotted pages (DESIGN.md §13).
+struct ScrubStmt : Stmt {
+  ScrubStmt() : Stmt(StmtKind::kScrub) {}
+};
+
+// REPAIR DATABASE — salvage: reformat quarantined pages, drop what they
+// took, rebuild every derived structure, then re-audit (DESIGN.md §13).
+struct RepairStmt : Stmt {
+  RepairStmt() : Stmt(StmtKind::kRepair) {}
 };
 
 // ----- DDL statements -----

@@ -53,7 +53,7 @@ bool DmlParser::AtStatementBoundary() const {
   const Token& t = Peek();
   return t.type == TokenType::kEnd || t.Is("from") || t.Is("retrieve") ||
          t.Is("insert") || t.Is("modify") || t.Is("delete") || t.Is("check") ||
-         t.Is("show");
+         t.Is("show") || t.Is("scrub") || t.Is("repair");
 }
 
 Result<StmtPtr> DmlParser::ParseOne() {
@@ -69,8 +69,17 @@ Result<StmtPtr> DmlParser::ParseOne() {
     SIM_RETURN_IF_ERROR(ExpectKeyword("metrics", "after SHOW"));
     return StmtPtr(std::make_unique<ShowMetricsStmt>());
   }
+  if (MatchKeyword("scrub")) {
+    SIM_RETURN_IF_ERROR(ExpectKeyword("database", "after SCRUB"));
+    return StmtPtr(std::make_unique<ScrubStmt>());
+  }
+  if (MatchKeyword("repair")) {
+    SIM_RETURN_IF_ERROR(ExpectKeyword("database", "after REPAIR"));
+    return StmtPtr(std::make_unique<RepairStmt>());
+  }
   return ErrorHere(
-      "expected FROM, RETRIEVE, INSERT, MODIFY, DELETE, CHECK or SHOW");
+      "expected FROM, RETRIEVE, INSERT, MODIFY, DELETE, CHECK, SHOW, SCRUB "
+      "or REPAIR");
 }
 
 Result<StmtPtr> DmlParser::ParseRetrieve() {

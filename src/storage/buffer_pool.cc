@@ -61,6 +61,24 @@ Status BufferPool::ReadPage(PageId id, char* out) {
   }
   SIM_RETURN_IF_ERROR(pager_->Read(id, out));
   if (!PageChecksumOk(out)) {
+    if (quarantine_ != nullptr) {
+      // Contain the damage: register the page so every later fetch fails
+      // fast with the same typed loss, and log the registry so it survives
+      // a crash (sealed at the next commit; until then the corruption on
+      // the media re-triggers this path, so containment is self-healing).
+      Status loss = Status::DataLoss(
+          "page " + std::to_string(id) +
+          " is quarantined (checksum mismatch); run REPAIR DATABASE");
+      if (quarantine_->Add(id) && wal_ != nullptr) {
+        Status logged = wal_->AppendMetaQuarantine(quarantine_->Encode());
+        if (!logged.ok()) {
+          loss = Status::DataLoss(loss.message() +
+                                  "; quarantine not yet durable: " +
+                                  logged.ToString());
+        }
+      }
+      return loss;
+    }
     return Status::IoError("checksum mismatch on page " + std::to_string(id) +
                            " (torn or corrupt write)");
   }
@@ -75,6 +93,10 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     ++f.pin_count;
     f.lru_tick = ++tick_;
     return PageHandle(this, it->second, id);
+  }
+  if (quarantine_ != nullptr && quarantine_->Contains(id)) {
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " is quarantined; run REPAIR DATABASE");
   }
   counters_.misses.Increment();
   SIM_ASSIGN_OR_RETURN(int frame, GetVictimFrame());

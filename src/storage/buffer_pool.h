@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/pager.h"
+#include "storage/quarantine.h"
 
 namespace sim {
 
@@ -124,6 +125,14 @@ class BufferPool {
   WriteAheadLog* wal() { return wal_; }
   size_t capacity() const { return frames_.size(); }
 
+  // Attaches the bad-page quarantine registry (owned by the Database).
+  // With a registry attached, a fetch of a quarantined page — and any
+  // fetch whose durable read fails its checksum, which auto-quarantines
+  // the page — returns kDataLoss instead of kIoError, so callers can
+  // distinguish "these records are gone until repair" from device failure.
+  void set_quarantine(QuarantineRegistry* q) { quarantine_ = q; }
+  QuarantineRegistry* quarantine() { return quarantine_; }
+
  private:
   friend class PageHandle;
 
@@ -148,6 +157,7 @@ class BufferPool {
 
   Pager* pager_;
   WriteAheadLog* wal_;
+  QuarantineRegistry* quarantine_ = nullptr;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, int> page_to_frame_;
   uint64_t tick_ = 0;

@@ -27,6 +27,10 @@ Status FaultInjector::Check(Op op, uint64_t seen, size_t intended_bytes,
       case Mode::kDiskFull:
         hit = seen >= f.at;
         break;
+      case Mode::kBitRot:
+        // Bit rot is page-targeted, not operation-count targeted; it is
+        // applied by ApplyBitRot after the read succeeds.
+        break;
     }
     if (!hit) continue;
     ++stats_.faults_fired;
@@ -67,6 +71,8 @@ Status FaultInjector::Check(Op op, uint64_t seen, size_t intended_bytes,
             "injected fault: short write (" +
             std::to_string(allowed_bytes != nullptr ? *allowed_bytes : 0) +
             " of " + std::to_string(intended_bytes) + " bytes)");
+      case Mode::kBitRot:
+        break;  // unreachable: kBitRot never hits above
     }
   }
   return Status::Ok();
@@ -88,9 +94,32 @@ Status FaultInjector::BeginRead() {
   return Check(Op::kRead, stats_.reads_seen, 0, nullptr);
 }
 
+bool FaultInjector::ApplyBitRot(PageId id, char* page) {
+  if (dead_) return false;
+  bool rotted = false;
+  for (const Fault& f : faults_) {
+    if (f.mode != Mode::kBitRot || f.rot_page != id) continue;
+    // Flip payload bytes (past the 8-byte checksum header) at positions
+    // derived deterministically from the page id, so the same plan always
+    // rots the same bytes and the corruption is reproducible in tests.
+    for (uint64_t i = 0; i < f.rot_flips; ++i) {
+      uint64_t h = (static_cast<uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL;
+      h ^= (i + 1) * 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 31;
+      size_t pos = kPageHeaderSize + (h % (kPageSize - kPageHeaderSize));
+      page[pos] = static_cast<char>(page[pos] ^ 0xFF);
+    }
+    ++stats_.faults_fired;
+    rotted = true;
+  }
+  return rotted;
+}
+
 Status FaultInjectingPager::Read(PageId id, char* out) {
   SIM_RETURN_IF_ERROR(injector_->BeginRead());
-  return base_->Read(id, out);
+  SIM_RETURN_IF_ERROR(base_->Read(id, out));
+  injector_->ApplyBitRot(id, out);
+  return Status::Ok();
 }
 
 Status FaultInjectingPager::Write(PageId id, const char* data) {

@@ -30,6 +30,11 @@
 //  * kShortIo    — the next `times` matching writes transfer only a prefix
 //                  (torn) and fail with kUnavailable; a full-page retry
 //                  repairs them.
+//  * kBitRot     — reads of a chosen page succeed but return deterministic
+//                  byte flips in the payload (rotted media / latent sector
+//                  corruption). The flips are sticky: every read of the
+//                  page is corrupted until Clear(), so checksum detection,
+//                  quarantine and repair can all be exercised end-to-end.
 
 #include <cstdint>
 #include <string>
@@ -45,7 +50,8 @@ class FaultInjector {
   enum class Op { kWrite, kSync, kRead };
 
   // How the fault behaves once its operation number comes up.
-  enum class Mode { kCrash, kTransient, kPermanent, kDiskFull, kShortIo };
+  enum class Mode { kCrash, kTransient, kPermanent, kDiskFull, kShortIo,
+                    kBitRot };
 
   struct Fault {
     Op op = Op::kWrite;
@@ -64,6 +70,10 @@ class FaultInjector {
     // kTransient / kShortIo: number of consecutive matching operations
     // that fail before the device "recovers".
     uint64_t times = 1;
+    // kBitRot only: the page whose reads rot, and the number of payload
+    // bytes to flip (positions derived deterministically from the page id).
+    PageId rot_page = 0;
+    uint64_t rot_flips = 4;
   };
 
   struct Stats {
@@ -103,6 +113,16 @@ class FaultInjector {
   void ShortWrites(uint64_t at, int bytes, uint64_t times = 1) {
     Schedule({Op::kWrite, at, bytes, false, Mode::kShortIo, times});
   }
+  // Rot `flips` payload bytes of `page` on every read until Clear().
+  void BitRotPage(PageId page, uint64_t flips = 4) {
+    Fault f;
+    f.op = Op::kRead;
+    f.fatal = false;
+    f.mode = Mode::kBitRot;
+    f.rot_page = page;
+    f.rot_flips = flips;
+    Schedule(f);
+  }
 
   // Called by consumers before performing an operation. A non-OK status
   // means the operation must fail; for writes, *allowed_bytes is set to
@@ -111,6 +131,11 @@ class FaultInjector {
   Status BeginWrite(size_t intended_bytes, size_t* allowed_bytes);
   Status BeginSync();
   Status BeginRead();
+
+  // Called by FaultInjectingPager::Read AFTER a successful base read:
+  // applies any scheduled kBitRot corruption to the page image in place.
+  // Returns true if bytes were flipped (counted in stats().faults_fired).
+  bool ApplyBitRot(PageId id, char* page);
 
   bool dead() const { return dead_; }
   const Stats& stats() const { return stats_; }

@@ -18,7 +18,17 @@ Result<RecordId> HeapFile::Insert(std::string_view record) {
   int needed = static_cast<int>(record.size()) + reserve_bytes_;
   for (size_t i = pages_.size(); i-- > 0;) {
     if (free_estimate_[i] < needed) continue;
-    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(pages_[i]));
+    Result<PageHandle> fetched = pool_->Fetch(pages_[i]);
+    if (!fetched.ok()) {
+      // A quarantined page cannot take new records; place the record on a
+      // healthy page instead so writes keep working while degraded.
+      if (fetched.status().code() == StatusCode::kDataLoss) {
+        free_estimate_[i] = 0;
+        continue;
+      }
+      return fetched.status();
+    }
+    PageHandle h = std::move(fetched).value();
     SlottedPage page(h.data());
     Result<int> slot = page.Insert(record);
     if (slot.ok()) {
@@ -54,7 +64,16 @@ Result<RecordId> HeapFile::InsertNear(PageId hint, std::string_view record) {
     it = pages_.end() - 1;
   }
   if (it != pages_.end()) {
-    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(hint));
+    Result<PageHandle> fetched = pool_->Fetch(hint);
+    if (!fetched.ok()) {
+      // A quarantined hint page degrades clustering, not the insert.
+      if (fetched.status().code() != StatusCode::kDataLoss) {
+        return fetched.status();
+      }
+      free_estimate_[it - pages_.begin()] = 0;
+      return Insert(record);
+    }
+    PageHandle h = std::move(fetched).value();
     SlottedPage page(h.data());
     Result<int> slot = page.Insert(record);
     size_t idx = static_cast<size_t>(it - pages_.begin());
@@ -119,8 +138,18 @@ Status HeapFile::Attach(std::vector<PageId> pages, uint64_t record_count) {
   free_estimate_.clear();
   free_estimate_.reserve(pages_.size());
   for (PageId id : pages_) {
-    SIM_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
-    SlottedPage page(h.data());
+    Result<PageHandle> fetched = pool_->Fetch(id);
+    if (!fetched.ok()) {
+      // A database must reopen while quarantined pages await repair: keep
+      // the page in the list (REPAIR DATABASE needs to find it) but never
+      // target it for inserts.
+      if (fetched.status().code() == StatusCode::kDataLoss) {
+        free_estimate_.push_back(0);
+        continue;
+      }
+      return fetched.status();
+    }
+    SlottedPage page(fetched->data());
     free_estimate_.push_back(page.FreeSpaceForNewRecord());
   }
   record_count_ = record_count;
@@ -139,6 +168,15 @@ void HeapFile::Iterator::Advance(bool first) {
   while (page_index_ < file_->pages_.size()) {
     Result<PageHandle> h = file_->pool_->Fetch(file_->pages_[page_index_]);
     if (!h.ok()) {
+      // Degraded service: a quarantined page loses only its own records —
+      // the scan skips it (counted, never silent) and keeps delivering
+      // records from every healthy page. Other errors still stop the scan.
+      if (h.status().code() == StatusCode::kDataLoss) {
+        ++pages_skipped_;
+        ++page_index_;
+        slot_ = -1;
+        continue;
+      }
       status_ = h.status();
       return;
     }

@@ -90,6 +90,9 @@ class HeapFile {
     const std::string& record() const { return record_; }
     void Next();
     const Status& status() const { return status_; }
+    // Quarantined pages skipped so far (their records are kDataLoss; the
+    // scan keeps serving records from healthy pages).
+    uint64_t pages_skipped() const { return pages_skipped_; }
 
    private:
     void Advance(bool first);
@@ -98,6 +101,7 @@ class HeapFile {
     size_t page_index_ = 0;
     int slot_ = -1;
     bool valid_ = false;
+    uint64_t pages_skipped_ = 0;
     RecordId rid_;
     std::string record_;
     Status status_;

@@ -1,0 +1,83 @@
+#include "storage/quarantine.h"
+
+#include <algorithm>
+
+namespace sim {
+
+bool QuarantineRegistry::Add(PageId id) {
+  MutexLock lock(mu_);
+  auto it = std::lower_bound(pages_.begin(), pages_.end(), id);
+  if (it != pages_.end() && *it == id) return false;
+  pages_.insert(it, id);
+  return true;
+}
+
+bool QuarantineRegistry::Remove(PageId id) {
+  MutexLock lock(mu_);
+  auto it = std::lower_bound(pages_.begin(), pages_.end(), id);
+  if (it == pages_.end() || *it != id) return false;
+  pages_.erase(it);
+  return true;
+}
+
+bool QuarantineRegistry::Contains(PageId id) const {
+  MutexLock lock(mu_);
+  return std::binary_search(pages_.begin(), pages_.end(), id);
+}
+
+void QuarantineRegistry::Clear() {
+  MutexLock lock(mu_);
+  pages_.clear();
+}
+
+size_t QuarantineRegistry::size() const {
+  MutexLock lock(mu_);
+  return pages_.size();
+}
+
+std::vector<PageId> QuarantineRegistry::Pages() const {
+  MutexLock lock(mu_);
+  return pages_;
+}
+
+std::string QuarantineRegistry::Encode() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (PageId id : pages_) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+Status QuarantineRegistry::Load(std::string_view encoded) {
+  std::vector<PageId> parsed;
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    size_t end = encoded.find(',', pos);
+    if (end == std::string_view::npos) end = encoded.size();
+    if (end == pos) {
+      return Status::Corruption("quarantine registry: empty page id");
+    }
+    uint64_t v = 0;
+    for (size_t i = pos; i < end; ++i) {
+      char c = encoded[i];
+      if (c < '0' || c > '9') {
+        return Status::Corruption("quarantine registry: non-numeric page id");
+      }
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+      if (v > kInvalidPageId) {
+        return Status::Corruption("quarantine registry: page id overflow");
+      }
+    }
+    parsed.push_back(static_cast<PageId>(v));
+    pos = end + 1;
+  }
+  std::sort(parsed.begin(), parsed.end());
+  parsed.erase(std::unique(parsed.begin(), parsed.end()), parsed.end());
+  MutexLock lock(mu_);
+  pages_ = std::move(parsed);
+  return Status::Ok();
+}
+
+}  // namespace sim

@@ -1,0 +1,65 @@
+#ifndef SIMDB_STORAGE_QUARANTINE_H_
+#define SIMDB_STORAGE_QUARANTINE_H_
+
+// Bad-page quarantine registry: the containment half of the
+// detect → contain → repair cycle (DESIGN.md §13).
+//
+// When a page comes back from durable storage failing its CRC (torn write,
+// bit rot, hostile edit), the read path and the scrubber register it here
+// instead of letting the whole class extent die. Reads that would touch a
+// quarantined page fail fast with kDataLoss — a typed, per-record loss —
+// while scans skip the page and keep serving every record on healthy
+// pages, and writes elsewhere proceed normally. REPAIR DATABASE salvages
+// around the quarantined pages and clears them.
+//
+// The registry is persisted as a kWalFrameMetaQuarantine frame carrying
+// Encode()'s payload (ASCII decimal page ids, comma-separated, sorted), so
+// it survives crashes AND checkpoints (baseline rewrites re-emit the
+// newest payload). A crash before the frame commits merely forgets the
+// registry — the corruption is still on the media, so the next read or
+// scrub pass re-detects and re-quarantines: containment is self-healing,
+// never durably lost.
+//
+// Thread-safety: fully synchronized; the background scrubber, the
+// execution thread and metrics scrapes may touch it concurrently.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/page.h"
+
+namespace sim {
+
+class QuarantineRegistry {
+ public:
+  // Adds a page; returns true if it was not already quarantined.
+  bool Add(PageId id) SIM_EXCLUDES(mu_);
+  // Removes a page (after repair re-formats it); true if it was present.
+  bool Remove(PageId id) SIM_EXCLUDES(mu_);
+  bool Contains(PageId id) const SIM_EXCLUDES(mu_);
+  void Clear() SIM_EXCLUDES(mu_);
+  size_t size() const SIM_EXCLUDES(mu_);
+  bool empty() const SIM_EXCLUDES(mu_) { return size() == 0; }
+  std::vector<PageId> Pages() const SIM_EXCLUDES(mu_);
+
+  // Wire format for the WAL meta frame: sorted page ids in ASCII decimal,
+  // comma-separated ("3,17,42"); empty registry encodes as "".
+  std::string Encode() const SIM_EXCLUDES(mu_);
+  // Replaces the registry from an encoded payload; kCorruption on a
+  // malformed payload (the registry is left unchanged).
+  Status Load(std::string_view encoded) SIM_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  // Sorted; small (a handful of bad pages), so a vector beats a set.
+  std::vector<PageId> pages_ SIM_GUARDED_BY(mu_);
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_QUARANTINE_H_

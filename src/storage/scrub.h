@@ -1,0 +1,114 @@
+#ifndef SIMDB_STORAGE_SCRUB_H_
+#define SIMDB_STORAGE_SCRUB_H_
+
+// Online scrubber: the detection half of the detect → contain → repair
+// cycle (DESIGN.md §13). Latent media corruption is only dangerous while
+// it is undiscovered — a page can rot months before a query touches it,
+// and by then the WAL images that could have masked the loss are long
+// checkpointed away. The scrubber walks the durable pages, verifies each
+// CRC, and (on demand) decodes every heap record through RecordView, so
+// damage is found and quarantined close to when it happens.
+//
+// Two modes share one Scrubber:
+//
+//  * On-demand (SCRUB DATABASE, simdb_check --scrub): ScrubPages runs a
+//    full synchronous pass on the execution thread through the database's
+//    own pager stack — it sees injected faults (kBitRot) and can safely
+//    validate record codecs against the mapper's heap page list.
+//  * Background: Start() launches a paced worker (the group-commit worker
+//    idiom: sim::Mutex + CondVar + stop flag) that re-opens a PRIVATE
+//    FilePager on the database path each pass, so it shares no mutable
+//    pager state with the execution thread. It verifies checksums only:
+//    the mapper's page lists belong to the execution thread.
+//
+// Both modes skip pages whose newest image lives in the WAL (the durable
+// page is legitimately stale there), and both re-read a failing page once
+// before quarantining it, so a racing in-flight checkpoint write is not
+// mistaken for rot. Quarantining registers the page and appends the
+// registry to the WAL (sealed at the next commit).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "storage/pager.h"
+#include "storage/quarantine.h"
+
+namespace sim {
+
+class WriteAheadLog;
+
+class Scrubber {
+ public:
+  struct Report {
+    uint64_t pages_scanned = 0;
+    uint64_t checksum_failures = 0;   // pages failing CRC (→ quarantined)
+    uint64_t record_failures = 0;     // CRC-clean records RecordView rejects
+    uint64_t pages_quarantined = 0;   // newly quarantined this pass
+    uint64_t pages_skipped = 0;       // WAL-image or already-quarantined
+    uint64_t persist_failures = 0;    // quarantine WAL appends that failed
+    bool clean() const {
+      return checksum_failures == 0 && record_failures == 0;
+    }
+    std::string ToString() const;
+  };
+
+  // Live counter cells, registered by the Database as simdb_scrub_* views.
+  struct Counters {
+    obs::Counter passes;
+    obs::Counter pages_scanned;
+    obs::Counter errors_found;
+    obs::Counter pages_quarantined;
+  };
+
+  explicit Scrubber(QuarantineRegistry* quarantine)
+      : quarantine_(quarantine) {}
+  ~Scrubber() { Stop(); }
+
+  // Synchronous full pass over `pager`'s pages. `wal` (nullable) supplies
+  // the has-newer-image and persist-quarantine hooks; `heap_pages` lists
+  // the pages whose records should be decoded through RecordView (empty =
+  // checksum only). Returns non-OK only on infrastructure failure — a
+  // corrupt page is a Report entry, not an error.
+  Status ScrubPages(Pager* pager, WriteAheadLog* wal,
+                    const std::vector<PageId>& heap_pages, Report* out);
+
+  // Launches the background worker over the database file at `db_path`.
+  // Scrubs `pages_per_tick` pages every `interval_ms`, looping over the
+  // file forever. Idempotent; Stop() (or destruction) joins.
+  void Start(std::string db_path, WriteAheadLog* wal, uint64_t interval_ms,
+             uint64_t pages_per_tick);
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  // Verifies one page; bumps `out`. `raw` is scratch of kPageSize bytes.
+  void VerifyPage(Pager* pager, WriteAheadLog* wal, PageId id,
+                  bool validate_records, char* raw, Report* out);
+  void Loop(std::string db_path, WriteAheadLog* wal, uint64_t interval_ms,
+            uint64_t pages_per_tick);
+
+  QuarantineRegistry* const quarantine_;
+  Counters counters_;
+
+  // Background worker state (the group-commit worker pattern): the owner
+  // thread touches worker_ only in Start/Stop; the worker waits on cv_
+  // under mu_ so Stop() can interrupt a sleep immediately.
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ SIM_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_SCRUB_H_

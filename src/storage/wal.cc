@@ -39,6 +39,7 @@ bool PayloadLenValidFor(uint8_t type, uint32_t payload_len) {
       return payload_len == 0;
     case kWalFrameMetaDdl:
     case kWalFrameMetaSnapshot:
+    case kWalFrameMetaQuarantine:
       // Logical records are variable-length; the frame-fits-in-file and CRC
       // checks below do the real validation.
       return true;
@@ -59,6 +60,8 @@ const char* WalFrameTypeName(uint8_t type) {
       return "meta-ddl";
     case kWalFrameMetaSnapshot:
       return "meta-snapshot";
+    case kWalFrameMetaQuarantine:
+      return "meta-quarantine";
     default:
       return "unknown";
   }
@@ -106,6 +109,8 @@ Status WriteAheadLog::Scan() {
   std::vector<std::string> pending_ddl;
   std::string pending_snapshot;
   bool have_pending_snapshot = false;
+  std::string pending_quarantine;
+  bool have_pending_quarantine = false;
   uint64_t commit_end = 0;
   uint64_t max_lsn = 0;
   size_t off = 0;
@@ -138,6 +143,10 @@ Status WriteAheadLog::Scan() {
         pending_snapshot.assign(frame + kFrameHeader, payload_len);
         have_pending_snapshot = true;
         break;
+      case kWalFrameMetaQuarantine:
+        pending_quarantine.assign(frame + kFrameHeader, payload_len);
+        have_pending_quarantine = true;
+        break;
       case kWalFrameCommit:
         committed_ = images;
         commit_end = off + frame_len;
@@ -150,6 +159,13 @@ Status WriteAheadLog::Scan() {
           recovered_snapshot_ = std::move(pending_snapshot);
           pending_snapshot.clear();
           have_pending_snapshot = false;
+          ++stats_.recovered_meta_records;
+        }
+        if (have_pending_quarantine) {
+          recovered_quarantine_ = std::move(pending_quarantine);
+          pending_quarantine.clear();
+          have_pending_quarantine = false;
+          quarantine_payload_ = recovered_quarantine_;
           ++stats_.recovered_meta_records;
         }
         break;
@@ -256,6 +272,12 @@ Status WriteAheadLog::AppendMetaDdl(std::string_view ddl_text) {
 Status WriteAheadLog::AppendMetaSnapshot(std::string_view snapshot) {
   MutexLock lock(mu_);
   return AppendMetaLocked(kWalFrameMetaSnapshot, snapshot);
+}
+
+Status WriteAheadLog::AppendMetaQuarantine(std::string_view registry) {
+  MutexLock lock(mu_);
+  quarantine_payload_.assign(registry.data(), registry.size());
+  return AppendMetaLocked(kWalFrameMetaQuarantine, registry);
 }
 
 Status WriteAheadLog::CommitLocked() {
@@ -530,6 +552,10 @@ Status WriteAheadLog::ResetWithBaselineLocked(
     BuildFrame(kWalFrameMetaSnapshot, 0, snapshot.data(), snapshot.size(),
                &content);
   }
+  if (!quarantine_payload_.empty()) {
+    BuildFrame(kWalFrameMetaQuarantine, 0, quarantine_payload_.data(),
+               quarantine_payload_.size(), &content);
+  }
   BuildFrame(kWalFrameCommit, 0, nullptr, 0, &content);
 
   // Stage it in a sibling temp file and rename over the log. rename(2) is
@@ -635,7 +661,8 @@ Result<uint64_t> WriteAheadLog::Recover(Pager* db) {
   }
   SIM_RETURN_IF_ERROR(ReplayImages(committed_, db, &replayed));
   SIM_RETURN_IF_ERROR(db->Sync());
-  if (recovered_ddl_.empty() && recovered_snapshot_.empty()) {
+  if (recovered_ddl_.empty() && recovered_snapshot_.empty() &&
+      recovered_quarantine_.empty()) {
     // A metadata-free log (pre-metadata files, WAL unit tests) has nothing
     // left worth keeping once its images are in the database file.
     SIM_RETURN_IF_ERROR(TruncateAllLocked());
@@ -699,7 +726,8 @@ Result<WalInspection> InspectWal(const std::string& wal_path) {
     off += frame_len;
     out.valid_bytes = off;
     if (info.type == kWalFramePageImage) ++out.page_frames;
-    if (info.type == kWalFrameMetaDdl || info.type == kWalFrameMetaSnapshot) {
+    if (info.type == kWalFrameMetaDdl || info.type == kWalFrameMetaSnapshot ||
+        info.type == kWalFrameMetaQuarantine) {
       ++out.meta_frames;
     }
     out.frames.push_back(info);

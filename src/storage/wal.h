@@ -79,6 +79,10 @@ constexpr uint8_t kWalFramePageImage = 1;
 constexpr uint8_t kWalFrameCommit = 2;
 constexpr uint8_t kWalFrameMetaDdl = 3;
 constexpr uint8_t kWalFrameMetaSnapshot = 4;
+// Bad-page quarantine registry (payload = QuarantineRegistry::Encode()).
+// Each frame carries the FULL current registry; the newest committed frame
+// wins, and baselines re-emit it so the registry survives checkpoints.
+constexpr uint8_t kWalFrameMetaQuarantine = 5;
 
 class WriteAheadLog {
  public:
@@ -118,6 +122,10 @@ class WriteAheadLog {
     return recovered_ddl_;
   }
   const std::string& recovered_snapshot() const { return recovered_snapshot_; }
+  // Newest committed quarantine registry payload ("" when none was logged).
+  const std::string& recovered_quarantine() const {
+    return recovered_quarantine_;
+  }
 
   // Appends one page image (stamping its checksum). Buffered until Sync.
   Status AppendPageImage(PageId id, const char* data) SIM_EXCLUDES(mu_);
@@ -126,6 +134,11 @@ class WriteAheadLog {
   // the committed state once a commit record follows.
   Status AppendMetaDdl(std::string_view ddl_text) SIM_EXCLUDES(mu_);
   Status AppendMetaSnapshot(std::string_view snapshot) SIM_EXCLUDES(mu_);
+  // Appends the full quarantine registry and remembers it so every later
+  // baseline rewrite (checkpoint, recovery seal) re-emits it — the
+  // registry must never be lost to a log rewrite while pages are still
+  // bad. An empty payload clears it (all pages repaired).
+  Status AppendMetaQuarantine(std::string_view registry) SIM_EXCLUDES(mu_);
 
   // Appends a commit record and fsyncs the log. On return the images and
   // metadata appended so far are the durable committed state. With group
@@ -279,6 +292,10 @@ class WriteAheadLog {
   // accessors above need no lock.
   std::vector<std::string> recovered_ddl_;
   std::string recovered_snapshot_;
+  std::string recovered_quarantine_;
+  // Newest quarantine payload appended or recovered; re-emitted by
+  // ResetWithBaselineLocked so checkpoints preserve the registry.
+  std::string quarantine_payload_ SIM_GUARDED_BY(mu_);
   Stats stats_ SIM_GUARDED_BY(mu_);
 
   // Group-commit state. Tickets are sequence numbers: a committer takes

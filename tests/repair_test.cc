@@ -1,0 +1,713 @@
+// Detect → contain → repair (DESIGN.md §13): the scrubber finds media
+// corruption, the quarantine keeps the database serving everything the
+// damage did not touch, and REPAIR DATABASE salvages the survivors back to
+// a clean three-layer audit.
+//
+// Coverage:
+//  * QuarantineRegistry encode/load round-trip and malformed-payload
+//    rejection.
+//  * SCRUB DATABASE / REPAIR DATABASE statement surfaces.
+//  * Durable on-disk rot: auto-quarantine at open, degraded service
+//    (healthy classes and new writes keep working), quarantine persistence
+//    across reopen, full repair.
+//  * Every CorruptionInjector primitive (the logical-corruption classes of
+//    check_test.cc) followed by REPAIR → clean CHECK DATABASE.
+//  * Crash sweeps: a fatal fault at every write position inside REPAIR
+//    DATABASE, and a fault while the scrubber persists a quarantine, must
+//    leave a recoverable database that a second repair brings back clean.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "check/check.h"
+#include "check/corrupt.h"
+#include "check/repair.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/fault_pager.h"
+#include "storage/page.h"
+#include "storage/quarantine.h"
+#include "storage/scrub.h"
+#include "university_fixture.h"
+
+namespace sim {
+namespace {
+
+std::string TestPath(const std::string& stem) {
+  return ::testing::TempDir() + "/simdb_" + std::to_string(::getpid()) + "_" +
+         stem + ".db";
+}
+
+void Nuke(const std::string& path) {
+  ::remove(path.c_str());
+  ::remove((path + ".wal").c_str());
+}
+
+void ExpectAuditClean(Database* db) {
+  auto report = db->Audit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+// XOR-flips payload bytes of page `id` directly in the database file,
+// without restamping the checksum — durable rot, the latent corruption the
+// scrubber exists to find.
+void RotPageOnDisk(const std::string& path, PageId id) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << "cannot open " << path;
+  std::streamoff off =
+      static_cast<std::streamoff>(id) * kPageSize + kPageSize / 2;
+  char bytes[8];
+  f.seekg(off);
+  f.read(bytes, sizeof bytes);
+  ASSERT_TRUE(f.good());
+  for (char& b : bytes) b ^= char(0xFF);
+  f.seekp(off);
+  f.write(bytes, sizeof bytes);
+  ASSERT_TRUE(f.good());
+}
+
+constexpr const char* kTwoClassDdl = R"ddl(
+Class Person (
+  name: string[16] required;
+  age: integer );
+Class Dog (
+  tag: integer required;
+  breed: string[16] );
+)ddl";
+
+constexpr int kPersons = 6;
+constexpr int kDogs = 6;
+
+// Builds a two-class database at `path`, closes it cleanly (checkpointing
+// everything into the file), and returns the heap page holding the Person
+// records — the rot target. Dog records live on a different page, so the
+// damage is confined to one class.
+PageId BuildTwoClassDb(const std::string& path) {
+  Nuke(path);
+  DatabaseOptions options;
+  options.file_path = path;
+  auto db = Database::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->ExecuteDdl(kTwoClassDdl).ok());
+  for (int i = 0; i < kPersons; ++i) {
+    EXPECT_TRUE((*db)
+                    ->ExecuteUpdate("Insert person (name := \"p" +
+                                    std::to_string(i) +
+                                    "\", age := " + std::to_string(20 + i) +
+                                    ")")
+                    .ok());
+  }
+  for (int i = 0; i < kDogs; ++i) {
+    EXPECT_TRUE((*db)
+                    ->ExecuteUpdate("Insert dog (tag := " + std::to_string(i) +
+                                    ", breed := \"collie\")")
+                    .ok());
+  }
+  auto mapper = (*db)->mapper();
+  EXPECT_TRUE(mapper.ok());
+  std::vector<PageId> pages = (*mapper)->HeapPages();
+  EXPECT_GE(pages.size(), 2u);
+  return pages.empty() ? 0 : pages.front();
+}
+
+uint64_t RowCount(Database* db, const std::string& dml) {
+  auto rs = db->ExecuteQuery(dml);
+  EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+  return rs.ok() ? rs->row_count() : 0;
+}
+
+// Value of metric row `name` in a {"metric","value"} result set; -1 if the
+// row is absent.
+int64_t MetricRow(const ResultSet& rs, const std::string& name) {
+  for (const Row& row : rs.rows) {
+    if (row.values[0].ToString() == name) return row.values[1].int_value();
+  }
+  return -1;
+}
+
+// ----- quarantine registry -----
+
+TEST(QuarantineRegistryTest, EncodeLoadRoundTrip) {
+  QuarantineRegistry q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Encode(), "");
+  EXPECT_TRUE(q.Add(17));
+  EXPECT_TRUE(q.Add(3));
+  EXPECT_FALSE(q.Add(17)) << "duplicate add must report no change";
+  EXPECT_TRUE(q.Add(42));
+  EXPECT_EQ(q.Encode(), "3,17,42") << "sorted ASCII decimal";
+  EXPECT_TRUE(q.Contains(17));
+  EXPECT_FALSE(q.Contains(18));
+
+  QuarantineRegistry other;
+  ASSERT_TRUE(other.Load(q.Encode()).ok());
+  EXPECT_EQ(other.size(), 3u);
+  EXPECT_TRUE(other.Contains(3));
+  EXPECT_TRUE(other.Remove(3));
+  EXPECT_FALSE(other.Remove(3));
+  EXPECT_EQ(other.Encode(), "17,42");
+  other.Clear();
+  EXPECT_TRUE(other.empty());
+
+  // Loading the empty payload yields the empty registry.
+  ASSERT_TRUE(other.Load("").ok());
+  EXPECT_TRUE(other.empty());
+}
+
+TEST(QuarantineRegistryTest, MalformedPayloadRejectedUnchanged) {
+  QuarantineRegistry q;
+  ASSERT_TRUE(q.Add(7));
+  for (const char* bad : {"x", "1,,2", "1,2x", ",", "1, 2"}) {
+    Status s = q.Load(bad);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << bad;
+    EXPECT_TRUE(q.Contains(7)) << "failed Load must leave the registry "
+                                  "unchanged for payload: "
+                               << bad;
+  }
+}
+
+// ----- statement surface -----
+
+TEST(ScrubStatementTest, CleanDatabaseScrubsClean) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto rs = (*db)->ExecuteQuery("Scrub Database");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->columns.size(), 2u);
+  EXPECT_EQ(rs->columns[0], "metric");
+  EXPECT_GT(MetricRow(*rs, "pages_scanned"), 0);
+  EXPECT_EQ(MetricRow(*rs, "checksum_failures"), 0);
+  EXPECT_EQ(MetricRow(*rs, "record_failures"), 0);
+  EXPECT_EQ(MetricRow(*rs, "pages_quarantined"), 0);
+  EXPECT_FALSE((*db)->degraded());
+  // The scrub counters surface through the metrics registry.
+  std::string metrics = (*db)->MetricsText();
+  EXPECT_NE(metrics.find("simdb_scrub_passes_total 1"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("simdb_degraded 0"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("simdb_quarantined_pages 0"), std::string::npos)
+      << metrics;
+}
+
+TEST(ScrubStatementTest, RepairOnCleanDatabaseIsANoOp) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto rs = (*db)->ExecuteQuery("Repair Database");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(MetricRow(*rs, "pages_reformatted"), 0);
+  EXPECT_EQ(MetricRow(*rs, "records_dropped"), 0);
+  EXPECT_EQ(MetricRow(*rs, "entities_dropped"), 0);
+  EXPECT_EQ(MetricRow(*rs, "audit_findings"), 0);
+  ExpectAuditClean(db->get());
+  // Data survives the rebuild untouched.
+  EXPECT_EQ(RowCount(db->get(), "From person Retrieve name"), 6u);
+  EXPECT_EQ(RowCount(db->get(), "From course Retrieve title"), 6u);
+}
+
+TEST(ScrubStatementTest, ScrubAndRepairRejectedAsUpdates) {
+  auto db = sim::testing::OpenUniversity(DatabaseOptions(),
+                                         /*with_data=*/false);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->ExecuteUpdate("Scrub Database").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->ExecuteUpdate("Repair Database").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScrubStatementTest, RepairRefusedInsideExplicitTransaction) {
+  auto db = sim::testing::OpenUniversity();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Begin().ok());
+  auto rs = (*db)->ExecuteQuery("Repair Database");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*db)->Rollback().ok());
+}
+
+// ----- durable rot: contain, serve degraded, repair -----
+
+TEST(RotContainmentTest, RotQuarantinedAtOpenAndServedDegraded) {
+  std::string path = TestPath("rot_degraded");
+  PageId victim = BuildTwoClassDb(path);
+  RotPageOnDisk(path, victim);
+
+  DatabaseOptions options;
+  options.file_path = path;
+  auto opened = Database::Open(options);
+  // Containment, not outage: the post-recovery audit touches the rotted
+  // page, auto-quarantines it, and the open SUCCEEDS degraded.
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Database* db = opened->get();
+  EXPECT_TRUE(db->degraded());
+  EXPECT_EQ(db->quarantine().size(), 1u);
+  EXPECT_TRUE(db->quarantine().Contains(victim));
+  std::string metrics = db->MetricsText();
+  EXPECT_NE(metrics.find("simdb_degraded 1"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("simdb_quarantined_pages 1"), std::string::npos)
+      << metrics;
+
+  // Degraded service: the damaged class's scan skips the lost page, the
+  // healthy class is untouched, and writes still work.
+  EXPECT_EQ(RowCount(db, "From person Retrieve name"), 0u);
+  EXPECT_EQ(RowCount(db, "From dog Retrieve tag"),
+            static_cast<uint64_t>(kDogs));
+  ASSERT_TRUE(
+      db->ExecuteUpdate("Insert person (name := \"new\", age := 1)").ok());
+  EXPECT_EQ(RowCount(db, "From person Retrieve name"), 1u);
+
+  // A scrub pass reports the already-quarantined page as skipped, not as a
+  // fresh failure.
+  auto scrub = db->Scrub();
+  ASSERT_TRUE(scrub.ok()) << scrub.status().ToString();
+  EXPECT_GE(scrub->pages_skipped, 1u);
+  EXPECT_EQ(scrub->pages_quarantined, 0u);
+
+  // Repair: reformat the lost page, drop what it took, rebuild, re-audit.
+  auto rs = db->ExecuteQuery("Repair Database");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(MetricRow(*rs, "pages_reformatted"), 1);
+  EXPECT_EQ(MetricRow(*rs, "audit_findings"), 0);
+  EXPECT_FALSE(db->degraded());
+  EXPECT_TRUE(db->quarantine().empty());
+  ExpectAuditClean(db);
+  EXPECT_EQ(RowCount(db, "From person Retrieve name"), 1u)
+      << "the degraded-time insert survives the repair";
+  EXPECT_EQ(RowCount(db, "From dog Retrieve tag"),
+            static_cast<uint64_t>(kDogs));
+  metrics = db->MetricsText();
+  EXPECT_NE(metrics.find("simdb_degraded 0"), std::string::npos) << metrics;
+  opened->reset();
+
+  // The repaired database reopens clean and fully writable.
+  auto re = Database::Open(options);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  EXPECT_FALSE(re->get()->degraded());
+  ExpectAuditClean(re->get());
+  EXPECT_EQ(RowCount(re->get(), "From dog Retrieve tag"),
+            static_cast<uint64_t>(kDogs));
+  ASSERT_TRUE(re->get()
+                  ->ExecuteUpdate("Insert person (name := \"more\", age := 2)")
+                  .ok());
+  re->reset();
+  Nuke(path);
+}
+
+TEST(RotContainmentTest, QuarantinePersistsAcrossReopen) {
+  std::string path = TestPath("rot_persist");
+  PageId victim = BuildTwoClassDb(path);
+  RotPageOnDisk(path, victim);
+
+  DatabaseOptions options;
+  options.file_path = path;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->quarantine().Contains(victim));
+    // A commit seals the quarantine frame the auto-quarantine appended.
+    ASSERT_TRUE(
+        (*db)->ExecuteUpdate("Insert dog (tag := 99, breed := \"lab\")").ok());
+  }
+  // The reopened database knows about the bad page from the WAL alone —
+  // before any read or audit touches it again.
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->degraded());
+  EXPECT_TRUE((*db)->quarantine().Contains(victim));
+  EXPECT_EQ(RowCount(db->get(), "From dog Retrieve tag"),
+            static_cast<uint64_t>(kDogs) + 1);
+
+  auto res = (*db)->Repair();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->audit_findings, 0u);
+  EXPECT_FALSE((*db)->degraded());
+  ExpectAuditClean(db->get());
+  db->reset();
+  Nuke(path);
+}
+
+// Under a page-based primary organization the index survives the reopen
+// with the quarantined page still referenced, so a point read of a lost
+// record answers typed kDataLoss — never a silent miss and never garbage.
+TEST(RotContainmentTest, PointReadOfLostRecordReturnsDataLoss) {
+  std::string path = TestPath("rot_pointread");
+  Nuke(path);
+  DatabaseOptions options;
+  options.file_path = path;
+  options.mapping.surrogate_org = KeyOrganization::kIndexSequential;
+  SurrogateId victim = kInvalidSurrogate;
+  PageId page = 0;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->ExecuteDdl(kTwoClassDdl).ok());
+    ASSERT_TRUE(
+        (*db)->ExecuteUpdate("Insert person (name := \"only\", age := 9)").ok());
+    auto mapper = (*db)->mapper();
+    ASSERT_TRUE(mapper.ok());
+    auto extent = (*mapper)->ExtentOf("person");
+    ASSERT_TRUE(extent.ok());
+    ASSERT_EQ(extent->size(), 1u);
+    victim = extent->front();
+    std::vector<PageId> pages = (*mapper)->HeapPages();
+    ASSERT_FALSE(pages.empty());
+    page = pages.front();
+  }
+  RotPageOnDisk(path, page);
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->degraded());
+  auto mapper = (*db)->mapper();
+  ASSERT_TRUE(mapper.ok());
+  auto lost = (*mapper)->GetField(victim, "person", "name");
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kDataLoss)
+      << lost.status().ToString();
+  db->reset();
+  Nuke(path);
+}
+
+// ----- the CorruptionInjector classes: plant → repair → clean audit -----
+
+// Each case starts from a verified-clean UNIVERSITY fixture, plants one
+// corruption underneath the mapper's invariant-preserving API, proves the
+// audit sees trouble, repairs, and proves the audit is clean again.
+class RepairCorruptionTest : public ::testing::Test {
+ protected:
+  void Open(DatabaseOptions options = DatabaseOptions()) {
+    auto db = sim::testing::OpenUniversity(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    auto mapper = db_->mapper();
+    ASSERT_TRUE(mapper.ok()) << mapper.status().ToString();
+    mapper_ = *mapper;
+    auto before = db_->Audit();
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(before->clean()) << before->ToString();
+  }
+
+  SurrogateId FindByField(const std::string& cls, const std::string& attr,
+                          const std::string& want) {
+    auto extent = mapper_->ExtentOf(cls);
+    if (!extent.ok()) return kInvalidSurrogate;
+    for (SurrogateId s : *extent) {
+      auto v = mapper_->GetField(s, cls, attr);
+      if (v.ok() && v->StrictEquals(Value::Str(want))) return s;
+    }
+    return kInvalidSurrogate;
+  }
+
+  // Asserts the audit currently has findings, repairs, asserts it is clean.
+  void RepairAndVerify() {
+    auto dirty = db_->Audit();
+    ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+    ASSERT_FALSE(dirty->clean())
+        << "the planted corruption must be visible before repair";
+    auto res = db_->Repair();
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res->audit_findings, 0u);
+    auto rs = db_->ExecuteQuery("Check Database");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs->row_count(), 0u) << "CHECK DATABASE after repair";
+  }
+
+  std::unique_ptr<Database> db_;
+  LucMapper* mapper_ = nullptr;
+};
+
+TEST_F(RepairCorruptionTest, ByteFlippedRecordDroppedAndRebuilt) {
+  Open();
+  SurrogateId s = FindByField("person", "name", "Emmy Noether");
+  ASSERT_NE(s, kInvalidSurrogate);
+  CorruptionInjector injector(mapper_);
+  ASSERT_TRUE(injector.FlipRecordByte("person", s).ok());
+  RepairAndVerify();
+  // The undecodable record took its whole entity (role closure broken),
+  // but every other person survives.
+  EXPECT_EQ(RowCount(db_.get(), "From person Retrieve name"), 5u);
+}
+
+TEST_F(RepairCorruptionTest, DroppedEvaInverseRederived) {
+  Open();
+  SurrogateId john = FindByField("student", "name", "John Doe");
+  SurrogateId noether = FindByField("instructor", "name", "Emmy Noether");
+  ASSERT_NE(john, kInvalidSurrogate);
+  ASSERT_NE(noether, kInvalidSurrogate);
+  CorruptionInjector injector(mapper_);
+  ASSERT_TRUE(
+      injector.DropInverseSide("student", "advisor", john, noether).ok());
+  RepairAndVerify();
+  // The pair is re-derived from the surviving forward direction: John
+  // still has his advisor.
+  auto rs = db_->ExecuteQuery(
+      "From student Retrieve name of advisor Where name = \"John Doe\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->row_count(), 1u);
+  EXPECT_EQ(rs->rows[0].values[0].ToString(), "Emmy Noether");
+}
+
+TEST_F(RepairCorruptionTest, DroppedSymmetricEvaSideRederived) {
+  Open();
+  SurrogateId john = FindByField("person", "name", "John Doe");
+  SurrogateId jane = FindByField("person", "name", "Jane Roe");
+  ASSERT_NE(john, kInvalidSurrogate);
+  ASSERT_NE(jane, kInvalidSurrogate);
+  CorruptionInjector injector(mapper_);
+  ASSERT_TRUE(injector.DropInverseSide("person", "spouse", john, jane).ok());
+  RepairAndVerify();
+}
+
+TEST_F(RepairCorruptionTest, OrphanSubclassRowRolesTrimmed) {
+  DatabaseOptions options;
+  options.mapping.colocate_tree_hierarchies = false;
+  Open(options);
+  SurrogateId john = FindByField("student", "name", "John Doe");
+  ASSERT_NE(john, kInvalidSurrogate);
+  CorruptionInjector injector(mapper_);
+  ASSERT_TRUE(injector.DeleteUnitRecord("student", john).ok());
+  RepairAndVerify();
+  // John's student role had no surviving record, so repair withdrew the
+  // role; the person survives.
+  EXPECT_EQ(RowCount(db_.get(), "From student Retrieve name"), 2u);
+  auto rs = db_->ExecuteQuery(
+      "From person Retrieve name Where name = \"John Doe\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->row_count(), 1u);
+}
+
+TEST_F(RepairCorruptionTest, DuplicateUniqueValueResolvedFirstWins) {
+  Open();
+  SurrogateId turing = FindByField("instructor", "name", "Alan Turing");
+  ASSERT_NE(turing, kInvalidSurrogate);
+  CorruptionInjector injector(mapper_);
+  // Noether already holds employee-nbr 1002; the raw write also desynced
+  // the secondary index from the heap.
+  ASSERT_TRUE(injector
+                  .RawWriteField("instructor", "employee-nbr", turing,
+                                 Value::Int(1002))
+                  .ok());
+  RepairAndVerify();
+}
+
+TEST_F(RepairCorruptionTest, DesyncedHashIndexRebuilt) {
+  DatabaseOptions options;
+  options.mapping.surrogate_org = KeyOrganization::kHashed;
+  Open(options);
+  SurrogateId s = FindByField("course", "title", "Databases");
+  ASSERT_NE(s, kInvalidSurrogate);
+  CorruptionInjector injector(mapper_);
+  ASSERT_TRUE(injector.DesyncPrimaryIndex("course", s).ok());
+  RepairAndVerify();
+  EXPECT_EQ(RowCount(db_.get(), "From course Retrieve title"), 6u);
+}
+
+// MV MAX/DISTINCT violations in both physical representations of a bounded
+// MV DVA, repaired by dropping the excess and duplicate members.
+class RepairMvCorruptionTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RepairMvCorruptionTest, MvViolationsTrimmed) {
+  DatabaseOptions options;
+  options.mapping.embed_bounded_mvdva = GetParam();
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteDdl("Class Box ("
+                               "  tag: string[8];"
+                               "  bounded: integer mv (max 2, distinct) );")
+                  .ok());
+  auto mapper = (*db)->mapper();
+  ASSERT_TRUE(mapper.ok());
+  auto s = (*mapper)->CreateEntity("Box", nullptr);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(
+      (*mapper)->AddMvValue(*s, "Box", "bounded", Value::Int(1), nullptr).ok());
+  ASSERT_TRUE(
+      (*mapper)->AddMvValue(*s, "Box", "bounded", Value::Int(2), nullptr).ok());
+  CorruptionInjector injector(*mapper);
+  ASSERT_TRUE(
+      injector.RawAppendMvValue("Box", "bounded", *s, Value::Int(3)).ok());
+  ASSERT_TRUE(
+      injector.RawAppendMvValue("Box", "bounded", *s, Value::Int(2)).ok());
+  auto dirty = (*db)->Audit();
+  ASSERT_TRUE(dirty.ok());
+  ASSERT_FALSE(dirty->clean());
+
+  auto res = (*db)->Repair();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->audit_findings, 0u);
+  EXPECT_GE(res->report.mv_values_dropped, 1u);
+  ExpectAuditClean(db->get());
+  auto values = (*mapper)->GetMvValues(*s, "Box", "bounded");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Representations, RepairMvCorruptionTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Embedded" : "SeparateUnit";
+                         });
+
+// ----- crash safety of the repair itself -----
+
+// A fatal fault at every write position inside REPAIR DATABASE: whatever
+// the crash point (quarantine append, page image, snapshot, commit, or
+// mid-checkpoint), the reopened database must recover — either to the
+// pre-repair degraded state or to the completed repair — and a second
+// repair must reach a clean audit with the healthy class intact.
+TEST(RepairCrashTest, MidRepairCrashSweepLeavesRecoverableDatabase) {
+  std::string path = TestPath("repair_crash");
+
+  // Profile a fault-free repair to learn its write count.
+  PageId victim = BuildTwoClassDb(path);
+  RotPageOnDisk(path, victim);
+  uint64_t repair_writes = 0;
+  {
+    FaultInjector profile;
+    DatabaseOptions options;
+    options.file_path = path;
+    options.fault_injector = &profile;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    uint64_t base = profile.stats().writes_seen;
+    auto res = (*db)->Repair();
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    repair_writes = profile.stats().writes_seen - base;
+  }
+  ASSERT_GT(repair_writes, 4u);
+
+  uint64_t stride = std::max<uint64_t>(1, repair_writes / 8);
+  for (uint64_t n = 1; n <= repair_writes; n += stride) {
+    SCOPED_TRACE("crash at repair write " + std::to_string(n) + " of " +
+                 std::to_string(repair_writes));
+    PageId page = BuildTwoClassDb(path);
+    RotPageOnDisk(path, page);
+    {
+      FaultInjector inj;
+      DatabaseOptions options;
+      options.file_path = path;
+      options.fault_injector = &inj;
+      auto db = Database::Open(options);
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      ASSERT_TRUE((*db)->degraded());
+      inj.FailNthWrite(inj.stats().writes_seen + n);
+      auto res = (*db)->Repair();
+      // Crash point past the repair's last write: the repair legitimately
+      // completed. Otherwise it must have failed, leaving the WAL to
+      // protect the durable state.
+      if (res.ok()) {
+        EXPECT_EQ(res->audit_findings, 0u);
+      }
+      // The destructor runs with the injector dead — nothing else becomes
+      // durable, exactly like a kill.
+    }
+    DatabaseOptions reopen;
+    reopen.file_path = path;
+    auto re = Database::Open(reopen);
+    ASSERT_TRUE(re.ok()) << re.status().ToString();
+    Database* db = re->get();
+    auto res = db->Repair();
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res->audit_findings, 0u);
+    EXPECT_FALSE(db->degraded());
+    ExpectAuditClean(db);
+    EXPECT_EQ(RowCount(db, "From dog Retrieve tag"),
+              static_cast<uint64_t>(kDogs))
+        << "the healthy class must survive every crash point";
+    re->reset();
+  }
+  Nuke(path);
+}
+
+// A write fault while the scrubber persists a fresh quarantine: the
+// in-memory containment stands regardless (persist_failures only counts
+// the missed append). Durable rot is always caught by the first read at
+// open (HeapFile::Attach walks every page), so the only rot the scrub can
+// be FIRST to see is read-path rot — a failing controller whose durable
+// bytes are still pristine. After the "crash" a healthy controller serves
+// the untouched medium clean.
+TEST(RepairCrashTest, ScrubQuarantinePersistFaultTolerated) {
+  std::string path = TestPath("scrub_crash");
+  PageId victim = BuildTwoClassDb(path);
+  {
+    FaultInjector inj;
+    DatabaseOptions options;
+    options.file_path = path;
+    options.fault_injector = &inj;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_FALSE((*db)->degraded());
+    inj.BitRotPage(victim);
+    inj.FailNthWrite(inj.stats().writes_seen + 1);
+    auto rep = (*db)->Scrub();
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    EXPECT_GE(rep->checksum_failures, 1u);
+    // The quarantine frame buffers in the WAL's pending batch (appends
+    // never touch the file directly), so the armed fault fires at the next
+    // flush — the crash lands BETWEEN detection and durability.
+    EXPECT_EQ(rep->persist_failures, 0u);
+    EXPECT_TRUE((*db)->degraded())
+        << "containment must not depend on the persist succeeding";
+    EXPECT_TRUE((*db)->quarantine().Contains(victim));
+    // Injector stays dead: the close persists nothing, like a kill.
+  }
+  DatabaseOptions reopen;
+  reopen.file_path = path;
+  auto re = Database::Open(reopen);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  Database* db = re->get();
+  EXPECT_FALSE(db->degraded())
+      << "the rot lived in the read path; the medium was never damaged";
+  ExpectAuditClean(db);
+  EXPECT_EQ(RowCount(db, "From person Retrieve name"),
+            static_cast<uint64_t>(kPersons));
+  EXPECT_EQ(RowCount(db, "From dog Retrieve tag"),
+            static_cast<uint64_t>(kDogs));
+  re->reset();
+  Nuke(path);
+}
+
+// ----- background scrubber -----
+
+TEST(BackgroundScrubTest, WorkerFindsRotWithoutQueries) {
+  std::string path = TestPath("bg_scrub");
+  PageId victim = BuildTwoClassDb(path);
+  RotPageOnDisk(path, victim);
+
+  DatabaseOptions options;
+  options.file_path = path;
+  options.recovery_audit = false;  // nothing else may touch the rot
+  options.background_scrub = true;
+  options.scrub_interval_ms = 1;
+  options.scrub_pages_per_tick = 16;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // No query ever touches the rotted page; the background worker must
+  // still find and quarantine it.
+  for (int i = 0; i < 500 && !(*db)->degraded(); ++i) {
+    ::usleep(10 * 1000);
+  }
+  EXPECT_TRUE((*db)->degraded()) << "background scrubber never found the rot";
+  EXPECT_TRUE((*db)->quarantine().Contains(victim));
+  std::string metrics = (*db)->MetricsText();
+  EXPECT_NE(metrics.find("simdb_degraded 1"), std::string::npos) << metrics;
+
+  auto res = (*db)->Repair();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->audit_findings, 0u);
+  ExpectAuditClean(db->get());
+  db->reset();
+  Nuke(path);
+}
+
+}  // namespace
+}  // namespace sim

@@ -24,8 +24,21 @@
 // verdict, without opening a database. Exit 0 when the tail is clean,
 // 1 when the log ends in a torn or corrupt tail.
 //
-// Exit status: 0 when the audit reports no findings, 1 when findings exist,
-// 2 on setup failure (unreadable script, DDL/DML error, tripped deadline).
+// --scrub runs an on-demand media-verification pass (page checksums +
+// record codec) before the audit; rotted pages are quarantined and the
+// database keeps serving everything else (DESIGN.md §13).
+//
+// --repair runs REPAIR DATABASE: scrub, salvage the survivors of every
+// quarantined page, rebuild all derived structures, re-audit.
+//
+// Exit status taxonomy:
+//   0  clean — no findings, nothing quarantined, nothing to repair
+//   1  degraded but serving — findings or quarantined pages; reads outside
+//      the damage keep working
+//   2  setup failure — unreadable script, DDL/DML error, tripped deadline
+//   3  repaired — damage was found and salvaged; post-repair audit clean
+//   4  unrepairable — repair failed or the post-repair audit still finds
+//      inconsistencies
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +51,9 @@
 
 #include "api/database.h"
 #include "check/check.h"
+#include "check/repair.h"
 #include "common/status.h"
+#include "storage/scrub.h"
 #include "storage/wal.h"
 #include "university_fixture.h"
 
@@ -95,10 +110,16 @@ int Run(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string wal_path;
   bool dump_metrics = false;
+  bool do_scrub = false;
+  bool do_repair = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--scrub") {
+      do_scrub = true;
+    } else if (arg == "--repair") {
+      do_repair = true;
     } else if (arg == "--file") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "simdb_check: --file needs a path\n");
@@ -204,6 +225,41 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (do_repair) {
+    // Repair() runs its own detection sweep, salvages, rebuilds and ends
+    // with a full three-layer re-audit.
+    sim::Result<sim::Database::RepairResult> repaired = db->Repair();
+    if (!repaired.ok()) {
+      std::fprintf(stderr, "simdb_check: repair failed: %s\n",
+                   repaired.status().ToString().c_str());
+      return 4;
+    }
+    std::printf("%s%s", repaired->scrub.ToString().c_str(),
+                repaired->report.ToString().c_str());
+    if (dump_metrics) {
+      std::printf("%s", db->MetricsText().c_str());
+    }
+    if (repaired->audit_findings > 0) {
+      std::printf("post-repair audit: %llu findings\n",
+                  static_cast<unsigned long long>(repaired->audit_findings));
+      return 4;
+    }
+    std::printf("post-repair audit: clean\n");
+    bool acted = !repaired->scrub.clean() ||
+                 repaired->report.pages_reformatted > 0 ||
+                 !repaired->report.lossless();
+    return acted ? 3 : 0;
+  }
+  if (do_scrub) {
+    sim::Result<sim::Scrubber::Report> scrubbed = db->Scrub();
+    if (!scrubbed.ok()) {
+      std::fprintf(stderr, "simdb_check: scrub failed: %s\n",
+                   scrubbed.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s", scrubbed->ToString().c_str());
+  }
+
   sim::Result<sim::CheckReport> report = db->Audit();
   if (!report.ok()) {
     std::fprintf(stderr, "simdb_check: audit aborted: %s\n",
@@ -214,6 +270,10 @@ int Run(int argc, char** argv) {
   if (dump_metrics) {
     std::printf("%s", db->MetricsText().c_str());
   }
+  // Quarantined pages mean degraded-but-serving even if the audit itself
+  // came back clean (the audit walks live structures, which skip the
+  // quarantined pages).
+  if (db->degraded()) return 1;
   return report->clean() ? 0 : 1;
 }
 
