@@ -1,0 +1,171 @@
+// E16 — concurrent statements through one Database. Before the lock
+// manager, Database required external synchronization: every caller
+// wrapped statements in one big mutex, so reader latency included every
+// other session's statements and a writer's fsync window. Now readers
+// take shared class-extent locks and writers exclusive ones, so the only
+// wait a reader ever makes is for an in-flight commit on the class it
+// scans — and N readers make that wait *together* instead of queueing.
+//
+// This host has a single CPU, so the benches measure latency overlap,
+// not parallel compute (the same regime as E14: the bottleneck is the
+// WAL fsync, not cycles):
+//   * BM_ReadersUnderWriteTraffic — 1 vs 4 reader threads issuing scan
+//     statements against a class a background writer keeps committing
+//     into (file-backed WAL, group commit on). A writer commit holds its
+//     exclusive lock through the fsync (strict two-phase locking), so
+//     each reader statement waits out the commit window; with 4 readers
+//     those waits overlap and aggregate statement throughput scales.
+//     Headline (EXPERIMENTS.md E16): items_per_second at 4 threads vs 1.
+//   * BM_GroupCommitWriters — 8 writer threads inserting into eight
+//     *distinct* classes (disjoint lock families, no contention), each
+//     iteration one durable autocommit. End-to-end counterpart of E14's
+//     WAL-direct BM_GroupCommit/threads:8: the lock manager must not
+//     break commit batching, so commits/sec should stay in the same
+//     regime as E14's fsync-per-commit baseline and the batches counter
+//     should show many commits per barrier.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/database.h"
+
+namespace {
+
+// Keep scratch files on the real filesystem (not tmpfs): both benches
+// exist to measure genuine fsync barriers.
+constexpr char kReaderDbPath[] = "bench_e16_readers.db";
+constexpr char kWriterDbPath[] = "bench_e16_writers.db";
+
+void Nuke(const char* path) {
+  std::remove(path);
+  std::remove((std::string(path) + ".wal").c_str());
+}
+
+std::unique_ptr<sim::Database> OpenFileBacked(const char* path,
+                                              std::string_view ddl) {
+  Nuke(path);
+  sim::DatabaseOptions options;
+  options.file_path = path;
+  options.group_commit = true;
+  auto db = sim::Database::Open(options);
+  if (!db.ok()) {
+    fprintf(stderr, "e16: open failed: %s\n",
+            db.status().ToString().c_str());
+    abort();
+  }
+  sim::Status s = (*db)->ExecuteDdl(ddl);
+  if (!s.ok()) {
+    fprintf(stderr, "e16: ddl failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  return std::move(*db);
+}
+
+// --- readers under write traffic -------------------------------------------
+
+std::unique_ptr<sim::Database> g_reader_db;
+std::thread g_writer;
+std::atomic<bool> g_writer_stop{false};
+std::atomic<uint64_t> g_writer_commits{0};
+
+void StartReaderFixture() {
+  g_reader_db = OpenFileBacked(kReaderDbPath, R"(
+    Class Item (
+      item-no: integer required;
+      label: string[20] );
+  )");
+  for (int i = 0; i < 64; ++i) {
+    std::string stmt = "Insert item (item-no := " + std::to_string(i) +
+                       ", label := \"seed\").";
+    auto n = g_reader_db->ExecuteUpdate(stmt);
+    if (!n.ok()) abort();
+  }
+  // The write traffic readers contend with: one committed insert after
+  // another into the class the readers scan. Each commit holds X(item)
+  // through its fsync, so this pins the reader wait the bench measures.
+  g_writer_stop.store(false);
+  g_writer_commits.store(0);
+  g_writer = std::thread([] {
+    uint64_t i = 0;
+    while (!g_writer_stop.load(std::memory_order_relaxed)) {
+      std::string stmt = "Insert item (item-no := " +
+                         std::to_string(1000 + i++) +
+                         ", label := \"hot\").";
+      if (!g_reader_db->ExecuteUpdate(stmt).ok()) break;
+      g_writer_commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+void StopReaderFixture(benchmark::State& state) {
+  g_writer_stop.store(true);
+  g_writer.join();
+  state.counters["writer_commits"] =
+      static_cast<double>(g_writer_commits.load());
+  state.counters["lock_waits"] =
+      static_cast<double>(g_reader_db->lock_stats().waits.value());
+  g_reader_db.reset();
+  Nuke(kReaderDbPath);
+}
+
+void BM_ReadersUnderWriteTraffic(benchmark::State& state) {
+  if (state.thread_index() == 0) StartReaderFixture();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = g_reader_db->ExecuteQuery("From Item Retrieve item-no");
+    if (!rs.ok()) {
+      state.SkipWithError(rs.status().ToString().c_str());
+      break;
+    }
+    rows += rs->rows.size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) StopReaderFixture(state);
+}
+
+BENCHMARK(BM_ReadersUnderWriteTraffic)->Threads(1)->Threads(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// --- eight writers, disjoint classes ---------------------------------------
+
+std::unique_ptr<sim::Database> g_writer_db;
+
+void BM_GroupCommitWriters(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_writer_db = OpenFileBacked(kWriterDbPath, R"(
+      Class W0 ( v: integer );  Class W1 ( v: integer );
+      Class W2 ( v: integer );  Class W3 ( v: integer );
+      Class W4 ( v: integer );  Class W5 ( v: integer );
+      Class W6 ( v: integer );  Class W7 ( v: integer );
+    )");
+  }
+  const std::string stmt = "Insert w" + std::to_string(state.thread_index()) +
+                           " (v := 1).";
+  for (auto _ : state) {
+    auto n = g_writer_db->ExecuteUpdate(stmt);
+    if (!n.ok()) {
+      state.SkipWithError(n.status().ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["lock_acquisitions"] = static_cast<double>(
+        g_writer_db->lock_stats().acquisitions.value());
+    g_writer_db.reset();
+    Nuke(kWriterDbPath);
+  }
+}
+
+BENCHMARK(BM_GroupCommitWriters)->Threads(1)->Threads(8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

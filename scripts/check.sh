@@ -31,6 +31,30 @@ echo "== allocation ceiling (bench_e15_alloc) =="
 # BENCH_e15.json records the methodology behind the ceiling.
 ./build/bench/bench_e15_alloc --emps=2000 --assert-streaming-max=1.0
 
+echo "== reader-scaling smoke (bench_e16_concurrency) =="
+# E16 regression gate: four concurrent reader threads must beat one
+# reader's statement throughput against live write traffic (measured
+# ~20x on the 1-CPU CI box because lock waits overlap; gated at a
+# conservative 1.5x so device jitter never flakes the build).
+# BENCH_e16.json records the methodology.
+e16_json=$(mktemp)
+./build/bench/bench_e16_concurrency \
+  --benchmark_filter='BM_ReadersUnderWriteTraffic' \
+  --benchmark_min_time=0.2 --benchmark_format=json > "$e16_json"
+python3 - "$e16_json" <<'PYEOF'
+import json, sys
+runs = {b["name"]: b["items_per_second"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]
+        if b.get("run_type") == "iteration"}
+one = runs["BM_ReadersUnderWriteTraffic/real_time/threads:1"]
+four = runs["BM_ReadersUnderWriteTraffic/real_time/threads:4"]
+ratio = four / one
+print(f"reader scaling: 1 thread {one:.0f}/s, 4 threads {four:.0f}/s "
+      f"({ratio:.1f}x)")
+sys.exit(0 if ratio >= 1.5 else 1)
+PYEOF
+rm -f "$e16_json"
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DASAN=ON >/dev/null
 cmake --build build-asan -j "$jobs"
@@ -51,14 +75,24 @@ echo "== crash-recovery sweep under UBSan =="
 
 echo "== sanitized build (TSan) + concurrency stress suite =="
 # ThreadSanitizer watches the surfaces the thread-safety annotations
-# promise are safe: the group-commit pipeline, Cursor::Cancel vs drain,
-# metrics scrapes racing statement execution, and the trace sink.
+# promise are safe: the lock manager's wait/grant machinery, concurrent
+# reader/writer statements through one Database, the group-commit
+# pipeline, Cursor::Cancel vs drain, metrics scrapes racing statement
+# execution, and the trace sink.
 # halt_on_error makes the first report fail the run immediately.
 cmake -B build-tsan -S . -DTSAN=ON >/dev/null
 cmake --build build-tsan -j "$jobs"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ./build-tsan/tests/simdb_tests \
-  --gtest_filter='ConcurrencyStressTest.*:GroupCommitInterleavingTest.*'
+  --gtest_filter='LockManagerTest.*:ConcurrencyStressTest.*:GroupCommitInterleavingTest.*'
+
+echo "== crash sweep with concurrent writers under TSan =="
+# Kill the WAL mid-group-commit while four writer threads hold class
+# locks; every crash point must reopen to a clean audit with no torn
+# multi-writer batch — and the threaded sweep itself must be race-free.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ./build-tsan/tests/simdb_tests \
+  --gtest_filter='CrashRecoveryTest.SweepGroupCommitWithConcurrentWriters'
 
 echo "== hardened build (STRICT=ON: warnings are errors) =="
 cmake -B build-strict -S . -DSTRICT=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \

@@ -1,6 +1,7 @@
 #include "api/database.h"
 
 #include <chrono>
+#include <cstdio>
 #include <functional>
 
 #include "check/plan_check.h"
@@ -235,6 +236,27 @@ void Database::RegisterMetrics() {
   metrics_.RegisterCounterView("simdb_scrub_pages_quarantined_total",
                                "Pages the scrubber placed in quarantine.",
                                &sc.pages_quarantined);
+  // Semantic lock manager (DESIGN.md §14). Waits and deadlocks are the
+  // contention signals; acquisitions put them in proportion.
+  const LockManager::Stats& ls = lock_manager_.stats();
+  metrics_.RegisterCounterView("simdb_lock_acquisitions_total",
+                               "Class/record locks granted.",
+                               &ls.acquisitions);
+  metrics_.RegisterCounterView("simdb_lock_waits_total",
+                               "Acquisitions that blocked on a conflicting "
+                               "holder.",
+                               &ls.waits);
+  metrics_.RegisterCounterView("simdb_lock_deadlocks_total",
+                               "Acquisitions aborted to break a wait cycle.",
+                               &ls.deadlocks);
+  metrics_.RegisterCounterView("simdb_lock_timeouts_total",
+                               "Acquisitions that exhausted the statement "
+                               "deadline while waiting.",
+                               &ls.timeouts);
+  m_dropped_status_ = metrics_.GetCounter(
+      "simdb_dropped_status_total",
+      "Statuses discarded unobserved (cursor destroyed with a failing "
+      "close).");
 }
 
 void Database::ObserveExec(const ExecStats& stats, const QueryContext& qctx) {
@@ -340,30 +362,41 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
   // Durability hook: a transaction is committed once its dirty pages, a
   // fresh mapper bootstrap snapshot and a commit record are durable in the
-  // WAL. The in-place checkpoint is an optimization and must NOT fail the
-  // commit — the data is already safe.
+  // WAL. Runs under commit_mu_ (from CommitBegin inside the committer's
+  // critical section); the appended sequence ends with a commit ticket the
+  // committer awaits AFTER releasing commit_mu_, so concurrent writers'
+  // fsyncs coalesce in the group-commit thread. The threshold checkpoint
+  // happens later (MaybeCheckpoint), once the ticket is durable.
   Database* raw = db.get();
   db->txn_manager_.set_commit_hook([raw](Transaction*) -> Status {
-    if (raw->wal_ == nullptr) return Status::Ok();
-    SIM_RETURN_IF_ERROR(raw->pool_->FlushAll());
+    if (raw->wal_ == nullptr) {
+      raw->pending_ticket_ = 0;
+      return Status::Ok();
+    }
+    // Images + snapshot + ticket form one atomic commit sequence in the
+    // log: a group-commit frame must never cut between them, or recovery
+    // could pair these pages with the previous mapper snapshot.
+    raw->wal_->BeginCommitSequence();
+    Status s = raw->pool_->FlushAll();
     std::string snapshot;
-    if (raw->mapper_ != nullptr) {
+    if (s.ok() && raw->mapper_ != nullptr) {
       // The bootstrap state (heap page lists, index roots, next
       // surrogate) drifts with every commit; each commit record must be
       // preceded by the snapshot that matches it.
-      SIM_ASSIGN_OR_RETURN(snapshot, MapperRehydrator::Snapshot(*raw->mapper_));
-      SIM_RETURN_IF_ERROR(raw->wal_->AppendMetaSnapshot(snapshot));
+      Result<std::string> snap = MapperRehydrator::Snapshot(*raw->mapper_);
+      if (snap.ok()) {
+        snapshot = std::move(*snap);
+        s = raw->wal_->AppendMetaSnapshot(snapshot);
+      } else {
+        s = snap.status();
+      }
     }
-    SIM_RETURN_IF_ERROR(raw->wal_->AppendCommit());
-    if (raw->wal_->size_bytes() > raw->options_.wal_checkpoint_bytes) {
-      // A failed threshold checkpoint is retried at the next commit (the
-      // log simply stays large), but disk-full must degrade to read-only.
-      Status cp = raw->ddl_history_.empty()
-                      ? raw->wal_->Checkpoint(raw->io_pager())
-                      : raw->wal_->Checkpoint(raw->io_pager(),
-                                              raw->ddl_history_, snapshot);
-      raw->NoteIoStatus(cp);
-    }
+    uint64_t ticket = 0;
+    if (s.ok()) s = raw->wal_->AppendCommitBegin(&ticket);
+    raw->wal_->EndCommitSequence();
+    SIM_RETURN_IF_ERROR(s);
+    raw->pending_ticket_ = ticket;
+    raw->pending_snapshot_ = std::move(snapshot);
     return Status::Ok();
   });
   if (options.background_scrub && !options.file_path.empty()) {
@@ -393,10 +426,15 @@ Status Database::InstallDdl(std::string_view ddl_text) {
 }
 
 Status Database::ExecuteDdl(std::string_view ddl_text) {
+  // init_mu_ pins the schema-freeze decision: EnsureMapper builds the
+  // physical mapping under the same latch, so DDL can never interleave
+  // with the first data statement.
+  MutexLock init(init_mu_);
   if (mapper_ != nullptr) {
-    return Status::NotSupported(
-        "schema changes after data operations are not supported; define the "
-        "full schema first");
+    return Status::FailedPrecondition(
+        "schema is frozen: the physical mapping was built at the first data "
+        "operation; define the full schema before any data statement "
+        "(schema evolution requires a new database)");
   }
   StmtObs sobs(this, m_stmt_ddl_, ddl_text);
   {
@@ -450,6 +488,7 @@ Status Database::RecoverMetadata() {
     integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
     SIM_RETURN_IF_ERROR(integrity_->Prepare());
     optimizer_ = std::make_unique<Optimizer>(mapper_.get());
+    lock_manager_.SetDirectory(&dir_);
     // Recovery runs inside Open (no scrapers exist yet), but keep the
     // invariant that scrape_* tracks mapper_/optimizer_ whenever set.
     scrape_mapper_.store(mapper_.get(), std::memory_order_release);
@@ -460,7 +499,8 @@ Status Database::RecoverMetadata() {
   // on disk, so a crash mid-recovery just replays the same state again.
   SIM_RETURN_IF_ERROR(wal_->ResetWithBaseline(ddl_history_, snapshot));
   if (options_.recovery_audit && mapper_ != nullptr) {
-    SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
+    // Open is single-threaded: no locks needed for the recovery audit.
+    SIM_ASSIGN_OR_RETURN(CheckReport report, AuditLocked());
     // Findings on a degraded database are expected, not fatal: rotted
     // pages (quarantined before the crash, or auto-quarantined just now
     // when the audit's heap scans touched them) answer with DataLoss and
@@ -480,6 +520,13 @@ Status Database::RecoverMetadata() {
 }
 
 Status Database::EnsureMapper() {
+  // Fast path: once published, the physical layer never changes, so the
+  // acquire load pairs with the release store below and every later read
+  // of mapper_/optimizer_/integrity_ on this thread is safe unlatched.
+  if (scrape_mapper_.load(std::memory_order_acquire) != nullptr) {
+    return Status::Ok();
+  }
+  MutexLock init(init_mu_);
   if (mapper_ != nullptr) return Status::Ok();
   if (!dir_.finalized()) {
     SIM_RETURN_IF_ERROR(dir_.Finalize());
@@ -492,9 +539,12 @@ Status Database::EnsureMapper() {
   integrity_ = std::make_unique<IntegrityChecker>(&dir_, mapper_.get());
   SIM_RETURN_IF_ERROR(integrity_->Prepare());
   optimizer_ = std::make_unique<Optimizer>(mapper_.get());
-  // Publish for concurrent metrics scrapes only now that both engines are
-  // fully constructed: the release stores pair with the acquire loads in
-  // the scrape callbacks registered by RegisterMetrics.
+  // The lock manager expands covers through the now-final subclass DAG.
+  lock_manager_.SetDirectory(&dir_);
+  // Publish for concurrent metrics scrapes AND for EnsureMapper's own
+  // fast path, only now that both engines are fully constructed: the
+  // release stores pair with the acquire loads above and in the scrape
+  // callbacks registered by RegisterMetrics.
   scrape_mapper_.store(mapper_.get(), std::memory_order_release);
   scrape_optimizer_.store(optimizer_.get(), std::memory_order_release);
   return Status::Ok();
@@ -505,7 +555,61 @@ Result<LucMapper*> Database::mapper() {
   return mapper_.get();
 }
 
-Result<CheckReport> Database::Audit() {
+std::vector<std::string> Database::WriteLockSet(
+    const std::string& class_name) const {
+  std::vector<std::string> out = {class_name};
+  Result<std::string> base = dir_.BaseOf(class_name);
+  if (!base.ok()) return out;
+  std::vector<std::string> family = {*base};
+  Result<std::vector<std::string>> desc = dir_.DescendantsOf(*base);
+  if (desc.ok()) {
+    family.insert(family.end(), desc->begin(), desc->end());
+  }
+  // Widen across EVAs: maintained inverses write into the range class's
+  // units, FK-EVA removal rewrites owner records of other families, and
+  // clustered inserts land on pages adopted from EVA-related units. One
+  // hop suffices — cascades clear fields in neighbor families but never
+  // delete entities there, so no second-order footprint exists.
+  for (const std::string& member : family) {
+    Result<std::vector<DirectoryManager::ResolvedAttr>> attrs =
+        dir_.AllAttributes(member);
+    if (!attrs.ok()) continue;
+    for (const DirectoryManager::ResolvedAttr& ra : *attrs) {
+      if (ra.attr != nullptr && ra.attr->is_eva()) {
+        out.push_back(ra.attr->range_class);
+      }
+    }
+  }
+  return out;
+}
+
+Status Database::AcquireReadLocks(const QueryTree& qt, QueryContext* qctx,
+                                  std::unique_ptr<LockManager::Scope>* own) {
+  std::vector<std::string> classes;
+  for (const QtNode& n : qt.nodes) {
+    if (!n.class_name.empty()) classes.push_back(n.class_name);
+  }
+  if (classes.empty()) return Status::Ok();
+  LockManager::Scope* scope = nullptr;
+  {
+    MutexLock session(session_mu_);
+    // Only the transaction's own thread reads through its scope; a
+    // foreign reader gets a fresh scope and thus waits on the
+    // transaction's X locks instead of seeing uncommitted writes.
+    if (current_txn_ != nullptr &&
+        txn_thread_ == std::this_thread::get_id()) {
+      scope = txn_scope_.get();
+    }
+  }
+  if (scope == nullptr) {
+    if (*own == nullptr) *own = lock_manager_.NewScope();
+    scope = own->get();
+  }
+  return lock_manager_.AcquireClasses(scope, classes,
+                                      LockManager::Mode::kShared, qctx);
+}
+
+Result<CheckReport> Database::AuditLocked() {
   // Deliberately no EnsureMapper(): auditing must never change the
   // database, and a reopened file-backed database without a rebuilt
   // physical layer still gets the catalog + page-checksum layers.
@@ -518,7 +622,39 @@ Result<CheckReport> Database::Audit() {
   return checker.AuditAll();
 }
 
+Result<CheckReport> Database::Audit() {
+  // The audit reads every extent and structure; S-everything excludes
+  // writers while letting concurrent readers keep running. Inside an
+  // explicit transaction the txn scope (which may hold X) absorbs the S
+  // set — a scope never conflicts with itself.
+  QueryContext qctx(options_.governor);
+  LockManager::Scope* scope = nullptr;
+  {
+    MutexLock session(session_mu_);
+    if (current_txn_ != nullptr &&
+        txn_thread_ == std::this_thread::get_id()) {
+      scope = txn_scope_.get();
+    }
+  }
+  std::unique_ptr<LockManager::Scope> own;
+  if (scope == nullptr) {
+    own = lock_manager_.NewScope();
+    scope = own.get();
+  }
+  SIM_RETURN_IF_ERROR(lock_manager_.AcquireAllClasses(scope, &qctx));
+  return AuditLocked();
+}
+
 Result<Scrubber::Report> Database::Scrub() {
+  // S-everything: the flush below must not race writer apply, and the
+  // durable bytes being verified must be a statement boundary.
+  QueryContext qctx(options_.governor);
+  std::unique_ptr<LockManager::Scope> scope = lock_manager_.NewScope();
+  SIM_RETURN_IF_ERROR(lock_manager_.AcquireAllClasses(scope.get(), &qctx));
+  return ScrubLocked();
+}
+
+Result<Scrubber::Report> Database::ScrubLocked() {
   // The scrubber reads the durable file directly (it bypasses the buffer
   // pool so rot on media is seen, not masked by cached frames); flush
   // first so it verifies current content. Detection must keep working
@@ -538,16 +674,26 @@ Result<Scrubber::Report> Database::Scrub() {
 }
 
 Result<Database::RepairResult> Database::Repair() {
-  if (current_txn_ != nullptr) {
-    return Status::InvalidArgument(
-        "REPAIR DATABASE cannot run inside an explicit transaction");
+  {
+    MutexLock session(session_mu_);
+    if (current_txn_ != nullptr) {
+      return Status::InvalidArgument(
+          "REPAIR DATABASE cannot run inside an explicit transaction");
+    }
   }
   if (read_only_) return ReadOnlyError();
   SIM_RETURN_IF_ERROR(EnsureMapper());
+  // Exclusive access to every family: the repairer rewrites pages and
+  // rebuilds derived structures behind the public API's back, so neither
+  // readers nor writers may run concurrently.
+  QueryContext qctx(options_.governor);
+  std::unique_ptr<LockManager::Scope> scope = lock_manager_.NewScope();
+  SIM_RETURN_IF_ERROR(lock_manager_.AcquireClasses(
+      scope.get(), dir_.class_names(), LockManager::Mode::kExclusive, &qctx));
   RepairResult res;
   // Detect: a full sweep finds rot no read has touched yet, so the
   // repairer never trusts a page this pass has not verified.
-  SIM_ASSIGN_OR_RETURN(res.scrub, Scrub());
+  SIM_ASSIGN_OR_RETURN(res.scrub, ScrubLocked());
   // Contain → repair: salvage survivors, reformat the quarantined pages,
   // rebuild every derived structure from the base records.
   Repairer repairer(mapper_.get(), pool_.get(), io_pager(), wal_.get(),
@@ -579,7 +725,9 @@ Result<Database::RepairResult> Database::Repair() {
   }
   NoteIoStatus(step);
   SIM_RETURN_IF_ERROR(step);
-  SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
+  // Still holding X-everything (a fresh Audit() scope would self-conflict
+  // with it on this thread).
+  SIM_ASSIGN_OR_RETURN(CheckReport report, AuditLocked());
   res.audit_findings = report.errors.size();
   return res;
 }
@@ -691,24 +839,35 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view dml) {
   Executor exec(mapper_.get());
   exec.set_trace(sobs.log(), sobs.stmt());
   QueryContext qctx(options_.governor);
+  // Shared locks on the extents this query reads: concurrent readers
+  // proceed, writers to these families are excluded until the statement
+  // ends (scope destruction).
+  std::unique_ptr<LockManager::Scope> read_scope;
+  SIM_RETURN_IF_ERROR(AcquireReadLocks(qt, &qctx, &read_scope));
+  // The plan is statement-local: concurrent queries must not execute off
+  // a member another thread is overwriting. last_plan_ gets a copy at the
+  // end for the observability accessor.
+  AccessPlan plan;
   Result<ResultSet> rs = Status::Internal("query not dispatched");
   if (options_.use_optimizer) {
     {
       obs::Span span(sobs.log(), sobs.stmt(), "optimize");
-      SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+      SIM_ASSIGN_OR_RETURN(plan, optimizer_->Optimize(qt));
       span.AddAttr("strategies",
-                   static_cast<uint64_t>(last_plan_.strategies_considered));
-      span.AddAttr("est_cost_blocks",
-                   static_cast<uint64_t>(last_plan_.est_cost));
+                   static_cast<uint64_t>(plan.strategies_considered));
+      span.AddAttr("est_cost_blocks", static_cast<uint64_t>(plan.est_cost));
       span.MarkOk();
     }
-    rs = exec.Run(qt, &last_plan_, &qctx);
+    rs = exec.Run(qt, &plan, &qctx);
   } else {
-    last_plan_ = AccessPlan();
     rs = exec.Run(qt, nullptr, &qctx);
   }
-  last_exec_stats_ = exec.last_stats();
-  ObserveExec(last_exec_stats_, qctx);
+  {
+    MutexLock l(stmt_mu_);
+    last_plan_ = plan;
+    last_exec_stats_ = exec.last_stats();
+  }
+  ObserveExec(exec.last_stats(), qctx);
   if (rs.ok()) sobs.MarkOk();
   return rs;
 }
@@ -719,6 +878,9 @@ struct Database::Cursor::Impl {
   // together and `qt` (and `qctx`, which `cx` points at) must be populated
   // before `cx` is built.
   QueryTree qt;
+  // Cursor-local access plan: the operator tree holds pointers into it,
+  // and concurrent statements must not share the Database-level copy.
+  AccessPlan access;
   PhysicalPlan plan;
   std::unique_ptr<QueryContext> qctx;
   std::unique_ptr<ExecContext> cx;
@@ -739,9 +901,23 @@ Database::Cursor::Cursor(Cursor&&) noexcept = default;
 Database::Cursor& Database::Cursor::operator=(Cursor&&) noexcept = default;
 
 Database::Cursor::~Cursor() {
-  // A destructor cannot propagate failure; Close is best-effort here and
-  // callers who care about teardown errors call Close() themselves.
-  if (impl_ != nullptr) (void)Close();
+  // A destructor cannot propagate failure, but a silently vanishing
+  // Status is how teardown bugs hide: when the implicit Close fails, count
+  // the drop (simdb_dropped_status_total) and, under paranoid_checks, say
+  // so out loud. Callers who care about teardown errors call Close()
+  // themselves — an explicit Close makes the destructor a no-op.
+  if (impl_ == nullptr) return;
+  Status s = Close();
+  if (!s.ok() && impl_->db != nullptr) {
+    Database* db = impl_->db;
+    db->dropped_statuses_.fetch_add(1, std::memory_order_relaxed);
+    if (db->m_dropped_status_ != nullptr) db->m_dropped_status_->Increment();
+    if (db->options_.paranoid_checks) {
+      std::fprintf(stderr,
+                   "simdb: cursor destroyed with unconsumed close status: %s\n",
+                   s.ToString().c_str());
+    }
+  }
 }
 
 const std::vector<std::string>& Database::Cursor::columns() const {
@@ -801,6 +977,10 @@ Status Database::Cursor::Close() {
       log->Record(std::move(e));
     }
   }
+  // Drop the cursor's shared locks now, not at destruction: once the
+  // operator tree is closed the cursor reads nothing more, and a pending
+  // writer can proceed.
+  if (im->qctx != nullptr) im->qctx->ReleaseResources();
   return s;
 }
 
@@ -838,9 +1018,7 @@ Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
   {
     obs::Span span(sobs.log(), sobs.stmt(), "optimize");
     if (options_.use_optimizer) {
-      SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
-    } else {
-      last_plan_ = AccessPlan();
+      SIM_ASSIGN_OR_RETURN(impl->access, optimizer_->Optimize(qt));
     }
     span.MarkOk();
   }
@@ -849,7 +1027,7 @@ Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
     SIM_ASSIGN_OR_RETURN(
         impl->plan,
         PhysicalPlan::Build(
-            qt, options_.use_optimizer ? &last_plan_ : nullptr,
+            qt, options_.use_optimizer ? &impl->access : nullptr,
             mapper_.get()));
     SIM_RETURN_IF_ERROR(ValidatePlanOrError(impl->plan, qt));
     span.MarkOk();
@@ -860,6 +1038,22 @@ Result<Database::Cursor> Database::OpenCursor(std::string_view dml) {
         std::make_unique<ProtocolCheck>(std::move(impl->plan.root));
   }
   impl->qctx = std::make_unique<QueryContext>(options_.governor);
+  // Shared locks for the cursor's whole lifetime: attached to its query
+  // context, released at Close (or destruction). A writer to these
+  // families waits until the stream is done — never sees a half-drained
+  // scan.
+  {
+    std::unique_ptr<LockManager::Scope> read_scope;
+    SIM_RETURN_IF_ERROR(
+        AcquireReadLocks(impl->qt, impl->qctx.get(), &read_scope));
+    if (read_scope != nullptr) {
+      impl->qctx->AttachResource(std::move(read_scope));
+    }
+  }
+  {
+    MutexLock l(stmt_mu_);
+    last_plan_ = impl->access;
+  }
   impl->cx = std::make_unique<ExecContext>(&impl->qt, mapper_.get(),
                                            impl->qctx.get());
   SIM_RETURN_IF_ERROR(impl->plan.root->Open(*impl->cx));
@@ -907,22 +1101,25 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
     SIM_ASSIGN_OR_RETURN(qt, binder.BindRetrieve(retrieve));
     span.MarkOk();
   }
+  AccessPlan plan;
   {
     obs::Span span(sobs.log(), sobs.stmt(), "optimize");
-    SIM_ASSIGN_OR_RETURN(last_plan_, optimizer_->Optimize(qt));
+    SIM_ASSIGN_OR_RETURN(plan, optimizer_->Optimize(qt));
     span.MarkOk();
   }
   PhysicalPlan pplan;
   {
     obs::Span span(sobs.log(), sobs.stmt(), "map");
     SIM_ASSIGN_OR_RETURN(pplan,
-                         PhysicalPlan::Build(qt, &last_plan_, mapper_.get()));
+                         PhysicalPlan::Build(qt, &plan, mapper_.get()));
     SIM_RETURN_IF_ERROR(ValidatePlanOrError(pplan, qt));
     span.MarkOk();
   }
   // Drain the pipeline so every operator has actual row counts, per-Next
   // wall time and buffer-pool deltas.
   QueryContext qctx(options_.governor);
+  std::unique_ptr<LockManager::Scope> read_scope;
+  SIM_RETURN_IF_ERROR(AcquireReadLocks(qt, &qctx, &read_scope));
   ExecContext cx(&qt, mapper_.get(), &qctx);
   cx.time_operators = true;
   obs::Span exec_span(sobs.log(), sobs.stmt(), "execute");
@@ -939,11 +1136,15 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
     ++cx.stats.rows_emitted;
   }
   SIM_RETURN_IF_ERROR(pplan.root->Close(cx));
-  last_exec_stats_ = cx.stats;
+  {
+    MutexLock l(stmt_mu_);
+    last_plan_ = plan;
+    last_exec_stats_ = cx.stats;
+  }
   exec_span.AddAttr("rows", cx.stats.rows_emitted);
   exec_span.AddAttr("combinations", cx.stats.combinations_examined);
   exec_span.MarkOk();
-  ObserveExec(last_exec_stats_, qctx);
+  ObserveExec(cx.stats, qctx);
   // One "op" event per operator, so the NDJSON log carries the same
   // per-operator timings the rendered tree prints.
   if (obs::TraceLog* log = trace_.get()) {
@@ -965,8 +1166,7 @@ Result<std::string> Database::ExplainAnalyze(std::string_view dml) {
     emit(pplan.root.get());
   }
   sobs.MarkOk();
-  return qt.DebugString() + last_plan_.Describe() + "\n" +
-         pplan.Describe(true);
+  return qt.DebugString() + plan.Describe() + "\n" + pplan.Describe(true);
 }
 
 Result<int> Database::ExecuteUpdate(std::string_view dml) {
@@ -979,61 +1179,138 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
     SIM_ASSIGN_OR_RETURN(stmt, DmlParser::ParseStatement(dml));
     span.MarkOk();
   }
+  return ApplyUpdate(*stmt, &sobs);
+}
 
-  bool implicit_txn = current_txn_ == nullptr;
-  Transaction* txn =
-      implicit_txn ? txn_manager_.Begin() : current_txn_;
-  size_t savepoint = txn->undo_depth();
-
-  UpdateExecutor update(mapper_.get(), integrity_.get());
-  obs::Span exec_span(sobs.log(), sobs.stmt(), "execute");
-  Result<UpdateExecutor::UpdateResult> result = Status::Internal("statement not dispatched");
-  switch (stmt->kind) {
+Result<int> Database::ApplyUpdate(const Stmt& stmt, StmtObs* sobs) {
+  std::string target;
+  switch (stmt.kind) {
     case StmtKind::kInsert:
-      result = update.ExecuteInsert(static_cast<const InsertStmt&>(*stmt),
-                                    txn);
+      target = static_cast<const InsertStmt&>(stmt).class_name;
       break;
     case StmtKind::kModify:
-      result = update.ExecuteModify(static_cast<const ModifyStmt&>(*stmt),
-                                    txn);
+      target = static_cast<const ModifyStmt&>(stmt).class_name;
       break;
     case StmtKind::kDelete:
-      result = update.ExecuteDelete(static_cast<const DeleteStmt&>(*stmt),
-                                    txn);
+      target = static_cast<const DeleteStmt&>(stmt).class_name;
       break;
     case StmtKind::kRetrieve:
     case StmtKind::kCheck:
     case StmtKind::kShowMetrics:
     case StmtKind::kScrub:
     case StmtKind::kRepair:
-      if (implicit_txn) SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
       return Status::InvalidArgument(
           "ExecuteUpdate expects Insert/Modify/Delete; use ExecuteQuery");
   }
-  if (!result.ok()) {
-    // Statement-level rollback; the enclosing user transaction survives.
-    // ENOSPC anywhere in the statement degrades the database to
-    // read-only mode once the rollback has restored in-memory state.
-    NoteIoStatus(result.status());
-    if (implicit_txn) {
-      SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
-    } else {
-      SIM_RETURN_IF_ERROR(txn->RollbackTo(savepoint));
+
+  // Session peek: an explicit transaction supplies its transaction and
+  // lock scope (the driving thread owns both between Begin and
+  // Commit/Rollback); autocommit builds statement-local ones.
+  Transaction* txn = nullptr;
+  LockManager::Scope* scope = nullptr;
+  {
+    MutexLock session(session_mu_);
+    if (current_txn_ != nullptr &&
+        txn_thread_ == std::this_thread::get_id()) {
+      txn = current_txn_;
+      scope = txn_scope_.get();
     }
-    return result.status();
+  }
+  const bool implicit_txn = txn == nullptr;
+  std::unique_ptr<LockManager::Scope> stmt_scope;
+  if (implicit_txn) {
+    stmt_scope = lock_manager_.NewScope();
+    scope = stmt_scope.get();
+  }
+
+  // Exclusive locks before any transaction state exists, so a blocked
+  // acquisition that aborts (deadlock, deadline, cancel) leaves nothing
+  // to clean up. The lock manager widens each name to its whole family.
+  QueryContext qctx(options_.governor);
+  Status locked = lock_manager_.AcquireClasses(scope, WriteLockSet(target),
+                                               LockManager::Mode::kExclusive,
+                                               &qctx);
+  if (locked.ok() && options_.paranoid_checks) {
+    // The post-statement audit reads everything; taking S-everything into
+    // the same scope keeps it self-compatible with the X set above.
+    locked = lock_manager_.AcquireAllClasses(scope, &qctx);
+  }
+  SIM_RETURN_IF_ERROR(locked);
+
+  if (implicit_txn) txn = txn_manager_.Begin();
+  size_t savepoint = txn->undo_depth();
+  obs::Span exec_span(sobs->log(), sobs->stmt(), "execute");
+  Result<UpdateExecutor::UpdateResult> result =
+      Status::Internal("statement not dispatched");
+  uint64_t ticket = 0;
+  {
+    // Apply + commit sequence under commit_mu_: the WAL's per-commit
+    // mapper snapshot must capture statement boundaries, never another
+    // writer mid-apply, and an aborting statement's undo must likewise be
+    // invisible to concurrent flushes.
+    MutexLock commit_lock(commit_mu_);
+    UpdateExecutor update(mapper_.get(), integrity_.get());
+    switch (stmt.kind) {
+      case StmtKind::kInsert:
+        result = update.ExecuteInsert(static_cast<const InsertStmt&>(stmt),
+                                      txn);
+        break;
+      case StmtKind::kModify:
+        result = update.ExecuteModify(static_cast<const ModifyStmt&>(stmt),
+                                      txn);
+        break;
+      case StmtKind::kDelete:
+        result = update.ExecuteDelete(static_cast<const DeleteStmt&>(stmt),
+                                      txn);
+        break;
+      default:
+        break;
+    }
+    if (!result.ok()) {
+      // Statement-level rollback; the enclosing user transaction survives.
+      // ENOSPC anywhere in the statement degrades the database to
+      // read-only mode once the rollback has restored in-memory state.
+      NoteIoStatus(result.status());
+      if (implicit_txn) {
+        SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
+      } else {
+        SIM_RETURN_IF_ERROR(txn->RollbackTo(savepoint));
+      }
+      return result.status();
+    }
+    if (implicit_txn) {
+      Status committed = txn_manager_.CommitBegin(txn);
+      if (!committed.ok()) {
+        // Commit could not be logged; roll the statement back so the
+        // in-memory state matches what recovery will reconstruct.
+        NoteIoStatus(committed);
+        committed.Update(txn_manager_.Abort(txn));
+        return committed;
+      }
+      ticket = pending_ticket_;
+    }
   }
   if (implicit_txn) {
-    Status committed = txn_manager_.Commit(txn);
-    if (!committed.ok()) {
-      // Commit could not be made durable; roll the statement back so the
-      // in-memory state matches what recovery will reconstruct.
-      NoteIoStatus(committed);
-      committed.Update(txn_manager_.Abort(txn));
-      return committed;
+    // Durability wait outside commit_mu_: concurrent writers append their
+    // own commit sequences meanwhile, and the group-commit thread settles
+    // the whole batch with one fsync. The exclusive locks stay held until
+    // the ticket resolves (strictness): no reader ever observes data whose
+    // commit could still fail.
+    Status durable =
+        wal_ != nullptr ? wal_->WaitCommitDurable(ticket) : Status::Ok();
+    if (!durable.ok()) {
+      NoteIoStatus(durable);
+      MutexLock commit_lock(commit_mu_);
+      durable.Update(txn_manager_.Abort(txn));
+      return durable;
     }
+    txn_manager_.CommitFinish(txn);
+    MaybeCheckpoint();
   }
   if (options_.paranoid_checks) {
-    SIM_ASSIGN_OR_RETURN(CheckReport report, Audit());
+    // Still holding X(family)+S-everything, so the audit sees a stable
+    // statement boundary even with concurrent writers queued.
+    SIM_ASSIGN_OR_RETURN(CheckReport report, AuditLocked());
     if (!report.clean()) {
       return Status::Internal("paranoid audit after update statement: " +
                               report.errors.front().ToString());
@@ -1042,7 +1319,7 @@ Result<int> Database::ExecuteUpdate(std::string_view dml) {
   exec_span.AddAttr("entities",
                     static_cast<uint64_t>(result->entities_affected));
   exec_span.MarkOk();
-  sobs.MarkOk();
+  sobs->MarkOk();
   return result->entities_affected;
 }
 
@@ -1065,83 +1342,88 @@ Status Database::ExecuteScript(std::string_view dml_script) {
                             : stmt->kind == StmtKind::kModify ? "Modify"
                                                               : "Delete";
     StmtObs sobs(this, m_stmt_updates_, std::string("script: ") + kind_name);
-    obs::Span exec_span(sobs.log(), sobs.stmt(), "execute");
-    bool implicit_txn = current_txn_ == nullptr;
-    Transaction* txn = implicit_txn ? txn_manager_.Begin() : current_txn_;
-    size_t savepoint = txn->undo_depth();
-    UpdateExecutor update(mapper_.get(), integrity_.get());
-    Result<UpdateExecutor::UpdateResult> result = Status::Internal("statement not dispatched");
-    switch (stmt->kind) {
-      case StmtKind::kInsert:
-        result = update.ExecuteInsert(static_cast<const InsertStmt&>(*stmt),
-                                      txn);
-        break;
-      case StmtKind::kModify:
-        result = update.ExecuteModify(static_cast<const ModifyStmt&>(*stmt),
-                                      txn);
-        break;
-      case StmtKind::kDelete:
-        result = update.ExecuteDelete(static_cast<const DeleteStmt&>(*stmt),
-                                      txn);
-        break;
-      default:
-        break;
-    }
-    if (!result.ok()) {
-      NoteIoStatus(result.status());
-      if (implicit_txn) {
-        SIM_RETURN_IF_ERROR(txn_manager_.Abort(txn));
-      } else {
-        SIM_RETURN_IF_ERROR(txn->RollbackTo(savepoint));
-      }
-      return result.status();
-    }
-    exec_span.AddAttr("entities",
-                      static_cast<uint64_t>(result->entities_affected));
-    exec_span.MarkOk();
-    if (implicit_txn) {
-      Status committed = txn_manager_.Commit(txn);
-      if (!committed.ok()) {
-        NoteIoStatus(committed);
-        committed.Update(txn_manager_.Abort(txn));
-        return committed;
-      }
-    }
-    sobs.MarkOk();
+    SIM_RETURN_IF_ERROR(ApplyUpdate(*stmt, &sobs).status());
   }
   return Status::Ok();
+}
+
+void Database::MaybeCheckpoint() {
+  if (wal_ == nullptr ||
+      wal_->size_bytes() <= options_.wal_checkpoint_bytes) {
+    return;
+  }
+  // A failed threshold checkpoint is retried after a later commit (the
+  // log simply stays large), but disk-full must degrade to read-only.
+  MutexLock commit_lock(commit_mu_);
+  // Settle every issued commit ticket first: a pending ticket's images
+  // are not yet in the committed set and a checkpoint would drop them.
+  // New committers are excluded by commit_mu_.
+  Status step = wal_->DrainCommits();
+  if (step.ok()) {
+    // pending_snapshot_ is the snapshot of the latest commit — exactly
+    // the baseline the truncated log must carry.
+    step = ddl_history_.empty()
+               ? wal_->Checkpoint(io_pager())
+               : wal_->Checkpoint(io_pager(), ddl_history_,
+                                  pending_snapshot_);
+  }
+  NoteIoStatus(step);
 }
 
 Status Database::Begin() {
   if (read_only_) return ReadOnlyError();
+  SIM_RETURN_IF_ERROR(EnsureMapper());
+  MutexLock session(session_mu_);
   if (current_txn_ != nullptr) {
     return Status::InvalidArgument("a transaction is already active");
   }
-  SIM_RETURN_IF_ERROR(EnsureMapper());
   current_txn_ = txn_manager_.Begin();
+  txn_thread_ = std::this_thread::get_id();
+  txn_scope_ = lock_manager_.NewScope();
   return Status::Ok();
 }
 
 Status Database::Commit() {
+  MutexLock session(session_mu_);
   if (current_txn_ == nullptr) {
     return Status::InvalidArgument("no active transaction");
   }
-  Status s = txn_manager_.Commit(current_txn_);
-  if (!s.ok()) {
+  Transaction* txn = current_txn_;
+  uint64_t ticket = 0;
+  Status s;
+  {
+    MutexLock commit_lock(commit_mu_);
+    s = txn_manager_.CommitBegin(txn);
+    if (s.ok()) ticket = pending_ticket_;
+  }
+  if (s.ok() && wal_ != nullptr) s = wal_->WaitCommitDurable(ticket);
+  if (s.ok()) {
+    txn_manager_.CommitFinish(txn);
+  } else {
     // Durability failed; undo the transaction so memory and disk agree.
     NoteIoStatus(s);
-    s.Update(txn_manager_.Abort(current_txn_));
+    MutexLock commit_lock(commit_mu_);
+    s.Update(txn_manager_.Abort(txn));
   }
   current_txn_ = nullptr;
+  txn_scope_.reset();  // strict 2PL: locks release only now
+  if (s.ok()) MaybeCheckpoint();
   return s;
 }
 
 Status Database::Rollback() {
+  MutexLock session(session_mu_);
   if (current_txn_ == nullptr) {
     return Status::InvalidArgument("no active transaction");
   }
-  Status s = txn_manager_.Abort(current_txn_);
+  Status s;
+  {
+    // Undo mutates mapper state; exclude concurrent writers' flushes.
+    MutexLock commit_lock(commit_mu_);
+    s = txn_manager_.Abort(current_txn_);
+  }
   current_txn_ = nullptr;
+  txn_scope_.reset();
   return s;
 }
 

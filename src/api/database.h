@@ -19,11 +19,23 @@
 // DDL must be complete before the first data operation (the physical
 // mapping is frozen when the mapper is built); schema evolution requires a
 // new database.
+//
+// Concurrency (DESIGN.md §14): a Database is safe for concurrent
+// statements from multiple threads. Readers run in parallel under shared
+// class-extent locks; writers take exclusive locks widened to the EVA
+// closure of the target family and serialize their apply phase through a
+// commit latch, releasing it before the durability wait so group commit
+// can coalesce fsyncs across writer threads. Explicit transactions
+// (Begin/Commit/Rollback) are session state pinned to the thread that
+// called Begin(): that thread's statements join the transaction; other
+// threads' statements run autocommit and wait on its locks like any
+// foreign session.
 
 #include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "catalog/directory.h"
 #include "catalog/luc_translation.h"
@@ -40,8 +52,11 @@
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "semantics/binder.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_pager.h"
+#include "storage/lock_manager.h"
 #include "storage/pager.h"
 #include "storage/quarantine.h"
 #include "storage/scrub.h"
@@ -49,6 +64,8 @@
 #include "storage/wal.h"
 
 namespace sim {
+
+struct Stmt;  // parser/ast.h
 
 struct DatabaseOptions {
   // Physical mapping rules (§5.2); defaults follow the paper.
@@ -127,8 +144,10 @@ class Database {
   // --- schema definition ---
 
   // Parses and installs a batch of DDL (types, classes, verifies), then
-  // finalizes the catalog. Must precede the first data operation.
-  Status ExecuteDdl(std::string_view ddl_text);
+  // finalizes the catalog. Must precede the first data operation: once the
+  // physical mapping exists the schema is frozen and further DDL fails
+  // with kFailedPrecondition.
+  Status ExecuteDdl(std::string_view ddl_text) SIM_EXCLUDES(init_mu_);
 
   // --- data manipulation ---
 
@@ -231,9 +250,10 @@ class Database {
 
   // Groups several statements into one atomic unit. Without an explicit
   // transaction each update statement is its own transaction.
-  Status Begin();
-  Status Commit();
-  Status Rollback();
+  Status Begin() SIM_EXCLUDES(session_mu_);
+  Status Commit() SIM_EXCLUDES(session_mu_, commit_mu_);
+  Status Rollback() SIM_EXCLUDES(session_mu_, commit_mu_);
+  // Unlatched: meaningful only on the thread driving the transaction.
   bool in_transaction() const { return current_txn_ != nullptr; }
 
   // --- component access (examples, tests, benches) ---
@@ -260,8 +280,25 @@ class Database {
   // Wall time Open spent in recovery (page replay + metadata rehydration).
   uint64_t recovery_us() const { return recovery_us_; }
   const DatabaseOptions& options() const { return options_; }
-  Executor::ExecStats last_exec_stats() const { return last_exec_stats_; }
-  const AccessPlan& last_plan() const { return last_plan_; }
+  // Lock-manager counters (simdb_lock_*): grants, waits, deadlock kills,
+  // deadline/cancel aborts.
+  const LockManager::Stats& lock_stats() const { return lock_manager_.stats(); }
+  // Cursors destroyed while terminally failed without an explicit Close()
+  // — the dropped-Status signal (simdb_dropped_status_total).
+  uint64_t dropped_statuses() const {
+    return dropped_statuses_.load(std::memory_order_relaxed);
+  }
+  // Statement execution artifacts of the most recent statement, returned
+  // by value: concurrent statements each publish their own copy under
+  // stmt_mu_, so observers see one coherent plan, never a torn mix.
+  Executor::ExecStats last_exec_stats() const SIM_EXCLUDES(stmt_mu_) {
+    MutexLock l(stmt_mu_);
+    return last_exec_stats_;
+  }
+  AccessPlan last_plan() const SIM_EXCLUDES(stmt_mu_) {
+    MutexLock l(stmt_mu_);
+    return last_plan_;
+  }
 
   // --- observability ---
 
@@ -296,7 +333,42 @@ class Database {
   void ObserveExec(const ExecStats& stats, const QueryContext& qctx);
 
   // Builds physical schema + mapper + integrity checker if not yet built.
-  Status EnsureMapper();
+  // Thread-safe: double-checked through scrape_mapper_ with init_mu_
+  // serializing the build; the first data statement wins the race.
+  Status EnsureMapper() SIM_EXCLUDES(init_mu_);
+
+  // Shared body of ExecuteUpdate and ExecuteScript: locks, applies,
+  // commits (implicit transactions) one already-parsed update statement.
+  Result<int> ApplyUpdate(const Stmt& stmt, StmtObs* sobs)
+      SIM_EXCLUDES(session_mu_, commit_mu_);
+
+  // The exclusive lock set for a write to `class_name`: the target class
+  // plus the range class of every EVA declared anywhere in its family —
+  // maintained inverses, FK-EVA rewrites and clustered inserts touch
+  // units (and shared heap pages) of those families. The lock manager
+  // widens each name to its whole family.
+  std::vector<std::string> WriteLockSet(const std::string& class_name) const;
+
+  // Shared-locks the extents a bound query reads (its node classes,
+  // DAG-expanded by the lock manager). Uses the explicit transaction's
+  // scope when one is active (the owner thread already holds exclusive
+  // locks there); otherwise acquires into `own`, which the caller keeps
+  // alive for the duration of execution.
+  Status AcquireReadLocks(const QueryTree& qt, QueryContext* qctx,
+                          std::unique_ptr<LockManager::Scope>* own)
+      SIM_EXCLUDES(session_mu_);
+
+  // Audit body without lock acquisition — for callers already holding a
+  // covering lock set (paranoid post-update audit, Repair's exclusive
+  // scope, recovery before concurrency exists).
+  Result<CheckReport> AuditLocked();
+  // Scrub body without lock acquisition (see AuditLocked).
+  Result<Scrubber::Report> ScrubLocked();
+
+  // Threshold checkpoint after a durable commit: drains pending commit
+  // tickets, then folds the log into the database file under commit_mu_.
+  // Best-effort — failure leaves replay work in the WAL.
+  void MaybeCheckpoint() SIM_EXCLUDES(commit_mu_);
 
   // Parses and installs one DDL batch into the catalog (no WAL logging,
   // no statement observability) — the shared core of ExecuteDdl and
@@ -381,12 +453,54 @@ class Database {
   std::atomic<LucMapper*> scrape_mapper_{nullptr};
   std::atomic<Optimizer*> scrape_optimizer_{nullptr};
   TransactionManager txn_manager_;
+  // Semantic lock manager (DESIGN.md §14). Declared before the latches so
+  // scopes never outlive it.
+  LockManager lock_manager_;
+  // init_mu_ serializes lazy construction of the physical layer
+  // (EnsureMapper) against DDL: the schema freezes the instant the first
+  // data statement builds the mapper. mapper_/phys_/integrity_/optimizer_
+  // stay unannotated — they are written once under init_mu_, published via
+  // scrape_mapper_ (release), and read raw on every execution path after
+  // EnsureMapper's acquire load.
+  mutable Mutex init_mu_;
+  // commit_mu_ serializes every mapper mutation and the commit sequence
+  // (apply → flush → snapshot → commit ticket): the WAL's per-commit
+  // mapper snapshot must capture statement boundaries, never a concurrent
+  // writer mid-apply. Released before the durability wait so group commit
+  // batches fsyncs across writer threads. Lock order: session_mu_ → lock
+  // manager waits → commit_mu_ → WAL seq_mu_.
+  mutable Mutex commit_mu_;
+  // Session transaction state. current_txn_/txn_scope_ are read under
+  // session_mu_ at statement entry; the thread that called Begin() owns
+  // them until its Commit/Rollback. The transaction is pinned to that
+  // thread (txn_thread_): statements from other threads run autocommit
+  // and contend through the lock manager like any foreign session —
+  // without the pin, a concurrent reader would silently join the open
+  // transaction's scope and see its uncommitted writes.
+  mutable Mutex session_mu_;
   Transaction* current_txn_ = nullptr;
+  std::thread::id txn_thread_;
+  // Lock scope of the explicit transaction: grows with each statement,
+  // released at Commit/Rollback (strict two-phase locking).
+  std::unique_ptr<LockManager::Scope> txn_scope_;
+  // Stashed by the commit hook (runs under commit_mu_), consumed by the
+  // committer before releasing commit_mu_: the WAL ticket to await and the
+  // mapper snapshot matching the last commit (checkpoint baseline).
+  // Unannotated for the same reason as the hook itself — the analysis
+  // cannot see commit_mu_ across the TransactionManager callback.
+  uint64_t pending_ticket_ = 0;
+  std::string pending_snapshot_;
+  // Cursors that died holding a non-OK terminal status nobody read.
+  std::atomic<uint64_t> dropped_statuses_{0};
+  obs::Counter* m_dropped_status_ = nullptr;
   // Atomic: flipped on the execution thread, read by metrics scrape
   // threads (the simdb_degraded gauge).
   std::atomic<bool> read_only_{false};
-  Executor::ExecStats last_exec_stats_;
-  AccessPlan last_plan_;
+  // stmt_mu_ guards the most-recent-statement artifacts below; concurrent
+  // statements publish their statement-local copies here at completion.
+  mutable Mutex stmt_mu_;
+  Executor::ExecStats last_exec_stats_ SIM_GUARDED_BY(stmt_mu_);
+  AccessPlan last_plan_ SIM_GUARDED_BY(stmt_mu_);
 };
 
 }  // namespace sim

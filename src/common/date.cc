@@ -48,18 +48,49 @@ bool IsValidCivilDate(int year, int month, int day) {
   return true;
 }
 
+namespace {
+
+// Consumes a run of 1..4 decimal digits at *pos. Strict by construction:
+// no leading whitespace, no '+'/'-' signs — exactly what sscanf's %d
+// silently tolerated and the trailing-garbage check never caught.
+bool ParseDigitRun(const std::string& text, size_t* pos, int* out) {
+  size_t i = *pos;
+  int value = 0;
+  size_t digits = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + (text[i] - '0');
+    ++i;
+    if (++digits > 6) return false;  // bounds the run; keeps value in int
+  }
+  if (digits == 0) return false;
+  *pos = i;
+  *out = value;
+  return true;
+}
+
+// <num> <sep> <num> <sep> <num>, consuming the entire string.
+bool ParseThreeFields(const std::string& text, char sep, int* a, int* b,
+                      int* c) {
+  size_t pos = 0;
+  if (!ParseDigitRun(text, &pos, a)) return false;
+  if (pos >= text.size() || text[pos] != sep) return false;
+  ++pos;
+  if (!ParseDigitRun(text, &pos, b)) return false;
+  if (pos >= text.size() || text[pos] != sep) return false;
+  ++pos;
+  if (!ParseDigitRun(text, &pos, c)) return false;
+  return pos == text.size();
+}
+
+}  // namespace
+
 Result<int64_t> ParseDate(const std::string& text) {
-  // %n records how far the scan got: anything short of the full string is
-  // trailing garbage ("2026-08-06xyz"), which sscanf alone accepts.
-  const int len = static_cast<int>(text.size());
+  // Strict digit-run parser: leading/embedded whitespace and sign
+  // characters are rejected with the same severity as trailing garbage.
   int y = 0, m = 0, d = 0;
-  int n = -1;
-  bool parsed =  // ISO order.
-      std::sscanf(text.c_str(), "%d-%d-%d%n", &y, &m, &d, &n) == 3 && n == len;
-  if (!parsed) {  // US order.
-    n = -1;
-    parsed = std::sscanf(text.c_str(), "%d/%d/%d%n", &m, &d, &y, &n) == 3 &&
-             n == len;
+  bool parsed = ParseThreeFields(text, '-', &y, &m, &d);  // ISO order.
+  if (!parsed) {                                          // US order.
+    parsed = ParseThreeFields(text, '/', &m, &d, &y);
   }
   if (!parsed) {
     return Status::TypeError("cannot parse date: '" + text + "'");

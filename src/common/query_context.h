@@ -28,11 +28,21 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/arena.h"
 #include "common/status.h"
 
 namespace sim {
+
+// A resource owned by a statement and released when its QueryContext is
+// destroyed (or explicitly via ReleaseResources). Type-erased so common/
+// stays independent of the layers that own the concrete resources — the
+// lock manager attaches the statement's lock scope through this hook.
+class StatementResource {
+ public:
+  virtual ~StatementResource() = default;
+};
 
 class QueryContext {
  public:
@@ -126,6 +136,22 @@ class QueryContext {
   const Stats& stats() const { return stats_; }
   const Status& terminal() const { return terminal_; }
 
+  // Deadline view for blocking waits outside the operator pipeline (lock
+  // acquisition): a waiter bounds its sleep by the statement deadline so a
+  // contended lock turns into kDeadlineExceeded, never an unbounded hang.
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  // Attaches a resource whose lifetime is the statement's: released in
+  // reverse attachment order when the context dies, or earlier via
+  // ReleaseResources() (e.g. dropping locks before a durability wait).
+  void AttachResource(std::unique_ptr<StatementResource> r) {
+    resources_.push_back(std::move(r));
+  }
+  void ReleaseResources() {
+    while (!resources_.empty()) resources_.pop_back();
+  }
+
  private:
   // How many Check() calls share one clock read / external-flag sample.
   // Bounds how late a deadline or shared-flag cancel can fire: at most
@@ -149,6 +175,7 @@ class QueryContext {
   Status terminal_;  // sticky; OK until a limit trips
   Stats stats_;
   Arena arena_;
+  std::vector<std::unique_ptr<StatementResource>> resources_;
 };
 
 }  // namespace sim

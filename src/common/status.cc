@@ -44,6 +44,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

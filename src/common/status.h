@@ -40,6 +40,9 @@ enum class StatusCode {
   kDataLoss,             // records lost to quarantined media; the rest of
                          // the database keeps serving (degraded mode) and
                          // REPAIR DATABASE can salvage around the loss
+  kFailedPrecondition,   // operation is valid but the system is in the
+                         // wrong state for it (e.g. DDL after the mapper
+                         // is built); fix the call ordering, not the call
 };
 
 // Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -116,6 +119,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

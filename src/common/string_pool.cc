@@ -3,6 +3,7 @@
 namespace sim {
 
 StringHandle StringPool::Intern(std::string_view s) {
+  MutexLock l(pool_mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return StringHandle(it->second);
   uint32_t id = static_cast<uint32_t>(strings_.size());
@@ -14,6 +15,7 @@ StringHandle StringPool::Intern(std::string_view s) {
 }
 
 StringHandle StringPool::Find(std::string_view s) const {
+  MutexLock l(pool_mu_);
   auto it = index_.find(s);
   if (it == index_.end()) return StringHandle();
   return StringHandle(it->second);

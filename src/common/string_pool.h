@@ -20,6 +20,9 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace sim {
 
 class StringHandle {
@@ -50,19 +53,32 @@ class StringPool {
   StringPool& operator=(const StringPool&) = delete;
 
   // Returns the handle for `s`, interning it on first sight. Interning the
-  // same bytes twice returns the same handle (O(1) expected).
-  StringHandle Intern(std::string_view s);
+  // same bytes twice returns the same handle (O(1) expected). Safe from
+  // concurrent statements: the index is latched, and because storage is
+  // append-only with stable addresses, handle lookups (`view`/`str`) read
+  // bytes that can never move or change once the handle exists.
+  StringHandle Intern(std::string_view s) SIM_EXCLUDES(pool_mu_);
 
   // Lookup without interning; invalid handle when absent.
-  StringHandle Find(std::string_view s) const;
+  StringHandle Find(std::string_view s) const SIM_EXCLUDES(pool_mu_);
 
-  std::string_view view(StringHandle h) const {
+  std::string_view view(StringHandle h) const SIM_EXCLUDES(pool_mu_) {
+    MutexLock l(pool_mu_);
     return strings_[h.id()];
   }
-  const std::string& str(StringHandle h) const { return strings_[h.id()]; }
+  const std::string& str(StringHandle h) const SIM_EXCLUDES(pool_mu_) {
+    MutexLock l(pool_mu_);
+    return strings_[h.id()];
+  }
 
-  size_t size() const { return strings_.size(); }
-  size_t bytes() const { return bytes_; }
+  size_t size() const SIM_EXCLUDES(pool_mu_) {
+    MutexLock l(pool_mu_);
+    return strings_.size();
+  }
+  size_t bytes() const SIM_EXCLUDES(pool_mu_) {
+    MutexLock l(pool_mu_);
+    return bytes_;
+  }
 
  private:
   struct SvHash {
@@ -78,9 +94,14 @@ class StringPool {
     }
   };
 
-  std::deque<std::string> strings_;  // stable addresses, indexed by handle
-  std::unordered_map<std::string_view, uint32_t, SvHash, SvEq> index_;
-  size_t bytes_ = 0;
+  // Latch over the index and append state. Handle-indexed reads still
+  // take it briefly (a deque's map block array may reallocate during a
+  // concurrent push_back even though element addresses are stable).
+  mutable Mutex pool_mu_;
+  std::deque<std::string> strings_ SIM_GUARDED_BY(pool_mu_);
+  std::unordered_map<std::string_view, uint32_t, SvHash, SvEq> index_
+      SIM_GUARDED_BY(pool_mu_);
+  size_t bytes_ SIM_GUARDED_BY(pool_mu_) = 0;
 };
 
 }  // namespace sim

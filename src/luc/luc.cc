@@ -34,8 +34,10 @@ Result<RecordId> UnitStore::Insert(SurrogateId s,
     return Status::Internal("field count mismatch inserting into unit " +
                             phys_->name);
   }
-  SIM_ASSIGN_OR_RETURN(bool exists, Has(s));
-  if (exists) {
+  MutexLock l(unit_mu_);
+  SIM_ASSIGN_OR_RETURN(std::optional<SurrogateId> existing,
+                       primary_->GetFirst(0, s));
+  if (existing.has_value()) {
     return Status::AlreadyExists("surrogate already present in unit " +
                                  phys_->name);
   }
@@ -84,6 +86,7 @@ void UnitStore::NoteInsert(SurrogateId s, RecordId rid) {
 }
 
 Result<bool> UnitStore::Has(SurrogateId s) {
+  MutexLock l(unit_mu_);
   SIM_ASSIGN_OR_RETURN(std::optional<SurrogateId> packed,
                        primary_->GetFirst(0, s));
   return packed.has_value();
@@ -111,6 +114,7 @@ Status UnitStore::ReadRaw(SurrogateId s, RecordView* view) {
 
 Status UnitStore::Read(SurrogateId s, std::set<uint16_t>* roles,
                        std::vector<Value>* fields) {
+  MutexLock l(unit_mu_);
   RecordView view;
   SIM_RETURN_IF_ERROR(ReadRaw(s, &view));
   if (roles != nullptr) *roles = DecodeRoles(view.StringField(1));
@@ -119,6 +123,7 @@ Status UnitStore::Read(SurrogateId s, std::set<uint16_t>* roles,
 }
 
 Status UnitStore::ReadField(SurrogateId s, int field_idx, Value* out) {
+  MutexLock l(unit_mu_);
   RecordView view;
   SIM_RETURN_IF_ERROR(ReadRaw(s, &view));
   *out = view.DecodeField(static_cast<uint16_t>(field_idx + 2));
@@ -126,6 +131,7 @@ Status UnitStore::ReadField(SurrogateId s, int field_idx, Value* out) {
 }
 
 Result<bool> UnitStore::HasRoleCode(SurrogateId s, uint16_t code) {
+  MutexLock l(unit_mu_);
   RecordView view;
   Status st = ReadRaw(s, &view);
   if (st.code() == StatusCode::kNotFound) return false;
@@ -139,6 +145,7 @@ Status UnitStore::Update(SurrogateId s, const std::set<uint16_t>& roles,
     return Status::Internal("field count mismatch updating unit " +
                             phys_->name);
   }
+  MutexLock l(unit_mu_);
   SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
   EncodeInto(s, roles, fields);
   SIM_ASSIGN_OR_RETURN(RecordId new_rid, file_.Update(rid, encode_buf_));
@@ -151,17 +158,20 @@ Status UnitStore::Update(SurrogateId s, const std::set<uint16_t>& roles,
 }
 
 Status UnitStore::Delete(SurrogateId s) {
+  MutexLock l(unit_mu_);
   SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
   SIM_RETURN_IF_ERROR(file_.Delete(rid));
   return primary_->Remove(0, s, PackRecordId(rid));
 }
 
 Result<PageId> UnitStore::PageOf(SurrogateId s) {
+  MutexLock l(unit_mu_);
   SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
   return rid.page;
 }
 
 Status UnitStore::MoveNear(SurrogateId s, PageId hint) {
+  MutexLock l(unit_mu_);
   SIM_ASSIGN_OR_RETURN(RecordId rid, FindRid(s));
   if (rid.page == hint) return Status::Ok();
   scan_ordered_ = false;  // relocation breaks scan-position order

@@ -17,8 +17,9 @@
 // (storage/record_codec.h), so point reads land in a reusable buffer and
 // only the requested fields become Values, and the scan cursor defers
 // field/role materialization until someone actually asks. The reusable
-// buffers make a UnitStore single-threaded for reads, which matches the
-// per-statement execution model.
+// buffers are shared state, so point operations take a per-unit latch
+// (unit_mu_); scan cursors carry their own buffers and rely on the
+// semantic lock manager to exclude writers.
 
 #include <memory>
 #include <set>
@@ -27,7 +28,9 @@
 #include <vector>
 
 #include "catalog/luc_translation.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "luc/relationship.h"
 #include "storage/heap_file.h"
@@ -45,7 +48,10 @@ class UnitStore {
                                                    KeyOrganization org);
 
   const UnitPhys& phys() const { return *phys_; }
-  uint64_t record_count() const { return file_.record_count(); }
+  uint64_t record_count() const SIM_EXCLUDES(unit_mu_) {
+    MutexLock l(unit_mu_);
+    return file_.record_count();
+  }
   // Pages of the backing heap file (the scrubber's record-validation set).
   const std::vector<PageId>& heap_pages() const { return file_.pages(); }
 
@@ -54,7 +60,10 @@ class UnitStore {
   // with a larger surrogate, and no record has been relocated. Streaming
   // extent scans can then skip the materialize-and-sort step. Conservative:
   // once broken the flag stays false.
-  bool scan_in_surrogate_order() const { return scan_ordered_; }
+  bool scan_in_surrogate_order() const SIM_EXCLUDES(unit_mu_) {
+    MutexLock l(unit_mu_);
+    return scan_ordered_;
+  }
   // Per-page insert headroom for clustered mappings (see HeapFile).
   void set_reserve_bytes(int bytes) { file_.set_reserve_bytes(bytes); }
 
@@ -63,35 +72,37 @@ class UnitStore {
   // to an existing record's page (kInvalidPageId = no preference).
   Result<RecordId> Insert(SurrogateId s, const std::set<uint16_t>& roles,
                           const std::vector<Value>& fields,
-                          PageId hint = kInvalidPageId);
+                          PageId hint = kInvalidPageId) SIM_EXCLUDES(unit_mu_);
 
-  Result<bool> Has(SurrogateId s);
+  Result<bool> Has(SurrogateId s) SIM_EXCLUDES(unit_mu_);
 
   // Reads roles and fields for `s` (either out-param may be null).
   Status Read(SurrogateId s, std::set<uint16_t>* roles,
-              std::vector<Value>* fields);
+              std::vector<Value>* fields) SIM_EXCLUDES(unit_mu_);
 
   // Reads only declared field `field_idx` (index into phys().fields) —
   // the point lookup of the projection hot path: one buffer reuse, one
   // Value, nothing else materialized.
-  Status ReadField(SurrogateId s, int field_idx, Value* out);
+  Status ReadField(SurrogateId s, int field_idx, Value* out)
+      SIM_EXCLUDES(unit_mu_);
 
   // Role-membership test straight off the encoded record (no set build).
   // Missing records report false, matching the mapper's HasRole contract.
-  Result<bool> HasRoleCode(SurrogateId s, uint16_t code);
+  Result<bool> HasRoleCode(SurrogateId s, uint16_t code)
+      SIM_EXCLUDES(unit_mu_);
 
   // Rewrites the record for `s`.
   Status Update(SurrogateId s, const std::set<uint16_t>& roles,
-                const std::vector<Value>& fields);
+                const std::vector<Value>& fields) SIM_EXCLUDES(unit_mu_);
 
-  Status Delete(SurrogateId s);
+  Status Delete(SurrogateId s) SIM_EXCLUDES(unit_mu_);
 
   // Page currently holding the record of `s` (clustering hints).
-  Result<PageId> PageOf(SurrogateId s);
+  Result<PageId> PageOf(SurrogateId s) SIM_EXCLUDES(unit_mu_);
 
   // Physically moves the record of `s` onto (or near) `hint` — the
   // reorganization step clustered mappings use after a record has grown.
-  Status MoveNear(SurrogateId s, PageId hint);
+  Status MoveNear(SurrogateId s, PageId hint) SIM_EXCLUDES(unit_mu_);
 
   // Full scan. Each position validates the record once; the surrogate is
   // decoded eagerly (every caller needs it), while roles() and fields()
@@ -144,22 +155,31 @@ class UnitStore {
   UnitStore(BufferPool* pool, const UnitPhys* phys, uint16_t unit_code)
       : phys_(phys), unit_code_(unit_code), file_(pool, phys->name) {}
 
-  Result<RecordId> FindRid(SurrogateId s);
+  Result<RecordId> FindRid(SurrogateId s) SIM_REQUIRES(unit_mu_);
 
   // Fetches the record of `s` into read_buf_ and opens a validated view
   // over it. The view is valid until the next ReadRaw/Read*/HasRoleCode
   // call on this store.
-  Status ReadRaw(SurrogateId s, RecordView* view);
+  Status ReadRaw(SurrogateId s, RecordView* view) SIM_REQUIRES(unit_mu_);
 
   // Encodes [surrogate, roles, fields...] into encode_buf_.
   void EncodeInto(SurrogateId s, const std::set<uint16_t>& roles,
-                  const std::vector<Value>& fields);
+                  const std::vector<Value>& fields) SIM_REQUIRES(unit_mu_);
 
   // Scan-order bookkeeping for scan_in_surrogate_order().
-  void NoteInsert(SurrogateId s, RecordId rid);
+  void NoteInsert(SurrogateId s, RecordId rid) SIM_REQUIRES(unit_mu_);
 
   const UnitPhys* phys_;
   uint16_t unit_code_;
+  // unit_mu_ latches point operations: the shared read/encode scratch
+  // below makes them stateful, so concurrent S-mode readers of the same
+  // class would race without it. Scans (Cursor) carry their own buffers
+  // and stay latch-free — writers to this unit's records are excluded by
+  // the semantic lock manager, including clustered foreign inserts, whose
+  // X cover extends to every EVA-related family. The offline friends
+  // (auditor, repairer, rehydrator) run under an exclusive scope and
+  // access raw state latch-free.
+  mutable Mutex unit_mu_;
   HeapFile file_;
   std::unique_ptr<RelKeyedStore> primary_;  // surrogate -> packed RecordId
 

@@ -86,6 +86,7 @@ Status LucMapper::Init() {
 Result<LucMapper::FieldRef> LucMapper::Resolve(const std::string& cls,
                                                const std::string& attr,
                                                bool want_field) const {
+  MutexLock l(cache_mu_);
   key_buf_.clear();
   LowerInto(cls, &key_buf_);
   key_buf_.push_back('.');
@@ -114,6 +115,7 @@ Result<LucMapper::FieldRef> LucMapper::Resolve(const std::string& cls,
 
 Result<LucMapper::ClassInfo> LucMapper::ClassInfoOf(
     const std::string& cls) const {
+  MutexLock l(cache_mu_);
   key_buf_.clear();
   LowerInto(cls, &key_buf_);
   auto cached = class_cache_.find(std::string_view(key_buf_));
@@ -179,7 +181,11 @@ Result<SurrogateId> LucMapper::CreateEntity(const std::string& cls,
     }
   }
 
-  SurrogateId s = next_surrogate_++;
+  SurrogateId s;
+  {
+    MutexLock l(counts_mu_);
+    s = next_surrogate_++;
+  }
   for (int u : unit_order) {
     std::vector<Value> fields(phys_->units()[u].fields.size());
     SIM_RETURN_IF_ERROR(units_[u]->Insert(s, roles, fields, hint).status());
@@ -187,9 +193,13 @@ Result<SurrogateId> LucMapper::CreateEntity(const std::string& cls,
       txn->LogUndo([this, u, s]() { return units_[u]->Delete(s); });
     }
   }
-  for (uint16_t code : roles) ++extent_counts_[code];
+  {
+    MutexLock l(counts_mu_);
+    for (uint16_t code : roles) ++extent_counts_[code];
+  }
   if (txn != nullptr) {
     txn->LogUndo([this, roles]() {
+      MutexLock l(counts_mu_);
       for (uint16_t code : roles) --extent_counts_[code];
       return Status::Ok();
     });
@@ -275,11 +285,13 @@ Status LucMapper::AddRole(SurrogateId s, const std::string& cls,
   SIM_RETURN_IF_ERROR(UpdateRolesEverywhere(s, old_roles, new_roles, txn));
   for (const auto& c : added) {
     SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(c));
+    MutexLock l(counts_mu_);
     ++extent_counts_[code];
   }
   if (txn != nullptr) {
     std::vector<std::string> added_copy = added;
     txn->LogUndo([this, added_copy]() {
+      MutexLock l(counts_mu_);
       for (const auto& c : added_copy) {
         Result<uint16_t> code = phys_->ClassCode(c);
         if (code.ok()) --extent_counts_[*code];
@@ -399,9 +411,13 @@ Status LucMapper::DeleteRole(SurrogateId s, const std::string& cls,
   if (!new_roles.empty()) {
     SIM_RETURN_IF_ERROR(UpdateRolesEverywhere(s, old_roles, new_roles, txn));
   }
-  for (uint16_t code : removed) --extent_counts_[code];
+  {
+    MutexLock l(counts_mu_);
+    for (uint16_t code : removed) --extent_counts_[code];
+  }
   if (txn != nullptr) {
     txn->LogUndo([this, removed]() {
+      MutexLock l(counts_mu_);
       for (uint16_t code : removed) ++extent_counts_[code];
       return Status::Ok();
     });
@@ -562,6 +578,7 @@ Result<std::vector<Value>> LucMapper::GetMvValues(SurrogateId s,
     SIM_RETURN_IF_ERROR(units_[ref.unit]->Read(s, nullptr, &fields));
     return DecodeEmbeddedMv(fields[ref.field]);
   }
+  MutexLock l(mv_mu_);
   SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> packed,
                        mv_index_->Get(mv.id, s));
   std::vector<Value> out;
@@ -618,11 +635,16 @@ Status LucMapper::AddMvValue(SurrogateId s, const std::string& cls,
   }
   std::string rec = EncodeRecord(static_cast<uint16_t>(mv.id),
                                  {Value::Surrogate(s), coerced});
-  SIM_ASSIGN_OR_RETURN(RecordId rid, mv_file_->Insert(rec));
-  SIM_RETURN_IF_ERROR(mv_index_->Add(mv.id, s, PackRecordId(rid)));
+  RecordId rid;
+  {
+    MutexLock l(mv_mu_);
+    SIM_ASSIGN_OR_RETURN(rid, mv_file_->Insert(rec));
+    SIM_RETURN_IF_ERROR(mv_index_->Add(mv.id, s, PackRecordId(rid)));
+  }
   if (txn != nullptr) {
     uint32_t mv_id = mv.id;
     txn->LogUndo([this, mv_id, s, rid]() {
+      MutexLock l(mv_mu_);
       SIM_RETURN_IF_ERROR(mv_file_->Delete(rid));
       return mv_index_->Remove(mv_id, s, PackRecordId(rid));
     });
@@ -655,6 +677,7 @@ Status LucMapper::RemoveMvValue(SurrogateId s, const std::string& cls,
     }
     return Status::NotFound("value not present in MV DVA '" + attr + "'");
   }
+  MutexLock l(mv_mu_);
   SIM_ASSIGN_OR_RETURN(std::vector<SurrogateId> packed,
                        mv_index_->Get(mv.id, s));
   for (uint64_t p : packed) {
@@ -671,6 +694,7 @@ Status LucMapper::RemoveMvValue(SurrogateId s, const std::string& cls,
         uint32_t mv_id = mv.id;
         Value val = coerced;
         txn->LogUndo([this, mv_id, s, val]() {
+          MutexLock undo_lock(mv_mu_);
           std::string rec2 = EncodeRecord(static_cast<uint16_t>(mv_id),
                                           {Value::Surrogate(s), val});
           SIM_ASSIGN_OR_RETURN(RecordId new_rid, mv_file_->Insert(rec2));
@@ -750,7 +774,10 @@ Status LucMapper::StructAddPair(const EvaSide& side, SurrogateId owner,
       break;
     }
   }
-  ++eva_pair_counts_[side.eva_idx];
+  {
+    MutexLock l(counts_mu_);
+    ++eva_pair_counts_[side.eva_idx];
+  }
   return Status::Ok();
 }
 
@@ -801,7 +828,10 @@ Status LucMapper::StructRemovePair(const EvaSide& side, SurrogateId owner,
       break;
     }
   }
-  if (eva_pair_counts_[side.eva_idx] > 0) --eva_pair_counts_[side.eva_idx];
+  {
+    MutexLock l(counts_mu_);
+    if (eva_pair_counts_[side.eva_idx] > 0) --eva_pair_counts_[side.eva_idx];
+  }
   return Status::Ok();
 }
 
@@ -1007,6 +1037,7 @@ std::vector<PageId> LucMapper::HeapPages() const {
     out.insert(out.end(), pages.begin(), pages.end());
   }
   if (mv_file_ != nullptr) {
+    MutexLock l(mv_mu_);
     out.insert(out.end(), mv_file_->pages().begin(), mv_file_->pages().end());
   }
   return out;
@@ -1108,6 +1139,7 @@ Status LucMapper::ExtentCursor::Next() {
 
 Result<uint64_t> LucMapper::ExtentCount(const std::string& cls) const {
   SIM_ASSIGN_OR_RETURN(uint16_t code, phys_->ClassCode(cls));
+  MutexLock l(counts_mu_);
   return extent_counts_[code];
 }
 
@@ -1152,6 +1184,7 @@ double LucMapper::AvgEvaFanout(int eva_idx, bool from_a) const {
   const std::string& owner_class = from_a ? eva.class_a : eva.class_b;
   Result<uint16_t> code = phys_->ClassCode(owner_class);
   if (!code.ok()) return 1.0;
+  MutexLock l(counts_mu_);
   uint64_t owners = extent_counts_[*code];
   if (owners == 0) return 1.0;
   return static_cast<double>(eva_pair_counts_[eva_idx]) /
@@ -1159,6 +1192,7 @@ double LucMapper::AvgEvaFanout(int eva_idx, bool from_a) const {
 }
 
 uint64_t LucMapper::EvaPairCount(int eva_idx) const {
+  MutexLock l(counts_mu_);
   return eva_pair_counts_[eva_idx];
 }
 

@@ -35,10 +35,12 @@
 #include <vector>
 
 #include "catalog/directory.h"
+#include "common/mutex.h"
 #include "common/relaxed_counter.h"
 #include "catalog/luc_translation.h"
 #include "common/status.h"
 #include "common/string_pool.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "luc/luc.h"
 #include "luc/relationship.h"
@@ -101,12 +103,14 @@ class LucMapper {
   // --- multi-valued DVAs ---
 
   Status AddMvValue(SurrogateId s, const std::string& cls,
-                    const std::string& attr, const Value& v, Transaction* txn);
+                    const std::string& attr, const Value& v, Transaction* txn)
+      SIM_EXCLUDES(mv_mu_);
   Status RemoveMvValue(SurrogateId s, const std::string& cls,
                        const std::string& attr, const Value& v,
-                       Transaction* txn);
+                       Transaction* txn) SIM_EXCLUDES(mv_mu_);
   Result<std::vector<Value>> GetMvValues(SurrogateId s, const std::string& cls,
-                                         const std::string& attr);
+                                         const std::string& attr)
+      SIM_EXCLUDES(mv_mu_);
 
   // --- EVAs ---
 
@@ -196,7 +200,8 @@ class LucMapper {
   // subclasses, which is SIM's class membership semantics).
   Result<std::vector<SurrogateId>> ExtentOf(const std::string& cls);
   // Maintained count of the extent (no scan).
-  Result<uint64_t> ExtentCount(const std::string& cls) const;
+  Result<uint64_t> ExtentCount(const std::string& cls) const
+      SIM_EXCLUDES(counts_mu_);
   // True while an extent cursor over `cls` is guaranteed to deliver
   // entities in surrogate order (the unit's physical scan order has not
   // diverged from insertion/surrogate order).
@@ -205,7 +210,7 @@ class LucMapper {
   // Every heap page currently owned by a storage unit or the shared MV
   // file — the pages whose records SCRUB DATABASE decodes via RecordView
   // (index pages are covered by checksum verification only).
-  std::vector<PageId> HeapPages() const;
+  std::vector<PageId> HeapPages() const SIM_EXCLUDES(mv_mu_);
 
   // Monotonic counter bumped by every data mutation (entity lifecycle,
   // field/MV writes, EVA instance changes, reclustering). Lets the
@@ -235,8 +240,9 @@ class LucMapper {
 
   // Average number of side-B targets per side-A owner of an EVA pair
   // (and vice versa when `from_a` is false).
-  double AvgEvaFanout(int eva_idx, bool from_a) const;
-  uint64_t EvaPairCount(int eva_idx) const;
+  double AvgEvaFanout(int eva_idx, bool from_a) const
+      SIM_EXCLUDES(counts_mu_);
+  uint64_t EvaPairCount(int eva_idx) const SIM_EXCLUDES(counts_mu_);
 
  private:
   // The offline auditor re-derives every maintained structure from base
@@ -265,14 +271,15 @@ class LucMapper {
     int field = -1;  // index into unit fields; -1 when not stored
   };
   Result<FieldRef> Resolve(const std::string& cls, const std::string& attr,
-                           bool want_field) const;
+                           bool want_field) const SIM_EXCLUDES(cache_mu_);
 
   // Class code + base-class unit of `cls`, memoized (see the caches below).
   struct ClassInfo {
     uint16_t code = 0;
     int base_unit = -1;
   };
-  Result<ClassInfo> ClassInfoOf(const std::string& cls) const;
+  Result<ClassInfo> ClassInfoOf(const std::string& cls) const
+      SIM_EXCLUDES(cache_mu_);
 
   // Reads the record of `s` in unit `u`.
   Status ReadUnitRecord(int u, SurrogateId s, std::set<uint16_t>* roles,
@@ -342,18 +349,30 @@ class LucMapper {
   std::unique_ptr<RelKeyedStore> fk_inv_;
 
   // Separate-unit MV DVAs: records [owner, value] in one shared dependent
-  // file, located via (mvdva-id, owner) -> packed RecordId.
+  // file, located via (mvdva-id, owner) -> packed RecordId. The file's
+  // pages mix records of every class, so semantic class-extent locks
+  // cannot exclude a reader of one family from a writer of another;
+  // mv_mu_ latches all access (including the undo callbacks). The offline
+  // friends below (auditor, repairer, rehydrator) run under an exclusive
+  // lock-manager scope — or before the database goes concurrent — and
+  // read the raw structures latch-free.
   std::unique_ptr<HeapFile> mv_file_;
   std::unique_ptr<RelKeyedStore> mv_index_;
+  mutable Mutex mv_mu_;
 
   // Secondary indexes parallel to phys_->indexes(): key -> surrogate.
   std::vector<std::unique_ptr<BPlusTree>> sec_indexes_;
 
-  // Extent counters keyed by class code.
+  // Extent counters keyed by class code; EVA instance counts for fanout
+  // statistics. Maintained by writers while the optimizer reads them from
+  // concurrent planning threads, hence the counts_mu_ latch (same offline
+  // caveat as mv_mu_). next_surrogate_ rides under the same latch: it is
+  // only advanced on the serialized write path, but snapshots read it.
   std::vector<uint64_t> extent_counts_;
   // Per-EVA instance counts and per-side distinct owner tracking for
   // fanout statistics.
   std::vector<uint64_t> eva_pair_counts_;
+  mutable Mutex counts_mu_;
 
   SurrogateId next_surrogate_ = 1;
   RelaxedCounter mutation_count_;
@@ -375,11 +394,14 @@ class LucMapper {
       return a == b;
     }
   };
+  // cache_mu_ latches the memoized resolutions: they are (re)built on
+  // READ paths, so concurrent reader statements race on them without it.
+  mutable Mutex cache_mu_;
   mutable std::unordered_map<std::string, FieldRef, SvHash, SvEq>
-      resolve_cache_;
+      resolve_cache_ SIM_GUARDED_BY(cache_mu_);
   mutable std::unordered_map<std::string, ClassInfo, SvHash, SvEq>
-      class_cache_;
-  mutable std::string key_buf_;
+      class_cache_ SIM_GUARDED_BY(cache_mu_);
+  mutable std::string key_buf_ SIM_GUARDED_BY(cache_mu_);
 
   // Interned strings for Values the mapper hands out repeatedly (subrole
   // class names). Pooled Values stay valid as long as the mapper — i.e.

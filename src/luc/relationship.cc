@@ -31,6 +31,7 @@ Result<std::unique_ptr<RelKeyedStore>> RelKeyedStore::Create(
 
 Status RelKeyedStore::Add(uint32_t rel_id, SurrogateId key,
                           SurrogateId value) {
+  MutexLock l(rel_mu_);
   switch (org_) {
     case KeyOrganization::kDirect:
       direct_.emplace(std::make_pair(rel_id, key), value);
@@ -48,6 +49,7 @@ Status RelKeyedStore::Add(uint32_t rel_id, SurrogateId key,
 
 Status RelKeyedStore::Remove(uint32_t rel_id, SurrogateId key,
                              SurrogateId value) {
+  MutexLock l(rel_mu_);
   switch (org_) {
     case KeyOrganization::kDirect: {
       auto range = direct_.equal_range(std::make_pair(rel_id, key));
@@ -80,6 +82,7 @@ Result<std::vector<SurrogateId>> RelKeyedStore::Get(uint32_t rel_id,
 
 Status RelKeyedStore::GetInto(uint32_t rel_id, SurrogateId key,
                               std::vector<SurrogateId>* out) {
+  MutexLock l(rel_mu_);
   switch (org_) {
     case KeyOrganization::kDirect: {
       out->clear();
@@ -103,6 +106,7 @@ Status RelKeyedStore::GetInto(uint32_t rel_id, SurrogateId key,
 
 Result<std::optional<SurrogateId>> RelKeyedStore::GetFirst(uint32_t rel_id,
                                                            SurrogateId key) {
+  MutexLock l(rel_mu_);
   switch (org_) {
     case KeyOrganization::kDirect: {
       std::optional<SurrogateId> best;

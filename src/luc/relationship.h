@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "catalog/luc_translation.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "storage/bptree.h"
 #include "storage/buffer_pool.h"
@@ -39,21 +41,32 @@ class RelKeyedStore {
 
   const std::string& name() const { return name_; }
   KeyOrganization organization() const { return org_; }
-  uint64_t entry_count() const { return entry_count_; }
+  uint64_t entry_count() const SIM_EXCLUDES(rel_mu_) {
+    MutexLock l(rel_mu_);
+    return entry_count_;
+  }
 
-  Status Add(uint32_t rel_id, SurrogateId key, SurrogateId value);
-  Status Remove(uint32_t rel_id, SurrogateId key, SurrogateId value);
+  // All operations are latched: "common" structures mix associations of
+  // every EVA, so a reader traversing one family's relationship shares
+  // pages and in-memory state with a writer of a different family — a
+  // conflict the class-extent lock manager cannot see.
+  Status Add(uint32_t rel_id, SurrogateId key, SurrogateId value)
+      SIM_EXCLUDES(rel_mu_);
+  Status Remove(uint32_t rel_id, SurrogateId key, SurrogateId value)
+      SIM_EXCLUDES(rel_mu_);
   // Values associated with (rel_id, key), in insertion-independent order
   // (sorted for the tree organization).
-  Result<std::vector<SurrogateId>> Get(uint32_t rel_id, SurrogateId key);
+  Result<std::vector<SurrogateId>> Get(uint32_t rel_id, SurrogateId key)
+      SIM_EXCLUDES(rel_mu_);
   // Same, into a caller-owned buffer (cleared first) whose capacity is
   // reused across probes — the per-row traversal hot path.
   Status GetInto(uint32_t rel_id, SurrogateId key,
-                 std::vector<SurrogateId>* out);
+                 std::vector<SurrogateId>* out) SIM_EXCLUDES(rel_mu_);
   // First (smallest) value under (rel_id, key) without materializing the
   // vector — the single-result hot path (primary index probes).
   Result<std::optional<SurrogateId>> GetFirst(uint32_t rel_id,
-                                              SurrogateId key);
+                                              SurrogateId key)
+      SIM_EXCLUDES(rel_mu_);
   Result<bool> Contains(uint32_t rel_id, SurrogateId key, SurrogateId value);
   Result<uint64_t> CountFor(uint32_t rel_id, SurrogateId key);
 
@@ -74,6 +87,11 @@ class RelKeyedStore {
 
   std::string name_;
   KeyOrganization org_;
+  // rel_mu_ guards entry_count_ and the backing structure below. The
+  // snapshot codec (RelStoreCodec) reads/builds raw state latch-free: it
+  // runs on the serialized commit path or during single-threaded
+  // open/recovery.
+  mutable Mutex rel_mu_;
   uint64_t entry_count_ = 0;
   // Exactly one of the following backs the store, per org_.
   std::unordered_multimap<std::pair<uint64_t, uint64_t>, SurrogateId, PairHash>

@@ -28,6 +28,11 @@ std::string AccessPlan::Describe() const {
 }
 
 void Optimizer::RefreshStats() {
+  MutexLock l(opt_mu_);
+  RefreshStatsLocked();
+}
+
+void Optimizer::RefreshStatsLocked() {
   ++stats_refreshes_;
   stats_ = StatsSnapshot::Collect(mapper_);
   cost_model_ = CostModel(&mapper_->phys(), &stats_);
@@ -145,11 +150,12 @@ Result<PhysicalPlan> Optimizer::Plan(const QueryTree& qt) {
 }
 
 Result<AccessPlan> Optimizer::Optimize(const QueryTree& qt) {
+  MutexLock l(opt_mu_);
   ++plans_made_;
   // Data has changed since the statistics snapshot: re-collect before
   // costing, so cardinalities and fanouts reflect the current extents.
   if (mapper_->mutation_count() != stats_mutation_count_) {
-    RefreshStats();
+    RefreshStatsLocked();
   }
   std::vector<IndexCandidate> candidates;
   CollectIndexCandidates(qt, qt.where.get(), &candidates);

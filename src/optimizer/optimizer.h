@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/relaxed_counter.h"
+#include "common/thread_annotations.h"
 #include "luc/mapper.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/stats.h"
@@ -57,13 +59,15 @@ class Optimizer {
         stats_mutation_count_(mapper->mutation_count()) {}
 
   // Re-reads statistics from the mapper.
-  void RefreshStats();
+  void RefreshStats() SIM_EXCLUDES(opt_mu_);
 
   // Chooses the cheapest root-access strategy. Statistics are refreshed
   // automatically when the mapper's mutation counter has advanced since
   // they were collected, so a long-lived Optimizer never plans on stale
-  // cardinalities.
-  Result<AccessPlan> Optimize(const QueryTree& qt);
+  // cardinalities. Planning is latched (opt_mu_): a refresh mutates the
+  // snapshot and cost model in place, so concurrent statements serialize
+  // through here briefly before executing in parallel.
+  Result<AccessPlan> Optimize(const QueryTree& qt) SIM_EXCLUDES(opt_mu_);
 
   // Full physical planning: Optimize + compile the winning strategy into
   // a Volcano operator tree.
@@ -87,6 +91,8 @@ class Optimizer {
     Value eq_value;
   };
 
+  void RefreshStatsLocked() SIM_REQUIRES(opt_mu_);
+
   // Finds `field(root) = literal` conjuncts with a secondary index.
   void CollectIndexCandidates(const QueryTree& qt, const BExpr* expr,
                               std::vector<IndexCandidate>* out) const;
@@ -99,6 +105,9 @@ class Optimizer {
                             double parent_card) const;
 
   LucMapper* mapper_;
+  // Guarded by opt_mu_ during planning; the unlatched accessors above are
+  // for single-threaded tests and tools.
+  mutable Mutex opt_mu_;
   StatsSnapshot stats_;
   CostModel cost_model_;
   // Mapper mutation count at the time stats_ was collected.

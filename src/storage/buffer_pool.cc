@@ -19,13 +19,20 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   return *this;
 }
 
-char* PageHandle::data() { return pool_->frames_[frame_].data.get(); }
-
-const char* PageHandle::data() const {
+char* PageHandle::data() {
+  MutexLock l(pool_->pool_mu_);
   return pool_->frames_[frame_].data.get();
 }
 
-void PageHandle::MarkDirty() { pool_->frames_[frame_].dirty = true; }
+const char* PageHandle::data() const {
+  MutexLock l(pool_->pool_mu_);
+  return pool_->frames_[frame_].data.get();
+}
+
+void PageHandle::MarkDirty() {
+  MutexLock l(pool_->pool_mu_);
+  pool_->frames_[frame_].dirty = true;
+}
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
@@ -38,6 +45,7 @@ void PageHandle::Release() {
 BufferPool::BufferPool(Pager* pager, size_t capacity_frames,
                        WriteAheadLog* wal)
     : pager_(pager), wal_(wal) {
+  MutexLock l(pool_mu_);
   frames_.resize(capacity_frames);
   for (auto& f : frames_) {
     f.data = std::make_unique<char[]>(kPageSize);
@@ -86,6 +94,7 @@ Status BufferPool::ReadPage(PageId id, char* out) {
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
+  MutexLock l(pool_mu_);
   counters_.logical_fetches.Increment();
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
@@ -111,6 +120,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageHandle> BufferPool::New() {
+  MutexLock l(pool_mu_);
   SIM_ASSIGN_OR_RETURN(PageId id, pager_->Allocate());
   // An allocation is neither a hit nor a miss: counting it as a fetch
   // inflated the hit rate (the page is born in the pool and can never
@@ -128,6 +138,7 @@ Result<PageHandle> BufferPool::New() {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock l(pool_mu_);
   // Writeback counting lives in WriteBack(): FlushAll historically did
   // not count its writebacks, under-reporting against InvalidateAll and
   // eviction, which did.
@@ -141,6 +152,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::InvalidateAll() {
+  MutexLock l(pool_mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
@@ -155,6 +167,7 @@ Status BufferPool::InvalidateAll() {
 }
 
 void BufferPool::Unpin(int frame) {
+  MutexLock l(pool_mu_);
   Frame& f = frames_[frame];
   if (f.pin_count > 0) --f.pin_count;
 }

@@ -18,7 +18,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/pager.h"
@@ -90,18 +92,26 @@ class BufferPool {
              WriteAheadLog* wal = nullptr);
 
   // Pins page `id`, reading it from the pager on a miss.
-  Result<PageHandle> Fetch(PageId id);
+  //
+  // Thread safety: the frame table, LRU state and pin counts are guarded
+  // by pool_mu_, so Fetch/New/FlushAll/InvalidateAll and handle release
+  // are safe from concurrent statements. The page BYTES behind a pinned
+  // handle are not latched here — concurrent access to the same page is
+  // excluded by the semantic lock manager (readers share, writers hold
+  // the family exclusively), and a pinned frame is never evicted or
+  // reused, so the data pointer stays valid without the latch.
+  Result<PageHandle> Fetch(PageId id) SIM_EXCLUDES(pool_mu_);
 
   // Allocates a fresh page in the pager and pins it (counts as a miss-free
   // fetch; the new page is born in the pool).
-  Result<PageHandle> New();
+  Result<PageHandle> New() SIM_EXCLUDES(pool_mu_);
 
   // Writes back all dirty frames.
-  Status FlushAll();
+  Status FlushAll() SIM_EXCLUDES(pool_mu_);
 
   // Drops every unpinned frame (writing back dirty ones). Used by
   // experiments that want a cold cache.
-  Status InvalidateAll();
+  Status InvalidateAll() SIM_EXCLUDES(pool_mu_);
 
   // Snapshot of the counter cells; historical accessor, kept working.
   Stats stats() const {
@@ -144,23 +154,30 @@ class BufferPool {
     uint64_t lru_tick = 0;
   };
 
-  void Unpin(int frame);
+  void Unpin(int frame) SIM_EXCLUDES(pool_mu_);
   // Picks an unpinned frame to reuse, writing back if dirty.
-  Result<int> GetVictimFrame();
+  Result<int> GetVictimFrame() SIM_REQUIRES(pool_mu_);
   // Stamps the page checksum and writes the frame to the WAL (WAL mode)
   // or the pager. The single writeback-counting site for all three
   // callers (eviction, FlushAll, InvalidateAll).
-  Status WriteBack(Frame& f);
+  Status WriteBack(Frame& f) SIM_REQUIRES(pool_mu_);
   // Reads page `id` into `out` from the WAL image if one exists, else the
   // pager, and verifies its checksum.
-  Status ReadPage(PageId id, char* out);
+  Status ReadPage(PageId id, char* out) SIM_REQUIRES(pool_mu_);
 
   Pager* pager_;
   WriteAheadLog* wal_;
   QuarantineRegistry* quarantine_ = nullptr;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, int> page_to_frame_;
-  uint64_t tick_ = 0;
+  // Guards the frame table and all frame METADATA (page_id, pin_count,
+  // dirty, lru_tick). Held across miss I/O and writeback — misses
+  // serialize, which keeps eviction/readback races impossible; the hit
+  // path holds it only for a hash probe and a tick bump. Frame `data`
+  // buffers are allocated once in the constructor and never reallocated,
+  // so a pinned handle reads its pointer without the latch.
+  mutable Mutex pool_mu_;
+  std::vector<Frame> frames_ SIM_GUARDED_BY(pool_mu_);
+  std::unordered_map<PageId, int> page_to_frame_ SIM_GUARDED_BY(pool_mu_);
+  uint64_t tick_ SIM_GUARDED_BY(pool_mu_) = 0;
   Counters counters_;
 };
 

@@ -5,8 +5,9 @@
 
 namespace sim {
 
-Status FaultInjector::Check(Op op, uint64_t seen, size_t intended_bytes,
-                            size_t* allowed_bytes) {
+Status FaultInjector::CheckLocked(Op op, uint64_t seen,
+                                  size_t intended_bytes,
+                                  size_t* allowed_bytes) {
   if (allowed_bytes != nullptr) *allowed_bytes = 0;
   if (dead_) {
     return Status::IoError("injected fault: device is gone (post-crash)");
@@ -80,21 +81,26 @@ Status FaultInjector::Check(Op op, uint64_t seen, size_t intended_bytes,
 
 Status FaultInjector::BeginWrite(size_t intended_bytes,
                                  size_t* allowed_bytes) {
+  MutexLock lock(mu_);
   ++stats_.writes_seen;
-  return Check(Op::kWrite, stats_.writes_seen, intended_bytes, allowed_bytes);
+  return CheckLocked(Op::kWrite, stats_.writes_seen, intended_bytes,
+                     allowed_bytes);
 }
 
 Status FaultInjector::BeginSync() {
+  MutexLock lock(mu_);
   ++stats_.syncs_seen;
-  return Check(Op::kSync, stats_.syncs_seen, 0, nullptr);
+  return CheckLocked(Op::kSync, stats_.syncs_seen, 0, nullptr);
 }
 
 Status FaultInjector::BeginRead() {
+  MutexLock lock(mu_);
   ++stats_.reads_seen;
-  return Check(Op::kRead, stats_.reads_seen, 0, nullptr);
+  return CheckLocked(Op::kRead, stats_.reads_seen, 0, nullptr);
 }
 
 bool FaultInjector::ApplyBitRot(PageId id, char* page) {
+  MutexLock lock(mu_);
   if (dead_) return false;
   bool rotted = false;
   for (const Fault& f : faults_) {

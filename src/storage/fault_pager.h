@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/pager.h"
 
@@ -83,7 +84,10 @@ class FaultInjector {
     uint64_t faults_fired = 0;
   };
 
-  void Schedule(Fault fault) { faults_.push_back(fault); }
+  void Schedule(Fault fault) SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    faults_.push_back(fault);
+  }
   // Convenience forms used by the crash sweep.
   void FailNthWrite(uint64_t n, int torn_bytes = -1, bool fatal = true) {
     Schedule({Op::kWrite, n, torn_bytes, fatal});
@@ -127,32 +131,47 @@ class FaultInjector {
   // Called by consumers before performing an operation. A non-OK status
   // means the operation must fail; for writes, *allowed_bytes is set to
   // how much of the payload to persist anyway (0 = nothing) given
-  // `intended_bytes` were going to be written.
-  Status BeginWrite(size_t intended_bytes, size_t* allowed_bytes);
-  Status BeginSync();
-  Status BeginRead();
+  // `intended_bytes` were going to be written. One injector is shared by
+  // every I/O consumer (pager, WAL appenders, the group-commit thread),
+  // so the operation counters are serialized internally — concurrent
+  // writers see a single global operation sequence, which keeps "crash at
+  // operation N" meaningful under multi-threaded load.
+  Status BeginWrite(size_t intended_bytes, size_t* allowed_bytes)
+      SIM_EXCLUDES(mu_);
+  Status BeginSync() SIM_EXCLUDES(mu_);
+  Status BeginRead() SIM_EXCLUDES(mu_);
 
   // Called by FaultInjectingPager::Read AFTER a successful base read:
   // applies any scheduled kBitRot corruption to the page image in place.
   // Returns true if bytes were flipped (counted in stats().faults_fired).
-  bool ApplyBitRot(PageId id, char* page);
+  bool ApplyBitRot(PageId id, char* page) SIM_EXCLUDES(mu_);
 
-  bool dead() const { return dead_; }
-  const Stats& stats() const { return stats_; }
+  bool dead() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return dead_;
+  }
+  // Snapshot, not a reference: callers read it after (or during) runs
+  // whose I/O threads are still advancing the counters.
+  Stats stats() const SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
 
   // Forgets the plan and revives the injector; counters keep running.
-  void Clear() {
+  void Clear() SIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     faults_.clear();
     dead_ = false;
   }
 
  private:
-  Status Check(Op op, uint64_t seen, size_t intended_bytes,
-               size_t* allowed_bytes);
+  Status CheckLocked(Op op, uint64_t seen, size_t intended_bytes,
+                     size_t* allowed_bytes) SIM_REQUIRES(mu_);
 
-  std::vector<Fault> faults_;
-  Stats stats_;
-  bool dead_ = false;
+  mutable Mutex mu_;
+  std::vector<Fault> faults_ SIM_GUARDED_BY(mu_);
+  Stats stats_ SIM_GUARDED_BY(mu_);
+  bool dead_ SIM_GUARDED_BY(mu_) = false;
 };
 
 // Pager decorator forwarding to `base` unless the injector vetoes the

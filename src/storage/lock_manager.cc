@@ -1,0 +1,355 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "catalog/directory.h"
+#include "common/strings.h"
+
+namespace sim {
+
+namespace {
+
+// Separator that cannot appear in a class identifier, so record keys can
+// never collide with class-extent keys.
+constexpr char kRecordSep = '\x1f';
+
+bool ModeCovers(LockManager::Mode held, LockManager::Mode want) {
+  return held == LockManager::Mode::kExclusive ||
+         want == LockManager::Mode::kShared;
+}
+
+}  // namespace
+
+std::string RecordLockKey(const std::string& class_name, uint64_t surrogate) {
+  std::string key = AsciiLower(class_name);
+  key += kRecordSep;
+  key += std::to_string(surrogate);
+  return key;
+}
+
+// --- Scope ---------------------------------------------------------------
+
+LockManager::Scope::~Scope() { lm_->ReleaseScope(this); }
+
+void LockManager::Scope::ReleaseAll() {
+  MutexLock l(lm_->mu_);
+  lm_->ReleaseAllLocked(this);
+  lm_->released_.NotifyAll();
+}
+
+size_t LockManager::Scope::held() const {
+  MutexLock l(lm_->mu_);
+  return held_keys_.size();
+}
+
+// --- LockManager ---------------------------------------------------------
+
+void LockManager::SetDirectory(const DirectoryManager* dir) {
+  MutexLock l(mu_);
+  dir_ = dir;
+}
+
+std::unique_ptr<LockManager::Scope> LockManager::NewScope() {
+  MutexLock l(mu_);
+  auto scope = std::unique_ptr<Scope>(new Scope(this, next_scope_id_++));
+  scopes_[scope->id_] = scope.get();
+  return scope;
+}
+
+void LockManager::ReleaseScope(Scope* scope) {
+  MutexLock l(mu_);
+  ReleaseAllLocked(scope);
+  scopes_.erase(scope->id_);
+  released_.NotifyAll();
+}
+
+void LockManager::ReleaseAllLocked(Scope* scope) {
+  for (const std::string& key : scope->held_keys_) {
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    it->second.holders.erase(scope->id_);
+    if (it->second.holders.empty() && it->second.waiting_x == 0) {
+      table_.erase(it);
+    }
+  }
+  scope->held_keys_.clear();
+}
+
+size_t LockManager::LockedKeys() const {
+  MutexLock l(mu_);
+  size_t n = 0;
+  for (const auto& [key, entry] : table_) {
+    if (!entry.holders.empty()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, LockManager::Mode>>
+LockManager::ExpandCovers(const std::vector<std::string>& classes,
+                          Mode mode) const {
+  const DirectoryManager* dir;
+  {
+    MutexLock l(mu_);
+    dir = dir_;
+  }
+  // Max-mode dedup in a sorted map: deterministic key order for free.
+  std::map<std::string, Mode> cover;
+  auto add = [&cover](const std::string& name, Mode m) {
+    std::string key = AsciiLower(name);
+    auto [it, inserted] = cover.emplace(std::move(key), m);
+    if (!inserted && m == Mode::kExclusive) it->second = m;
+  };
+  for (const std::string& name : classes) {
+    if (dir == nullptr) {
+      add(name, mode);
+      continue;
+    }
+    if (mode == Mode::kShared) {
+      // Scan cover: the extent of C includes every subclass member.
+      add(name, mode);
+      auto desc = dir->DescendantsOf(name);
+      if (desc.ok()) {
+        for (const std::string& d : *desc) add(d, mode);
+      }
+    } else {
+      // Write cover: role duplication touches every unit of the family.
+      std::string root = name;
+      auto base = dir->BaseOf(name);
+      if (base.ok()) root = *base;
+      add(root, mode);
+      auto desc = dir->DescendantsOf(root);
+      if (desc.ok()) {
+        for (const std::string& d : *desc) add(d, mode);
+      }
+    }
+  }
+  return {cover.begin(), cover.end()};
+}
+
+Status LockManager::AcquireClasses(Scope* scope,
+                                   const std::vector<std::string>& classes,
+                                   Mode mode, QueryContext* qctx) {
+  if (classes.empty()) return Status::Ok();
+  return AcquireKeys(scope, ExpandCovers(classes, mode), qctx);
+}
+
+Status LockManager::AcquireAllClasses(Scope* scope, QueryContext* qctx) {
+  const DirectoryManager* dir;
+  {
+    MutexLock l(mu_);
+    dir = dir_;
+  }
+  if (dir == nullptr) return Status::Ok();
+  std::vector<std::pair<std::string, Mode>> wants;
+  wants.reserve(dir->class_names().size());
+  for (const std::string& name : dir->class_names()) {
+    wants.emplace_back(AsciiLower(name), Mode::kShared);
+  }
+  std::sort(wants.begin(), wants.end());
+  return AcquireKeys(scope, std::move(wants), qctx);
+}
+
+Status LockManager::AcquireRecord(Scope* scope, const std::string& class_name,
+                                  uint64_t surrogate, Mode mode,
+                                  QueryContext* qctx) {
+  std::vector<std::pair<std::string, Mode>> wants;
+  wants.emplace_back(RecordLockKey(class_name, surrogate), mode);
+  return AcquireKeys(scope, std::move(wants), qctx);
+}
+
+bool LockManager::GrantableLocked(
+    const Scope& scope,
+    const std::vector<std::pair<std::string, Mode>>& wants) const {
+  for (const auto& [key, mode] : wants) {
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    const Entry& entry = it->second;
+    auto self = entry.holders.find(scope.id_);
+    if (self != entry.holders.end() && ModeCovers(self->second, mode)) {
+      continue;  // already held at (or above) the wanted strength
+    }
+    if (mode == Mode::kExclusive) {
+      // X (or an S->X upgrade) needs sole ownership.
+      size_t others = entry.holders.size() - (self != entry.holders.end());
+      if (others > 0) return false;
+    } else {
+      // S conflicts with a foreign X holder, and queues behind waiting
+      // writers unless this scope already holds the key (checked above).
+      for (const auto& [hid, hmode] : entry.holders) {
+        if (hid != scope.id_ && hmode == Mode::kExclusive) return false;
+      }
+      if (entry.waiting_x > 0) return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::GrantLocked(
+    Scope* scope, const std::vector<std::pair<std::string, Mode>>& wants) {
+  for (const auto& [key, mode] : wants) {
+    Entry& entry = table_[key];
+    auto [it, inserted] = entry.holders.emplace(scope->id_, mode);
+    if (inserted) {
+      scope->held_keys_.push_back(key);
+    } else if (mode == Mode::kExclusive) {
+      it->second = mode;  // S -> X upgrade
+    }
+  }
+}
+
+Status LockManager::CheckWaitSafeLocked(
+    const Scope& scope,
+    const std::vector<std::pair<std::string, Mode>>& wants) const {
+  // Walk the wait-for graph outward from this request. Edges:
+  //  * requester -> foreign holder of a conflicting key;
+  //  * S requester -> waiting X requester on the same key (fairness queue).
+  // A node that is itself blocked (in waiting_) contributes its own edges.
+  // Deadlock: the walk returns to the requester. Self-wait: the walk
+  // reaches a scope owned by the requester's own thread — that holder can
+  // never run to release, so the wait would hang forever.
+  std::vector<uint64_t> frontier;
+  std::vector<uint64_t> visited;
+  const std::string* blocked_on = nullptr;
+
+  auto push_edges = [this, &frontier](
+                        uint64_t from,
+                        const std::vector<std::pair<std::string, Mode>>& ws)
+                        SIM_REQUIRES(mu_) -> const std::string* {
+    const std::string* first_conflict = nullptr;
+    for (const auto& [key, mode] : ws) {
+      auto it = table_.find(key);
+      if (it == table_.end()) continue;
+      const Entry& entry = it->second;
+      auto self = entry.holders.find(from);
+      if (self != entry.holders.end() && ModeCovers(self->second, mode)) {
+        continue;
+      }
+      for (const auto& [hid, hmode] : entry.holders) {
+        if (hid == from) continue;
+        if (mode == Mode::kExclusive || hmode == Mode::kExclusive) {
+          frontier.push_back(hid);
+          if (first_conflict == nullptr) first_conflict = &key;
+        }
+      }
+      if (mode == Mode::kShared && entry.waiting_x > 0 &&
+          self == entry.holders.end()) {
+        for (const auto& [wid, waiter] : waiting_) {
+          if (wid == from) continue;
+          for (const auto& [wkey, wmode] : *waiter.wants) {
+            if (wkey == key && wmode == Mode::kExclusive) {
+              frontier.push_back(wid);
+              if (first_conflict == nullptr) first_conflict = &key;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return first_conflict;
+  };
+
+  blocked_on = push_edges(scope.id_, wants);
+  const std::string key_name =
+      blocked_on != nullptr ? *blocked_on : std::string("<unknown>");
+  const std::thread::id me = std::this_thread::get_id();
+  while (!frontier.empty()) {
+    uint64_t node = frontier.back();
+    frontier.pop_back();
+    if (node == scope.id_) {
+      return Status::Aborted("deadlock detected while locking '" + key_name +
+                             "'; statement rolled back (retry it)");
+    }
+    if (std::find(visited.begin(), visited.end(), node) != visited.end()) {
+      continue;
+    }
+    visited.push_back(node);
+    auto sit = scopes_.find(node);
+    if (sit != scopes_.end() && sit->second->owner_ == me) {
+      return Status::Aborted(
+          "lock on '" + key_name +
+          "' conflicts with a lock held by this thread (close the open "
+          "cursor or commit the transaction first)");
+    }
+    auto wit = waiting_.find(node);
+    if (wit != waiting_.end()) {
+      push_edges(node, *wit->second.wants);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LockManager::AcquireKeys(
+    Scope* scope, std::vector<std::pair<std::string, Mode>> wants,
+    QueryContext* qctx) {
+  using clock = std::chrono::steady_clock;
+  MutexLock l(mu_);
+  scope->owner_ = std::this_thread::get_id();
+  bool registered = false;
+  bool waited = false;
+  auto unregister = [&]() SIM_REQUIRES(mu_) {
+    if (!registered) return;
+    waiting_.erase(scope->id_);
+    for (const auto& [key, mode] : wants) {
+      if (mode != Mode::kExclusive) continue;
+      auto it = table_.find(key);
+      if (it == table_.end()) continue;
+      if (--it->second.waiting_x == 0 && it->second.holders.empty()) {
+        table_.erase(it);
+      }
+    }
+    registered = false;
+  };
+  for (;;) {
+    if (GrantableLocked(*scope, wants)) {
+      unregister();
+      GrantLocked(scope, wants);
+      stats_.acquisitions.Increment();
+      // A fairness queue may have been holding S requests behind our
+      // waiting-X registration; wake the table so they re-check.
+      released_.NotifyAll();
+      return Status::Ok();
+    }
+    Status safe = CheckWaitSafeLocked(*scope, wants);
+    if (!safe.ok()) {
+      unregister();
+      stats_.deadlocks.Increment();
+      released_.NotifyAll();
+      return safe;
+    }
+    if (!registered) {
+      waiting_[scope->id_] = Waiter{scope, &wants};
+      for (const auto& [key, mode] : wants) {
+        if (mode == Mode::kExclusive) ++table_[key].waiting_x;
+      }
+      registered = true;
+    }
+    if (!waited) {
+      waited = true;
+      stats_.waits.Increment();
+    }
+    // Bounded sleep: wake on any release, and no later than the governor
+    // deadline (or a short poll slice, to observe async cancellation).
+    auto until = clock::now() + std::chrono::milliseconds(20);
+    if (qctx != nullptr && qctx->has_deadline()) {
+      if (qctx->deadline() <= clock::now()) {
+        unregister();
+        stats_.timeouts.Increment();
+        released_.NotifyAll();
+        return Status::DeadlineExceeded(
+            "lock wait exceeded the statement deadline");
+      }
+      until = std::min(until, qctx->deadline());
+    }
+    released_.WaitUntil(l, until);
+    if (qctx != nullptr && qctx->cancel_requested()) {
+      unregister();
+      stats_.timeouts.Increment();
+      released_.NotifyAll();
+      return Status::Cancelled("statement cancelled while waiting for a lock");
+    }
+  }
+}
+
+}  // namespace sim

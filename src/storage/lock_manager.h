@@ -1,0 +1,192 @@
+#ifndef SIMDB_STORAGE_LOCK_MANAGER_H_
+#define SIMDB_STORAGE_LOCK_MANAGER_H_
+
+// Semantic lock manager: shared/exclusive locks over class extents and
+// individual records, resolved through the catalog's subclass-role DAG
+// (DESIGN.md §14). The paper's §5 mapping stores an entity's record set
+// across every unit of its generalization family, which dictates the two
+// cover rules:
+//
+//  * A reader scanning class C sees members of C and of every subclass of
+//    C, so a shared lock on C covers {C} ∪ descendants(C).
+//  * A writer mutating class C touches records in every unit of C's
+//    family (role duplication writes base-class attributes into the base
+//    unit, EVA inverses into range units), so an exclusive lock on C
+//    widens to the whole family: {base(C)} ∪ descendants(base(C)).
+//
+// Conflicts are evaluated per cover element: two requests conflict when
+// their covers intersect on any key with incompatible modes (S/S is
+// compatible; anything involving X is not, except within one Scope — a
+// scope never conflicts with itself, which is what lets the paranoid
+// post-update audit take S-everything while the statement holds X).
+//
+// Acquisition is all-or-nothing per call: a statement's lock set is
+// computed up front and granted atomically under the manager's mutex, so
+// single-statement scopes cannot deadlock among themselves. Scopes that
+// grow incrementally (explicit transactions, upgrades) can — a wait-for
+// graph is checked each time a request blocks and the requester is killed
+// with kAborted on a cycle. Waits are bounded by the statement's governor
+// deadline (kDeadlineExceeded) and cancel flag (kCancelled): a contended
+// lock can never hang a statement forever.
+//
+// Fairness: while any request is waiting for X on a key, new S requests
+// on that key queue behind it (no fresh-reader starvation of writers);
+// re-acquisition by a scope that already holds the key is always a no-op
+// so held work is never blocked by a queued writer.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/query_context.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace sim {
+
+class DirectoryManager;
+
+class LockManager {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  // Monotonic cells exposed by reference to the metrics registry
+  // (RegisterCounterView, simdb_lock_*).
+  struct Stats {
+    obs::Counter acquisitions;  // granted lock requests
+    obs::Counter waits;         // requests that blocked at least once
+    obs::Counter deadlocks;     // requesters killed by the detector
+    obs::Counter timeouts;      // waits ended by deadline/cancel
+  };
+
+  // A Scope owns every lock granted to it and releases them all when
+  // destroyed (or via ReleaseAll). One scope per statement; an explicit
+  // transaction keeps a single scope alive across its statements; a
+  // cursor's scope lives until the cursor closes. Attachable to a
+  // QueryContext (StatementResource) so governor teardown frees the locks.
+  class Scope : public StatementResource {
+   public:
+    ~Scope() override;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    // Drops every lock this scope holds; idempotent.
+    void ReleaseAll();
+
+    // Number of distinct keys currently held (tests/debugging).
+    size_t held() const;
+
+   private:
+    friend class LockManager;
+    explicit Scope(LockManager* lm, uint64_t id) : lm_(lm), id_(id) {}
+
+    LockManager* lm_;
+    const uint64_t id_;
+    // Owner thread, refreshed on each acquisition through this scope: a
+    // request that blocks on a lock held by a scope owned by the *same*
+    // thread can never be satisfied (the holder cannot run to release
+    // it), so such waits abort instead of hanging.
+    std::thread::id owner_ SIM_GUARDED_BY(lm_->mu_) =
+        std::this_thread::get_id();
+    std::vector<std::string> held_keys_ SIM_GUARDED_BY(lm_->mu_);
+  };
+
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // The catalog used for cover expansion. May be null (no expansion:
+  // every name locks exactly itself) until the schema is finalized.
+  void SetDirectory(const DirectoryManager* dir) SIM_EXCLUDES(mu_);
+
+  std::unique_ptr<Scope> NewScope() SIM_EXCLUDES(mu_);
+
+  // Locks the extents of `classes` (deduplicated, case-folded, expanded
+  // through the DAG per the cover rules above) for `scope`. Blocks until
+  // granted; `qctx` (optional) bounds the wait by the statement deadline
+  // and cancel flag. Returns kAborted on deadlock or same-thread
+  // self-conflict, kDeadlineExceeded / kCancelled on a tripped governor.
+  Status AcquireClasses(Scope* scope, const std::vector<std::string>& classes,
+                        Mode mode, QueryContext* qctx) SIM_EXCLUDES(mu_);
+
+  // Shared-locks every class in the catalog (the audit's read set).
+  Status AcquireAllClasses(Scope* scope, QueryContext* qctx)
+      SIM_EXCLUDES(mu_);
+
+  // Record-granularity lock (point updates): key = class ⊕ surrogate. No
+  // DAG expansion; callers hold the family X (or a future intention mode)
+  // first, so today these never block — they exist to carry per-record
+  // ownership into finer-grained executors and are fully exercised by the
+  // lock-manager tests.
+  Status AcquireRecord(Scope* scope, const std::string& class_name,
+                       uint64_t surrogate, Mode mode, QueryContext* qctx)
+      SIM_EXCLUDES(mu_);
+
+  const Stats& stats() const { return stats_; }
+
+  // Keys currently held across all scopes (tests/debugging).
+  size_t LockedKeys() const SIM_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::unordered_map<uint64_t, Mode> holders;  // scope id -> strongest mode
+    int waiting_x = 0;  // blocked requests that want X on this key
+  };
+  struct Waiter {
+    Scope* scope = nullptr;
+    const std::vector<std::pair<std::string, Mode>>* wants = nullptr;
+  };
+
+  // Builds the deduplicated (key, mode) set for a class-lock request.
+  std::vector<std::pair<std::string, Mode>> ExpandCovers(
+      const std::vector<std::string>& classes, Mode mode) const
+      SIM_EXCLUDES(mu_);
+
+  Status AcquireKeys(Scope* scope,
+                     std::vector<std::pair<std::string, Mode>> wants,
+                     QueryContext* qctx) SIM_EXCLUDES(mu_);
+
+  // True when every wanted key is grantable to `scope` right now.
+  bool GrantableLocked(const Scope& scope,
+                       const std::vector<std::pair<std::string, Mode>>& wants)
+      const SIM_REQUIRES(mu_);
+  void GrantLocked(Scope* scope,
+                   const std::vector<std::pair<std::string, Mode>>& wants)
+      SIM_REQUIRES(mu_);
+
+  // Deadlock / self-wait analysis for a request about to block: walks the
+  // wait-for graph (holder edges plus waiting-X fairness edges). Returns
+  // non-OK (kAborted) when the requester is on a cycle or transitively
+  // waits on a scope owned by its own thread.
+  Status CheckWaitSafeLocked(
+      const Scope& scope,
+      const std::vector<std::pair<std::string, Mode>>& wants) const
+      SIM_REQUIRES(mu_);
+
+  void ReleaseAllLocked(Scope* scope) SIM_REQUIRES(mu_);
+  friend class Scope;
+  void ReleaseScope(Scope* scope) SIM_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar released_;  // signalled on every release / grant-set change
+  const DirectoryManager* dir_ SIM_GUARDED_BY(mu_) = nullptr;
+  std::unordered_map<std::string, Entry> table_ SIM_GUARDED_BY(mu_);
+  // Scope id -> in-flight blocked request (for the wait-for graph).
+  std::unordered_map<uint64_t, Waiter> waiting_ SIM_GUARDED_BY(mu_);
+  // Scope id -> scope (owner-thread lookup during cycle analysis).
+  std::unordered_map<uint64_t, Scope*> scopes_ SIM_GUARDED_BY(mu_);
+  uint64_t next_scope_id_ SIM_GUARDED_BY(mu_) = 1;
+  Stats stats_;
+};
+
+// Canonical record-lock key, exposed for tests.
+std::string RecordLockKey(const std::string& class_name, uint64_t surrogate);
+
+}  // namespace sim
+
+#endif  // SIMDB_STORAGE_LOCK_MANAGER_H_

@@ -14,23 +14,35 @@ Status Transaction::RollbackTo(size_t depth) {
 }
 
 Transaction* TransactionManager::Begin() {
+  MutexLock l(tm_mu_);
   txns_.push_back(std::make_unique<Transaction>(next_id_++));
   return txns_.back().get();
 }
 
-Status TransactionManager::Commit(Transaction* txn) {
+Status TransactionManager::CommitBegin(Transaction* txn) {
   if (!txn->active()) {
     return Status::InvalidArgument("transaction is not active");
   }
   if (commit_hook_) {
-    // Durability first: if the WAL commit record cannot be made durable
-    // the transaction stays active and the caller aborts it.
+    // Durability first: if the WAL commit record cannot be started the
+    // transaction stays active and the caller aborts it. The hook runs
+    // outside tm_mu_ — it does real I/O and may block.
     SIM_RETURN_IF_ERROR(commit_hook_(txn));
   }
+  return Status::Ok();
+}
+
+void TransactionManager::CommitFinish(Transaction* txn) {
   txn->undo_log_.clear();
   txn->state_ = Transaction::State::kCommitted;
+  MutexLock l(tm_mu_);
   ++committed_;
   Forget(txn);
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  SIM_RETURN_IF_ERROR(CommitBegin(txn));
+  CommitFinish(txn);
   return Status::Ok();
 }
 
@@ -40,6 +52,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   Status result = txn->RollbackTo(0);
   txn->state_ = Transaction::State::kAborted;
+  MutexLock l(tm_mu_);
   ++aborted_;
   Forget(txn);
   return result;

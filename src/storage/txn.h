@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sim {
 
@@ -60,29 +62,51 @@ class TransactionManager {
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   // Starts a new transaction. The manager owns it until Commit/Abort,
-  // which destroys it (only the counters survive).
-  Transaction* Begin();
+  // which destroys it (only the counters survive). The registry latch
+  // makes Begin/Commit/Abort safe from concurrent statements; each
+  // Transaction OBJECT is still owned by the statement (or session)
+  // driving it — the manager never mutates one concurrently.
+  Transaction* Begin() SIM_EXCLUDES(tm_mu_);
 
   // Runs the commit hook, then discards the undo log and destroys the
   // transaction. `txn` is invalid after an OK return.
-  Status Commit(Transaction* txn);
+  Status Commit(Transaction* txn) SIM_EXCLUDES(tm_mu_);
+
+  // Two-phase commit for group-commit callers: CommitBegin runs the hook
+  // (which typically only BEGINS durability — appends a commit ticket)
+  // and leaves the transaction active; once the ticket is durable the
+  // caller finishes with CommitFinish, or aborts on failure. The split
+  // lets the caller wait for the fsync OUTSIDE its critical section, so
+  // concurrent committers batch into one fsync.
+  Status CommitBegin(Transaction* txn);
+  void CommitFinish(Transaction* txn) SIM_EXCLUDES(tm_mu_);
 
   // Replays the undo log in reverse, then destroys the transaction.
   // `txn` is invalid after this returns.
-  Status Abort(Transaction* txn);
+  Status Abort(Transaction* txn) SIM_EXCLUDES(tm_mu_);
 
-  uint64_t committed_count() const { return committed_; }
-  uint64_t aborted_count() const { return aborted_; }
-  size_t active_count() const { return txns_.size(); }
+  uint64_t committed_count() const SIM_EXCLUDES(tm_mu_) {
+    MutexLock l(tm_mu_);
+    return committed_;
+  }
+  uint64_t aborted_count() const SIM_EXCLUDES(tm_mu_) {
+    MutexLock l(tm_mu_);
+    return aborted_;
+  }
+  size_t active_count() const SIM_EXCLUDES(tm_mu_) {
+    MutexLock l(tm_mu_);
+    return txns_.size();
+  }
 
  private:
-  void Forget(Transaction* txn);
+  void Forget(Transaction* txn) SIM_REQUIRES(tm_mu_);
 
-  std::vector<std::unique_ptr<Transaction>> txns_;
+  mutable Mutex tm_mu_;
+  std::vector<std::unique_ptr<Transaction>> txns_ SIM_GUARDED_BY(tm_mu_);
   CommitHook commit_hook_;
-  uint64_t next_id_ = 1;
-  uint64_t committed_ = 0;
-  uint64_t aborted_ = 0;
+  uint64_t next_id_ SIM_GUARDED_BY(tm_mu_) = 1;
+  uint64_t committed_ SIM_GUARDED_BY(tm_mu_) = 0;
+  uint64_t aborted_ SIM_GUARDED_BY(tm_mu_) = 0;
 };
 
 }  // namespace sim

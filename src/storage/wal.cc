@@ -318,6 +318,49 @@ Status WriteAheadLog::AppendCommit() {
   return CommitLocked();
 }
 
+void WriteAheadLog::BeginCommitSequence() { seq_mu_.Lock(); }
+void WriteAheadLog::EndCommitSequence() { seq_mu_.Unlock(); }
+
+Status WriteAheadLog::AppendCommitBegin(uint64_t* ticket) {
+  *ticket = 0;
+  // Same ticket protocol as AppendCommit, minus the wait: the caller holds
+  // the commit-sequence bracket, so the worker cannot cut a frame until
+  // the bracket is released — the ticket marks this sequence complete.
+  if (gc_running_.load(std::memory_order_acquire)) {
+    MutexLock lock(gc_mu_);
+    if (!gc_stop_) {
+      *ticket = ++gc_issued_;
+      uint64_t pending = gc_issued_ - gc_resolved_;
+      if (pending >= gc_expected_batch_) {
+        gc_work_cv_.NotifyOne();
+      }
+      return Status::Ok();
+    }
+  }
+  MutexLock lock(mu_);
+  return CommitLocked();
+}
+
+Status WriteAheadLog::WaitCommitDurable(uint64_t ticket) {
+  if (ticket == 0) return Status::Ok();
+  MutexLock lock(gc_mu_);
+  while (gc_resolved_ < ticket) gc_done_cv_.Wait(lock);
+  return gc_batch_status_;
+}
+
+Status WriteAheadLog::DrainCommits() {
+  if (!gc_running_.load(std::memory_order_acquire)) return Status::Ok();
+  uint64_t last;
+  {
+    MutexLock lock(gc_mu_);
+    last = gc_issued_;
+    // Pending stragglers may be below the worker's expected batch size;
+    // wake it so the drain is bounded by one fsync, not the poll timeout.
+    if (last > gc_resolved_) gc_work_cv_.NotifyOne();
+  }
+  return WaitCommitDurable(last);
+}
+
 Status WriteAheadLog::SyncLocked() {
   return RetryTransient(retry_, &retry_stats_, [&]() -> Status {
     if (injector_ != nullptr) SIM_RETURN_IF_ERROR(injector_->BeginSync());
@@ -435,12 +478,18 @@ Status WriteAheadLog::GroupCommitBarrier() {
   uint64_t epoch = 0;
   int fd = -1;
   {
+    // The commit-sequence bracket keeps the frame off the middle of a
+    // concurrent committer's append run (its images would be committed
+    // under the previous snapshot). Held only across the frame write +
+    // flush — never across the fsync.
+    seq_mu_.Lock();
     MutexLock lock(mu_);
     s = WriteFrame(kWalFrameCommit, 0, nullptr, 0);
     // One pwrite covers every frame the batch's committers buffered —
     // this is where batching pays twice: one write AND one fsync.
     if (s.ok()) s = FlushPendingLocked();
     if (!s.ok()) {
+      seq_mu_.Unlock();
       ++stats_.group_commit_batches;
       return s;
     }
@@ -448,6 +497,7 @@ Status WriteAheadLog::GroupCommitBarrier() {
     epoch = reset_epoch_;
     fd = fd_;
     sync_mu_.Lock();  // released after the fsync below; order: mu_ first
+    seq_mu_.Unlock();
   }
   // Local retry stats: concurrent appenders update retry_stats_ under
   // mu_, which we no longer hold here.

@@ -146,6 +146,33 @@ class WriteAheadLog {
   // thread has covered it with a (possibly shared) commit frame + fsync.
   Status AppendCommit() SIM_EXCLUDES(mu_, gc_mu_);
 
+  // Concurrent-committer protocol. A committer's appends (page images +
+  // metadata + the commit ticket) form one atomic sequence: the group
+  // durability thread must never cut a commit frame between a sequence's
+  // first append and its ticket, or recovery could see the images
+  // committed under the PREVIOUS mapper snapshot. Begin/End bracket the
+  // sequence; the worker's frame write takes the same bracket.
+  //
+  //   wal->BeginCommitSequence();
+  //   ... AppendPageImage / AppendMetaSnapshot ...
+  //   uint64_t ticket; Status s = wal->AppendCommitBegin(&ticket);
+  //   wal->EndCommitSequence();
+  //   ... release locks, leave the critical section ...
+  //   s = wal->WaitCommitDurable(ticket);
+  //
+  // Without group commit AppendCommitBegin commits synchronously and
+  // returns ticket 0 (WaitCommitDurable(0) is a no-op).
+  void BeginCommitSequence() SIM_ACQUIRE(seq_mu_);
+  void EndCommitSequence() SIM_RELEASE(seq_mu_);
+  Status AppendCommitBegin(uint64_t* ticket)
+      SIM_REQUIRES(seq_mu_) SIM_EXCLUDES(mu_, gc_mu_);
+  Status WaitCommitDurable(uint64_t ticket) SIM_EXCLUDES(gc_mu_);
+  // Blocks until every issued commit ticket has been resolved. Call (from
+  // a context that excludes new committers) before Checkpoint: a pending
+  // ticket's images are not yet in committed_, and a checkpoint would
+  // silently drop them.
+  Status DrainCommits() SIM_EXCLUDES(gc_mu_);
+
   Status Sync() SIM_EXCLUDES(mu_);
 
   // Launches the background durability thread. `batch_size_hist`, when
@@ -268,6 +295,11 @@ class WriteAheadLog {
   // mu_, and by the fd-swapping baseline rewrite: the descriptor can never
   // be closed while a sync is in flight. Lock order: mu_ then sync_mu_.
   Mutex sync_mu_ SIM_ACQUIRED_AFTER(mu_);
+  // Commit-sequence bracket (see BeginCommitSequence): held by a committer
+  // across its appends-then-ticket sequence and by the group worker across
+  // the commit frame write, so a frame only ever covers whole sequences.
+  // Lock order: seq_mu_ before mu_ (and before gc_mu_).
+  Mutex seq_mu_ SIM_ACQUIRED_BEFORE(mu_);
   // Bumped whenever the image maps are wholesale invalidated (truncate,
   // baseline rewrite); a group batch only promotes its snapshot if no
   // invalidation happened while it was fsyncing.

@@ -47,10 +47,36 @@ TEST(ApiTest, QueryUpdateRouting) {
 }
 
 TEST(ApiTest, DdlAfterDataRejected) {
+  // Schema freeze is a precondition failure (the mapping exists), not a
+  // missing feature: kFailedPrecondition, with a message that tells the
+  // caller what to do instead.
   auto db = sim::testing::OpenUniversity();
   ASSERT_TRUE(db.ok());
-  EXPECT_EQ((*db)->ExecuteDdl("Class Late ( x: integer );").code(),
-            StatusCode::kNotSupported);
+  Status s = (*db)->ExecuteDdl("Class Late ( x: integer );");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("frozen"), std::string::npos) << s.ToString();
+}
+
+TEST(ApiTest, DdlAfterInsertRejected) {
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("Class A ( x: integer );").ok());
+  ASSERT_TRUE((*db)->ExecuteUpdate("Insert a (x := 1)").ok());
+  EXPECT_EQ((*db)->ExecuteDdl("Class Late ( y: integer );").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ApiTest, DdlAfterCursorOpenRejected) {
+  // Opening a cursor builds the physical mapping too; DDL arriving while
+  // the cursor is still draining must hit the same typed freeze error.
+  auto db = Database::Open();
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->ExecuteDdl("Class A ( x: integer );").ok());
+  auto cur = (*db)->OpenCursor("From A Retrieve x");
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ((*db)->ExecuteDdl("Class Late ( y: integer );").code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(cur->Close().ok());
 }
 
 TEST(ApiTest, MultipleDdlBatchesBeforeData) {

@@ -5,15 +5,20 @@
 // (scripts/check.sh builds build-tsan/ and runs this suite in it): the
 // group-commit pipeline with N committers, StopGroupCommit racing an
 // in-flight commit, cursor cancellation racing the drain, metrics/trace
-// scrapes racing statement execution, and the NDJSON trace sink under
-// multi-threaded load.
+// scrapes racing statement execution, the NDJSON trace sink under
+// multi-threaded load — and, since the semantic lock manager landed
+// (DESIGN.md §14), whole statements issued concurrently against one
+// Database: N readers scanning a subclass hierarchy while M writers
+// mutate it, the background scrubber racing draining cursors, and
+// governor deadlines aborting contended lock waits.
 //
-// The Database itself is still an externally-synchronized object —
-// statements must not run concurrently on one Database (ROADMAP item 1,
-// MVCC, will lift that). What IS thread-safe, and what these tests
-// exercise, are the surfaces documented in DESIGN.md §12: the WAL append
-// and group-commit paths, Cursor::Cancel, MetricsText/TraceNdjson
-// scrapes, and TraceLog::Record.
+// The Database is no longer externally synchronized: any thread may
+// issue any statement at any time. Readers take shared class-extent
+// locks and run in parallel; writers take exclusive family locks,
+// serialize their mapper mutations under the commit latch, and ride the
+// shared group-commit fsync. The one remaining caller-side rule is that
+// an explicit Begin()/Commit() transaction is a single-session affair —
+// its statements must come from one thread at a time.
 
 #include <gtest/gtest.h>
 
@@ -425,6 +430,271 @@ TEST(ConcurrencyStressTest, ParanoidAuditInterleavesOpenCursor) {
   auditor.join();
   EXPECT_EQ(rows, 100);
   EXPECT_GE(audits_clean.load(), 10);
+}
+
+// --- concurrent statements against one Database (DESIGN.md §14) ----------
+
+// N readers scanning a subclass hierarchy while M writers insert into it
+// and into a disjoint family. Readers take S on the scanned subtree and
+// run in parallel; writers take X on the whole family, serialize their
+// mapper mutations under the commit latch, and hold their locks through
+// the durability wait (strict 2PL) — so every row a reader sees belongs
+// to a durably committed statement, and extents only ever grow.
+TEST(ConcurrencyStressTest, ReadersAndWritersOverHierarchy) {
+  const std::string db_path = TempPath("rw_hier.db");
+  RemoveDbFiles(db_path);
+  DatabaseOptions options;
+  options.file_path = db_path;
+  options.group_commit = true;
+  auto db_result = Database::Open(options);
+  ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+  Database* db = db_result->get();
+  ASSERT_TRUE(db->ExecuteDdl("Class Person (\n"
+                             "  name: string[24] required );\n"
+                             "Subclass Student of Person (\n"
+                             "  year: integer );\n"
+                             "Subclass Grad-Student of Student (\n"
+                             "  thesis: string[40] );\n"
+                             "Class Department (\n"
+                             "  dname: string[24] required );")
+                  .ok());
+  ASSERT_TRUE(db->ExecuteUpdate("Insert person (name := \"seed\")").ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kWritesEach = 25;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+  std::atomic<int> writer_errors{0};
+  std::atomic<int> shrink_violations{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      size_t last_person = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto rs = db->ExecuteQuery("From Person Retrieve name");
+        if (!rs.ok()) {
+          reader_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Inserts only: the extent a scan observes can never shrink.
+        if (rs->rows.size() < last_person) {
+          shrink_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_person = rs->rows.size();
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kWritesEach; ++i) {
+        // Even writers grow the hierarchy (contending with every reader
+        // and with each other); odd writers grow the disjoint family.
+        std::string stmt =
+            (t % 2 == 0)
+                ? "Insert grad-student (name := \"w" + std::to_string(t) +
+                      "_" + std::to_string(i) + "\", year := 5, thesis := "
+                      "\"locks\")"
+                : "Insert department (dname := \"d" + std::to_string(t) +
+                      "_" + std::to_string(i) + "\")";
+        auto r = db->ExecuteUpdate(stmt);
+        if (!r.ok()) writer_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(writer_errors.load(), 0);
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(shrink_violations.load(), 0);
+  // Final state: every acknowledged insert is visible.
+  auto rs = db->ExecuteQuery("From Grad-Student Retrieve name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(),
+            static_cast<size_t>((kWriters / 2 + kWriters % 2) * kWritesEach));
+  auto audit = db->Audit();
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_TRUE(audit->clean()) << audit->ToString();
+  EXPECT_GT(db->lock_stats().acquisitions.value(), 0u);
+  db_result->reset();
+  RemoveDbFiles(db_path);
+}
+
+// The background scrubber walks durable pages while cursors drain on
+// other threads and a writer appends: scrub reads race the buffer pool's
+// writebacks and the WAL's image table, all under the lock manager's
+// S/S-compatible audit locks.
+TEST(ConcurrencyStressTest, ScrubberRacesDrainingCursors) {
+  const std::string db_path = TempPath("scrub_race.db");
+  RemoveDbFiles(db_path);
+  DatabaseOptions options;
+  options.file_path = db_path;
+  options.background_scrub = true;
+  options.scrub_interval_ms = 1;  // tick as fast as the pacing allows
+  options.scrub_pages_per_tick = 16;
+  auto db_result = Database::Open(options);
+  ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+  Database* db = db_result->get();
+  ASSERT_TRUE(db->ExecuteDdl("Class Person (\n"
+                             "  name: string[24] required;\n"
+                             "  age: integer );")
+                  .ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db->ExecuteUpdate("Insert person (name := \"p" +
+                                  std::to_string(i) + "\", age := 30)")
+                    .ok());
+  }
+
+  constexpr int kDrainers = 3;
+  std::atomic<int> drain_errors{0};
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < kDrainers; ++t) {
+    drainers.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        auto cur = db->OpenCursor("From Person Retrieve name, age");
+        if (!cur.ok()) {
+          drain_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        Row row;
+        int rows = 0;
+        while (true) {
+          Result<bool> has = cur->Next(&row);
+          if (!has.ok()) {
+            drain_errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (!*has) break;
+          ++rows;
+          if (rows % 64 == 0) std::this_thread::yield();
+        }
+        if (rows != 0 && rows < 200) {
+          drain_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!cur->Close().ok()) {
+          drain_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // A writer contends with the drainers' S locks the whole time.
+  std::thread writer([&] {
+    for (int i = 0; i < 30; ++i) {
+      auto r = db->ExecuteUpdate("Insert person (name := \"w" +
+                                 std::to_string(i) + "\", age := 41)");
+      if (!r.ok()) drain_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::thread& th : drainers) th.join();
+  writer.join();
+  EXPECT_EQ(drain_errors.load(), 0);
+  // The scrubber ran while all that was in flight and found nothing.
+  std::string metrics = db->MetricsText();
+  EXPECT_NE(metrics.find("simdb_scrub_pages_scanned_total"),
+            std::string::npos);
+  auto scrub = db->Scrub();
+  ASSERT_TRUE(scrub.ok()) << scrub.status().ToString();
+  EXPECT_EQ(scrub->pages_quarantined, 0u);
+  db_result->reset();
+  RemoveDbFiles(db_path);
+}
+
+// A statement deadline bounds a lock wait: a long-lived explicit
+// transaction holds X on the family while a governed reader tries to
+// scan it — the reader must come back with kDeadlineExceeded, not hang.
+TEST(ConcurrencyStressTest, LockWaitRespectsGovernorDeadline) {
+  DatabaseOptions options;
+  options.governor.deadline_ms = 150;
+  auto db_result = Database::Open(options);
+  ASSERT_TRUE(db_result.ok());
+  Database* db = db_result->get();
+  ASSERT_TRUE(db->ExecuteDdl("Class Person (\n"
+                             "  name: string[24] required );")
+                  .ok());
+  ASSERT_TRUE(db->ExecuteUpdate("Insert person (name := \"a\")").ok());
+  // Writer thread: open transaction holds X(person) until told to commit.
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(db->Begin().ok());
+    ASSERT_TRUE(db->ExecuteUpdate("Insert person (name := \"b\")").ok());
+    locked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(db->Commit().ok());
+  });
+  while (!locked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  auto rs = db->ExecuteQuery("From Person Retrieve name");
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded)
+      << rs.status().ToString();
+  release.store(true, std::memory_order_release);
+  writer.join();
+  // After the commit the same scan sees both rows (locks released).
+  DatabaseOptions relaxed;
+  auto rs2 = db->ExecuteQuery("From Person Retrieve name");
+  ASSERT_TRUE(rs2.ok()) << rs2.status().ToString();
+  EXPECT_EQ(rs2->rows.size(), 2u);
+}
+
+// Statement-level deadlock: an autocommit statement locks all-or-nothing
+// (no hold-and-wait), so the way to a cycle inside the Database is
+// paranoid mode, which grows the statement scope in two steps — X on the
+// target family, then S-everything for the post-update audit. Two
+// paranoid writers on disjoint families can therefore deadlock (W1
+// holds X(a), wants S(b); W2 holds X(b), wants S(a)): the detector must
+// kill one with kAborted, the statement's transaction rolls back, and a
+// retry succeeds — nothing hangs, nothing is half-applied.
+TEST(ConcurrencyStressTest, ParanoidWritersDeadlockIsKilledAndRetryable) {
+  DatabaseOptions options;
+  options.paranoid_checks = true;
+  auto db_result = Database::Open(options);
+  ASSERT_TRUE(db_result.ok());
+  Database* db = db_result->get();
+  ASSERT_TRUE(db->ExecuteDdl("Class Alpha ( a: integer );\n"
+                             "Class Beta ( b: integer );")
+                  .ok());
+  constexpr int kWritesEach = 40;
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> hard_errors{0};
+  auto writer = [&](const char* cls, const char* attr) {
+    for (int i = 0; i < kWritesEach; ++i) {
+      std::string stmt = std::string("Insert ") + cls + " (" + attr +
+                         " := " + std::to_string(i) + ")";
+      for (;;) {
+        Status s = db->ExecuteUpdate(stmt).status();
+        if (s.ok()) break;
+        if (s.code() == StatusCode::kAborted) {
+          deadlocks.fetch_add(1, std::memory_order_relaxed);
+          continue;  // deadlock victim: rolled back, safe to retry
+        }
+        hard_errors.fetch_add(1, std::memory_order_relaxed);
+        ADD_FAILURE() << s.ToString();
+        break;
+      }
+    }
+  };
+  std::thread w1(writer, "alpha", "a");
+  std::thread w2(writer, "beta", "b");
+  w1.join();
+  w2.join();
+  EXPECT_EQ(hard_errors.load(), 0);
+  // Every write eventually landed exactly once, deadlocks notwithstanding.
+  auto ra = db->ExecuteQuery("From Alpha Retrieve a");
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  EXPECT_EQ(ra->rows.size(), static_cast<size_t>(kWritesEach));
+  auto rb = db->ExecuteQuery("From Beta Retrieve b");
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_EQ(rb->rows.size(), static_cast<size_t>(kWritesEach));
+  auto audit = db->Audit();
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_TRUE(audit->clean()) << audit->ToString();
 }
 
 }  // namespace

@@ -17,12 +17,14 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/database.h"
@@ -332,6 +334,116 @@ TEST(CrashRecoveryTest, SweepWithCheckpointEveryCommit) {
 // keeping the injected operation sequence deterministic.
 TEST(CrashRecoveryTest, SweepWithGroupCommit) {
   SweepCrashPoints("sweep_group", kNoCheckpoints, /*group_commit=*/true);
+}
+
+// Config D: kill mid-group-commit with CONCURRENT writers holding locks.
+// Four writer threads insert into four disjoint base classes (disjoint
+// exclusive lock sets, so the statements genuinely overlap and their
+// commit tickets coalesce in the durability thread's batches); a fatal
+// fault fires at a swept write/sync position. The strict-2PL acknowledge
+// contract under test: a writer's ExecuteUpdate returns OK only after
+// its commit ticket is durable, so every acknowledged insert must
+// survive the reboot — and the recovered database must audit clean.
+TEST(CrashRecoveryTest, SweepGroupCommitWithConcurrentWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kInsertsEach = 8;
+  const std::string path = TestPath("sweep_conc");
+
+  struct ConcResult {
+    std::array<int, kWriters> acked{};
+    uint64_t faults_fired = 0;
+  };
+  auto run = [&](FaultInjector* injector) -> ConcResult {
+    ConcResult r;
+    DatabaseOptions options;
+    options.file_path = path;
+    options.wal_checkpoint_bytes = kNoCheckpoints;
+    options.fault_injector = injector;
+    options.group_commit = true;
+    auto db = Database::Open(options);
+    if (!db.ok()) return r;
+    std::string ddl;
+    for (int c = 0; c < kWriters; ++c) {
+      ddl += "Class W" + std::to_string(c) + " ( v: integer );\n";
+    }
+    if (!(*db)->ExecuteDdl(ddl).ok()) return r;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kInsertsEach; ++i) {
+          auto res = (*db)->ExecuteUpdate("Insert w" + std::to_string(t) +
+                                          " (v := " + std::to_string(i) +
+                                          ")");
+          if (!res.ok()) break;  // the injected crash: stop like a dead app
+          ++r.acked[t];
+        }
+      });
+    }
+    for (std::thread& th : writers) th.join();
+    if (injector != nullptr) r.faults_fired = injector->stats().faults_fired;
+    return r;
+  };
+
+  // Profile a fault-free run for the write/sync operation counts. The
+  // thread interleaving makes the exact counts nondeterministic, so the
+  // sweep targets fractions of the profiled counts and skips (rather
+  // than fails) a point whose position this run never reached.
+  Nuke(path);
+  FaultInjector profile;
+  ConcResult base = run(&profile);
+  for (int t = 0; t < kWriters; ++t) {
+    ASSERT_EQ(base.acked[t], kInsertsEach) << "writer " << t;
+  }
+  Nuke(path);
+  const uint64_t writes = profile.stats().writes_seen;
+  const uint64_t syncs = profile.stats().syncs_seen;
+  ASSERT_GT(writes, 0u);
+  ASSERT_GT(syncs, 0u);
+
+  int points_fired = 0;
+  for (int frac = 1; frac <= 15; ++frac) {
+    const bool fail_sync = (frac % 3 == 0);
+    const uint64_t n = fail_sync
+                           ? std::max<uint64_t>(1, syncs * frac / 16)
+                           : std::max<uint64_t>(1, writes * frac / 16);
+    SCOPED_TRACE((fail_sync ? "fatal fault at sync " : "fatal fault at write ") +
+                 std::to_string(n));
+    Nuke(path);
+    FaultInjector inj;
+    if (fail_sync) {
+      inj.FailNthSync(n);
+    } else {
+      // Mix torn writes in (a prefix of the payload lands), as in the
+      // single-threaded sweeps.
+      inj.FailNthWrite(n, frac % 2 == 0 ? 64 : -1);
+    }
+    ConcResult crashed = run(&inj);
+    if (crashed.faults_fired == 0) continue;  // interleaving fell short
+    ++points_fired;
+
+    DatabaseOptions options;
+    options.file_path = path;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << "recovery failed: " << db.status().ToString();
+    auto report = (*db)->Audit();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->clean()) << report->ToString();
+    for (int t = 0; t < kWriters; ++t) {
+      auto rs =
+          (*db)->ExecuteQuery("From W" + std::to_string(t) + " Retrieve v");
+      if (!rs.ok()) {
+        // Only a crash before the DDL commit may lose the classes — and
+        // then no insert can have been acknowledged either.
+        EXPECT_EQ(crashed.acked[t], 0) << rs.status().ToString();
+        continue;
+      }
+      EXPECT_GE(static_cast<int>(rs->rows.size()), crashed.acked[t])
+          << "writer " << t << ": acknowledged insert lost by the crash";
+      EXPECT_LE(static_cast<int>(rs->rows.size()), kInsertsEach);
+    }
+  }
+  EXPECT_GE(points_fired, 8) << "sweep fired too few crash points";
+  Nuke(path);
 }
 
 // A fault during recovery itself must fail the Open; a later clean reopen

@@ -119,6 +119,32 @@ TEST(DateTest, RejectsTrailingGarbage) {
   EXPECT_TRUE(ParseDate("6/1/1988").ok());
 }
 
+// Strictness is symmetric: leading whitespace and sign characters are
+// rejected just like trailing garbage. sscanf's %d silently skipped
+// whitespace and accepted signs, so " 2026-08-06" and "2026- 8- 6"
+// used to parse.
+TEST(DateTest, RejectsLeadingWhitespaceAndSigns) {
+  static const char* kBad[] = {
+      " 2026-08-06",      // leading space
+      "\t2026-08-06",     // leading tab
+      "2026- 8- 6",       // space after separators
+      "2026 -08-06",      // space before separator
+      "+2026-08-06",      // leading plus sign
+      "-2026-08-06",      // leading minus sign
+      "2026--8-06",       // sign on the month field
+      "2026-08-+6",       // sign on the day field
+      " 6/1/1988",        // leading space, US order
+      "6/ 1/1988",        // embedded space, US order
+      "6/1/+1988",        // signed year, US order
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseDate(text).ok()) << "'" << text << "'";
+  }
+  // Unsigned unpadded fields remain fine in both orders.
+  EXPECT_TRUE(ParseDate("2026-8-6").ok());
+  EXPECT_TRUE(ParseDate("08/06/2026").ok());
+}
+
 // Property: civil -> days -> civil round-trips across a broad sweep.
 class DateRoundTrip : public ::testing::TestWithParam<int> {};
 
